@@ -1,0 +1,1100 @@
+//! Bus Capacity Prediction (BCP, §II-B2, Fig. 3).
+//!
+//! BCP predicts how crowded a bus will be from (a) bus-stop cameras
+//! counting waiting passengers and (b) on-vehicle infrared sensors.
+//! The `H` operators keep the historical images for each camera —
+//! accumulated to disambiguate occluded people and pedestrians, and
+//! discarded on each bus arrival — so BCP's state fluctuates between
+//! ~100 MB and ~700 MB (Fig. 5b). A prototype ran on the National
+//! University of Singapore campus buses.
+//!
+//! Query network (55 operators):
+//! `S0..S3` cameras → `D0..D3` dispatchers → `C0..C15` counters and
+//! `H0..H3` historical processors → `B0..B3` boarding predictors →
+//! `J0,J2` joins; `S4..S7` sensors → `N0..N3` noise filters →
+//! `A0..A3` arrival + `L0..L3` alighting predictors; everything →
+//! `G0,G1` groups → `P0,P1` crowdedness predictors → `K`.
+
+use ms_core::codec::{SnapshotReader, SnapshotWriter};
+use ms_core::graph::QueryNetwork;
+use ms_core::ids::{OperatorId, PortId};
+use ms_core::operator::{Operator, OperatorContext, OperatorSnapshot};
+use ms_core::time::SimDuration;
+use ms_core::tuple::Tuple;
+use ms_core::value::Value;
+use ms_runtime::AppSpec;
+use ms_sim::DetRng;
+
+use crate::ops::SinkOp;
+use crate::pool::Pool;
+use crate::vision::{count_people, synth_frame, Scene};
+
+/// BCP parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct BcpConfig {
+    /// Camera frame attempt interval (greedy, backpressured).
+    pub camera_tick: SimDuration,
+    /// Sensor reading interval.
+    pub sensor_tick: SimDuration,
+    /// Logical bytes per camera frame.
+    pub frame_bytes: u64,
+    /// Mean seconds between bus arrivals at a stop (clears H state).
+    pub bus_interval_mean_secs: u64,
+}
+
+impl Default for BcpConfig {
+    fn default() -> Self {
+        BcpConfig {
+            camera_tick: SimDuration::from_millis(30),
+            sensor_tick: SimDuration::from_millis(50),
+            frame_bytes: 1_000_000,
+            bus_interval_mean_secs: 60,
+        }
+    }
+}
+
+const N_CAMS: usize = 4;
+const N_COUNTERS_PER_CAM: usize = 4;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Role {
+    Camera(u32),
+    Dispatcher,
+    Counter,
+    Historical,
+    Boarding,
+    Join,
+    Sensor(u32),
+    Noise,
+    Arrival,
+    Alighting,
+    Group,
+    Predict,
+    Sink,
+}
+
+/// The BCP application.
+pub struct Bcp {
+    cfg: BcpConfig,
+    qn: QueryNetwork,
+    roles: Vec<Role>,
+}
+
+impl Bcp {
+    /// Builds BCP with the given configuration.
+    pub fn new(cfg: BcpConfig) -> Bcp {
+        let mut qn = QueryNetwork::new();
+        let mut roles = Vec::new();
+        let mut add = |qn: &mut QueryNetwork, name: String, role: Role| -> OperatorId {
+            roles.push(role);
+            qn.add_operator(name)
+        };
+
+        let cams: Vec<_> = (0..N_CAMS)
+            .map(|i| add(&mut qn, format!("S{i}"), Role::Camera(i as u32)))
+            .collect();
+        let disps: Vec<_> = (0..N_CAMS)
+            .map(|i| add(&mut qn, format!("D{i}"), Role::Dispatcher))
+            .collect();
+        let counters: Vec<_> = (0..N_CAMS * N_COUNTERS_PER_CAM)
+            .map(|i| add(&mut qn, format!("C{i}"), Role::Counter))
+            .collect();
+        let hists: Vec<_> = (0..N_CAMS)
+            .map(|i| add(&mut qn, format!("H{i}"), Role::Historical))
+            .collect();
+        let boards: Vec<_> = (0..N_CAMS)
+            .map(|i| add(&mut qn, format!("B{i}"), Role::Boarding))
+            .collect();
+        let joins: Vec<_> = [0, 2]
+            .iter()
+            .map(|i| add(&mut qn, format!("J{i}"), Role::Join))
+            .collect::<Vec<_>>();
+        let sensors: Vec<_> = (0..4)
+            .map(|i| add(&mut qn, format!("S{}", i + 4), Role::Sensor(i as u32)))
+            .collect();
+        let noises: Vec<_> = (0..4)
+            .map(|i| add(&mut qn, format!("N{i}"), Role::Noise))
+            .collect();
+        let arrivals: Vec<_> = (0..4)
+            .map(|i| add(&mut qn, format!("A{i}"), Role::Arrival))
+            .collect();
+        let alights: Vec<_> = (0..4)
+            .map(|i| add(&mut qn, format!("L{i}"), Role::Alighting))
+            .collect();
+        let groups: Vec<_> = (0..2)
+            .map(|i| add(&mut qn, format!("G{i}"), Role::Group))
+            .collect();
+        let preds: Vec<_> = (0..2)
+            .map(|i| add(&mut qn, format!("P{i}"), Role::Predict))
+            .collect();
+        let sink = add(&mut qn, "K".to_string(), Role::Sink);
+
+        for i in 0..N_CAMS {
+            qn.connect(cams[i], disps[i]).unwrap();
+            // Dispatcher ports 0..3: the four counters. Counters send
+            // counts to the boarding predictor (port 0) and sampled
+            // frames to the historical processor (port 1).
+            for k in 0..N_COUNTERS_PER_CAM {
+                let c = counters[i * N_COUNTERS_PER_CAM + k];
+                qn.connect(disps[i], c).unwrap();
+                qn.connect(c, boards[i]).unwrap();
+                qn.connect(c, hists[i]).unwrap();
+            }
+            qn.connect(hists[i], boards[i]).unwrap();
+        }
+        qn.connect(boards[0], joins[0]).unwrap();
+        qn.connect(boards[1], joins[0]).unwrap();
+        qn.connect(boards[2], joins[1]).unwrap();
+        qn.connect(boards[3], joins[1]).unwrap();
+        for i in 0..4 {
+            qn.connect(sensors[i], noises[i]).unwrap();
+            qn.connect(noises[i], arrivals[i]).unwrap();
+            qn.connect(noises[i], alights[i]).unwrap();
+        }
+        qn.connect(joins[0], groups[0]).unwrap();
+        qn.connect(joins[1], groups[1]).unwrap();
+        for i in 0..4 {
+            let g = groups[i / 2];
+            qn.connect(arrivals[i], g).unwrap();
+            qn.connect(alights[i], g).unwrap();
+        }
+        for i in 0..2 {
+            qn.connect(groups[i], preds[i]).unwrap();
+            qn.connect(preds[i], sink).unwrap();
+        }
+        debug_assert_eq!(qn.len(), 55);
+        Bcp { cfg, qn, roles }
+    }
+
+    /// Default-configured BCP.
+    pub fn default_app() -> Bcp {
+        Bcp::new(BcpConfig::default())
+    }
+
+    /// Index of a historical operator among the H ops (0..4); used to
+    /// assign its bus line.
+    fn hist_index(&self, op: OperatorId) -> u32 {
+        let mut idx = 0;
+        for (i, r) in self.roles.iter().enumerate() {
+            if i == op.index() {
+                break;
+            }
+            if matches!(r, Role::Historical) {
+                idx += 1;
+            }
+        }
+        // Pair assignment: H0,H1 -> line 0; H2,H3 -> line 1.
+        idx / 2 * 2
+    }
+}
+
+impl AppSpec for Bcp {
+    fn name(&self) -> &str {
+        "BCP"
+    }
+
+    fn query_network(&self) -> QueryNetwork {
+        self.qn.clone()
+    }
+
+    fn build_operator(&self, op: OperatorId, _rng: &mut DetRng) -> Box<dyn Operator> {
+        match self.roles[op.index()] {
+            Role::Camera(i) => Box::new(CameraOp {
+                cam: i,
+                emitted: 0,
+                tick: self.cfg.camera_tick,
+                frame_bytes: self.cfg.frame_bytes,
+            }),
+            Role::Dispatcher => Box::new(DispatcherOp::default()),
+            Role::Counter => Box::new(CounterOp::default()),
+            Role::Historical => Box::new(HistoricalOp {
+                interval_secs: self.cfg.bus_interval_mean_secs as f64,
+                // Two bus lines serve two stops each: paired stops see
+                // the bus (and clear their history) together, half an
+                // interval apart from the other pair.
+                phase_secs: f64::from(self.hist_index(op))
+                    / 2.0_f64
+                    * self.cfg.bus_interval_mean_secs as f64
+                    / 2.0,
+                last_cycle: -1,
+                ..HistoricalOp::default()
+            }),
+            Role::Boarding => Box::new(BoardingOp::default()),
+            Role::Join => Box::new(JoinOp::default()),
+            Role::Sensor(i) => Box::new(SensorOp {
+                sensor: i,
+                emitted: 0,
+                tick: self.cfg.sensor_tick,
+            }),
+            Role::Noise => Box::new(NoiseOp::default()),
+            Role::Arrival => Box::new(RegressionOp::arrival()),
+            Role::Alighting => Box::new(RegressionOp::alighting()),
+            Role::Group => Box::new(GroupOp::default()),
+            Role::Predict => Box::new(PredictOp::default()),
+            Role::Sink => Box::new(SinkOp::default()),
+        }
+    }
+}
+
+// ---------------- operators ----------------
+
+/// Bus-stop camera: one frame per tick with a slowly varying crowd.
+struct CameraOp {
+    cam: u32,
+    emitted: u64,
+    tick: SimDuration,
+    frame_bytes: u64,
+}
+
+impl Operator for CameraOp {
+    fn kind(&self) -> &'static str {
+        "Camera"
+    }
+
+    fn on_tuple(&mut self, _p: PortId, _t: Tuple, _ctx: &mut dyn OperatorContext) {}
+
+    fn on_timer(&mut self, ctx: &mut dyn OperatorContext) {
+        self.emitted += 1;
+        // Crowd builds up between buses: a slow sawtooth per camera.
+        let phase = (self.emitted % 1500) as f64 / 1500.0;
+        let mut rng = DetRng::new(ctx.rand_u64());
+        let frame = synth_frame(
+            &mut rng,
+            self.frame_bytes,
+            Scene {
+                people: 1.0 + 9.0 * phase,
+                light_phase: 0.5,
+                motion: 0.3,
+            },
+        );
+        ctx.emit_all(vec![frame, Value::Int(i64::from(self.cam))]);
+    }
+
+    fn timer_interval(&self) -> Option<SimDuration> {
+        Some(self.tick)
+    }
+
+    fn timer_cost(&self) -> SimDuration {
+        SimDuration::from_millis(2)
+    }
+
+    fn state_size(&self) -> u64 {
+        16
+    }
+
+    fn snapshot(&self) -> OperatorSnapshot {
+        let mut w = SnapshotWriter::new();
+        w.put_u64(self.emitted);
+        OperatorSnapshot {
+            data: w.finish(),
+            logical_bytes: 16,
+        }
+    }
+
+    fn restore(&mut self, s: &OperatorSnapshot) -> ms_core::Result<()> {
+        self.emitted = SnapshotReader::new(&s.data).get_u64()?;
+        Ok(())
+    }
+}
+
+/// Dispatcher: round-robins frames across this camera's four counters.
+#[derive(Default)]
+struct DispatcherOp {
+    next: u64,
+}
+
+impl Operator for DispatcherOp {
+    fn kind(&self) -> &'static str {
+        "Dispatcher"
+    }
+
+    fn on_tuple(&mut self, _p: PortId, t: Tuple, ctx: &mut dyn OperatorContext) {
+        let counter = (self.next % N_COUNTERS_PER_CAM as u64) as u32;
+        self.next += 1;
+        ctx.emit(PortId(counter), t.fields);
+    }
+
+    fn service_time(&self, _t: &Tuple) -> SimDuration {
+        SimDuration::from_millis(10)
+    }
+
+    fn state_size(&self) -> u64 {
+        8
+    }
+
+    fn snapshot(&self) -> OperatorSnapshot {
+        let mut w = SnapshotWriter::new();
+        w.put_u64(self.next);
+        OperatorSnapshot {
+            data: w.finish(),
+            logical_bytes: 8,
+        }
+    }
+
+    fn restore(&mut self, s: &OperatorSnapshot) -> ms_core::Result<()> {
+        self.next = SnapshotReader::new(&s.data).get_u64()?;
+        Ok(())
+    }
+}
+
+/// Counter: counts people in a frame — the CPU-heavy stage. Emits the
+/// count to the boarding predictor and forwards every eighth processed
+/// frame to the historical processor (enough history to disambiguate
+/// occlusions at a fraction of the memory pressure).
+#[derive(Default)]
+struct CounterOp {
+    processed: u64,
+}
+
+const HISTORY_SAMPLING: u64 = 8;
+
+impl Operator for CounterOp {
+    fn kind(&self) -> &'static str {
+        "Counter"
+    }
+
+    fn on_tuple(&mut self, _p: PortId, t: Tuple, ctx: &mut dyn OperatorContext) {
+        self.processed += 1;
+        if let Some(Value::Blob {
+            logical_bytes,
+            digest,
+        }) = t.fields.first()
+        {
+            let count = count_people(digest);
+            let cam = t.fields.get(1).and_then(Value::as_int).unwrap_or(0);
+            if self.processed % HISTORY_SAMPLING == 0 {
+                ctx.emit(PortId(1), vec![
+                    Value::Blob {
+                        logical_bytes: *logical_bytes,
+                        digest: digest.clone(),
+                    },
+                    Value::Int(cam),
+                ]);
+            }
+            ctx.emit(PortId(0), vec![
+                Value::Blob {
+                    logical_bytes: 1_000,
+                    digest: vec![count as f32],
+                },
+                Value::Int(cam),
+            ]);
+        }
+    }
+
+    fn service_time(&self, _t: &Tuple) -> SimDuration {
+        SimDuration::from_millis(130)
+    }
+
+    fn state_size(&self) -> u64 {
+        8
+    }
+
+    fn snapshot(&self) -> OperatorSnapshot {
+        let mut w = SnapshotWriter::new();
+        w.put_u64(self.processed);
+        OperatorSnapshot {
+            data: w.finish(),
+            logical_bytes: 8,
+        }
+    }
+
+    fn restore(&mut self, s: &OperatorSnapshot) -> ms_core::Result<()> {
+        self.processed = SnapshotReader::new(&s.data).get_u64()?;
+        Ok(())
+    }
+}
+
+/// Historical image processor: keeps sampled frames from its camera to
+/// help the counters disambiguate occlusions; discards the stash on
+/// each bus arrival. Buses run on a schedule (two lines covering two
+/// stops each), so paired stops clear together — BCP's dynamic HAUs
+/// and the state-size dips of Fig. 5b.
+#[derive(Default)]
+struct HistoricalOp {
+    pool: Pool,
+    interval_secs: f64,
+    phase_secs: f64,
+    last_cycle: i64,
+    buses_seen: u64,
+    seen: u64,
+}
+
+/// Historical ops re-evaluate the bus schedule at this cadence.
+const HIST_TICK_SECS: f64 = 5.0;
+
+impl Operator for HistoricalOp {
+    fn kind(&self) -> &'static str {
+        "Historical"
+    }
+
+    fn on_tuple(&mut self, _p: PortId, t: Tuple, _ctx: &mut dyn OperatorContext) {
+        self.seen += 1;
+        if let Some(Value::Blob {
+            logical_bytes,
+            digest,
+        }) = t.fields.first()
+        {
+            self.pool.push(
+                digest.iter().map(|&f| f64::from(f)).collect(),
+                *logical_bytes,
+            );
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn OperatorContext) {
+        if self.interval_secs <= 0.0 {
+            return;
+        }
+        let t = ctx.now().as_secs_f64() - self.phase_secs;
+        if t < 0.0 {
+            return;
+        }
+        let cycle = (t / self.interval_secs) as i64;
+        if cycle > self.last_cycle {
+            self.last_cycle = cycle;
+            if self.pool.is_empty() {
+                return;
+            }
+            // The bus arrived: the waiting crowd changes completely,
+            // so the history is useless (§II-B2). Emit the boarding
+            // context first, keep a small tail.
+            self.buses_seen += 1;
+            let n = self.pool.len() as f32;
+            ctx.emit_all(vec![Value::Blob {
+                logical_bytes: 2_000,
+                digest: vec![n, self.buses_seen as f32],
+            }]);
+            self.pool.retain_recent(3);
+        }
+    }
+
+    fn timer_interval(&self) -> Option<SimDuration> {
+        Some(SimDuration::from_secs(HIST_TICK_SECS as u64))
+    }
+
+    fn service_time(&self, _t: &Tuple) -> SimDuration {
+        SimDuration::from_millis(30)
+    }
+
+    fn timer_cost(&self) -> SimDuration {
+        SimDuration::from_millis(1)
+    }
+
+    fn state_size(&self) -> u64 {
+        64 + self.pool.sampled_size()
+    }
+
+    fn snapshot(&self) -> OperatorSnapshot {
+        let mut w = SnapshotWriter::new();
+        w.put_u64(self.buses_seen);
+        w.put_u64(self.seen);
+        w.put_f64(self.interval_secs);
+        w.put_f64(self.phase_secs);
+        w.put_i64(self.last_cycle);
+        self.pool.encode(&mut w);
+        OperatorSnapshot {
+            data: w.finish(),
+            logical_bytes: self.state_size(),
+        }
+    }
+
+    fn restore(&mut self, s: &OperatorSnapshot) -> ms_core::Result<()> {
+        let mut r = SnapshotReader::new(&s.data);
+        self.buses_seen = r.get_u64()?;
+        self.seen = r.get_u64()?;
+        self.interval_secs = r.get_f64()?;
+        self.phase_secs = r.get_f64()?;
+        self.last_cycle = r.get_i64()?;
+        self.pool = Pool::decode(&mut r)?;
+        Ok(())
+    }
+}
+
+/// Boarding predictor: fuses the four counters' counts with the
+/// historical context into a boarding estimate per stop.
+#[derive(Default)]
+struct BoardingOp {
+    ewma: f64,
+    history_context: f64,
+    processed: u64,
+}
+
+impl Operator for BoardingOp {
+    fn kind(&self) -> &'static str {
+        "Boarding"
+    }
+
+    fn on_tuple(&mut self, port: PortId, t: Tuple, ctx: &mut dyn OperatorContext) {
+        self.processed += 1;
+        let Some(Value::Blob { digest, .. }) = t.fields.first() else {
+            return;
+        };
+        if port.index() == N_COUNTERS_PER_CAM {
+            // Historical context update (input port 4): absorbed.
+            self.history_context = digest.first().copied().unwrap_or(0.0) as f64;
+            return;
+        }
+        let count = digest.first().copied().unwrap_or(0.0) as f64;
+        self.ewma = 0.8 * self.ewma + 0.2 * count;
+        let boarding = self.ewma * (1.0 + self.history_context / 1_000.0);
+        ctx.emit_all(vec![Value::Blob {
+            logical_bytes: 1_000,
+            digest: vec![boarding as f32],
+        }]);
+    }
+
+    fn service_time(&self, _t: &Tuple) -> SimDuration {
+        SimDuration::from_millis(15)
+    }
+
+    fn state_size(&self) -> u64 {
+        24
+    }
+
+    fn snapshot(&self) -> OperatorSnapshot {
+        let mut w = SnapshotWriter::new();
+        w.put_f64(self.ewma)
+            .put_f64(self.history_context)
+            .put_u64(self.processed);
+        OperatorSnapshot {
+            data: w.finish(),
+            logical_bytes: 24,
+        }
+    }
+
+    fn restore(&mut self, s: &OperatorSnapshot) -> ms_core::Result<()> {
+        let mut r = SnapshotReader::new(&s.data);
+        self.ewma = r.get_f64()?;
+        self.history_context = r.get_f64()?;
+        self.processed = r.get_u64()?;
+        Ok(())
+    }
+}
+
+/// Join: pairs boarding estimates from two stops.
+#[derive(Default)]
+struct JoinOp {
+    pending: [Option<f64>; 2],
+}
+
+impl Operator for JoinOp {
+    fn kind(&self) -> &'static str {
+        "Join"
+    }
+
+    fn on_tuple(&mut self, port: PortId, t: Tuple, ctx: &mut dyn OperatorContext) {
+        let v = t
+            .fields
+            .first()
+            .and_then(|f| f.as_blob())
+            .and_then(|(_, d)| d.first().copied())
+            .unwrap_or(0.0) as f64;
+        let slot = port.index().min(1);
+        self.pending[slot] = Some(v);
+        if let (Some(a), Some(b)) = (self.pending[0], self.pending[1]) {
+            self.pending = [None, None];
+            ctx.emit_all(vec![Value::Blob {
+                logical_bytes: 2_000,
+                digest: vec![a as f32, b as f32],
+            }]);
+        }
+    }
+
+    fn service_time(&self, _t: &Tuple) -> SimDuration {
+        SimDuration::from_millis(5)
+    }
+
+    fn state_size(&self) -> u64 {
+        32
+    }
+
+    fn snapshot(&self) -> OperatorSnapshot {
+        let mut w = SnapshotWriter::new();
+        for slot in &self.pending {
+            w.put_f64(slot.unwrap_or(f64::NAN));
+        }
+        OperatorSnapshot {
+            data: w.finish(),
+            logical_bytes: 32,
+        }
+    }
+
+    fn restore(&mut self, s: &OperatorSnapshot) -> ms_core::Result<()> {
+        let mut r = SnapshotReader::new(&s.data);
+        for slot in &mut self.pending {
+            let v = r.get_f64()?;
+            *slot = if v.is_nan() { None } else { Some(v) };
+        }
+        Ok(())
+    }
+}
+
+/// On-vehicle infrared sensor source.
+struct SensorOp {
+    sensor: u32,
+    emitted: u64,
+    tick: SimDuration,
+}
+
+impl Operator for SensorOp {
+    fn kind(&self) -> &'static str {
+        "Sensor"
+    }
+
+    fn on_tuple(&mut self, _p: PortId, _t: Tuple, _ctx: &mut dyn OperatorContext) {}
+
+    fn on_timer(&mut self, ctx: &mut dyn OperatorContext) {
+        self.emitted += 1;
+        // Beam-break count + vehicle odometry.
+        let breaks = (ctx.rand_u64() % 4) as f32;
+        ctx.emit_all(vec![Value::Blob {
+            logical_bytes: 2_000,
+            digest: vec![f32::from(self.sensor as u8), breaks, self.emitted as f32],
+        }]);
+    }
+
+    fn timer_interval(&self) -> Option<SimDuration> {
+        Some(self.tick)
+    }
+
+    fn timer_cost(&self) -> SimDuration {
+        SimDuration::from_micros(300)
+    }
+
+    fn state_size(&self) -> u64 {
+        16
+    }
+
+    fn snapshot(&self) -> OperatorSnapshot {
+        let mut w = SnapshotWriter::new();
+        w.put_u64(self.emitted);
+        OperatorSnapshot {
+            data: w.finish(),
+            logical_bytes: 16,
+        }
+    }
+
+    fn restore(&mut self, s: &OperatorSnapshot) -> ms_core::Result<()> {
+        self.emitted = SnapshotReader::new(&s.data).get_u64()?;
+        Ok(())
+    }
+}
+
+/// Noise filter: sliding-window median-ish smoothing of beam breaks.
+#[derive(Default)]
+struct NoiseOp {
+    window: Vec<f64>,
+}
+
+const NOISE_WINDOW: usize = 25;
+
+impl Operator for NoiseOp {
+    fn kind(&self) -> &'static str {
+        "NoiseFilter"
+    }
+
+    fn on_tuple(&mut self, _p: PortId, t: Tuple, ctx: &mut dyn OperatorContext) {
+        let Some(Value::Blob { digest, .. }) = t.fields.first() else {
+            return;
+        };
+        let v = digest.get(1).copied().unwrap_or(0.0) as f64;
+        self.window.push(v);
+        if self.window.len() > NOISE_WINDOW {
+            self.window.remove(0);
+        }
+        let mean = self.window.iter().sum::<f64>() / self.window.len() as f64;
+        ctx.emit_all(vec![Value::Blob {
+            logical_bytes: 1_000,
+            digest: vec![mean as f32],
+        }]);
+    }
+
+    fn service_time(&self, _t: &Tuple) -> SimDuration {
+        SimDuration::from_millis(20)
+    }
+
+    fn state_size(&self) -> u64 {
+        self.window.len() as u64 * 8 + 8
+    }
+
+    fn snapshot(&self) -> OperatorSnapshot {
+        let mut w = SnapshotWriter::new();
+        w.put_u64(self.window.len() as u64);
+        for v in &self.window {
+            w.put_f64(*v);
+        }
+        OperatorSnapshot {
+            data: w.finish(),
+            logical_bytes: self.state_size(),
+        }
+    }
+
+    fn restore(&mut self, s: &OperatorSnapshot) -> ms_core::Result<()> {
+        let mut r = SnapshotReader::new(&s.data);
+        let n = r.get_u64()? as usize;
+        self.window = (0..n).map(|_| r.get_f64()).collect::<ms_core::Result<_>>()?;
+        Ok(())
+    }
+}
+
+/// Arrival-time / alighting-passenger predictor: online linear
+/// regression on the smoothed sensor stream.
+struct RegressionOp {
+    kind: &'static str,
+    slope: f64,
+    intercept: f64,
+    n: u64,
+}
+
+impl RegressionOp {
+    fn arrival() -> RegressionOp {
+        RegressionOp {
+            kind: "ArrivalPredict",
+            slope: 0.0,
+            intercept: 0.0,
+            n: 0,
+        }
+    }
+
+    fn alighting() -> RegressionOp {
+        RegressionOp {
+            kind: "AlightingPredict",
+            slope: 0.0,
+            intercept: 0.0,
+            n: 0,
+        }
+    }
+}
+
+impl Operator for RegressionOp {
+    fn kind(&self) -> &'static str {
+        self.kind
+    }
+
+    fn on_tuple(&mut self, _p: PortId, t: Tuple, ctx: &mut dyn OperatorContext) {
+        let Some(Value::Blob { digest, .. }) = t.fields.first() else {
+            return;
+        };
+        let x = self.n as f64;
+        let y = digest.first().copied().unwrap_or(0.0) as f64;
+        self.n += 1;
+        // Incremental least-mean-squares step.
+        let pred = self.slope * x + self.intercept;
+        let err = y - pred;
+        self.slope += 1e-6 * err * x;
+        self.intercept += 1e-3 * err;
+        ctx.emit_all(vec![Value::Blob {
+            logical_bytes: 1_000,
+            digest: vec![(self.slope * (x + 60.0) + self.intercept) as f32],
+        }]);
+    }
+
+    fn service_time(&self, _t: &Tuple) -> SimDuration {
+        SimDuration::from_millis(10)
+    }
+
+    fn state_size(&self) -> u64 {
+        24
+    }
+
+    fn snapshot(&self) -> OperatorSnapshot {
+        let mut w = SnapshotWriter::new();
+        w.put_f64(self.slope).put_f64(self.intercept).put_u64(self.n);
+        OperatorSnapshot {
+            data: w.finish(),
+            logical_bytes: 24,
+        }
+    }
+
+    fn restore(&mut self, s: &OperatorSnapshot) -> ms_core::Result<()> {
+        let mut r = SnapshotReader::new(&s.data);
+        self.slope = r.get_f64()?;
+        self.intercept = r.get_f64()?;
+        self.n = r.get_u64()?;
+        Ok(())
+    }
+}
+
+/// Group: merges the camera-side join with the sensor-side
+/// predictions; emits one consolidated record per `GROUP_FANIN`
+/// inputs.
+#[derive(Default)]
+struct GroupOp {
+    acc: f64,
+    count: u64,
+}
+
+const GROUP_FANIN: u64 = 10;
+
+impl Operator for GroupOp {
+    fn kind(&self) -> &'static str {
+        "Group"
+    }
+
+    fn on_tuple(&mut self, _p: PortId, t: Tuple, ctx: &mut dyn OperatorContext) {
+        if let Some(Value::Blob { digest, .. }) = t.fields.first() {
+            self.acc += digest.first().copied().unwrap_or(0.0) as f64;
+            self.count += 1;
+            if self.count % GROUP_FANIN == 0 {
+                let mean = self.acc / GROUP_FANIN as f64;
+                self.acc = 0.0;
+                ctx.emit_all(vec![Value::Blob {
+                    logical_bytes: 2_000,
+                    digest: vec![mean as f32],
+                }]);
+            }
+        }
+    }
+
+    fn service_time(&self, _t: &Tuple) -> SimDuration {
+        SimDuration::from_millis(5)
+    }
+
+    fn state_size(&self) -> u64 {
+        16
+    }
+
+    fn snapshot(&self) -> OperatorSnapshot {
+        let mut w = SnapshotWriter::new();
+        w.put_f64(self.acc).put_u64(self.count);
+        OperatorSnapshot {
+            data: w.finish(),
+            logical_bytes: 16,
+        }
+    }
+
+    fn restore(&mut self, s: &OperatorSnapshot) -> ms_core::Result<()> {
+        let mut r = SnapshotReader::new(&s.data);
+        self.acc = r.get_f64()?;
+        self.count = r.get_u64()?;
+        Ok(())
+    }
+}
+
+/// Crowdedness predictor: blends boarding, arrival and alighting
+/// estimates into the final per-bus crowding forecast.
+#[derive(Default)]
+struct PredictOp {
+    load: f64,
+}
+
+impl Operator for PredictOp {
+    fn kind(&self) -> &'static str {
+        "CrowdPredict"
+    }
+
+    fn on_tuple(&mut self, _p: PortId, t: Tuple, ctx: &mut dyn OperatorContext) {
+        if let Some(Value::Blob { digest, .. }) = t.fields.first() {
+            let delta = digest.first().copied().unwrap_or(0.0) as f64;
+            self.load = (self.load * 0.9 + delta).max(0.0);
+            ctx.emit_all(vec![Value::Blob {
+                logical_bytes: 500,
+                digest: vec![self.load as f32],
+            }]);
+        }
+    }
+
+    fn service_time(&self, _t: &Tuple) -> SimDuration {
+        SimDuration::from_millis(8)
+    }
+
+    fn state_size(&self) -> u64 {
+        8
+    }
+
+    fn snapshot(&self) -> OperatorSnapshot {
+        let mut w = SnapshotWriter::new();
+        w.put_f64(self.load);
+        OperatorSnapshot {
+            data: w.finish(),
+            logical_bytes: 8,
+        }
+    }
+
+    fn restore(&mut self, s: &OperatorSnapshot) -> ms_core::Result<()> {
+        self.load = SnapshotReader::new(&s.data).get_f64()?;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::testctx::TestCtx;
+    use ms_core::graph::{HauAssignment, HauGraph};
+    use ms_core::time::SimTime;
+
+    #[test]
+    fn network_matches_paper_shape() {
+        let app = Bcp::default_app();
+        let qn = app.query_network();
+        assert_eq!(qn.len(), 55);
+        qn.validate().unwrap();
+        // 8 sources: 4 cameras + 4 sensors.
+        assert_eq!(qn.sources().len(), 8);
+        assert_eq!(qn.sinks().len(), 1);
+        let graph = HauGraph::derive(&qn, &HauAssignment::one_per_operator(&qn)).unwrap();
+        assert_eq!(graph.len(), 55);
+    }
+
+    #[test]
+    fn dispatcher_round_robins_over_counters() {
+        let mut d = DispatcherOp::default();
+        let mut ctx = TestCtx::new(4);
+        for seq in 0..4 {
+            let t = Tuple::new(
+                OperatorId(0),
+                seq,
+                SimTime::ZERO,
+                vec![Value::blob(100), Value::Int(0)],
+            );
+            d.on_tuple(PortId(0), t, &mut ctx);
+        }
+        let counter_ports: Vec<u32> = ctx.emitted.iter().map(|(p, _)| p.0).collect();
+        assert_eq!(counter_ports, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn counter_forwards_every_eighth_frame_to_history() {
+        let mut c = CounterOp::default();
+        let mut ctx = TestCtx::new(2);
+        for seq in 0..16 {
+            let t = Tuple::new(
+                OperatorId(0),
+                seq,
+                SimTime::ZERO,
+                vec![
+                    Value::Blob {
+                        logical_bytes: 1_000_000,
+                        digest: vec![0.5, 0.5, 0.5, 3.0],
+                    },
+                    Value::Int(1),
+                ],
+            );
+            c.on_tuple(PortId(0), t, &mut ctx);
+        }
+        let counts = ctx.emitted.iter().filter(|(p, _)| p.0 == 0).count();
+        let history = ctx.emitted.iter().filter(|(p, _)| p.0 == 1).count();
+        assert_eq!(counts, 16, "one count per frame");
+        assert_eq!(history, 2, "every eighth frame forwarded");
+        // History frames keep the full logical size.
+        let (p1, fields) = ctx
+            .emitted
+            .iter()
+            .find(|(p, _)| p.0 == 1)
+            .unwrap();
+        assert_eq!(p1.0, 1);
+        assert_eq!(fields[0].as_blob().unwrap().0, 1_000_000);
+    }
+
+    #[test]
+    fn historical_op_accumulates_and_clears_on_bus() {
+        let mut h = HistoricalOp {
+            interval_secs: 100.0,
+            phase_secs: 0.0,
+            last_cycle: 0,
+            ..HistoricalOp::default()
+        };
+        let mut ctx = TestCtx::new(1);
+        for seq in 0..20 {
+            let t = Tuple::new(
+                OperatorId(0),
+                seq,
+                SimTime::ZERO,
+                vec![Value::Blob {
+                    logical_bytes: 100_000,
+                    digest: vec![0.5; 4],
+                }],
+            );
+            h.on_tuple(PortId(0), t, &mut ctx);
+        }
+        assert_eq!(h.pool.len(), 20);
+        assert!(h.state_size() > 1_900_000);
+        // Mid-interval tick: no bus yet.
+        ctx.now = SimTime::from_secs(60);
+        h.on_timer(&mut ctx);
+        assert_eq!(h.pool.len(), 20);
+        // The scheduled bus passes at t = 100 s.
+        ctx.now = SimTime::from_secs(101);
+        h.on_timer(&mut ctx);
+        assert_eq!(h.pool.len(), 3, "history discarded on bus arrival");
+        assert_eq!(ctx.emitted.len(), 1, "boarding context emitted");
+        assert_eq!(h.buses_seen, 1);
+        // Staying within the same cycle does not clear again.
+        ctx.now = SimTime::from_secs(140);
+        h.on_timer(&mut ctx);
+        assert_eq!(h.buses_seen, 1);
+    }
+
+    #[test]
+    fn join_pairs_streams() {
+        let mut j = JoinOp::default();
+        let mut ctx = TestCtx::new(1);
+        let mk = |v: f32, seq| {
+            Tuple::new(
+                OperatorId(0),
+                seq,
+                SimTime::ZERO,
+                vec![Value::Blob {
+                    logical_bytes: 10,
+                    digest: vec![v],
+                }],
+            )
+        };
+        j.on_tuple(PortId(0), mk(1.0, 0), &mut ctx);
+        assert!(ctx.emitted.is_empty());
+        j.on_tuple(PortId(1), mk(2.0, 0), &mut ctx);
+        assert_eq!(ctx.emitted.len(), 1);
+        let d = ctx.emitted[0].1[0].as_blob().unwrap().1;
+        assert_eq!(d, &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn operator_snapshots_roundtrip() {
+        let mut ctx = TestCtx::new(1);
+        let mut h = HistoricalOp {
+            interval_secs: 100.0,
+            phase_secs: 25.0,
+            last_cycle: 2,
+            ..HistoricalOp::default()
+        };
+        h.on_tuple(
+            PortId(0),
+            Tuple::new(
+                OperatorId(0),
+                0,
+                SimTime::ZERO,
+                vec![Value::Blob {
+                    logical_bytes: 7,
+                    digest: vec![1.0],
+                }],
+            ),
+            &mut ctx,
+        );
+        let snap = h.snapshot();
+        let mut fresh = HistoricalOp::default();
+        fresh.restore(&snap).unwrap();
+        assert_eq!(fresh.pool, h.pool);
+        assert_eq!(fresh.phase_secs, 25.0);
+        assert_eq!(fresh.last_cycle, 2);
+
+        let mut n = NoiseOp::default();
+        n.on_tuple(
+            PortId(0),
+            Tuple::new(
+                OperatorId(0),
+                0,
+                SimTime::ZERO,
+                vec![Value::Blob {
+                    logical_bytes: 7,
+                    digest: vec![0.0, 3.0],
+                }],
+            ),
+            &mut ctx,
+        );
+        let snap = n.snapshot();
+        let mut fresh = NoiseOp::default();
+        fresh.restore(&snap).unwrap();
+        assert_eq!(fresh.window, n.window);
+    }
+}

@@ -1,0 +1,187 @@
+//! K-means clustering — the kernel of TMI (§II-B2).
+//!
+//! "The kernel of TMI is the k-means clustering algorithm. The k-means
+//! operators manipulate data in batches": points pool up during an
+//! N-minute window and are clustered when it closes. This is a real,
+//! deterministic Lloyd's-algorithm implementation (k-means++ style
+//! seeding with a caller-provided random stream).
+
+use ms_sim::DetRng;
+
+/// Result of one clustering run.
+#[derive(Clone, Debug)]
+pub struct KMeansResult {
+    /// Final centroids, `k × dim`.
+    pub centroids: Vec<Vec<f64>>,
+    /// Cluster index per input point.
+    pub assignments: Vec<usize>,
+    /// Sum of squared distances to assigned centroids.
+    pub inertia: f64,
+    /// Iterations executed.
+    pub iterations: usize,
+}
+
+fn sq_dist(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum()
+}
+
+/// Runs Lloyd's algorithm with k-means++ seeding.
+///
+/// Degenerate inputs are handled gracefully: fewer points than `k`
+/// yields one centroid per point; empty input yields an empty result.
+pub fn kmeans(points: &[Vec<f64>], k: usize, max_iters: usize, rng: &mut DetRng) -> KMeansResult {
+    if points.is_empty() || k == 0 {
+        return KMeansResult {
+            centroids: Vec::new(),
+            assignments: Vec::new(),
+            inertia: 0.0,
+            iterations: 0,
+        };
+    }
+    let k = k.min(points.len());
+    let dim = points[0].len();
+
+    // k-means++ seeding.
+    let mut centroids: Vec<Vec<f64>> = Vec::with_capacity(k);
+    let first = rng.range_u64(0, points.len() as u64) as usize;
+    centroids.push(points[first].clone());
+    let mut d2: Vec<f64> = points.iter().map(|p| sq_dist(p, &centroids[0])).collect();
+    while centroids.len() < k {
+        let total: f64 = d2.iter().sum();
+        let next = if total <= 0.0 {
+            rng.range_u64(0, points.len() as u64) as usize
+        } else {
+            let mut target = rng.f64() * total;
+            let mut idx = 0;
+            for (i, &d) in d2.iter().enumerate() {
+                target -= d;
+                if target <= 0.0 {
+                    idx = i;
+                    break;
+                }
+            }
+            idx
+        };
+        centroids.push(points[next].clone());
+        for (i, p) in points.iter().enumerate() {
+            d2[i] = d2[i].min(sq_dist(p, centroids.last().unwrap()));
+        }
+    }
+
+    let mut assignments = vec![0usize; points.len()];
+    let mut iterations = 0;
+    for it in 0..max_iters.max(1) {
+        iterations = it + 1;
+        // Assignment step.
+        let mut changed = false;
+        for (i, p) in points.iter().enumerate() {
+            let best = (0..centroids.len())
+                .min_by(|&a, &b| {
+                    sq_dist(p, &centroids[a])
+                        .partial_cmp(&sq_dist(p, &centroids[b]))
+                        .unwrap_or(std::cmp::Ordering::Equal)
+                })
+                .unwrap_or(0);
+            if assignments[i] != best {
+                assignments[i] = best;
+                changed = true;
+            }
+        }
+        // Update step.
+        let mut sums = vec![vec![0.0; dim]; centroids.len()];
+        let mut counts = vec![0usize; centroids.len()];
+        for (i, p) in points.iter().enumerate() {
+            counts[assignments[i]] += 1;
+            for (s, &x) in sums[assignments[i]].iter_mut().zip(p) {
+                *s += x;
+            }
+        }
+        for (c, (sum, count)) in centroids.iter_mut().zip(sums.iter().zip(&counts)) {
+            if *count > 0 {
+                for (cv, &s) in c.iter_mut().zip(sum) {
+                    *cv = s / *count as f64;
+                }
+            }
+        }
+        if !changed && it > 0 {
+            break;
+        }
+    }
+
+    let inertia = points
+        .iter()
+        .zip(&assignments)
+        .map(|(p, &a)| sq_dist(p, &centroids[a]))
+        .sum();
+    KMeansResult {
+        centroids,
+        assignments,
+        inertia,
+        iterations,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> DetRng {
+        DetRng::new(7)
+    }
+
+    #[test]
+    fn separates_obvious_clusters() {
+        // Two tight blobs far apart.
+        let mut pts = Vec::new();
+        for i in 0..20 {
+            pts.push(vec![0.0 + (i as f64) * 0.01, 0.0]);
+            pts.push(vec![100.0 + (i as f64) * 0.01, 100.0]);
+        }
+        let r = kmeans(&pts, 2, 50, &mut rng());
+        assert_eq!(r.centroids.len(), 2);
+        // All even-indexed points together, all odd-indexed together.
+        let a0 = r.assignments[0];
+        assert!(r.assignments.iter().step_by(2).all(|&a| a == a0));
+        assert!(r.assignments.iter().skip(1).step_by(2).all(|&a| a != a0));
+        assert!(r.inertia < 1.0);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let pts: Vec<Vec<f64>> = (0..50)
+            .map(|i| vec![(i % 7) as f64, (i % 11) as f64])
+            .collect();
+        let a = kmeans(&pts, 3, 20, &mut DetRng::new(3));
+        let b = kmeans(&pts, 3, 20, &mut DetRng::new(3));
+        assert_eq!(a.assignments, b.assignments);
+        assert_eq!(a.inertia, b.inertia);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let r = kmeans(&[], 3, 10, &mut rng());
+        assert!(r.centroids.is_empty());
+        let one = vec![vec![1.0, 2.0]];
+        let r = kmeans(&one, 5, 10, &mut rng());
+        assert_eq!(r.centroids.len(), 1);
+        assert_eq!(r.assignments, vec![0]);
+        let r = kmeans(&one, 0, 10, &mut rng());
+        assert!(r.centroids.is_empty());
+    }
+
+    #[test]
+    fn inertia_never_increases_with_more_clusters() {
+        let pts: Vec<Vec<f64>> = (0..60)
+            .map(|i| vec![(i as f64 * 1.37) % 10.0, (i as f64 * 2.11) % 10.0])
+            .collect();
+        let mut last = f64::MAX;
+        for k in 1..=5 {
+            // Best of 3 seeds to smooth k-means++ randomness.
+            let best = (0..3)
+                .map(|s| kmeans(&pts, k, 30, &mut DetRng::new(s)).inertia)
+                .fold(f64::MAX, f64::min);
+            assert!(best <= last + 1e-9, "k={k} inertia {best} > {last}");
+            last = best;
+        }
+    }
+}

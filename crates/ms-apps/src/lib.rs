@@ -1,0 +1,42 @@
+//! The three case-study applications of the Meteor Shower paper
+//! (§II-B2), implemented against the `ms-runtime` engine:
+//!
+//! * [`tmi`] — Transportation Mode Inference: k-means over phone
+//!   position streams (Fig. 2);
+//! * [`bcp`] — Bus Capacity Prediction: camera + infrared-sensor
+//!   fusion with historical-image state (Fig. 3);
+//! * [`signalguru`] — SignalGuru: traffic-light phase prediction from
+//!   windshield iPhones with motion-filter state (Fig. 4).
+//!
+//! Each application is 55 operators, one HAU per operator, exactly as
+//! in the paper's evaluation. The [`kmeans`], [`svm`] and [`vision`]
+//! modules hold the real computational kernels; [`pool`] is the shared
+//! accumulate-then-discard state shape that produces the Fig. 5
+//! state-size fluctuation.
+
+#![warn(missing_docs)]
+
+pub mod bcp;
+pub mod kmeans;
+pub mod ops;
+pub mod pool;
+pub mod signalguru;
+pub mod svm;
+pub mod tmi;
+pub mod vision;
+
+pub use bcp::{Bcp, BcpConfig};
+pub use signalguru::{SignalGuru, SignalGuruConfig};
+pub use tmi::{Tmi, TmiConfig};
+
+use ms_runtime::AppSpec;
+
+/// The three paper applications by name, for harness loops.
+pub fn by_name(name: &str) -> Option<Box<dyn AppSpec>> {
+    match name {
+        "TMI" | "tmi" => Some(Box::new(Tmi::default_app())),
+        "BCP" | "bcp" => Some(Box::new(Bcp::default_app())),
+        "SignalGuru" | "signalguru" | "sg" => Some(Box::new(SignalGuru::default_app())),
+        _ => None,
+    }
+}

@@ -1,0 +1,163 @@
+//! Pooled operator state.
+//!
+//! All three case-study applications share the same state shape that
+//! drives Fig. 5: a kernel operator accumulates input items (position
+//! batches, camera frames) in an internal pool, then discards them at
+//! a batch boundary (window close, bus arrival, vehicle departure).
+//! [`Pool`] is that structure, with logical-size accounting via the
+//! paper's sampling estimator and codec-based snapshot support.
+
+use ms_core::codec::{SnapshotReader, SnapshotWriter};
+use ms_core::error::Result;
+use ms_core::state::{estimate, StateSize};
+
+/// One pooled item: the feature payload the kernel computes on plus
+/// the logical byte size of the original data.
+#[derive(Clone, Debug, PartialEq)]
+pub struct PoolItem {
+    /// Extracted features (e.g. a frame digest, speed samples).
+    pub features: Vec<f64>,
+    /// Logical bytes of the original payload.
+    pub logical: u64,
+}
+
+impl StateSize for PoolItem {
+    fn state_size(&self) -> u64 {
+        self.logical
+    }
+}
+
+/// An accumulating pool of items.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct Pool {
+    items: Vec<PoolItem>,
+}
+
+impl Pool {
+    /// Creates an empty pool.
+    pub fn new() -> Pool {
+        Pool::default()
+    }
+
+    /// Adds an item.
+    pub fn push(&mut self, features: Vec<f64>, logical: u64) {
+        self.items.push(PoolItem { features, logical });
+    }
+
+    /// The pooled items.
+    pub fn items(&self) -> &[PoolItem] {
+        &self.items
+    }
+
+    /// Feature vectors only (kernel input).
+    pub fn features(&self) -> Vec<Vec<f64>> {
+        self.items.iter().map(|i| i.features.clone()).collect()
+    }
+
+    /// Number of pooled items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if the pool is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Discards everything.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+
+    /// Discards all but the `keep` most recent items (BCP keeps a few
+    /// frames across bus arrivals; SignalGuru keeps the current
+    /// vehicle's tail).
+    pub fn retain_recent(&mut self, keep: usize) {
+        if self.items.len() > keep {
+            self.items.drain(..self.items.len() - keep);
+        }
+    }
+
+    /// Logical size via the precompiler's default 3-point sampling
+    /// estimator (§III-C1).
+    pub fn sampled_size(&self) -> u64 {
+        estimate::sampled_default(&self.items)
+    }
+
+    /// Writes the pool into a snapshot.
+    pub fn encode(&self, w: &mut SnapshotWriter) {
+        w.put_u64(self.items.len() as u64);
+        for item in &self.items {
+            w.put_u64(item.logical);
+            w.put_u64(item.features.len() as u64);
+            for f in &item.features {
+                w.put_f64(*f);
+            }
+        }
+    }
+
+    /// Reads a pool back from a snapshot.
+    pub fn decode(r: &mut SnapshotReader<'_>) -> Result<Pool> {
+        let n = r.get_u64()? as usize;
+        let mut items = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let logical = r.get_u64()?;
+            let k = r.get_u64()? as usize;
+            let mut features = Vec::with_capacity(k.min(1 << 16));
+            for _ in 0..k {
+                features.push(r.get_f64()?);
+            }
+            items.push(PoolItem { features, logical });
+        }
+        Ok(Pool { items })
+    }
+}
+
+impl StateSize for Pool {
+    fn state_size(&self) -> u64 {
+        self.sampled_size()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_tracks_contents() {
+        let mut p = Pool::new();
+        assert_eq!(p.sampled_size(), 0);
+        for _ in 0..10 {
+            p.push(vec![1.0, 2.0], 1000);
+        }
+        assert_eq!(p.sampled_size(), 10_000);
+        p.clear();
+        assert_eq!(p.sampled_size(), 0);
+    }
+
+    #[test]
+    fn retain_recent_keeps_tail() {
+        let mut p = Pool::new();
+        for i in 0..5 {
+            p.push(vec![i as f64], 10);
+        }
+        p.retain_recent(2);
+        assert_eq!(p.len(), 2);
+        assert_eq!(p.items()[0].features, vec![3.0]);
+        p.retain_recent(10);
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let mut p = Pool::new();
+        p.push(vec![1.5, -2.5], 123);
+        p.push(vec![], 7);
+        let mut w = SnapshotWriter::new();
+        p.encode(&mut w);
+        let buf = w.finish();
+        let mut r = SnapshotReader::new(&buf);
+        let q = Pool::decode(&mut r).unwrap();
+        assert_eq!(p, q);
+    }
+}

@@ -1,0 +1,853 @@
+//! SignalGuru (§II-B2, Fig. 4).
+//!
+//! SignalGuru predicts traffic-light transition times from
+//! windshield-mounted iPhone cameras so drivers can cruise through
+//! green lights. The DSPS version aggregates frames from many phones
+//! across ten intersections. The motion-filter (`M`) operators
+//! preserve all frames from a phone while its vehicle sits near an
+//! intersection (10–40 s), making them the dynamic HAUs whose state
+//! swings between ~200 MB and ~2 GB (Fig. 5c).
+//!
+//! Query network (55 operators): `S0..S3` phone aggregation sources →
+//! `D0..D3` dispatchers → `C0..C11` color filters → `A0..A11` shape
+//! filters → `M0..M11` motion filters → `V0..V3` voting → `G0..G3`
+//! groups → `P0,P1` SVM predictors → `K`.
+
+use ms_core::codec::{SnapshotReader, SnapshotWriter};
+use ms_core::graph::QueryNetwork;
+use ms_core::ids::{OperatorId, PortId};
+use ms_core::operator::{Operator, OperatorContext, OperatorSnapshot};
+use ms_core::time::SimDuration;
+use ms_core::tuple::Tuple;
+use ms_core::value::Value;
+use ms_runtime::AppSpec;
+use ms_sim::DetRng;
+
+use crate::ops::SinkOp;
+use crate::pool::Pool;
+use crate::svm::LinearSvm;
+use crate::vision::{color_filter, detect_phase, motion_score, shape_filter, synth_frame, Scene};
+
+/// SignalGuru parameters.
+#[derive(Clone, Copy, Debug)]
+pub struct SignalGuruConfig {
+    /// Frame attempt interval per phone-aggregation source.
+    pub source_tick: SimDuration,
+    /// Logical bytes per frame.
+    pub frame_bytes: u64,
+    /// Traffic-light cycle length (seconds).
+    pub light_cycle_secs: u64,
+    /// Signal offset between adjacent intersections, seconds (a
+    /// coordinated "green wave": onsets nearly coincide, which is what
+    /// lets the motion-filter pools empty together).
+    pub offset_secs: u64,
+}
+
+impl Default for SignalGuruConfig {
+    fn default() -> Self {
+        SignalGuruConfig {
+            source_tick: SimDuration::from_millis(40),
+            frame_bytes: 1_200_000,
+            light_cycle_secs: 30,
+            offset_secs: 2,
+        }
+    }
+}
+
+const N_SOURCES: usize = 4;
+const N_FILTER_CHAINS: usize = 12;
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Role {
+    Source(u32),
+    Dispatcher,
+    Color,
+    Shape,
+    Motion(u32),
+    Voting,
+    Group,
+    Predict,
+    Sink,
+}
+
+/// The SignalGuru application.
+pub struct SignalGuru {
+    cfg: SignalGuruConfig,
+    qn: QueryNetwork,
+    roles: Vec<Role>,
+}
+
+impl SignalGuru {
+    /// Builds SignalGuru with the given configuration.
+    pub fn new(cfg: SignalGuruConfig) -> SignalGuru {
+        let mut qn = QueryNetwork::new();
+        let mut roles = Vec::new();
+        let mut add = |qn: &mut QueryNetwork, name: String, role: Role| -> OperatorId {
+            roles.push(role);
+            qn.add_operator(name)
+        };
+
+        let sources: Vec<_> = (0..N_SOURCES)
+            .map(|i| add(&mut qn, format!("S{i}"), Role::Source(i as u32)))
+            .collect();
+        let disps: Vec<_> = (0..N_SOURCES)
+            .map(|i| add(&mut qn, format!("D{i}"), Role::Dispatcher))
+            .collect();
+        let colors: Vec<_> = (0..N_FILTER_CHAINS)
+            .map(|i| add(&mut qn, format!("C{i}"), Role::Color))
+            .collect();
+        let shapes: Vec<_> = (0..N_FILTER_CHAINS)
+            .map(|i| add(&mut qn, format!("A{i}"), Role::Shape))
+            .collect();
+        let motions: Vec<_> = (0..N_FILTER_CHAINS)
+            .map(|i| add(&mut qn, format!("M{i}"), Role::Motion(i as u32)))
+            .collect();
+        let votes: Vec<_> = (0..4)
+            .map(|i| add(&mut qn, format!("V{i}"), Role::Voting))
+            .collect();
+        let groups: Vec<_> = (0..4)
+            .map(|i| add(&mut qn, format!("G{i}"), Role::Group))
+            .collect();
+        let preds: Vec<_> = (0..2)
+            .map(|i| add(&mut qn, format!("P{i}"), Role::Predict))
+            .collect();
+        let sink = add(&mut qn, "K".to_string(), Role::Sink);
+
+        // Three filter chains per source/dispatcher.
+        for i in 0..N_SOURCES {
+            qn.connect(sources[i], disps[i]).unwrap();
+            for k in 0..3 {
+                let j = i * 3 + k;
+                qn.connect(disps[i], colors[j]).unwrap();
+                qn.connect(colors[j], shapes[j]).unwrap();
+                qn.connect(shapes[j], motions[j]).unwrap();
+                qn.connect(motions[j], votes[i]).unwrap();
+            }
+            qn.connect(votes[i], groups[i]).unwrap();
+            qn.connect(groups[i], preds[i / 2]).unwrap();
+        }
+        for &p in &preds {
+            qn.connect(p, sink).unwrap();
+        }
+        debug_assert_eq!(qn.len(), 55);
+        SignalGuru { cfg, qn, roles }
+    }
+
+    /// Default-configured SignalGuru.
+    pub fn default_app() -> SignalGuru {
+        SignalGuru::new(SignalGuruConfig::default())
+    }
+}
+
+impl AppSpec for SignalGuru {
+    fn name(&self) -> &str {
+        "SignalGuru"
+    }
+
+    fn query_network(&self) -> QueryNetwork {
+        self.qn.clone()
+    }
+
+    fn build_operator(&self, op: OperatorId, _rng: &mut DetRng) -> Box<dyn Operator> {
+        match self.roles[op.index()] {
+            Role::Source(i) => Box::new(PhoneSourceOp {
+                intersection: i,
+                emitted: 0,
+                tick: self.cfg.source_tick,
+                frame_bytes: self.cfg.frame_bytes,
+                cycle: self.cfg.light_cycle_secs as f64,
+                offset: (u64::from(i) * self.cfg.offset_secs) as f64,
+            }),
+            Role::Dispatcher => Box::new(DispatcherOp::default()),
+            Role::Color => Box::new(ColorOp::default()),
+            Role::Shape => Box::new(ShapeOp::default()),
+            Role::Motion(j) => Box::new(MotionOp {
+                cycle_secs: self.cfg.light_cycle_secs as f64,
+                offset_secs: (u64::from(j) / 3 * self.cfg.offset_secs) as f64,
+                ..MotionOp::default()
+            }),
+            Role::Voting => Box::new(VotingOp::default()),
+            Role::Group => Box::new(GroupOp::default()),
+            Role::Predict => Box::new(PredictOp::new()),
+            Role::Sink => Box::new(SinkOp::default()),
+        }
+    }
+}
+
+// ---------------- operators ----------------
+
+/// Phone-aggregation source: frames from the phones currently at one
+/// intersection; the light phase follows a square wave.
+struct PhoneSourceOp {
+    intersection: u32,
+    emitted: u64,
+    tick: SimDuration,
+    frame_bytes: u64,
+    cycle: f64,
+    offset: f64,
+}
+
+impl Operator for PhoneSourceOp {
+    fn kind(&self) -> &'static str {
+        "PhoneSource"
+    }
+
+    fn on_tuple(&mut self, _p: PortId, _t: Tuple, _ctx: &mut dyn OperatorContext) {}
+
+    fn on_timer(&mut self, ctx: &mut dyn OperatorContext) {
+        self.emitted += 1;
+        let t = ctx.now().as_secs_f64() + f64::from(self.intersection) * self.offset;
+        let green = (t % self.cycle) < self.cycle / 2.0;
+        let mut rng = DetRng::new(ctx.rand_u64());
+        let motion = 0.1 + 0.3 * rng.f64();
+        let frame = synth_frame(
+            &mut rng,
+            self.frame_bytes,
+            Scene {
+                people: 0.0,
+                light_phase: if green { 1.0 } else { 0.0 },
+                motion,
+            },
+        );
+        ctx.emit_all(vec![frame, Value::Int(i64::from(self.intersection))]);
+    }
+
+    fn timer_interval(&self) -> Option<SimDuration> {
+        Some(self.tick)
+    }
+
+    fn timer_cost(&self) -> SimDuration {
+        SimDuration::from_millis(3)
+    }
+
+    fn state_size(&self) -> u64 {
+        16
+    }
+
+    fn snapshot(&self) -> OperatorSnapshot {
+        let mut w = SnapshotWriter::new();
+        w.put_u64(self.emitted);
+        OperatorSnapshot {
+            data: w.finish(),
+            logical_bytes: 16,
+        }
+    }
+
+    fn restore(&mut self, s: &OperatorSnapshot) -> ms_core::Result<()> {
+        self.emitted = SnapshotReader::new(&s.data).get_u64()?;
+        Ok(())
+    }
+}
+
+/// Dispatcher: round-robins frames over its three filter chains.
+#[derive(Default)]
+struct DispatcherOp {
+    next: u64,
+}
+
+impl Operator for DispatcherOp {
+    fn kind(&self) -> &'static str {
+        "Dispatcher"
+    }
+
+    fn on_tuple(&mut self, _p: PortId, t: Tuple, ctx: &mut dyn OperatorContext) {
+        let chain = (self.next % 3) as u32;
+        self.next += 1;
+        ctx.emit(PortId(chain), t.fields);
+    }
+
+    fn service_time(&self, _t: &Tuple) -> SimDuration {
+        SimDuration::from_millis(15)
+    }
+
+    fn state_size(&self) -> u64 {
+        8
+    }
+
+    fn snapshot(&self) -> OperatorSnapshot {
+        let mut w = SnapshotWriter::new();
+        w.put_u64(self.next);
+        OperatorSnapshot {
+            data: w.finish(),
+            logical_bytes: 8,
+        }
+    }
+
+    fn restore(&mut self, s: &OperatorSnapshot) -> ms_core::Result<()> {
+        self.next = SnapshotReader::new(&s.data).get_u64()?;
+        Ok(())
+    }
+}
+
+macro_rules! stateless_filter {
+    ($(#[$meta:meta])* $name:ident, $kind:literal, $service_ms:literal, $keep:expr) => {
+        $(#[$meta])*
+        #[derive(Default)]
+        struct $name {
+            processed: u64,
+            dropped: u64,
+        }
+
+        impl Operator for $name {
+            fn kind(&self) -> &'static str {
+                $kind
+            }
+
+            fn on_tuple(&mut self, _p: PortId, t: Tuple, ctx: &mut dyn OperatorContext) {
+                self.processed += 1;
+                let keep: fn(&[f32]) -> bool = $keep;
+                let passes = t
+                    .fields
+                    .first()
+                    .and_then(Value::as_blob)
+                    .map(|(_, d)| keep(d))
+                    .unwrap_or(false);
+                if passes {
+                    ctx.emit_all(t.fields);
+                } else {
+                    self.dropped += 1;
+                }
+            }
+
+            fn service_time(&self, _t: &Tuple) -> SimDuration {
+                SimDuration::from_millis($service_ms)
+            }
+
+            fn state_size(&self) -> u64 {
+                16
+            }
+
+            fn snapshot(&self) -> OperatorSnapshot {
+                let mut w = SnapshotWriter::new();
+                w.put_u64(self.processed).put_u64(self.dropped);
+                OperatorSnapshot {
+                    data: w.finish(),
+                    logical_bytes: 16,
+                }
+            }
+
+            fn restore(&mut self, s: &OperatorSnapshot) -> ms_core::Result<()> {
+                let mut r = SnapshotReader::new(&s.data);
+                self.processed = r.get_u64()?;
+                self.dropped = r.get_u64()?;
+                Ok(())
+            }
+        }
+    };
+}
+
+stateless_filter!(
+    /// Color filter: discards frames with no lit-signal colors.
+    ColorOp,
+    "ColorFilter",
+    80,
+    color_filter
+);
+stateless_filter!(
+    /// Shape filter: discards frames whose bright region is not
+    /// circular enough.
+    ShapeOp,
+    "ShapeFilter",
+    100,
+    shape_filter
+);
+
+/// Motion filter: preserves all frames from the vehicles waiting at
+/// its intersection; emits phase detections; drops the stash when the
+/// light turns green and the queue departs together. SignalGuru's
+/// dynamic HAU (Fig. 5c) — the synchronized departures are what carve
+/// the deep state-size minima application-aware checkpointing hunts.
+#[derive(Default)]
+struct MotionOp {
+    pool: Pool,
+    cycle_secs: f64,
+    offset_secs: f64,
+    last_green: bool,
+    departures: u64,
+}
+
+/// Motion ops re-evaluate the light phase at this cadence.
+const MOTION_TICK_SECS: f64 = 5.0;
+
+impl Operator for MotionOp {
+    fn kind(&self) -> &'static str {
+        "MotionFilter"
+    }
+
+    fn on_tuple(&mut self, _p: PortId, t: Tuple, ctx: &mut dyn OperatorContext) {
+        let Some(Value::Blob {
+            logical_bytes,
+            digest,
+        }) = t.fields.first()
+        else {
+            return;
+        };
+        let motion = self
+            .pool
+            .items()
+            .last()
+            .map(|prev| {
+                let prev_f: Vec<f32> = prev.features.iter().map(|&f| f as f32).collect();
+                motion_score(&prev_f, digest)
+            })
+            .unwrap_or(0.5);
+        let (phase, confidence) = detect_phase(digest, motion);
+        self.pool.push(
+            digest.iter().map(|&f| f64::from(f)).collect(),
+            *logical_bytes,
+        );
+        let intersection = t.fields.get(1).and_then(Value::as_int).unwrap_or(0);
+        ctx.emit_all(vec![
+            Value::Blob {
+                logical_bytes: 1_000,
+                digest: vec![phase as f32, confidence as f32],
+            },
+            Value::Int(intersection),
+        ]);
+    }
+
+    fn on_timer(&mut self, ctx: &mut dyn OperatorContext) {
+        if self.cycle_secs <= 0.0 {
+            return;
+        }
+        let t = ctx.now().as_secs_f64() + self.offset_secs;
+        let green = (t % self.cycle_secs) < self.cycle_secs / 2.0;
+        if green && !self.last_green {
+            // Green onset: the waiting vehicles depart together; their
+            // preserved frames are stale ("until the vehicle carrying
+            // the iPhone device leaves the intersection").
+            self.departures += 1;
+            self.pool.retain_recent(2);
+        }
+        self.last_green = green;
+    }
+
+    fn timer_interval(&self) -> Option<SimDuration> {
+        Some(SimDuration::from_secs(MOTION_TICK_SECS as u64))
+    }
+
+    fn service_time(&self, _t: &Tuple) -> SimDuration {
+        SimDuration::from_millis(180)
+    }
+
+    fn timer_cost(&self) -> SimDuration {
+        SimDuration::from_millis(1)
+    }
+
+    fn state_size(&self) -> u64 {
+        64 + self.pool.sampled_size()
+    }
+
+    fn snapshot(&self) -> OperatorSnapshot {
+        let mut w = SnapshotWriter::new();
+        w.put_u64(self.departures);
+        w.put_f64(self.cycle_secs).put_f64(self.offset_secs);
+        w.put_u64(u64::from(self.last_green));
+        self.pool.encode(&mut w);
+        OperatorSnapshot {
+            data: w.finish(),
+            logical_bytes: self.state_size(),
+        }
+    }
+
+    fn restore(&mut self, s: &OperatorSnapshot) -> ms_core::Result<()> {
+        let mut r = SnapshotReader::new(&s.data);
+        self.departures = r.get_u64()?;
+        self.cycle_secs = r.get_f64()?;
+        self.offset_secs = r.get_f64()?;
+        self.last_green = r.get_u64()? != 0;
+        self.pool = Pool::decode(&mut r)?;
+        Ok(())
+    }
+}
+
+/// Voting: majority vote over a window of phase detections ("selection
+/// thru voting").
+#[derive(Default)]
+struct VotingOp {
+    green_votes: u64,
+    red_votes: u64,
+    window: u64,
+}
+
+const VOTE_WINDOW: u64 = 5;
+
+impl Operator for VotingOp {
+    fn kind(&self) -> &'static str {
+        "Voting"
+    }
+
+    fn on_tuple(&mut self, _p: PortId, t: Tuple, ctx: &mut dyn OperatorContext) {
+        let Some(Value::Blob { digest, .. }) = t.fields.first() else {
+            return;
+        };
+        let phase = digest.first().copied().unwrap_or(0.5);
+        let confidence = digest.get(1).copied().unwrap_or(0.0);
+        if confidence > 0.3 {
+            if phase > 0.5 {
+                self.green_votes += 1;
+            } else {
+                self.red_votes += 1;
+            }
+        }
+        self.window += 1;
+        if self.window >= VOTE_WINDOW {
+            let verdict = if self.green_votes >= self.red_votes {
+                1.0
+            } else {
+                0.0
+            };
+            let strength = (self.green_votes.max(self.red_votes)) as f32
+                / (self.green_votes + self.red_votes).max(1) as f32;
+            self.window = 0;
+            self.green_votes = 0;
+            self.red_votes = 0;
+            let intersection = t.fields.get(1).and_then(Value::as_int).unwrap_or(0);
+            ctx.emit_all(vec![
+                Value::Blob {
+                    logical_bytes: 1_000,
+                    digest: vec![verdict, strength],
+                },
+                Value::Int(intersection),
+            ]);
+        }
+    }
+
+    fn service_time(&self, _t: &Tuple) -> SimDuration {
+        SimDuration::from_millis(5)
+    }
+
+    fn state_size(&self) -> u64 {
+        24
+    }
+
+    fn snapshot(&self) -> OperatorSnapshot {
+        let mut w = SnapshotWriter::new();
+        w.put_u64(self.green_votes)
+            .put_u64(self.red_votes)
+            .put_u64(self.window);
+        OperatorSnapshot {
+            data: w.finish(),
+            logical_bytes: 24,
+        }
+    }
+
+    fn restore(&mut self, s: &OperatorSnapshot) -> ms_core::Result<()> {
+        let mut r = SnapshotReader::new(&s.data);
+        self.green_votes = r.get_u64()?;
+        self.red_votes = r.get_u64()?;
+        self.window = r.get_u64()?;
+        Ok(())
+    }
+}
+
+/// Group: tracks phase-transition timestamps per intersection and
+/// emits transition-interval features.
+#[derive(Default)]
+struct GroupOp {
+    last_phase: f64,
+    last_change_at: f64,
+    emitted: u64,
+}
+
+impl Operator for GroupOp {
+    fn kind(&self) -> &'static str {
+        "Group"
+    }
+
+    fn on_tuple(&mut self, _p: PortId, t: Tuple, ctx: &mut dyn OperatorContext) {
+        let Some(Value::Blob { digest, .. }) = t.fields.first() else {
+            return;
+        };
+        let phase = f64::from(digest.first().copied().unwrap_or(0.5));
+        let now = ctx.now().as_secs_f64();
+        if (phase - self.last_phase).abs() > 0.5 {
+            let interval = now - self.last_change_at;
+            self.last_change_at = now;
+            self.last_phase = phase;
+            self.emitted += 1;
+            let intersection = t.fields.get(1).and_then(Value::as_int).unwrap_or(0);
+            ctx.emit_all(vec![
+                Value::Blob {
+                    logical_bytes: 1_000,
+                    digest: vec![interval as f32, phase as f32],
+                },
+                Value::Int(intersection),
+            ]);
+        }
+    }
+
+    fn service_time(&self, _t: &Tuple) -> SimDuration {
+        SimDuration::from_millis(5)
+    }
+
+    fn state_size(&self) -> u64 {
+        24
+    }
+
+    fn snapshot(&self) -> OperatorSnapshot {
+        let mut w = SnapshotWriter::new();
+        w.put_f64(self.last_phase)
+            .put_f64(self.last_change_at)
+            .put_u64(self.emitted);
+        OperatorSnapshot {
+            data: w.finish(),
+            logical_bytes: 24,
+        }
+    }
+
+    fn restore(&mut self, s: &OperatorSnapshot) -> ms_core::Result<()> {
+        let mut r = SnapshotReader::new(&s.data);
+        self.last_phase = r.get_f64()?;
+        self.last_change_at = r.get_f64()?;
+        self.emitted = r.get_u64()?;
+        Ok(())
+    }
+}
+
+/// SVM predictor: learns whether the next transition comes sooner or
+/// later than the running median and forecasts the transition time.
+struct PredictOp {
+    model: LinearSvm,
+    samples: Vec<(Vec<f64>, i8)>,
+    median_interval: f64,
+    predictions: u64,
+}
+
+impl PredictOp {
+    fn new() -> PredictOp {
+        PredictOp {
+            model: LinearSvm::new(2),
+            samples: Vec::new(),
+            median_interval: 30.0,
+            predictions: 0,
+        }
+    }
+}
+
+const SVM_RETRAIN: usize = 20;
+
+impl Operator for PredictOp {
+    fn kind(&self) -> &'static str {
+        "SvmPredict"
+    }
+
+    fn on_tuple(&mut self, _p: PortId, t: Tuple, ctx: &mut dyn OperatorContext) {
+        let Some(Value::Blob { digest, .. }) = t.fields.first() else {
+            return;
+        };
+        let interval = f64::from(digest.first().copied().unwrap_or(30.0));
+        let phase = f64::from(digest.get(1).copied().unwrap_or(0.0));
+        self.median_interval = 0.95 * self.median_interval + 0.05 * interval;
+        let label: i8 = if interval > self.median_interval { 1 } else { -1 };
+        self.samples.push((vec![interval, phase], label));
+        if self.samples.len() >= SVM_RETRAIN {
+            let (xs, ys): (Vec<_>, Vec<_>) = self.samples.drain(..).unzip();
+            let mut rng = DetRng::new(ctx.rand_u64());
+            self.model.train(&xs, &ys, 3, 0.05, &mut rng);
+        }
+        let longer = self.model.predict(&[interval, phase]);
+        let forecast = self.median_interval * if longer > 0 { 1.2 } else { 0.8 };
+        self.predictions += 1;
+        ctx.emit_all(vec![Value::Blob {
+            logical_bytes: 500,
+            digest: vec![forecast as f32],
+        }]);
+    }
+
+    fn service_time(&self, _t: &Tuple) -> SimDuration {
+        SimDuration::from_millis(20)
+    }
+
+    fn state_size(&self) -> u64 {
+        (self.model.w.len() as u64 + 1) * 8 + self.samples.len() as u64 * 24 + 16
+    }
+
+    fn snapshot(&self) -> OperatorSnapshot {
+        let mut w = SnapshotWriter::new();
+        w.put_u64(self.predictions).put_f64(self.median_interval);
+        w.put_f64(self.model.b);
+        w.put_u64(self.model.w.len() as u64);
+        for v in &self.model.w {
+            w.put_f64(*v);
+        }
+        w.put_u64(self.samples.len() as u64);
+        for (x, y) in &self.samples {
+            w.put_i64(i64::from(*y));
+            w.put_u64(x.len() as u64);
+            for v in x {
+                w.put_f64(*v);
+            }
+        }
+        OperatorSnapshot {
+            data: w.finish(),
+            logical_bytes: self.state_size(),
+        }
+    }
+
+    fn restore(&mut self, s: &OperatorSnapshot) -> ms_core::Result<()> {
+        let mut r = SnapshotReader::new(&s.data);
+        self.predictions = r.get_u64()?;
+        self.median_interval = r.get_f64()?;
+        self.model.b = r.get_f64()?;
+        let n = r.get_u64()? as usize;
+        self.model.w = (0..n).map(|_| r.get_f64()).collect::<ms_core::Result<_>>()?;
+        let k = r.get_u64()? as usize;
+        self.samples.clear();
+        for _ in 0..k {
+            let y = r.get_i64()? as i8;
+            let d = r.get_u64()? as usize;
+            let x = (0..d).map(|_| r.get_f64()).collect::<ms_core::Result<_>>()?;
+            self.samples.push((x, y));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::testctx::TestCtx;
+    use ms_core::graph::{HauAssignment, HauGraph};
+    use ms_core::time::SimTime;
+
+    #[test]
+    fn network_matches_paper_shape() {
+        let app = SignalGuru::default_app();
+        let qn = app.query_network();
+        assert_eq!(qn.len(), 55);
+        qn.validate().unwrap();
+        assert_eq!(qn.sources().len(), N_SOURCES);
+        assert_eq!(qn.sinks().len(), 1);
+        let graph = HauGraph::derive(&qn, &HauAssignment::one_per_operator(&qn)).unwrap();
+        assert_eq!(graph.len(), 55);
+        // Each voting op fans in from three motion filters.
+        let votes: Vec<OperatorId> = qn
+            .operators()
+            .filter(|&o| qn.meta(o).name.starts_with('V'))
+            .collect();
+        for v in votes {
+            assert_eq!(qn.upstream(v).len(), 3);
+        }
+    }
+
+    fn frame_tuple(seq: u64, green: bool, bytes: u64) -> Tuple {
+        let mut rng = DetRng::new(seq + 100);
+        let f = synth_frame(
+            &mut rng,
+            bytes,
+            Scene {
+                people: 0.0,
+                light_phase: if green { 1.0 } else { 0.0 },
+                motion: 0.1,
+            },
+        );
+        Tuple::new(OperatorId(0), seq, SimTime::ZERO, vec![f, Value::Int(2)])
+    }
+
+    #[test]
+    fn motion_filter_clears_at_green_onset() {
+        let mut m = MotionOp {
+            cycle_secs: 40.0,
+            offset_secs: 0.0,
+            ..MotionOp::default()
+        };
+        let mut ctx = TestCtx::new(1);
+        for seq in 0..30 {
+            m.on_tuple(PortId(0), frame_tuple(seq, true, 2_000_000), &mut ctx);
+        }
+        assert_eq!(m.pool.len(), 30);
+        assert!(m.state_size() > 55_000_000, "state {}", m.state_size());
+        assert_eq!(ctx.emitted.len(), 30, "one detection per frame");
+        // Red phase tick (t = 25s into a 40 s cycle): nothing drops.
+        ctx.now = ms_core::time::SimTime::from_secs(25);
+        m.on_timer(&mut ctx);
+        assert_eq!(m.pool.len(), 30);
+        // Green onset (t = 41s): the queue departs together.
+        ctx.now = ms_core::time::SimTime::from_secs(41);
+        m.on_timer(&mut ctx);
+        assert_eq!(m.pool.len(), 2);
+        assert!(m.state_size() < 5_000_000);
+        assert_eq!(m.departures, 1);
+        // Staying green does not clear again.
+        ctx.now = ms_core::time::SimTime::from_secs(46);
+        m.on_timer(&mut ctx);
+        assert_eq!(m.departures, 1);
+    }
+
+    #[test]
+    fn voting_emits_majority() {
+        let mut v = VotingOp::default();
+        let mut ctx = TestCtx::new(1);
+        for seq in 0..VOTE_WINDOW {
+            let t = Tuple::new(
+                OperatorId(0),
+                seq,
+                SimTime::ZERO,
+                vec![
+                    Value::Blob {
+                        logical_bytes: 10,
+                        digest: vec![if seq < 4 { 1.0 } else { 0.0 }, 0.9],
+                    },
+                    Value::Int(1),
+                ],
+            );
+            v.on_tuple(PortId(0), t, &mut ctx);
+        }
+        assert_eq!(ctx.emitted.len(), 1);
+        let d = ctx.emitted[0].1[0].as_blob().unwrap().1;
+        assert_eq!(d[0], 1.0, "green majority");
+        assert!(d[1] >= 0.8);
+    }
+
+    #[test]
+    fn predictor_learns_and_snapshots() {
+        let mut p = PredictOp::new();
+        let mut ctx = TestCtx::new(1);
+        for seq in 0..50 {
+            let t = Tuple::new(
+                OperatorId(0),
+                seq,
+                SimTime::ZERO,
+                vec![
+                    Value::Blob {
+                        logical_bytes: 10,
+                        digest: vec![20.0 + (seq % 20) as f32, (seq % 2) as f32],
+                    },
+                    Value::Int(0),
+                ],
+            );
+            p.on_tuple(PortId(0), t, &mut ctx);
+        }
+        assert_eq!(p.predictions, 50);
+        assert!(p.model.w.iter().any(|&w| w != 0.0), "model trained");
+        let snap = p.snapshot();
+        let mut fresh = PredictOp::new();
+        fresh.restore(&snap).unwrap();
+        assert_eq!(fresh.model, p.model);
+        assert_eq!(fresh.median_interval, p.median_interval);
+        assert_eq!(fresh.samples, p.samples);
+    }
+
+    #[test]
+    fn motion_snapshot_roundtrip() {
+        let mut m = MotionOp {
+            cycle_secs: 40.0,
+            offset_secs: 4.0,
+            last_green: true,
+            ..MotionOp::default()
+        };
+        let mut ctx = TestCtx::new(1);
+        for seq in 0..4 {
+            m.on_tuple(PortId(0), frame_tuple(seq, false, 1000), &mut ctx);
+        }
+        let snap = m.snapshot();
+        assert_eq!(snap.logical_bytes, m.state_size());
+        let mut fresh = MotionOp::default();
+        fresh.restore(&snap).unwrap();
+        assert_eq!(fresh.pool, m.pool);
+        assert_eq!(fresh.cycle_secs, 40.0);
+        assert_eq!(fresh.offset_secs, 4.0);
+        assert!(fresh.last_green);
+    }
+}

@@ -1,0 +1,151 @@
+//! A linear SVM trained with SGD on the hinge loss — the prediction
+//! kernel of SignalGuru's `P` operators (§II-B2: "SVM Prediction
+//! Model" predicting traffic-signal transition times).
+
+use ms_sim::DetRng;
+
+/// A linear classifier `sign(w·x + b)`.
+#[derive(Clone, Debug, PartialEq)]
+pub struct LinearSvm {
+    /// Feature weights.
+    pub w: Vec<f64>,
+    /// Bias.
+    pub b: f64,
+}
+
+impl LinearSvm {
+    /// Zero-initialized model of the given dimensionality.
+    pub fn new(dim: usize) -> LinearSvm {
+        LinearSvm {
+            w: vec![0.0; dim],
+            b: 0.0,
+        }
+    }
+
+    /// The decision value `w·x + b`.
+    pub fn decision(&self, x: &[f64]) -> f64 {
+        self.w.iter().zip(x).map(|(w, x)| w * x).sum::<f64>() + self.b
+    }
+
+    /// The predicted label (`+1` / `-1`).
+    pub fn predict(&self, x: &[f64]) -> i8 {
+        if self.decision(x) >= 0.0 {
+            1
+        } else {
+            -1
+        }
+    }
+
+    /// One SGD epoch of hinge-loss training with L2 regularization,
+    /// visiting samples in a seeded random order. Labels must be ±1.
+    pub fn train_epoch(
+        &mut self,
+        xs: &[Vec<f64>],
+        ys: &[i8],
+        lr: f64,
+        lambda: f64,
+        rng: &mut DetRng,
+    ) {
+        debug_assert_eq!(xs.len(), ys.len());
+        if xs.is_empty() {
+            return;
+        }
+        let mut order: Vec<usize> = (0..xs.len()).collect();
+        // Fisher–Yates with the deterministic stream.
+        for i in (1..order.len()).rev() {
+            let j = rng.range_u64(0, (i + 1) as u64) as usize;
+            order.swap(i, j);
+        }
+        for &i in &order {
+            let y = f64::from(ys[i]);
+            let margin = y * self.decision(&xs[i]);
+            // L2 shrink.
+            for w in &mut self.w {
+                *w *= 1.0 - lr * lambda;
+            }
+            if margin < 1.0 {
+                for (w, &x) in self.w.iter_mut().zip(&xs[i]) {
+                    *w += lr * y * x;
+                }
+                self.b += lr * y;
+            }
+        }
+    }
+
+    /// Trains for `epochs` epochs; returns final training accuracy.
+    pub fn train(
+        &mut self,
+        xs: &[Vec<f64>],
+        ys: &[i8],
+        epochs: usize,
+        lr: f64,
+        rng: &mut DetRng,
+    ) -> f64 {
+        for _ in 0..epochs {
+            self.train_epoch(xs, ys, lr, 1e-4, rng);
+        }
+        self.accuracy(xs, ys)
+    }
+
+    /// Fraction of samples classified correctly.
+    pub fn accuracy(&self, xs: &[Vec<f64>], ys: &[i8]) -> f64 {
+        if xs.is_empty() {
+            return 1.0;
+        }
+        let hits = xs
+            .iter()
+            .zip(ys)
+            .filter(|(x, &y)| self.predict(x) == y)
+            .count();
+        hits as f64 / xs.len() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn linearly_separable(rng: &mut DetRng, n: usize) -> (Vec<Vec<f64>>, Vec<i8>) {
+        // Separating plane: x0 + 2*x1 - 1 > 0.
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..n {
+            let x = vec![rng.range_f64(-2.0, 2.0), rng.range_f64(-2.0, 2.0)];
+            let side = x[0] + 2.0 * x[1] - 1.0;
+            if side.abs() < 0.2 {
+                continue; // margin gap
+            }
+            ys.push(if side > 0.0 { 1 } else { -1 });
+            xs.push(x);
+        }
+        (xs, ys)
+    }
+
+    #[test]
+    fn learns_a_separable_problem() {
+        let mut rng = DetRng::new(5);
+        let (xs, ys) = linearly_separable(&mut rng, 400);
+        let mut m = LinearSvm::new(2);
+        let acc = m.train(&xs, &ys, 30, 0.05, &mut rng);
+        assert!(acc > 0.97, "training accuracy {acc}");
+    }
+
+    #[test]
+    fn deterministic_training() {
+        let mut r1 = DetRng::new(9);
+        let (xs, ys) = linearly_separable(&mut r1, 200);
+        let mut a = LinearSvm::new(2);
+        let mut b = LinearSvm::new(2);
+        a.train(&xs, &ys, 5, 0.1, &mut DetRng::new(1));
+        b.train(&xs, &ys, 5, 0.1, &mut DetRng::new(1));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn empty_training_is_a_noop() {
+        let mut m = LinearSvm::new(3);
+        let acc = m.train(&[], &[], 10, 0.1, &mut DetRng::new(1));
+        assert_eq!(acc, 1.0);
+        assert_eq!(m.w, vec![0.0; 3]);
+    }
+}

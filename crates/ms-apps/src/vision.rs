@@ -1,0 +1,200 @@
+//! Synthetic camera frames and the image-processing primitives used by
+//! BCP and SignalGuru.
+//!
+//! Real deployments carried JPEG frames from bus-stop cameras and
+//! windshield iPhones; the reproduction substitutes *synthetic frames*
+//! (DESIGN.md §2): a [`ms_core::value::Value::Blob`] whose
+//! `logical_bytes` is the full frame size (what every cost model
+//! charges) and whose digest is a small feature vector the kernels
+//! actually compute on. Digest layout:
+//!
+//! | index | meaning |
+//! |-------|---------|
+//! | 0 | brightness (0..1) |
+//! | 1 | red-channel fraction (0..1) |
+//! | 2 | green-channel fraction (0..1) |
+//! | 3 | people present (expected count, ≥0) |
+//! | 4 | scene motion energy (0..1) |
+//! | 5 | traffic-light phase (0 = red, 1 = green, fractional = amber) |
+//! | 6,7 | texture noise |
+
+use ms_core::value::Value;
+use ms_sim::DetRng;
+
+/// Digest length for synthetic frames.
+pub const FRAME_DIGEST_LEN: usize = 8;
+
+/// Scene parameters for frame synthesis.
+#[derive(Clone, Copy, Debug)]
+pub struct Scene {
+    /// Expected number of people in view.
+    pub people: f64,
+    /// Traffic-light phase: 0 red … 1 green.
+    pub light_phase: f64,
+    /// Motion energy (vehicle/camera movement).
+    pub motion: f64,
+}
+
+/// Synthesizes one frame of `logical_bytes` with noisy features.
+pub fn synth_frame(rng: &mut DetRng, logical_bytes: u64, scene: Scene) -> Value {
+    let noise = |rng: &mut DetRng, s: f64| (s + rng.normal(0.0, 0.05)).clamp(0.0, 1.0);
+    let people = (scene.people + rng.normal(0.0, 0.6)).max(0.0);
+    let digest = vec![
+        noise(rng, 0.6) as f32,                       // brightness
+        noise(rng, 0.2 + 0.5 * (1.0 - scene.light_phase)) as f32, // red
+        noise(rng, 0.2 + 0.5 * scene.light_phase) as f32,         // green
+        people as f32,                                // people
+        noise(rng, scene.motion) as f32,              // motion energy
+        scene.light_phase.clamp(0.0, 1.0) as f32,     // phase ground truth
+        rng.f64() as f32,
+        rng.f64() as f32,
+    ];
+    Value::Blob {
+        logical_bytes,
+        digest,
+    }
+}
+
+/// Counts people in a frame digest (BCP's `C` operators): a noisy
+/// round of the people feature.
+pub fn count_people(digest: &[f32]) -> u32 {
+    digest.get(3).map_or(0, |&p| p.round().max(0.0) as u32)
+}
+
+/// Color filter (SignalGuru `C`): true if the frame plausibly contains
+/// a lit traffic signal (strong red or green channel).
+pub fn color_filter(digest: &[f32]) -> bool {
+    let red = digest.get(1).copied().unwrap_or(0.0);
+    let green = digest.get(2).copied().unwrap_or(0.0);
+    red > 0.35 || green > 0.35
+}
+
+/// Shape filter (SignalGuru `A`): true if the bright region is
+/// circular enough — approximated from brightness and texture noise.
+pub fn shape_filter(digest: &[f32]) -> bool {
+    let brightness = digest.first().copied().unwrap_or(0.0);
+    let texture = digest.get(6).copied().unwrap_or(0.5);
+    brightness > 0.3 && texture < 0.9
+}
+
+/// Motion score between two successive frames (SignalGuru `M`):
+/// traffic lights have fixed positions, so low inter-frame motion
+/// means the detection is trustworthy.
+pub fn motion_score(prev: &[f32], cur: &[f32]) -> f64 {
+    let pm = prev.get(4).copied().unwrap_or(0.0) as f64;
+    let cm = cur.get(4).copied().unwrap_or(0.0) as f64;
+    let db = (prev.first().copied().unwrap_or(0.0) - cur.first().copied().unwrap_or(0.0)).abs()
+        as f64;
+    ((pm + cm) / 2.0 + db).min(1.0)
+}
+
+/// Extracts the signal phase estimate from a digest (0 red … 1 green)
+/// with the detection confidence given the motion score.
+pub fn detect_phase(digest: &[f32], motion: f64) -> (f64, f64) {
+    let red = digest.get(1).copied().unwrap_or(0.0) as f64;
+    let green = digest.get(2).copied().unwrap_or(0.0) as f64;
+    let phase = if green + red <= 0.0 {
+        0.5
+    } else {
+        green / (green + red)
+    };
+    let confidence = (1.0 - motion).clamp(0.0, 1.0);
+    (phase, confidence)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> DetRng {
+        DetRng::new(11)
+    }
+
+    #[test]
+    fn frame_has_expected_shape() {
+        let f = synth_frame(
+            &mut rng(),
+            2_000_000,
+            Scene {
+                people: 3.0,
+                light_phase: 1.0,
+                motion: 0.1,
+            },
+        );
+        let (bytes, digest) = f.as_blob().unwrap();
+        assert_eq!(bytes, 2_000_000);
+        assert_eq!(digest.len(), FRAME_DIGEST_LEN);
+    }
+
+    #[test]
+    fn people_counting_tracks_scene() {
+        let mut r = rng();
+        let scene = |p| Scene {
+            people: p,
+            light_phase: 0.5,
+            motion: 0.2,
+        };
+        let avg = |r: &mut DetRng, p: f64| {
+            let n = 200;
+            (0..n)
+                .map(|_| {
+                    let f = synth_frame(r, 1000, scene(p));
+                    count_people(f.as_blob().unwrap().1) as f64
+                })
+                .sum::<f64>()
+                / n as f64
+        };
+        let low = avg(&mut r, 1.0);
+        let high = avg(&mut r, 8.0);
+        assert!((low - 1.0).abs() < 0.6, "low {low}");
+        assert!((high - 8.0).abs() < 0.6, "high {high}");
+    }
+
+    #[test]
+    fn green_frames_read_as_green() {
+        let mut r = rng();
+        let mut green_votes = 0;
+        for _ in 0..100 {
+            let f = synth_frame(
+                &mut r,
+                1000,
+                Scene {
+                    people: 0.0,
+                    light_phase: 1.0,
+                    motion: 0.05,
+                },
+            );
+            let d = f.as_blob().unwrap().1;
+            assert!(color_filter(d));
+            let (phase, conf) = detect_phase(d, 0.05);
+            if phase > 0.5 {
+                green_votes += 1;
+            }
+            assert!(conf > 0.9);
+        }
+        assert!(green_votes > 90);
+    }
+
+    #[test]
+    fn motion_score_is_low_for_static_scenes() {
+        let mut r = rng();
+        let mk = |r: &mut DetRng, motion| {
+            synth_frame(
+                r,
+                1000,
+                Scene {
+                    people: 0.0,
+                    light_phase: 0.5,
+                    motion,
+                },
+            )
+        };
+        let a = mk(&mut r, 0.05);
+        let b = mk(&mut r, 0.05);
+        let static_score = motion_score(a.as_blob().unwrap().1, b.as_blob().unwrap().1);
+        let c = mk(&mut r, 0.9);
+        let d = mk(&mut r, 0.9);
+        let moving_score = motion_score(c.as_blob().unwrap().1, d.as_blob().unwrap().1);
+        assert!(static_score < moving_score);
+    }
+}

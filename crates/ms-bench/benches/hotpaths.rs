@@ -1,0 +1,202 @@
+//! Criterion microbenchmarks over the system's hot paths: snapshot
+//! codec, state-size estimation, the DES kernel, the network and
+//! storage cost models, preservation buffers, the k-means kernel, and
+//! one end-to-end engine ablation (sync vs async snapshotting).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use ms_apps::kmeans::kmeans;
+use ms_apps::pool::Pool;
+use ms_core::codec::{SnapshotReader, SnapshotWriter};
+use ms_core::config::{CheckpointConfig, SchemeKind};
+use ms_core::ids::{NodeId, OperatorId};
+use ms_core::state::estimate;
+use ms_core::time::{SimDuration, SimTime};
+use ms_core::tuple::Tuple;
+use ms_core::value::Value;
+use ms_net::{NetConfig, Network};
+use ms_runtime::{Engine, EngineConfig};
+use ms_sim::{DetRng, EventQueue};
+use ms_storage::{BwDevice, InputPreservationBuffer};
+
+fn tuple_with_blob(seq: u64, bytes: u64) -> Tuple {
+    Tuple::new(
+        OperatorId(1),
+        seq,
+        SimTime::from_micros(seq),
+        vec![Value::Blob {
+            logical_bytes: bytes,
+            digest: vec![1.0, 2.0, 3.0, 4.0],
+        }],
+    )
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    let tuples: Vec<Tuple> = (0..100).map(|i| tuple_with_blob(i, 50_000)).collect();
+    g.throughput(Throughput::Elements(100));
+    g.bench_function("encode_100_tuples", |b| {
+        b.iter(|| {
+            let mut w = SnapshotWriter::new();
+            for t in &tuples {
+                w.put_tuple(t);
+            }
+            w.finish()
+        })
+    });
+    let mut w = SnapshotWriter::new();
+    for t in &tuples {
+        w.put_tuple(t);
+    }
+    let buf = w.finish();
+    g.bench_function("decode_100_tuples", |b| {
+        b.iter(|| {
+            let mut r = SnapshotReader::new(&buf);
+            for _ in 0..100 {
+                r.get_tuple().unwrap();
+            }
+        })
+    });
+    g.finish();
+}
+
+fn bench_state_size(c: &mut Criterion) {
+    let mut g = c.benchmark_group("state_size");
+    let mut pool = Pool::new();
+    for i in 0..10_000 {
+        pool.push(vec![i as f64; 8], 25_000);
+    }
+    // The paper's 3-point sampling estimator vs an exact sum: the
+    // O(1)-vs-O(n) gap is why the precompiler samples.
+    g.bench_function("sampled_10k_pool", |b| b.iter(|| pool.sampled_size()));
+    g.bench_function("exact_10k_pool", |b| {
+        b.iter(|| {
+            pool.items()
+                .iter()
+                .map(ms_core::state::StateSize::state_size)
+                .sum::<u64>()
+        })
+    });
+    g.bench_function("sampled_n=16", |b| {
+        b.iter(|| estimate::sampled(pool.items(), 16))
+    });
+    g.finish();
+}
+
+fn bench_des_kernel(c: &mut Criterion) {
+    let mut g = c.benchmark_group("des");
+    g.throughput(Throughput::Elements(10_000));
+    g.bench_function("schedule_pop_10k", |b| {
+        b.iter_batched(
+            || {
+                let mut rng = DetRng::new(7);
+                let mut q: EventQueue<u64> = EventQueue::new();
+                for i in 0..10_000u64 {
+                    q.schedule(SimTime::from_micros(rng.range_u64(0, 1 << 30)), i);
+                }
+                q
+            },
+            |mut q| while q.pop().is_some() {},
+            BatchSize::SmallInput,
+        )
+    });
+    g.bench_function("detrng_u64", |b| {
+        let mut r = DetRng::new(3);
+        b.iter(|| r.next_u64())
+    });
+    g.finish();
+}
+
+fn bench_cost_models(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cost_models");
+    g.bench_function("network_send", |b| {
+        let mut net = Network::new(NetConfig::default(), 56);
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 100;
+            net.send(
+                SimTime::from_micros(t),
+                NodeId((t % 55) as u32),
+                NodeId(((t + 7) % 55) as u32),
+                50_000,
+            )
+        })
+    });
+    g.bench_function("device_access", |b| {
+        let mut d = BwDevice::new(7_500_000, SimDuration::from_millis(5));
+        let mut t = 0u64;
+        b.iter(|| {
+            t += 1000;
+            d.access(SimTime::from_micros(t), 1_000_000)
+        })
+    });
+    g.finish();
+}
+
+fn bench_preservation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("preservation");
+    g.bench_function("push_trim_cycle", |b| {
+        b.iter_batched(
+            || InputPreservationBuffer::new(50_000_000),
+            |mut buf| {
+                for seq in 0..500u64 {
+                    buf.push(tuple_with_blob(seq, 100_000));
+                }
+                buf.trim_below(400);
+                buf
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    g.finish();
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kmeans");
+    let mut rng = DetRng::new(5);
+    let pts: Vec<Vec<f64>> = (0..1_000)
+        .map(|_| (0..8).map(|_| rng.range_f64(0.0, 30.0)).collect())
+        .collect();
+    g.bench_function("cluster_1000x8_k4", |b| {
+        b.iter(|| kmeans(&pts, 4, 10, &mut DetRng::new(11)))
+    });
+    g.finish();
+}
+
+/// Ablation: synchronous (MS-src) vs asynchronous (MS-src+ap) snapshot
+/// handling on the same tiny deployment — the design choice §III-B
+/// motivates, measured as wall-clock of the whole simulated run.
+fn bench_engine_ablation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("engine");
+    g.sample_size(10);
+    for (label, scheme) in [
+        ("sync_ckpt_run", SchemeKind::MsSrc),
+        ("async_ckpt_run", SchemeKind::MsSrcAp),
+    ] {
+        g.bench_function(label, |b| {
+            b.iter(|| {
+                let app = ms_apps::Tmi::with_window_minutes(1);
+                let cfg = EngineConfig {
+                    scheme,
+                    ckpt: CheckpointConfig::n_in_window(2, SimDuration::from_secs(60)),
+                    warmup: SimDuration::from_secs(5),
+                    measure: SimDuration::from_secs(60),
+                    ..EngineConfig::default()
+                };
+                Engine::new(app, cfg).unwrap().run().throughput()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_codec,
+    bench_state_size,
+    bench_des_kernel,
+    bench_cost_models,
+    bench_preservation,
+    bench_kmeans,
+    bench_engine_ablation
+);
+criterion_main!(benches);

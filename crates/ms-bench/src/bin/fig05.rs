@@ -1,0 +1,74 @@
+//! Fig. 5 — fluctuation in state size.
+//!
+//! Runs each application with checkpointing disabled and dumps the
+//! aggregate state-size trace: TMI for N = 1, 5, 10 over 20 minutes,
+//! BCP over 20 minutes, SignalGuru over 14 minutes. Prints the trace
+//! (downsampled), the local minima count, and the min/avg/max envelope
+//! against the paper's.
+
+use ms_apps::{Bcp, SignalGuru, Tmi};
+use ms_bench::paper::FIG5_STATE_MB;
+use ms_core::config::SchemeKind;
+use ms_core::time::SimDuration;
+use ms_runtime::{Engine, EngineConfig, RunReport};
+
+fn run_trace(app_label: &str, minutes: u64, build: impl FnOnce() -> RunReport) {
+    let report = build();
+    let trace = &report.state_trace;
+    println!("--- {app_label} ({minutes} minutes) ---");
+    // Downsampled series (one point per ~30 s) for plotting.
+    let points = trace.points();
+    let step = (points.len() / (minutes as usize * 2)).max(1);
+    print!("trace MB:");
+    for (i, (t, v)) in points.iter().enumerate() {
+        if i % step == 0 {
+            print!(" {:.0}:{:.0}", t.as_secs_f64(), v / 1e6);
+        }
+    }
+    println!();
+    let minima = trace.local_minima().len();
+    println!(
+        "min {:.0} MB | avg {:.0} MB | max {:.0} MB | {} local minima",
+        trace.min() / 1e6,
+        trace.mean() / 1e6,
+        trace.max() / 1e6,
+        minima
+    );
+}
+
+fn cfg(minutes: u64) -> EngineConfig {
+    EngineConfig {
+        scheme: SchemeKind::MsSrcAp,
+        ckpt: ms_core::config::CheckpointConfig::n_in_window(
+            0,
+            SimDuration::from_secs(600),
+        ),
+        warmup: SimDuration::from_secs(0),
+        measure: SimDuration::from_secs(minutes * 60),
+        ..EngineConfig::default()
+    }
+}
+
+fn main() {
+    println!("Fig. 5: state-size fluctuation (checkpointing disabled)\n");
+    for n in [1u64, 5, 10] {
+        run_trace(&format!("TMI N={n}"), 20, || {
+            Engine::new(Tmi::with_window_minutes(n), cfg(20))
+                .expect("valid app")
+                .run()
+        });
+    }
+    run_trace("BCP", 20, || {
+        Engine::new(Bcp::default_app(), cfg(20)).expect("valid app").run()
+    });
+    run_trace("SignalGuru", 14, || {
+        Engine::new(SignalGuru::default_app(), cfg(14))
+            .expect("valid app")
+            .run()
+    });
+
+    println!("\npaper envelopes (Fig. 5):");
+    for (app, [min, avg, max]) in FIG5_STATE_MB {
+        println!("  {app:<12} min ~{min:.0} MB, avg ~{avg:.0} MB, max ~{max:.0} MB");
+    }
+}

@@ -1,0 +1,43 @@
+//! Fig. 13 — normalized latency vs. number of checkpoints.
+//!
+//! Same sweep as Fig. 12; prints mean end-to-end latency normalized to
+//! the baseline at zero checkpoints.
+
+use ms_bench::runner::{cell, sweep_app, APPS};
+use ms_core::config::SchemeKind;
+
+fn main() {
+    let ns: Vec<u32> = (0..=8).collect();
+    println!("Fig. 13: normalized latency vs checkpoints in 10 minutes\n");
+    for app in APPS {
+        let cells = sweep_app(app, &ns, 42);
+        let base0 = cell(&cells, SchemeKind::Baseline, 0)
+            .expect("baseline cell")
+            .latency;
+        println!("--- {app} (normalized to baseline @ 0 checkpoints) ---");
+        print!("{:<14}", "scheme \\ n");
+        for n in &ns {
+            print!(" {n:>6}");
+        }
+        println!();
+        for scheme in SchemeKind::ALL {
+            print!("{:<14}", scheme.label());
+            for n in &ns {
+                let c = cell(&cells, scheme, *n).expect("cell");
+                print!(" {:>6.2}", c.latency / base0);
+            }
+            println!();
+        }
+        let ms0 = cell(&cells, SchemeKind::MsSrc, 0).unwrap().latency;
+        println!(
+            "source preservation @0 ckpts: latency x{:.2} (paper: -9% on average => x0.91)",
+            ms0 / base0
+        );
+        let aa3 = cell(&cells, SchemeKind::MsSrcApAa, 3).unwrap().latency;
+        let b3 = cell(&cells, SchemeKind::Baseline, 3).unwrap().latency;
+        println!(
+            "MS-src+ap+aa vs baseline @3 ckpts: x{:.2} (paper: -57% => x0.43)\n",
+            aa3 / b3
+        );
+    }
+}

@@ -1,0 +1,52 @@
+//! The paper's headline claim (§I): "All three techniques together
+//! enable Meteor Shower to improve throughput by 226% and lower
+//! latency by 57% vs prior state-of-the-art", measured at 3
+//! checkpoints per 10-minute window, averaged over the three
+//! applications.
+
+use ms_bench::paper::{HEADLINE_LATENCY_REDUCTION_PCT, HEADLINE_THROUGHPUT_GAIN_PCT};
+use ms_bench::runner::{cell, sweep_app, APPS};
+use ms_core::config::SchemeKind;
+
+fn main() {
+    println!("Headline: MS-src+ap+aa vs baseline at 3 checkpoints / 10 min\n");
+    let ns = [3u32];
+    let mut thr_ratios = Vec::new();
+    let mut lat_ratios = Vec::new();
+    println!(
+        "{:<12} {:>14} {:>14} {:>10} {:>10}",
+        "app", "base thr", "aa thr", "thr gain", "lat ratio"
+    );
+    for app in APPS {
+        let cells = sweep_app(app, &ns, 42);
+        let b = cell(&cells, SchemeKind::Baseline, 3).expect("baseline");
+        let a = cell(&cells, SchemeKind::MsSrcApAa, 3).expect("aa");
+        let thr = a.throughput / b.throughput;
+        let lat = a.latency / b.latency;
+        thr_ratios.push(thr);
+        lat_ratios.push(lat);
+        println!(
+            "{:<12} {:>14.1} {:>14.1} {:>9.0}% {:>10.2}",
+            app,
+            b.throughput,
+            a.throughput,
+            (thr - 1.0) * 100.0,
+            lat
+        );
+    }
+    let thr_avg = thr_ratios.iter().sum::<f64>() / thr_ratios.len() as f64;
+    let lat_avg = lat_ratios.iter().sum::<f64>() / lat_ratios.len() as f64;
+    println!(
+        "\nmeasured: +{:.0}% throughput, {:.0}% latency reduction",
+        (thr_avg - 1.0) * 100.0,
+        (1.0 - lat_avg) * 100.0
+    );
+    println!(
+        "paper:    +{HEADLINE_THROUGHPUT_GAIN_PCT:.0}% throughput, {HEADLINE_LATENCY_REDUCTION_PCT:.0}% latency reduction"
+    );
+    println!(
+        "\n(the paper's +226% average is dominated by SignalGuru's baseline\n\
+         collapsing under checkpoint disk traffic; in this reproduction the\n\
+         collapse appears at 6-8 checkpoints per window — see fig12)"
+    );
+}

@@ -1,0 +1,51 @@
+//! Quick calibration smoke run: one app, all four schemes, printing
+//! the headline quantities. Not a paper figure; a development aid.
+//!
+//! Usage: `smoke [APP] [N_CHECKPOINTS] [MEASURE_SECS]`
+
+use ms_bench::{paper_config, run_app};
+use ms_core::config::SchemeKind;
+use ms_core::time::SimDuration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let app = args.get(1).map(String::as_str).unwrap_or("TMI").to_string();
+    let n: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let secs: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(600);
+
+    println!("app={app} checkpoints={n} window={secs}s");
+    println!(
+        "{:<14} {:>12} {:>10} {:>10} {:>8} {:>12} {:>10}",
+        "scheme", "thr(tup/s)", "lat(ms)", "maxlat(s)", "ckpts", "ckpt-t(s)", "state(MB)"
+    );
+    for scheme in SchemeKind::ALL {
+        let mut cfg = paper_config(scheme, n, 42);
+        cfg.measure = SimDuration::from_secs(secs);
+        let t0 = std::time::Instant::now();
+        let report = run_app(&app, cfg);
+        let completed: Vec<_> = report.completed_checkpoints().collect();
+        let slowest = completed
+            .iter()
+            .filter_map(|c| c.slowest_individual())
+            .map(|i| i.duration().as_secs_f64())
+            .fold(0.0f64, f64::max);
+        let total_t = completed
+            .iter()
+            .filter_map(|c| c.total_time())
+            .map(|d| d.as_secs_f64())
+            .fold(0.0f64, f64::max);
+        println!(
+            "{:<14} {:>12.1} {:>10.1} {:>10.2} {:>4}/{:<3} {:>5.1}/{:<5.1} {:>10.1}  [{:.2?} wall]",
+            scheme.label(),
+            report.throughput(),
+            report.mean_latency().as_secs_f64() * 1e3,
+            report.metrics.latency.max().as_secs_f64(),
+            completed.len(),
+            report.checkpoints.len(),
+            slowest,
+            total_t,
+            report.state_trace.mean() / 1e6,
+            t0.elapsed(),
+        );
+    }
+}

@@ -1,0 +1,14 @@
+//! Experiment harness for the Meteor Shower reproduction.
+//!
+//! One binary per table/figure of the paper (see DESIGN.md §5):
+//! `table1`, `fig05`, `fig10_11`, `fig12`, `fig13`, `fig14`, `fig15`,
+//! `fig16`, `headline`. Each prints the paper's reported values next
+//! to the reproduction's measured values so the shape comparison is
+//! immediate. Shared plumbing lives here.
+
+#![warn(missing_docs)]
+
+pub mod paper;
+pub mod runner;
+
+pub use runner::{app_by_name, paper_config, run_app, APPS};

@@ -1,0 +1,108 @@
+//! Shared experiment plumbing.
+
+use ms_apps::{Bcp, SignalGuru, Tmi};
+use ms_core::config::{CheckpointConfig, SchemeKind};
+use ms_core::time::SimDuration;
+use ms_runtime::{Engine, EngineConfig, RunReport};
+
+/// The three paper applications, in the order the figures use.
+pub const APPS: [&str; 3] = ["TMI", "BCP", "SignalGuru"];
+
+/// Builds one of the paper applications by name.
+///
+/// (Returns concrete types through a closure-style dispatch because
+/// `Engine` is generic over the app.)
+pub fn app_by_name(name: &str) -> Option<Box<dyn ms_runtime::AppSpec>> {
+    ms_apps::by_name(name)
+}
+
+/// The engine configuration used for the paper-reproduction runs:
+/// 10-minute measurement window, 90 s warmup (also the aa profiling
+/// window), scheme + checkpoint count as per the Fig. 12/13 sweep.
+pub fn paper_config(scheme: SchemeKind, n_checkpoints: u32, seed: u64) -> EngineConfig {
+    let window = SimDuration::from_secs(600);
+    let ckpt = CheckpointConfig::n_in_window(n_checkpoints, window);
+    // Warmup must cover at least one checkpoint period so the
+    // application-aware profiling phase observes a full state-size
+    // cycle before execution starts.
+    let warmup = if ckpt.disabled() {
+        SimDuration::from_secs(90)
+    } else {
+        SimDuration::from_secs(90).max(ckpt.period.mul_f64(1.2))
+    };
+    EngineConfig {
+        scheme,
+        ckpt,
+        warmup,
+        measure: window,
+        seed,
+        ..EngineConfig::default()
+    }
+}
+
+/// Runs an application (by name) under the given configuration.
+pub fn run_app(name: &str, cfg: EngineConfig) -> RunReport {
+    match name {
+        "TMI" => Engine::new(Tmi::default_app(), cfg).expect("valid app").run(),
+        "BCP" => Engine::new(Bcp::default_app(), cfg).expect("valid app").run(),
+        "SignalGuru" => Engine::new(SignalGuru::default_app(), cfg)
+            .expect("valid app")
+            .run(),
+        other => panic!("unknown app {other}"),
+    }
+}
+
+/// One cell of the Fig. 12/13 sweep.
+#[derive(Clone, Debug)]
+pub struct SweepCell {
+    /// Application.
+    pub app: &'static str,
+    /// Scheme.
+    pub scheme: SchemeKind,
+    /// Checkpoints in the 10-minute window.
+    pub n: u32,
+    /// Measured throughput (processed tuples/second).
+    pub throughput: f64,
+    /// Measured mean end-to-end latency (seconds).
+    pub latency: f64,
+}
+
+/// Runs the full Fig. 12/13 sweep for one application:
+/// 4 schemes × `ns` checkpoint counts.
+pub fn sweep_app(app: &'static str, ns: &[u32], seed: u64) -> Vec<SweepCell> {
+    let mut out = Vec::new();
+    for &scheme in &SchemeKind::ALL {
+        for &n in ns {
+            let report = run_app(app, paper_config(scheme, n, seed));
+            out.push(SweepCell {
+                app,
+                scheme,
+                n,
+                throughput: report.throughput(),
+                latency: report.mean_latency().as_secs_f64(),
+            });
+        }
+    }
+    out
+}
+
+/// Looks up a sweep cell.
+pub fn cell<'a>(
+    cells: &'a [SweepCell],
+    scheme: SchemeKind,
+    n: u32,
+) -> Option<&'a SweepCell> {
+    cells.iter().find(|c| c.scheme == scheme && c.n == n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_sets_window() {
+        let c = paper_config(SchemeKind::MsSrc, 3, 1);
+        assert_eq!(c.measure, SimDuration::from_secs(600));
+        assert_eq!(c.ckpt.period, SimDuration::from_secs(200));
+    }
+}

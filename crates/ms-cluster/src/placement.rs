@@ -1,0 +1,157 @@
+//! HAU-to-node placement.
+//!
+//! The paper's evaluation places 55 HAUs on 55 compute nodes with one
+//! node reserved for shared storage + controller. On failure, "the
+//! HAUs on those failed nodes are restarted on other healthy nodes" —
+//! the restart target picker chooses the healthy node currently
+//! hosting the fewest HAUs.
+
+use ms_core::error::{Error, Result};
+use ms_core::ids::{HauId, NodeId};
+
+use crate::Cluster;
+
+/// A mutable HAU → node mapping.
+#[derive(Clone, Debug)]
+pub struct Placement {
+    node_of_hau: Vec<NodeId>,
+    reserved: Vec<NodeId>,
+}
+
+impl Placement {
+    /// Round-robin placement of `haus` HAUs over all nodes except the
+    /// `reserved` ones (e.g. the storage/controller node).
+    pub fn round_robin(haus: usize, cluster: &Cluster, reserved: &[NodeId]) -> Result<Placement> {
+        let candidates: Vec<NodeId> = (0..cluster.len())
+            .map(|i| NodeId(i as u32))
+            .filter(|n| !reserved.contains(n))
+            .collect();
+        if candidates.is_empty() {
+            return Err(Error::Config("no placeable nodes".into()));
+        }
+        let node_of_hau = (0..haus).map(|i| candidates[i % candidates.len()]).collect();
+        Ok(Placement {
+            node_of_hau,
+            reserved: reserved.to_vec(),
+        })
+    }
+
+    /// The node currently hosting an HAU.
+    pub fn node_of(&self, hau: HauId) -> NodeId {
+        self.node_of_hau[hau.index()]
+    }
+
+    /// Number of placed HAUs.
+    pub fn len(&self) -> usize {
+        self.node_of_hau.len()
+    }
+
+    /// True if nothing is placed.
+    pub fn is_empty(&self) -> bool {
+        self.node_of_hau.is_empty()
+    }
+
+    /// HAUs hosted on a node.
+    pub fn haus_on(&self, node: NodeId) -> Vec<HauId> {
+        self.node_of_hau
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| **n == node)
+            .map(|(i, _)| HauId(i as u32))
+            .collect()
+    }
+
+    /// Moves an HAU to a new node (restart after failure).
+    pub fn migrate(&mut self, hau: HauId, to: NodeId) {
+        self.node_of_hau[hau.index()] = to;
+    }
+
+    /// Picks the healthy, non-reserved node hosting the fewest HAUs.
+    pub fn least_loaded_healthy(&self, cluster: &Cluster) -> Option<NodeId> {
+        let mut best: Option<(usize, NodeId)> = None;
+        for i in 0..cluster.len() {
+            let node = NodeId(i as u32);
+            if !cluster.up(node) || self.reserved.contains(&node) {
+                continue;
+            }
+            let load = self.node_of_hau.iter().filter(|&&n| n == node).count();
+            if best.is_none_or(|(l, _)| load < l) {
+                best = Some((load, node));
+            }
+        }
+        best.map(|(_, n)| n)
+    }
+
+    /// Restarts every HAU whose host is down onto healthy nodes,
+    /// balancing by load. Returns the migrated HAUs or an error if no
+    /// healthy node remains.
+    pub fn migrate_failed(&mut self, cluster: &Cluster) -> Result<Vec<(HauId, NodeId)>> {
+        let mut moved = Vec::new();
+        for i in 0..self.node_of_hau.len() {
+            let hau = HauId(i as u32);
+            if !cluster.up(self.node_of(hau)) {
+                let target = self
+                    .least_loaded_healthy(cluster)
+                    .ok_or_else(|| Error::Recovery("no healthy node for restart".into()))?;
+                self.node_of_hau[i] = target;
+                moved.push((hau, target));
+            }
+        }
+        Ok(moved)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ClusterConfig;
+
+    fn cluster(n: usize) -> Cluster {
+        Cluster::new(ClusterConfig {
+            nodes: n,
+            nodes_per_rack: 4,
+            ..ClusterConfig::default()
+        })
+    }
+
+    #[test]
+    fn round_robin_skips_reserved() {
+        let c = cluster(4);
+        let p = Placement::round_robin(6, &c, &[NodeId(0)]).unwrap();
+        for i in 0..6 {
+            assert_ne!(p.node_of(HauId(i)), NodeId(0));
+        }
+        // 6 HAUs over 3 nodes: 2 each.
+        for n in 1..4u32 {
+            assert_eq!(p.haus_on(NodeId(n)).len(), 2);
+        }
+    }
+
+    #[test]
+    fn no_placeable_nodes_is_an_error() {
+        let c = cluster(1);
+        assert!(Placement::round_robin(1, &c, &[NodeId(0)]).is_err());
+    }
+
+    #[test]
+    fn migrate_failed_moves_to_least_loaded() {
+        let mut c = cluster(4);
+        let mut p = Placement::round_robin(3, &c, &[NodeId(0)]).unwrap();
+        // HAU 0 on node1, HAU 1 on node2, HAU 2 on node3.
+        c.set_up(NodeId(1), false);
+        let moved = p.migrate_failed(&c).unwrap();
+        assert_eq!(moved.len(), 1);
+        assert_eq!(moved[0].0, HauId(0));
+        assert_ne!(p.node_of(HauId(0)), NodeId(1));
+        assert!(c.up(p.node_of(HauId(0))));
+    }
+
+    #[test]
+    fn all_nodes_down_is_an_error() {
+        let mut c = cluster(2);
+        let mut p = Placement::round_robin(1, &c, &[]).unwrap();
+        c.set_up(NodeId(0), false);
+        c.set_up(NodeId(1), false);
+        assert!(p.migrate_failed(&c).is_err());
+    }
+}

@@ -1,0 +1,48 @@
+//! Error type shared across the workspace.
+
+use std::fmt;
+
+/// Result alias using [`Error`].
+pub type Result<T> = std::result::Result<T, Error>;
+
+/// Errors produced by the Meteor Shower crates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A snapshot could not be decoded (truncated/corrupt data or a
+    /// tag mismatch).
+    Codec(String),
+    /// A query network is malformed (cycle, dangling edge, duplicate
+    /// connection, …).
+    Graph(String),
+    /// An experiment or cluster configuration is invalid.
+    Config(String),
+    /// A recovery step failed (e.g. no complete checkpoint exists).
+    Recovery(String),
+    /// A component was addressed that does not exist.
+    NotFound(String),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Codec(m) => write!(f, "codec error: {m}"),
+            Error::Graph(m) => write!(f, "query network error: {m}"),
+            Error::Config(m) => write!(f, "configuration error: {m}"),
+            Error::Recovery(m) => write!(f, "recovery error: {m}"),
+            Error::NotFound(m) => write!(f, "not found: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_category() {
+        assert!(Error::Codec("x".into()).to_string().contains("codec"));
+        assert!(Error::Graph("x".into()).to_string().contains("query network"));
+    }
+}

@@ -1,0 +1,48 @@
+//! Core vocabulary for the Meteor Shower reproduction.
+//!
+//! This crate defines the types shared by every layer of the system:
+//!
+//! * [`time`] — virtual time ([`SimTime`], [`SimDuration`]) used by the
+//!   discrete-event substrate and by all cost models.
+//! * [`ids`] — strongly-typed identifiers for operators, HAUs, nodes,
+//!   racks and checkpoint epochs.
+//! * [`value`] / [`tuple`] — the data model: tuples carry typed fields
+//!   plus a *logical size* so experiments can run at paper scale
+//!   (hundreds of megabytes of operator state) without allocating that
+//!   memory for real.
+//! * [`token`] — the checkpoint tokens that give Meteor Shower its name.
+//! * [`state`] — the [`StateSize`](state::StateSize) trait mirroring the
+//!   paper's precompiler-generated `state_size()` functions (§III-C1).
+//! * [`operator`] — the operator abstraction executed by stream process
+//!   engines.
+//! * [`graph`] — query networks (directed acyclic operator graphs) and
+//!   HAU-level views of them.
+//! * [`config`] — cluster, scheme and experiment configuration.
+//! * [`metrics`] — counters, histograms and time series used by the
+//!   evaluation harness.
+//!
+//! The paper: H. Wang, L.-S. Peh, E. Koukoumidis, S. Tao, M. C. Chan,
+//! *"Meteor Shower: A Reliable Stream Processing System for Commodity
+//! Data Centers"*, IEEE IPDPS 2012.
+
+#![warn(missing_docs)]
+
+pub mod codec;
+pub mod config;
+pub mod error;
+pub mod graph;
+pub mod ids;
+pub mod metrics;
+pub mod operator;
+pub mod state;
+pub mod time;
+pub mod token;
+pub mod tuple;
+pub mod value;
+
+pub use error::{Error, Result};
+pub use ids::{EpochId, HauId, NodeId, OperatorId, PortId, RackId};
+pub use time::{SimDuration, SimTime};
+pub use token::Token;
+pub use tuple::{StreamItem, Tuple};
+pub use value::Value;

@@ -1,0 +1,352 @@
+//! Measurement primitives used by the evaluation harness.
+//!
+//! The paper reports: end-to-end throughput (tuples per 10-minute
+//! window) and average latency (Figs. 12–13), instantaneous latency
+//! time series (Fig. 15), checkpoint-time and recovery-time breakdowns
+//! (Figs. 14, 16), and state-size traces (Fig. 5). These types collect
+//! exactly those quantities.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::{SimDuration, SimTime};
+
+/// Streaming summary of a sequence of duration samples.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct DurationStats {
+    count: u64,
+    sum_us: u128,
+    min_us: u64,
+    max_us: u64,
+}
+
+impl DurationStats {
+    /// Creates an empty summary.
+    pub fn new() -> DurationStats {
+        DurationStats {
+            count: 0,
+            sum_us: 0,
+            min_us: u64::MAX,
+            max_us: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, d: SimDuration) {
+        let us = d.as_micros();
+        self.count += 1;
+        self.sum_us += us as u128;
+        self.min_us = self.min_us.min(us);
+        self.max_us = self.max_us.max(us);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean sample, or zero when empty.
+    pub fn mean(&self) -> SimDuration {
+        if self.count == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_micros((self.sum_us / self.count as u128) as u64)
+        }
+    }
+
+    /// Smallest sample, or zero when empty.
+    pub fn min(&self) -> SimDuration {
+        if self.count == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_micros(self.min_us)
+        }
+    }
+
+    /// Largest sample.
+    pub fn max(&self) -> SimDuration {
+        SimDuration::from_micros(self.max_us)
+    }
+}
+
+/// A `(time, value)` series, e.g. state size over time (Fig. 5) or
+/// instantaneous latency during a checkpoint (Fig. 15).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    pub fn new() -> TimeSeries {
+        TimeSeries::default()
+    }
+
+    /// Appends a point; times must be non-decreasing (enforced in debug
+    /// builds).
+    pub fn push(&mut self, t: SimTime, v: f64) {
+        debug_assert!(
+            self.points.last().map_or(true, |&(pt, _)| pt <= t),
+            "time series must be appended in order"
+        );
+        self.points.push((t, v));
+    }
+
+    /// The recorded points.
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Number of points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if no points were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Mean of the values (time-unweighted), or zero when empty.
+    pub fn mean(&self) -> f64 {
+        if self.points.is_empty() {
+            0.0
+        } else {
+            self.points.iter().map(|&(_, v)| v).sum::<f64>() / self.points.len() as f64
+        }
+    }
+
+    /// Largest value, or zero when empty.
+    pub fn max(&self) -> f64 {
+        self.points.iter().map(|&(_, v)| v).fold(0.0, f64::max)
+    }
+
+    /// Smallest value, or zero when empty.
+    pub fn min(&self) -> f64 {
+        if self.points.is_empty() {
+            0.0
+        } else {
+            self.points.iter().map(|&(_, v)| v).fold(f64::MAX, f64::min)
+        }
+    }
+
+    /// Indices of strict local minima (the red circles of Fig. 5).
+    /// Plateau edges are treated as minima if both strict neighbours
+    /// are larger.
+    pub fn local_minima(&self) -> Vec<usize> {
+        let v = &self.points;
+        let n = v.len();
+        let mut out = Vec::new();
+        for i in 0..n {
+            let left_greater = (0..i).rev().find(|&j| v[j].1 != v[i].1);
+            let right_greater = (i + 1..n).find(|&j| v[j].1 != v[i].1);
+            let left_ok = left_greater.is_some_and(|j| v[j].1 > v[i].1);
+            let right_ok = right_greater.is_some_and(|j| v[j].1 > v[i].1);
+            if left_ok && right_ok {
+                out.push(i);
+            }
+        }
+        out
+    }
+
+    /// Linear interpolation between recorded points; clamps outside the
+    /// domain. Matches the paper's reconstruction of state size between
+    /// turning points (§III-C2).
+    pub fn interpolate(&self, t: SimTime) -> f64 {
+        match self.points.as_slice() {
+            [] => 0.0,
+            [(_, v)] => *v,
+            points => {
+                if t <= points[0].0 {
+                    return points[0].1;
+                }
+                if t >= points[points.len() - 1].0 {
+                    return points[points.len() - 1].1;
+                }
+                let i = points.partition_point(|&(pt, _)| pt <= t);
+                let (t0, v0) = points[i - 1];
+                let (t1, v1) = points[i];
+                if t1 == t0 {
+                    return v1;
+                }
+                let frac = (t.as_micros() - t0.as_micros()) as f64
+                    / (t1.as_micros() - t0.as_micros()) as f64;
+                v0 + (v1 - v0) * frac
+            }
+        }
+    }
+}
+
+/// A labelled breakdown of one measured duration into phases — used for
+/// checkpoint time (token collection / disk I/O / other, Fig. 14) and
+/// recovery time (reconnection / disk I/O / other, Fig. 16).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Breakdown {
+    parts: Vec<(String, SimDuration)>,
+}
+
+impl Breakdown {
+    /// Creates an empty breakdown.
+    pub fn new() -> Breakdown {
+        Breakdown::default()
+    }
+
+    /// Adds `d` to the phase named `label` (creating it if new).
+    pub fn add(&mut self, label: &str, d: SimDuration) {
+        if let Some(entry) = self.parts.iter_mut().find(|(l, _)| l == label) {
+            entry.1 += d;
+        } else {
+            self.parts.push((label.to_string(), d));
+        }
+    }
+
+    /// The phase durations, in insertion order.
+    pub fn parts(&self) -> &[(String, SimDuration)] {
+        &self.parts
+    }
+
+    /// Duration of one phase (zero if absent).
+    pub fn get(&self, label: &str) -> SimDuration {
+        self.parts
+            .iter()
+            .find(|(l, _)| l == label)
+            .map_or(SimDuration::ZERO, |(_, d)| *d)
+    }
+
+    /// Sum over all phases.
+    pub fn total(&self) -> SimDuration {
+        self.parts
+            .iter()
+            .fold(SimDuration::ZERO, |acc, (_, d)| acc + *d)
+    }
+}
+
+/// Throughput/latency aggregates for one run.
+///
+/// Throughput counts every data tuple *processed* by the application
+/// ("the number of tuples processed by the application within a
+/// 10-minute time window", §IV-A). Latency is end-to-end: it is
+/// sampled wherever a tuple is terminally consumed — at a sink, or at
+/// an absorbing operator (e.g. a windowed kernel pooling its input).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RunMetrics {
+    /// Data tuples processed by any operator inside the window.
+    pub processed_tuples: u64,
+    /// Tuples terminally consumed (sink arrivals + absorptions).
+    pub sink_tuples: u64,
+    /// Source-to-consumption latency of those tuples.
+    pub latency: DurationStats,
+    /// Instantaneous latency samples `(arrival time, latency seconds)`.
+    pub instantaneous_latency: TimeSeries,
+}
+
+impl RunMetrics {
+    /// Creates empty metrics.
+    pub fn new() -> RunMetrics {
+        RunMetrics::default()
+    }
+
+    /// Counts one processed data tuple.
+    pub fn record_processed(&mut self) {
+        self.processed_tuples += 1;
+    }
+
+    /// Records one terminal consumption (sink arrival or absorption).
+    pub fn record_sink_arrival(&mut self, now: SimTime, emitted: SimTime) {
+        self.record_completion(now, now.saturating_since(emitted));
+    }
+
+    /// Records a terminal consumption observed at `observed_at` with an
+    /// explicit end-to-end latency. `observed_at` must be non-decreasing
+    /// across calls (use the observation instant, not the completion
+    /// instant, when several workers finish out of order).
+    pub fn record_completion(&mut self, observed_at: SimTime, latency: SimDuration) {
+        self.sink_tuples += 1;
+        self.latency.record(latency);
+        self.instantaneous_latency
+            .push(observed_at, latency.as_secs_f64());
+    }
+
+    /// Throughput over a window, in processed tuples/second.
+    pub fn throughput(&self, window: SimDuration) -> f64 {
+        if window == SimDuration::ZERO {
+            0.0
+        } else {
+            self.processed_tuples as f64 / window.as_secs_f64()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duration_stats() {
+        let mut s = DurationStats::new();
+        assert_eq!(s.mean(), SimDuration::ZERO);
+        s.record(SimDuration::from_secs(1));
+        s.record(SimDuration::from_secs(3));
+        assert_eq!(s.count(), 2);
+        assert_eq!(s.mean(), SimDuration::from_secs(2));
+        assert_eq!(s.min(), SimDuration::from_secs(1));
+        assert_eq!(s.max(), SimDuration::from_secs(3));
+    }
+
+    #[test]
+    fn time_series_stats_and_minima() {
+        let mut ts = TimeSeries::new();
+        let vals = [5.0, 3.0, 4.0, 1.0, 2.0];
+        for (i, v) in vals.iter().enumerate() {
+            ts.push(SimTime::from_secs(i as u64), *v);
+        }
+        assert_eq!(ts.mean(), 3.0);
+        assert_eq!(ts.max(), 5.0);
+        assert_eq!(ts.min(), 1.0);
+        assert_eq!(ts.local_minima(), vec![1, 3]);
+    }
+
+    #[test]
+    fn minima_handles_plateaus() {
+        let mut ts = TimeSeries::new();
+        for (i, v) in [3.0, 1.0, 1.0, 2.0].iter().enumerate() {
+            ts.push(SimTime::from_secs(i as u64), *v);
+        }
+        // Both plateau points qualify: nearest differing neighbours are
+        // larger on each side.
+        assert_eq!(ts.local_minima(), vec![1, 2]);
+    }
+
+    #[test]
+    fn interpolation() {
+        let mut ts = TimeSeries::new();
+        ts.push(SimTime::from_secs(0), 0.0);
+        ts.push(SimTime::from_secs(10), 100.0);
+        assert_eq!(ts.interpolate(SimTime::from_secs(5)), 50.0);
+        assert_eq!(ts.interpolate(SimTime::from_secs(20)), 100.0);
+        assert_eq!(ts.interpolate(SimTime::ZERO), 0.0);
+    }
+
+    #[test]
+    fn breakdown_accumulates() {
+        let mut b = Breakdown::new();
+        b.add("disk", SimDuration::from_secs(2));
+        b.add("disk", SimDuration::from_secs(1));
+        b.add("other", SimDuration::from_secs(4));
+        assert_eq!(b.get("disk"), SimDuration::from_secs(3));
+        assert_eq!(b.total(), SimDuration::from_secs(7));
+        assert_eq!(b.get("missing"), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn run_metrics_throughput() {
+        let mut m = RunMetrics::new();
+        m.record_processed();
+        m.record_processed();
+        m.record_sink_arrival(SimTime::from_secs(2), SimTime::from_secs(1));
+        m.record_sink_arrival(SimTime::from_secs(4), SimTime::from_secs(1));
+        assert_eq!(m.sink_tuples, 2);
+        assert_eq!(m.processed_tuples, 2);
+        assert_eq!(m.throughput(SimDuration::from_secs(2)), 1.0);
+        assert_eq!(m.latency.mean(), SimDuration::from_secs(2));
+    }
+}

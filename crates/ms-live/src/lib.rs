@@ -1,0 +1,43 @@
+//! A real-thread mini-runtime for the Meteor Shower token protocol.
+//!
+//! The evaluation-scale experiments run on the deterministic simulator
+//! (`ms-runtime`); this crate complements them by executing the *same
+//! operator trait* on actual OS threads connected by bounded crossbeam
+//! channels, with checkpoint tokens riding the dataflow — evidence
+//! that the protocol is a runnable system and not only a simulation.
+//!
+//! Scope: the MS-src propagating-token protocol (§III-A) with source
+//! preservation against an in-memory stable store, asynchronous
+//! snapshot persistence on a writer thread (the COW child's role), and
+//! checkpoint/replay recovery. One operator per HAU; acyclic graphs.
+//!
+//! ```
+//! use ms_live::{LiveRuntime, LiveStorage, CountSource, Summer};
+//! use ms_core::graph::QueryNetwork;
+//! use std::sync::Arc;
+//!
+//! let mut qn = QueryNetwork::new();
+//! let s = qn.add_operator("src");
+//! let k = qn.add_operator("sink");
+//! qn.connect(s, k).unwrap();
+//!
+//! let storage = Arc::new(LiveStorage::new(2));
+//! let mut rt = LiveRuntime::start(&qn, storage.clone(), |op| {
+//!     if op == s {
+//!         Box::new(CountSource::new(100))
+//!     } else {
+//!         Box::new(Summer::default())
+//!     }
+//! });
+//! rt.checkpoint();                  // tokens trickle down the graph
+//! let final_ops = rt.finish();      // drain and join
+//! assert!(final_ops.len() == 2);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod protocol;
+pub mod storage;
+
+pub use protocol::{CountSource, LiveRuntime, Summer};
+pub use storage::{LiveHauCheckpoint, LiveStorage};

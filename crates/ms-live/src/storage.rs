@@ -1,0 +1,151 @@
+//! In-memory stable store for the live runtime.
+//!
+//! Plays the role of the shared storage system: individual checkpoints
+//! land here (written by a background persister thread, standing in
+//! for the forked COW child), source logs are appended *before* tuples
+//! are sent (source preservation), and application-checkpoint
+//! completeness is tracked exactly as in `ms-storage`.
+
+use std::collections::HashMap;
+
+use ms_core::ids::{EpochId, OperatorId};
+use ms_core::operator::OperatorSnapshot;
+use ms_core::tuple::Tuple;
+use parking_lot::Mutex;
+
+/// One HAU's checkpoint in the live store.
+#[derive(Clone, Debug)]
+pub struct LiveHauCheckpoint {
+    /// The operator snapshot.
+    pub snapshot: OperatorSnapshot,
+    /// Next emission sequence at the boundary.
+    pub next_seq: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    ckpts: HashMap<(EpochId, OperatorId), LiveHauCheckpoint>,
+    /// Per-source preserved tuples.
+    logs: HashMap<OperatorId, Vec<Tuple>>,
+    /// Per-source `(epoch, first seq after the boundary)` marks.
+    marks: HashMap<OperatorId, Vec<(EpochId, u64)>>,
+    complete: Vec<EpochId>,
+}
+
+/// The shared store.
+pub struct LiveStorage {
+    expected: usize,
+    inner: Mutex<Inner>,
+}
+
+impl LiveStorage {
+    /// Creates a store expecting `expected` individual checkpoints per
+    /// application checkpoint.
+    pub fn new(expected: usize) -> LiveStorage {
+        LiveStorage {
+            expected,
+            inner: Mutex::new(Inner::default()),
+        }
+    }
+
+    /// Persists one individual checkpoint; returns `true` if `epoch`
+    /// is now complete.
+    pub fn put_checkpoint(
+        &self,
+        epoch: EpochId,
+        op: OperatorId,
+        ckpt: LiveHauCheckpoint,
+    ) -> bool {
+        let mut g = self.inner.lock();
+        g.ckpts.insert((epoch, op), ckpt);
+        let n = g.ckpts.keys().filter(|(e, _)| *e == epoch).count();
+        let complete = n == self.expected;
+        if complete && !g.complete.contains(&epoch) {
+            g.complete.push(epoch);
+        }
+        complete
+    }
+
+    /// Reads one individual checkpoint.
+    pub fn get_checkpoint(&self, epoch: EpochId, op: OperatorId) -> Option<LiveHauCheckpoint> {
+        self.inner.lock().ckpts.get(&(epoch, op)).cloned()
+    }
+
+    /// The most recent complete application checkpoint.
+    pub fn latest_complete(&self) -> Option<EpochId> {
+        self.inner.lock().complete.iter().max().copied()
+    }
+
+    /// Source preservation: appends an emitted tuple (called *before*
+    /// the tuple is sent downstream).
+    pub fn append_log(&self, source: OperatorId, t: Tuple) {
+        self.inner.lock().logs.entry(source).or_default().push(t);
+    }
+
+    /// Records a source's stream boundary for an epoch.
+    pub fn mark_epoch(&self, source: OperatorId, epoch: EpochId, next_seq: u64) {
+        self.inner
+            .lock()
+            .marks
+            .entry(source)
+            .or_default()
+            .push((epoch, next_seq));
+    }
+
+    /// The tuples a source must replay to recover from `epoch`.
+    pub fn replay_from(&self, source: OperatorId, epoch: EpochId) -> Vec<Tuple> {
+        let g = self.inner.lock();
+        let from_seq = g
+            .marks
+            .get(&source)
+            .and_then(|ms| ms.iter().find(|(e, _)| *e == epoch))
+            .map(|&(_, s)| s)
+            .unwrap_or(0);
+        g.logs
+            .get(&source)
+            .map(|log| log.iter().filter(|t| t.seq >= from_seq).cloned().collect())
+            .unwrap_or_default()
+    }
+
+    /// Total preserved tuples across sources (reporting).
+    pub fn preserved_tuples(&self) -> usize {
+        self.inner.lock().logs.values().map(Vec::len).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ms_core::time::SimTime;
+
+    fn tup(seq: u64) -> Tuple {
+        Tuple::new(OperatorId(0), seq, SimTime::ZERO, vec![])
+    }
+
+    #[test]
+    fn completeness() {
+        let s = LiveStorage::new(2);
+        let ck = LiveHauCheckpoint {
+            snapshot: OperatorSnapshot::empty(),
+            next_seq: 0,
+        };
+        assert!(!s.put_checkpoint(EpochId(1), OperatorId(0), ck.clone()));
+        assert_eq!(s.latest_complete(), None);
+        assert!(s.put_checkpoint(EpochId(1), OperatorId(1), ck));
+        assert_eq!(s.latest_complete(), Some(EpochId(1)));
+    }
+
+    #[test]
+    fn log_replay_respects_marks() {
+        let s = LiveStorage::new(1);
+        for seq in 0..10 {
+            s.append_log(OperatorId(0), tup(seq));
+        }
+        s.mark_epoch(OperatorId(0), EpochId(1), 6);
+        let replay = s.replay_from(OperatorId(0), EpochId(1));
+        assert_eq!(replay.len(), 4);
+        assert_eq!(replay[0].seq, 6);
+        // Unknown epoch: everything.
+        assert_eq!(s.replay_from(OperatorId(0), EpochId(9)).len(), 10);
+    }
+}

@@ -1,0 +1,66 @@
+//! The application interface consumed by the engine.
+
+use ms_core::graph::{HauAssignment, QueryNetwork};
+use ms_core::ids::OperatorId;
+use ms_core::operator::Operator;
+use ms_sim::DetRng;
+
+/// A stream application: a query network plus a factory for its
+/// operators. `ms-apps` implements this for TMI, BCP and SignalGuru;
+/// tests implement it with small synthetic pipelines.
+pub trait AppSpec {
+    /// Application name (used in reports).
+    fn name(&self) -> &str;
+
+    /// The operator-level query network.
+    fn query_network(&self) -> QueryNetwork;
+
+    /// Groups operators into HAUs. The default — the paper's
+    /// evaluation setup — is one HAU per operator.
+    fn hau_assignment(&self, qn: &QueryNetwork) -> HauAssignment {
+        HauAssignment::one_per_operator(qn)
+    }
+
+    /// Instantiates the operator `op`. `rng` is a deterministic stream
+    /// forked per operator for any randomized initialization.
+    fn build_operator(&self, op: OperatorId, rng: &mut DetRng) -> Box<dyn Operator>;
+}
+
+/// An [`AppSpec`] assembled from closures — convenient for tests and
+/// examples.
+pub struct SimpleApp<F> {
+    name: String,
+    qn: QueryNetwork,
+    factory: F,
+}
+
+impl<F> SimpleApp<F>
+where
+    F: Fn(OperatorId, &mut DetRng) -> Box<dyn Operator>,
+{
+    /// Creates an app from a prebuilt network and an operator factory.
+    pub fn new(name: impl Into<String>, qn: QueryNetwork, factory: F) -> SimpleApp<F> {
+        SimpleApp {
+            name: name.into(),
+            qn,
+            factory,
+        }
+    }
+}
+
+impl<F> AppSpec for SimpleApp<F>
+where
+    F: Fn(OperatorId, &mut DetRng) -> Box<dyn Operator>,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn query_network(&self) -> QueryNetwork {
+        self.qn.clone()
+    }
+
+    fn build_operator(&self, op: OperatorId, rng: &mut DetRng) -> Box<dyn Operator> {
+        (self.factory)(op, rng)
+    }
+}

@@ -1,0 +1,100 @@
+//! The engine's event alphabet.
+//!
+//! Every event that targets an HAU carries the engine *generation*
+//! (`gen`): a counter bumped on each global recovery. Events created
+//! before a failure are stale afterwards and are dropped by the
+//! handlers, which models the fail-stop discard of in-flight work.
+
+use ms_core::ids::{EpochId, HauId, NodeId};
+use ms_core::tuple::StreamItem;
+
+/// Engine events.
+#[derive(Debug)]
+pub enum Event {
+    /// A stream item arrives at `to` from upstream neighbour `from`.
+    Deliver {
+        /// Sending HAU.
+        from: HauId,
+        /// Receiving HAU.
+        to: HauId,
+        /// The tuple or token.
+        item: StreamItem,
+        /// Generation stamp (stale-delivery guard).
+        gen: u32,
+    },
+    /// The HAU should process the next queued item.
+    ProcessNext {
+        /// The HAU.
+        hau: HauId,
+        /// Generation stamp.
+        gen: u32,
+    },
+    /// A periodic operator timer fires (source emission, window close).
+    OpTimer {
+        /// The HAU.
+        hau: HauId,
+        /// Index of the operator within the HAU.
+        op_idx: usize,
+        /// Generation stamp.
+        gen: u32,
+    },
+    /// Controller: initiate the next application checkpoint (Meteor
+    /// Shower schemes).
+    PeriodTick,
+    /// Baseline: this HAU's independent periodic checkpoint is due.
+    BaselineCkptDue {
+        /// The HAU.
+        hau: HauId,
+        /// Generation stamp.
+        gen: u32,
+    },
+    /// A checkpoint command/token-wave front reaches an HAU (MS-src:
+    /// sent to source HAUs only; MS-src+ap/+aa: broadcast to all).
+    CommandArrive {
+        /// The HAU.
+        hau: HauId,
+        /// Epoch being checkpointed.
+        epoch: EpochId,
+        /// Generation stamp.
+        gen: u32,
+    },
+    /// The HAU's snapshot write to stable storage completed.
+    WriteDone {
+        /// The HAU.
+        hau: HauId,
+        /// Epoch.
+        epoch: EpochId,
+        /// Generation stamp.
+        gen: u32,
+    },
+    /// Baseline: a downstream neighbour acknowledges it checkpointed
+    /// tuples from `producer` below `watermark`; the receiving HAU
+    /// trims its input-preservation buffer.
+    AckArrive {
+        /// The upstream HAU that preserved the tuples.
+        to: HauId,
+        /// The downstream HAU that checkpointed.
+        from: HauId,
+        /// Per-producer watermarks: tuples with `seq <` this are safe.
+        watermarks: Vec<(ms_core::ids::OperatorId, u64)>,
+        /// Generation stamp.
+        gen: u32,
+    },
+    /// Observability: sample every HAU's state size (drives Fig. 5
+    /// traces, aa profiling, and the aa controller).
+    StateSample,
+    /// Inject a failure of the given nodes.
+    InjectFailure {
+        /// Nodes to kill.
+        nodes: Vec<NodeId>,
+    },
+    /// The controller's ping loop notices the failure.
+    DetectFailure,
+    /// All recovery phases complete: restore state and resume.
+    RecoveryDone {
+        /// Epoch restored from.
+        epoch: EpochId,
+    },
+    /// Measurement window opens (warmup/profiling ends).
+    EndWarmup,
+}

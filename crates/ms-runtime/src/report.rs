@@ -1,0 +1,221 @@
+//! Run reports: everything the evaluation harness needs to regenerate
+//! the paper's tables and figures from one engine run.
+
+use ms_core::config::SchemeKind;
+use ms_core::ids::{EpochId, HauId};
+use ms_core::metrics::{Breakdown, RunMetrics, TimeSeries};
+use ms_core::time::{SimDuration, SimTime};
+
+/// Phase labels used in checkpoint breakdowns (Fig. 14).
+pub mod ckpt_phase {
+    /// Waiting for tokens from all upstream neighbours.
+    pub const TOKEN_COLLECTION: &str = "token collection";
+    /// Writing the checkpointed state to stable storage (includes
+    /// queueing at the contended storage device).
+    pub const DISK_IO: &str = "disk I/O";
+    /// State serialization and process creation.
+    pub const OTHER: &str = "other";
+}
+
+/// Phase labels used in recovery breakdowns (Fig. 16).
+pub mod rec_phase {
+    /// Reading HAU state back from shared storage.
+    pub const DISK_IO: &str = "disk I/O";
+    /// The controller reconnecting recovered HAUs.
+    pub const RECONNECTION: &str = "reconnection";
+    /// Operator reload and state deserialization.
+    pub const OTHER: &str = "other";
+}
+
+/// Timing of one HAU's individual checkpoint within an epoch.
+#[derive(Clone, Debug)]
+pub struct IndividualCheckpoint {
+    /// The HAU.
+    pub hau: HauId,
+    /// When the checkpoint command/token wave reached this HAU (command
+    /// arrival for MS-src+ap; first-token processing for MS-src).
+    pub started_at: SimTime,
+    /// When tokens from all upstream neighbours had been collected and
+    /// the snapshot began.
+    pub tokens_done_at: SimTime,
+    /// When the state had been serialized (and, for async schemes, the
+    /// COW child created).
+    pub serialized_at: SimTime,
+    /// When the write to stable storage completed.
+    pub stored_at: SimTime,
+    /// Logical bytes written.
+    pub bytes: u64,
+}
+
+impl IndividualCheckpoint {
+    /// This HAU's checkpoint duration.
+    pub fn duration(&self) -> SimDuration {
+        self.stored_at.saturating_since(self.started_at)
+    }
+
+    /// The Fig. 14 three-way breakdown for this HAU.
+    pub fn breakdown(&self) -> Breakdown {
+        let mut b = Breakdown::new();
+        b.add(
+            ckpt_phase::TOKEN_COLLECTION,
+            self.tokens_done_at.saturating_since(self.started_at),
+        );
+        b.add(
+            ckpt_phase::OTHER,
+            self.serialized_at.saturating_since(self.tokens_done_at),
+        );
+        b.add(
+            ckpt_phase::DISK_IO,
+            self.stored_at.saturating_since(self.serialized_at),
+        );
+        b
+    }
+}
+
+/// One application-wide checkpoint.
+#[derive(Clone, Debug)]
+pub struct CheckpointRecord {
+    /// Epoch id.
+    pub epoch: EpochId,
+    /// When the checkpoint was initiated (controller command or source
+    /// token emission).
+    pub initiated_at: SimTime,
+    /// When the last individual checkpoint completed.
+    pub completed_at: Option<SimTime>,
+    /// Per-HAU timings.
+    pub individuals: Vec<IndividualCheckpoint>,
+}
+
+impl CheckpointRecord {
+    /// Total checkpoint time (initiation → last store), if complete.
+    pub fn total_time(&self) -> Option<SimDuration> {
+        self.completed_at
+            .map(|c| c.saturating_since(self.initiated_at))
+    }
+
+    /// The slowest individual checkpoint — what Fig. 14 reports for the
+    /// parallel schemes ("we only measure the time consumed by the
+    /// slowest individual checkpoint").
+    pub fn slowest_individual(&self) -> Option<&IndividualCheckpoint> {
+        self.individuals
+            .iter()
+            .max_by_key(|i| i.duration().as_micros())
+    }
+
+    /// Total logical bytes checkpointed across HAUs.
+    pub fn total_bytes(&self) -> u64 {
+        self.individuals.iter().map(|i| i.bytes).sum()
+    }
+}
+
+/// One recovery episode (Fig. 16).
+#[derive(Clone, Debug)]
+pub struct RecoveryRecord {
+    /// When the failure was injected.
+    pub failed_at: SimTime,
+    /// When the controller detected it.
+    pub detected_at: SimTime,
+    /// When every HAU was restored and reconnected.
+    pub recovered_at: SimTime,
+    /// The epoch restored from.
+    pub epoch: EpochId,
+    /// Phase breakdown of the slowest recovery path.
+    pub breakdown: Breakdown,
+    /// Number of HAUs restarted.
+    pub restarted_haus: usize,
+    /// Tuples replayed by source HAUs after restoration.
+    pub replayed_tuples: u64,
+}
+
+impl RecoveryRecord {
+    /// Recovery time as the paper defines it: restart through
+    /// reconnection (detection latency not included).
+    pub fn recovery_time(&self) -> SimDuration {
+        self.recovered_at.saturating_since(self.detected_at)
+    }
+}
+
+/// Everything measured during one engine run.
+#[derive(Clone, Debug)]
+pub struct RunReport {
+    /// The scheme that ran.
+    pub scheme: SchemeKind,
+    /// Application name.
+    pub app: String,
+    /// Sink throughput/latency metrics over the measurement window.
+    pub metrics: RunMetrics,
+    /// The measurement window.
+    pub window: SimDuration,
+    /// Every application checkpoint taken.
+    pub checkpoints: Vec<CheckpointRecord>,
+    /// Recovery episodes (empty if no failure was injected).
+    pub recoveries: Vec<RecoveryRecord>,
+    /// Aggregate state size over time (all HAUs).
+    pub state_trace: TimeSeries,
+    /// Per-HAU state-size traces (dynamic-HAU analysis, Fig. 5).
+    pub hau_state_traces: Vec<(HauId, TimeSeries)>,
+    /// Tuples emitted by source operators during measurement.
+    pub source_tuples: u64,
+    /// Logical bytes preserved by the scheme's preservation mechanism
+    /// over the run (source logs or input-preservation buffers).
+    pub preserved_bytes: u64,
+    /// Final snapshot of every operator at the end of the run (state
+    /// inspection for tests and examples).
+    pub final_snapshots: Vec<(ms_core::ids::OperatorId, ms_core::operator::OperatorSnapshot)>,
+}
+
+impl RunReport {
+    /// Sink throughput in tuples/second over the measurement window.
+    pub fn throughput(&self) -> f64 {
+        self.metrics.throughput(self.window)
+    }
+
+    /// Mean end-to-end latency.
+    pub fn mean_latency(&self) -> SimDuration {
+        self.metrics.latency.mean()
+    }
+
+    /// Completed checkpoints only.
+    pub fn completed_checkpoints(&self) -> impl Iterator<Item = &CheckpointRecord> {
+        self.checkpoints.iter().filter(|c| c.completed_at.is_some())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn indiv(hau: u32, start: u64, tokens: u64, ser: u64, stored: u64) -> IndividualCheckpoint {
+        IndividualCheckpoint {
+            hau: HauId(hau),
+            started_at: SimTime::from_secs(start),
+            tokens_done_at: SimTime::from_secs(tokens),
+            serialized_at: SimTime::from_secs(ser),
+            stored_at: SimTime::from_secs(stored),
+            bytes: 100,
+        }
+    }
+
+    #[test]
+    fn breakdown_partitions_duration() {
+        let i = indiv(0, 10, 12, 15, 40);
+        let b = i.breakdown();
+        assert_eq!(b.get(ckpt_phase::TOKEN_COLLECTION), SimDuration::from_secs(2));
+        assert_eq!(b.get(ckpt_phase::OTHER), SimDuration::from_secs(3));
+        assert_eq!(b.get(ckpt_phase::DISK_IO), SimDuration::from_secs(25));
+        assert_eq!(b.total(), i.duration());
+    }
+
+    #[test]
+    fn slowest_individual() {
+        let rec = CheckpointRecord {
+            epoch: EpochId(1),
+            initiated_at: SimTime::from_secs(10),
+            completed_at: Some(SimTime::from_secs(60)),
+            individuals: vec![indiv(0, 10, 11, 12, 30), indiv(1, 10, 11, 12, 60)],
+        };
+        assert_eq!(rec.slowest_individual().unwrap().hau, HauId(1));
+        assert_eq!(rec.total_time(), Some(SimDuration::from_secs(50)));
+        assert_eq!(rec.total_bytes(), 200);
+    }
+}

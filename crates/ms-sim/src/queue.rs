@@ -1,0 +1,157 @@
+//! The virtual-time event queue.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use ms_core::time::{SimDuration, SimTime};
+
+/// A priority queue of `(time, event)` pairs with a monotone clock.
+///
+/// Determinism: ties at equal virtual time are broken by insertion
+/// order (a monotone sequence number), so two runs with the same inputs
+/// dispatch identically.
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Reverse<Entry<E>>>,
+    seq: u64,
+    now: SimTime,
+}
+
+#[derive(Debug)]
+struct Entry<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+impl<E> PartialEq for Entry<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for Entry<E> {}
+impl<E> PartialOrd for Entry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for Entry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue at time zero.
+    pub fn new() -> EventQueue<E> {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            seq: 0,
+            now: SimTime::ZERO,
+        }
+    }
+
+    /// Current virtual time: the timestamp of the last popped event (or
+    /// the last explicit advance).
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Schedules an event at an absolute time. Scheduling in the past
+    /// panics in debug builds and is clamped to `now` in release.
+    pub fn schedule(&mut self, at: SimTime, event: E) {
+        debug_assert!(at >= self.now, "event scheduled in the past ({at:?} < {:?})", self.now);
+        let at = at.max(self.now);
+        self.heap.push(Reverse(Entry {
+            time: at,
+            seq: self.seq,
+            event,
+        }));
+        self.seq += 1;
+    }
+
+    /// Schedules an event `delay` after the current time.
+    pub fn schedule_in(&mut self, delay: SimDuration, event: E) {
+        self.schedule(self.now + delay, event);
+    }
+
+    /// Removes and returns the earliest event, advancing the clock to
+    /// its timestamp.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|Reverse(e)| {
+            self.now = e.time;
+            (e.time, e.event)
+        })
+    }
+
+    /// The timestamp of the earliest queued event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|Reverse(e)| e.time)
+    }
+
+    /// Advances the clock without dispatching (used to close out a
+    /// bounded run). Never moves backwards.
+    pub fn advance_to(&mut self, t: SimTime) {
+        self.now = self.now.max(t);
+    }
+
+    /// Number of queued events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if no events are queued.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_among_equal_times() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        q.schedule(t, 1);
+        q.schedule(t, 2);
+        q.schedule(t, 3);
+        assert_eq!(q.pop().unwrap().1, 1);
+        assert_eq!(q.pop().unwrap().1, 2);
+        assert_eq!(q.pop().unwrap().1, 3);
+    }
+
+    #[test]
+    fn pop_advances_clock() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.schedule(SimTime::from_secs(7), 7);
+        assert_eq!(q.now(), SimTime::ZERO);
+        let (t, _) = q.pop().unwrap();
+        assert_eq!(t, SimTime::from_secs(7));
+        assert_eq!(q.now(), SimTime::from_secs(7));
+    }
+
+    #[test]
+    fn schedule_in_is_relative_to_now() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.schedule(SimTime::from_secs(10), 0);
+        q.pop();
+        q.schedule_in(SimDuration::from_secs(5), 1);
+        assert_eq!(q.peek_time(), Some(SimTime::from_secs(15)));
+    }
+
+    #[test]
+    fn advance_never_goes_backwards() {
+        let mut q: EventQueue<u32> = EventQueue::new();
+        q.advance_to(SimTime::from_secs(10));
+        q.advance_to(SimTime::from_secs(5));
+        assert_eq!(q.now(), SimTime::from_secs(10));
+    }
+}

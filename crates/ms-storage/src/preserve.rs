@@ -1,0 +1,341 @@
+//! Tuple preservation.
+//!
+//! Two flavours, matching the paper's comparison (§I.1, §II-B3):
+//!
+//! * **Source preservation** ([`SourceLog`]) — Meteor Shower: only
+//!   source HAUs preserve output tuples, written to stable storage
+//!   *before* they are sent downstream, so they survive even a source
+//!   failure. On recovery the sources replay everything after the most
+//!   recent complete checkpoint.
+//! * **Input preservation** ([`InputPreservationBuffer`]) — baseline:
+//!   *every* HAU retains its output tuples in a bounded in-memory
+//!   buffer (50 MB) that dumps to local disk when full; tuples are
+//!   discarded when the downstream neighbour confirms it checkpointed
+//!   them.
+
+use std::collections::VecDeque;
+
+use ms_core::ids::EpochId;
+use ms_core::state::StateSize;
+use ms_core::tuple::Tuple;
+
+/// Default capacity of the baseline's in-memory preservation buffer.
+pub const DEFAULT_BUFFER_CAP: u64 = 50_000_000;
+
+/// A source HAU's preserved-output log (source preservation).
+#[derive(Clone, Debug, Default)]
+pub struct SourceLog {
+    tuples: VecDeque<Tuple>,
+    /// `(epoch, first sequence number AFTER the epoch's token)`:
+    /// everything from that sequence on must be replayed when
+    /// recovering to `epoch`.
+    marks: Vec<(EpochId, u64)>,
+    bytes: u64,
+}
+
+impl SourceLog {
+    /// Creates an empty log.
+    pub fn new() -> SourceLog {
+        SourceLog::default()
+    }
+
+    /// Appends an emitted tuple (charged to stable storage by the
+    /// caller). Sequence numbers must be non-decreasing.
+    pub fn append(&mut self, t: Tuple) {
+        debug_assert!(
+            self.tuples.back().is_none_or(|b| b.seq <= t.seq),
+            "source log must be appended in sequence order"
+        );
+        self.bytes += t.state_size();
+        self.tuples.push_back(t);
+    }
+
+    /// Records that the epoch's token was emitted after sequence
+    /// numbers below `next_seq` — the stream boundary for this source.
+    pub fn mark_epoch(&mut self, epoch: EpochId, next_seq: u64) {
+        debug_assert!(
+            self.marks.last().is_none_or(|&(e, s)| e < epoch && s <= next_seq),
+            "epoch marks must be monotone"
+        );
+        self.marks.push((epoch, next_seq));
+    }
+
+    /// The tuples that must be replayed to recover from `epoch`
+    /// (everything at or after the epoch's boundary).
+    pub fn replay_from(&self, epoch: EpochId) -> Vec<Tuple> {
+        let from_seq = self
+            .marks
+            .iter()
+            .find(|(e, _)| *e == epoch)
+            .map(|&(_, s)| s);
+        match from_seq {
+            // Epoch unknown: replay everything we hold (recovering to
+            // the initial state).
+            None => self.tuples.iter().cloned().collect(),
+            Some(s) => self.tuples.iter().filter(|t| t.seq >= s).cloned().collect(),
+        }
+    }
+
+    /// Discards tuples no longer needed once `epoch` is a complete
+    /// application checkpoint. Returns the logical bytes freed.
+    pub fn trim_to(&mut self, epoch: EpochId) -> u64 {
+        let Some(&(_, from_seq)) = self.marks.iter().find(|(e, _)| *e == epoch) else {
+            return 0;
+        };
+        let mut freed = 0;
+        while let Some(front) = self.tuples.front() {
+            if front.seq < from_seq {
+                freed += front.state_size();
+                self.tuples.pop_front();
+            } else {
+                break;
+            }
+        }
+        self.bytes -= freed;
+        self.marks.retain(|&(e, _)| e >= epoch);
+        freed
+    }
+
+    /// Rolls the log back to the boundary of `epoch` (recovery): the
+    /// restored source will regenerate sequence numbers from that
+    /// boundary, so the stale tail (and any later epoch marks) must go
+    /// or appends would run backwards.
+    pub fn truncate_to_mark(&mut self, epoch: EpochId) -> u64 {
+        let from_seq = self
+            .marks
+            .iter()
+            .find(|(e, _)| *e == epoch)
+            .map(|&(_, s)| s)
+            .unwrap_or(0);
+        let mut freed = 0;
+        while let Some(back) = self.tuples.back() {
+            if back.seq >= from_seq {
+                freed += back.state_size();
+                self.tuples.pop_back();
+            } else {
+                break;
+            }
+        }
+        self.bytes -= freed;
+        self.marks.retain(|&(e, _)| e <= epoch);
+        freed
+    }
+
+    /// Logical bytes currently preserved.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Number of preserved tuples.
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True if nothing is preserved.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+}
+
+/// What the caller must do after pushing into an
+/// [`InputPreservationBuffer`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpillAction {
+    /// The tuple fit in memory.
+    None,
+    /// The memory buffer overflowed: `bytes` must be written to the
+    /// local disk (charge the disk cost model).
+    ToDisk {
+        /// Bytes dumped to disk.
+        bytes: u64,
+    },
+}
+
+/// A baseline HAU's preserved-output buffer toward ONE downstream
+/// neighbour (input preservation).
+#[derive(Clone, Debug)]
+pub struct InputPreservationBuffer {
+    cap: u64,
+    /// Retained tuples with a flag: `true` if the tuple's bytes
+    /// currently live on disk.
+    tuples: VecDeque<(Tuple, bool)>,
+    mem_bytes: u64,
+    disk_bytes: u64,
+}
+
+impl InputPreservationBuffer {
+    /// Creates a buffer with the given in-memory capacity.
+    pub fn new(cap: u64) -> InputPreservationBuffer {
+        InputPreservationBuffer {
+            cap,
+            tuples: VecDeque::new(),
+            mem_bytes: 0,
+            disk_bytes: 0,
+        }
+    }
+
+    /// Creates a buffer with the paper's 50 MB capacity.
+    pub fn with_default_cap() -> InputPreservationBuffer {
+        InputPreservationBuffer::new(DEFAULT_BUFFER_CAP)
+    }
+
+    /// Preserves one output tuple. "Once the buffer is full, the
+    /// buffered data are dumped into the local disk" — a dump moves
+    /// every in-memory tuple to disk and returns the byte count so the
+    /// caller can charge the disk.
+    pub fn push(&mut self, t: Tuple) -> SpillAction {
+        let sz = t.state_size();
+        self.tuples.push_back((t, false));
+        self.mem_bytes += sz;
+        if self.mem_bytes > self.cap {
+            let dumped = self.mem_bytes;
+            for entry in self.tuples.iter_mut() {
+                entry.1 = true;
+            }
+            self.disk_bytes += dumped;
+            self.mem_bytes = 0;
+            SpillAction::ToDisk { bytes: dumped }
+        } else {
+            SpillAction::None
+        }
+    }
+
+    /// Discards every preserved tuple with `seq < up_to_seq` — the
+    /// downstream neighbour has checkpointed them ("these tuples are
+    /// discarded from the buffer and disk of the upstream neighbors").
+    pub fn trim_below(&mut self, up_to_seq: u64) {
+        while let Some((front, spilled)) = self.tuples.front() {
+            if front.seq < up_to_seq {
+                let sz = front.state_size();
+                if *spilled {
+                    self.disk_bytes = self.disk_bytes.saturating_sub(sz);
+                } else {
+                    self.mem_bytes = self.mem_bytes.saturating_sub(sz);
+                }
+                self.tuples.pop_front();
+            } else {
+                break;
+            }
+        }
+    }
+
+    /// The tuples to resend when the downstream neighbour restarts from
+    /// a checkpoint covering sequence numbers below `from_seq`. Also
+    /// returns how many logical bytes must be read back from disk.
+    pub fn resend_from(&self, from_seq: u64) -> (Vec<Tuple>, u64) {
+        let mut disk_read = 0;
+        let mut out = Vec::new();
+        for (t, spilled) in &self.tuples {
+            if t.seq >= from_seq {
+                if *spilled {
+                    disk_read += t.state_size();
+                }
+                out.push(t.clone());
+            }
+        }
+        (out, disk_read)
+    }
+
+    /// Logical bytes currently held in memory.
+    pub fn mem_bytes(&self) -> u64 {
+        self.mem_bytes
+    }
+
+    /// Logical bytes currently spilled on the local disk.
+    pub fn disk_bytes(&self) -> u64 {
+        self.disk_bytes
+    }
+
+    /// Number of preserved tuples (memory + disk).
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// True if nothing is preserved.
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ms_core::ids::OperatorId;
+    use ms_core::time::SimTime;
+    use ms_core::value::Value;
+
+    fn tup(seq: u64, bytes: u64) -> Tuple {
+        Tuple::new(OperatorId(0), seq, SimTime::ZERO, vec![Value::blob(bytes)])
+    }
+
+    #[test]
+    fn source_log_replay_and_trim() {
+        let mut log = SourceLog::new();
+        for seq in 0..10 {
+            log.append(tup(seq, 100));
+        }
+        log.mark_epoch(EpochId(1), 4);
+        for seq in 10..12 {
+            log.append(tup(seq, 100));
+        }
+        let replay = log.replay_from(EpochId(1));
+        assert_eq!(replay.len(), 8); // seq 4..12
+        assert_eq!(replay[0].seq, 4);
+
+        let freed = log.trim_to(EpochId(1));
+        assert!(freed > 0);
+        assert_eq!(log.len(), 8);
+        // Replay after trim still returns everything needed.
+        assert_eq!(log.replay_from(EpochId(1)).len(), 8);
+    }
+
+    #[test]
+    fn source_log_unknown_epoch_replays_all() {
+        let mut log = SourceLog::new();
+        log.append(tup(0, 10));
+        log.append(tup(1, 10));
+        assert_eq!(log.replay_from(EpochId(9)).len(), 2);
+    }
+
+    #[test]
+    fn input_buffer_spills_when_full() {
+        let mut b = InputPreservationBuffer::new(250);
+        let t = tup(0, 100); // state_size = 132 with header
+        let sz = t.state_size();
+        assert_eq!(b.push(t), SpillAction::None);
+        assert_eq!(b.mem_bytes(), sz);
+        // Second push exceeds 250 -> everything dumps to disk.
+        match b.push(tup(1, 100)) {
+            SpillAction::ToDisk { bytes } => assert_eq!(bytes, 2 * sz),
+            other => panic!("expected spill, got {other:?}"),
+        }
+        assert_eq!(b.mem_bytes(), 0);
+        assert_eq!(b.disk_bytes(), 2 * sz);
+    }
+
+    #[test]
+    fn input_buffer_trim_frees_both_tiers() {
+        let mut b = InputPreservationBuffer::new(250);
+        b.push(tup(0, 100));
+        b.push(tup(1, 100)); // spills both
+        b.push(tup(2, 50)); // in memory
+        assert_eq!(b.len(), 3);
+        b.trim_below(2);
+        assert_eq!(b.len(), 1);
+        assert_eq!(b.disk_bytes(), 0);
+        assert!(b.mem_bytes() > 0);
+    }
+
+    #[test]
+    fn input_buffer_resend_reports_disk_reads() {
+        let mut b = InputPreservationBuffer::new(250);
+        b.push(tup(0, 100));
+        b.push(tup(1, 100)); // spills
+        b.push(tup(2, 50));
+        let (tuples, disk) = b.resend_from(1);
+        assert_eq!(tuples.len(), 2);
+        assert_eq!(disk, tup(1, 100).state_size());
+        let (all, _) = b.resend_from(0);
+        assert_eq!(all.len(), 3);
+    }
+}

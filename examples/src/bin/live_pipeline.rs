@@ -1,0 +1,71 @@
+//! The token protocol on real OS threads (`ms-live`): run a pipeline,
+//! checkpoint it mid-stream with propagating tokens, "crash", then
+//! recover from the checkpoint plus preserved-source replay and show
+//! the result matches the uninterrupted run exactly.
+//!
+//! Run with `cargo run --release -p ms-examples --bin live_pipeline`.
+
+use ms_core::codec::SnapshotReader;
+use ms_core::graph::QueryNetwork;
+use ms_core::ids::OperatorId;
+use ms_core::operator::Operator;
+use ms_live::protocol::Doubler;
+use ms_live::{CountSource, LiveRuntime, LiveStorage, Summer};
+use std::sync::Arc;
+
+const N: u64 = 2_000;
+
+fn chain() -> (QueryNetwork, OperatorId, OperatorId, OperatorId) {
+    let mut qn = QueryNetwork::new();
+    let s = qn.add_operator("source");
+    let d = qn.add_operator("doubler");
+    let k = qn.add_operator("sink");
+    qn.connect(s, d).unwrap();
+    qn.connect(d, k).unwrap();
+    (qn, s, d, k)
+}
+
+fn factory(s: OperatorId, d: OperatorId) -> impl Fn(OperatorId) -> Box<dyn Operator> {
+    move |op| -> Box<dyn Operator> {
+        if op == s {
+            Box::new(CountSource::new(N))
+        } else if op == d {
+            Box::new(Doubler::default())
+        } else {
+            Box::new(Summer::default())
+        }
+    }
+}
+
+fn sink_state(ops: &std::collections::HashMap<OperatorId, Box<dyn Operator>>, k: OperatorId) -> (i64, u64) {
+    let snap = ops[&k].snapshot();
+    let mut r = SnapshotReader::new(&snap.data);
+    (r.get_i64().unwrap(), r.get_u64().unwrap())
+}
+
+fn main() {
+    let (qn, s, d, k) = chain();
+    let storage = Arc::new(LiveStorage::new(qn.len()));
+
+    println!("live pipeline: source({N}) -> doubler -> sum, one thread per HAU");
+    let mut rt = LiveRuntime::start(&qn, storage.clone(), factory(s, d));
+    std::thread::sleep(std::time::Duration::from_millis(3));
+    let epoch = rt.checkpoint();
+    println!("checkpoint {epoch} issued while tuples were in flight");
+    let ops = rt.finish();
+    let (ref_sum, ref_count) = sink_state(&ops, k);
+    println!("reference run: sink consumed {ref_count} tuples, sum = {ref_sum}");
+    println!(
+        "preserved source tuples in stable storage: {}",
+        storage.preserved_tuples()
+    );
+
+    let mrc = storage.latest_complete().expect("complete checkpoint");
+    println!("\n-- crash --\nrecovering every HAU from {mrc} and replaying the source log");
+    let rt = LiveRuntime::restore(&qn, storage, mrc, factory(s, d));
+    let ops = rt.finish();
+    let (sum, count) = sink_state(&ops, k);
+    println!("recovered run: sink consumed {count} tuples, sum = {sum}");
+    assert_eq!((sum, count), (ref_sum, ref_count));
+    println!("exactly-once verified: no tuple missed, none processed twice");
+}

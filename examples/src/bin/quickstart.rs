@@ -1,0 +1,186 @@
+//! Quickstart: define a tiny stream application, run it on the
+//! Meteor Shower engine under MS-src+ap+aa, and read the report.
+//!
+//! Run with `cargo run --release -p ms-examples --bin quickstart`.
+
+use ms_core::codec::{SnapshotReader, SnapshotWriter};
+use ms_core::config::{CheckpointConfig, SchemeKind};
+use ms_core::graph::QueryNetwork;
+use ms_core::ids::PortId;
+use ms_core::operator::{Operator, OperatorContext, OperatorSnapshot};
+use ms_core::time::SimDuration;
+use ms_core::tuple::Tuple;
+use ms_core::value::Value;
+use ms_runtime::{Engine, EngineConfig, SimpleApp};
+
+/// A source emitting one reading per 20 ms tick.
+struct Reading {
+    emitted: u64,
+}
+
+impl Operator for Reading {
+    fn kind(&self) -> &'static str {
+        "Reading"
+    }
+    fn on_tuple(&mut self, _p: PortId, _t: Tuple, _c: &mut dyn OperatorContext) {}
+    fn on_timer(&mut self, ctx: &mut dyn OperatorContext) {
+        self.emitted += 1;
+        let v = (self.emitted as f64 / 10.0).sin() * 50.0 + 50.0;
+        ctx.emit_all(vec![Value::Float(v), Value::blob(10_000)]);
+    }
+    fn timer_interval(&self) -> Option<SimDuration> {
+        Some(SimDuration::from_millis(20))
+    }
+    fn state_size(&self) -> u64 {
+        8
+    }
+    fn snapshot(&self) -> OperatorSnapshot {
+        let mut w = SnapshotWriter::new();
+        w.put_u64(self.emitted);
+        OperatorSnapshot {
+            data: w.finish(),
+            logical_bytes: 8,
+        }
+    }
+    fn restore(&mut self, s: &OperatorSnapshot) -> ms_core::Result<()> {
+        self.emitted = SnapshotReader::new(&s.data).get_u64()?;
+        Ok(())
+    }
+}
+
+/// A windowed averager: pools readings for 30 s, then emits the mean —
+/// the accumulate-then-discard pattern that makes state fluctuate.
+#[derive(Default)]
+struct WindowAvg {
+    values: Vec<f64>,
+    pooled_bytes: u64,
+}
+
+impl Operator for WindowAvg {
+    fn kind(&self) -> &'static str {
+        "WindowAvg"
+    }
+    fn on_tuple(&mut self, _p: PortId, t: Tuple, _c: &mut dyn OperatorContext) {
+        if let Some(v) = t.field(0).and_then(Value::as_float) {
+            self.values.push(v);
+            self.pooled_bytes += t.payload_bytes();
+        }
+    }
+    fn on_timer(&mut self, ctx: &mut dyn OperatorContext) {
+        if !self.values.is_empty() {
+            let mean = self.values.iter().sum::<f64>() / self.values.len() as f64;
+            self.values.clear();
+            self.pooled_bytes = 0;
+            ctx.emit_all(vec![Value::Float(mean)]);
+        }
+    }
+    fn timer_interval(&self) -> Option<SimDuration> {
+        Some(SimDuration::from_secs(30))
+    }
+    fn timer_aligned(&self) -> bool {
+        true
+    }
+    fn state_size(&self) -> u64 {
+        self.pooled_bytes + 16
+    }
+    fn snapshot(&self) -> OperatorSnapshot {
+        let mut w = SnapshotWriter::new();
+        w.put_u64(self.pooled_bytes);
+        w.put_seq(self.values.iter(), |w, v| {
+            w.put_f64(*v);
+        });
+        OperatorSnapshot {
+            data: w.finish(),
+            logical_bytes: self.state_size(),
+        }
+    }
+    fn restore(&mut self, s: &OperatorSnapshot) -> ms_core::Result<()> {
+        let mut r = SnapshotReader::new(&s.data);
+        self.pooled_bytes = r.get_u64()?;
+        self.values = r.get_seq(|r| r.get_f64())?;
+        Ok(())
+    }
+}
+
+/// Sink counting window means.
+#[derive(Default)]
+struct Alerts {
+    received: u64,
+}
+
+impl Operator for Alerts {
+    fn kind(&self) -> &'static str {
+        "Alerts"
+    }
+    fn on_tuple(&mut self, _p: PortId, _t: Tuple, _c: &mut dyn OperatorContext) {
+        self.received += 1;
+    }
+    fn state_size(&self) -> u64 {
+        8
+    }
+    fn snapshot(&self) -> OperatorSnapshot {
+        let mut w = SnapshotWriter::new();
+        w.put_u64(self.received);
+        OperatorSnapshot {
+            data: w.finish(),
+            logical_bytes: 8,
+        }
+    }
+    fn restore(&mut self, s: &OperatorSnapshot) -> ms_core::Result<()> {
+        self.received = SnapshotReader::new(&s.data).get_u64()?;
+        Ok(())
+    }
+}
+
+fn main() {
+    // sensor -> window average -> alert sink.
+    let mut qn = QueryNetwork::new();
+    let sensor = qn.add_operator("sensor");
+    let avg = qn.add_operator("window-avg");
+    let alerts = qn.add_operator("alerts");
+    qn.connect(sensor, avg).unwrap();
+    qn.connect(avg, alerts).unwrap();
+
+    let app = SimpleApp::new("quickstart", qn, move |op, _rng| -> Box<dyn Operator> {
+        if op == sensor {
+            Box::new(Reading { emitted: 0 })
+        } else if op == avg {
+            Box::new(WindowAvg::default())
+        } else {
+            Box::new(Alerts::default())
+        }
+    });
+
+    let cfg = EngineConfig {
+        scheme: SchemeKind::MsSrcApAa,
+        ckpt: CheckpointConfig::n_in_window(2, SimDuration::from_secs(120)),
+        warmup: SimDuration::from_secs(75),
+        measure: SimDuration::from_secs(120),
+        ..EngineConfig::default()
+    };
+    let report = Engine::new(app, cfg).expect("valid app").run();
+
+    println!("quickstart: {} under {}", report.app, report.scheme.label());
+    println!(
+        "  processed {} tuples ({:.1}/s), mean latency {:.1} ms",
+        report.metrics.processed_tuples,
+        report.throughput(),
+        report.mean_latency().as_secs_f64() * 1e3
+    );
+    println!(
+        "  state size: min {:.1} KB / avg {:.1} KB / max {:.1} KB",
+        report.state_trace.min() / 1e3,
+        report.state_trace.mean() / 1e3,
+        report.state_trace.max() / 1e3
+    );
+    for c in report.completed_checkpoints() {
+        println!(
+            "  checkpoint {}: initiated {}, total {:.3}s, {} bytes across {} HAUs",
+            c.epoch,
+            c.initiated_at,
+            c.total_time().unwrap().as_secs_f64(),
+            c.total_bytes(),
+            c.individuals.len()
+        );
+    }
+}

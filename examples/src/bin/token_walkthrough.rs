@@ -1,0 +1,214 @@
+//! Token walkthrough on the paper's five-HAU diamond (Figs. 6 and 7).
+//!
+//! Runs the `1 → 2 → {3, 4} → 5` example under MS-src (propagating
+//! tokens, synchronous snapshots) and MS-src+ap (controller-broadcast
+//! 1-hop tokens, asynchronous snapshots), printing each HAU's
+//! checkpoint timeline so the two coordination styles can be compared
+//! directly.
+//!
+//! Run with `cargo run --release -p ms-examples --bin token_walkthrough`.
+
+use ms_core::codec::{SnapshotReader, SnapshotWriter};
+use ms_core::config::{CheckpointConfig, SchemeKind};
+use ms_core::graph::QueryNetwork;
+use ms_core::ids::PortId;
+use ms_core::operator::{Operator, OperatorContext, OperatorSnapshot};
+use ms_core::time::{SimDuration, SimTime};
+use ms_core::tuple::Tuple;
+use ms_core::value::Value;
+use ms_runtime::{Engine, EngineConfig, SimpleApp};
+
+/// Source pushing small tuples at a steady rate.
+struct Src {
+    emitted: u64,
+}
+
+impl Operator for Src {
+    fn kind(&self) -> &'static str {
+        "Src"
+    }
+    fn on_tuple(&mut self, _p: PortId, _t: Tuple, _c: &mut dyn OperatorContext) {}
+    fn on_timer(&mut self, ctx: &mut dyn OperatorContext) {
+        self.emitted += 1;
+        ctx.emit_all(vec![Value::Int(self.emitted as i64), Value::blob(50_000)]);
+    }
+    fn timer_interval(&self) -> Option<SimDuration> {
+        Some(SimDuration::from_millis(10))
+    }
+    fn state_size(&self) -> u64 {
+        8
+    }
+    fn snapshot(&self) -> OperatorSnapshot {
+        let mut w = SnapshotWriter::new();
+        w.put_u64(self.emitted);
+        OperatorSnapshot {
+            data: w.finish(),
+            logical_bytes: 8,
+        }
+    }
+    fn restore(&mut self, s: &OperatorSnapshot) -> ms_core::Result<()> {
+        self.emitted = SnapshotReader::new(&s.data).get_u64()?;
+        Ok(())
+    }
+}
+
+/// A worker with a deliberately slow service time and some state, so
+/// token waves are visible. HAU 4 runs slower than HAU 3, exactly like
+/// the paper's walkthrough ("Because HAU 4 runs more slowly than HAU
+/// 3, token T2 has not been processed yet").
+struct Worker {
+    service: SimDuration,
+    state_bytes: u64,
+    processed: u64,
+}
+
+impl Operator for Worker {
+    fn kind(&self) -> &'static str {
+        "Worker"
+    }
+    fn on_tuple(&mut self, _p: PortId, t: Tuple, ctx: &mut dyn OperatorContext) {
+        self.processed += 1;
+        self.state_bytes = (self.state_bytes + 10_000).min(20_000_000);
+        ctx.emit_all(t.fields);
+    }
+    fn service_time(&self, _t: &Tuple) -> SimDuration {
+        self.service
+    }
+    fn state_size(&self) -> u64 {
+        self.state_bytes + 8
+    }
+    fn snapshot(&self) -> OperatorSnapshot {
+        let mut w = SnapshotWriter::new();
+        w.put_u64(self.processed).put_u64(self.state_bytes);
+        OperatorSnapshot {
+            data: w.finish(),
+            logical_bytes: self.state_size(),
+        }
+    }
+    fn restore(&mut self, s: &OperatorSnapshot) -> ms_core::Result<()> {
+        let mut r = SnapshotReader::new(&s.data);
+        self.processed = r.get_u64()?;
+        self.state_bytes = r.get_u64()?;
+        Ok(())
+    }
+}
+
+/// Terminal consumer.
+#[derive(Default)]
+struct Sink {
+    received: u64,
+}
+
+impl Operator for Sink {
+    fn kind(&self) -> &'static str {
+        "Sink"
+    }
+    fn on_tuple(&mut self, _p: PortId, _t: Tuple, _c: &mut dyn OperatorContext) {
+        self.received += 1;
+    }
+    fn state_size(&self) -> u64 {
+        8
+    }
+    fn snapshot(&self) -> OperatorSnapshot {
+        let mut w = SnapshotWriter::new();
+        w.put_u64(self.received);
+        OperatorSnapshot {
+            data: w.finish(),
+            logical_bytes: 8,
+        }
+    }
+    fn restore(&mut self, s: &OperatorSnapshot) -> ms_core::Result<()> {
+        self.received = SnapshotReader::new(&s.data).get_u64()?;
+        Ok(())
+    }
+}
+
+fn diamond() -> QueryNetwork {
+    let mut qn = QueryNetwork::new();
+    let s = qn.add_operator("HAU1-source");
+    let a = qn.add_operator("HAU2");
+    let b = qn.add_operator("HAU3");
+    let c = qn.add_operator("HAU4-slow");
+    let k = qn.add_operator("HAU5-sink");
+    qn.connect(s, a).unwrap();
+    qn.connect(a, b).unwrap();
+    qn.connect(a, c).unwrap();
+    qn.connect(b, k).unwrap();
+    qn.connect(c, k).unwrap();
+    qn
+}
+
+fn run(scheme: SchemeKind) {
+    let qn = diamond();
+    let app = SimpleApp::new("diamond", qn, |op, _| -> Box<dyn Operator> {
+        match op.index() {
+            0 => Box::new(Src { emitted: 0 }),
+            1 => Box::new(Worker {
+                service: SimDuration::from_millis(4),
+                state_bytes: 0,
+                processed: 0,
+            }),
+            2 => Box::new(Worker {
+                service: SimDuration::from_millis(8),
+                state_bytes: 0,
+                processed: 0,
+            }),
+            // HAU 4 runs more slowly than HAU 3 (Fig. 6, t=3).
+            3 => Box::new(Worker {
+                service: SimDuration::from_millis(18),
+                state_bytes: 0,
+                processed: 0,
+            }),
+            _ => Box::new(Sink::default()),
+        }
+    });
+    let t_ck = SimTime::from_secs(40);
+    let cfg = EngineConfig {
+        scheme,
+        ckpt: CheckpointConfig::n_in_window(1, SimDuration::from_secs(60)),
+        warmup: SimDuration::from_secs(10),
+        measure: SimDuration::from_secs(60),
+        forced_checkpoints: vec![t_ck],
+        ..EngineConfig::default()
+    };
+    let report = Engine::new(app, cfg).expect("valid app").run();
+    println!("=== {} ===", scheme.label());
+    for rec in report.completed_checkpoints() {
+        println!(
+            "checkpoint {} initiated at {} (command wave):",
+            rec.epoch, rec.initiated_at
+        );
+        let mut ind = rec.individuals.clone();
+        ind.sort_by_key(|i| i.hau.0);
+        for i in ind {
+            println!(
+                "  HAU{}: wave arrived {:.3}s | tokens collected +{:.3}s | \
+                 serialized +{:.3}s | stored +{:.3}s ({} bytes)",
+                i.hau.0 + 1,
+                i.started_at.as_secs_f64(),
+                i.tokens_done_at.saturating_since(i.started_at).as_secs_f64(),
+                i.serialized_at.saturating_since(i.tokens_done_at).as_secs_f64(),
+                i.stored_at.saturating_since(i.serialized_at).as_secs_f64(),
+                i.bytes
+            );
+        }
+        println!(
+            "  application checkpoint complete after {:.3}s",
+            rec.total_time().unwrap().as_secs_f64()
+        );
+    }
+    println!();
+}
+
+fn main() {
+    println!("Token walkthrough on the Fig. 6/7 diamond: 1 -> 2 -> {{3,4}} -> 5\n");
+    run(SchemeKind::MsSrc);
+    run(SchemeKind::MsSrcAp);
+    println!(
+        "MS-src: tokens propagate hop by hop, each HAU checkpoints synchronously\n\
+         before forwarding — the sink's wave arrival trails the whole cascade.\n\
+         MS-src+ap: the controller commands every HAU at once; 1-hop tokens jump\n\
+         the queued backlog and snapshots run in a COW child, so token collection\n\
+         and disruption are much shorter."
+    );
+}

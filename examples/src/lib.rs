@@ -1,0 +1,1 @@
+//! Runnable examples for the Meteor Shower reproduction; see `src/bin/`.

@@ -1,0 +1,193 @@
+//! Shared test application: a deterministic three-stage pipeline whose
+//! sink verifies exactly-once delivery structurally (per-producer
+//! sequence continuity — no gaps, no duplicates).
+
+use ms_core::codec::{SnapshotReader, SnapshotWriter};
+use ms_core::graph::QueryNetwork;
+use ms_core::ids::{OperatorId, PortId};
+use ms_core::operator::{Operator, OperatorContext, OperatorSnapshot};
+use ms_core::time::SimDuration;
+use ms_core::tuple::Tuple;
+use ms_core::value::Value;
+use ms_runtime::SimpleApp;
+
+/// Source: one sequence-stamped tuple per tick.
+pub struct SeqSource {
+    emitted: u64,
+    tick: SimDuration,
+}
+
+impl SeqSource {
+    /// Creates a source with the given tick.
+    pub fn new(tick: SimDuration) -> SeqSource {
+        SeqSource { emitted: 0, tick }
+    }
+}
+
+impl Operator for SeqSource {
+    fn kind(&self) -> &'static str {
+        "SeqSource"
+    }
+    fn on_tuple(&mut self, _p: PortId, _t: Tuple, _c: &mut dyn OperatorContext) {}
+    fn on_timer(&mut self, ctx: &mut dyn OperatorContext) {
+        ctx.emit_all(vec![Value::Int(self.emitted as i64), Value::blob(20_000)]);
+        self.emitted += 1;
+    }
+    fn timer_interval(&self) -> Option<SimDuration> {
+        Some(self.tick)
+    }
+    fn state_size(&self) -> u64 {
+        8
+    }
+    fn snapshot(&self) -> OperatorSnapshot {
+        let mut w = SnapshotWriter::new();
+        w.put_u64(self.emitted);
+        OperatorSnapshot {
+            data: w.finish(),
+            logical_bytes: 8,
+        }
+    }
+    fn restore(&mut self, s: &OperatorSnapshot) -> ms_core::Result<()> {
+        self.emitted = SnapshotReader::new(&s.data).get_u64()?;
+        Ok(())
+    }
+}
+
+/// Transform: deterministic 1:1 map carrying the payload through, with
+/// a bit of accumulated state.
+#[derive(Default)]
+pub struct Xform {
+    processed: u64,
+    acc: i64,
+}
+
+impl Operator for Xform {
+    fn kind(&self) -> &'static str {
+        "Xform"
+    }
+    fn on_tuple(&mut self, _p: PortId, t: Tuple, ctx: &mut dyn OperatorContext) {
+        self.processed += 1;
+        if let Some(v) = t.field(0).and_then(Value::as_int) {
+            self.acc = self.acc.wrapping_add(v);
+            ctx.emit_all(vec![Value::Int(v), Value::blob(10_000)]);
+        }
+    }
+    fn service_time(&self, _t: &Tuple) -> SimDuration {
+        SimDuration::from_millis(2)
+    }
+    fn state_size(&self) -> u64 {
+        16 + self.processed.min(1000) * 100
+    }
+    fn snapshot(&self) -> OperatorSnapshot {
+        let mut w = SnapshotWriter::new();
+        w.put_u64(self.processed).put_i64(self.acc);
+        OperatorSnapshot {
+            data: w.finish(),
+            logical_bytes: self.state_size(),
+        }
+    }
+    fn restore(&mut self, s: &OperatorSnapshot) -> ms_core::Result<()> {
+        let mut r = SnapshotReader::new(&s.data);
+        self.processed = r.get_u64()?;
+        self.acc = r.get_i64()?;
+        Ok(())
+    }
+}
+
+/// Sink verifying sequence continuity per producer: every tuple value
+/// `v` is recorded; exactly-once holds iff `count == max + 1` and
+/// `sum == max(max+1)/2` for the contiguous prefix.
+#[derive(Default)]
+pub struct CheckSink {
+    pub count: u64,
+    pub max_v: i64,
+    pub sum: i64,
+}
+
+impl Operator for CheckSink {
+    fn kind(&self) -> &'static str {
+        "CheckSink"
+    }
+    fn on_tuple(&mut self, _p: PortId, t: Tuple, _c: &mut dyn OperatorContext) {
+        if let Some(v) = t.field(0).and_then(Value::as_int) {
+            self.count += 1;
+            self.max_v = self.max_v.max(v);
+            self.sum = self.sum.wrapping_add(v);
+        }
+    }
+    fn state_size(&self) -> u64 {
+        24
+    }
+    fn snapshot(&self) -> OperatorSnapshot {
+        let mut w = SnapshotWriter::new();
+        w.put_u64(self.count).put_i64(self.max_v).put_i64(self.sum);
+        OperatorSnapshot {
+            data: w.finish(),
+            logical_bytes: 24,
+        }
+    }
+    fn restore(&mut self, s: &OperatorSnapshot) -> ms_core::Result<()> {
+        let mut r = SnapshotReader::new(&s.data);
+        self.count = r.get_u64()?;
+        self.max_v = r.get_i64()?;
+        self.sum = r.get_i64()?;
+        Ok(())
+    }
+}
+
+/// Decoded sink verdict.
+pub struct SinkVerdict {
+    pub count: u64,
+    pub max_v: i64,
+    pub sum: i64,
+}
+
+impl SinkVerdict {
+    /// True iff the sink saw exactly `0..=max` once each.
+    pub fn exactly_once(&self) -> bool {
+        self.count == (self.max_v + 1) as u64
+            && self.sum == self.max_v * (self.max_v + 1) / 2
+    }
+}
+
+/// Builds the three-stage pipeline app (source -> xform -> sink).
+pub fn pipeline_app() -> (SimpleApp<impl Fn(OperatorId, &mut ms_sim::DetRng) -> Box<dyn Operator>>, OperatorId)
+{
+    let mut qn = QueryNetwork::new();
+    let s = qn.add_operator("src");
+    let x = qn.add_operator("xform");
+    let k = qn.add_operator("sink");
+    qn.connect(s, x).unwrap();
+    qn.connect(x, k).unwrap();
+    let app = SimpleApp::new("pipeline", qn, move |op, _rng| -> Box<dyn Operator> {
+        if op == s {
+            Box::new(SeqSource {
+                emitted: 0,
+                tick: SimDuration::from_millis(20),
+            })
+        } else if op == x {
+            Box::new(Xform {
+                processed: 0,
+                acc: 0,
+            })
+        } else {
+            Box::new(CheckSink::default())
+        }
+    });
+    (app, k)
+}
+
+/// Reads the sink verdict out of a run report.
+pub fn sink_verdict(report: &ms_runtime::RunReport, sink: OperatorId) -> SinkVerdict {
+    let (_, snap) = report
+        .final_snapshots
+        .iter()
+        .find(|(op, _)| *op == sink)
+        .expect("sink snapshot present");
+    let mut r = SnapshotReader::new(&snap.data);
+    SinkVerdict {
+        count: r.get_u64().unwrap(),
+        max_v: r.get_i64().unwrap(),
+        sum: r.get_i64().unwrap(),
+    }
+}

@@ -1,0 +1,193 @@
+//! Engine-level behavioural tests: HAU grouping, determinism,
+//! backpressure, forced checkpoints, and the application-aware
+//! checkpoint-size advantage.
+
+mod common;
+
+use common::{pipeline_app, sink_verdict, CheckSink, SeqSource, Xform};
+use ms_core::config::{CheckpointConfig, SchemeKind};
+use ms_core::graph::{HauAssignment, QueryNetwork};
+use ms_core::ids::OperatorId;
+use ms_core::operator::Operator;
+use ms_core::time::{SimDuration, SimTime};
+use ms_runtime::{AppSpec, Engine, EngineConfig};
+use ms_sim::DetRng;
+
+fn cfg(scheme: SchemeKind, n: u32) -> EngineConfig {
+    let window = SimDuration::from_secs(90);
+    EngineConfig {
+        scheme,
+        ckpt: CheckpointConfig::n_in_window(n, window),
+        warmup: SimDuration::from_secs(5),
+        measure: window,
+        ..EngineConfig::default()
+    }
+}
+
+#[test]
+fn identical_seeds_reproduce_identical_runs() {
+    let run = |seed| {
+        let (app, sink) = pipeline_app();
+        let mut c = cfg(SchemeKind::MsSrcAp, 2);
+        c.seed = seed;
+        let r = Engine::new(app, c).unwrap().run();
+        let v = sink_verdict(&r, sink);
+        (r.metrics.processed_tuples, v.count, v.sum, r.checkpoints.len())
+    };
+    assert_eq!(run(7), run(7), "same seed, same world");
+}
+
+#[test]
+fn forced_checkpoints_fire_at_requested_times() {
+    let (app, _) = pipeline_app();
+    let mut c = cfg(SchemeKind::MsSrcAp, 0);
+    c.forced_checkpoints = vec![SimTime::from_secs(20), SimTime::from_secs(60)];
+    let report = Engine::new(app, c).unwrap().run();
+    let inits: Vec<u64> = report
+        .checkpoints
+        .iter()
+        .map(|ck| ck.initiated_at.as_micros() / 1_000_000)
+        .collect();
+    assert_eq!(inits, vec![20, 60]);
+    assert_eq!(report.completed_checkpoints().count(), 2);
+}
+
+/// The pipeline app with the source+transform grouped into ONE HAU
+/// (two operators per SPE): the intra-HAU edge becomes a free data
+/// pass and the HAU checkpoints both operators together.
+struct GroupedApp {
+    qn: QueryNetwork,
+    s: OperatorId,
+    x: OperatorId,
+}
+
+impl AppSpec for GroupedApp {
+    fn name(&self) -> &str {
+        "grouped"
+    }
+    fn query_network(&self) -> QueryNetwork {
+        self.qn.clone()
+    }
+    fn hau_assignment(&self, qn: &QueryNetwork) -> HauAssignment {
+        HauAssignment::from_groups(
+            qn,
+            vec![vec![self.s, self.x], vec![OperatorId(2)]],
+        )
+        .expect("valid grouping")
+    }
+    fn build_operator(&self, op: OperatorId, _rng: &mut DetRng) -> Box<dyn Operator> {
+        if op == self.s {
+            Box::new(SeqSource::new(SimDuration::from_millis(20)))
+        } else if op == self.x {
+            Box::new(Xform::default())
+        } else {
+            Box::new(CheckSink::default())
+        }
+    }
+}
+
+#[test]
+fn grouped_haus_run_and_checkpoint_together() {
+    let mut qn = QueryNetwork::new();
+    let s = qn.add_operator("src");
+    let x = qn.add_operator("xform");
+    let k = qn.add_operator("sink");
+    qn.connect(s, x).unwrap();
+    qn.connect(x, k).unwrap();
+    let app = GroupedApp { qn, s, x };
+    let report = Engine::new(app, cfg(SchemeKind::MsSrc, 2)).unwrap().run();
+    let v = sink_verdict(&report, k);
+    assert!(v.count > 500, "grouped pipeline flows: {}", v.count);
+    assert!(v.exactly_once());
+    let ck = report
+        .completed_checkpoints()
+        .next()
+        .expect("a completed checkpoint");
+    // Two HAUs, and the grouped HAU snapshots BOTH its operators.
+    assert_eq!(ck.individuals.len(), 2);
+    let store_ops: usize = report
+        .final_snapshots
+        .iter()
+        .filter(|(op, _)| *op == s || *op == x)
+        .count();
+    assert_eq!(store_ops, 2);
+}
+
+#[test]
+fn bounded_channels_exert_backpressure() {
+    // Choke the per-channel buffer: throughput must drop toward the
+    // slow consumer's rate instead of queueing unboundedly.
+    let (app, _) = pipeline_app();
+    let mut roomy = cfg(SchemeKind::MsSrcAp, 0);
+    roomy.channel_cap = 64_000_000;
+    let roomy_run = Engine::new(app, roomy).unwrap().run();
+
+    let (app, _) = pipeline_app();
+    let mut tight = cfg(SchemeKind::MsSrcAp, 0);
+    tight.channel_cap = 100_000; // ~5 tuples
+    let tight_run = Engine::new(app, tight).unwrap().run();
+
+    // Progress continues under tight caps, and queue-resident bytes
+    // (latency) shrink.
+    assert!(tight_run.metrics.processed_tuples > 1_000);
+    assert!(
+        tight_run.mean_latency() <= roomy_run.mean_latency(),
+        "tight caps bound queueing: {:?} vs {:?}",
+        tight_run.mean_latency(),
+        roomy_run.mean_latency()
+    );
+}
+
+#[test]
+fn aware_checkpoints_are_smaller_than_blind_ones() {
+    // On TMI with 1-minute k-means windows, aa should catch the pool
+    // minima that a blind mid-period checkpoint misses.
+    let window = SimDuration::from_secs(240);
+    let mk = |scheme| EngineConfig {
+        scheme,
+        ckpt: CheckpointConfig::n_in_window(2, window),
+        warmup: SimDuration::from_secs(150),
+        measure: window,
+        ..EngineConfig::default()
+    };
+    let ap = Engine::new(ms_apps::Tmi::with_window_minutes(1), mk(SchemeKind::MsSrcAp))
+        .unwrap()
+        .run();
+    let aa = Engine::new(
+        ms_apps::Tmi::with_window_minutes(1),
+        mk(SchemeKind::MsSrcApAa),
+    )
+    .unwrap()
+    .run();
+    let avg_bytes = |r: &ms_runtime::RunReport| {
+        let (n, total) = r
+            .completed_checkpoints()
+            .fold((0u64, 0u64), |(n, t), c| (n + 1, t + c.total_bytes()));
+        if n == 0 {
+            u64::MAX
+        } else {
+            total / n
+        }
+    };
+    let (ap_bytes, aa_bytes) = (avg_bytes(&ap), avg_bytes(&aa));
+    assert!(
+        aa_bytes < ap_bytes,
+        "aa checkpoints ({aa_bytes} B) should be smaller than blind ap ones ({ap_bytes} B)"
+    );
+}
+
+#[test]
+fn preserved_bytes_accounting_differs_by_scheme() {
+    // Input preservation saves at every hop; source preservation only
+    // at the sources — baseline must preserve strictly more bytes.
+    let (app, _) = pipeline_app();
+    let base = Engine::new(app, cfg(SchemeKind::Baseline, 2)).unwrap().run();
+    let (app, _) = pipeline_app();
+    let ms = Engine::new(app, cfg(SchemeKind::MsSrc, 2)).unwrap().run();
+    assert!(
+        base.preserved_bytes > ms.preserved_bytes,
+        "baseline preserved {} B vs MS {} B",
+        base.preserved_bytes,
+        ms.preserved_bytes
+    );
+}

@@ -1,0 +1,135 @@
+//! Cross-scheme behavioural invariants on the real paper applications
+//! (shortened windows so debug-mode CI stays fast).
+
+use ms_apps::{SignalGuru, Tmi};
+use ms_core::config::{CheckpointConfig, SchemeKind};
+use ms_core::time::SimDuration;
+use ms_runtime::{Engine, EngineConfig, RunReport};
+
+fn short_cfg(scheme: SchemeKind, n: u32) -> EngineConfig {
+    let window = SimDuration::from_secs(180);
+    EngineConfig {
+        scheme,
+        ckpt: CheckpointConfig::n_in_window(n, window),
+        warmup: SimDuration::from_secs(30),
+        measure: window,
+        ..EngineConfig::default()
+    }
+}
+
+fn run_tmi(scheme: SchemeKind, n: u32) -> RunReport {
+    Engine::new(Tmi::with_window_minutes(1), short_cfg(scheme, n))
+        .unwrap()
+        .run()
+}
+
+#[test]
+fn source_preservation_beats_input_preservation() {
+    // The paper's core common-case claim (§I.1): with no checkpoints
+    // at all, Meteor Shower outperforms the baseline purely through
+    // source preservation.
+    let base = run_tmi(SchemeKind::Baseline, 0);
+    let ms = run_tmi(SchemeKind::MsSrc, 0);
+    assert!(
+        ms.throughput() > base.throughput() * 1.05,
+        "MS-src {:.1} should clearly beat baseline {:.1}",
+        ms.throughput(),
+        base.throughput()
+    );
+    assert!(
+        ms.mean_latency() < base.mean_latency(),
+        "MS-src latency {:?} should undercut baseline {:?}",
+        ms.mean_latency(),
+        base.mean_latency()
+    );
+}
+
+#[test]
+fn all_meteor_schemes_complete_checkpoints() {
+    for scheme in [SchemeKind::MsSrc, SchemeKind::MsSrcAp, SchemeKind::MsSrcApAa] {
+        let report = run_tmi(scheme, 2);
+        let completed = report.completed_checkpoints().count();
+        assert!(
+            completed >= 1,
+            "{scheme:?} completed {completed} checkpoints"
+        );
+        for c in report.completed_checkpoints() {
+            assert_eq!(c.individuals.len(), 55, "all 55 HAUs participate");
+            assert!(c.total_bytes() > 0);
+        }
+    }
+}
+
+#[test]
+fn asynchronous_checkpointing_caps_latency_disruption() {
+    // Fig. 15's claim: synchronous (MS-src) checkpoints spike
+    // instantaneous latency far above the asynchronous schemes'.
+    let src = run_tmi(SchemeKind::MsSrc, 2);
+    let ap = run_tmi(SchemeKind::MsSrcAp, 2);
+    let peak = |r: &RunReport| r.metrics.latency.max().as_secs_f64();
+    assert!(
+        peak(&src) > peak(&ap) * 1.5,
+        "sync peak {:.2}s vs async peak {:.2}s",
+        peak(&src),
+        peak(&ap)
+    );
+}
+
+#[test]
+fn checkpoint_epochs_are_monotone_and_complete_in_order() {
+    let report = run_tmi(SchemeKind::MsSrcAp, 3);
+    let mut last = None;
+    for c in &report.checkpoints {
+        if let Some(prev) = last {
+            assert!(c.epoch > prev, "epochs strictly increase");
+        }
+        last = Some(c.epoch);
+        if let Some(done) = c.completed_at {
+            assert!(done >= c.initiated_at);
+        }
+    }
+}
+
+#[test]
+fn signalguru_state_dwarfs_tmi_state() {
+    // Fig. 5's ordering: SignalGuru (high workload) >> TMI (low).
+    let tmi = run_tmi(SchemeKind::MsSrcAp, 0);
+    let sg = Engine::new(SignalGuru::default_app(), short_cfg(SchemeKind::MsSrcAp, 0))
+        .unwrap()
+        .run();
+    assert!(
+        sg.state_trace.mean() > tmi.state_trace.mean() * 3.0,
+        "SignalGuru {:.0} MB vs TMI {:.0} MB",
+        sg.state_trace.mean() / 1e6,
+        tmi.state_trace.mean() / 1e6
+    );
+}
+
+#[test]
+fn dynamic_haus_are_a_minority() {
+    // §III-C2: dynamic HAUs constitute less than 20% of all HAUs.
+    // Classified on steady-state traces (startup transient trimmed,
+    // as the profiler does): min < avg / 2.
+    let report = run_tmi(SchemeKind::MsSrcAp, 0);
+    let cutoff = 60.0;
+    let dynamic = report
+        .hau_state_traces
+        .iter()
+        .filter(|(_, ts)| {
+            let vals: Vec<f64> = ts
+                .points()
+                .iter()
+                .filter(|(t, _)| t.as_secs_f64() >= cutoff)
+                .map(|&(_, v)| v)
+                .collect();
+            if vals.is_empty() {
+                return false;
+            }
+            let min = vals.iter().copied().fold(f64::MAX, f64::min);
+            let avg = vals.iter().sum::<f64>() / vals.len() as f64;
+            min < avg / 2.0
+        })
+        .count();
+    assert!(dynamic <= 11, "{dynamic}/55 dynamic HAUs (paper: <20%)");
+    assert!(dynamic >= 5, "the k-means HAUs must register as dynamic");
+}
