@@ -212,8 +212,7 @@ impl AppSpec for Bcp {
                 // Two bus lines serve two stops each: paired stops see
                 // the bus (and clear their history) together, half an
                 // interval apart from the other pair.
-                phase_secs: f64::from(self.hist_index(op))
-                    / 2.0_f64
+                phase_secs: f64::from(self.hist_index(op)) / 2.0_f64
                     * self.cfg.bus_interval_mean_secs as f64
                     / 2.0,
                 last_cycle: -1,
@@ -311,7 +310,7 @@ impl Operator for DispatcherOp {
     fn on_tuple(&mut self, _p: PortId, t: Tuple, ctx: &mut dyn OperatorContext) {
         let counter = (self.next % N_COUNTERS_PER_CAM as u64) as u32;
         self.next += 1;
-        ctx.emit(PortId(counter), t.fields);
+        ctx.emit_fields(PortId(counter), t.fields);
     }
 
     fn service_time(&self, _t: &Tuple) -> SimDuration {
@@ -363,21 +362,27 @@ impl Operator for CounterOp {
             let count = count_people(digest);
             let cam = t.fields.get(1).and_then(Value::as_int).unwrap_or(0);
             if self.processed % HISTORY_SAMPLING == 0 {
-                ctx.emit(PortId(1), vec![
+                ctx.emit(
+                    PortId(1),
+                    vec![
+                        Value::Blob {
+                            logical_bytes: *logical_bytes,
+                            digest: digest.clone(),
+                        },
+                        Value::Int(cam),
+                    ],
+                );
+            }
+            ctx.emit(
+                PortId(0),
+                vec![
                     Value::Blob {
-                        logical_bytes: *logical_bytes,
-                        digest: digest.clone(),
+                        logical_bytes: 1_000,
+                        digest: vec![count as f32],
                     },
                     Value::Int(cam),
-                ]);
-            }
-            ctx.emit(PortId(0), vec![
-                Value::Blob {
-                    logical_bytes: 1_000,
-                    digest: vec![count as f32],
-                },
-                Value::Int(cam),
-            ]);
+                ],
+            );
         }
     }
 
@@ -718,7 +723,7 @@ impl Operator for NoiseOp {
     }
 
     fn snapshot(&self) -> OperatorSnapshot {
-        let mut w = SnapshotWriter::new();
+        let mut w = SnapshotWriter::with_capacity(9 + 9 * self.window.len());
         w.put_u64(self.window.len() as u64);
         for v in &self.window {
             w.put_f64(*v);
@@ -732,7 +737,9 @@ impl Operator for NoiseOp {
     fn restore(&mut self, s: &OperatorSnapshot) -> ms_core::Result<()> {
         let mut r = SnapshotReader::new(&s.data);
         let n = r.get_u64()? as usize;
-        self.window = (0..n).map(|_| r.get_f64()).collect::<ms_core::Result<_>>()?;
+        self.window = (0..n)
+            .map(|_| r.get_f64())
+            .collect::<ms_core::Result<_>>()?;
         Ok(())
     }
 }
@@ -799,7 +806,9 @@ impl Operator for RegressionOp {
 
     fn snapshot(&self) -> OperatorSnapshot {
         let mut w = SnapshotWriter::new();
-        w.put_f64(self.slope).put_f64(self.intercept).put_u64(self.n);
+        w.put_f64(self.slope)
+            .put_f64(self.intercept)
+            .put_u64(self.n);
         OperatorSnapshot {
             data: w.finish(),
             logical_bytes: 24,
@@ -978,11 +987,7 @@ mod tests {
         assert_eq!(counts, 16, "one count per frame");
         assert_eq!(history, 2, "every eighth frame forwarded");
         // History frames keep the full logical size.
-        let (p1, fields) = ctx
-            .emitted
-            .iter()
-            .find(|(p, _)| p.0 == 1)
-            .unwrap();
+        let (p1, fields) = ctx.emitted.iter().find(|(p, _)| p.0 == 1).unwrap();
         assert_eq!(p1.0, 1);
         assert_eq!(fields[0].as_blob().unwrap().0, 1_000_000);
     }

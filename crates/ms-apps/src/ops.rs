@@ -52,12 +52,12 @@ pub(crate) mod testctx {
     use ms_core::ids::{OperatorId, PortId};
     use ms_core::operator::OperatorContext;
     use ms_core::time::SimTime;
-    use ms_core::value::Value;
+    use ms_core::tuple::Fields;
 
     /// Collects emissions; deterministic LCG randomness.
     pub struct TestCtx {
         /// Emissions observed.
-        pub emitted: Vec<(PortId, Vec<Value>)>,
+        pub emitted: Vec<(PortId, Fields)>,
         fanout: usize,
         seed: u64,
         /// Value returned by `now()`.
@@ -76,10 +76,10 @@ pub(crate) mod testctx {
     }
 
     impl OperatorContext for TestCtx {
-        fn emit(&mut self, port: PortId, fields: Vec<Value>) {
+        fn emit_fields(&mut self, port: PortId, fields: Fields) {
             self.emitted.push((port, fields));
         }
-        fn emit_all(&mut self, fields: Vec<Value>) {
+        fn emit_all_fields(&mut self, fields: Fields) {
             for p in 0..self.fanout {
                 self.emitted.push((PortId(p as u32), fields.clone()));
             }

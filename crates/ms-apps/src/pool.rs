@@ -84,8 +84,22 @@ impl Pool {
         estimate::sampled_default(&self.items)
     }
 
+    /// Exact encoded size under [`Pool::encode`]: one tagged length
+    /// word plus, per item, two tagged words and one tagged f64 per
+    /// feature. Snapshot implementations pass this to
+    /// [`SnapshotWriter::with_capacity`]/[`SnapshotWriter::reserve`] so
+    /// serialization allocates once instead of doubling.
+    pub fn encoded_bytes(&self) -> usize {
+        9 + self
+            .items
+            .iter()
+            .map(|i| 18 + 9 * i.features.len())
+            .sum::<usize>()
+    }
+
     /// Writes the pool into a snapshot.
     pub fn encode(&self, w: &mut SnapshotWriter) {
+        w.reserve(self.encoded_bytes());
         w.put_u64(self.items.len() as u64);
         for item in &self.items {
             w.put_u64(item.logical);

@@ -253,7 +253,7 @@ impl Operator for DispatcherOp {
     fn on_tuple(&mut self, _p: PortId, t: Tuple, ctx: &mut dyn OperatorContext) {
         let chain = (self.next % 3) as u32;
         self.next += 1;
-        ctx.emit(PortId(chain), t.fields);
+        ctx.emit_fields(PortId(chain), t.fields);
     }
 
     fn service_time(&self, _t: &Tuple) -> SimDuration {
@@ -303,7 +303,7 @@ macro_rules! stateless_filter {
                     .map(|(_, d)| keep(d))
                     .unwrap_or(false);
                 if passes {
-                    ctx.emit_all(t.fields);
+                    ctx.emit_all_fields(t.fields);
                 } else {
                     self.dropped += 1;
                 }
@@ -639,7 +639,11 @@ impl Operator for PredictOp {
         let interval = f64::from(digest.first().copied().unwrap_or(30.0));
         let phase = f64::from(digest.get(1).copied().unwrap_or(0.0));
         self.median_interval = 0.95 * self.median_interval + 0.05 * interval;
-        let label: i8 = if interval > self.median_interval { 1 } else { -1 };
+        let label: i8 = if interval > self.median_interval {
+            1
+        } else {
+            -1
+        };
         self.samples.push((vec![interval, phase], label));
         if self.samples.len() >= SVM_RETRAIN {
             let (xs, ys): (Vec<_>, Vec<_>) = self.samples.drain(..).unzip();
@@ -664,7 +668,14 @@ impl Operator for PredictOp {
     }
 
     fn snapshot(&self) -> OperatorSnapshot {
-        let mut w = SnapshotWriter::new();
+        let encoded = 45
+            + 9 * self.model.w.len()
+            + self
+                .samples
+                .iter()
+                .map(|(x, _)| 18 + 9 * x.len())
+                .sum::<usize>();
+        let mut w = SnapshotWriter::with_capacity(encoded);
         w.put_u64(self.predictions).put_f64(self.median_interval);
         w.put_f64(self.model.b);
         w.put_u64(self.model.w.len() as u64);
@@ -691,13 +702,17 @@ impl Operator for PredictOp {
         self.median_interval = r.get_f64()?;
         self.model.b = r.get_f64()?;
         let n = r.get_u64()? as usize;
-        self.model.w = (0..n).map(|_| r.get_f64()).collect::<ms_core::Result<_>>()?;
+        self.model.w = (0..n)
+            .map(|_| r.get_f64())
+            .collect::<ms_core::Result<_>>()?;
         let k = r.get_u64()? as usize;
         self.samples.clear();
         for _ in 0..k {
             let y = r.get_i64()? as i8;
             let d = r.get_u64()? as usize;
-            let x = (0..d).map(|_| r.get_f64()).collect::<ms_core::Result<_>>()?;
+            let x = (0..d)
+                .map(|_| r.get_f64())
+                .collect::<ms_core::Result<_>>()?;
             self.samples.push((x, y));
         }
         Ok(())

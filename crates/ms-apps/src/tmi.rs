@@ -329,13 +329,14 @@ impl Operator for MapOp {
             // Reference speed per mode appended; shard by station hash.
             let mut annotated = digest.clone();
             annotated.extend_from_slice(&[0.5, 1.5, 8.0, 16.0]);
-            let shard = (digest.first().copied().unwrap_or(0.0) as u64
-                + t.seq)
-                % N_GROUP as u64;
-            ctx.emit(PortId(shard as u32), vec![Value::Blob {
-                logical_bytes: *logical_bytes,
-                digest: annotated,
-            }]);
+            let shard = (digest.first().copied().unwrap_or(0.0) as u64 + t.seq) % N_GROUP as u64;
+            ctx.emit(
+                PortId(shard as u32),
+                vec![Value::Blob {
+                    logical_bytes: *logical_bytes,
+                    digest: annotated,
+                }],
+            );
         }
     }
 
@@ -391,8 +392,7 @@ impl Operator for GroupOp {
             self.count += 1;
             if self.count % GROUP_FANIN == 0 {
                 let n = GROUP_FANIN as f64;
-                let features: Vec<f32> =
-                    self.acc.iter().map(|&v| (v / n) as f32).collect();
+                let features: Vec<f32> = self.acc.iter().map(|&v| (v / n) as f32).collect();
                 self.acc.iter_mut().for_each(|v| *v = 0.0);
                 ctx.emit_all(vec![Value::Blob {
                     logical_bytes: self.grouped_bytes,
@@ -411,7 +411,7 @@ impl Operator for GroupOp {
     }
 
     fn snapshot(&self) -> OperatorSnapshot {
-        let mut w = SnapshotWriter::new();
+        let mut w = SnapshotWriter::with_capacity(27 + 9 * self.acc.len());
         w.put_u64(self.grouped_bytes).put_u64(self.count);
         w.put_u64(self.acc.len() as u64);
         for v in &self.acc {
@@ -428,7 +428,9 @@ impl Operator for GroupOp {
         self.grouped_bytes = r.get_u64()?;
         self.count = r.get_u64()?;
         let n = r.get_u64()? as usize;
-        self.acc = (0..n).map(|_| r.get_f64()).collect::<ms_core::Result<_>>()?;
+        self.acc = (0..n)
+            .map(|_| r.get_f64())
+            .collect::<ms_core::Result<_>>()?;
         Ok(())
     }
 }

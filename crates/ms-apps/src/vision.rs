@@ -40,12 +40,12 @@ pub fn synth_frame(rng: &mut DetRng, logical_bytes: u64, scene: Scene) -> Value 
     let noise = |rng: &mut DetRng, s: f64| (s + rng.normal(0.0, 0.05)).clamp(0.0, 1.0);
     let people = (scene.people + rng.normal(0.0, 0.6)).max(0.0);
     let digest = vec![
-        noise(rng, 0.6) as f32,                       // brightness
+        noise(rng, 0.6) as f32,                                   // brightness
         noise(rng, 0.2 + 0.5 * (1.0 - scene.light_phase)) as f32, // red
         noise(rng, 0.2 + 0.5 * scene.light_phase) as f32,         // green
-        people as f32,                                // people
-        noise(rng, scene.motion) as f32,              // motion energy
-        scene.light_phase.clamp(0.0, 1.0) as f32,     // phase ground truth
+        people as f32,                                            // people
+        noise(rng, scene.motion) as f32,                          // motion energy
+        scene.light_phase.clamp(0.0, 1.0) as f32,                 // phase ground truth
         rng.f64() as f32,
         rng.f64() as f32,
     ];
@@ -83,8 +83,8 @@ pub fn shape_filter(digest: &[f32]) -> bool {
 pub fn motion_score(prev: &[f32], cur: &[f32]) -> f64 {
     let pm = prev.get(4).copied().unwrap_or(0.0) as f64;
     let cm = cur.get(4).copied().unwrap_or(0.0) as f64;
-    let db = (prev.first().copied().unwrap_or(0.0) - cur.first().copied().unwrap_or(0.0)).abs()
-        as f64;
+    let db =
+        (prev.first().copied().unwrap_or(0.0) - cur.first().copied().unwrap_or(0.0)).abs() as f64;
     ((pm + cm) / 2.0 + db).min(1.0)
 }
 

@@ -162,6 +162,62 @@ fn bench_kmeans(c: &mut Criterion) {
     g.finish();
 }
 
+/// Zero-copy emit path: `Tuple::clone` is a refcount bump on the
+/// shared payload, so it costs the same whether the tuple logically
+/// carries 1 KB or 100 MB. The rebuild variant (deep-copying the
+/// values, what emit used to cost) is the contrast.
+fn bench_tuple_clone(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tuple_clone");
+    for (label, logical) in [("1kb_payload", 1_000u64), ("100mb_payload", 100_000_000)] {
+        let t = tuple_with_blob(1, logical);
+        g.bench_function(&format!("refcount_clone_{label}"), |b| b.iter(|| t.clone()));
+        g.bench_function(&format!("rebuild_{label}"), |b| {
+            b.iter(|| Tuple::new(t.producer, t.seq, t.source_time, t.fields.to_vec()))
+        });
+    }
+    g.finish();
+}
+
+/// Snapshot serialization with and without pre-sizing: the writer's
+/// buffer either grows by repeated doubling or is allocated once from
+/// the exact encoded size.
+fn bench_snapshot_presize(c: &mut Criterion) {
+    let mut g = c.benchmark_group("snapshot_presize");
+    let tuples: Vec<Tuple> = (0..1_000).map(|i| tuple_with_blob(i, 50_000)).collect();
+    let encoded: usize = tuples.iter().map(SnapshotWriter::encoded_tuple_bytes).sum();
+    g.throughput(Throughput::Bytes(encoded as u64));
+    g.bench_function("growing_1k_tuples", |b| {
+        b.iter(|| {
+            let mut w = SnapshotWriter::new();
+            for t in &tuples {
+                w.put_tuple(t);
+            }
+            w.finish()
+        })
+    });
+    g.bench_function("presized_1k_tuples", |b| {
+        b.iter(|| {
+            let mut w = SnapshotWriter::with_capacity(encoded);
+            for t in &tuples {
+                w.put_tuple(t);
+            }
+            w.finish()
+        })
+    });
+    let mut pool = Pool::new();
+    for i in 0..10_000 {
+        pool.push(vec![i as f64; 8], 25_000);
+    }
+    g.bench_function("pool_encode_10k", |b| {
+        b.iter(|| {
+            let mut w = SnapshotWriter::new();
+            pool.encode(&mut w);
+            w.finish()
+        })
+    });
+    g.finish();
+}
+
 /// Ablation: synchronous (MS-src) vs asynchronous (MS-src+ap) snapshot
 /// handling on the same tiny deployment — the design choice §III-B
 /// motivates, measured as wall-clock of the whole simulated run.
@@ -197,6 +253,8 @@ criterion_group!(
     bench_cost_models,
     bench_preservation,
     bench_kmeans,
+    bench_tuple_clone,
+    bench_snapshot_presize,
     bench_engine_ablation
 );
 criterion_main!(benches);

@@ -1,0 +1,152 @@
+//! Minimal shared CLI parsing for the figure binaries.
+//!
+//! Every binary accepts the same two flags on top of its positional
+//! arguments:
+//!
+//! * `--seed N` (or `--seed=N`) — master simulation seed.
+//! * `--threads N` (or `--threads=N`) — sweep worker threads; when
+//!   absent the `MS_BENCH_THREADS` environment variable applies, then
+//!   the machine's available parallelism.
+
+use crate::runner;
+
+/// Parsed common flags plus remaining positional arguments.
+#[derive(Clone, Debug, Default)]
+pub struct BenchArgs {
+    seed: Option<u64>,
+    threads: Option<usize>,
+    /// Positional arguments left after flag extraction, in order.
+    pub rest: Vec<String>,
+}
+
+impl BenchArgs {
+    /// Parses the process arguments. Prints usage and exits on
+    /// `--help`/`-h` or a malformed flag.
+    pub fn parse() -> BenchArgs {
+        match Self::try_parse(std::env::args().skip(1)) {
+            Ok(a) => a,
+            Err(HelpOrError::Help) => {
+                println!(
+                    "usage: [--seed N] [--threads N] [ARGS...]\n\
+                     \n\
+                     --seed N      master simulation seed (default per binary)\n\
+                     --threads N   sweep worker threads (default: MS_BENCH_THREADS\n\
+                     \u{20}             env var, else available parallelism)"
+                );
+                std::process::exit(0);
+            }
+            Err(HelpOrError::Error(msg)) => {
+                eprintln!("error: {msg}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Flag parsing proper, separated from process concerns for tests.
+    pub fn try_parse(args: impl Iterator<Item = String>) -> Result<BenchArgs, HelpOrError> {
+        let mut out = BenchArgs::default();
+        let mut args = args;
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--help" | "-h" => return Err(HelpOrError::Help),
+                "--seed" => {
+                    let v = args
+                        .next()
+                        .ok_or_else(|| HelpOrError::Error("--seed needs a value".into()))?;
+                    out.seed = Some(parse_num(&v, "--seed")?);
+                }
+                "--threads" => {
+                    let v = args
+                        .next()
+                        .ok_or_else(|| HelpOrError::Error("--threads needs a value".into()))?;
+                    out.threads = Some(parse_num(&v, "--threads")?);
+                }
+                s if s.starts_with("--seed=") => {
+                    out.seed = Some(parse_num(&s["--seed=".len()..], "--seed")?);
+                }
+                s if s.starts_with("--threads=") => {
+                    out.threads = Some(parse_num(&s["--threads=".len()..], "--threads")?);
+                }
+                s if s.starts_with("--") => {
+                    return Err(HelpOrError::Error(format!("unknown flag {s}")));
+                }
+                _ => out.rest.push(arg),
+            }
+        }
+        Ok(out)
+    }
+
+    /// The seed, with a per-binary default.
+    pub fn seed_or(&self, default: u64) -> u64 {
+        self.seed.unwrap_or(default)
+    }
+
+    /// The seed, defaulting to the figures' canonical 42.
+    pub fn seed(&self) -> u64 {
+        self.seed_or(42)
+    }
+
+    /// Resolved worker-thread count (flag, then `MS_BENCH_THREADS`,
+    /// then available parallelism).
+    pub fn threads(&self) -> usize {
+        runner::thread_count(self.threads)
+    }
+}
+
+/// Why parsing stopped early.
+#[derive(Debug)]
+pub enum HelpOrError {
+    /// `--help` requested.
+    Help,
+    /// A malformed or unknown flag.
+    Error(String),
+}
+
+fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, HelpOrError> {
+    s.trim()
+        .parse()
+        .map_err(|_| HelpOrError::Error(format!("{flag}: invalid value {s:?}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(parts: &[&str]) -> BenchArgs {
+        BenchArgs::try_parse(parts.iter().map(|s| s.to_string())).unwrap()
+    }
+
+    #[test]
+    fn parses_flags_and_positionals() {
+        let a = parse(&["--seed", "7", "TMI", "--threads=3", "600"]);
+        assert_eq!(a.seed(), 7);
+        assert_eq!(a.threads(), 3);
+        assert_eq!(a.rest, vec!["TMI", "600"]);
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse(&[]);
+        assert_eq!(a.seed(), 42);
+        assert_eq!(a.seed_or(2012), 2012);
+        assert!(a.threads() >= 1);
+    }
+
+    #[test]
+    fn inline_seed_form() {
+        let a = parse(&["--seed=99"]);
+        assert_eq!(a.seed(), 99);
+    }
+
+    #[test]
+    fn unknown_flag_errors() {
+        let r = BenchArgs::try_parse(["--bogus".to_string()].into_iter());
+        assert!(matches!(r, Err(HelpOrError::Error(_))));
+    }
+
+    #[test]
+    fn missing_value_errors() {
+        let r = BenchArgs::try_parse(["--threads".to_string()].into_iter());
+        assert!(matches!(r, Err(HelpOrError::Error(_))));
+    }
+}

@@ -4,68 +4,109 @@
 //! aggregate state-size trace: TMI for N = 1, 5, 10 over 20 minutes,
 //! BCP over 20 minutes, SignalGuru over 14 minutes. Prints the trace
 //! (downsampled), the local minima count, and the min/avg/max envelope
-//! against the paper's.
+//! against the paper's. The five traces run concurrently on the sweep
+//! worker pool.
 
 use ms_apps::{Bcp, SignalGuru, Tmi};
 use ms_bench::paper::FIG5_STATE_MB;
+use ms_bench::runner::run_parallel;
+use ms_bench::BenchArgs;
 use ms_core::config::SchemeKind;
 use ms_core::time::SimDuration;
 use ms_runtime::{Engine, EngineConfig, RunReport};
 
-fn run_trace(app_label: &str, minutes: u64, build: impl FnOnce() -> RunReport) {
-    let report = build();
-    let trace = &report.state_trace;
-    println!("--- {app_label} ({minutes} minutes) ---");
-    // Downsampled series (one point per ~30 s) for plotting.
-    let points = trace.points();
-    let step = (points.len() / (minutes as usize * 2)).max(1);
-    print!("trace MB:");
-    for (i, (t, v)) in points.iter().enumerate() {
-        if i % step == 0 {
-            print!(" {:.0}:{:.0}", t.as_secs_f64(), v / 1e6);
-        }
-    }
-    println!();
-    let minima = trace.local_minima().len();
-    println!(
-        "min {:.0} MB | avg {:.0} MB | max {:.0} MB | {} local minima",
-        trace.min() / 1e6,
-        trace.mean() / 1e6,
-        trace.max() / 1e6,
-        minima
-    );
+/// One trace of the figure: which app variant, over how many minutes.
+#[derive(Clone, Copy)]
+enum Trace {
+    Tmi(u64),
+    Bcp,
+    SignalGuru,
 }
 
-fn cfg(minutes: u64) -> EngineConfig {
+impl Trace {
+    fn label(self) -> String {
+        match self {
+            Trace::Tmi(n) => format!("TMI N={n}"),
+            Trace::Bcp => "BCP".to_string(),
+            Trace::SignalGuru => "SignalGuru".to_string(),
+        }
+    }
+
+    fn minutes(self) -> u64 {
+        match self {
+            Trace::Tmi(_) | Trace::Bcp => 20,
+            Trace::SignalGuru => 14,
+        }
+    }
+
+    fn run(self, seed: u64) -> RunReport {
+        let cfg = cfg(self.minutes(), seed);
+        match self {
+            Trace::Tmi(n) => Engine::new(Tmi::with_window_minutes(n), cfg)
+                .expect("valid app")
+                .run(),
+            Trace::Bcp => Engine::new(Bcp::default_app(), cfg)
+                .expect("valid app")
+                .run(),
+            Trace::SignalGuru => Engine::new(SignalGuru::default_app(), cfg)
+                .expect("valid app")
+                .run(),
+        }
+    }
+}
+
+fn render_trace(trace: Trace, seed: u64) -> String {
+    let report = trace.run(seed);
+    let minutes = trace.minutes();
+    let ts = &report.state_trace;
+    let mut out = format!("--- {} ({minutes} minutes) ---\n", trace.label());
+    // Downsampled series (one point per ~30 s) for plotting.
+    let points = ts.points();
+    let step = (points.len() / (minutes as usize * 2)).max(1);
+    out.push_str("trace MB:");
+    for (i, (t, v)) in points.iter().enumerate() {
+        if i % step == 0 {
+            out.push_str(&format!(" {:.0}:{:.0}", t.as_secs_f64(), v / 1e6));
+        }
+    }
+    out.push('\n');
+    let minima = ts.local_minima().len();
+    out.push_str(&format!(
+        "min {:.0} MB | avg {:.0} MB | max {:.0} MB | {} local minima",
+        ts.min() / 1e6,
+        ts.mean() / 1e6,
+        ts.max() / 1e6,
+        minima
+    ));
+    out
+}
+
+fn cfg(minutes: u64, seed: u64) -> EngineConfig {
     EngineConfig {
         scheme: SchemeKind::MsSrcAp,
-        ckpt: ms_core::config::CheckpointConfig::n_in_window(
-            0,
-            SimDuration::from_secs(600),
-        ),
+        ckpt: ms_core::config::CheckpointConfig::n_in_window(0, SimDuration::from_secs(600)),
         warmup: SimDuration::from_secs(0),
         measure: SimDuration::from_secs(minutes * 60),
+        seed,
         ..EngineConfig::default()
     }
 }
 
 fn main() {
+    let args = BenchArgs::parse();
     println!("Fig. 5: state-size fluctuation (checkpointing disabled)\n");
-    for n in [1u64, 5, 10] {
-        run_trace(&format!("TMI N={n}"), 20, || {
-            Engine::new(Tmi::with_window_minutes(n), cfg(20))
-                .expect("valid app")
-                .run()
-        });
+    let traces = [
+        Trace::Tmi(1),
+        Trace::Tmi(5),
+        Trace::Tmi(10),
+        Trace::Bcp,
+        Trace::SignalGuru,
+    ];
+    let seed = args.seed();
+    let blocks = run_parallel(&traces, args.threads(), |&t| render_trace(t, seed));
+    for block in blocks {
+        println!("{block}");
     }
-    run_trace("BCP", 20, || {
-        Engine::new(Bcp::default_app(), cfg(20)).expect("valid app").run()
-    });
-    run_trace("SignalGuru", 14, || {
-        Engine::new(SignalGuru::default_app(), cfg(14))
-            .expect("valid app")
-            .run()
-    });
 
     println!("\npaper envelopes (Fig. 5):");
     for (app, [min, avg, max]) in FIG5_STATE_MB {

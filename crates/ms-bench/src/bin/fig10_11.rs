@@ -6,6 +6,7 @@
 //! factor) and the execution-phase controller (alert mode, aggregated
 //! ICR, checkpoint at the first local minimum of each period).
 
+use ms_bench::BenchArgs;
 use ms_core::ids::HauId;
 use ms_core::metrics::TimeSeries;
 use ms_core::time::{SimDuration, SimTime};
@@ -20,18 +21,21 @@ fn series(points: &[(u64, f64)]) -> TimeSeries {
 }
 
 fn main() {
+    // Shared-flag parsing only (the walkthrough replays fixed series;
+    // no simulation sweep to seed or parallelize).
+    let _ = BenchArgs::parse();
     // Fig. 10's two dynamic HAUs (sizes in MB, time in 10 s steps).
     let hau1: Vec<(u64, f64)> = [
-        100.0, 150.0, 200.0, 250.0, 200.0, 150.0, 100.0, 40.0, 100.0, 160.0, 220.0,
-        160.0, 100.0, 50.0, 95.0, 140.0,
+        100.0, 150.0, 200.0, 250.0, 200.0, 150.0, 100.0, 40.0, 100.0, 160.0, 220.0, 160.0, 100.0,
+        50.0, 95.0, 140.0,
     ]
     .iter()
     .enumerate()
     .map(|(i, &v)| (i as u64 * 10, v))
     .collect();
     let hau2: Vec<(u64, f64)> = [
-        220.0, 250.0, 190.0, 130.0, 100.0, 130.0, 160.0, 190.0, 220.0, 160.0, 100.0,
-        50.0, 87.5, 120.0, 87.5, 60.0,
+        220.0, 250.0, 190.0, 130.0, 100.0, 130.0, 160.0, 190.0, 220.0, 160.0, 100.0, 50.0, 87.5,
+        120.0, 87.5, 60.0,
     ]
     .iter()
     .enumerate()
@@ -52,7 +56,10 @@ fn main() {
         &cfg,
     );
     println!("Fig. 10: profiling phase");
-    println!("  dynamic HAUs: {:?} (paper: <20% of all HAUs)", prof.dynamic);
+    println!(
+        "  dynamic HAUs: {:?} (paper: <20% of all HAUs)",
+        prof.dynamic
+    );
     println!(
         "  smin = {:.1} MB, smax = {:.1} MB, relaxation factor = {:.0}% (bounded >= 20%)",
         prof.smin,

@@ -2,20 +2,36 @@
 //!
 //! For each application and scheme, runs the 10-minute window with
 //! 0..=8 checkpoints and prints throughput normalized to the baseline
-//! at zero checkpoints (exactly the paper's normalization).
+//! at zero checkpoints (exactly the paper's normalization). The 108
+//! cells run concurrently on the sweep worker pool (`--threads` /
+//! `MS_BENCH_THREADS`); per-cell wall-clock lands in
+//! `BENCH_sweep.json`.
+
+use std::path::Path;
 
 use ms_bench::paper::{
-    FIG12_BCP_BASELINE, FIG12_BCP_MSSRC, FIG12_TMI_BASELINE, FIG12_TMI_MSSRC,
-    FIG12_ZERO_CKPT_GAIN,
+    FIG12_BCP_BASELINE, FIG12_BCP_MSSRC, FIG12_TMI_BASELINE, FIG12_TMI_MSSRC, FIG12_ZERO_CKPT_GAIN,
 };
-use ms_bench::runner::{cell, sweep_app, APPS};
+use ms_bench::runner::{cell, cells_for, sweep_all, write_sweep_json, APPS};
+use ms_bench::BenchArgs;
 use ms_core::config::SchemeKind;
 
 fn main() {
+    let args = BenchArgs::parse();
+    let (seed, threads) = (args.seed(), args.threads());
     let ns: Vec<u32> = (0..=8).collect();
     println!("Fig. 12: normalized throughput vs checkpoints in 10 minutes\n");
+
+    let t0 = std::time::Instant::now();
+    let timed = sweep_all(&APPS, &ns, seed, threads);
+    let total = t0.elapsed().as_secs_f64();
+    println!(
+        "({} cells on {threads} thread(s) in {total:.1}s wall)\n",
+        timed.len()
+    );
+
     for app in APPS {
-        let cells = sweep_app(app, &ns, 42);
+        let cells = cells_for(&timed, app);
         let base0 = cell(&cells, SchemeKind::Baseline, 0)
             .expect("baseline cell")
             .throughput;
@@ -57,6 +73,11 @@ fn main() {
         println!(
             "source preservation gain @0 ckpts: measured {gain:.2}x, paper {paper_gain:.2}x\n"
         );
+    }
+
+    match write_sweep_json(Path::new("BENCH_sweep.json"), threads, total, &timed) {
+        Ok(()) => println!("wrote BENCH_sweep.json"),
+        Err(e) => eprintln!("could not write BENCH_sweep.json: {e}"),
     }
 }
 

@@ -1,16 +1,31 @@
 //! Fig. 13 — normalized latency vs. number of checkpoints.
 //!
 //! Same sweep as Fig. 12; prints mean end-to-end latency normalized to
-//! the baseline at zero checkpoints.
+//! the baseline at zero checkpoints. Cells run concurrently on the
+//! sweep worker pool; per-cell wall-clock lands in `BENCH_sweep.json`.
 
-use ms_bench::runner::{cell, sweep_app, APPS};
+use std::path::Path;
+
+use ms_bench::runner::{cell, cells_for, sweep_all, write_sweep_json, APPS};
+use ms_bench::BenchArgs;
 use ms_core::config::SchemeKind;
 
 fn main() {
+    let args = BenchArgs::parse();
+    let (seed, threads) = (args.seed(), args.threads());
     let ns: Vec<u32> = (0..=8).collect();
     println!("Fig. 13: normalized latency vs checkpoints in 10 minutes\n");
+
+    let t0 = std::time::Instant::now();
+    let timed = sweep_all(&APPS, &ns, seed, threads);
+    let total = t0.elapsed().as_secs_f64();
+    println!(
+        "({} cells on {threads} thread(s) in {total:.1}s wall)\n",
+        timed.len()
+    );
+
     for app in APPS {
-        let cells = sweep_app(app, &ns, 42);
+        let cells = cells_for(&timed, app);
         let base0 = cell(&cells, SchemeKind::Baseline, 0)
             .expect("baseline cell")
             .latency;
@@ -39,5 +54,10 @@ fn main() {
             "MS-src+ap+aa vs baseline @3 ckpts: x{:.2} (paper: -57% => x0.43)\n",
             aa3 / b3
         );
+    }
+
+    match write_sweep_json(Path::new("BENCH_sweep.json"), threads, total, &timed) {
+        Ok(()) => println!("wrote BENCH_sweep.json"),
+        Err(e) => eprintln!("could not write BENCH_sweep.json: {e}"),
     }
 }

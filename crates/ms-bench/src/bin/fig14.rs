@@ -5,10 +5,13 @@
 //! individual checkpoint is reported; for MS-src the total time (token
 //! propagation and individual checkpoints overlap). The Oracle forces
 //! the checkpoint at the minimal-state instant observed in a prior run
-//! of the same workload ("obtained from observing prior runs").
+//! of the same workload ("obtained from observing prior runs"). The
+//! three applications' measurement chains run concurrently; rows print
+//! in figure order.
 
 use ms_bench::paper::FIG14_CHECKPOINT_SECS;
-use ms_bench::runner::{paper_config, run_app, APPS};
+use ms_bench::runner::{paper_config, run_app, run_parallel, APPS};
+use ms_bench::BenchArgs;
 use ms_core::config::SchemeKind;
 use ms_core::time::{SimDuration, SimTime};
 use ms_runtime::report::ckpt_phase;
@@ -35,52 +38,68 @@ fn extract(report: &RunReport, total_mode: bool) -> Option<[f64; 4]> {
     }
 }
 
+/// Runs every Fig. 14 measurement for one application and renders its
+/// rows. Runs inside a sweep worker; only returns text.
+fn app_block(ai: usize, app: &str, seed: u64) -> String {
+    let paper = FIG14_CHECKPOINT_SECS[ai].1;
+    let mut out = String::new();
+    // Forced single checkpoint mid-window for MS-src / MS-src+ap.
+    for (si, scheme) in [SchemeKind::MsSrc, SchemeKind::MsSrcAp].iter().enumerate() {
+        let mut cfg = paper_config(*scheme, 1, seed);
+        cfg.measure = SimDuration::from_secs(900);
+        cfg.forced_checkpoints = vec![SimTime::ZERO + cfg.warmup + SimDuration::from_secs(200)];
+        let report = run_app(app, cfg);
+        out.push_str(&row(
+            app,
+            scheme.label(),
+            extract(&report, *scheme == SchemeKind::MsSrc),
+            paper[si],
+        ));
+    }
+    // aa chooses its own moment within one 600 s period (window
+    // extended so the write completes).
+    let mut aa_cfg = paper_config(SchemeKind::MsSrcApAa, 1, seed);
+    aa_cfg.measure = SimDuration::from_secs(900);
+    let report = run_app(app, aa_cfg);
+    out.push_str(&row(app, "MS-src+ap+aa", extract(&report, false), paper[2]));
+
+    // Oracle: checkpoint exactly at the minimal-state instant of a
+    // prior (checkpoint-free) run.
+    let probe = run_app(app, paper_config(SchemeKind::MsSrcAp, 0, seed));
+    let t_min = probe
+        .state_trace
+        .points()
+        .iter()
+        .skip_while(|(t, _)| t.as_secs_f64() < probe.window.as_secs_f64() * 0.2)
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .map(|&(t, _)| t)
+        .unwrap_or(SimTime::from_secs(300));
+    let mut cfg = paper_config(SchemeKind::MsSrcAp, 1, seed);
+    cfg.measure = SimDuration::from_secs(900);
+    cfg.forced_checkpoints = vec![t_min];
+    let report = run_app(app, cfg);
+    out.push_str(&row(app, "Oracle", extract(&report, false), paper[3]));
+    out
+}
+
 fn main() {
+    let args = BenchArgs::parse();
+    let seed = args.seed();
     println!("Fig. 14: checkpoint time (s), breakdown of the slowest individual");
     println!("checkpoint (total for MS-src)\n");
     println!(
         "{:<12} {:<14} {:>8} {:>8} {:>8} {:>8} {:>10}",
         "app", "scheme", "token", "disk", "other", "total", "paper"
     );
-    for (ai, app) in APPS.iter().enumerate() {
-        let paper = FIG14_CHECKPOINT_SECS[ai].1;
-        // Forced single checkpoint mid-window for MS-src / MS-src+ap.
-        for (si, scheme) in [SchemeKind::MsSrc, SchemeKind::MsSrcAp].iter().enumerate() {
-            let mut cfg = paper_config(*scheme, 1, 42);
-            cfg.measure = SimDuration::from_secs(900);
-            cfg.forced_checkpoints =
-                vec![SimTime::ZERO + cfg.warmup + SimDuration::from_secs(200)];
-            let report = run_app(app, cfg);
-            print_row(app, scheme.label(), extract(&report, *scheme == SchemeKind::MsSrc), paper[si]);
-        }
-        // aa chooses its own moment within one 600 s period (window
-        // extended so the write completes).
-        let mut aa_cfg = paper_config(SchemeKind::MsSrcApAa, 1, 42);
-        aa_cfg.measure = SimDuration::from_secs(900);
-        let report = run_app(app, aa_cfg);
-        print_row(app, "MS-src+ap+aa", extract(&report, false), paper[2]);
-
-        // Oracle: checkpoint exactly at the minimal-state instant of a
-        // prior (checkpoint-free) run.
-        let probe = run_app(app, paper_config(SchemeKind::MsSrcAp, 0, 42));
-        let t_min = probe
-            .state_trace
-            .points()
-            .iter()
-            .skip_while(|(t, _)| t.as_secs_f64() < probe.window.as_secs_f64() * 0.2)
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-            .map(|&(t, _)| t)
-            .unwrap_or(SimTime::from_secs(300));
-        let mut cfg = paper_config(SchemeKind::MsSrcAp, 1, 42);
-        cfg.measure = SimDuration::from_secs(900);
-        cfg.forced_checkpoints = vec![t_min];
-        let report = run_app(app, cfg);
-        print_row(app, "Oracle", extract(&report, false), paper[3]);
+    let idx: Vec<usize> = (0..APPS.len()).collect();
+    let blocks = run_parallel(&idx, args.threads(), |&ai| app_block(ai, APPS[ai], seed));
+    for block in blocks {
+        print!("{block}");
         println!();
     }
 }
 
-fn print_row(app: &str, scheme: &str, vals: Option<[f64; 4]>, paper: f64) {
+fn row(app: &str, scheme: &str, vals: Option<[f64; 4]>, paper: f64) -> String {
     match vals {
         Some([tok, disk, other, total]) => {
             let f = |v: f64| {
@@ -90,8 +109,8 @@ fn print_row(app: &str, scheme: &str, vals: Option<[f64; 4]>, paper: f64) {
                     format!("{v:.1}")
                 }
             };
-            println!(
-                "{:<12} {:<14} {:>8} {:>8} {:>8} {:>8.1} {:>10.1}",
+            format!(
+                "{:<12} {:<14} {:>8} {:>8} {:>8} {:>8.1} {:>10.1}\n",
                 app,
                 scheme,
                 f(tok),
@@ -99,8 +118,8 @@ fn print_row(app: &str, scheme: &str, vals: Option<[f64; 4]>, paper: f64) {
                 f(other),
                 total,
                 paper
-            );
+            )
         }
-        None => println!("{app:<12} {scheme:<14} (no completed checkpoint)"),
+        None => format!("{app:<12} {scheme:<14} (no completed checkpoint)\n"),
     }
 }

@@ -4,76 +4,95 @@
 //! end-to-end latency of tuples completing around the checkpoint,
 //! bucketed in 5-second bins relative to the checkpoint initiation —
 //! the synchronous scheme's spike versus the asynchronous schemes'
-//! near-flat profile.
+//! near-flat profile. The nine (app, scheme) runs execute concurrently
+//! on the sweep worker pool; blocks print in figure order.
 
-use ms_bench::runner::{paper_config, run_app, APPS};
+use ms_bench::runner::{paper_config, run_app, run_parallel, APPS};
+use ms_bench::BenchArgs;
 use ms_core::config::SchemeKind;
 use ms_core::time::{SimDuration, SimTime};
 
 const BIN_SECS: f64 = 5.0;
 const SPAN_SECS: f64 = 180.0;
 
-fn main() {
-    println!("Fig. 15: instantaneous latency during a checkpoint (seconds)\n");
-    for app in APPS {
-        println!("--- {app} ---");
-        for scheme in [
-            SchemeKind::MsSrc,
-            SchemeKind::MsSrcAp,
-            SchemeKind::MsSrcApAa,
-        ] {
-            let mut cfg = paper_config(scheme, 1, 42);
-            if scheme != SchemeKind::MsSrcApAa {
-                cfg.forced_checkpoints =
-                    vec![SimTime::ZERO + cfg.warmup + SimDuration::from_secs(120)];
-            }
-            let report = run_app(app, cfg);
-            let Some(t0) = report.checkpoints.first().map(|c| c.initiated_at) else {
-                println!("{:<14} (no checkpoint)", scheme.label());
-                continue;
-            };
-            // Bucket latencies relative to checkpoint initiation.
-            let nbins = (SPAN_SECS / BIN_SECS) as usize;
-            let mut bins = vec![(0.0f64, 0u32); nbins];
-            for &(t, lat) in report.metrics.instantaneous_latency.points() {
-                let dt = t.as_secs_f64() - t0.as_secs_f64() + 10.0;
-                if dt >= 0.0 && dt < SPAN_SECS {
-                    let b = (dt / BIN_SECS) as usize;
-                    bins[b].0 += lat;
-                    bins[b].1 += 1;
-                }
-            }
-            let baselat: f64 = {
-                // Pre-checkpoint reference latency.
-                let pre: Vec<f64> = report
-                    .metrics
-                    .instantaneous_latency
-                    .points()
-                    .iter()
-                    .filter(|(t, _)| *t < t0)
-                    .map(|&(_, l)| l)
-                    .collect();
-                if pre.is_empty() {
-                    0.0
-                } else {
-                    pre.iter().sum::<f64>() / pre.len() as f64
-                }
-            };
-            print!("{:<14}", scheme.label());
-            let mut peak = 0.0f64;
-            for (sum, n) in &bins {
-                let v = if *n > 0 { sum / f64::from(*n) } else { 0.0 };
-                peak = peak.max(v);
-                print!(" {v:>5.1}");
-            }
-            println!();
-            println!(
-                "  steady {:.1}s, peak {:.1}s => x{:.1} spike (paper: MS-src 5~12x, MS-src+ap+aa ~1.5x)",
-                baselat,
-                peak,
-                if baselat > 0.0 { peak / baselat } else { 0.0 }
-            );
+const SCHEMES: [SchemeKind; 3] = [
+    SchemeKind::MsSrc,
+    SchemeKind::MsSrcAp,
+    SchemeKind::MsSrcApAa,
+];
+
+/// One (app, scheme) measurement, rendered to its two output lines.
+fn scheme_block(app: &str, scheme: SchemeKind, seed: u64) -> String {
+    let mut cfg = paper_config(scheme, 1, seed);
+    if scheme != SchemeKind::MsSrcApAa {
+        cfg.forced_checkpoints = vec![SimTime::ZERO + cfg.warmup + SimDuration::from_secs(120)];
+    }
+    let report = run_app(app, cfg);
+    let Some(t0) = report.checkpoints.first().map(|c| c.initiated_at) else {
+        return format!("{:<14} (no checkpoint)\n", scheme.label());
+    };
+    // Bucket latencies relative to checkpoint initiation.
+    let nbins = (SPAN_SECS / BIN_SECS) as usize;
+    let mut bins = vec![(0.0f64, 0u32); nbins];
+    for &(t, lat) in report.metrics.instantaneous_latency.points() {
+        let dt = t.as_secs_f64() - t0.as_secs_f64() + 10.0;
+        if (0.0..SPAN_SECS).contains(&dt) {
+            let b = (dt / BIN_SECS) as usize;
+            bins[b].0 += lat;
+            bins[b].1 += 1;
         }
-        println!();
+    }
+    let baselat: f64 = {
+        // Pre-checkpoint reference latency.
+        let pre: Vec<f64> = report
+            .metrics
+            .instantaneous_latency
+            .points()
+            .iter()
+            .filter(|(t, _)| *t < t0)
+            .map(|&(_, l)| l)
+            .collect();
+        if pre.is_empty() {
+            0.0
+        } else {
+            pre.iter().sum::<f64>() / pre.len() as f64
+        }
+    };
+    let mut out = format!("{:<14}", scheme.label());
+    let mut peak = 0.0f64;
+    for (sum, n) in &bins {
+        let v = if *n > 0 { sum / f64::from(*n) } else { 0.0 };
+        peak = peak.max(v);
+        out.push_str(&format!(" {v:>5.1}"));
+    }
+    out.push('\n');
+    out.push_str(&format!(
+        "  steady {:.1}s, peak {:.1}s => x{:.1} spike (paper: MS-src 5~12x, MS-src+ap+aa ~1.5x)\n",
+        baselat,
+        peak,
+        if baselat > 0.0 { peak / baselat } else { 0.0 }
+    ));
+    out
+}
+
+fn main() {
+    let args = BenchArgs::parse();
+    let seed = args.seed();
+    println!("Fig. 15: instantaneous latency during a checkpoint (seconds)\n");
+    let cells: Vec<(&str, SchemeKind)> = APPS
+        .iter()
+        .flat_map(|&app| SCHEMES.iter().map(move |&s| (app, s)))
+        .collect();
+    let blocks = run_parallel(&cells, args.threads(), |&(app, scheme)| {
+        scheme_block(app, scheme, seed)
+    });
+    for (i, block) in blocks.iter().enumerate() {
+        if i % SCHEMES.len() == 0 {
+            println!("--- {} ---", cells[i].0);
+        }
+        print!("{block}");
+        if i % SCHEMES.len() == SCHEMES.len() - 1 {
+            println!();
+        }
     }
 }

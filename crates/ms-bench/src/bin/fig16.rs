@@ -6,10 +6,12 @@
 //! MS-src and MS-src+ap share a bar (identical checkpoint contents up
 //! to in-flight tuples); MS-src+ap+aa recovers from its minimal-state
 //! checkpoint; the Oracle from a checkpoint forced at the true
-//! minimal-state instant.
+//! minimal-state instant. The three applications' probe/fail chains
+//! run concurrently; rows print in figure order.
 
 use ms_bench::paper::FIG16_RECOVERY_SECS;
-use ms_bench::runner::{paper_config, run_app, APPS};
+use ms_bench::runner::{paper_config, run_app, run_parallel, APPS};
+use ms_bench::BenchArgs;
 use ms_core::config::SchemeKind;
 use ms_core::time::{SimDuration, SimTime};
 use ms_runtime::report::rec_phase;
@@ -25,90 +27,104 @@ fn recovery_row(report: &RunReport) -> Option<[f64; 4]> {
     ])
 }
 
+/// Runs every Fig. 16 measurement for one application and renders its
+/// rows. Runs inside a sweep worker; only returns text.
+fn app_block(ai: usize, app: &str, seed: u64) -> String {
+    let paper = FIG16_RECOVERY_SECS[ai].1;
+    let mut out = String::new();
+
+    // MS-src(+ap): checkpoint at +200 s; probe for its completion
+    // time, then fail 60 s after it.
+    let mut cfg = paper_config(SchemeKind::MsSrcAp, 1, seed);
+    cfg.measure = SimDuration::from_secs(900);
+    let t_ck = SimTime::ZERO + cfg.warmup + SimDuration::from_secs(200);
+    cfg.forced_checkpoints = vec![t_ck];
+    let probe = run_app(app, cfg.clone());
+    let done = probe
+        .completed_checkpoints()
+        .next()
+        .and_then(|c| c.completed_at)
+        .expect("forced checkpoint completes");
+    cfg.failure = Some(FailurePlan {
+        at: done + SimDuration::from_secs(60),
+        target: FailTarget::AllComputeNodes,
+    });
+    let report = run_app(app, cfg);
+    out.push_str(&row(app, "MS-src(+ap)", recovery_row(&report), paper[0]));
+
+    // MS-src+ap+aa: let it choose its checkpoint, then fail 60 s
+    // after completion (two-phase: probe run finds the time).
+    let mut aa_cfg = paper_config(SchemeKind::MsSrcApAa, 1, seed);
+    aa_cfg.measure = SimDuration::from_secs(900);
+    let probe = run_app(app, aa_cfg.clone());
+    let aa_done = probe
+        .completed_checkpoints()
+        .next()
+        .and_then(|c| c.completed_at);
+    if let Some(done) = aa_done {
+        let mut cfg = aa_cfg;
+        cfg.failure = Some(FailurePlan {
+            at: done + SimDuration::from_secs(60),
+            target: FailTarget::AllComputeNodes,
+        });
+        let report = run_app(app, cfg);
+        out.push_str(&row(app, "MS-src+ap+aa", recovery_row(&report), paper[1]));
+    } else {
+        out.push_str(&format!(
+            "{app:<12} MS-src+ap+aa (no completed checkpoint in probe)\n"
+        ));
+    }
+
+    // Oracle: checkpoint forced at the minimal-state instant.
+    let probe = run_app(app, paper_config(SchemeKind::MsSrcAp, 0, seed));
+    let t_min = probe
+        .state_trace
+        .points()
+        .iter()
+        .skip_while(|(t, _)| t.as_secs_f64() < probe.window.as_secs_f64() * 0.2)
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .map(|&(t, _)| t)
+        .unwrap_or(SimTime::from_secs(300));
+    let mut cfg = paper_config(SchemeKind::MsSrcAp, 1, seed);
+    cfg.measure = SimDuration::from_secs(900);
+    cfg.forced_checkpoints = vec![t_min];
+    let probe = run_app(app, cfg.clone());
+    let done = probe
+        .completed_checkpoints()
+        .next()
+        .and_then(|c| c.completed_at)
+        .expect("oracle checkpoint completes");
+    cfg.failure = Some(FailurePlan {
+        at: done + SimDuration::from_secs(60),
+        target: FailTarget::AllComputeNodes,
+    });
+    let report = run_app(app, cfg);
+    out.push_str(&row(app, "Oracle", recovery_row(&report), paper[2]));
+    out
+}
+
 fn main() {
+    let args = BenchArgs::parse();
+    let seed = args.seed();
     println!("Fig. 16: worst-case recovery time (s) — all compute nodes fail\n");
     println!(
         "{:<12} {:<14} {:>9} {:>8} {:>8} {:>8} {:>10}",
         "app", "scheme", "reconnect", "disk", "other", "total", "paper"
     );
-    for (ai, app) in APPS.iter().enumerate() {
-        let paper = FIG16_RECOVERY_SECS[ai].1;
-
-        // MS-src(+ap): checkpoint at +200 s; probe for its completion
-        // time, then fail 60 s after it.
-        let mut cfg = paper_config(SchemeKind::MsSrcAp, 1, 42);
-        cfg.measure = SimDuration::from_secs(900);
-        let t_ck = SimTime::ZERO + cfg.warmup + SimDuration::from_secs(200);
-        cfg.forced_checkpoints = vec![t_ck];
-        let probe = run_app(app, cfg.clone());
-        let done = probe
-            .completed_checkpoints()
-            .next()
-            .and_then(|c| c.completed_at)
-            .expect("forced checkpoint completes");
-        cfg.failure = Some(FailurePlan {
-            at: done + SimDuration::from_secs(60),
-            target: FailTarget::AllComputeNodes,
-        });
-        let report = run_app(app, cfg);
-        print_row(app, "MS-src(+ap)", recovery_row(&report), paper[0]);
-
-        // MS-src+ap+aa: let it choose its checkpoint, then fail 60 s
-        // after completion (two-phase: probe run finds the time).
-        let mut aa_cfg = paper_config(SchemeKind::MsSrcApAa, 1, 42);
-        aa_cfg.measure = SimDuration::from_secs(900);
-        let probe = run_app(app, aa_cfg.clone());
-        let aa_done = probe
-            .completed_checkpoints()
-            .next()
-            .and_then(|c| c.completed_at);
-        if let Some(done) = aa_done {
-            let mut cfg = aa_cfg;
-            cfg.failure = Some(FailurePlan {
-                at: done + SimDuration::from_secs(60),
-                target: FailTarget::AllComputeNodes,
-            });
-            let report = run_app(app, cfg);
-            print_row(app, "MS-src+ap+aa", recovery_row(&report), paper[1]);
-        } else {
-            println!("{app:<12} MS-src+ap+aa (no completed checkpoint in probe)");
-        }
-
-        // Oracle: checkpoint forced at the minimal-state instant.
-        let probe = run_app(app, paper_config(SchemeKind::MsSrcAp, 0, 42));
-        let t_min = probe
-            .state_trace
-            .points()
-            .iter()
-            .skip_while(|(t, _)| t.as_secs_f64() < probe.window.as_secs_f64() * 0.2)
-            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
-            .map(|&(t, _)| t)
-            .unwrap_or(SimTime::from_secs(300));
-        let mut cfg = paper_config(SchemeKind::MsSrcAp, 1, 42);
-        cfg.measure = SimDuration::from_secs(900);
-        cfg.forced_checkpoints = vec![t_min];
-        let probe = run_app(app, cfg.clone());
-        let done = probe
-            .completed_checkpoints()
-            .next()
-            .and_then(|c| c.completed_at)
-            .expect("oracle checkpoint completes");
-        cfg.failure = Some(FailurePlan {
-            at: done + SimDuration::from_secs(60),
-            target: FailTarget::AllComputeNodes,
-        });
-        let report = run_app(app, cfg);
-        print_row(app, "Oracle", recovery_row(&report), paper[2]);
+    let idx: Vec<usize> = (0..APPS.len()).collect();
+    let blocks = run_parallel(&idx, args.threads(), |&ai| app_block(ai, APPS[ai], seed));
+    for block in blocks {
+        print!("{block}");
         println!();
     }
     println!("(baseline omitted: it \"can only handle single node failures\", §IV-C)");
 }
 
-fn print_row(app: &str, scheme: &str, vals: Option<[f64; 4]>, paper: f64) {
+fn row(app: &str, scheme: &str, vals: Option<[f64; 4]>, paper: f64) -> String {
     match vals {
-        Some([rc, disk, other, total]) => println!(
-            "{app:<12} {scheme:<14} {rc:>9.2} {disk:>8.2} {other:>8.2} {total:>8.2} {paper:>10.2}"
+        Some([rc, disk, other, total]) => format!(
+            "{app:<12} {scheme:<14} {rc:>9.2} {disk:>8.2} {other:>8.2} {total:>8.2} {paper:>10.2}\n"
         ),
-        None => println!("{app:<12} {scheme:<14} (no recovery recorded)"),
+        None => format!("{app:<12} {scheme:<14} (no recovery recorded)\n"),
     }
 }

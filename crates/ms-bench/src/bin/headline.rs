@@ -2,15 +2,24 @@
 //! enable Meteor Shower to improve throughput by 226% and lower
 //! latency by 57% vs prior state-of-the-art", measured at 3
 //! checkpoints per 10-minute window, averaged over the three
-//! applications.
+//! applications. The 12 cells run concurrently on the sweep worker
+//! pool; per-cell wall-clock lands in `BENCH_sweep.json`.
+
+use std::path::Path;
 
 use ms_bench::paper::{HEADLINE_LATENCY_REDUCTION_PCT, HEADLINE_THROUGHPUT_GAIN_PCT};
-use ms_bench::runner::{cell, sweep_app, APPS};
+use ms_bench::runner::{cell, cells_for, sweep_all, write_sweep_json, APPS};
+use ms_bench::BenchArgs;
 use ms_core::config::SchemeKind;
 
 fn main() {
+    let args = BenchArgs::parse();
+    let (seed, threads) = (args.seed(), args.threads());
     println!("Headline: MS-src+ap+aa vs baseline at 3 checkpoints / 10 min\n");
     let ns = [3u32];
+    let t0 = std::time::Instant::now();
+    let timed = sweep_all(&APPS, &ns, seed, threads);
+    let total = t0.elapsed().as_secs_f64();
     let mut thr_ratios = Vec::new();
     let mut lat_ratios = Vec::new();
     println!(
@@ -18,7 +27,7 @@ fn main() {
         "app", "base thr", "aa thr", "thr gain", "lat ratio"
     );
     for app in APPS {
-        let cells = sweep_app(app, &ns, 42);
+        let cells = cells_for(&timed, app);
         let b = cell(&cells, SchemeKind::Baseline, 3).expect("baseline");
         let a = cell(&cells, SchemeKind::MsSrcApAa, 3).expect("aa");
         let thr = a.throughput / b.throughput;
@@ -49,4 +58,8 @@ fn main() {
          collapsing under checkpoint disk traffic; in this reproduction the\n\
          collapse appears at 6-8 checkpoints per window — see fig12)"
     );
+    match write_sweep_json(Path::new("BENCH_sweep.json"), threads, total, &timed) {
+        Ok(()) => println!("\nwrote BENCH_sweep.json"),
+        Err(e) => eprintln!("could not write BENCH_sweep.json: {e}"),
+    }
 }

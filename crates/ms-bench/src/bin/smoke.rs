@@ -1,25 +1,33 @@
 //! Quick calibration smoke run: one app, all four schemes, printing
 //! the headline quantities. Not a paper figure; a development aid.
+//! The four scheme runs execute concurrently on the sweep worker pool.
 //!
-//! Usage: `smoke [APP] [N_CHECKPOINTS] [MEASURE_SECS]`
+//! Usage: `smoke [--seed N] [--threads N] [APP] [N_CHECKPOINTS] [MEASURE_SECS]`
 
-use ms_bench::{paper_config, run_app};
+use ms_bench::runner::run_parallel;
+use ms_bench::{paper_config, run_app, BenchArgs};
 use ms_core::config::SchemeKind;
 use ms_core::time::SimDuration;
 
 fn main() {
-    let args: Vec<String> = std::env::args().collect();
-    let app = args.get(1).map(String::as_str).unwrap_or("TMI").to_string();
-    let n: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(3);
-    let secs: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(600);
+    let args = BenchArgs::parse();
+    let app = args
+        .rest
+        .first()
+        .map(String::as_str)
+        .unwrap_or("TMI")
+        .to_string();
+    let n: u32 = args.rest.get(1).and_then(|s| s.parse().ok()).unwrap_or(3);
+    let secs: u64 = args.rest.get(2).and_then(|s| s.parse().ok()).unwrap_or(600);
+    let seed = args.seed();
 
-    println!("app={app} checkpoints={n} window={secs}s");
+    println!("app={app} checkpoints={n} window={secs}s seed={seed}");
     println!(
         "{:<14} {:>12} {:>10} {:>10} {:>8} {:>12} {:>10}",
         "scheme", "thr(tup/s)", "lat(ms)", "maxlat(s)", "ckpts", "ckpt-t(s)", "state(MB)"
     );
-    for scheme in SchemeKind::ALL {
-        let mut cfg = paper_config(scheme, n, 42);
+    let rows = run_parallel(&SchemeKind::ALL, args.threads(), |&scheme| {
+        let mut cfg = paper_config(scheme, n, seed);
         cfg.measure = SimDuration::from_secs(secs);
         let t0 = std::time::Instant::now();
         let report = run_app(&app, cfg);
@@ -34,7 +42,7 @@ fn main() {
             .filter_map(|c| c.total_time())
             .map(|d| d.as_secs_f64())
             .fold(0.0f64, f64::max);
-        println!(
+        format!(
             "{:<14} {:>12.1} {:>10.1} {:>10.2} {:>4}/{:<3} {:>5.1}/{:<5.1} {:>10.1}  [{:.2?} wall]",
             scheme.label(),
             report.throughput(),
@@ -46,6 +54,9 @@ fn main() {
             total_t,
             report.state_trace.mean() / 1e6,
             t0.elapsed(),
-        );
+        )
+    });
+    for row in rows {
+        println!("{row}");
     }
 }

@@ -5,10 +5,16 @@
 //! computing the Annual Failure Number per 100 nodes per cause.
 
 use ms_bench::paper::TABLE1;
+use ms_bench::runner::run_parallel;
+use ms_bench::BenchArgs;
 use ms_cluster::{Cluster, ClusterConfig, FailureModel};
 use ms_sim::DetRng;
 
 fn main() {
+    let args = BenchArgs::parse();
+    // The paper samples from the 2012 study's models; keep that as the
+    // default seed.
+    let seed = args.seed_or(2012);
     let years = 25.0;
     let cluster = Cluster::new(ClusterConfig::google_dc());
     println!("Table I: commodity data center failure models (AFN100)");
@@ -18,11 +24,16 @@ fn main() {
         cluster.racks()
     );
 
-    let mut rng = DetRng::new(2012);
-    let google = FailureModel::google().sample(&cluster, years, &mut rng);
+    // The two failure models sample independently from identical seeds;
+    // run them on the worker pool.
+    let models = [FailureModel::google(), FailureModel::abe()];
+    let mut sampled = run_parallel(&models, args.threads(), |m| {
+        let mut rng = DetRng::new(seed);
+        m.sample(&cluster, years, &mut rng)
+    });
+    let abe = sampled.pop().expect("abe sample");
+    let google = sampled.pop().expect("google sample");
     let google_afn = FailureModel::afn100(&google, cluster.len(), years);
-    let mut rng = DetRng::new(2012);
-    let abe = FailureModel::abe().sample(&cluster, years, &mut rng);
     let abe_afn = FailureModel::afn100(&abe, cluster.len(), years);
 
     println!(

@@ -8,7 +8,12 @@
 
 #![warn(missing_docs)]
 
+pub mod args;
 pub mod paper;
 pub mod runner;
 
-pub use runner::{app_by_name, paper_config, run_app, APPS};
+pub use args::BenchArgs;
+pub use runner::{
+    app_by_name, paper_config, run_app, run_parallel, sweep_all, thread_count, write_sweep_json,
+    APPS,
+};

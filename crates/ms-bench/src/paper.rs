@@ -27,17 +27,13 @@ pub const FIG12_ZERO_CKPT_GAIN: [(&str, f64); 3] =
     [("TMI", 1.24), ("BCP", 1.31), ("SignalGuru", 1.51)];
 
 /// Fig. 12a/b digitized series (normalized throughput, n = 0..=8).
-pub const FIG12_TMI_BASELINE: [f64; 9] =
-    [1.00, 0.95, 0.91, 0.87, 0.84, 0.81, 0.77, 0.74, 0.71];
+pub const FIG12_TMI_BASELINE: [f64; 9] = [1.00, 0.95, 0.91, 0.87, 0.84, 0.81, 0.77, 0.74, 0.71];
 /// TMI MS-src series.
-pub const FIG12_TMI_MSSRC: [f64; 9] =
-    [1.24, 1.17, 1.13, 1.08, 1.04, 0.99, 0.96, 0.92, 0.87];
+pub const FIG12_TMI_MSSRC: [f64; 9] = [1.24, 1.17, 1.13, 1.08, 1.04, 0.99, 0.96, 0.92, 0.87];
 /// BCP baseline series.
-pub const FIG12_BCP_BASELINE: [f64; 9] =
-    [1.00, 0.94, 0.85, 0.79, 0.72, 0.64, 0.58, 0.52, 0.47];
+pub const FIG12_BCP_BASELINE: [f64; 9] = [1.00, 0.94, 0.85, 0.79, 0.72, 0.64, 0.58, 0.52, 0.47];
 /// BCP MS-src series.
-pub const FIG12_BCP_MSSRC: [f64; 9] =
-    [1.31, 1.20, 1.13, 1.06, 0.98, 0.90, 0.83, 0.73, 0.66];
+pub const FIG12_BCP_MSSRC: [f64; 9] = [1.31, 1.20, 1.13, 1.06, 0.98, 0.90, 0.83, 0.73, 0.66];
 
 /// Headline claims (§I, §IV-A): averaged over the three applications
 /// at 3 checkpoints per 10-minute window.

@@ -1,4 +1,17 @@
 //! Shared experiment plumbing.
+//!
+//! Every figure's sweep is a grid of independent `(app, scheme, n,
+//! seed)` simulations. [`run_parallel`] executes such grids on a
+//! work-stealing pool of scoped threads while preserving the input
+//! order of the results, so the printed tables (and `BENCH_sweep.json`)
+//! are byte-identical no matter how many workers ran. Determinism holds
+//! because parallelism is strictly *between* simulations: each cell
+//! constructs its own [`Engine`] from its own seed and never shares
+//! mutable state with a sibling.
+
+use std::path::Path;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 use ms_apps::{Bcp, SignalGuru, Tmi};
 use ms_core::config::{CheckpointConfig, SchemeKind};
@@ -43,13 +56,80 @@ pub fn paper_config(scheme: SchemeKind, n_checkpoints: u32, seed: u64) -> Engine
 /// Runs an application (by name) under the given configuration.
 pub fn run_app(name: &str, cfg: EngineConfig) -> RunReport {
     match name {
-        "TMI" => Engine::new(Tmi::default_app(), cfg).expect("valid app").run(),
-        "BCP" => Engine::new(Bcp::default_app(), cfg).expect("valid app").run(),
+        "TMI" => Engine::new(Tmi::default_app(), cfg)
+            .expect("valid app")
+            .run(),
+        "BCP" => Engine::new(Bcp::default_app(), cfg)
+            .expect("valid app")
+            .run(),
         "SignalGuru" => Engine::new(SignalGuru::default_app(), cfg)
             .expect("valid app")
             .run(),
         other => panic!("unknown app {other}"),
     }
+}
+
+/// Resolves the worker-thread count for a sweep: an explicit request
+/// (`--threads`) wins, then the `MS_BENCH_THREADS` environment
+/// variable, then the machine's available parallelism.
+pub fn thread_count(explicit: Option<usize>) -> usize {
+    explicit
+        .filter(|&n| n > 0)
+        .or_else(|| {
+            std::env::var("MS_BENCH_THREADS")
+                .ok()
+                .and_then(|s| s.trim().parse().ok())
+                .filter(|&n| n > 0)
+        })
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1)
+        })
+}
+
+/// Order-preserving work-stealing parallel map.
+///
+/// `threads` scoped workers race on a shared atomic cursor, so a slow
+/// item (a long simulation) never idles the other workers — they keep
+/// claiming the remaining items. Results are reassembled by item index:
+/// the output is exactly `items.iter().map(f).collect()` regardless of
+/// scheduling, which is what keeps sweep output deterministic.
+pub fn run_parallel<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads == 1 {
+        return items.iter().map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<R>> = Vec::new();
+    slots.resize_with(items.len(), || None);
+    let (tx, rx) = std::sync::mpsc::channel::<(usize, R)>();
+    std::thread::scope(|s| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let cursor = &cursor;
+            let f = &f;
+            s.spawn(move || loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                if i >= items.len() || tx.send((i, f(&items[i]))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, r) in rx {
+            slots[i] = Some(r);
+        }
+    });
+    slots
+        .into_iter()
+        .map(|r| r.expect("every slot filled by a worker"))
+        .collect()
 }
 
 /// One cell of the Fig. 12/13 sweep.
@@ -67,32 +147,146 @@ pub struct SweepCell {
     pub latency: f64,
 }
 
-/// Runs the full Fig. 12/13 sweep for one application:
-/// 4 schemes × `ns` checkpoint counts.
-pub fn sweep_app(app: &'static str, ns: &[u32], seed: u64) -> Vec<SweepCell> {
-    let mut out = Vec::new();
-    for &scheme in &SchemeKind::ALL {
-        for &n in ns {
-            let report = run_app(app, paper_config(scheme, n, seed));
-            out.push(SweepCell {
+/// A [`SweepCell`] plus how it was produced: the seed it ran with and
+/// the wall-clock the simulation took on its worker thread.
+#[derive(Clone, Debug)]
+pub struct TimedCell {
+    /// The measured cell.
+    pub cell: SweepCell,
+    /// Seed the simulation ran with.
+    pub seed: u64,
+    /// Real time the cell's simulation took.
+    pub wall_secs: f64,
+}
+
+/// Runs a full `apps × schemes × ns` grid on `threads` workers with a
+/// caller-provided configuration builder (tests shrink the window this
+/// way). Cell order is apps-major, then scheme, then n — identical for
+/// every thread count.
+pub fn sweep_all_with(
+    apps: &[&'static str],
+    ns: &[u32],
+    seed: u64,
+    threads: usize,
+    make_cfg: impl Fn(SchemeKind, u32, u64) -> EngineConfig + Sync,
+) -> Vec<TimedCell> {
+    let specs: Vec<(&'static str, SchemeKind, u32)> = apps
+        .iter()
+        .flat_map(|&app| {
+            SchemeKind::ALL
+                .iter()
+                .flat_map(move |&scheme| ns.iter().map(move |&n| (app, scheme, n)))
+        })
+        .collect();
+    run_parallel(&specs, threads, |&(app, scheme, n)| {
+        let t0 = Instant::now();
+        let report = run_app(app, make_cfg(scheme, n, seed));
+        TimedCell {
+            cell: SweepCell {
                 app,
                 scheme,
                 n,
                 throughput: report.throughput(),
                 latency: report.mean_latency().as_secs_f64(),
-            });
+            },
+            seed,
+            wall_secs: t0.elapsed().as_secs_f64(),
         }
-    }
-    out
+    })
+}
+
+/// [`sweep_all_with`] for a single application.
+pub fn sweep_app_with(
+    app: &'static str,
+    ns: &[u32],
+    seed: u64,
+    threads: usize,
+    make_cfg: impl Fn(SchemeKind, u32, u64) -> EngineConfig + Sync,
+) -> Vec<TimedCell> {
+    sweep_all_with(&[app], ns, seed, threads, make_cfg)
+}
+
+/// Runs the paper-config grid over `apps` on `threads` workers.
+pub fn sweep_all(apps: &[&'static str], ns: &[u32], seed: u64, threads: usize) -> Vec<TimedCell> {
+    sweep_all_with(apps, ns, seed, threads, paper_config)
+}
+
+/// Runs the full Fig. 12/13 sweep for one application:
+/// 4 schemes × `ns` checkpoint counts (parallel across cells).
+pub fn sweep_app(app: &'static str, ns: &[u32], seed: u64) -> Vec<SweepCell> {
+    sweep_app_with(app, ns, seed, thread_count(None), paper_config)
+        .into_iter()
+        .map(|t| t.cell)
+        .collect()
+}
+
+/// Extracts one application's cells from a grid result.
+pub fn cells_for(timed: &[TimedCell], app: &str) -> Vec<SweepCell> {
+    timed
+        .iter()
+        .filter(|t| t.cell.app == app)
+        .map(|t| t.cell.clone())
+        .collect()
 }
 
 /// Looks up a sweep cell.
-pub fn cell<'a>(
-    cells: &'a [SweepCell],
-    scheme: SchemeKind,
-    n: u32,
-) -> Option<&'a SweepCell> {
+pub fn cell(cells: &[SweepCell], scheme: SchemeKind, n: u32) -> Option<&SweepCell> {
     cells.iter().find(|c| c.scheme == scheme && c.n == n)
+}
+
+fn json_f64(v: f64) -> String {
+    if v.is_finite() {
+        format!("{v}")
+    } else {
+        "null".to_string()
+    }
+}
+
+/// Writes a sweep's machine-readable record (`BENCH_sweep.json`).
+///
+/// Schema (`ms-bench/sweep-v1`):
+/// ```json
+/// {
+///   "schema": "ms-bench/sweep-v1",
+///   "threads": 4,
+///   "total_wall_secs": 12.5,
+///   "cells": [
+///     { "app": "TMI", "scheme": "Baseline", "n": 0, "seed": 42,
+///       "throughput": 1234.5, "latency": 0.018, "wall_secs": 0.42 }
+///   ]
+/// }
+/// ```
+/// Non-finite measurements serialize as `null`.
+pub fn write_sweep_json(
+    path: &Path,
+    threads: usize,
+    total_wall_secs: f64,
+    cells: &[TimedCell],
+) -> std::io::Result<()> {
+    let mut s = String::with_capacity(128 + cells.len() * 128);
+    s.push_str("{\n  \"schema\": \"ms-bench/sweep-v1\",\n");
+    s.push_str(&format!("  \"threads\": {threads},\n"));
+    s.push_str(&format!(
+        "  \"total_wall_secs\": {},\n",
+        json_f64(total_wall_secs)
+    ));
+    s.push_str("  \"cells\": [\n");
+    for (i, t) in cells.iter().enumerate() {
+        s.push_str(&format!(
+            "    {{ \"app\": \"{}\", \"scheme\": \"{}\", \"n\": {}, \"seed\": {}, \
+             \"throughput\": {}, \"latency\": {}, \"wall_secs\": {} }}{}\n",
+            t.cell.app,
+            t.cell.scheme.label(),
+            t.cell.n,
+            t.seed,
+            json_f64(t.cell.throughput),
+            json_f64(t.cell.latency),
+            json_f64(t.wall_secs),
+            if i + 1 == cells.len() { "" } else { "," }
+        ));
+    }
+    s.push_str("  ]\n}\n");
+    std::fs::write(path, s)
 }
 
 #[cfg(test)]
@@ -104,5 +298,49 @@ mod tests {
         let c = paper_config(SchemeKind::MsSrc, 3, 1);
         assert_eq!(c.measure, SimDuration::from_secs(600));
         assert_eq!(c.ckpt.period, SimDuration::from_secs(200));
+    }
+
+    #[test]
+    fn run_parallel_preserves_order() {
+        let items: Vec<u64> = (0..97).collect();
+        for threads in [1, 2, 4, 16, 200] {
+            let out = run_parallel(&items, threads, |&i| i * 3 + 1);
+            assert_eq!(out, items.iter().map(|&i| i * 3 + 1).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    fn run_parallel_handles_empty_input() {
+        let out: Vec<u32> = run_parallel(&[] as &[u32], 4, |&i| i);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn thread_count_prefers_explicit() {
+        assert_eq!(thread_count(Some(3)), 3);
+        assert!(thread_count(None) >= 1);
+    }
+
+    #[test]
+    fn sweep_json_is_written() {
+        let cells = vec![TimedCell {
+            cell: SweepCell {
+                app: "TMI",
+                scheme: SchemeKind::Baseline,
+                n: 0,
+                throughput: 100.5,
+                latency: f64::NAN,
+            },
+            seed: 7,
+            wall_secs: 0.25,
+        }];
+        let path = std::env::temp_dir().join("ms_bench_sweep_test.json");
+        write_sweep_json(&path, 2, 0.25, &cells).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert!(body.contains("\"schema\": \"ms-bench/sweep-v1\""));
+        assert!(body.contains("\"threads\": 2"));
+        assert!(body.contains("\"throughput\": 100.5"));
+        assert!(body.contains("\"latency\": null"));
     }
 }

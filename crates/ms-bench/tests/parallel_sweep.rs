@@ -1,0 +1,75 @@
+//! The parallel sweep contract: thread count must not change results.
+//!
+//! Parallelism lives strictly *between* simulations — each sweep cell
+//! builds its own engine from its own seed — so a sweep run on one
+//! worker and on many workers must produce bitwise-identical
+//! measurements in the identical order.
+
+use ms_bench::runner::{sweep_app_with, TimedCell};
+use ms_core::config::{CheckpointConfig, SchemeKind};
+use ms_core::time::SimDuration;
+use ms_runtime::EngineConfig;
+
+/// A deliberately small configuration so the full grid stays fast:
+/// 30 s window, `n` checkpoints in it.
+fn fast_cfg(scheme: SchemeKind, n: u32, seed: u64) -> EngineConfig {
+    EngineConfig {
+        scheme,
+        ckpt: CheckpointConfig::n_in_window(n, SimDuration::from_secs(30)),
+        warmup: SimDuration::from_secs(5),
+        measure: SimDuration::from_secs(30),
+        seed,
+        ..EngineConfig::default()
+    }
+}
+
+fn assert_identical(serial: &[TimedCell], parallel: &[TimedCell]) {
+    assert_eq!(serial.len(), parallel.len());
+    for (s, p) in serial.iter().zip(parallel) {
+        // Same cell in the same slot...
+        assert_eq!(s.cell.app, p.cell.app);
+        assert_eq!(s.cell.scheme, p.cell.scheme);
+        assert_eq!(s.cell.n, p.cell.n);
+        assert_eq!(s.seed, p.seed);
+        // ...and bitwise-identical measurements (not approximate:
+        // determinism means the simulations are the same runs).
+        assert_eq!(
+            s.cell.throughput.to_bits(),
+            p.cell.throughput.to_bits(),
+            "throughput diverged for {} {:?} n={}",
+            s.cell.app,
+            s.cell.scheme,
+            s.cell.n
+        );
+        assert_eq!(
+            s.cell.latency.to_bits(),
+            p.cell.latency.to_bits(),
+            "latency diverged for {} {:?} n={}",
+            s.cell.app,
+            s.cell.scheme,
+            s.cell.n
+        );
+    }
+}
+
+#[test]
+fn parallel_sweep_is_bitwise_deterministic() {
+    let ns = [0u32, 2];
+    let serial = sweep_app_with("TMI", &ns, 11, 1, fast_cfg);
+    for threads in [2, 4, 8] {
+        let parallel = sweep_app_with("TMI", &ns, 11, threads, fast_cfg);
+        assert_identical(&serial, &parallel);
+    }
+}
+
+#[test]
+fn sweep_cells_are_in_grid_order() {
+    let ns = [0u32, 1];
+    let cells = sweep_app_with("BCP", &ns, 5, 4, fast_cfg);
+    let got: Vec<(SchemeKind, u32)> = cells.iter().map(|t| (t.cell.scheme, t.cell.n)).collect();
+    let want: Vec<(SchemeKind, u32)> = SchemeKind::ALL
+        .iter()
+        .flat_map(|&s| ns.iter().map(move |&n| (s, n)))
+        .collect();
+    assert_eq!(got, want);
+}

@@ -237,12 +237,8 @@ impl FailureModel {
     /// lower network rate, no environment/memory data).
     pub fn abe() -> FailureModel {
         let mut m = FailureModel::google();
-        m.classes.retain(|c| {
-            !matches!(
-                c.source,
-                FailureSource::Environment | FailureSource::Memory
-            )
-        });
+        m.classes
+            .retain(|c| !matches!(c.source, FailureSource::Environment | FailureSource::Memory));
         for c in &mut m.classes {
             match c.source {
                 // ~250 AFN100: scale the Google network classes down.
@@ -329,11 +325,7 @@ impl FailureModel {
 
     /// Computes AFN100 per failure source from sampled events:
     /// `node-failures / nodes * 100 / years`.
-    pub fn afn100(
-        events: &[FailureEvent],
-        nodes: usize,
-        years: f64,
-    ) -> Vec<(FailureSource, f64)> {
+    pub fn afn100(events: &[FailureEvent], nodes: usize, years: f64) -> Vec<(FailureSource, f64)> {
         FailureSource::ALL
             .iter()
             .map(|&src| {
@@ -342,10 +334,7 @@ impl FailureModel {
                     .filter(|e| e.source == src)
                     .map(|e| e.nodes.len())
                     .sum();
-                (
-                    src,
-                    node_failures as f64 / nodes as f64 * 100.0 / years,
-                )
+                (src, node_failures as f64 / nodes as f64 * 100.0 / years)
             })
             .collect()
     }
@@ -378,10 +367,12 @@ mod tests {
         let years = 20.0;
         let events = model.sample(&cluster, years, &mut rng);
         let afn = FailureModel::afn100(&events, cluster.len(), years);
-        let get = |s: FailureSource| {
-            afn.iter().find(|(src, _)| *src == s).unwrap().1
-        };
-        assert!(get(FailureSource::Network) > 300.0, "network {}", get(FailureSource::Network));
+        let get = |s: FailureSource| afn.iter().find(|(src, _)| *src == s).unwrap().1;
+        assert!(
+            get(FailureSource::Network) > 300.0,
+            "network {}",
+            get(FailureSource::Network)
+        );
         assert!(get(FailureSource::Network) < 400.0);
         let env = get(FailureSource::Environment);
         assert!((90.0..170.0).contains(&env), "environment {env}");
@@ -409,10 +400,22 @@ mod tests {
             cluster.len(),
             years,
         );
-        let net_g = g.iter().find(|(s, _)| *s == FailureSource::Network).unwrap().1;
-        let net_a = a.iter().find(|(s, _)| *s == FailureSource::Network).unwrap().1;
+        let net_g = g
+            .iter()
+            .find(|(s, _)| *s == FailureSource::Network)
+            .unwrap()
+            .1;
+        let net_a = a
+            .iter()
+            .find(|(s, _)| *s == FailureSource::Network)
+            .unwrap()
+            .1;
         assert!(net_a < net_g);
-        let env_a = a.iter().find(|(s, _)| *s == FailureSource::Environment).unwrap().1;
+        let env_a = a
+            .iter()
+            .find(|(s, _)| *s == FailureSource::Environment)
+            .unwrap()
+            .1;
         assert_eq!(env_a, 0.0);
     }
 
@@ -434,10 +437,7 @@ mod tests {
             .expect("20/year: must appear in 10 years");
         assert_eq!(rack_event.nodes.len(), cluster.config().nodes_per_rack);
         let rack = cluster.rack_of(rack_event.nodes[0]);
-        assert!(rack_event
-            .nodes
-            .iter()
-            .all(|n| cluster.rack_of(*n) == rack));
+        assert!(rack_event.nodes.iter().all(|n| cluster.rack_of(*n) == rack));
     }
 
     #[test]

@@ -29,7 +29,9 @@ impl Placement {
         if candidates.is_empty() {
             return Err(Error::Config("no placeable nodes".into()));
         }
-        let node_of_hau = (0..haus).map(|i| candidates[i % candidates.len()]).collect();
+        let node_of_hau = (0..haus)
+            .map(|i| candidates[i % candidates.len()])
+            .collect();
         Ok(Placement {
             node_of_hau,
             reserved: reserved.to_vec(),

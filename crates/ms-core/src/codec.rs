@@ -63,6 +63,22 @@ impl SnapshotWriter {
         SnapshotWriter::default()
     }
 
+    /// Creates a writer whose buffer is pre-sized for roughly
+    /// `logical_bytes` of encoded state. Operators know their state
+    /// size up front (`state_size()`), so snapshotting can allocate
+    /// once instead of growing the buffer through repeated doubling.
+    pub fn with_capacity(logical_bytes: usize) -> SnapshotWriter {
+        SnapshotWriter {
+            buf: Vec::with_capacity(logical_bytes),
+        }
+    }
+
+    /// Reserves room for at least `additional` more encoded bytes.
+    pub fn reserve(&mut self, additional: usize) -> &mut Self {
+        self.buf.reserve(additional);
+        self
+    }
+
     /// Finishes and returns the encoded bytes.
     pub fn finish(self) -> Vec<u8> {
         self.buf
@@ -164,6 +180,30 @@ impl SnapshotWriter {
             self.put_value(f);
         }
         self
+    }
+
+    /// Exact encoded size of one [`Value`] under [`SnapshotWriter::put_value`].
+    /// Note this is the *wire* size, not the logical size: a `Blob`
+    /// encodes as a fixed header plus its digest, regardless of how many
+    /// logical bytes it stands for, so pre-sizing snapshot buffers with
+    /// this (rather than `state_size()`) stays proportional to the real
+    /// allocation.
+    pub fn encoded_value_bytes(v: &Value) -> usize {
+        match v {
+            Value::Int(_) | Value::Float(_) => 9,
+            Value::Str(s) => 9 + s.len(),
+            Value::List(vs) => 9 + vs.iter().map(Self::encoded_value_bytes).sum::<usize>(),
+            Value::Blob { digest, .. } => 17 + 4 * digest.len(),
+        }
+    }
+
+    /// Exact encoded size of one [`Tuple`] under [`SnapshotWriter::put_tuple`].
+    pub fn encoded_tuple_bytes(t: &Tuple) -> usize {
+        29 + t
+            .fields
+            .iter()
+            .map(Self::encoded_value_bytes)
+            .sum::<usize>()
     }
 
     /// Writes a homogeneous sequence using the provided element writer.
@@ -327,15 +367,12 @@ impl<'a> SnapshotReader<'a> {
             producer,
             seq,
             source_time,
-            fields,
+            fields: fields.into(),
         })
     }
 
     /// Reads a homogeneous sequence using the provided element reader.
-    pub fn get_seq<T>(
-        &mut self,
-        mut read: impl FnMut(&mut Self) -> Result<T>,
-    ) -> Result<Vec<T>> {
+    pub fn get_seq<T>(&mut self, mut read: impl FnMut(&mut Self) -> Result<T>) -> Result<Vec<T>> {
         let len = self.get_u64()? as usize;
         let mut out = Vec::with_capacity(len.min(1 << 16));
         for _ in 0..len {
@@ -407,6 +444,33 @@ mod tests {
         let mut r = SnapshotReader::new(&buf);
         let out = r.get_seq(|r| r.get_u64()).unwrap();
         assert_eq!(out, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn encoded_size_helpers_are_exact() {
+        let values = [
+            Value::Int(1),
+            Value::Float(0.5),
+            Value::Str("hello".into()),
+            Value::List(vec![Value::Int(1), Value::Str("ab".into())]),
+            Value::Blob {
+                logical_bytes: 1 << 30,
+                digest: vec![1.0, 2.0, 3.0],
+            },
+        ];
+        for v in &values {
+            let mut w = SnapshotWriter::new();
+            w.put_value(v);
+            assert_eq!(
+                SnapshotWriter::encoded_value_bytes(v),
+                w.finish().len(),
+                "size mismatch for {v:?}"
+            );
+        }
+        let t = Tuple::new(OperatorId(3), 7, SimTime::from_micros(11), values.to_vec());
+        let mut w = SnapshotWriter::new();
+        w.put_tuple(&t);
+        assert_eq!(SnapshotWriter::encoded_tuple_bytes(&t), w.finish().len());
     }
 
     #[test]

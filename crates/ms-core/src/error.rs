@@ -43,6 +43,8 @@ mod tests {
     #[test]
     fn display_includes_category() {
         assert!(Error::Codec("x".into()).to_string().contains("codec"));
-        assert!(Error::Graph("x".into()).to_string().contains("query network"));
+        assert!(Error::Graph("x".into())
+            .to_string()
+            .contains("query network"));
     }
 }

@@ -153,9 +153,8 @@ impl QueryNetwork {
 
     /// All `(from, to)` edges, in `from`-major, output-port order.
     pub fn edges(&self) -> impl Iterator<Item = (OperatorId, OperatorId)> + '_ {
-        self.operators().flat_map(move |from| {
-            self.downstream(from).iter().map(move |&to| (from, to))
-        })
+        self.operators()
+            .flat_map(move |from| self.downstream(from).iter().map(move |&to| (from, to)))
     }
 
     /// Kahn topological order; errors if the graph has a cycle.
@@ -300,11 +299,21 @@ impl HauGraph {
         }
         let sources = assign
             .haus()
-            .filter(|h| assign.ops_of(*h).iter().any(|op| qn.upstream(*op).is_empty()))
+            .filter(|h| {
+                assign
+                    .ops_of(*h)
+                    .iter()
+                    .any(|op| qn.upstream(*op).is_empty())
+            })
             .collect();
         let sinks = assign
             .haus()
-            .filter(|h| assign.ops_of(*h).iter().any(|op| qn.downstream(*op).is_empty()))
+            .filter(|h| {
+                assign
+                    .ops_of(*h)
+                    .iter()
+                    .any(|op| qn.downstream(*op).is_empty())
+            })
             .collect();
         let g = HauGraph {
             downstream: down.into_iter().map(|s| s.into_iter().collect()).collect(),
@@ -423,14 +432,8 @@ mod tests {
         assert_eq!(qn.sources(), vec![OperatorId(0)]);
         assert_eq!(qn.sinks(), vec![OperatorId(4)]);
         // Sink's two inputs, in connect order.
-        assert_eq!(
-            qn.input_port(OperatorId(2), OperatorId(4)),
-            Some(PortId(0))
-        );
-        assert_eq!(
-            qn.input_port(OperatorId(3), OperatorId(4)),
-            Some(PortId(1))
-        );
+        assert_eq!(qn.input_port(OperatorId(2), OperatorId(4)), Some(PortId(0)));
+        assert_eq!(qn.input_port(OperatorId(3), OperatorId(4)), Some(PortId(1)));
         assert_eq!(qn.input_port(OperatorId(0), OperatorId(4)), None);
         assert_eq!(
             qn.output_port(OperatorId(1), OperatorId(3)),
@@ -454,7 +457,12 @@ mod tests {
         let (qn, _, _) = diamond_example();
         let order = qn.topo_order().unwrap();
         let pos: Vec<usize> = (0..qn.len())
-            .map(|i| order.iter().position(|&o| o == OperatorId(i as u32)).unwrap())
+            .map(|i| {
+                order
+                    .iter()
+                    .position(|&o| o == OperatorId(i as u32))
+                    .unwrap()
+            })
             .collect();
         for (from, to) in qn.edges() {
             assert!(pos[from.index()] < pos[to.index()]);
@@ -539,8 +547,7 @@ mod tests {
         let c = qn.add_operator("c");
         qn.connect(a, b).unwrap();
         qn.connect(b, c).unwrap();
-        let assign =
-            HauAssignment::from_groups(&qn, vec![vec![a, c], vec![b]]).unwrap();
+        let assign = HauAssignment::from_groups(&qn, vec![vec![a, c], vec![b]]).unwrap();
         assert!(HauGraph::derive(&qn, &assign).is_err());
     }
 }

@@ -84,9 +84,7 @@ id_type!(
 /// monotonically by the token origin (source HAUs in MS-src, the
 /// controller in MS-src+ap/+aa); a checkpoint is *complete* once every
 /// HAU has finished its individual checkpoint for that epoch.
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct EpochId(pub u64);
 
 impl EpochId {

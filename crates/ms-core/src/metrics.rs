@@ -85,7 +85,7 @@ impl TimeSeries {
     /// builds).
     pub fn push(&mut self, t: SimTime, v: f64) {
         debug_assert!(
-            self.points.last().map_or(true, |&(pt, _)| pt <= t),
+            self.points.last().is_none_or(|&(pt, _)| pt <= t),
             "time series must be appended in order"
         );
         self.points.push((t, v));

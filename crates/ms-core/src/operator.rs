@@ -10,7 +10,7 @@
 use crate::ids::{OperatorId, PortId};
 use crate::state::StateSize;
 use crate::time::{SimDuration, SimTime};
-use crate::tuple::Tuple;
+use crate::tuple::{Fields, Tuple};
 use crate::value::Value;
 
 /// A snapshot of one operator's state, as written to stable storage.
@@ -45,10 +45,24 @@ pub trait OperatorContext {
     /// `producer`, `seq` and `source_time` (derived tuples inherit the
     /// source timestamp of the input being processed, so end-to-end
     /// latency is measured source-to-sink).
-    fn emit(&mut self, port: PortId, fields: Vec<Value>);
+    fn emit(&mut self, port: PortId, fields: Vec<Value>) {
+        self.emit_fields(port, fields.into());
+    }
 
     /// Emits the same fields on every output port.
-    fn emit_all(&mut self, fields: Vec<Value>);
+    fn emit_all(&mut self, fields: Vec<Value>) {
+        self.emit_all_fields(fields.into());
+    }
+
+    /// Like [`OperatorContext::emit`], taking an existing [`Fields`]
+    /// handle. Pass-through operators forward an input's payload this
+    /// way so the emission shares the input's allocation instead of
+    /// copying it.
+    fn emit_fields(&mut self, port: PortId, fields: Fields);
+
+    /// Like [`OperatorContext::emit_all`] for an existing [`Fields`]
+    /// handle; every port shares one allocation.
+    fn emit_all_fields(&mut self, fields: Fields);
 
     /// Current virtual time.
     fn now(&self) -> SimTime;
@@ -153,7 +167,7 @@ impl Operator for Passthrough {
 
     fn on_tuple(&mut self, _port: PortId, tuple: Tuple, ctx: &mut dyn OperatorContext) {
         self.forwarded += 1;
-        ctx.emit_all(tuple.fields);
+        ctx.emit_all_fields(tuple.fields);
     }
 
     fn state_size(&self) -> u64 {
@@ -185,7 +199,7 @@ mod tests {
     pub struct TestCtx {
         pub now: SimTime,
         pub id: OperatorId,
-        pub emitted: Vec<(PortId, Vec<Value>)>,
+        pub emitted: Vec<(PortId, Fields)>,
         pub fanout: usize,
         seed: u64,
     }
@@ -203,10 +217,10 @@ mod tests {
     }
 
     impl OperatorContext for TestCtx {
-        fn emit(&mut self, port: PortId, fields: Vec<Value>) {
+        fn emit_fields(&mut self, port: PortId, fields: Fields) {
             self.emitted.push((port, fields));
         }
-        fn emit_all(&mut self, fields: Vec<Value>) {
+        fn emit_all_fields(&mut self, fields: Fields) {
             for p in 0..self.fanout {
                 self.emitted.push((PortId(p as u32), fields.clone()));
             }

@@ -12,15 +12,11 @@ use std::fmt;
 use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
 
 /// An instant in virtual time (microseconds since simulation start).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct SimTime(u64);
 
 /// A span of virtual time (microseconds).
-#[derive(
-    Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
 pub struct SimDuration(u64);
 
 impl SimTime {
@@ -249,14 +245,8 @@ mod tests {
         let t = SimTime::from_secs(10) + SimDuration::from_millis(500);
         assert_eq!(t.as_micros(), 10_500_000);
         assert_eq!((t - SimTime::from_secs(10)).as_micros(), 500_000);
-        assert_eq!(
-            SimDuration::from_secs(4) / 2,
-            SimDuration::from_secs(2)
-        );
-        assert_eq!(
-            SimDuration::from_secs(4) * 3,
-            SimDuration::from_secs(12)
-        );
+        assert_eq!(SimDuration::from_secs(4) / 2, SimDuration::from_secs(2));
+        assert_eq!(SimDuration::from_secs(4) * 3, SimDuration::from_secs(12));
     }
 
     #[test]

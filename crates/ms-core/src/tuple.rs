@@ -6,6 +6,9 @@
 //! connection: either a data tuple or a checkpoint [`Token`] riding the
 //! dataflow.
 
+use std::ops::Deref;
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
 use crate::ids::OperatorId;
@@ -17,6 +20,99 @@ use crate::value::Value;
 /// Fixed per-tuple framing overhead charged by the network model
 /// (headers, lengths, routing metadata).
 pub const TUPLE_HEADER_BYTES: u64 = 32;
+
+/// A tuple's payload: an immutable, reference-counted field list.
+///
+/// Tuples are logically immutable once emitted — every consumer
+/// (downstream operators, preservation buffers, source logs, retained
+/// output) sees the same payload. Sharing one allocation makes
+/// `Tuple::clone` a refcount bump instead of a deep copy of the field
+/// vector, which is what lets the engine's fan-out, preservation and
+/// replay paths stop scaling with payload size.
+#[derive(Clone, Debug)]
+pub struct Fields(Arc<[Value]>);
+
+impl Fields {
+    /// The empty payload.
+    pub fn empty() -> Fields {
+        Fields(Arc::from(Vec::new()))
+    }
+
+    /// Copies the fields out into a fresh `Vec` (allocates; use only
+    /// when a caller genuinely needs owned, mutable fields).
+    pub fn to_vec(&self) -> Vec<Value> {
+        self.0.to_vec()
+    }
+
+    /// True when two payloads share the same allocation (refcount
+    /// sharing, not just equal contents).
+    pub fn shares_allocation(a: &Fields, b: &Fields) -> bool {
+        Arc::ptr_eq(&a.0, &b.0)
+    }
+}
+
+impl Default for Fields {
+    fn default() -> Fields {
+        Fields::empty()
+    }
+}
+
+impl Deref for Fields {
+    type Target = [Value];
+    fn deref(&self) -> &[Value] {
+        &self.0
+    }
+}
+
+impl AsRef<[Value]> for Fields {
+    fn as_ref(&self) -> &[Value] {
+        &self.0
+    }
+}
+
+impl From<Vec<Value>> for Fields {
+    fn from(v: Vec<Value>) -> Fields {
+        Fields(Arc::from(v))
+    }
+}
+
+impl From<&[Value]> for Fields {
+    fn from(v: &[Value]) -> Fields {
+        Fields(Arc::from(v.to_vec()))
+    }
+}
+
+impl FromIterator<Value> for Fields {
+    fn from_iter<I: IntoIterator<Item = Value>>(iter: I) -> Fields {
+        Fields(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a Fields {
+    type Item = &'a Value;
+    type IntoIter = std::slice::Iter<'a, Value>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.0.iter()
+    }
+}
+
+impl PartialEq for Fields {
+    fn eq(&self, other: &Fields) -> bool {
+        self.0 == other.0
+    }
+}
+
+impl PartialEq<Vec<Value>> for Fields {
+    fn eq(&self, other: &Vec<Value>) -> bool {
+        *self.0 == other[..]
+    }
+}
+
+impl PartialEq<[Value]> for Fields {
+    fn eq(&self, other: &[Value]) -> bool {
+        *self.0 == *other
+    }
+}
 
 /// A unit of data passed between operators.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
@@ -30,18 +126,24 @@ pub struct Tuple {
     /// of this tuple; end-to-end latency at the sink is measured against
     /// this stamp.
     pub source_time: SimTime,
-    /// Typed payload fields.
-    pub fields: Vec<Value>,
+    /// Typed payload fields (shared; see [`Fields`]).
+    pub fields: Fields,
 }
 
 impl Tuple {
-    /// Creates a tuple.
-    pub fn new(producer: OperatorId, seq: u64, source_time: SimTime, fields: Vec<Value>) -> Tuple {
+    /// Creates a tuple. Accepts a plain `Vec<Value>` or an existing
+    /// [`Fields`] handle (sharing the allocation).
+    pub fn new(
+        producer: OperatorId,
+        seq: u64,
+        source_time: SimTime,
+        fields: impl Into<Fields>,
+    ) -> Tuple {
         Tuple {
             producer,
             seq,
             source_time,
-            fields,
+            fields: fields.into(),
         }
     }
 
@@ -123,6 +225,18 @@ mod tests {
         let t = tuple_with(vec![Value::Int(1), Value::blob(1000)]);
         assert_eq!(t.payload_bytes(), 1008);
         assert_eq!(t.wire_bytes(), 1008 + TUPLE_HEADER_BYTES);
+    }
+
+    #[test]
+    fn clone_shares_payload_allocation() {
+        let t = tuple_with(vec![Value::blob(1 << 20), Value::Int(7)]);
+        let c = t.clone();
+        assert!(Fields::shares_allocation(&t.fields, &c.fields));
+        assert_eq!(t, c);
+        // A payload rebuilt from the same values is equal but unshared.
+        let rebuilt = tuple_with(t.fields.to_vec());
+        assert_eq!(rebuilt.fields, t.fields);
+        assert!(!Fields::shares_allocation(&t.fields, &rebuilt.fields));
     }
 
     #[test]

@@ -17,7 +17,7 @@ use ms_core::graph::QueryNetwork;
 use ms_core::ids::{EpochId, OperatorId, PortId};
 use ms_core::operator::{Operator, OperatorContext, OperatorSnapshot};
 use ms_core::time::SimTime;
-use ms_core::tuple::Tuple;
+use ms_core::tuple::{Fields, Tuple};
 use ms_core::value::Value;
 
 use crate::storage::{LiveHauCheckpoint, LiveStorage};
@@ -47,15 +47,15 @@ struct PersistItem {
 struct LiveCtx {
     op: OperatorId,
     fanout: usize,
-    emissions: Vec<(PortId, Vec<Value>)>,
+    emissions: Vec<(PortId, Fields)>,
     seed: u64,
 }
 
 impl OperatorContext for LiveCtx {
-    fn emit(&mut self, port: PortId, fields: Vec<Value>) {
+    fn emit_fields(&mut self, port: PortId, fields: Fields) {
         self.emissions.push((port, fields));
     }
-    fn emit_all(&mut self, fields: Vec<Value>) {
+    fn emit_all_fields(&mut self, fields: Fields) {
         for p in 0..self.fanout {
             self.emissions.push((PortId(p as u32), fields.clone()));
         }
@@ -246,9 +246,9 @@ fn run_thread(
     let fanout = w.outputs.len();
     let mut next_seq = w.restored_seq;
     let route = |op: &mut Box<dyn Operator>,
-                     ctx_emissions: Vec<(PortId, Vec<Value>)>,
-                     next_seq: &mut u64,
-                     preserve: bool|
+                 ctx_emissions: Vec<(PortId, Fields)>,
+                 next_seq: &mut u64,
+                 preserve: bool|
      -> bool {
         let _ = op;
         for (port, fields) in ctx_emissions {
@@ -291,8 +291,8 @@ fn run_thread(
         }
         next_seq += replayed;
         let mut stopping = false;
-        let take_checkpoint = |op: &Box<dyn Operator>, epoch: EpochId, next_seq: u64| {
-            let ck = snapshot_of(op.as_ref(), next_seq);
+        let take_checkpoint = |op: &dyn Operator, epoch: EpochId, next_seq: u64| {
+            let ck = snapshot_of(op, next_seq);
             let _ = persist.send(PersistItem {
                 epoch,
                 op: w.op_id,
@@ -308,7 +308,7 @@ fn run_thread(
             // source finishes its data before the stream closes.
             while let Ok(c) = cmd.try_recv() {
                 match c {
-                    Cmd::Checkpoint(epoch) => take_checkpoint(&w.op, epoch, next_seq),
+                    Cmd::Checkpoint(epoch) => take_checkpoint(w.op.as_ref(), epoch, next_seq),
                     Cmd::Stop => stopping = true,
                 }
             }
@@ -326,7 +326,7 @@ fn run_thread(
                     break;
                 }
                 match cmd.recv() {
-                    Ok(Cmd::Checkpoint(epoch)) => take_checkpoint(&w.op, epoch, next_seq),
+                    Ok(Cmd::Checkpoint(epoch)) => take_checkpoint(w.op.as_ref(), epoch, next_seq),
                     _ => break,
                 }
             } else if !route(&mut w.op, ctx.emissions, &mut next_seq, true) {
@@ -351,11 +351,7 @@ fn run_thread(
             .collect();
         if readable.is_empty() {
             if let Some(epoch) = pending_epoch {
-                if token_seen
-                    .iter()
-                    .zip(&eos)
-                    .all(|(t, &e)| t.is_some() || e)
-                {
+                if token_seen.iter().zip(&eos).all(|(t, &e)| t.is_some() || e) {
                     // All tokens (or EOS) collected: individual
                     // checkpoint, then forward the token.
                     let ck = snapshot_of(w.op.as_ref(), next_seq);
@@ -367,9 +363,7 @@ fn run_thread(
                     for tx in &w.outputs {
                         let _ = tx.send(Msg::Token(epoch));
                     }
-                    for t in &mut token_seen {
-                        *t = None;
-                    }
+                    token_seen.fill(None);
                     continue;
                 }
             }
@@ -397,11 +391,7 @@ fn run_thread(
             Ok(Msg::Token(epoch)) => {
                 token_seen[idx] = Some(epoch);
                 // Snapshot immediately once all live inputs delivered.
-                if token_seen
-                    .iter()
-                    .zip(&eos)
-                    .all(|(t, &e)| t.is_some() || e)
-                {
+                if token_seen.iter().zip(&eos).all(|(t, &e)| t.is_some() || e) {
                     let ck = snapshot_of(w.op.as_ref(), next_seq);
                     let _ = persist.send(PersistItem {
                         epoch,
@@ -411,9 +401,7 @@ fn run_thread(
                     for tx in &w.outputs {
                         let _ = tx.send(Msg::Token(epoch));
                     }
-                    for t in &mut token_seen {
-                        *t = None;
-                    }
+                    token_seen.fill(None);
                 }
             }
             Ok(Msg::Eos) | Err(_) => {

@@ -50,12 +50,7 @@ impl LiveStorage {
 
     /// Persists one individual checkpoint; returns `true` if `epoch`
     /// is now complete.
-    pub fn put_checkpoint(
-        &self,
-        epoch: EpochId,
-        op: OperatorId,
-        ckpt: LiveHauCheckpoint,
-    ) -> bool {
+    pub fn put_checkpoint(&self, epoch: EpochId, op: OperatorId, ckpt: LiveHauCheckpoint) -> bool {
         let mut g = self.inner.lock();
         g.ckpts.insert((epoch, op), ckpt);
         let n = g.ckpts.keys().filter(|(e, _)| *e == epoch).count();

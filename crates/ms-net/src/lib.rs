@@ -152,9 +152,7 @@ impl Network {
 
     /// True if `a` can currently reach `b`.
     pub fn reachable(&self, a: NodeId, b: NodeId) -> bool {
-        self.up[a.index()]
-            && self.up[b.index()]
-            && !self.partitioned.contains_key(&Self::key(a, b))
+        self.up[a.index()] && self.up[b.index()] && !self.partitioned.contains_key(&Self::key(a, b))
     }
 
     /// Asks the network to carry `bytes` from `from` to `to`, with the
@@ -174,10 +172,7 @@ impl Network {
         self.egress_busy[from.index()] = done_sending;
         let mut arrival = done_sending + self.cfg.latency;
         // In-order delivery per directed channel.
-        let last = self
-            .channel_last
-            .entry((from, to))
-            .or_insert(SimTime::ZERO);
+        let last = self.channel_last.entry((from, to)).or_insert(SimTime::ZERO);
         arrival = arrival.max(*last);
         *last = arrival;
         self.bytes_sent += bytes;
@@ -223,10 +218,7 @@ mod tests {
         let mut n = net();
         // 1 MB at 1 MB/s = 1 s, plus 100 µs latency.
         let out = n.send(SimTime::ZERO, NodeId(0), NodeId(1), 1_000_000);
-        assert_eq!(
-            out,
-            SendOutcome::Delivered(SimTime::from_micros(1_000_100))
-        );
+        assert_eq!(out, SendOutcome::Delivered(SimTime::from_micros(1_000_100)));
     }
 
     #[test]
@@ -280,7 +272,10 @@ mod tests {
             SendOutcome::Unreachable
         );
         n.set_node_up(NodeId(1), true);
-        assert!(n.send(SimTime::ZERO, NodeId(0), NodeId(1), 10).time().is_some());
+        assert!(n
+            .send(SimTime::ZERO, NodeId(0), NodeId(1), 10)
+            .time()
+            .is_some());
     }
 
     #[test]
@@ -307,7 +302,10 @@ mod tests {
             .send(SimTime::from_secs(1), NodeId(0), NodeId(1), 10)
             .time()
             .unwrap();
-        assert!(t < SimTime::from_secs(6), "fresh channel after restart: {t:?}");
+        assert!(
+            t < SimTime::from_secs(6),
+            "fresh channel after restart: {t:?}"
+        );
     }
 
     #[test]

@@ -137,11 +137,7 @@ pub struct Profile {
 ///
 /// `series` holds one state-size trace per HAU; `period` is the
 /// checkpoint period used to bucket per-period minima.
-pub fn profile(
-    series: &[(HauId, TimeSeries)],
-    period: SimDuration,
-    cfg: &AwareConfig,
-) -> Profile {
+pub fn profile(series: &[(HauId, TimeSeries)], period: SimDuration, cfg: &AwareConfig) -> Profile {
     // Dynamic HAU: min < avg / 2.
     let dynamic: Vec<HauId> = series
         .iter()
@@ -362,19 +358,18 @@ mod tests {
     #[test]
     fn profiling_relaxes_smax_to_twenty_percent() {
         // Per-period minima identical -> smax == smin -> relaxed +20%.
-        let s0 = ts(&[
-            (0, 100.0),
-            (5, 10.0),
-            (10, 100.0),
-            (15, 10.0),
-            (20, 100.0),
-        ]);
+        let s0 = ts(&[(0, 100.0), (5, 10.0), (10, 100.0), (15, 10.0), (20, 100.0)]);
         let p = profile(
             &[(HauId(0), s0)],
             SimDuration::from_secs(10),
             &AwareConfig::default(),
         );
-        assert!(p.smax >= p.smin * 1.2 - 1e-9, "smax {} smin {}", p.smax, p.smin);
+        assert!(
+            p.smax >= p.smin * 1.2 - 1e-9,
+            "smax {} smin {}",
+            p.smax,
+            p.smin
+        );
     }
 
     /// Replays Fig. 10/11: two dynamic HAUs whose zigzags sum to the
@@ -483,10 +478,7 @@ mod tests {
         // Samples for a HAU outside the dynamic set must not panic or
         // trigger anything.
         for i in 0..5 {
-            let action = ctrl.on_sample(
-                SimTime::from_secs(i * 10),
-                &[(HauId(9), 10 + i)],
-            );
+            let action = ctrl.on_sample(SimTime::from_secs(i * 10), &[(HauId(9), 10 + i)]);
             assert_eq!(action, AwareAction::None);
         }
     }
@@ -523,8 +515,7 @@ mod tests {
             smin: 100.0,
             relaxation: 0.2,
         };
-        let mut ctrl =
-            AwareController::new(p, SimDuration::from_secs(1000), SimTime::ZERO);
+        let mut ctrl = AwareController::new(p, SimDuration::from_secs(1000), SimTime::ZERO);
         // Repeated V-shapes; only the first minimum may fire.
         let sizes = [500, 300, 100, 300, 500, 300, 100, 300, 500];
         let mut count = 0;

@@ -141,10 +141,7 @@ impl EngineConfig {
     pub fn sweep(s: SchemeKind, n_checkpoints: u32) -> EngineConfig {
         EngineConfig {
             scheme: s,
-            ckpt: CheckpointConfig::n_in_window(
-                n_checkpoints,
-                SimDuration::from_secs(600),
-            ),
+            ckpt: CheckpointConfig::n_in_window(n_checkpoints, SimDuration::from_secs(600)),
             ..EngineConfig::default()
         }
     }

@@ -27,9 +27,7 @@ use crate::aware::{profile, AwareAction, AwareController};
 use crate::config::{EngineConfig, FailTarget};
 use crate::event::Event;
 use crate::hau::{EmitCtx, HauRt, InputChan};
-use crate::report::{
-    rec_phase, CheckpointRecord, IndividualCheckpoint, RecoveryRecord, RunReport,
-};
+use crate::report::{rec_phase, CheckpointRecord, IndividualCheckpoint, RecoveryRecord, RunReport};
 
 /// The simulated deployment.
 pub struct Engine<A: AppSpec> {
@@ -215,11 +213,14 @@ impl<A: AppSpec> Engine<A> {
                         self.haus[i].rng.range_u64(0, interval.as_micros().max(1)),
                     )
                 };
-                q.schedule(SimTime::ZERO + phase, Event::OpTimer {
-                    hau: HauId(i as u32),
-                    op_idx,
-                    gen: self.gen,
-                });
+                q.schedule(
+                    SimTime::ZERO + phase,
+                    Event::OpTimer {
+                        hau: HauId(i as u32),
+                        op_idx,
+                        gen: self.gen,
+                    },
+                );
             }
         }
         // State sampling.
@@ -228,15 +229,17 @@ impl<A: AppSpec> Engine<A> {
         q.schedule(SimTime::ZERO + self.cfg.warmup, Event::EndWarmup);
         // Checkpoint cadence.
         if !self.cfg.forced_checkpoints.is_empty() {
-            let forced = self.cfg.forced_checkpoints.clone();
-            for t in forced {
+            for &t in &self.cfg.forced_checkpoints {
                 match self.cfg.scheme {
                     SchemeKind::Baseline => {
                         for i in 0..self.haus.len() {
-                            q.schedule(t, Event::BaselineCkptDue {
-                                hau: HauId(i as u32),
-                                gen: self.gen,
-                            });
+                            q.schedule(
+                                t,
+                                Event::BaselineCkptDue {
+                                    hau: HauId(i as u32),
+                                    gen: self.gen,
+                                },
+                            );
                         }
                     }
                     _ => q.schedule(t, Event::PeriodTick),
@@ -277,13 +280,14 @@ impl<A: AppSpec> Engine<A> {
                 }
             }
         }
-        // Failure plan.
-        if let Some(plan) = self.cfg.failure.clone() {
-            let nodes = match plan.target {
+        // Failure plan: only the target node list needs owning (the
+        // event stores it); the plan itself stays in the config.
+        if let Some(plan) = &self.cfg.failure {
+            let nodes = match &plan.target {
                 FailTarget::AllComputeNodes => {
                     (1..self.cluster.len()).map(|i| NodeId(i as u32)).collect()
                 }
-                FailTarget::Nodes(ns) => ns,
+                FailTarget::Nodes(ns) => ns.clone(),
             };
             q.schedule(plan.at, Event::InjectFailure { nodes });
         }
@@ -291,9 +295,9 @@ impl<A: AppSpec> Engine<A> {
 
     fn finish(self) -> RunReport {
         let mut final_snapshots = Vec::new();
-        for i in 0..self.haus.len() {
-            for (oi, &op_id) in self.haus[i].op_ids.clone().iter().enumerate() {
-                if let Some(op) = &self.haus[i].ops[oi] {
+        for hau in &self.haus {
+            for (&op_id, op) in hau.op_ids.iter().zip(&hau.ops) {
+                if let Some(op) = op {
                     final_snapshots.push((op_id, op.snapshot()));
                 }
             }
@@ -336,10 +340,13 @@ impl<A: AppSpec> Engine<A> {
         }
         h.process_scheduled = true;
         let at = now.max(h.busy_until);
-        q.schedule(at, Event::ProcessNext {
-            hau: HauId(i as u32),
-            gen: self.gen,
-        });
+        q.schedule(
+            at,
+            Event::ProcessNext {
+                hau: HauId(i as u32),
+                gen: self.gen,
+            },
+        );
     }
 
     /// Sends one stream item on the HAU-level channel `from → to`,
@@ -356,12 +363,15 @@ impl<A: AppSpec> Engine<A> {
         let (nf, nt) = (self.node_of(from), self.node_of(to));
         match self.net.send(at, nf, nt, bytes) {
             ms_net::SendOutcome::Delivered(t) => {
-                q.schedule(t, Event::Deliver {
-                    from,
-                    to,
-                    item,
-                    gen: self.gen,
-                });
+                q.schedule(
+                    t,
+                    Event::Deliver {
+                        from,
+                        to,
+                        item,
+                        gen: self.gen,
+                    },
+                );
             }
             ms_net::SendOutcome::Unreachable => {
                 // Fail-stop: the message vanishes; the controller's
@@ -404,10 +414,10 @@ impl<A: AppSpec> Engine<A> {
                 emissions: Vec::new(),
                 rng: &mut self.haus[i].rng,
             };
-            match &tuple {
+            match tuple {
                 Some(t) => {
-                    service += op.service_time(t);
-                    op.on_tuple(port, t.clone(), &mut ctx);
+                    service += op.service_time(&t);
+                    op.on_tuple(port, t, &mut ctx);
                     if is_sink {
                         sink_hits += 1;
                     }
@@ -439,10 +449,7 @@ impl<A: AppSpec> Engine<A> {
                         .iter()
                         .position(|&o| o == target_op)
                         .expect("operator in HAU");
-                    let in_port = self
-                        .qn
-                        .input_port(op_id, target_op)
-                        .expect("edge exists");
+                    let in_port = self.qn.input_port(op_id, target_op).expect("edge exists");
                     stack.push((target_idx, in_port, Some(t)));
                 } else {
                     let out_idx = self
@@ -497,9 +504,7 @@ impl<A: AppSpec> Engine<A> {
                 // per-source).
                 self.preserved_bytes += wire;
                 ready += self.cfg.append_overhead
-                    + SimDuration::from_secs_f64(
-                        wire as f64 / self.cfg.source_log_bw as f64,
-                    );
+                    + SimDuration::from_secs_f64(wire as f64 / self.cfg.source_log_bw as f64);
                 if let Some(log) = self.source_logs.get_mut(&h_id) {
                     log.append(t.clone());
                 }
@@ -515,13 +520,7 @@ impl<A: AppSpec> Engine<A> {
 
     // ---------------- event handlers ----------------
 
-    fn on_deliver(
-        &mut self,
-        q: &mut EventQueue<Event>,
-        from: HauId,
-        to: HauId,
-        item: StreamItem,
-    ) {
+    fn on_deliver(&mut self, q: &mut EventQueue<Event>, from: HauId, to: HauId, item: StreamItem) {
         let i = to.index();
         if !self.haus[i].alive {
             return;
@@ -563,10 +562,13 @@ impl<A: AppSpec> Engine<A> {
                 // Re-arm at the busy horizon.
                 h.process_scheduled = true;
                 let at = h.busy_until;
-                q.schedule(at, Event::ProcessNext {
-                    hau: HauId(i as u32),
-                    gen: self.gen,
-                });
+                q.schedule(
+                    at,
+                    Event::ProcessNext {
+                        hau: HauId(i as u32),
+                        gen: self.gen,
+                    },
+                );
                 return;
             }
         }
@@ -590,10 +592,13 @@ impl<A: AppSpec> Engine<A> {
             // drains (it wakes us) or the retry timer fires.
             let h = &mut self.haus[i];
             h.process_scheduled = true;
-            q.schedule(now + SimDuration::from_millis(250), Event::ProcessNext {
-                hau: HauId(i as u32),
-                gen: self.gen,
-            });
+            q.schedule(
+                now + SimDuration::from_millis(250),
+                Event::ProcessNext {
+                    hau: HauId(i as u32),
+                    gen: self.gen,
+                },
+            );
             return;
         }
         let Some(input_idx) = self.haus[i].next_input() else {
@@ -625,8 +630,9 @@ impl<A: AppSpec> Engine<A> {
                 self.haus[i].inputs[input_idx].advance(&t);
                 let op_idx = self.op_for_input(i, input_idx);
                 let port = self.port_for_input(i, input_idx, &t);
+                let source_time = t.source_time;
                 let (mut service, outs, sinks) =
-                    self.dispatch(i, op_idx, DispatchKind::Tuple(port, t.clone()), now);
+                    self.dispatch(i, op_idx, DispatchKind::Tuple(port, t), now);
                 if self.haus[i].async_active {
                     service = service.mul_f64(1.0 + self.cfg.cow_overhead);
                 }
@@ -641,7 +647,7 @@ impl<A: AppSpec> Engine<A> {
                     // with the latency measured to completion.
                     if sinks > 0 || absorbed {
                         self.metrics
-                            .record_completion(now, ready.saturating_since(t.source_time));
+                            .record_completion(now, ready.saturating_since(source_time));
                     }
                 }
                 self.schedule_process(q, i);
@@ -724,16 +730,17 @@ impl<A: AppSpec> Engine<A> {
             return;
         };
         let is_source = self.qn.upstream(self.haus[i].op_ids[op_idx]).is_empty();
-        if is_source
-            && (self.inflight >= self.cfg.inflight_cap || self.outputs_blocked(i))
-        {
+        if is_source && (self.inflight >= self.cfg.inflight_cap || self.outputs_blocked(i)) {
             // Backpressure: a downstream buffer is full (or the global
             // safety window is exhausted); try again next tick.
-            q.schedule(now + interval, Event::OpTimer {
-                hau: HauId(i as u32),
-                op_idx,
-                gen: self.gen,
-            });
+            q.schedule(
+                now + interval,
+                Event::OpTimer {
+                    hau: HauId(i as u32),
+                    op_idx,
+                    gen: self.gen,
+                },
+            );
             return;
         }
         let (mut service, outs, _) = self.dispatch(i, op_idx, DispatchKind::Timer, now);
@@ -745,11 +752,14 @@ impl<A: AppSpec> Engine<A> {
         }
         let ready = self.emit_outputs(q, i, outs, now + service);
         self.haus[i].busy_until = ready;
-        q.schedule(now + interval, Event::OpTimer {
-            hau: HauId(i as u32),
-            op_idx,
-            gen: self.gen,
-        });
+        q.schedule(
+            now + interval,
+            Event::OpTimer {
+                hau: HauId(i as u32),
+                op_idx,
+                gen: self.gen,
+            },
+        );
         self.schedule_process(q, i);
     }
 
@@ -774,22 +784,28 @@ impl<A: AppSpec> Engine<A> {
             SchemeKind::MsSrc => {
                 // Tokens originate at the source HAUs.
                 for &s in self.graph.sources() {
-                    q.schedule(now + latency, Event::CommandArrive {
-                        hau: s,
-                        epoch,
-                        gen: self.gen,
-                    });
+                    q.schedule(
+                        now + latency,
+                        Event::CommandArrive {
+                            hau: s,
+                            epoch,
+                            gen: self.gen,
+                        },
+                    );
                 }
             }
             SchemeKind::MsSrcAp | SchemeKind::MsSrcApAa => {
                 // The controller sends the token command to every HAU
                 // simultaneously (§III-B, Fig. 7).
                 for h in self.graph.haus() {
-                    q.schedule(now + latency, Event::CommandArrive {
-                        hau: h,
-                        epoch,
-                        gen: self.gen,
-                    });
+                    q.schedule(
+                        now + latency,
+                        Event::CommandArrive {
+                            hau: h,
+                            epoch,
+                            gen: self.gen,
+                        },
+                    );
                 }
             }
         }
@@ -931,11 +947,14 @@ impl<A: AppSpec> Engine<A> {
             self.haus[i].busy_until = done;
         }
         self.pending_writes.insert((h_id, epoch), snapshot);
-        q.schedule(done, Event::WriteDone {
-            hau: h_id,
-            epoch,
-            gen: self.gen,
-        });
+        q.schedule(
+            done,
+            Event::WriteDone {
+                hau: h_id,
+                epoch,
+                gen: self.gen,
+            },
+        );
     }
 
     /// Captures the HAU's operator snapshots, retained in-flight
@@ -961,7 +980,7 @@ impl<A: AppSpec> Engine<A> {
             .downstream(h_id)
             .iter()
             .enumerate()
-            .filter(|(oi, _)| !self.haus[i].out_retain.get(*oi).map_or(true, Vec::is_empty))
+            .filter(|(oi, _)| !self.haus[i].out_retain.get(*oi).is_none_or(Vec::is_empty))
             .map(|(oi, &d)| (d, self.haus[i].out_retain[oi].clone()))
             .collect();
         let input_backlog: Vec<(HauId, Vec<Tuple>)> = self.haus[i]
@@ -971,8 +990,16 @@ impl<A: AppSpec> Engine<A> {
             .collect();
 
         // Engine bookkeeping: per-operator sequence counters and
-        // per-input watermarks.
-        let mut w = SnapshotWriter::new();
+        // per-input watermarks. Every entry below is one tagged u64
+        // (9 bytes), so the exact encoded size is known up front.
+        let meta_items = 2
+            + 2 * self.haus[i].next_seq.len()
+            + self.haus[i]
+                .inputs
+                .iter()
+                .map(|c| 1 + 2 * c.watermarks.len())
+                .sum::<usize>();
+        let mut w = SnapshotWriter::with_capacity(meta_items * 9);
         w.put_u64(self.haus[i].next_seq.len() as u64);
         let mut seqs: Vec<_> = self.haus[i]
             .next_seq
@@ -1079,12 +1106,15 @@ impl<A: AppSpec> Engine<A> {
                         .iter()
                         .map(|(k, v)| (*k, *v))
                         .collect();
-                    q.schedule(now + self.cfg.net.latency, Event::AckArrive {
-                        to: up,
-                        from: h_id,
-                        watermarks,
-                        gen: self.gen,
-                    });
+                    q.schedule(
+                        now + self.cfg.net.latency,
+                        Event::AckArrive {
+                            to: up,
+                            from: h_id,
+                            watermarks,
+                            gen: self.gen,
+                        },
+                    );
                 }
             }
             SchemeKind::MsSrc => {
@@ -1133,10 +1163,13 @@ impl<A: AppSpec> Engine<A> {
         self.haus[i].ck.begin(epoch, 0, now);
         self.begin_snapshot(q, i, epoch, false);
         if self.cfg.forced_checkpoints.is_empty() && !self.cfg.ckpt.disabled() {
-            q.schedule(now + self.cfg.ckpt.period, Event::BaselineCkptDue {
-                hau: HauId(i as u32),
-                gen: self.gen,
-            });
+            q.schedule(
+                now + self.cfg.ckpt.period,
+                Event::BaselineCkptDue {
+                    hau: HauId(i as u32),
+                    gen: self.gen,
+                },
+            );
         }
     }
 
@@ -1145,12 +1178,7 @@ impl<A: AppSpec> Engine<A> {
         if !self.haus[i].alive {
             return;
         }
-        let Some(out_idx) = self
-            .graph
-            .downstream(to)
-            .iter()
-            .position(|&d| d == from)
-        else {
+        let Some(out_idx) = self.graph.downstream(to).iter().position(|&d| d == from) else {
             return;
         };
         // One producing operator per channel in baseline mode: trim by
@@ -1291,8 +1319,7 @@ impl<A: AppSpec> Engine<A> {
             };
             let reload_done = now + self.cfg.op_load_time;
             let (read_start, read_done) = self.ckpt_read_dev.access(reload_done, bytes);
-            let deser =
-                SimDuration::from_secs_f64(bytes as f64 / self.cfg.deserialize_bw as f64);
+            let deser = SimDuration::from_secs_f64(bytes as f64 / self.cfg.deserialize_bw as f64);
             let ready = read_done + deser;
             if ready > slowest_ready {
                 slowest_ready = ready;
@@ -1358,7 +1385,8 @@ impl<A: AppSpec> Engine<A> {
                     c.clone()
                 })
             };
-            for (oi, &op_id) in self.haus[i].op_ids.clone().iter().enumerate() {
+            for oi in 0..self.haus[i].op_ids.len() {
+                let op_id = self.haus[i].op_ids[oi];
                 let mut op = self.app.build_operator(op_id, &mut hau_rng);
                 if let Some(c) = &ckpt {
                     if let Some((_, snap)) = c.ops.iter().find(|(o, _)| *o == op_id) {
@@ -1421,11 +1449,7 @@ impl<A: AppSpec> Engine<A> {
                     if !self.haus[u.index()].alive {
                         continue;
                     }
-                    let Some(out_idx) = self
-                        .graph
-                        .downstream(u)
-                        .iter()
-                        .position(|&d| d == h_id)
+                    let Some(out_idx) = self.graph.downstream(u).iter().position(|&d| d == h_id)
                     else {
                         continue;
                     };
@@ -1488,11 +1512,14 @@ impl<A: AppSpec> Engine<A> {
         for i in 0..self.haus.len() {
             for (op_idx, op) in self.haus[i].ops.iter().enumerate() {
                 if let Some(interval) = op.as_ref().and_then(|o| o.timer_interval()) {
-                    q.schedule(now + interval, Event::OpTimer {
-                        hau: HauId(i as u32),
-                        op_idx,
-                        gen: self.gen,
-                    });
+                    q.schedule(
+                        now + interval,
+                        Event::OpTimer {
+                            hau: HauId(i as u32),
+                            op_idx,
+                            gen: self.gen,
+                        },
+                    );
                 }
             }
             self.schedule_process(q, i);

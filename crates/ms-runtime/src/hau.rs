@@ -5,8 +5,7 @@ use std::collections::{HashMap, VecDeque};
 use ms_core::ids::{EpochId, HauId, OperatorId, PortId};
 use ms_core::operator::{Operator, OperatorContext};
 use ms_core::time::SimTime;
-use ms_core::tuple::{StreamItem, Tuple};
-use ms_core::value::Value;
+use ms_core::tuple::{Fields, StreamItem, Tuple};
 use ms_sim::DetRng;
 use ms_storage::InputPreservationBuffer;
 
@@ -30,9 +29,7 @@ impl InputChan {
     /// True if a data tuple with this identity was already processed.
     /// (Watermarks store `last_seq + 1`.)
     pub fn is_duplicate(&self, t: &Tuple) -> bool {
-        self.watermarks
-            .get(&t.producer)
-            .is_some_and(|&w| t.seq < w)
+        self.watermarks.get(&t.producer).is_some_and(|&w| t.seq < w)
     }
 
     /// Records a processed tuple.
@@ -192,18 +189,19 @@ pub struct EmitCtx<'a> {
     pub op: OperatorId,
     /// Number of output ports of this operator.
     pub fanout: usize,
-    /// Collected `(port, fields)` emissions.
-    pub emissions: Vec<(PortId, Vec<Value>)>,
+    /// Collected `(port, fields)` emissions. Fan-out stores one
+    /// [`Fields`] handle per port, all sharing a single allocation.
+    pub emissions: Vec<(PortId, Fields)>,
     /// Per-HAU random stream.
     pub rng: &'a mut DetRng,
 }
 
 impl OperatorContext for EmitCtx<'_> {
-    fn emit(&mut self, port: PortId, fields: Vec<Value>) {
+    fn emit_fields(&mut self, port: PortId, fields: Fields) {
         self.emissions.push((port, fields));
     }
 
-    fn emit_all(&mut self, fields: Vec<Value>) {
+    fn emit_all_fields(&mut self, fields: Fields) {
         for p in 0..self.fanout {
             self.emissions.push((PortId(p as u32), fields.clone()));
         }

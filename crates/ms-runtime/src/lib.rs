@@ -57,4 +57,5 @@ pub use app::{AppSpec, SimpleApp};
 pub use aware::{AwareConfig, AwareController};
 pub use config::{EngineConfig, FailTarget, FailurePlan};
 pub use engine::Engine;
+pub use hau::EmitCtx;
 pub use report::{CheckpointRecord, RecoveryRecord, RunReport};

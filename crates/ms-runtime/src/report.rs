@@ -161,7 +161,10 @@ pub struct RunReport {
     pub preserved_bytes: u64,
     /// Final snapshot of every operator at the end of the run (state
     /// inspection for tests and examples).
-    pub final_snapshots: Vec<(ms_core::ids::OperatorId, ms_core::operator::OperatorSnapshot)>,
+    pub final_snapshots: Vec<(
+        ms_core::ids::OperatorId,
+        ms_core::operator::OperatorSnapshot,
+    )>,
 }
 
 impl RunReport {
@@ -200,7 +203,10 @@ mod tests {
     fn breakdown_partitions_duration() {
         let i = indiv(0, 10, 12, 15, 40);
         let b = i.breakdown();
-        assert_eq!(b.get(ckpt_phase::TOKEN_COLLECTION), SimDuration::from_secs(2));
+        assert_eq!(
+            b.get(ckpt_phase::TOKEN_COLLECTION),
+            SimDuration::from_secs(2)
+        );
         assert_eq!(b.get(ckpt_phase::OTHER), SimDuration::from_secs(3));
         assert_eq!(b.get(ckpt_phase::DISK_IO), SimDuration::from_secs(25));
         assert_eq!(b.total(), i.duration());

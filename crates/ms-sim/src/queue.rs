@@ -66,7 +66,11 @@ impl<E> EventQueue<E> {
     /// Schedules an event at an absolute time. Scheduling in the past
     /// panics in debug builds and is clamped to `now` in release.
     pub fn schedule(&mut self, at: SimTime, event: E) {
-        debug_assert!(at >= self.now, "event scheduled in the past ({at:?} < {:?})", self.now);
+        debug_assert!(
+            at >= self.now,
+            "event scheduled in the past ({at:?} < {:?})",
+            self.now
+        );
         let at = at.max(self.now);
         self.heap.push(Reverse(Entry {
             time: at,

@@ -177,10 +177,7 @@ mod tests {
     #[test]
     fn forks_with_different_labels_differ() {
         let parent = DetRng::new(7);
-        assert_ne!(
-            parent.fork("a").next_u64(),
-            parent.fork("b").next_u64()
-        );
+        assert_ne!(parent.fork("a").next_u64(), parent.fork("b").next_u64());
         assert_ne!(
             parent.fork_idx("hau", 0).next_u64(),
             parent.fork_idx("hau", 1).next_u64()

@@ -54,7 +54,9 @@ impl SourceLog {
     /// numbers below `next_seq` — the stream boundary for this source.
     pub fn mark_epoch(&mut self, epoch: EpochId, next_seq: u64) {
         debug_assert!(
-            self.marks.last().is_none_or(|&(e, s)| e < epoch && s <= next_seq),
+            self.marks
+                .last()
+                .is_none_or(|&(e, s)| e < epoch && s <= next_seq),
             "epoch marks must be monotone"
         );
         self.marks.push((epoch, next_seq));

@@ -46,7 +46,9 @@ fn main() {
         }),
         ..EngineConfig::default()
     };
-    let report = Engine::new(Tmi::default_app(), cfg).expect("valid app").run();
+    let report = Engine::new(Tmi::default_app(), cfg)
+        .expect("valid app")
+        .run();
 
     println!(
         "\nTMI under MS-src+ap: processed {} tuples ({:.0}/s) across the window",
@@ -76,9 +78,7 @@ fn main() {
         .iter()
         .filter(|(t, _)| t.as_secs_f64() > 420.0)
         .count();
-    println!(
-        "tuples completing after recovery: {after_failure} (the stream kept flowing)"
-    );
+    println!("tuples completing after recovery: {after_failure} (the stream kept flowing)");
     println!(
         "\n(the baseline scheme \"can only handle single node failures\" — a burst\n\
          of this size is unrecoverable for it; Meteor Shower's whole-application\n\

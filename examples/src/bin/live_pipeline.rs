@@ -37,7 +37,10 @@ fn factory(s: OperatorId, d: OperatorId) -> impl Fn(OperatorId) -> Box<dyn Opera
     }
 }
 
-fn sink_state(ops: &std::collections::HashMap<OperatorId, Box<dyn Operator>>, k: OperatorId) -> (i64, u64) {
+fn sink_state(
+    ops: &std::collections::HashMap<OperatorId, Box<dyn Operator>>,
+    k: OperatorId,
+) -> (i64, u64) {
     let snap = ops[&k].snapshot();
     let mut r = SnapshotReader::new(&snap.data);
     (r.get_i64().unwrap(), r.get_u64().unwrap())

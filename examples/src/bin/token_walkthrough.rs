@@ -69,7 +69,7 @@ impl Operator for Worker {
     fn on_tuple(&mut self, _p: PortId, t: Tuple, ctx: &mut dyn OperatorContext) {
         self.processed += 1;
         self.state_bytes = (self.state_bytes + 10_000).min(20_000_000);
-        ctx.emit_all(t.fields);
+        ctx.emit_all_fields(t.fields);
     }
     fn service_time(&self, _t: &Tuple) -> SimDuration {
         self.service
@@ -186,8 +186,12 @@ fn run(scheme: SchemeKind) {
                  serialized +{:.3}s | stored +{:.3}s ({} bytes)",
                 i.hau.0 + 1,
                 i.started_at.as_secs_f64(),
-                i.tokens_done_at.saturating_since(i.started_at).as_secs_f64(),
-                i.serialized_at.saturating_since(i.tokens_done_at).as_secs_f64(),
+                i.tokens_done_at
+                    .saturating_since(i.started_at)
+                    .as_secs_f64(),
+                i.serialized_at
+                    .saturating_since(i.tokens_done_at)
+                    .as_secs_f64(),
                 i.stored_at.saturating_since(i.serialized_at).as_secs_f64(),
                 i.bytes
             );

@@ -1,6 +1,9 @@
 //! Shared test application: a deterministic three-stage pipeline whose
 //! sink verifies exactly-once delivery structurally (per-producer
 //! sequence continuity — no gaps, no duplicates).
+// Each integration-test binary compiles its own copy of this module and
+// uses a different subset of it.
+#![allow(dead_code)]
 
 use ms_core::codec::{SnapshotReader, SnapshotWriter};
 use ms_core::graph::QueryNetwork;
@@ -145,35 +148,41 @@ pub struct SinkVerdict {
 impl SinkVerdict {
     /// True iff the sink saw exactly `0..=max` once each.
     pub fn exactly_once(&self) -> bool {
-        self.count == (self.max_v + 1) as u64
-            && self.sum == self.max_v * (self.max_v + 1) / 2
+        self.count == (self.max_v + 1) as u64 && self.sum == self.max_v * (self.max_v + 1) / 2
     }
 }
 
+/// An app whose operators are built by a test-local closure.
+pub type ClosureApp = SimpleApp<Box<dyn Fn(OperatorId, &mut ms_sim::DetRng) -> Box<dyn Operator>>>;
+
 /// Builds the three-stage pipeline app (source -> xform -> sink).
-pub fn pipeline_app() -> (SimpleApp<impl Fn(OperatorId, &mut ms_sim::DetRng) -> Box<dyn Operator>>, OperatorId)
-{
+pub fn pipeline_app() -> (ClosureApp, OperatorId) {
+    type Factory = Box<dyn Fn(OperatorId, &mut ms_sim::DetRng) -> Box<dyn Operator>>;
     let mut qn = QueryNetwork::new();
     let s = qn.add_operator("src");
     let x = qn.add_operator("xform");
     let k = qn.add_operator("sink");
     qn.connect(s, x).unwrap();
     qn.connect(x, k).unwrap();
-    let app = SimpleApp::new("pipeline", qn, move |op, _rng| -> Box<dyn Operator> {
-        if op == s {
-            Box::new(SeqSource {
-                emitted: 0,
-                tick: SimDuration::from_millis(20),
-            })
-        } else if op == x {
-            Box::new(Xform {
-                processed: 0,
-                acc: 0,
-            })
-        } else {
-            Box::new(CheckSink::default())
-        }
-    });
+    let app = SimpleApp::new(
+        "pipeline",
+        qn,
+        Box::new(move |op, _rng: &mut ms_sim::DetRng| -> Box<dyn Operator> {
+            if op == s {
+                Box::new(SeqSource {
+                    emitted: 0,
+                    tick: SimDuration::from_millis(20),
+                })
+            } else if op == x {
+                Box::new(Xform {
+                    processed: 0,
+                    acc: 0,
+                })
+            } else {
+                Box::new(CheckSink::default())
+            }
+        }) as Factory,
+    );
     (app, k)
 }
 

@@ -32,7 +32,12 @@ fn identical_seeds_reproduce_identical_runs() {
         c.seed = seed;
         let r = Engine::new(app, c).unwrap().run();
         let v = sink_verdict(&r, sink);
-        (r.metrics.processed_tuples, v.count, v.sum, r.checkpoints.len())
+        (
+            r.metrics.processed_tuples,
+            v.count,
+            v.sum,
+            r.checkpoints.len(),
+        )
     };
     assert_eq!(run(7), run(7), "same seed, same world");
 }
@@ -69,11 +74,8 @@ impl AppSpec for GroupedApp {
         self.qn.clone()
     }
     fn hau_assignment(&self, qn: &QueryNetwork) -> HauAssignment {
-        HauAssignment::from_groups(
-            qn,
-            vec![vec![self.s, self.x], vec![OperatorId(2)]],
-        )
-        .expect("valid grouping")
+        HauAssignment::from_groups(qn, vec![vec![self.s, self.x], vec![OperatorId(2)]])
+            .expect("valid grouping")
     }
     fn build_operator(&self, op: OperatorId, _rng: &mut DetRng) -> Box<dyn Operator> {
         if op == self.s {
@@ -150,9 +152,12 @@ fn aware_checkpoints_are_smaller_than_blind_ones() {
         measure: window,
         ..EngineConfig::default()
     };
-    let ap = Engine::new(ms_apps::Tmi::with_window_minutes(1), mk(SchemeKind::MsSrcAp))
-        .unwrap()
-        .run();
+    let ap = Engine::new(
+        ms_apps::Tmi::with_window_minutes(1),
+        mk(SchemeKind::MsSrcAp),
+    )
+    .unwrap()
+    .run();
     let aa = Engine::new(
         ms_apps::Tmi::with_window_minutes(1),
         mk(SchemeKind::MsSrcApAa),
@@ -163,11 +168,7 @@ fn aware_checkpoints_are_smaller_than_blind_ones() {
         let (n, total) = r
             .completed_checkpoints()
             .fold((0u64, 0u64), |(n, t), c| (n + 1, t + c.total_bytes()));
-        if n == 0 {
-            u64::MAX
-        } else {
-            total / n
-        }
+        total.checked_div(n).unwrap_or(u64::MAX)
     };
     let (ap_bytes, aa_bytes) = (avg_bytes(&ap), avg_bytes(&aa));
     assert!(
@@ -181,7 +182,9 @@ fn preserved_bytes_accounting_differs_by_scheme() {
     // Input preservation saves at every hop; source preservation only
     // at the sources — baseline must preserve strictly more bytes.
     let (app, _) = pipeline_app();
-    let base = Engine::new(app, cfg(SchemeKind::Baseline, 2)).unwrap().run();
+    let base = Engine::new(app, cfg(SchemeKind::Baseline, 2))
+        .unwrap()
+        .run();
     let (app, _) = pipeline_app();
     let ms = Engine::new(app, cfg(SchemeKind::MsSrc, 2)).unwrap().run();
     assert!(

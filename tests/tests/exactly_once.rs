@@ -29,7 +29,11 @@ fn run_and_check(scheme: SchemeKind, failure_at: Option<u64>) {
     let (app, sink) = pipeline_app();
     let report = Engine::new(app, cfg(scheme, failure_at)).unwrap().run();
     let v = sink_verdict(&report, sink);
-    assert!(v.count > 500, "{scheme:?}: sink made progress ({})", v.count);
+    assert!(
+        v.count > 500,
+        "{scheme:?}: sink made progress ({})",
+        v.count
+    );
     assert!(
         v.exactly_once(),
         "{scheme:?}: sink saw count={} max={} sum={} (expected contiguous 0..=max once)",
@@ -75,7 +79,13 @@ fn failure_before_any_checkpoint_recovers_from_scratch() {
     c.ckpt = CheckpointConfig::n_in_window(1, SimDuration::from_secs(90));
     let report = Engine::new(app, c).unwrap().run();
     let v = sink_verdict(&report, sink);
-    assert!(v.exactly_once(), "count={} max={} sum={}", v.count, v.max_v, v.sum);
+    assert!(
+        v.exactly_once(),
+        "count={} max={} sum={}",
+        v.count,
+        v.max_v,
+        v.sum
+    );
     assert!(report.recoveries[0].replayed_tuples > 0);
 }
 

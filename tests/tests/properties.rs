@@ -16,12 +16,14 @@ fn arb_value() -> impl Strategy<Value = Value> {
         any::<i64>().prop_map(Value::Int),
         (-1.0e12f64..1.0e12).prop_map(Value::Float),
         "[a-z]{0,12}".prop_map(Value::Str),
-        (0u64..1 << 30, proptest::collection::vec(-100.0f32..100.0, 0..6)).prop_map(
-            |(logical_bytes, digest)| Value::Blob {
+        (
+            0u64..1 << 30,
+            proptest::collection::vec(-100.0f32..100.0, 0..6)
+        )
+            .prop_map(|(logical_bytes, digest)| Value::Blob {
                 logical_bytes,
                 digest,
-            }
-        ),
+            }),
     ];
     leaf.prop_recursive(2, 8, 4, |inner| {
         proptest::collection::vec(inner, 0..4).prop_map(Value::List)
@@ -246,5 +248,62 @@ proptest! {
         }
         prop_assert!(r.inertia.is_finite());
         prop_assert!(r.inertia >= 0.0);
+    }
+
+    /// Zero-copy payloads: cloning a tuple (what the engine does when
+    /// preserving, retaining or replaying it) shares the payload
+    /// allocation; fanning it out through an operator context shares
+    /// one allocation across every port; and any payload *rebuilt*
+    /// from the values (what a mutating HAU would have to do) never
+    /// aliases the original — there is no route to shared mutable
+    /// state across HAUs.
+    #[test]
+    fn fields_share_on_clone_never_on_rebuild(
+        t in arb_tuple(),
+        fanout in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        use ms_core::operator::OperatorContext;
+        use ms_core::tuple::Fields;
+
+        // Engine-style clone: a refcount bump, same allocation.
+        let kept = t.clone();
+        prop_assert!(Fields::shares_allocation(&kept.fields, &t.fields));
+
+        // Fan-out across ports (EmitCtx is the DES engine's context):
+        // every port's emission shares the one input allocation.
+        let mut rng = DetRng::new(seed);
+        let mut ctx = ms_runtime::EmitCtx {
+            now: SimTime::ZERO,
+            op: OperatorId(0),
+            fanout,
+            emissions: Vec::new(),
+            rng: &mut rng,
+        };
+        ctx.emit_all_fields(t.fields.clone());
+        prop_assert_eq!(ctx.emissions.len(), fanout);
+        for (_, f) in &ctx.emissions {
+            prop_assert!(Fields::shares_allocation(f, &t.fields));
+        }
+
+        // Rebuilding the payload from its values (the only way to
+        // obtain mutable field storage) detaches from the original.
+        let rebuilt = Fields::from(t.fields.to_vec());
+        prop_assert!(!Fields::shares_allocation(&rebuilt, &t.fields));
+        prop_assert_eq!(&rebuilt, &t.fields);
+    }
+
+    /// The codec's encoded-size accounting is exact for every value and
+    /// tuple shape — what snapshot pre-sizing relies on.
+    #[test]
+    fn encoded_size_matches_actual_encoding(t in arb_tuple()) {
+        for v in t.fields.iter() {
+            let mut w = SnapshotWriter::new();
+            w.put_value(v);
+            prop_assert_eq!(SnapshotWriter::encoded_value_bytes(v), w.finish().len());
+        }
+        let mut w = SnapshotWriter::new();
+        w.put_tuple(&t);
+        prop_assert_eq!(SnapshotWriter::encoded_tuple_bytes(&t), w.finish().len());
     }
 }

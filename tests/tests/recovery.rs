@@ -33,7 +33,13 @@ fn partial_burst_rolls_back_whole_application() {
     });
     let report = Engine::new(app, cfg).unwrap().run();
     let v = sink_verdict(&report, sink);
-    assert!(v.exactly_once(), "count={} max={} sum={}", v.count, v.max_v, v.sum);
+    assert!(
+        v.exactly_once(),
+        "count={} max={} sum={}",
+        v.count,
+        v.max_v,
+        v.sum
+    );
     let rec = &report.recoveries[0];
     // Two HAUs physically restart (their nodes died); the third is
     // rolled back in place — "all the operators in this application
@@ -63,7 +69,10 @@ fn baseline_single_node_recovery_is_exactly_once() {
         v.max_v,
         v.sum
     );
-    assert_eq!(report.recoveries[0].restarted_haus, 1, "only the failed HAU restarts");
+    assert_eq!(
+        report.recoveries[0].restarted_haus, 1,
+        "only the failed HAU restarts"
+    );
 }
 
 #[test]

@@ -46,7 +46,11 @@ fn source_preservation_beats_input_preservation() {
 
 #[test]
 fn all_meteor_schemes_complete_checkpoints() {
-    for scheme in [SchemeKind::MsSrc, SchemeKind::MsSrcAp, SchemeKind::MsSrcApAa] {
+    for scheme in [
+        SchemeKind::MsSrc,
+        SchemeKind::MsSrcAp,
+        SchemeKind::MsSrcApAa,
+    ] {
         let report = run_tmi(scheme, 2);
         let completed = report.completed_checkpoints().count();
         assert!(

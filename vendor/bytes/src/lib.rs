@@ -1,0 +1,155 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Implements exactly the surface `ms-core::codec` uses: little-endian
+//! `Buf` reads over `&[u8]`, `BufMut` writes into `Vec<u8>`, and a
+//! minimal owned [`Bytes`] returned by `copy_to_bytes`.
+
+#![warn(missing_docs)]
+
+/// Minimal owned byte container (stand-in for `bytes::Bytes`).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Bytes(Vec<u8>);
+
+impl Bytes {
+    /// Copies the contents into a `Vec<u8>`.
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.clone()
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the container is empty.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(v)
+    }
+}
+
+impl std::ops::Deref for Bytes {
+    type Target = [u8];
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+/// Read side of a byte cursor (stand-in for `bytes::Buf`).
+pub trait Buf {
+    /// Bytes remaining to be read.
+    fn remaining(&self) -> usize;
+    /// Advances the cursor by `cnt` bytes.
+    fn advance(&mut self, cnt: usize);
+    /// Copies `len` bytes out and advances.
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes;
+    /// Reads a `u8` and advances.
+    fn get_u8(&mut self) -> u8;
+    /// Reads a little-endian `u32` and advances.
+    fn get_u32_le(&mut self) -> u32;
+    /// Reads a little-endian `u64` and advances.
+    fn get_u64_le(&mut self) -> u64;
+    /// Reads a little-endian `i64` and advances.
+    fn get_i64_le(&mut self) -> i64;
+    /// Reads a little-endian `f32` and advances.
+    fn get_f32_le(&mut self) -> f32;
+    /// Reads a little-endian `f64` and advances.
+    fn get_f64_le(&mut self) -> f64;
+}
+
+macro_rules! slice_get {
+    ($self:ident, $ty:ty) => {{
+        const N: usize = std::mem::size_of::<$ty>();
+        let mut raw = [0u8; N];
+        raw.copy_from_slice(&$self[..N]);
+        *$self = &$self[N..];
+        <$ty>::from_le_bytes(raw)
+    }};
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+    fn advance(&mut self, cnt: usize) {
+        *self = &self[cnt..];
+    }
+    fn copy_to_bytes(&mut self, len: usize) -> Bytes {
+        let out = Bytes(self[..len].to_vec());
+        *self = &self[len..];
+        out
+    }
+    fn get_u8(&mut self) -> u8 {
+        let b = self[0];
+        *self = &self[1..];
+        b
+    }
+    fn get_u32_le(&mut self) -> u32 {
+        slice_get!(self, u32)
+    }
+    fn get_u64_le(&mut self) -> u64 {
+        slice_get!(self, u64)
+    }
+    fn get_i64_le(&mut self) -> i64 {
+        slice_get!(self, i64)
+    }
+    fn get_f32_le(&mut self) -> f32 {
+        slice_get!(self, f32)
+    }
+    fn get_f64_le(&mut self) -> f64 {
+        slice_get!(self, f64)
+    }
+}
+
+/// Write side of a growable buffer (stand-in for `bytes::BufMut`).
+pub trait BufMut {
+    /// Appends raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+    /// Appends a `u8`.
+    fn put_u8(&mut self, v: u8);
+    /// Appends a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32);
+    /// Appends a little-endian `u64`.
+    fn put_u64_le(&mut self, v: u64);
+    /// Appends a little-endian `i64`.
+    fn put_i64_le(&mut self, v: i64);
+    /// Appends a little-endian `f32`.
+    fn put_f32_le(&mut self, v: f32);
+    /// Appends a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64);
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+    fn put_u8(&mut self, v: u8) {
+        self.push(v);
+    }
+    fn put_u32_le(&mut self, v: u32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_u64_le(&mut self, v: u64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_i64_le(&mut self, v: i64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_f32_le(&mut self, v: f32) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+    fn put_f64_le(&mut self, v: f64) {
+        self.extend_from_slice(&v.to_le_bytes());
+    }
+}

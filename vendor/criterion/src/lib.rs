@@ -1,0 +1,191 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A small wall-clock benchmark harness exposing the subset of the
+//! criterion API the workspace's `hotpaths` bench uses. No statistics
+//! beyond a mean: each benchmark warms up, then runs a timed batch and
+//! prints mean time per iteration (plus element throughput when
+//! declared). Honors a positional substring filter and criterion's
+//! `--test` flag (run everything once, no timing), and ignores other
+//! harness flags cargo passes.
+
+#![warn(missing_docs)]
+
+use std::hint::black_box;
+use std::time::{Duration, Instant};
+
+/// Throughput declaration for a benchmark group.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// How much setup output `iter_batched` keeps in flight. The stand-in
+/// always runs batches of one, so the variants only exist for API
+/// compatibility.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// Benchmark driver; construct via [`Criterion::from_args`] (the
+/// `criterion_main!` macro does this).
+#[derive(Default)]
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+}
+
+impl Criterion {
+    /// Builds a driver from the process arguments, tolerating the
+    /// flags cargo's bench/test harnesses pass.
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                c.test_mode = true;
+            } else if !arg.starts_with('-') {
+                c.filter = Some(arg);
+            }
+        }
+        c
+    }
+
+    /// Starts a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// Prints the closing summary (no-op in the stand-in).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    c: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares per-iteration throughput for subsequent benchmarks.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Sets the sample count (accepted for compatibility; the stand-in
+    /// sizes its timed batch by wall-clock, not sample count).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.c.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        if self.c.test_mode {
+            f(&mut b);
+            println!("{full}: ok (test mode)");
+            return self;
+        }
+        // Warm up and estimate cost, then scale to a ~100ms batch.
+        f(&mut b);
+        let per_iter = b.elapsed.max(Duration::from_nanos(1));
+        b.iters = (Duration::from_millis(100).as_nanos() / per_iter.as_nanos()).clamp(1, 10_000_000)
+            as u64;
+        f(&mut b);
+        let mean_ns = b.elapsed.as_nanos() as f64 / b.iters as f64;
+        match self.throughput {
+            Some(Throughput::Elements(n)) => {
+                let rate = n as f64 / (mean_ns * 1e-9) / 1e6;
+                println!("{full}: {mean_ns:.1} ns/iter ({rate:.2} Melem/s)");
+            }
+            Some(Throughput::Bytes(n)) => {
+                let rate = n as f64 / (mean_ns * 1e-9) / 1e6;
+                println!("{full}: {mean_ns:.1} ns/iter ({rate:.2} MB/s)");
+            }
+            None => println!("{full}: {mean_ns:.1} ns/iter"),
+        }
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to each benchmark closure; drives the timed loop.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over the harness-chosen iteration count.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over inputs built by `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut total = Duration::ZERO;
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            total += start.elapsed();
+        }
+        self.elapsed = total;
+    }
+}
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($f:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $($f(c);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($g:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::from_args();
+            $($g(&mut c);)+
+            c.final_summary();
+        }
+    };
+}

@@ -1,0 +1,368 @@
+//! MPMC channels (stand-in for `crossbeam::channel`).
+//!
+//! Built on `std::sync::{Mutex, Condvar}`. Supports the subset the
+//! workspace uses: `bounded`/`unbounded` construction, blocking
+//! `send`/`recv`, `try_recv`, and [`Select`] over multiple receivers.
+//! `bounded(0)` (rendezvous) is approximated as capacity 1.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+/// Error returned by [`Sender::send`] when all receivers are gone.
+#[derive(Debug, PartialEq, Eq)]
+pub struct SendError<T>(pub T);
+
+/// Error returned by [`Receiver::recv`] when the channel is empty and
+/// all senders are gone.
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub struct RecvError;
+
+/// Error returned by [`Receiver::try_recv`].
+#[derive(Debug, PartialEq, Eq, Clone, Copy)]
+pub enum TryRecvError {
+    /// Channel currently has no messages.
+    Empty,
+    /// Channel is empty and all senders are gone.
+    Disconnected,
+}
+
+struct Waker {
+    ready: Mutex<bool>,
+    cv: Condvar,
+}
+
+impl Waker {
+    fn new() -> Self {
+        Waker {
+            ready: Mutex::new(false),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn wake(&self) {
+        *self.ready.lock().unwrap() = true;
+        self.cv.notify_all();
+    }
+
+    /// Waits until woken; bounded by a short timeout so a missed wakeup
+    /// only delays the caller's readiness re-scan, never deadlocks it.
+    fn wait(&self) {
+        let mut ready = self.ready.lock().unwrap();
+        while !*ready {
+            let (guard, timeout) = self
+                .cv
+                .wait_timeout(ready, Duration::from_millis(10))
+                .unwrap();
+            ready = guard;
+            if timeout.timed_out() {
+                break;
+            }
+        }
+        *ready = false;
+    }
+}
+
+struct Inner<T> {
+    queue: VecDeque<T>,
+    cap: Option<usize>,
+    senders: usize,
+    receivers: usize,
+    wakers: Vec<Arc<Waker>>,
+}
+
+struct Shared<T> {
+    inner: Mutex<Inner<T>>,
+    not_empty: Condvar,
+    not_full: Condvar,
+}
+
+impl<T> Shared<T> {
+    fn wake_selects(inner: &mut Inner<T>) {
+        for w in &inner.wakers {
+            w.wake();
+        }
+    }
+}
+
+/// Sending half of a channel.
+pub struct Sender<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Receiving half of a channel.
+pub struct Receiver<T> {
+    shared: Arc<Shared<T>>,
+}
+
+/// Creates a channel holding at most `cap` messages.
+pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+    new_channel(Some(cap.max(1)))
+}
+
+/// Creates a channel with unlimited capacity.
+pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+    new_channel(None)
+}
+
+fn new_channel<T>(cap: Option<usize>) -> (Sender<T>, Receiver<T>) {
+    let shared = Arc::new(Shared {
+        inner: Mutex::new(Inner {
+            queue: VecDeque::new(),
+            cap,
+            senders: 1,
+            receivers: 1,
+            wakers: Vec::new(),
+        }),
+        not_empty: Condvar::new(),
+        not_full: Condvar::new(),
+    });
+    (
+        Sender {
+            shared: shared.clone(),
+        },
+        Receiver { shared },
+    )
+}
+
+impl<T> Sender<T> {
+    /// Blocks until the message is enqueued, or errors if all receivers
+    /// are gone.
+    pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+        let mut inner = self.shared.inner.lock().unwrap();
+        loop {
+            if inner.receivers == 0 {
+                return Err(SendError(value));
+            }
+            let full = inner.cap.is_some_and(|c| inner.queue.len() >= c);
+            if !full {
+                inner.queue.push_back(value);
+                Shared::wake_selects(&mut inner);
+                self.shared.not_empty.notify_one();
+                return Ok(());
+            }
+            inner = self.shared.not_full.wait(inner).unwrap();
+        }
+    }
+}
+
+impl<T> Clone for Sender<T> {
+    fn clone(&self) -> Self {
+        self.shared.inner.lock().unwrap().senders += 1;
+        Sender {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Sender<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.inner.lock().unwrap();
+        inner.senders -= 1;
+        if inner.senders == 0 {
+            Shared::wake_selects(&mut inner);
+            self.shared.not_empty.notify_all();
+        }
+    }
+}
+
+impl<T> Receiver<T> {
+    /// Blocks until a message arrives, or errors once the channel is
+    /// empty and all senders are gone.
+    pub fn recv(&self) -> Result<T, RecvError> {
+        let mut inner = self.shared.inner.lock().unwrap();
+        loop {
+            if let Some(v) = inner.queue.pop_front() {
+                self.shared.not_full.notify_one();
+                return Ok(v);
+            }
+            if inner.senders == 0 {
+                return Err(RecvError);
+            }
+            inner = self.shared.not_empty.wait(inner).unwrap();
+        }
+    }
+
+    /// Takes a message if one is immediately available.
+    pub fn try_recv(&self) -> Result<T, TryRecvError> {
+        let mut inner = self.shared.inner.lock().unwrap();
+        match inner.queue.pop_front() {
+            Some(v) => {
+                self.shared.not_full.notify_one();
+                Ok(v)
+            }
+            None if inner.senders == 0 => Err(TryRecvError::Disconnected),
+            None => Err(TryRecvError::Empty),
+        }
+    }
+
+    fn ready(&self) -> bool {
+        let inner = self.shared.inner.lock().unwrap();
+        !inner.queue.is_empty() || inner.senders == 0
+    }
+
+    fn register(&self, w: &Arc<Waker>) {
+        self.shared.inner.lock().unwrap().wakers.push(w.clone());
+    }
+
+    fn unregister(&self, w: &Arc<Waker>) {
+        self.shared
+            .inner
+            .lock()
+            .unwrap()
+            .wakers
+            .retain(|x| !Arc::ptr_eq(x, w));
+    }
+}
+
+impl<T> Clone for Receiver<T> {
+    fn clone(&self) -> Self {
+        self.shared.inner.lock().unwrap().receivers += 1;
+        Receiver {
+            shared: self.shared.clone(),
+        }
+    }
+}
+
+impl<T> Drop for Receiver<T> {
+    fn drop(&mut self) {
+        let mut inner = self.shared.inner.lock().unwrap();
+        inner.receivers -= 1;
+        if inner.receivers == 0 {
+            self.shared.not_full.notify_all();
+        }
+    }
+}
+
+/// Object-safe view of a receiver used by [`Select`]; a channel counts
+/// as ready when it has a message or is disconnected.
+trait Selectable {
+    fn ready(&self) -> bool;
+    fn register(&self, w: &Arc<Waker>);
+    fn unregister(&self, w: &Arc<Waker>);
+}
+
+impl<T> Selectable for Receiver<T> {
+    fn ready(&self) -> bool {
+        Receiver::ready(self)
+    }
+    fn register(&self, w: &Arc<Waker>) {
+        Receiver::register(self, w)
+    }
+    fn unregister(&self, w: &Arc<Waker>) {
+        Receiver::unregister(self, w)
+    }
+}
+
+/// Waits over multiple receive operations (stand-in for
+/// `crossbeam::channel::Select`).
+pub struct Select<'a> {
+    handles: Vec<&'a dyn Selectable>,
+}
+
+impl<'a> Select<'a> {
+    /// Creates an empty selector.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Select {
+            handles: Vec::new(),
+        }
+    }
+
+    /// Adds a receive operation; returns its operation index.
+    pub fn recv<T>(&mut self, rx: &'a Receiver<T>) -> usize {
+        self.handles.push(rx);
+        self.handles.len() - 1
+    }
+
+    /// Blocks until one registered operation is ready.
+    pub fn select(&mut self) -> SelectedOperation {
+        assert!(!self.handles.is_empty(), "select on empty Select");
+        let waker = Arc::new(Waker::new());
+        loop {
+            if let Some(i) = self.handles.iter().position(|h| h.ready()) {
+                return SelectedOperation { index: i };
+            }
+            for h in &self.handles {
+                h.register(&waker);
+            }
+            // Re-scan after registering so a message enqueued between the
+            // first scan and registration cannot be missed.
+            let ready = self.handles.iter().position(|h| h.ready());
+            if ready.is_none() {
+                waker.wait();
+            }
+            for h in &self.handles {
+                h.unregister(&waker);
+            }
+            if let Some(i) = ready {
+                return SelectedOperation { index: i };
+            }
+        }
+    }
+}
+
+/// A ready operation returned by [`Select::select`].
+pub struct SelectedOperation {
+    index: usize,
+}
+
+impl SelectedOperation {
+    /// Index of the ready operation in registration order.
+    pub fn index(&self) -> usize {
+        self.index
+    }
+
+    /// Completes the operation by receiving from `rx`.
+    pub fn recv<T>(self, rx: &Receiver<T>) -> Result<T, RecvError> {
+        rx.recv()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn send_recv_roundtrip() {
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        drop(tx);
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn bounded_blocks_and_unblocks() {
+        let (tx, rx) = bounded(1);
+        tx.send(1).unwrap();
+        let h = thread::spawn(move || tx.send(2).unwrap());
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.recv(), Ok(2));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn select_picks_ready_channel() {
+        let (tx1, rx1) = unbounded::<u32>();
+        let (tx2, rx2) = unbounded::<u32>();
+        let h = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(20));
+            tx2.send(7).unwrap();
+            drop(tx1);
+        });
+        let mut sel = Select::new();
+        sel.recv(&rx1);
+        sel.recv(&rx2);
+        let oper = sel.select();
+        match oper.index() {
+            0 => assert_eq!(oper.recv(&rx1), Err(RecvError)),
+            1 => assert_eq!(oper.recv(&rx2), Ok(7)),
+            _ => unreachable!(),
+        }
+        h.join().unwrap();
+    }
+}

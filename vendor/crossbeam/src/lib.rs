@@ -1,0 +1,10 @@
+//! Offline stand-in for the `crossbeam` facade crate.
+//!
+//! The workspace uses `crossbeam::channel::{bounded, unbounded, Sender,
+//! Receiver, Select}`; this crate implements those over `std::sync`
+//! primitives (Mutex + Condvar). Not a performance clone — a correct,
+//! small MPMC channel good enough for the live-runtime demo threads.
+
+#![warn(missing_docs)]
+
+pub mod channel;

@@ -1,0 +1,19 @@
+//! Collection strategies (stand-in for `proptest::collection`).
+
+use crate::{BoxedStrategy, Strategy};
+use std::ops::Range;
+use std::sync::Arc;
+
+/// Generates `Vec`s whose length is uniform in `len` and whose
+/// elements come from `element`.
+pub fn vec<S>(element: S, len: Range<usize>) -> BoxedStrategy<Vec<S::Value>>
+where
+    S: Strategy + 'static,
+    S::Value: 'static,
+{
+    assert!(len.start < len.end, "empty length range");
+    BoxedStrategy(Arc::new(move |rng| {
+        let n = len.start + rng.below((len.end - len.start) as u64) as usize;
+        (0..n).map(|_| element.generate(rng)).collect()
+    }))
+}

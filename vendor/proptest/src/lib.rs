@@ -1,0 +1,329 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Deterministic generative testing with the subset of the proptest
+//! API this workspace uses: [`Strategy`] with `prop_map` /
+//! `prop_recursive`, `prop_oneof!`, `any`, numeric range strategies,
+//! `[a-z]{m,n}`-style string patterns, tuple and
+//! [`collection::vec`] strategies, and the `proptest!` /
+//! `prop_assert*` macros. There is no shrinking: a failing case
+//! reports its seed so it can be replayed.
+//!
+//! Cases per property default to 64; override with `PROPTEST_CASES`.
+
+#![warn(missing_docs)]
+
+use std::ops::Range;
+use std::sync::Arc;
+
+pub mod collection;
+pub mod test_runner;
+
+/// Deterministic SplitMix64 generator driving all strategies.
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        TestRng(seed)
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Uniform `u64` in `[0, span)`; `span` must be non-zero.
+    pub fn below(&mut self, span: u64) -> u64 {
+        self.next_u64() % span
+    }
+}
+
+/// A generator of values of type `Self::Value`.
+pub trait Strategy: 'static {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// Produces one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps produced values through `f`.
+    fn prop_map<O, F>(self, f: F) -> BoxedStrategy<O>
+    where
+        Self: Sized,
+        O: 'static,
+        F: Fn(Self::Value) -> O + 'static,
+    {
+        let s = self;
+        BoxedStrategy(Arc::new(move |rng| f(s.generate(rng))))
+    }
+
+    /// Builds a recursive strategy: at each of `depth` levels the value
+    /// is either a leaf (`self`) or one expansion step `f(inner)`.
+    /// `_desired_size` / `_expected_branch` are accepted for proptest
+    /// signature compatibility but unused (no size-driven budgeting).
+    fn prop_recursive<R, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch: u32,
+        f: F,
+    ) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+        R: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> R,
+    {
+        let mut cur = self.boxed();
+        let leaf = cur.clone();
+        for _ in 0..depth {
+            let expanded = f(cur).boxed();
+            let l = leaf.clone();
+            cur = BoxedStrategy(Arc::new(move |rng| {
+                // Lean 3:1 toward leaves so nesting stays shallow.
+                if rng.below(4) == 0 {
+                    expanded.generate(rng)
+                } else {
+                    l.generate(rng)
+                }
+            }));
+        }
+        cur
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized,
+    {
+        let s = self;
+        BoxedStrategy(Arc::new(move |rng| s.generate(rng)))
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<T>(Arc<dyn Fn(&mut TestRng) -> T>);
+
+impl<T> Clone for BoxedStrategy<T> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(self.0.clone())
+    }
+}
+
+impl<T: 'static> Strategy for BoxedStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.0)(rng)
+    }
+}
+
+/// Uniformly picks one of the given strategies per generated value
+/// (backs the `prop_oneof!` macro).
+pub fn one_of<T: 'static>(options: Vec<BoxedStrategy<T>>) -> BoxedStrategy<T> {
+    assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+    BoxedStrategy(Arc::new(move |rng| {
+        let i = rng.below(options.len() as u64) as usize;
+        options[i].generate(rng)
+    }))
+}
+
+/// Types with a canonical full-domain strategy (stand-in for
+/// `proptest::arbitrary::Arbitrary`).
+pub trait Arbitrary: Sized + 'static {
+    /// The canonical strategy over the whole domain of `Self`.
+    fn arbitrary() -> BoxedStrategy<Self>;
+}
+
+/// The canonical strategy for `A` — `any::<u64>()` etc.
+pub fn any<A: Arbitrary>() -> BoxedStrategy<A> {
+    A::arbitrary()
+}
+
+macro_rules! arbitrary_uint {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary() -> BoxedStrategy<Self> {
+                BoxedStrategy(Arc::new(|rng| rng.next_u64() as $t))
+            }
+        }
+    )*};
+}
+arbitrary_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary() -> BoxedStrategy<Self> {
+                BoxedStrategy(Arc::new(|rng| rng.next_u64() as $t))
+            }
+        }
+    )*};
+}
+arbitrary_int!(i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary() -> BoxedStrategy<Self> {
+        BoxedStrategy(Arc::new(|rng| rng.next_u64() & 1 == 1))
+    }
+}
+
+macro_rules! range_strategy_int {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $t
+            }
+        }
+    )*};
+}
+range_strategy_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! range_strategy_float {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                self.start + rng.next_f64() as $t * (self.end - self.start)
+            }
+        }
+    )*};
+}
+range_strategy_float!(f32, f64);
+
+/// String strategies from `"[c1-c2]{m,n}"` character-class patterns.
+/// Anything fancier than a single class with a repetition count is
+/// rejected loudly rather than silently mis-generated.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (lo, hi, min, max) = parse_class_pattern(self)
+            .unwrap_or_else(|| panic!("unsupported string pattern {self:?}"));
+        let len = min + rng.below((max - min + 1) as u64) as usize;
+        (0..len)
+            .map(|_| {
+                let span = (hi as u64) - (lo as u64) + 1;
+                char::from_u32(lo as u32 + rng.below(span) as u32).unwrap()
+            })
+            .collect()
+    }
+}
+
+fn parse_class_pattern(pat: &str) -> Option<(char, char, usize, usize)> {
+    let rest = pat.strip_prefix('[')?;
+    let (class, rest) = rest.split_once(']')?;
+    let mut chars = class.chars();
+    let (lo, dash, hi) = (chars.next()?, chars.next()?, chars.next()?);
+    if dash != '-' || chars.next().is_some() || lo > hi {
+        return None;
+    }
+    let counts = rest.strip_prefix('{')?.strip_suffix('}')?;
+    let (min, max) = counts.split_once(',')?;
+    let (min, max) = (min.parse().ok()?, max.parse().ok()?);
+    if min > max {
+        return None;
+    }
+    Some((lo, hi, min, max))
+}
+
+macro_rules! tuple_strategy {
+    ($($s:ident / $v:ident),+) => {
+        impl<$($s: Strategy + 'static),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($v,)+) = self;
+                ($($v.generate(rng),)+)
+            }
+        }
+    };
+}
+tuple_strategy!(S0 / s0, S1 / s1);
+tuple_strategy!(S0 / s0, S1 / s1, S2 / s2);
+tuple_strategy!(S0 / s0, S1 / s1, S2 / s2, S3 / s3);
+tuple_strategy!(S0 / s0, S1 / s1, S2 / s2, S3 / s3, S4 / s4);
+tuple_strategy!(S0 / s0, S1 / s1, S2 / s2, S3 / s3, S4 / s4, S5 / s5);
+
+/// The commonly imported surface: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        BoxedStrategy, Strategy,
+    };
+}
+
+/// Picks uniformly among the listed strategies (all must share a value
+/// type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::one_of(vec![$($crate::Strategy::boxed($s)),+])
+    };
+}
+
+/// Defines property tests: each `fn name(pat in strategy, ...) { .. }`
+/// becomes a `#[test]` running the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(stringify!($name), |__ms_rng| {
+                    $(let $arg = $crate::Strategy::generate(
+                        &$crate::Strategy::boxed($strat), __ms_rng);)+
+                    #[allow(unreachable_code, clippy::diverging_sub_expression)]
+                    let __ms_out: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                        (|| {
+                            $body
+                            ::std::result::Result::Ok(())
+                        })();
+                    __ms_out
+                });
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside `proptest!`, failing the case (not
+/// panicking) when false.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, "assertion failed: {}", stringify!($cond))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)));
+        }
+    };
+}
+
+/// Asserts equality inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a == b, "assertion failed: {:?} == {:?}", a, b);
+    }};
+}
+
+/// Asserts inequality inside `proptest!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr $(,)?) => {{
+        let (a, b) = (&$a, &$b);
+        $crate::prop_assert!(a != b, "assertion failed: {:?} != {:?}", a, b);
+    }};
+}

@@ -1,0 +1,51 @@
+//! Case runner backing the `proptest!` macro.
+
+use crate::TestRng;
+
+/// A failed property case; carries the assertion message.
+#[derive(Debug)]
+pub struct TestCaseError(String);
+
+impl TestCaseError {
+    /// Builds a failure from a message.
+    pub fn fail(msg: String) -> Self {
+        TestCaseError(msg)
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+fn case_count() -> u64 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(64)
+}
+
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.bytes() {
+        h = (h ^ b as u64).wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+/// Runs `property` over deterministically seeded cases, panicking on
+/// the first failure with enough detail to replay it.
+pub fn run<F>(name: &str, property: F)
+where
+    F: Fn(&mut TestRng) -> Result<(), TestCaseError>,
+{
+    let base = fnv1a(name);
+    for case in 0..case_count() {
+        let seed = base.wrapping_add(case.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let mut rng = TestRng::new(seed);
+        if let Err(e) = property(&mut rng) {
+            panic!("property {name} failed at case {case} (seed {seed:#x}): {e}");
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! The build environment has no crates.io access, so the workspace
+//! vendors the minimal API surface it actually uses: the [`RngCore`]
+//! vocabulary trait that `ms-sim::DetRng` implements. All actual
+//! random-number generation in this workspace is done by `DetRng`
+//! itself (SplitMix64); nothing here generates numbers.
+
+#![warn(missing_docs)]
+
+/// The core random-number-generator interface (as in `rand` 0.9).
+pub trait RngCore {
+    /// Next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        R::next_u32(self)
+    }
+    fn next_u64(&mut self) -> u64 {
+        R::next_u64(self)
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        R::fill_bytes(self, dest)
+    }
+}

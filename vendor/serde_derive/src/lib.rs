@@ -1,0 +1,21 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` as forward-looking
+//! decoration but never serializes through serde (the snapshot wire
+//! format is `ms-core::codec`). The vendored `serde` stub gives both
+//! traits blanket impls, so these derives can legitimately expand to
+//! nothing — every type already satisfies the bounds.
+
+use proc_macro::TokenStream;
+
+/// Derives `serde::Serialize` (no-op: the stub trait is blanket-implemented).
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Derives `serde::Deserialize` (no-op: the stub trait is blanket-implemented).
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
