@@ -1,7 +1,8 @@
 //! Criterion microbenchmarks over the system's hot paths: snapshot
 //! codec, state-size estimation, the DES kernel, the network and
-//! storage cost models, preservation buffers, the k-means kernel, and
-//! one end-to-end engine ablation (sync vs async snapshotting).
+//! storage cost models, preservation buffers, the k-means kernel, the
+//! wire transport (loopback TCP vs in-process channels), and one
+//! end-to-end engine ablation (sync vs async snapshotting).
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use ms_apps::kmeans::kmeans;
@@ -245,6 +246,87 @@ fn bench_engine_ablation(c: &mut Criterion) {
     g.finish();
 }
 
+/// What moving a tuple between HAUs costs once the boundary is a real
+/// socket: tuples/sec through framed `WireMsg::Data` over loopback TCP
+/// versus the in-process crossbeam channel `ms-live` uses, at 1KB and
+/// 100KB logical payloads. The receiver acks once per batch so every
+/// measurement covers full delivery, not just enqueue.
+fn bench_wire_throughput(c: &mut Criterion) {
+    use std::net::{TcpListener, TcpStream};
+
+    use ms_wire::{recv_msg, send_msg, WireMsg};
+
+    const BATCH: u64 = 64;
+
+    let mut g = c.benchmark_group("wire_throughput");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(BATCH));
+    for (label, bytes) in [("1KB", 1usize << 10), ("100KB", 100 << 10)] {
+        let t = Tuple::new(
+            OperatorId(1),
+            0,
+            SimTime::from_micros(0),
+            vec![Value::Str("x".repeat(bytes))],
+        );
+
+        let (tx, rx) = crossbeam::channel::bounded::<Tuple>(64);
+        let (ack_tx, ack_rx) = crossbeam::channel::bounded::<()>(1);
+        let drain = std::thread::spawn(move || 'outer: loop {
+            for _ in 0..BATCH {
+                if rx.recv().is_err() {
+                    break 'outer;
+                }
+            }
+            if ack_tx.send(()).is_err() {
+                break;
+            }
+        });
+        g.bench_function(&format!("crossbeam_{label}"), |b| {
+            b.iter(|| {
+                for _ in 0..BATCH {
+                    tx.send(t.clone()).unwrap();
+                }
+                ack_rx.recv().unwrap();
+            })
+        });
+        drop(tx);
+        drain.join().unwrap();
+
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (ack_tx, ack_rx) = crossbeam::channel::bounded::<()>(1);
+        let reader = std::thread::spawn(move || {
+            let (mut conn, _) = listener.accept().unwrap();
+            'outer: loop {
+                for _ in 0..BATCH {
+                    match recv_msg(&mut conn) {
+                        Ok(Some(WireMsg::Data(_))) => {}
+                        _ => break 'outer,
+                    }
+                }
+                if ack_tx.send(()).is_err() {
+                    break;
+                }
+            }
+        });
+        // Raw stream, one write per frame — exactly what a worker's
+        // egress pump does.
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_nodelay(true).unwrap();
+        g.bench_function(&format!("tcp_loopback_{label}"), |b| {
+            b.iter(|| {
+                for _ in 0..BATCH {
+                    send_msg(&mut stream, &WireMsg::Data(t.clone())).unwrap();
+                }
+                ack_rx.recv().unwrap();
+            })
+        });
+        drop(stream);
+        reader.join().unwrap();
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_codec,
@@ -255,6 +337,7 @@ criterion_group!(
     bench_kmeans,
     bench_tuple_clone,
     bench_snapshot_presize,
-    bench_engine_ablation
+    bench_engine_ablation,
+    bench_wire_throughput
 );
 criterion_main!(benches);

@@ -20,6 +20,12 @@ pub enum Error {
     Recovery(String),
     /// A component was addressed that does not exist.
     NotFound(String),
+    /// A real-transport failure: connection refused or reset, broken
+    /// pipe, torn/oversized frame, unexpected EOF mid-message. This is
+    /// the live-cluster counterpart of the simulator's
+    /// `ms_net::SendOutcome::Unreachable` — fail-stop, observable by
+    /// the sender, never a silent loss.
+    Wire(String),
 }
 
 impl fmt::Display for Error {
@@ -30,11 +36,22 @@ impl fmt::Display for Error {
             Error::Config(m) => write!(f, "configuration error: {m}"),
             Error::Recovery(m) => write!(f, "recovery error: {m}"),
             Error::NotFound(m) => write!(f, "not found: {m}"),
+            Error::Wire(m) => write!(f, "wire error: {m}"),
         }
     }
 }
 
 impl std::error::Error for Error {}
+
+impl From<std::io::Error> for Error {
+    /// Wire transports surface OS-level socket failures; the error
+    /// kind is preserved in text so callers (and logs) can still tell
+    /// a refused connect from a broken pipe. `io::Error` is neither
+    /// `Clone` nor `PartialEq`, hence the stringly capture.
+    fn from(e: std::io::Error) -> Error {
+        Error::Wire(format!("{:?}: {e}", e.kind()))
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -46,5 +63,19 @@ mod tests {
         assert!(Error::Graph("x".into())
             .to_string()
             .contains("query network"));
+        assert!(Error::Wire("x".into()).to_string().contains("wire"));
+    }
+
+    #[test]
+    fn io_error_maps_to_wire_with_kind() {
+        let io = std::io::Error::new(std::io::ErrorKind::BrokenPipe, "pipe gone");
+        let e = Error::from(io);
+        match &e {
+            Error::Wire(m) => {
+                assert!(m.contains("BrokenPipe"));
+                assert!(m.contains("pipe gone"));
+            }
+            other => panic!("expected Wire, got {other:?}"),
+        }
     }
 }

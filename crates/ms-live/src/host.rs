@@ -1,0 +1,350 @@
+//! The operator-host layer: one OS thread running one HAU of the
+//! MS-src token protocol, independent of *what carries its streams*.
+//!
+//! A host owns a [`ms_core::operator::Operator`], a set of input
+//! [`Receiver`]s and output [`Sender`]s of [`HostMsg`], and (for
+//! sources) a [`SourceCmd`] channel from the controller. The
+//! in-process runtime ([`crate::LiveRuntime`]) wires hosts directly to
+//! each other with crossbeam channels; the TCP runtime (`ms-wire`)
+//! wires cross-process edges through socket pump threads that bridge
+//! frames to the very same channels. Either way the protocol logic —
+//! source preservation before send, token alignment on fan-in,
+//! individual checkpoints handed to a [`Persister`] — runs unmodified.
+//!
+//! Invariant: a host with a `cmd` channel is a *source* and must have
+//! no inputs; a host without one is interior (or a sink) and must have
+//! at least one input.
+
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use crossbeam::channel::{unbounded, Receiver, Select, Sender};
+use ms_core::ids::{EpochId, OperatorId, PortId};
+use ms_core::operator::{Operator, OperatorContext};
+use ms_core::time::SimTime;
+use ms_core::tuple::{Fields, Tuple};
+
+use crate::storage::{LiveHauCheckpoint, StableStore};
+
+/// What travels on a live stream between two hosts.
+#[derive(Debug)]
+pub enum HostMsg {
+    /// A data tuple.
+    Data(Tuple),
+    /// A checkpoint token for the given epoch.
+    Token(EpochId),
+    /// End of stream: the upstream host drained and exited.
+    Eos,
+}
+
+/// Controller commands delivered to source hosts.
+#[derive(Debug, Clone, Copy)]
+pub enum SourceCmd {
+    /// Snapshot now, mark the stream boundary, emit a token.
+    Checkpoint(EpochId),
+    /// Finish generating and close the stream (graceful).
+    Stop,
+}
+
+/// One persistence work item: an individual checkpoint on its way to
+/// stable storage.
+pub struct PersistItem {
+    /// Checkpoint epoch.
+    pub epoch: EpochId,
+    /// The operator the checkpoint belongs to.
+    pub op: OperatorId,
+    /// The serialized state plus stream boundary.
+    pub ckpt: LiveHauCheckpoint,
+}
+
+/// The background persister thread — the live stand-in for the forked
+/// COW child of §III-B. Hosts hand it [`PersistItem`]s over a channel
+/// and keep processing; it writes them to the [`StableStore`]. Dropping
+/// the `Persister` closes the channel and joins the thread, so every
+/// queued checkpoint is durable before the owner proceeds.
+pub struct Persister {
+    handle: Option<JoinHandle<()>>,
+    tx: Option<Sender<PersistItem>>,
+}
+
+impl Persister {
+    /// Spawns the persister thread over a stable store.
+    pub fn spawn(store: Arc<dyn StableStore>) -> Persister {
+        let (tx, rx) = unbounded::<PersistItem>();
+        let handle = std::thread::spawn(move || {
+            while let Ok(item) = rx.recv() {
+                store.put_checkpoint(item.epoch, item.op, item.ckpt);
+            }
+        });
+        Persister {
+            handle: Some(handle),
+            tx: Some(tx),
+        }
+    }
+
+    /// A sender handle for hosts to submit checkpoints on.
+    pub fn sender(&self) -> Sender<PersistItem> {
+        self.tx.as_ref().expect("persister running").clone()
+    }
+}
+
+impl Drop for Persister {
+    fn drop(&mut self) {
+        drop(self.tx.take());
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Everything a host thread needs to run one HAU.
+pub struct HostWiring {
+    /// The operator's id (stamped on emitted tuples).
+    pub op_id: OperatorId,
+    /// The operator itself.
+    pub op: Box<dyn Operator>,
+    /// One receiver per input port, in port order. Empty for sources.
+    pub inputs: Vec<Receiver<HostMsg>>,
+    /// One sender per output port, in port order.
+    pub outputs: Vec<Sender<HostMsg>>,
+    /// Controller command channel — present iff this is a source.
+    pub cmd: Option<Receiver<SourceCmd>>,
+    /// First emission sequence (restored from a checkpoint, else 0).
+    pub restored_seq: u64,
+    /// Preserved tuples to resend before generating (recovery).
+    pub replay: Vec<Tuple>,
+    /// If true, an exhausted source closes its stream on its own
+    /// (first silent tick ⇒ Eos) instead of waiting for an explicit
+    /// [`SourceCmd::Stop`]. The in-process runtime keeps this `false`
+    /// (its `finish()` drives the stop); the TCP runtime sets it so a
+    /// finite stream drains without a controller round-trip.
+    pub auto_stop: bool,
+}
+
+/// Collects emissions inside a host thread.
+struct LiveCtx {
+    op: OperatorId,
+    fanout: usize,
+    emissions: Vec<(PortId, Fields)>,
+    seed: u64,
+}
+
+impl OperatorContext for LiveCtx {
+    fn emit_fields(&mut self, port: PortId, fields: Fields) {
+        self.emissions.push((port, fields));
+    }
+    fn emit_all_fields(&mut self, fields: Fields) {
+        for p in 0..self.fanout {
+            self.emissions.push((PortId(p as u32), fields.clone()));
+        }
+    }
+    fn now(&self) -> SimTime {
+        SimTime::ZERO
+    }
+    fn self_id(&self) -> OperatorId {
+        self.op
+    }
+    fn rand_f64(&mut self) -> f64 {
+        (self.rand_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+    fn rand_u64(&mut self) -> u64 {
+        self.seed = self.seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        self.seed
+    }
+}
+
+fn snapshot_of(op: &dyn Operator, next_seq: u64) -> LiveHauCheckpoint {
+    LiveHauCheckpoint {
+        snapshot: op.snapshot(),
+        next_seq,
+    }
+}
+
+/// Runs one HAU to completion on the current thread; returns the
+/// operator (with its final state) for inspection by the owner.
+///
+/// Sources: drain commands, tick the operator, preserve every emitted
+/// tuple in the stable store *before* sending it (§III-A source
+/// preservation), snapshot + mark + emit a token on
+/// [`SourceCmd::Checkpoint`]. Interior/sink hosts: token-aligned
+/// consumption — once a token has arrived on every live input, take
+/// the individual checkpoint and forward the token downstream.
+pub fn run_host(
+    mut w: HostWiring,
+    store: Arc<dyn StableStore>,
+    persist: Sender<PersistItem>,
+) -> (OperatorId, Box<dyn Operator>) {
+    let fanout = w.outputs.len();
+    let mut next_seq = w.restored_seq;
+    let route =
+        |ctx_emissions: Vec<(PortId, Fields)>, next_seq: &mut u64, preserve: bool| -> bool {
+            for (port, fields) in ctx_emissions {
+                let t = Tuple::new(w.op_id, *next_seq, SimTime::ZERO, fields);
+                *next_seq += 1;
+                if preserve {
+                    // Source preservation: stable storage *before* sending.
+                    store.append_log(w.op_id, t.clone());
+                }
+                if let Some(tx) = w.outputs.get(port.index()) {
+                    if tx.send(HostMsg::Data(t)).is_err() {
+                        return false;
+                    }
+                }
+            }
+            true
+        };
+
+    if let Some(cmd) = w.cmd.take() {
+        debug_assert!(w.inputs.is_empty(), "a source host has no inputs");
+        // Replay preserved tuples first (recovery catch-up), then
+        // fast-forward the operator through the replayed interval so
+        // it does not regenerate the same data (the preserved log IS
+        // that data — post-failure, a real sensor source could not
+        // regenerate it). Live sources emit one tuple per tick.
+        let replayed = w.replay.len() as u64;
+        for t in w.replay.drain(..) {
+            for tx in &w.outputs {
+                let _ = tx.send(HostMsg::Data(t.clone()));
+            }
+        }
+        for _ in 0..replayed {
+            let mut discard = LiveCtx {
+                op: w.op_id,
+                fanout,
+                emissions: Vec::new(),
+                seed: 0,
+            };
+            w.op.on_timer(&mut discard);
+        }
+        next_seq += replayed;
+        let mut stopping = false;
+        let take_checkpoint = |op: &dyn Operator, epoch: EpochId, next_seq: u64| {
+            let ck = snapshot_of(op, next_seq);
+            let _ = persist.send(PersistItem {
+                epoch,
+                op: w.op_id,
+                ckpt: ck,
+            });
+            store.mark_epoch(w.op_id, epoch, next_seq);
+            for tx in &w.outputs {
+                let _ = tx.send(HostMsg::Token(epoch));
+            }
+        };
+        loop {
+            // Drain pending controller commands. Stop is graceful: the
+            // source finishes its data before the stream closes.
+            while let Ok(c) = cmd.try_recv() {
+                match c {
+                    SourceCmd::Checkpoint(epoch) => take_checkpoint(w.op.as_ref(), epoch, next_seq),
+                    SourceCmd::Stop => stopping = true,
+                }
+            }
+            let mut ctx = LiveCtx {
+                op: w.op_id,
+                fanout,
+                emissions: Vec::new(),
+                seed: 0x5DEECE66D ^ w.op_id.0 as u64,
+            };
+            w.op.on_timer(&mut ctx);
+            if ctx.emissions.is_empty() {
+                // Exhausted source (convention: a silent tick means
+                // the source is done) — close the stream, or wait for
+                // Stop/Checkpoint if the controller drives shutdown.
+                if stopping || w.auto_stop {
+                    break;
+                }
+                match cmd.recv() {
+                    Ok(SourceCmd::Checkpoint(epoch)) => {
+                        take_checkpoint(w.op.as_ref(), epoch, next_seq)
+                    }
+                    _ => break,
+                }
+            } else if !route(ctx.emissions, &mut next_seq, true) {
+                break;
+            }
+        }
+        for tx in &w.outputs {
+            let _ = tx.send(HostMsg::Eos);
+        }
+        return (w.op_id, w.op);
+    }
+
+    // Interior/sink thread: token-aligned consumption.
+    let n_in = w.inputs.len();
+    debug_assert!(n_in > 0, "an interior host has at least one input");
+    let mut token_seen: Vec<Option<EpochId>> = vec![None; n_in];
+    let mut eos = vec![false; n_in];
+    loop {
+        // Readable inputs: no unmatched token, not EOS.
+        let pending_epoch = token_seen.iter().flatten().next().copied();
+        let readable: Vec<usize> = (0..n_in)
+            .filter(|&i| !eos[i] && token_seen[i].is_none())
+            .collect();
+        if readable.is_empty() {
+            if let Some(epoch) = pending_epoch {
+                if token_seen.iter().zip(&eos).all(|(t, &e)| t.is_some() || e) {
+                    // All tokens (or EOS) collected: individual
+                    // checkpoint, then forward the token.
+                    let ck = snapshot_of(w.op.as_ref(), next_seq);
+                    let _ = persist.send(PersistItem {
+                        epoch,
+                        op: w.op_id,
+                        ckpt: ck,
+                    });
+                    for tx in &w.outputs {
+                        let _ = tx.send(HostMsg::Token(epoch));
+                    }
+                    token_seen.fill(None);
+                    continue;
+                }
+            }
+            break; // every input at EOS
+        }
+        let mut sel = Select::new();
+        for &i in &readable {
+            sel.recv(&w.inputs[i]);
+        }
+        let oper = sel.select();
+        let idx = readable[oper.index()];
+        match oper.recv(&w.inputs[idx]) {
+            Ok(HostMsg::Data(t)) => {
+                let mut ctx = LiveCtx {
+                    op: w.op_id,
+                    fanout,
+                    emissions: Vec::new(),
+                    seed: t.seq ^ 0xA5A5_A5A5,
+                };
+                w.op.on_tuple(PortId(idx as u32), t, &mut ctx);
+                if !route(ctx.emissions, &mut next_seq, false) {
+                    break;
+                }
+            }
+            Ok(HostMsg::Token(epoch)) => {
+                token_seen[idx] = Some(epoch);
+                // Snapshot immediately once all live inputs delivered.
+                if token_seen.iter().zip(&eos).all(|(t, &e)| t.is_some() || e) {
+                    let ck = snapshot_of(w.op.as_ref(), next_seq);
+                    let _ = persist.send(PersistItem {
+                        epoch,
+                        op: w.op_id,
+                        ckpt: ck,
+                    });
+                    for tx in &w.outputs {
+                        let _ = tx.send(HostMsg::Token(epoch));
+                    }
+                    token_seen.fill(None);
+                }
+            }
+            Ok(HostMsg::Eos) | Err(_) => {
+                eos[idx] = true;
+            }
+        }
+        if eos.iter().all(|&e| e) {
+            break;
+        }
+    }
+    for tx in &w.outputs {
+        let _ = tx.send(HostMsg::Eos);
+    }
+    (w.op_id, w.op)
+}

@@ -36,8 +36,10 @@
 
 #![warn(missing_docs)]
 
+pub mod host;
 pub mod protocol;
 pub mod storage;
 
-pub use protocol::{CountSource, LiveRuntime, Summer};
-pub use storage::{LiveHauCheckpoint, LiveStorage};
+pub use host::{HostMsg, HostWiring, PersistItem, Persister, SourceCmd};
+pub use protocol::{CountSource, Doubler, LiveRuntime, Summer};
+pub use storage::{LiveHauCheckpoint, LiveStorage, StableStore};

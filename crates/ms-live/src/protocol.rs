@@ -7,93 +7,35 @@
 //! token-bearing inputs until tokens arrived on all inputs, snapshots,
 //! and forwards the token. Snapshot persistence happens on a separate
 //! writer thread — the live stand-in for the forked COW child.
+//!
+//! The per-HAU execution loop itself lives in [`crate::host`]; this
+//! module is the single-process deployment of it. `ms-wire` deploys
+//! the same hosts across OS processes connected by TCP.
 
 use std::collections::HashMap;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
-use crossbeam::channel::{bounded, unbounded, Receiver, Select, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use ms_core::graph::QueryNetwork;
 use ms_core::ids::{EpochId, OperatorId, PortId};
 use ms_core::operator::{Operator, OperatorContext, OperatorSnapshot};
-use ms_core::time::SimTime;
-use ms_core::tuple::{Fields, Tuple};
+use ms_core::tuple::Tuple;
 use ms_core::value::Value;
 
-use crate::storage::{LiveHauCheckpoint, LiveStorage};
+use crate::host::{run_host, HostMsg, HostWiring, Persister, SourceCmd};
+use crate::storage::{LiveStorage, StableStore};
 
-/// What travels on a live stream.
-enum Msg {
-    Data(Tuple),
-    Token(EpochId),
-    /// End of stream: the upstream thread drained and exited.
-    Eos,
-}
-
-/// Controller commands to source threads.
-enum Cmd {
-    Checkpoint(EpochId),
-    Stop,
-}
-
-/// Persister-thread work items.
-struct PersistItem {
-    epoch: EpochId,
-    op: OperatorId,
-    ckpt: LiveHauCheckpoint,
-}
-
-/// Collects emissions inside an operator thread.
-struct LiveCtx {
-    op: OperatorId,
-    fanout: usize,
-    emissions: Vec<(PortId, Fields)>,
-    seed: u64,
-}
-
-impl OperatorContext for LiveCtx {
-    fn emit_fields(&mut self, port: PortId, fields: Fields) {
-        self.emissions.push((port, fields));
-    }
-    fn emit_all_fields(&mut self, fields: Fields) {
-        for p in 0..self.fanout {
-            self.emissions.push((PortId(p as u32), fields.clone()));
-        }
-    }
-    fn now(&self) -> SimTime {
-        SimTime::ZERO
-    }
-    fn self_id(&self) -> OperatorId {
-        self.op
-    }
-    fn rand_f64(&mut self) -> f64 {
-        (self.rand_u64() >> 11) as f64 / (1u64 << 53) as f64
-    }
-    fn rand_u64(&mut self) -> u64 {
-        self.seed = self.seed.wrapping_mul(6364136223846793005).wrapping_add(1);
-        self.seed
-    }
-}
+/// Depth of each inter-host channel (the live stand-in for the
+/// simulator's bounded per-channel buffers — hop-by-hop backpressure).
+pub const CHANNEL_DEPTH: usize = 256;
 
 /// A running live deployment.
 pub struct LiveRuntime {
     handles: Vec<JoinHandle<(OperatorId, Box<dyn Operator>)>>,
-    src_cmds: Vec<Sender<Cmd>>,
+    src_cmds: Vec<Sender<SourceCmd>>,
     next_epoch: EpochId,
-    persist_handle: Option<JoinHandle<()>>,
-    persist_tx: Option<Sender<PersistItem>>,
-}
-
-/// Per-thread wiring.
-struct Wiring {
-    op_id: OperatorId,
-    op: Box<dyn Operator>,
-    inputs: Vec<Receiver<Msg>>,
-    outputs: Vec<Sender<Msg>>,
-    cmd: Option<Receiver<Cmd>>,
-    is_source: bool,
-    restored_seq: u64,
-    replay: Vec<Tuple>,
+    persister: Option<Persister>,
 }
 
 impl LiveRuntime {
@@ -124,23 +66,16 @@ impl LiveRuntime {
         restore_epoch: Option<EpochId>,
     ) -> LiveRuntime {
         qn.validate().expect("valid query network");
+        let store: Arc<dyn StableStore> = storage.clone();
         // One channel per edge.
-        let mut senders: HashMap<(OperatorId, OperatorId), Sender<Msg>> = HashMap::new();
-        let mut receivers: HashMap<(OperatorId, OperatorId), Receiver<Msg>> = HashMap::new();
+        let mut senders: HashMap<(OperatorId, OperatorId), Sender<HostMsg>> = HashMap::new();
+        let mut receivers: HashMap<(OperatorId, OperatorId), Receiver<HostMsg>> = HashMap::new();
         for (from, to) in qn.edges() {
-            let (tx, rx) = bounded(256);
+            let (tx, rx) = bounded(CHANNEL_DEPTH);
             senders.insert((from, to), tx);
             receivers.insert((from, to), rx);
         }
-        let (persist_tx, persist_rx) = unbounded::<PersistItem>();
-        let persist_storage = storage.clone();
-        let expected = qn.len();
-        let persist_handle = std::thread::spawn(move || {
-            while let Ok(item) = persist_rx.recv() {
-                let _ = expected; // completeness tracked by the store
-                persist_storage.put_checkpoint(item.epoch, item.op, item.ckpt);
-            }
-        });
+        let persister = Persister::spawn(store.clone());
 
         let mut handles = Vec::new();
         let mut src_cmds = Vec::new();
@@ -149,46 +84,45 @@ impl LiveRuntime {
             let mut restored_seq = 0;
             let mut replay = Vec::new();
             if let Some(epoch) = restore_epoch {
-                if let Some(ck) = storage.get_checkpoint(epoch, op_id) {
+                if let Some(ck) = store.get_checkpoint(epoch, op_id) {
                     op.restore(&ck.snapshot).expect("snapshot restores");
                     restored_seq = ck.next_seq;
                 }
                 if qn.upstream(op_id).is_empty() {
-                    replay = storage.replay_from(op_id, epoch);
+                    replay = store.replay_from(op_id, epoch);
                 }
             }
-            let inputs: Vec<Receiver<Msg>> = qn
+            let inputs: Vec<Receiver<HostMsg>> = qn
                 .upstream(op_id)
                 .iter()
                 .map(|&u| receivers.remove(&(u, op_id)).expect("edge receiver"))
                 .collect();
-            let outputs: Vec<Sender<Msg>> = qn
+            let outputs: Vec<Sender<HostMsg>> = qn
                 .downstream(op_id)
                 .iter()
                 .map(|&d| senders.get(&(op_id, d)).expect("edge sender").clone())
                 .collect();
-            let is_source = inputs.is_empty();
-            let cmd = if is_source {
+            let cmd = if inputs.is_empty() {
                 let (tx, rx) = unbounded();
                 src_cmds.push(tx);
                 Some(rx)
             } else {
                 None
             };
-            let wiring = Wiring {
+            let wiring = HostWiring {
                 op_id,
                 op,
                 inputs,
                 outputs,
                 cmd,
-                is_source,
                 restored_seq,
                 replay,
+                auto_stop: false,
             };
-            let storage = storage.clone();
-            let persist_tx = persist_tx.clone();
+            let store = store.clone();
+            let persist_tx = persister.sender();
             handles.push(std::thread::spawn(move || {
-                run_thread(wiring, storage, persist_tx)
+                run_host(wiring, store, persist_tx)
             }));
         }
         // Only threads hold the remaining sender clones.
@@ -198,8 +132,7 @@ impl LiveRuntime {
             handles,
             src_cmds,
             next_epoch: restore_epoch.unwrap_or(EpochId::INITIAL),
-            persist_handle: Some(persist_handle),
-            persist_tx: Some(persist_tx),
+            persister: Some(persister),
         }
     }
 
@@ -207,7 +140,7 @@ impl LiveRuntime {
     pub fn checkpoint(&mut self) -> EpochId {
         self.next_epoch = self.next_epoch.next();
         for tx in &self.src_cmds {
-            let _ = tx.send(Cmd::Checkpoint(self.next_epoch));
+            let _ = tx.send(SourceCmd::Checkpoint(self.next_epoch));
         }
         self.next_epoch
     }
@@ -216,206 +149,18 @@ impl LiveRuntime {
     /// persister; returns the final operators by id.
     pub fn finish(mut self) -> HashMap<OperatorId, Box<dyn Operator>> {
         for tx in &self.src_cmds {
-            let _ = tx.send(Cmd::Stop);
+            let _ = tx.send(SourceCmd::Stop);
         }
         let mut out = HashMap::new();
         for h in self.handles.drain(..) {
             let (id, op) = h.join().expect("operator thread");
             out.insert(id, op);
         }
-        drop(self.persist_tx.take());
-        if let Some(h) = self.persist_handle.take() {
-            h.join().expect("persister thread");
-        }
+        // Dropping the persister closes its queue and joins the
+        // thread, so every submitted checkpoint is durable on return.
+        drop(self.persister.take());
         out
     }
-}
-
-fn snapshot_of(op: &dyn Operator, next_seq: u64) -> LiveHauCheckpoint {
-    LiveHauCheckpoint {
-        snapshot: op.snapshot(),
-        next_seq,
-    }
-}
-
-fn run_thread(
-    mut w: Wiring,
-    storage: Arc<LiveStorage>,
-    persist: Sender<PersistItem>,
-) -> (OperatorId, Box<dyn Operator>) {
-    let fanout = w.outputs.len();
-    let mut next_seq = w.restored_seq;
-    let route = |op: &mut Box<dyn Operator>,
-                 ctx_emissions: Vec<(PortId, Fields)>,
-                 next_seq: &mut u64,
-                 preserve: bool|
-     -> bool {
-        let _ = op;
-        for (port, fields) in ctx_emissions {
-            let t = Tuple::new(w.op_id, *next_seq, SimTime::ZERO, fields);
-            *next_seq += 1;
-            if preserve {
-                // Source preservation: stable storage *before* sending.
-                storage.append_log(w.op_id, t.clone());
-            }
-            if let Some(tx) = w.outputs.get(port.index()) {
-                if tx.send(Msg::Data(t)).is_err() {
-                    return false;
-                }
-            }
-        }
-        true
-    };
-
-    if w.is_source {
-        let cmd = w.cmd.take().expect("source command channel");
-        // Replay preserved tuples first (recovery catch-up), then
-        // fast-forward the operator through the replayed interval so
-        // it does not regenerate the same data (the preserved log IS
-        // that data — post-failure, a real sensor source could not
-        // regenerate it). Live sources emit one tuple per tick.
-        let replayed = w.replay.len() as u64;
-        for t in w.replay.drain(..) {
-            for tx in &w.outputs {
-                let _ = tx.send(Msg::Data(t.clone()));
-            }
-        }
-        for _ in 0..replayed {
-            let mut discard = LiveCtx {
-                op: w.op_id,
-                fanout,
-                emissions: Vec::new(),
-                seed: 0,
-            };
-            w.op.on_timer(&mut discard);
-        }
-        next_seq += replayed;
-        let mut stopping = false;
-        let take_checkpoint = |op: &dyn Operator, epoch: EpochId, next_seq: u64| {
-            let ck = snapshot_of(op, next_seq);
-            let _ = persist.send(PersistItem {
-                epoch,
-                op: w.op_id,
-                ckpt: ck,
-            });
-            storage.mark_epoch(w.op_id, epoch, next_seq);
-            for tx in &w.outputs {
-                let _ = tx.send(Msg::Token(epoch));
-            }
-        };
-        loop {
-            // Drain pending controller commands. Stop is graceful: the
-            // source finishes its data before the stream closes.
-            while let Ok(c) = cmd.try_recv() {
-                match c {
-                    Cmd::Checkpoint(epoch) => take_checkpoint(w.op.as_ref(), epoch, next_seq),
-                    Cmd::Stop => stopping = true,
-                }
-            }
-            let mut ctx = LiveCtx {
-                op: w.op_id,
-                fanout,
-                emissions: Vec::new(),
-                seed: 0x5DEECE66D ^ w.op_id.0 as u64,
-            };
-            w.op.on_timer(&mut ctx);
-            if ctx.emissions.is_empty() {
-                // Exhausted source (convention: a silent tick means
-                // the source is done) — wait for Stop/Checkpoint.
-                if stopping {
-                    break;
-                }
-                match cmd.recv() {
-                    Ok(Cmd::Checkpoint(epoch)) => take_checkpoint(w.op.as_ref(), epoch, next_seq),
-                    _ => break,
-                }
-            } else if !route(&mut w.op, ctx.emissions, &mut next_seq, true) {
-                break;
-            }
-        }
-        for tx in &w.outputs {
-            let _ = tx.send(Msg::Eos);
-        }
-        return (w.op_id, w.op);
-    }
-
-    // Interior/sink thread: token-aligned consumption.
-    let n_in = w.inputs.len();
-    let mut token_seen: Vec<Option<EpochId>> = vec![None; n_in];
-    let mut eos = vec![false; n_in];
-    loop {
-        // Readable inputs: no unmatched token, not EOS.
-        let pending_epoch = token_seen.iter().flatten().next().copied();
-        let readable: Vec<usize> = (0..n_in)
-            .filter(|&i| !eos[i] && token_seen[i].is_none())
-            .collect();
-        if readable.is_empty() {
-            if let Some(epoch) = pending_epoch {
-                if token_seen.iter().zip(&eos).all(|(t, &e)| t.is_some() || e) {
-                    // All tokens (or EOS) collected: individual
-                    // checkpoint, then forward the token.
-                    let ck = snapshot_of(w.op.as_ref(), next_seq);
-                    let _ = persist.send(PersistItem {
-                        epoch,
-                        op: w.op_id,
-                        ckpt: ck,
-                    });
-                    for tx in &w.outputs {
-                        let _ = tx.send(Msg::Token(epoch));
-                    }
-                    token_seen.fill(None);
-                    continue;
-                }
-            }
-            break; // every input at EOS
-        }
-        let mut sel = Select::new();
-        for &i in &readable {
-            sel.recv(&w.inputs[i]);
-        }
-        let oper = sel.select();
-        let idx = readable[oper.index()];
-        match oper.recv(&w.inputs[idx]) {
-            Ok(Msg::Data(t)) => {
-                let mut ctx = LiveCtx {
-                    op: w.op_id,
-                    fanout,
-                    emissions: Vec::new(),
-                    seed: t.seq ^ 0xA5A5_A5A5,
-                };
-                w.op.on_tuple(PortId(idx as u32), t, &mut ctx);
-                if !route(&mut w.op, ctx.emissions, &mut next_seq, false) {
-                    break;
-                }
-            }
-            Ok(Msg::Token(epoch)) => {
-                token_seen[idx] = Some(epoch);
-                // Snapshot immediately once all live inputs delivered.
-                if token_seen.iter().zip(&eos).all(|(t, &e)| t.is_some() || e) {
-                    let ck = snapshot_of(w.op.as_ref(), next_seq);
-                    let _ = persist.send(PersistItem {
-                        epoch,
-                        op: w.op_id,
-                        ckpt: ck,
-                    });
-                    for tx in &w.outputs {
-                        let _ = tx.send(Msg::Token(epoch));
-                    }
-                    token_seen.fill(None);
-                }
-            }
-            Ok(Msg::Eos) | Err(_) => {
-                eos[idx] = true;
-            }
-        }
-        if eos.iter().all(|&e| e) {
-            break;
-        }
-    }
-    for tx in &w.outputs {
-        let _ = tx.send(Msg::Eos);
-    }
-    (w.op_id, w.op)
 }
 
 // ---------------- demo operators ----------------

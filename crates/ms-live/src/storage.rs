@@ -1,10 +1,14 @@
-//! In-memory stable store for the live runtime.
+//! Stable storage for the live runtimes.
 //!
-//! Plays the role of the shared storage system: individual checkpoints
-//! land here (written by a background persister thread, standing in
-//! for the forked COW child), source logs are appended *before* tuples
-//! are sent (source preservation), and application-checkpoint
-//! completeness is tracked exactly as in `ms-storage`.
+//! [`StableStore`] is the storage contract of the MS-src protocol:
+//! individual checkpoints land in it (written by a background
+//! persister thread, standing in for the forked COW child), source
+//! logs are appended *before* tuples are sent (source preservation),
+//! and application-checkpoint completeness is tracked exactly as in
+//! `ms-storage`. [`LiveStorage`] is the in-memory implementation used
+//! by the single-process runtime; `ms-wire` provides a filesystem
+//! implementation shared by every process of a TCP cluster, so one
+//! operator-host layer serves both.
 
 use std::collections::HashMap;
 
@@ -12,6 +16,40 @@ use ms_core::ids::{EpochId, OperatorId};
 use ms_core::operator::OperatorSnapshot;
 use ms_core::tuple::Tuple;
 use parking_lot::Mutex;
+
+/// The stable-storage contract shared by the in-process and TCP
+/// runtimes (preserve / mark / checkpoint / load — §III-A).
+///
+/// Implementations must be safe to call from many operator threads
+/// (and, for multi-process stores, many OS processes) at once. The
+/// protocol's ordering obligation sits with the *caller*: a source
+/// appends a tuple to the log before sending it downstream, and marks
+/// its epoch boundary when it emits the checkpoint token.
+pub trait StableStore: Send + Sync {
+    /// Persists one individual checkpoint; returns `true` if `epoch`
+    /// is now complete (every HAU has checkpointed it).
+    fn put_checkpoint(&self, epoch: EpochId, op: OperatorId, ckpt: LiveHauCheckpoint) -> bool;
+
+    /// Reads one individual checkpoint.
+    fn get_checkpoint(&self, epoch: EpochId, op: OperatorId) -> Option<LiveHauCheckpoint>;
+
+    /// The most recent complete application checkpoint.
+    fn latest_complete(&self) -> Option<EpochId>;
+
+    /// Source preservation: appends an emitted tuple (called *before*
+    /// the tuple is sent downstream).
+    fn append_log(&self, source: OperatorId, t: Tuple);
+
+    /// Records a source's stream boundary for an epoch: the first
+    /// sequence number *after* the checkpoint.
+    fn mark_epoch(&self, source: OperatorId, epoch: EpochId, next_seq: u64);
+
+    /// The tuples a source must replay to recover from `epoch`.
+    fn replay_from(&self, source: OperatorId, epoch: EpochId) -> Vec<Tuple>;
+
+    /// Total preserved tuples across sources (reporting).
+    fn preserved_tuples(&self) -> usize;
+}
 
 /// One HAU's checkpoint in the live store.
 #[derive(Clone, Debug)]
@@ -47,10 +85,10 @@ impl LiveStorage {
             inner: Mutex::new(Inner::default()),
         }
     }
+}
 
-    /// Persists one individual checkpoint; returns `true` if `epoch`
-    /// is now complete.
-    pub fn put_checkpoint(&self, epoch: EpochId, op: OperatorId, ckpt: LiveHauCheckpoint) -> bool {
+impl StableStore for LiveStorage {
+    fn put_checkpoint(&self, epoch: EpochId, op: OperatorId, ckpt: LiveHauCheckpoint) -> bool {
         let mut g = self.inner.lock();
         g.ckpts.insert((epoch, op), ckpt);
         let n = g.ckpts.keys().filter(|(e, _)| *e == epoch).count();
@@ -61,24 +99,19 @@ impl LiveStorage {
         complete
     }
 
-    /// Reads one individual checkpoint.
-    pub fn get_checkpoint(&self, epoch: EpochId, op: OperatorId) -> Option<LiveHauCheckpoint> {
+    fn get_checkpoint(&self, epoch: EpochId, op: OperatorId) -> Option<LiveHauCheckpoint> {
         self.inner.lock().ckpts.get(&(epoch, op)).cloned()
     }
 
-    /// The most recent complete application checkpoint.
-    pub fn latest_complete(&self) -> Option<EpochId> {
+    fn latest_complete(&self) -> Option<EpochId> {
         self.inner.lock().complete.iter().max().copied()
     }
 
-    /// Source preservation: appends an emitted tuple (called *before*
-    /// the tuple is sent downstream).
-    pub fn append_log(&self, source: OperatorId, t: Tuple) {
+    fn append_log(&self, source: OperatorId, t: Tuple) {
         self.inner.lock().logs.entry(source).or_default().push(t);
     }
 
-    /// Records a source's stream boundary for an epoch.
-    pub fn mark_epoch(&self, source: OperatorId, epoch: EpochId, next_seq: u64) {
+    fn mark_epoch(&self, source: OperatorId, epoch: EpochId, next_seq: u64) {
         self.inner
             .lock()
             .marks
@@ -87,8 +120,7 @@ impl LiveStorage {
             .push((epoch, next_seq));
     }
 
-    /// The tuples a source must replay to recover from `epoch`.
-    pub fn replay_from(&self, source: OperatorId, epoch: EpochId) -> Vec<Tuple> {
+    fn replay_from(&self, source: OperatorId, epoch: EpochId) -> Vec<Tuple> {
         let g = self.inner.lock();
         let from_seq = g
             .marks
@@ -102,8 +134,7 @@ impl LiveStorage {
             .unwrap_or_default()
     }
 
-    /// Total preserved tuples across sources (reporting).
-    pub fn preserved_tuples(&self) -> usize {
+    fn preserved_tuples(&self) -> usize {
         self.inner.lock().logs.values().map(Vec::len).sum()
     }
 }

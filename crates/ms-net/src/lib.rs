@@ -53,6 +53,14 @@ pub enum SendOutcome {
     Delivered(SimTime),
     /// Source or destination is down/partitioned; nothing is delivered
     /// and the sender may treat the connection as broken (fail-stop).
+    ///
+    /// This is the cost-model twin of what the real transport
+    /// (`ms-wire`) observes against a dead peer: `connection refused` /
+    /// `broken pipe` on the sending side (surfaced as
+    /// `ms_core::error::Error::Wire`) and a bare socket close or torn
+    /// frame on the receiving side. In both worlds a failed channel is
+    /// *visible* to the endpoints — never a silent loss on an
+    /// otherwise healthy link.
     Unreachable,
 }
 

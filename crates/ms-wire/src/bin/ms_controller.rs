@@ -1,0 +1,59 @@
+//! Cluster controller daemon. See `ms-wire`'s crate docs for the
+//! localhost walkthrough.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use ms_wire::{run_controller, ControllerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ms-controller --store DIR [--listen ADDR] [--addr-file FILE] \
+         [--workers N] [--shape chainN|diamond] [--limit N] [--delay-us N] \
+         [--ckpt-ms N] [--hb-timeout-ms N] [--respawn-wait-ms N] \
+         [--deadline-secs N] [--result-file FILE]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |key: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == key)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let num = |key: &str, default: u64| -> u64 {
+        get(key).map_or(default, |v| v.parse().unwrap_or_else(|_| usage()))
+    };
+    let Some(store_dir) = get("--store") else {
+        usage()
+    };
+    let cfg = ControllerConfig {
+        listen: get("--listen").unwrap_or_else(|| "127.0.0.1:0".into()),
+        addr_file: get("--addr-file").map(PathBuf::from),
+        store_dir: PathBuf::from(store_dir),
+        workers: num("--workers", 2) as usize,
+        shape: get("--shape").unwrap_or_else(|| "chain3".into()),
+        source_limit: num("--limit", 4000),
+        source_delay_us: num("--delay-us", 300),
+        ckpt_interval: Duration::from_millis(num("--ckpt-ms", 120)),
+        hb_timeout: Duration::from_millis(num("--hb-timeout-ms", 500)),
+        respawn_wait: Duration::from_millis(num("--respawn-wait-ms", 2000)),
+        deadline: Duration::from_secs(num("--deadline-secs", 120)),
+        result_file: get("--result-file").map(PathBuf::from),
+    };
+    match run_controller(cfg) {
+        Ok(report) => {
+            println!(
+                "ms-controller: done, recoveries={} checkpoints={} restore_epochs={:?}",
+                report.recoveries, report.checkpoints, report.restore_epochs
+            );
+            print!("{}", report.render());
+        }
+        Err(e) => {
+            eprintln!("ms-controller: error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,44 @@
+//! Cluster worker daemon. See `ms-wire`'s crate docs for the
+//! localhost walkthrough.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use ms_wire::{run_worker, ControllerAddr, WorkerConfig};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: ms-worker --name NAME --store DIR \
+         (--controller ADDR | --controller-file FILE) [--hb-ms N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |key: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == key)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let (Some(name), Some(store_dir)) = (get("--name"), get("--store")) else {
+        usage()
+    };
+    let controller = match (get("--controller"), get("--controller-file")) {
+        (Some(addr), None) => ControllerAddr::Addr(addr),
+        (None, Some(path)) => ControllerAddr::File(PathBuf::from(path)),
+        _ => usage(),
+    };
+    let hb = get("--hb-ms").map_or(50, |v| v.parse().unwrap_or_else(|_| usage()));
+    let cfg = WorkerConfig {
+        name: name.clone(),
+        controller,
+        store_dir: PathBuf::from(store_dir),
+        heartbeat_interval: Duration::from_millis(hb),
+    };
+    if let Err(e) = run_worker(cfg) {
+        eprintln!("ms-worker[{name}]: error: {e}");
+        std::process::exit(1);
+    }
+    println!("ms-worker[{name}]: clean exit");
+}

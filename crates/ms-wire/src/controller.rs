@@ -1,0 +1,437 @@
+//! The `ms-controller` daemon: deployment, checkpoint pacing, failure
+//! detection, and recovery orchestration for a TCP cluster.
+//!
+//! The controller is the MS-src control plane in one event loop. It
+//! loads the query network, waits for enough workers to register,
+//! broadcasts an [`Assignment`] (generation 1), then paces checkpoint
+//! tokens on a fixed cadence. Workers heartbeat continuously; a
+//! heartbeat silence longer than the timeout on any worker that hosts
+//! operators is a failure. Recovery is the paper's §IV sequence:
+//! broadcast `Rollback` to the survivors, wait briefly for a spare to
+//! register, read the latest *complete* application checkpoint off the
+//! shared stable store, and broadcast a new generation restoring from
+//! it (sources replay their preserved logs past that boundary). When
+//! every sink reports its final state, the controller writes the
+//! result file and shuts the cluster down — the recovered answer is
+//! byte-identical to a failure-free run, which the integration test
+//! asserts by diffing the two result files.
+
+use std::collections::BTreeMap;
+use std::io::Write;
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{unbounded, Sender};
+use ms_core::error::{Error, Result};
+use ms_core::graph::QueryNetwork;
+use ms_core::ids::{EpochId, OperatorId};
+use ms_live::StableStore;
+
+use crate::apps::demo_network;
+use crate::message::{recv_msg, send_msg, Assignment, OpPlacement, WireMsg};
+use crate::store::FsStore;
+
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+const TICK: Duration = Duration::from_millis(25);
+
+/// Controller configuration.
+#[derive(Clone, Debug)]
+pub struct ControllerConfig {
+    /// Listen address for worker control connections (use port 0 for
+    /// an ephemeral port plus `addr_file`).
+    pub listen: String,
+    /// File to publish the bound address into (atomic rename), for
+    /// workers started with `--controller-file`.
+    pub addr_file: Option<PathBuf>,
+    /// Shared stable-store directory.
+    pub store_dir: PathBuf,
+    /// Workers to wait for before the first assignment.
+    pub workers: usize,
+    /// Demo graph shape (`chainN` or `diamond`).
+    pub shape: String,
+    /// Tuples each source emits.
+    pub source_limit: u64,
+    /// Per-tuple source delay (µs).
+    pub source_delay_us: u64,
+    /// Checkpoint-token cadence.
+    pub ckpt_interval: Duration,
+    /// Heartbeat silence treated as a failure.
+    pub hb_timeout: Duration,
+    /// After a failure, how long to hold redeployment open for a spare
+    /// worker to register before continuing with the survivors.
+    pub respawn_wait: Duration,
+    /// Hard wall-clock budget for the whole run (belt-and-braces for
+    /// CI; exceeded ⇒ error exit, never a hang).
+    pub deadline: Duration,
+    /// Where to write the final result (first line `recoveries=N`,
+    /// then one `sink op{N} {hex}` line per sink).
+    pub result_file: Option<PathBuf>,
+}
+
+/// What a finished run looked like.
+#[derive(Debug)]
+pub struct ClusterReport {
+    /// Failures recovered from.
+    pub recoveries: usize,
+    /// Checkpoint commands issued.
+    pub checkpoints: u64,
+    /// The epoch each recovery restored from (`None` = fresh restart).
+    pub restore_epochs: Vec<Option<EpochId>>,
+    /// Final serialized state per sink operator.
+    pub sink_states: BTreeMap<OperatorId, Vec<u8>>,
+}
+
+impl ClusterReport {
+    /// The result-file / stdout rendering (deterministic line order).
+    pub fn render(&self) -> String {
+        let mut out = format!("recoveries={}\n", self.recoveries);
+        for (op, state) in &self.sink_states {
+            let hex: String = state.iter().map(|b| format!("{b:02x}")).collect();
+            out.push_str(&format!("sink {op} {hex}\n"));
+        }
+        out
+    }
+}
+
+enum Event {
+    Register {
+        name: String,
+        data_addr: String,
+        writer: TcpStream,
+    },
+    Beat {
+        name: String,
+    },
+    SinkDone {
+        generation: u64,
+        op: OperatorId,
+        snapshot: Vec<u8>,
+    },
+    ConnLost {
+        name: String,
+    },
+    Tick,
+}
+
+struct Worker {
+    name: String,
+    data_addr: String,
+    writer: TcpStream,
+    last_beat: Instant,
+    alive: bool,
+    has_ops: bool,
+}
+
+/// Per-connection reader: demands `Register` first, then pumps
+/// heartbeats and sink reports into the event queue until the
+/// connection dies.
+fn reader(mut stream: TcpStream, events: Sender<Event>) {
+    let name = match recv_msg(&mut stream) {
+        Ok(Some(WireMsg::Register { name, data_addr })) => {
+            let Ok(writer) = stream.try_clone() else {
+                return;
+            };
+            if events
+                .send(Event::Register {
+                    name: name.clone(),
+                    data_addr,
+                    writer,
+                })
+                .is_err()
+            {
+                return;
+            }
+            name
+        }
+        _ => return,
+    };
+    loop {
+        let event = match recv_msg(&mut stream) {
+            Ok(Some(WireMsg::Heartbeat)) => Event::Beat { name: name.clone() },
+            Ok(Some(WireMsg::SinkDone {
+                generation,
+                op,
+                snapshot,
+            })) => Event::SinkDone {
+                generation,
+                op,
+                snapshot,
+            },
+            _ => {
+                let _ = events.send(Event::ConnLost { name });
+                return;
+            }
+        };
+        if events.send(event).is_err() {
+            return;
+        }
+    }
+}
+
+fn publish_addr(path: &PathBuf, addr: &str) -> Result<()> {
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, addr)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Runs the controller to completion and returns the cluster report.
+pub fn run_controller(cfg: ControllerConfig) -> Result<ClusterReport> {
+    let qn = demo_network(&cfg.shape)?;
+    let store = FsStore::open(&cfg.store_dir, qn.len())?;
+    let n_sinks = qn.sinks().len();
+
+    let listener = TcpListener::bind(cfg.listen.as_str())?;
+    let addr = listener.local_addr()?.to_string();
+    if let Some(path) = &cfg.addr_file {
+        publish_addr(path, &addr)?;
+    }
+    println!("ms-controller: listening on {addr}");
+    listener.set_nonblocking(true)?;
+
+    let (etx, erx) = unbounded::<Event>();
+    let stop = Arc::new(AtomicBool::new(false));
+
+    let accept_stop = stop.clone();
+    let accept_etx = etx.clone();
+    let accept = thread::spawn(move || loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nodelay(true);
+                let etx = accept_etx.clone();
+                // Detached; exits when the worker's connection closes.
+                thread::spawn(move || reader(stream, etx));
+            }
+            Err(_) => {
+                if accept_stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                thread::sleep(ACCEPT_POLL);
+            }
+        }
+    });
+    let tick_stop = stop.clone();
+    let ticker = thread::spawn(move || {
+        while !tick_stop.load(Ordering::SeqCst) {
+            thread::sleep(TICK);
+            if etx.send(Event::Tick).is_err() {
+                return;
+            }
+        }
+    });
+
+    let deadline = Instant::now() + cfg.deadline;
+    let mut workers: Vec<Worker> = Vec::new();
+    let mut generation = 0u64;
+    let mut next_epoch = EpochId::INITIAL;
+    let mut last_ckpt = Instant::now();
+    let mut deployed = false;
+    let mut recovering_since: Option<Instant> = None;
+    let mut report = ClusterReport {
+        recoveries: 0,
+        checkpoints: 0,
+        restore_epochs: Vec::new(),
+        sink_states: BTreeMap::new(),
+    };
+
+    let outcome = loop {
+        let event = match erx.recv() {
+            Ok(e) => e,
+            Err(_) => break Err(Error::Wire("controller event queue died".into())),
+        };
+        if Instant::now() > deadline {
+            break Err(Error::Wire(format!(
+                "controller deadline ({:?}) exceeded",
+                cfg.deadline
+            )));
+        }
+        match event {
+            Event::Register {
+                name,
+                data_addr,
+                writer,
+            } => {
+                println!("ms-controller: worker {name} registered at {data_addr}");
+                workers.retain(|w| w.name != name);
+                workers.push(Worker {
+                    name,
+                    data_addr,
+                    writer,
+                    last_beat: Instant::now(),
+                    alive: true,
+                    has_ops: false,
+                });
+            }
+            Event::Beat { name } => {
+                if let Some(w) = workers.iter_mut().find(|w| w.name == name) {
+                    w.last_beat = Instant::now();
+                }
+            }
+            Event::ConnLost { name } => {
+                // Heartbeats from this worker have necessarily stopped;
+                // let the timeout-based detector classify the failure,
+                // as the paper's controller does.
+                println!("ms-controller: lost connection to {name}");
+            }
+            Event::SinkDone {
+                generation: g,
+                op,
+                snapshot,
+            } => {
+                if g == generation && deployed {
+                    println!("ms-controller: sink {op} finished (generation {g})");
+                    report.sink_states.insert(op, snapshot);
+                    if report.sink_states.len() == n_sinks {
+                        break Ok(());
+                    }
+                }
+            }
+            Event::Tick => {
+                let now = Instant::now();
+                if deployed {
+                    // Failure detection: heartbeat silence on any
+                    // operator-hosting worker.
+                    let failed: Vec<String> = workers
+                        .iter()
+                        .filter(|w| w.alive && now.duration_since(w.last_beat) > cfg.hb_timeout)
+                        .map(|w| w.name.clone())
+                        .collect();
+                    let lost_ops = workers
+                        .iter()
+                        .any(|w| failed.contains(&w.name) && w.has_ops);
+                    for w in workers.iter_mut() {
+                        if failed.contains(&w.name) {
+                            println!(
+                                "ms-controller: worker {} failed (heartbeat timeout)",
+                                w.name
+                            );
+                            w.alive = false;
+                            let _ = w.writer.shutdown(Shutdown::Both);
+                        }
+                    }
+                    if lost_ops {
+                        report.recoveries += 1;
+                        deployed = false;
+                        recovering_since = Some(now);
+                        report.sink_states.clear();
+                        for w in workers.iter_mut().filter(|w| w.alive) {
+                            let _ = send_msg(&mut w.writer, &WireMsg::Rollback);
+                        }
+                        println!("ms-controller: rolling back generation {generation}");
+                    } else if now.duration_since(last_ckpt) >= cfg.ckpt_interval {
+                        next_epoch = next_epoch.next();
+                        report.checkpoints += 1;
+                        last_ckpt = now;
+                        for w in workers.iter_mut().filter(|w| w.alive) {
+                            let _ = send_msg(&mut w.writer, &WireMsg::Checkpoint(next_epoch));
+                        }
+                    }
+                }
+                let live = workers.iter().filter(|w| w.alive).count();
+                if !deployed {
+                    let ready = match recovering_since {
+                        // Initial deployment: wait for the configured
+                        // cluster size.
+                        None => live >= cfg.workers,
+                        // Redeployment: prefer a full bench (a spare
+                        // may be mid-registration), but continue with
+                        // the survivors after `respawn_wait`.
+                        Some(t0) => {
+                            live >= cfg.workers
+                                || (now.duration_since(t0) > cfg.respawn_wait && live >= 1)
+                        }
+                    };
+                    if ready {
+                        let restore = match recovering_since.take() {
+                            Some(_) => {
+                                let e = store.latest_complete();
+                                report.restore_epochs.push(e);
+                                e
+                            }
+                            None => None,
+                        };
+                        generation += 1;
+                        deploy(&qn, &cfg, generation, restore, &mut workers);
+                        deployed = true;
+                        last_ckpt = now;
+                    }
+                }
+            }
+        }
+    };
+
+    // Shut the cluster down whatever happened; closing the writers
+    // also unblocks any reader thread still parked on a live socket.
+    for w in workers.iter_mut().filter(|w| w.alive) {
+        let _ = send_msg(&mut w.writer, &WireMsg::Shutdown);
+    }
+    for w in workers.iter_mut() {
+        let _ = w.writer.shutdown(Shutdown::Both);
+    }
+    stop.store(true, Ordering::SeqCst);
+    let _ = ticker.join();
+    let _ = accept.join();
+
+    outcome.map(|()| {
+        if let Some(path) = &cfg.result_file {
+            if let Err(e) = std::fs::File::create(path)
+                .and_then(|mut f| f.write_all(report.render().as_bytes()))
+            {
+                eprintln!("ms-controller: result file {path:?} not written: {e}");
+            }
+        }
+        report
+    })
+}
+
+/// Broadcasts a generation: sorted live workers, operators placed
+/// round-robin (`op i` → `workers[i mod n]`).
+fn deploy(
+    qn: &QueryNetwork,
+    cfg: &ControllerConfig,
+    generation: u64,
+    restore_epoch: Option<EpochId>,
+    workers: &mut [Worker],
+) {
+    let mut live: Vec<&mut Worker> = workers.iter_mut().filter(|w| w.alive).collect();
+    live.sort_by(|a, b| a.name.cmp(&b.name));
+    let placement: Vec<OpPlacement> = qn
+        .operators()
+        .enumerate()
+        .map(|(i, op)| {
+            let w = &live[i % live.len()];
+            OpPlacement {
+                op,
+                worker: w.name.clone(),
+                data_addr: w.data_addr.clone(),
+            }
+        })
+        .collect();
+    for w in live.iter_mut() {
+        w.has_ops = placement.iter().any(|p| p.worker == w.name);
+    }
+    let assignment = Assignment {
+        generation,
+        restore_epoch,
+        n_ops: qn.len() as u32,
+        edges: qn.edges().collect(),
+        placement,
+        source_limit: cfg.source_limit,
+        source_delay_us: cfg.source_delay_us,
+    };
+    println!(
+        "ms-controller: deploying generation {generation} to {} workers (restore: {})",
+        live.len(),
+        match restore_epoch {
+            Some(e) => e.to_string(),
+            None => "fresh".into(),
+        }
+    );
+    for w in live {
+        let _ = send_msg(&mut w.writer, &WireMsg::Assign(assignment.clone()));
+    }
+}

@@ -1,0 +1,438 @@
+//! The live-protocol wire alphabet and its binary codec.
+//!
+//! Every message that crosses a process boundary in the TCP cluster is
+//! a [`WireMsg`], encoded with `ms-core`'s tagged snapshot codec and
+//! carried inside one length-prefixed frame
+//! ([`ms_core::codec::write_frame`]). The alphabet covers all three
+//! conversations of the MS-src protocol (§III):
+//!
+//! * **data plane** (worker ↔ worker, one TCP stream per graph edge):
+//!   [`WireMsg::StreamHello`] identifies the edge, then
+//!   [`WireMsg::Data`] tuples and [`WireMsg::Token`] checkpoint tokens
+//!   ride the stream in order, closed by an explicit [`WireMsg::Eos`].
+//!   A socket that dies *without* an `Eos` is a failure, never an
+//!   end-of-stream — the distinction is what lets a consumer hold its
+//!   input open across a peer crash until the controller rolls back.
+//! * **control plane, worker → controller**: [`WireMsg::Register`],
+//!   [`WireMsg::Heartbeat`], [`WireMsg::SinkDone`].
+//! * **control plane, controller → worker**: [`WireMsg::Assign`],
+//!   [`WireMsg::Checkpoint`], [`WireMsg::Rollback`],
+//!   [`WireMsg::Shutdown`].
+
+use std::io::{Read, Write};
+
+use ms_core::codec::{read_frame, write_frame, SnapshotReader, SnapshotWriter};
+use ms_core::error::{Error, Result};
+use ms_core::graph::QueryNetwork;
+use ms_core::ids::{EpochId, OperatorId};
+use ms_core::tuple::Tuple;
+
+/// Where one operator of an assignment runs.
+#[derive(Clone, Debug, PartialEq)]
+pub struct OpPlacement {
+    /// The operator.
+    pub op: OperatorId,
+    /// Name of the worker hosting it.
+    pub worker: String,
+    /// That worker's data-plane listen address (`host:port`).
+    pub data_addr: String,
+}
+
+/// A full generation of work, broadcast by the controller to every
+/// live worker. Carries the query network itself (operator count plus
+/// edges in `QueryNetwork::edges` order, so each worker rebuilds an
+/// identical graph with identical port numbering), the placement map,
+/// and the recovery point.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Assignment {
+    /// Monotone generation number; one per (re)deployment.
+    pub generation: u64,
+    /// Complete application checkpoint to restore from, or `None` for
+    /// a fresh start.
+    pub restore_epoch: Option<EpochId>,
+    /// Number of operators in the query network.
+    pub n_ops: u32,
+    /// All edges in `QueryNetwork::edges` order (from-major, output
+    /// port order) — replaying `connect` in this order reproduces the
+    /// original port numbering on every worker.
+    pub edges: Vec<(OperatorId, OperatorId)>,
+    /// Where each operator runs.
+    pub placement: Vec<OpPlacement>,
+    /// Demo-app parameter: tuples each source emits in total.
+    pub source_limit: u64,
+    /// Demo-app parameter: per-tuple source delay (µs), to stretch the
+    /// stream over wall-clock time.
+    pub source_delay_us: u64,
+}
+
+impl Assignment {
+    /// Rebuilds the query network this assignment describes.
+    pub fn network(&self) -> Result<QueryNetwork> {
+        let mut qn = QueryNetwork::new();
+        for i in 0..self.n_ops {
+            qn.add_operator(format!("op{i}"));
+        }
+        for &(from, to) in &self.edges {
+            qn.connect(from, to)?;
+        }
+        qn.validate()?;
+        Ok(qn)
+    }
+
+    /// The worker hosting `op`, if placed.
+    pub fn worker_of(&self, op: OperatorId) -> Option<&str> {
+        self.placement
+            .iter()
+            .find(|p| p.op == op)
+            .map(|p| p.worker.as_str())
+    }
+
+    /// The data address of the worker hosting `op`, if placed.
+    pub fn addr_of(&self, op: OperatorId) -> Option<&str> {
+        self.placement
+            .iter()
+            .find(|p| p.op == op)
+            .map(|p| p.data_addr.as_str())
+    }
+
+    /// Operators placed on the named worker.
+    pub fn ops_on(&self, worker: &str) -> Vec<OperatorId> {
+        self.placement
+            .iter()
+            .filter(|p| p.worker == worker)
+            .map(|p| p.op)
+            .collect()
+    }
+}
+
+/// Everything that travels between the processes of a cluster.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireMsg {
+    /// Worker → controller: first message on a control connection.
+    Register {
+        /// Unique worker name.
+        name: String,
+        /// The worker's data-plane listen address.
+        data_addr: String,
+    },
+    /// Worker → controller: liveness signal, sent on a fixed cadence.
+    Heartbeat,
+    /// Worker → controller: a sink operator of `generation` drained its
+    /// stream; `snapshot` is its final serialized state.
+    SinkDone {
+        /// Generation the sink belonged to (stale ones are ignored).
+        generation: u64,
+        /// The sink operator.
+        op: OperatorId,
+        /// `OperatorSnapshot::data` of the finished sink.
+        snapshot: Vec<u8>,
+    },
+    /// Controller → worker: deploy (or redeploy) a generation.
+    Assign(Assignment),
+    /// Controller → worker: forward a checkpoint command to every local
+    /// source HAU (the controller-triggered token of §III-A).
+    Checkpoint(EpochId),
+    /// Controller → worker: abandon the current generation (a peer
+    /// failed); tear down hosts and discard in-flight work.
+    Rollback,
+    /// Controller → worker: the application finished; exit cleanly.
+    Shutdown,
+    /// Data plane: identifies the graph edge a fresh stream carries.
+    StreamHello {
+        /// Generation this stream belongs to.
+        generation: u64,
+        /// Producing operator.
+        from: OperatorId,
+        /// Consuming operator.
+        to: OperatorId,
+    },
+    /// Data plane: one tuple.
+    Data(Tuple),
+    /// Data plane: a checkpoint token trickling down the dataflow.
+    Token(EpochId),
+    /// Data plane: graceful end of stream. Only this message ends a
+    /// stream; a bare socket close is treated as a failure.
+    Eos,
+}
+
+const TAG_REGISTER: u64 = 1;
+const TAG_HEARTBEAT: u64 = 2;
+const TAG_SINK_DONE: u64 = 3;
+const TAG_ASSIGN: u64 = 4;
+const TAG_CHECKPOINT: u64 = 5;
+const TAG_ROLLBACK: u64 = 6;
+const TAG_SHUTDOWN: u64 = 7;
+const TAG_STREAM_HELLO: u64 = 8;
+const TAG_DATA: u64 = 9;
+const TAG_TOKEN: u64 = 10;
+const TAG_EOS: u64 = 11;
+
+impl WireMsg {
+    /// Encodes the message into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut w = SnapshotWriter::new();
+        match self {
+            WireMsg::Register { name, data_addr } => {
+                w.put_u64(TAG_REGISTER).put_str(name).put_str(data_addr);
+            }
+            WireMsg::Heartbeat => {
+                w.put_u64(TAG_HEARTBEAT);
+            }
+            WireMsg::SinkDone {
+                generation,
+                op,
+                snapshot,
+            } => {
+                w.put_u64(TAG_SINK_DONE)
+                    .put_u64(*generation)
+                    .put_u64(op.0 as u64)
+                    .put_bytes(snapshot);
+            }
+            WireMsg::Assign(a) => {
+                w.put_u64(TAG_ASSIGN).put_u64(a.generation);
+                match a.restore_epoch {
+                    Some(e) => w.put_u64(1).put_u64(e.0),
+                    None => w.put_u64(0).put_u64(0),
+                };
+                w.put_u64(a.n_ops as u64);
+                w.put_seq(a.edges.iter(), |w, (f, t)| {
+                    w.put_u64(f.0 as u64).put_u64(t.0 as u64);
+                });
+                w.put_seq(a.placement.iter(), |w, p| {
+                    w.put_u64(p.op.0 as u64)
+                        .put_str(&p.worker)
+                        .put_str(&p.data_addr);
+                });
+                w.put_u64(a.source_limit).put_u64(a.source_delay_us);
+            }
+            WireMsg::Checkpoint(e) => {
+                w.put_u64(TAG_CHECKPOINT).put_u64(e.0);
+            }
+            WireMsg::Rollback => {
+                w.put_u64(TAG_ROLLBACK);
+            }
+            WireMsg::Shutdown => {
+                w.put_u64(TAG_SHUTDOWN);
+            }
+            WireMsg::StreamHello {
+                generation,
+                from,
+                to,
+            } => {
+                w.put_u64(TAG_STREAM_HELLO)
+                    .put_u64(*generation)
+                    .put_u64(from.0 as u64)
+                    .put_u64(to.0 as u64);
+            }
+            WireMsg::Data(t) => {
+                w.put_u64(TAG_DATA).put_tuple(t);
+            }
+            WireMsg::Token(e) => {
+                w.put_u64(TAG_TOKEN).put_u64(e.0);
+            }
+            WireMsg::Eos => {
+                w.put_u64(TAG_EOS);
+            }
+        }
+        w.finish()
+    }
+
+    /// Decodes one frame payload.
+    pub fn decode(buf: &[u8]) -> Result<WireMsg> {
+        let mut r = SnapshotReader::new(buf);
+        let tag = r.get_u64()?;
+        let msg = match tag {
+            TAG_REGISTER => WireMsg::Register {
+                name: r.get_str()?,
+                data_addr: r.get_str()?,
+            },
+            TAG_HEARTBEAT => WireMsg::Heartbeat,
+            TAG_SINK_DONE => WireMsg::SinkDone {
+                generation: r.get_u64()?,
+                op: get_op(&mut r)?,
+                snapshot: r.get_bytes()?,
+            },
+            TAG_ASSIGN => {
+                let generation = r.get_u64()?;
+                let has_restore = r.get_u64()? != 0;
+                let raw_epoch = r.get_u64()?;
+                let restore_epoch = has_restore.then_some(EpochId(raw_epoch));
+                let n_ops = r.get_u64()? as u32;
+                let edges = r.get_seq(|r| Ok((get_op(r)?, get_op(r)?)))?;
+                let placement = r.get_seq(|r| {
+                    Ok(OpPlacement {
+                        op: get_op(r)?,
+                        worker: r.get_str()?,
+                        data_addr: r.get_str()?,
+                    })
+                })?;
+                WireMsg::Assign(Assignment {
+                    generation,
+                    restore_epoch,
+                    n_ops,
+                    edges,
+                    placement,
+                    source_limit: r.get_u64()?,
+                    source_delay_us: r.get_u64()?,
+                })
+            }
+            TAG_CHECKPOINT => WireMsg::Checkpoint(EpochId(r.get_u64()?)),
+            TAG_ROLLBACK => WireMsg::Rollback,
+            TAG_SHUTDOWN => WireMsg::Shutdown,
+            TAG_STREAM_HELLO => WireMsg::StreamHello {
+                generation: r.get_u64()?,
+                from: get_op(&mut r)?,
+                to: get_op(&mut r)?,
+            },
+            TAG_DATA => WireMsg::Data(r.get_tuple()?),
+            TAG_TOKEN => WireMsg::Token(EpochId(r.get_u64()?)),
+            TAG_EOS => WireMsg::Eos,
+            other => {
+                return Err(Error::Wire(format!("unknown wire message tag {other}")));
+            }
+        };
+        if !r.is_exhausted() {
+            return Err(Error::Wire("trailing bytes after wire message".into()));
+        }
+        Ok(msg)
+    }
+}
+
+fn get_op(r: &mut SnapshotReader<'_>) -> Result<OperatorId> {
+    let raw = r.get_u64()?;
+    u32::try_from(raw)
+        .map(OperatorId)
+        .map_err(|_| Error::Wire(format!("operator id {raw} out of range")))
+}
+
+/// Writes one message as one frame.
+pub fn send_msg(w: &mut impl Write, msg: &WireMsg) -> Result<()> {
+    write_frame(w, &msg.encode())
+}
+
+/// Reads one message. `Ok(None)` is a clean end-of-stream (EOF at a
+/// frame boundary); torn frames and decode failures are
+/// [`Error::Wire`].
+pub fn recv_msg(r: &mut impl Read) -> Result<Option<WireMsg>> {
+    match read_frame(r)? {
+        None => Ok(None),
+        Some(payload) => WireMsg::decode(&payload).map(Some),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ms_core::time::SimTime;
+    use ms_core::value::Value;
+
+    fn sample_assignment() -> Assignment {
+        Assignment {
+            generation: 3,
+            restore_epoch: Some(EpochId(7)),
+            n_ops: 3,
+            edges: vec![
+                (OperatorId(0), OperatorId(1)),
+                (OperatorId(1), OperatorId(2)),
+            ],
+            placement: vec![
+                OpPlacement {
+                    op: OperatorId(0),
+                    worker: "wa".into(),
+                    data_addr: "127.0.0.1:4000".into(),
+                },
+                OpPlacement {
+                    op: OperatorId(1),
+                    worker: "wb".into(),
+                    data_addr: "127.0.0.1:4001".into(),
+                },
+                OpPlacement {
+                    op: OperatorId(2),
+                    worker: "wa".into(),
+                    data_addr: "127.0.0.1:4000".into(),
+                },
+            ],
+            source_limit: 1000,
+            source_delay_us: 250,
+        }
+    }
+
+    fn all_messages() -> Vec<WireMsg> {
+        vec![
+            WireMsg::Register {
+                name: "wa".into(),
+                data_addr: "127.0.0.1:4000".into(),
+            },
+            WireMsg::Heartbeat,
+            WireMsg::SinkDone {
+                generation: 2,
+                op: OperatorId(4),
+                snapshot: vec![1, 2, 3, 4],
+            },
+            WireMsg::Assign(sample_assignment()),
+            WireMsg::Assign(Assignment {
+                restore_epoch: None,
+                ..sample_assignment()
+            }),
+            WireMsg::Checkpoint(EpochId(12)),
+            WireMsg::Rollback,
+            WireMsg::Shutdown,
+            WireMsg::StreamHello {
+                generation: 1,
+                from: OperatorId(0),
+                to: OperatorId(1),
+            },
+            WireMsg::Data(Tuple::new(
+                OperatorId(1),
+                42,
+                SimTime::from_micros(9),
+                vec![Value::Int(5), Value::Str("payload".into())],
+            )),
+            WireMsg::Token(EpochId(3)),
+            WireMsg::Eos,
+        ]
+    }
+
+    #[test]
+    fn every_message_roundtrips() {
+        for msg in all_messages() {
+            let decoded = WireMsg::decode(&msg.encode()).unwrap();
+            assert_eq!(decoded, msg);
+        }
+    }
+
+    #[test]
+    fn stream_of_messages_roundtrips_over_frames() {
+        let msgs = all_messages();
+        let mut stream = Vec::new();
+        for m in &msgs {
+            send_msg(&mut stream, m).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(stream);
+        for m in &msgs {
+            assert_eq!(recv_msg(&mut cursor).unwrap().as_ref(), Some(m));
+        }
+        assert_eq!(recv_msg(&mut cursor).unwrap(), None);
+    }
+
+    #[test]
+    fn unknown_tag_and_trailing_bytes_error() {
+        let mut w = SnapshotWriter::new();
+        w.put_u64(999);
+        assert!(WireMsg::decode(&w.finish()).is_err());
+        let mut extra = WireMsg::Heartbeat.encode();
+        extra.extend_from_slice(&WireMsg::Eos.encode());
+        assert!(WireMsg::decode(&extra).is_err());
+    }
+
+    #[test]
+    fn assignment_network_rebuilds_identical_ports() {
+        let a = sample_assignment();
+        let qn = a.network().unwrap();
+        assert_eq!(qn.len(), 3);
+        assert_eq!(qn.edges().collect::<Vec<_>>(), a.edges);
+        assert_eq!(a.worker_of(OperatorId(1)), Some("wb"));
+        assert_eq!(a.addr_of(OperatorId(2)), Some("127.0.0.1:4000"));
+        assert_eq!(a.ops_on("wa"), vec![OperatorId(0), OperatorId(2)]);
+    }
+}

@@ -1,0 +1,380 @@
+//! [`FsStore`]: a filesystem [`StableStore`] shared by every process
+//! of a TCP cluster.
+//!
+//! The in-memory `LiveStorage` dies with its process; a real cluster
+//! needs preservation and checkpoints to survive a SIGKILL. `FsStore`
+//! keeps the exact same contract on a shared directory:
+//!
+//! * `ckpt/e{epoch}_op{N}.ckpt` — individual checkpoints, written to a
+//!   dot-prefixed temp file and atomically renamed into place, so a
+//!   checkpoint file either exists complete or not at all, and epoch
+//!   completeness (`latest_complete`) can be computed by any process
+//!   from a directory scan.
+//! * `log/op{N}.log` — source-preservation logs: one frame per tuple,
+//!   appended with a single `write_all` *before* the tuple is sent
+//!   (§III-A). Bytes handed to the kernel survive the process, so a
+//!   SIGKILL can tear at most the final record; readers stop at the
+//!   first incomplete frame.
+//! * `marks/op{N}.marks` — per-source `(epoch, next_seq)` stream
+//!   boundaries, appended the same way.
+//!
+//! Restart idempotence: a source restarted from scratch (no complete
+//! checkpoint) deterministically regenerates tuples it already logged.
+//! The log writer remembers the highest sequence on disk and skips
+//! appends at or below it, so the log never holds duplicates and
+//! recovery replay stays exactly-once.
+//!
+//! Failure model: fail-stop. An I/O error on the preservation path
+//! panics the worker — a source that cannot reach stable storage must
+//! not keep streaming, and the controller recovers the crash like any
+//! other. Read paths degrade to "nothing stored". The store assumes
+//! the controller serializes incarnations (a killed worker is dead
+//! before its operators are reassigned); two live writers on one log
+//! are out of scope, as in the paper's single-controller design.
+
+use std::collections::HashMap;
+use std::fs::{self, File, OpenOptions};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use ms_core::codec::{
+    frame, FrameDecoder, SnapshotReader, SnapshotWriter, FRAME_HEADER_BYTES, MAX_FRAME_BYTES,
+};
+use ms_core::error::Result;
+use ms_core::ids::{EpochId, OperatorId};
+use ms_core::operator::OperatorSnapshot;
+use ms_core::tuple::Tuple;
+use ms_live::{LiveHauCheckpoint, StableStore};
+use parking_lot::Mutex;
+
+struct LogWriter {
+    file: File,
+    /// Highest sequence already durable in this log (dedup guard).
+    last_seq: Option<u64>,
+}
+
+/// Filesystem-backed stable store. Cheap to open; every process of the
+/// cluster (workers *and* the controller) opens its own handle on the
+/// shared directory.
+pub struct FsStore {
+    root: PathBuf,
+    expected: usize,
+    logs: Mutex<HashMap<OperatorId, LogWriter>>,
+}
+
+impl FsStore {
+    /// Opens (creating if needed) a store rooted at `root`, expecting
+    /// `expected` individual checkpoints per complete application
+    /// checkpoint.
+    pub fn open(root: impl Into<PathBuf>, expected: usize) -> Result<FsStore> {
+        let root = root.into();
+        for sub in ["ckpt", "log", "marks"] {
+            fs::create_dir_all(root.join(sub))?;
+        }
+        Ok(FsStore {
+            root,
+            expected,
+            logs: Mutex::new(HashMap::new()),
+        })
+    }
+
+    fn ckpt_path(&self, epoch: EpochId, op: OperatorId) -> PathBuf {
+        self.root.join("ckpt").join(ckpt_name(epoch, op))
+    }
+
+    fn log_path(&self, op: OperatorId) -> PathBuf {
+        self.root.join("log").join(format!("op{}.log", op.0))
+    }
+
+    fn marks_path(&self, op: OperatorId) -> PathBuf {
+        self.root.join("marks").join(format!("op{}.marks", op.0))
+    }
+
+    /// Epoch → number of individual checkpoints present.
+    fn epoch_counts(&self) -> HashMap<u64, usize> {
+        let mut counts = HashMap::new();
+        let Ok(entries) = fs::read_dir(self.root.join("ckpt")) else {
+            return counts;
+        };
+        for entry in entries.flatten() {
+            if let Some(epoch) = parse_ckpt_epoch(&entry.file_name().to_string_lossy()) {
+                *counts.entry(epoch).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+}
+
+fn ckpt_name(epoch: EpochId, op: OperatorId) -> String {
+    format!("e{}_op{}.ckpt", epoch.0, op.0)
+}
+
+/// Parses `e{epoch}_op{N}.ckpt`; temp files (dot-prefixed) and foreign
+/// names yield `None`.
+fn parse_ckpt_epoch(name: &str) -> Option<u64> {
+    let rest = name.strip_prefix('e')?;
+    let (epoch, rest) = rest.split_once("_op")?;
+    rest.strip_suffix(".ckpt")?.parse::<u64>().ok()?;
+    epoch.parse().ok()
+}
+
+/// Byte length of the longest prefix made of complete frames.
+fn clean_prefix_len(bytes: &[u8]) -> usize {
+    let mut pos = 0;
+    while bytes.len() - pos >= FRAME_HEADER_BYTES {
+        let header: [u8; FRAME_HEADER_BYTES] = bytes[pos..pos + FRAME_HEADER_BYTES]
+            .try_into()
+            .expect("header slice");
+        let len = u32::from_le_bytes(header) as usize;
+        if len > MAX_FRAME_BYTES || bytes.len() - pos - FRAME_HEADER_BYTES < len {
+            break;
+        }
+        pos += FRAME_HEADER_BYTES + len;
+    }
+    pos
+}
+
+/// Reads every complete frame of a framed file; a torn tail (the one
+/// record a SIGKILL may have cut short) is silently dropped.
+fn read_frames(path: &Path) -> Vec<Vec<u8>> {
+    let Ok(bytes) = fs::read(path) else {
+        return Vec::new();
+    };
+    let mut dec = FrameDecoder::new();
+    dec.feed(&bytes);
+    let mut out = Vec::new();
+    while let Ok(Some(payload)) = dec.next_frame() {
+        out.push(payload);
+    }
+    out
+}
+
+impl StableStore for FsStore {
+    fn put_checkpoint(&self, epoch: EpochId, op: OperatorId, ckpt: LiveHauCheckpoint) -> bool {
+        let mut w = SnapshotWriter::new();
+        w.put_u64(ckpt.next_seq)
+            .put_u64(ckpt.snapshot.logical_bytes)
+            .put_bytes(&ckpt.snapshot.data);
+        let tmp = self
+            .root
+            .join("ckpt")
+            .join(format!(".tmp_{}", ckpt_name(epoch, op)));
+        let wrote = fs::write(&tmp, frame(&w.finish()))
+            .and_then(|()| fs::rename(&tmp, self.ckpt_path(epoch, op)));
+        if let Err(e) = wrote {
+            eprintln!("fs-store: checkpoint {epoch}/{op} not persisted: {e}");
+            return false;
+        }
+        self.epoch_counts().get(&epoch.0).copied().unwrap_or(0) >= self.expected
+    }
+
+    fn get_checkpoint(&self, epoch: EpochId, op: OperatorId) -> Option<LiveHauCheckpoint> {
+        let payload = read_frames(&self.ckpt_path(epoch, op)).into_iter().next()?;
+        let mut r = SnapshotReader::new(&payload);
+        let next_seq = r.get_u64().ok()?;
+        let logical_bytes = r.get_u64().ok()?;
+        let data = r.get_bytes().ok()?;
+        Some(LiveHauCheckpoint {
+            snapshot: OperatorSnapshot {
+                data,
+                logical_bytes,
+            },
+            next_seq,
+        })
+    }
+
+    fn latest_complete(&self) -> Option<EpochId> {
+        self.epoch_counts()
+            .into_iter()
+            .filter(|&(_, n)| n >= self.expected)
+            .map(|(e, _)| EpochId(e))
+            .max()
+    }
+
+    fn append_log(&self, source: OperatorId, t: Tuple) {
+        let mut logs = self.logs.lock();
+        let lw = logs.entry(source).or_insert_with(|| {
+            let path = self.log_path(source);
+            // Scan what an earlier incarnation already made durable.
+            let bytes = fs::read(&path).unwrap_or_default();
+            let clean = clean_prefix_len(&bytes);
+            let last_seq = read_frames(&path)
+                .last()
+                .and_then(|p| SnapshotReader::new(p).get_tuple().ok())
+                .map(|t| t.seq);
+            let file = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .unwrap_or_else(|e| panic!("fs-store: cannot open source log {path:?}: {e}"));
+            if clean < bytes.len() {
+                // Drop the record the crash cut short, so re-appended
+                // frames land on a clean boundary.
+                file.set_len(clean as u64)
+                    .unwrap_or_else(|e| panic!("fs-store: cannot trim torn log {path:?}: {e}"));
+            }
+            LogWriter { file, last_seq }
+        });
+        if lw.last_seq.is_some_and(|s| t.seq <= s) {
+            return; // already durable (pre-crash incarnation)
+        }
+        let mut w = SnapshotWriter::with_capacity(SnapshotWriter::encoded_tuple_bytes(&t));
+        w.put_tuple(&t);
+        // One write_all per record: the kernel has the whole frame (or,
+        // on a crash, at most a torn tail) — never an interleaving.
+        lw.file
+            .write_all(&frame(&w.finish()))
+            .unwrap_or_else(|e| panic!("fs-store: source preservation failed for {source}: {e}"));
+        lw.last_seq = Some(t.seq);
+    }
+
+    fn mark_epoch(&self, source: OperatorId, epoch: EpochId, next_seq: u64) {
+        let mut w = SnapshotWriter::new();
+        w.put_u64(epoch.0).put_u64(next_seq);
+        let path = self.marks_path(source);
+        let write = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .and_then(|mut f| f.write_all(&frame(&w.finish())));
+        if let Err(e) = write {
+            panic!("fs-store: epoch mark failed for {source}: {e}");
+        }
+    }
+
+    fn replay_from(&self, source: OperatorId, epoch: EpochId) -> Vec<Tuple> {
+        let from_seq = read_frames(&self.marks_path(source))
+            .iter()
+            .filter_map(|p| {
+                let mut r = SnapshotReader::new(p);
+                Some((r.get_u64().ok()?, r.get_u64().ok()?))
+            })
+            .find(|&(e, _)| e == epoch.0)
+            .map(|(_, s)| s)
+            .unwrap_or(0);
+        read_frames(&self.log_path(source))
+            .iter()
+            .filter_map(|p| SnapshotReader::new(p).get_tuple().ok())
+            .filter(|t| t.seq >= from_seq)
+            .collect()
+    }
+
+    fn preserved_tuples(&self) -> usize {
+        let Ok(entries) = fs::read_dir(self.root.join("log")) else {
+            return 0;
+        };
+        entries
+            .flatten()
+            .map(|e| read_frames(&e.path()).len())
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ms_core::time::SimTime;
+    use ms_core::value::Value;
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let d = std::env::temp_dir().join(format!("ms_wire_store_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&d);
+        d
+    }
+
+    fn tup(seq: u64) -> Tuple {
+        Tuple::new(
+            OperatorId(0),
+            seq,
+            SimTime::ZERO,
+            vec![Value::Int(seq as i64)],
+        )
+    }
+
+    fn ck(next_seq: u64) -> LiveHauCheckpoint {
+        LiveHauCheckpoint {
+            snapshot: OperatorSnapshot {
+                data: vec![9, 9, 9],
+                logical_bytes: 3,
+            },
+            next_seq,
+        }
+    }
+
+    #[test]
+    fn completeness_is_visible_across_handles() {
+        let dir = tmpdir("complete");
+        let a = FsStore::open(&dir, 2).unwrap();
+        // A second handle on the same directory — as a second process
+        // would hold.
+        let b = FsStore::open(&dir, 2).unwrap();
+        assert!(!a.put_checkpoint(EpochId(1), OperatorId(0), ck(5)));
+        assert_eq!(b.latest_complete(), None);
+        assert!(b.put_checkpoint(EpochId(1), OperatorId(1), ck(0)));
+        assert_eq!(a.latest_complete(), Some(EpochId(1)));
+        let got = b.get_checkpoint(EpochId(1), OperatorId(0)).unwrap();
+        assert_eq!(got.next_seq, 5);
+        assert_eq!(got.snapshot.data, vec![9, 9, 9]);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn log_survives_handle_and_dedups_restart() {
+        let dir = tmpdir("log");
+        {
+            let s = FsStore::open(&dir, 1).unwrap();
+            for seq in 0..10 {
+                s.append_log(OperatorId(0), tup(seq));
+            }
+            s.mark_epoch(OperatorId(0), EpochId(1), 6);
+        }
+        // "Restarted" incarnation regenerates from scratch: the first
+        // ten appends are duplicates and must be skipped.
+        let s = FsStore::open(&dir, 1).unwrap();
+        for seq in 0..12 {
+            s.append_log(OperatorId(0), tup(seq));
+        }
+        assert_eq!(s.preserved_tuples(), 12);
+        let replay = s.replay_from(OperatorId(0), EpochId(1));
+        assert_eq!(replay.len(), 6);
+        assert_eq!(replay[0].seq, 6);
+        // Unknown epoch: everything (mirrors LiveStorage).
+        assert_eq!(s.replay_from(OperatorId(0), EpochId(42)).len(), 12);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_not_fatal() {
+        let dir = tmpdir("torn");
+        {
+            let s = FsStore::open(&dir, 1).unwrap();
+            for seq in 0..5 {
+                s.append_log(OperatorId(0), tup(seq));
+            }
+        }
+        // Simulate a SIGKILL mid-append: cut the last record short.
+        let path = dir.join("log").join("op0.log");
+        let bytes = fs::read(&path).unwrap();
+        fs::write(&path, &bytes[..bytes.len() - 3]).unwrap();
+        let s = FsStore::open(&dir, 1).unwrap();
+        let replay = s.replay_from(OperatorId(0), EpochId(0));
+        assert_eq!(replay.len(), 4);
+        // The next incarnation re-appends the torn tuple: seq 4 is
+        // above the highest *complete* record, so it must not be
+        // dropped by the dedup guard.
+        s.append_log(OperatorId(0), tup(4));
+        assert_eq!(s.replay_from(OperatorId(0), EpochId(0)).len(), 5);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn temp_files_never_count_toward_completeness() {
+        let dir = tmpdir("tmpfiles");
+        let s = FsStore::open(&dir, 1).unwrap();
+        fs::write(dir.join("ckpt").join(".tmp_e9_op0.ckpt"), b"junk").unwrap();
+        assert_eq!(s.latest_complete(), None);
+        assert!(s.put_checkpoint(EpochId(9), OperatorId(0), ck(1)));
+        assert_eq!(s.latest_complete(), Some(EpochId(9)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,557 @@
+//! The `ms-worker` daemon: hosts operators over real TCP streams.
+//!
+//! One worker process runs any subset of a generation's operators.
+//! Each operator runs on the unmodified `ms-live` host thread
+//! ([`ms_live::host::run_host`]); what this module adds is the
+//! transport: every cross-process graph edge is one TCP connection,
+//! bridged onto the host's crossbeam channels by a pair of pump
+//! threads (egress on the producer side, ingress on the consumer
+//! side). Local edges stay plain channels — colocated operators pay no
+//! socket tax, exactly the HAU-grouping benefit of §II-A.
+//!
+//! Failure semantics, the part that makes recovery correct:
+//!
+//! * A data socket that dies **without** [`WireMsg::Eos`] is a peer
+//!   failure, not an end-of-stream. The ingress pump *parks* — holding
+//!   the consumer's input open but silent — so a sink can never
+//!   mistake a crash for completion. Only the controller's `Rollback`
+//!   (or a newer generation) releases it.
+//! * An egress pump whose socket breaks switches to *drain* mode: it
+//!   keeps consuming so local hosts never wedge mid-teardown. The
+//!   discarded tuples are safe — they are either preserved in the
+//!   source log or derivable from it, and the rollback rewinds
+//!   downstream state behind them.
+//! * Teardown (`Rollback`, a superseding `Assign`, or `Shutdown`)
+//!   first marks the generation stale and shuts every data socket,
+//!   which unwinds pumps, then hosts, then the persister — in an order
+//!   chosen so nothing blocks forever.
+
+use std::collections::HashMap;
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use ms_core::error::{Error, Result};
+use ms_core::ids::OperatorId;
+use ms_live::host::run_host;
+use ms_live::protocol::CHANNEL_DEPTH;
+use ms_live::{HostMsg, HostWiring, Persister, SourceCmd, StableStore};
+use parking_lot::Mutex;
+
+use crate::apps::build_operator;
+use crate::message::{recv_msg, send_msg, Assignment, WireMsg};
+use crate::store::FsStore;
+
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+const PARK_POLL: Duration = Duration::from_millis(20);
+const ROUTE_WAIT: Duration = Duration::from_secs(15);
+const CONNECT_WAIT: Duration = Duration::from_secs(10);
+
+/// How a worker finds its controller.
+#[derive(Clone, Debug)]
+pub enum ControllerAddr {
+    /// A literal `host:port`.
+    Addr(String),
+    /// A file the controller writes its address into (atomic rename);
+    /// the worker polls until it appears.
+    File(PathBuf),
+}
+
+/// Worker configuration.
+#[derive(Clone, Debug)]
+pub struct WorkerConfig {
+    /// Unique worker name (placement is keyed on it).
+    pub name: String,
+    /// Controller location.
+    pub controller: ControllerAddr,
+    /// Shared stable-store directory (same filesystem as the other
+    /// processes of the cluster).
+    pub store_dir: PathBuf,
+    /// Heartbeat cadence.
+    pub heartbeat_interval: Duration,
+}
+
+/// Cross-thread worker state.
+struct Shared {
+    /// Smallest generation still acceptable; anything below is stale.
+    min_gen: AtomicU64,
+    /// `(generation, from, to)` → the consumer host's input channel.
+    routes: Mutex<HashMap<(u64, u32, u32), Sender<HostMsg>>>,
+    /// Open data sockets tagged with their generation, so teardown can
+    /// `shutdown()` them and unblock the pump threads.
+    socks: Mutex<Vec<(u64, TcpStream)>>,
+    /// Whole-process stop flag.
+    stop: AtomicBool,
+}
+
+impl Shared {
+    fn new() -> Shared {
+        Shared {
+            min_gen: AtomicU64::new(0),
+            routes: Mutex::new(HashMap::new()),
+            socks: Mutex::new(Vec::new()),
+            stop: AtomicBool::new(false),
+        }
+    }
+
+    fn stale(&self, generation: u64) -> bool {
+        self.stop.load(Ordering::SeqCst) || self.min_gen.load(Ordering::SeqCst) > generation
+    }
+}
+
+/// One deployed generation on this worker.
+struct Run {
+    generation: u64,
+    src_cmds: Vec<Sender<SourceCmd>>,
+    joiner: Option<JoinHandle<()>>,
+    pumps: Vec<JoinHandle<()>>,
+    torn: Arc<AtomicBool>,
+}
+
+impl Run {
+    fn checkpoint(&self, epoch: ms_core::ids::EpochId) {
+        for tx in &self.src_cmds {
+            let _ = tx.send(SourceCmd::Checkpoint(epoch));
+        }
+    }
+
+    /// Tears the generation down. Order matters: mark stale → cut the
+    /// sockets (pumps unwind) → stop sources → drop route senders
+    /// (consumer inputs see disconnect ⇒ Eos) → join.
+    fn teardown(mut self, shared: &Shared) {
+        self.torn.store(true, Ordering::SeqCst);
+        shared
+            .min_gen
+            .fetch_max(self.generation + 1, Ordering::SeqCst);
+        shared.socks.lock().retain(|(g, s)| {
+            if *g <= self.generation {
+                let _ = s.shutdown(Shutdown::Both);
+                false
+            } else {
+                true
+            }
+        });
+        for tx in &self.src_cmds {
+            let _ = tx.send(SourceCmd::Stop);
+        }
+        self.src_cmds.clear();
+        shared
+            .routes
+            .lock()
+            .retain(|(g, _, _), _| *g > self.generation);
+        if let Some(j) = self.joiner.take() {
+            let _ = j.join();
+        }
+        for p in self.pumps.drain(..) {
+            let _ = p.join();
+        }
+    }
+
+    fn start(
+        a: Assignment,
+        cfg: &WorkerConfig,
+        shared: &Arc<Shared>,
+        ctrl_w: &Arc<Mutex<TcpStream>>,
+    ) -> Result<Run> {
+        let qn = a.network()?;
+        let store: Arc<dyn StableStore> = Arc::new(FsStore::open(&cfg.store_dir, qn.len())?);
+        shared.min_gen.fetch_max(a.generation, Ordering::SeqCst);
+        let generation = a.generation;
+        let my_ops = a.ops_on(&cfg.name);
+        let is_mine = |op: OperatorId| a.worker_of(op) == Some(cfg.name.as_str());
+
+        // Fallible phase first: build + restore every local operator,
+        // resolve every peer address. Nothing is spawned yet.
+        let mut restored = Vec::new(); // (op, operator, restored_seq, replay)
+        for &op in &my_ops {
+            let mut operator = build_operator(&qn, op, a.source_limit, a.source_delay_us);
+            let is_source = qn.upstream(op).is_empty();
+            let (restored_seq, replay) = match a.restore_epoch {
+                Some(epoch) => {
+                    let ck = store.get_checkpoint(epoch, op).ok_or_else(|| {
+                        Error::Wire(format!(
+                            "assignment gen {generation} restores {epoch} but {op} has no checkpoint"
+                        ))
+                    })?;
+                    operator.restore(&ck.snapshot)?;
+                    let replay = if is_source {
+                        store.replay_from(op, epoch)
+                    } else {
+                        Vec::new()
+                    };
+                    (ck.next_seq, replay)
+                }
+                // Fresh start: sources regenerate deterministically;
+                // the store's dedup guard keeps the log duplicate-free.
+                None => (0, Vec::new()),
+            };
+            restored.push((op, operator, restored_seq, replay));
+        }
+        let mut peer_addr = HashMap::new();
+        for &op in &my_ops {
+            for &down in qn.downstream(op) {
+                if !is_mine(down) {
+                    let addr = a
+                        .addr_of(down)
+                        .ok_or_else(|| Error::Wire(format!("{down} missing from placement")))?;
+                    peer_addr.insert(down, addr.to_string());
+                }
+            }
+        }
+
+        // Infallible phase: wire channels, spawn pumps and hosts.
+        let torn = Arc::new(AtomicBool::new(false));
+        let mut pumps = Vec::new();
+        let mut local_tx = HashMap::new();
+        let mut local_rx = HashMap::new();
+        for (f, t) in qn.edges() {
+            if is_mine(f) && is_mine(t) {
+                let (tx, rx) = bounded(CHANNEL_DEPTH);
+                local_tx.insert((f.0, t.0), tx);
+                local_rx.insert((f.0, t.0), rx);
+            }
+        }
+
+        let persister = Persister::spawn(store.clone());
+        let mut src_cmds = Vec::new();
+        let mut hosts = Vec::new();
+        for (op, operator, restored_seq, replay) in restored {
+            let mut inputs = Vec::new();
+            for &up in qn.upstream(op) {
+                if is_mine(up) {
+                    inputs.push(
+                        local_rx
+                            .remove(&(up.0, op.0))
+                            .expect("local edge wired once"),
+                    );
+                } else {
+                    let (tx, rx) = bounded(CHANNEL_DEPTH);
+                    shared.routes.lock().insert((generation, up.0, op.0), tx);
+                    inputs.push(rx);
+                }
+            }
+            let mut outputs = Vec::new();
+            for &down in qn.downstream(op) {
+                if is_mine(down) {
+                    outputs.push(
+                        local_tx
+                            .remove(&(op.0, down.0))
+                            .expect("local edge wired once"),
+                    );
+                } else {
+                    let (tx, rx) = bounded(CHANNEL_DEPTH);
+                    let addr = peer_addr[&down].clone();
+                    let shared = shared.clone();
+                    let torn = torn.clone();
+                    pumps.push(thread::spawn(move || {
+                        egress(rx, addr, generation, op, down, &shared, &torn)
+                    }));
+                    outputs.push(tx);
+                }
+            }
+            let cmd = if qn.upstream(op).is_empty() {
+                let (ctx, crx) = unbounded();
+                src_cmds.push(ctx);
+                Some(crx)
+            } else {
+                None
+            };
+            let wiring = HostWiring {
+                op_id: op,
+                op: operator,
+                inputs,
+                outputs,
+                cmd,
+                restored_seq,
+                replay,
+                auto_stop: true,
+            };
+            let store = store.clone();
+            let ptx = persister.sender();
+            hosts.push(thread::spawn(move || run_host(wiring, store, ptx)));
+        }
+
+        // The joiner waits the hosts out, makes queued checkpoints
+        // durable, then reports finished sinks — unless the generation
+        // was torn down, in which case partial sink state is garbage.
+        let sinks: Vec<OperatorId> = my_ops
+            .iter()
+            .copied()
+            .filter(|&op| qn.downstream(op).is_empty())
+            .collect();
+        let torn_j = torn.clone();
+        let ctrl_w = ctrl_w.clone();
+        let joiner = thread::spawn(move || {
+            let mut finals = Vec::new();
+            for h in hosts {
+                if let Ok(done) = h.join() {
+                    finals.push(done);
+                }
+            }
+            drop(persister);
+            if !torn_j.load(Ordering::SeqCst) {
+                for (op, operator) in &finals {
+                    if sinks.contains(op) {
+                        let msg = WireMsg::SinkDone {
+                            generation,
+                            op: *op,
+                            snapshot: operator.snapshot().data,
+                        };
+                        let _ = send_msg(&mut *ctrl_w.lock(), &msg);
+                    }
+                }
+            }
+        });
+
+        Ok(Run {
+            generation,
+            src_cmds,
+            joiner: Some(joiner),
+            pumps,
+            torn,
+        })
+    }
+}
+
+/// Producer-side pump: drains one host output channel into one TCP
+/// stream. On socket failure it *drains* (consumes and discards) so
+/// the host never blocks; on teardown it exits at the next message,
+/// which disconnects the channel and unwinds the host.
+fn egress(
+    rx: Receiver<HostMsg>,
+    addr: String,
+    generation: u64,
+    from: OperatorId,
+    to: OperatorId,
+    shared: &Shared,
+    torn: &AtomicBool,
+) {
+    let mut stream = connect_retry(&addr, CONNECT_WAIT).ok();
+    if let Some(s) = &mut stream {
+        let _ = s.set_nodelay(true);
+        let hello = WireMsg::StreamHello {
+            generation,
+            from,
+            to,
+        };
+        if send_msg(s, &hello).is_ok() {
+            if let Ok(clone) = s.try_clone() {
+                shared.socks.lock().push((generation, clone));
+            }
+        } else {
+            stream = None;
+        }
+    }
+    while let Ok(msg) = rx.recv() {
+        if torn.load(Ordering::SeqCst) {
+            return;
+        }
+        if let Some(s) = &mut stream {
+            let wire = match msg {
+                HostMsg::Data(t) => WireMsg::Data(t),
+                HostMsg::Token(e) => WireMsg::Token(e),
+                HostMsg::Eos => WireMsg::Eos,
+            };
+            if send_msg(s, &wire).is_err() {
+                stream = None; // drain mode from here on
+            }
+        }
+    }
+}
+
+/// Consumer-side pump: reads one TCP stream into the consumer host's
+/// input channel. Runs detached; exits on explicit `Eos`, a closed
+/// channel, or (after parking) a stale generation.
+fn ingress(mut stream: TcpStream, shared: Arc<Shared>) {
+    let (generation, from, to) = match recv_msg(&mut stream) {
+        Ok(Some(WireMsg::StreamHello {
+            generation,
+            from,
+            to,
+        })) => (generation, from, to),
+        _ => return,
+    };
+    if let Ok(clone) = stream.try_clone() {
+        shared.socks.lock().push((generation, clone));
+    }
+    // The Assign carrying our route may still be in flight.
+    let deadline = Instant::now() + ROUTE_WAIT;
+    let tx = loop {
+        if let Some(tx) = shared.routes.lock().get(&(generation, from.0, to.0)) {
+            break tx.clone();
+        }
+        if shared.stale(generation) || Instant::now() > deadline {
+            return;
+        }
+        thread::sleep(PARK_POLL);
+    };
+    loop {
+        match recv_msg(&mut stream) {
+            Ok(Some(WireMsg::Data(t))) => {
+                if tx.send(HostMsg::Data(t)).is_err() {
+                    return;
+                }
+            }
+            Ok(Some(WireMsg::Token(e))) => {
+                if tx.send(HostMsg::Token(e)).is_err() {
+                    return;
+                }
+            }
+            Ok(Some(WireMsg::Eos)) => {
+                let _ = tx.send(HostMsg::Eos);
+                return;
+            }
+            // A bare close, torn frame, or protocol violation: the
+            // peer failed. Park — hold the input open but silent so
+            // the consumer cannot mistake this for end-of-stream —
+            // until the controller rolls the generation back.
+            Ok(Some(_)) | Ok(None) | Err(_) => {
+                while !shared.stale(generation) {
+                    thread::sleep(PARK_POLL);
+                }
+                return;
+            }
+        }
+    }
+}
+
+fn connect_retry(addr: &str, wait: Duration) -> Result<TcpStream> {
+    let deadline = Instant::now() + wait;
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(s) => return Ok(s),
+            Err(e) if Instant::now() > deadline => {
+                return Err(Error::Wire(format!("connect {addr}: {e}")));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(25)),
+        }
+    }
+}
+
+fn resolve_controller(addr: &ControllerAddr, wait: Duration) -> Result<String> {
+    match addr {
+        ControllerAddr::Addr(a) => Ok(a.clone()),
+        ControllerAddr::File(path) => {
+            let deadline = Instant::now() + wait;
+            loop {
+                if let Ok(text) = std::fs::read_to_string(path) {
+                    let text = text.trim();
+                    if !text.is_empty() {
+                        return Ok(text.to_string());
+                    }
+                }
+                if Instant::now() > deadline {
+                    return Err(Error::Wire(format!(
+                        "controller address file {path:?} never appeared"
+                    )));
+                }
+                thread::sleep(PARK_POLL);
+            }
+        }
+    }
+}
+
+/// Runs a worker to completion: register, host assigned operators
+/// across generations, exit on `Shutdown` (or controller loss).
+pub fn run_worker(cfg: WorkerConfig) -> Result<()> {
+    let ctrl_addr = resolve_controller(&cfg.controller, CONNECT_WAIT)?;
+    let shared = Arc::new(Shared::new());
+
+    // Data plane listener. Nonblocking so the accept loop can observe
+    // the stop flag; accepted sockets are switched back to blocking.
+    let listener = TcpListener::bind("127.0.0.1:0")?;
+    let data_addr = listener.local_addr()?.to_string();
+    listener.set_nonblocking(true)?;
+    let accept_shared = shared.clone();
+    let accept = thread::spawn(move || loop {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                let _ = stream.set_nonblocking(false);
+                let _ = stream.set_nodelay(true);
+                let shared = accept_shared.clone();
+                // Detached: exits via Eos, socket shutdown, or the
+                // stale/stop checks in its park loops.
+                thread::spawn(move || ingress(stream, shared));
+            }
+            Err(_) => {
+                if accept_shared.stop.load(Ordering::SeqCst) {
+                    return;
+                }
+                thread::sleep(ACCEPT_POLL);
+            }
+        }
+    });
+
+    // Control plane.
+    let mut ctrl = connect_retry(&ctrl_addr, CONNECT_WAIT)?;
+    ctrl.set_nodelay(true)?;
+    send_msg(
+        &mut ctrl,
+        &WireMsg::Register {
+            name: cfg.name.clone(),
+            data_addr,
+        },
+    )?;
+    let ctrl_w = Arc::new(Mutex::new(ctrl.try_clone()?));
+    let hb_w = ctrl_w.clone();
+    let hb_shared = shared.clone();
+    let hb_interval = cfg.heartbeat_interval;
+    let heartbeat = thread::spawn(move || {
+        while !hb_shared.stop.load(Ordering::SeqCst) {
+            thread::sleep(hb_interval);
+            if send_msg(&mut *hb_w.lock(), &WireMsg::Heartbeat).is_err() {
+                return;
+            }
+        }
+    });
+
+    let mut run: Option<Run> = None;
+    let mut outcome = Ok(());
+    loop {
+        match recv_msg(&mut ctrl) {
+            Ok(Some(WireMsg::Assign(a))) => {
+                if let Some(r) = run.take() {
+                    r.teardown(&shared);
+                }
+                match Run::start(a, &cfg, &shared, &ctrl_w) {
+                    Ok(r) => run = Some(r),
+                    Err(e) => {
+                        outcome = Err(e);
+                        break;
+                    }
+                }
+            }
+            Ok(Some(WireMsg::Checkpoint(epoch))) => {
+                if let Some(r) = &run {
+                    r.checkpoint(epoch);
+                }
+            }
+            Ok(Some(WireMsg::Rollback)) => {
+                if let Some(r) = run.take() {
+                    r.teardown(&shared);
+                }
+            }
+            Ok(Some(WireMsg::Shutdown)) | Ok(None) => break,
+            Ok(Some(other)) => {
+                outcome = Err(Error::Wire(format!("unexpected control message {other:?}")));
+                break;
+            }
+            Err(e) => {
+                outcome = Err(e);
+                break;
+            }
+        }
+    }
+    if let Some(r) = run.take() {
+        r.teardown(&shared);
+    }
+    shared.stop.store(true, Ordering::SeqCst);
+    let _ = ctrl.shutdown(Shutdown::Both);
+    let _ = heartbeat.join();
+    let _ = accept.join();
+    outcome
+}

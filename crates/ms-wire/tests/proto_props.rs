@@ -1,0 +1,154 @@
+//! Property tests for the frame layer and the wire-message codec:
+//! roundtrips must be exact, and torn reads — down to one byte at a
+//! time — must reassemble losslessly or error, never panic or
+//! misparse.
+
+use std::io::Read;
+
+use ms_core::codec::{frame, read_frame, write_frame, FrameDecoder};
+use ms_core::ids::{EpochId, OperatorId};
+use ms_core::time::SimTime;
+use ms_core::tuple::Tuple;
+use ms_core::value::Value;
+use ms_wire::WireMsg;
+use proptest::prelude::*;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    let leaf = prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        (-1.0e12f64..1.0e12).prop_map(Value::Float),
+        "[a-z]{0,12}".prop_map(Value::Str),
+    ];
+    leaf.prop_recursive(2, 8, 4, |inner| {
+        proptest::collection::vec(inner, 0..4).prop_map(Value::List)
+    })
+}
+
+fn arb_tuple() -> impl Strategy<Value = Tuple> {
+    (
+        0u32..64,
+        any::<u64>(),
+        0u64..1 << 40,
+        proptest::collection::vec(arb_value(), 0..4),
+    )
+        .prop_map(|(p, seq, t, fields)| {
+            Tuple::new(OperatorId(p), seq, SimTime::from_micros(t), fields)
+        })
+}
+
+fn arb_payloads() -> impl Strategy<Value = Vec<Vec<u8>>> {
+    proptest::collection::vec(proptest::collection::vec(any::<u8>(), 0..200), 0..8)
+}
+
+/// A reader that hands out at most one byte per `read` call — the
+/// worst-case torn read a TCP stream can produce.
+struct OneByteReader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Read for OneByteReader<'_> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        if self.pos >= self.bytes.len() || buf.is_empty() {
+            return Ok(0);
+        }
+        buf[0] = self.bytes[self.pos];
+        self.pos += 1;
+        Ok(1)
+    }
+}
+
+proptest! {
+    /// Frames written to a stream read back exactly, ending in a clean
+    /// EOF.
+    #[test]
+    fn frame_stream_roundtrip(payloads in arb_payloads()) {
+        let mut stream = Vec::new();
+        for p in &payloads {
+            write_frame(&mut stream, p).unwrap();
+        }
+        let mut cursor = std::io::Cursor::new(stream);
+        for p in &payloads {
+            prop_assert_eq!(&read_frame(&mut cursor).unwrap().unwrap(), p);
+        }
+        prop_assert_eq!(read_frame(&mut cursor).unwrap(), None);
+    }
+
+    /// `read_frame` reassembles frames from one-byte-at-a-time reads.
+    #[test]
+    fn frame_reads_survive_one_byte_tearing(payloads in arb_payloads()) {
+        let mut stream = Vec::new();
+        for p in &payloads {
+            write_frame(&mut stream, p).unwrap();
+        }
+        let mut torn = OneByteReader { bytes: &stream, pos: 0 };
+        for p in &payloads {
+            prop_assert_eq!(&read_frame(&mut torn).unwrap().unwrap(), p);
+        }
+        prop_assert_eq!(read_frame(&mut torn).unwrap(), None);
+    }
+
+    /// The incremental decoder reassembles frames fed in arbitrary
+    /// chunk sizes (including single bytes) with nothing left over.
+    #[test]
+    fn decoder_reassembles_arbitrary_chunking(
+        payloads in arb_payloads(),
+        chunk in 1usize..7,
+    ) {
+        let mut stream = Vec::new();
+        for p in &payloads {
+            stream.extend_from_slice(&frame(p));
+        }
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        for piece in stream.chunks(chunk) {
+            dec.feed(piece);
+            while let Some(p) = dec.next_frame().unwrap() {
+                out.push(p);
+            }
+        }
+        prop_assert_eq!(out, payloads);
+        prop_assert_eq!(dec.buffered(), 0);
+    }
+
+    /// Truncating a framed stream anywhere is an error (torn frame) or
+    /// a clean EOF at a boundary — never a panic, never a misparse of
+    /// the intact prefix.
+    #[test]
+    fn truncation_never_misparses(payloads in arb_payloads(), cut in 0usize..64) {
+        let mut stream = Vec::new();
+        for p in &payloads {
+            write_frame(&mut stream, p).unwrap();
+        }
+        let keep = stream.len().saturating_sub(cut);
+        let mut cursor = std::io::Cursor::new(&stream[..keep]);
+        let mut seen = 0usize;
+        // A torn tail errors and a boundary cut yields EOF — either way
+        // the loop ends after the intact prefix.
+        while let Ok(Some(p)) = read_frame(&mut cursor) {
+            prop_assert_eq!(&p, &payloads[seen]);
+            seen += 1;
+        }
+        prop_assert!(seen <= payloads.len());
+    }
+
+    /// Data tuples survive the full message codec bit-exactly.
+    #[test]
+    fn wire_data_roundtrip(t in arb_tuple()) {
+        let msg = WireMsg::Data(t);
+        prop_assert_eq!(WireMsg::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    /// Tokens and stream hellos roundtrip for any id values.
+    #[test]
+    fn wire_control_roundtrip(e in any::<u64>(), generation in any::<u64>(), f in 0u32..1024, t in 0u32..1024) {
+        let token = WireMsg::Token(EpochId(e));
+        prop_assert_eq!(WireMsg::decode(&token.encode()).unwrap(), token);
+        let hello = WireMsg::StreamHello {
+            generation,
+            from: OperatorId(f),
+            to: OperatorId(t),
+        };
+        prop_assert_eq!(WireMsg::decode(&hello.encode()).unwrap(), hello);
+    }
+}

@@ -10,7 +10,7 @@ use ms_core::graph::QueryNetwork;
 use ms_core::ids::OperatorId;
 use ms_core::operator::Operator;
 use ms_live::protocol::Doubler;
-use ms_live::{CountSource, LiveRuntime, LiveStorage, Summer};
+use ms_live::{CountSource, LiveRuntime, LiveStorage, StableStore, Summer};
 use std::sync::Arc;
 
 const N: u64 = 2_000;
