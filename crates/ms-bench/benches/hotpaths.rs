@@ -327,6 +327,225 @@ fn bench_wire_throughput(c: &mut Criterion) {
     g.finish();
 }
 
+/// Checkpoint stall: p99 tuple latency while a 64 MiB snapshot is
+/// being persisted, versus steady state. The big-state operator holds
+/// its state as `Arc`'d chunks and overrides `snapshot_deferred`, so
+/// the host thread's capture is a refcount walk and the 64 MiB
+/// serialization runs on the persister thread — tuple latency during
+/// a checkpoint must stay within 2× of steady state. The eager
+/// `snapshot()` bench shows what the host thread would pay per
+/// checkpoint if the capture were synchronous.
+fn bench_ckpt_stall(c: &mut Criterion) {
+    use std::sync::atomic::{AtomicBool, Ordering};
+    use std::sync::Arc;
+    use std::time::{Duration, Instant};
+
+    use ms_core::error::Result;
+    use ms_core::ids::{EpochId, PortId};
+    use ms_core::operator::{DeferredSnapshot, Operator, OperatorContext, OperatorSnapshot};
+    use ms_core::tuple::Fields;
+    use ms_live::{LiveHauCheckpoint, PersistItem, Persister, StableStore};
+
+    const CHUNKS: usize = 64;
+    const CHUNK_BYTES: usize = 1 << 20; // 64 MiB of logical state
+    const LOGICAL: u64 = (CHUNKS * CHUNK_BYTES) as u64;
+
+    fn serialize(chunks: &[Arc<Vec<u8>>], applied: u64) -> OperatorSnapshot {
+        let mut w = SnapshotWriter::with_capacity(CHUNKS * CHUNK_BYTES + 64);
+        w.put_u64(applied);
+        for ch in chunks {
+            w.put_bytes(ch);
+        }
+        OperatorSnapshot {
+            data: w.finish(),
+            logical_bytes: LOGICAL,
+        }
+    }
+
+    struct BigState {
+        chunks: Vec<Arc<Vec<u8>>>,
+        applied: u64,
+    }
+
+    impl BigState {
+        fn new() -> BigState {
+            BigState {
+                chunks: (0..CHUNKS)
+                    .map(|i| Arc::new(vec![i as u8; CHUNK_BYTES]))
+                    .collect(),
+                applied: 0,
+            }
+        }
+    }
+
+    impl Operator for BigState {
+        fn kind(&self) -> &'static str {
+            "BigState"
+        }
+
+        fn on_tuple(&mut self, _p: PortId, t: Tuple, _ctx: &mut dyn OperatorContext) {
+            let chunk = (t.seq as usize) % CHUNKS;
+            let byte = (t.seq as usize) % CHUNK_BYTES;
+            std::hint::black_box(self.chunks[chunk][byte]);
+            self.applied += 1;
+        }
+
+        fn state_size(&self) -> u64 {
+            LOGICAL
+        }
+
+        fn snapshot(&self) -> OperatorSnapshot {
+            serialize(&self.chunks, self.applied)
+        }
+
+        fn snapshot_deferred(&self) -> DeferredSnapshot {
+            let chunks = self.chunks.clone();
+            let applied = self.applied;
+            DeferredSnapshot::Deferred(Box::new(move || serialize(&chunks, applied)))
+        }
+
+        fn restore(&mut self, s: &OperatorSnapshot) -> Result<()> {
+            let mut r = SnapshotReader::new(&s.data);
+            self.applied = r.get_u64()?;
+            Ok(())
+        }
+    }
+
+    struct NullCtx;
+
+    impl OperatorContext for NullCtx {
+        fn emit_fields(&mut self, _port: PortId, _fields: Fields) {}
+        fn emit_all_fields(&mut self, _fields: Fields) {}
+        fn now(&self) -> SimTime {
+            SimTime::ZERO
+        }
+        fn self_id(&self) -> OperatorId {
+            OperatorId(0)
+        }
+        fn rand_f64(&mut self) -> f64 {
+            0.5
+        }
+        fn rand_u64(&mut self) -> u64 {
+            0
+        }
+    }
+
+    /// A store that discards checkpoints after forcing the encoded
+    /// bytes to exist — the bench measures capture + serialization
+    /// contention, not disk bandwidth.
+    struct DevNullStore;
+
+    impl StableStore for DevNullStore {
+        fn put_checkpoint(
+            &self,
+            _epoch: EpochId,
+            _op: OperatorId,
+            ckpt: LiveHauCheckpoint,
+        ) -> Result<bool> {
+            std::hint::black_box(ckpt.snapshot.data.len());
+            Ok(true)
+        }
+        fn get_checkpoint(&self, _epoch: EpochId, _op: OperatorId) -> Option<LiveHauCheckpoint> {
+            None
+        }
+        fn latest_complete(&self) -> Option<EpochId> {
+            None
+        }
+        fn append_log(&self, _source: OperatorId, _t: Tuple) -> Result<()> {
+            Ok(())
+        }
+        fn mark_epoch(&self, _source: OperatorId, _epoch: EpochId, _next_seq: u64) -> Result<()> {
+            Ok(())
+        }
+        fn replay_from(&self, _source: OperatorId, _epoch: EpochId) -> Vec<Tuple> {
+            Vec::new()
+        }
+        fn preserved_tuples(&self) -> usize {
+            0
+        }
+    }
+
+    fn p99(lat: &mut [Duration]) -> Duration {
+        lat.sort_unstable();
+        lat[((lat.len() * 99) / 100).min(lat.len() - 1)]
+    }
+
+    fn apply_one(op: &mut BigState, ctx: &mut NullCtx, seq: u64) -> Duration {
+        let t = Tuple::new(
+            OperatorId(0),
+            seq,
+            SimTime::from_micros(seq),
+            vec![Value::Int(seq as i64)],
+        );
+        let t0 = Instant::now();
+        op.on_tuple(PortId(0), t, ctx);
+        t0.elapsed()
+    }
+
+    // --- The p99 experiment, reported once per bench run. ---
+    let in_flight = Arc::new(AtomicBool::new(false));
+    let hook_flag = Arc::clone(&in_flight);
+    let persister = Persister::spawn_with(
+        Arc::new(DevNullStore),
+        Some(Box::new(move |_, _, _| {
+            hook_flag.store(false, Ordering::SeqCst);
+        })),
+    );
+    let tx = persister.sender();
+    let mut op = BigState::new();
+    let mut ctx = NullCtx;
+    let mut seq = 0u64;
+
+    let mut steady = Vec::with_capacity(50_000);
+    for _ in 0..10_000 {
+        apply_one(&mut op, &mut ctx, seq); // warmup
+        seq += 1;
+    }
+    for _ in 0..50_000 {
+        steady.push(apply_one(&mut op, &mut ctx, seq));
+        seq += 1;
+    }
+
+    let mut during = Vec::with_capacity(200_000);
+    for epoch in 0..16u64 {
+        in_flight.store(true, Ordering::SeqCst);
+        let sent = tx.send(PersistItem {
+            epoch: EpochId(epoch),
+            op: OperatorId(0),
+            snapshot: op.snapshot_deferred(),
+            next_seq: seq,
+            in_flight: Vec::new(),
+            resume_seq: Vec::new(),
+        });
+        assert!(sent.is_ok(), "persister thread died");
+        // Keep streaming while the persister serializes 64 MiB.
+        while in_flight.load(Ordering::SeqCst) && during.len() < 1_000_000 {
+            during.push(apply_one(&mut op, &mut ctx, seq));
+            seq += 1;
+        }
+    }
+    drop(tx);
+    drop(persister);
+
+    let p99_steady = p99(&mut steady);
+    let p99_during = p99(&mut during);
+    eprintln!(
+        "ckpt_stall: p99 tuple latency steady={p99_steady:?} during-64MiB-ckpt={p99_during:?} \
+         ratio={:.2} ({} in-ckpt samples)",
+        p99_during.as_nanos() as f64 / p99_steady.as_nanos().max(1) as f64,
+        during.len(),
+    );
+
+    // --- Criterion timings for the two capture strategies. ---
+    let mut g = c.benchmark_group("ckpt_stall");
+    g.bench_function("deferred_capture_64mb", |b| {
+        b.iter(|| op.snapshot_deferred())
+    });
+    g.sample_size(10);
+    g.bench_function("eager_snapshot_64mb", |b| b.iter(|| op.snapshot()));
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_codec,
@@ -338,6 +557,7 @@ criterion_group!(
     bench_tuple_clone,
     bench_snapshot_presize,
     bench_engine_ablation,
-    bench_wire_throughput
+    bench_wire_throughput,
+    bench_ckpt_stall
 );
 criterion_main!(benches);

@@ -26,6 +26,10 @@ pub enum Error {
     /// `ms_net::SendOutcome::Unreachable` — fail-stop, observable by
     /// the sender, never a silent loss.
     Wire(String),
+    /// Stable storage failed (preservation append, epoch mark, or
+    /// checkpoint write/trim). Surfaced to the controller so the run
+    /// fails visibly instead of aborting the worker process.
+    Storage(String),
 }
 
 impl fmt::Display for Error {
@@ -37,6 +41,7 @@ impl fmt::Display for Error {
             Error::Recovery(m) => write!(f, "recovery error: {m}"),
             Error::NotFound(m) => write!(f, "not found: {m}"),
             Error::Wire(m) => write!(f, "wire error: {m}"),
+            Error::Storage(m) => write!(f, "storage error: {m}"),
         }
     }
 }

@@ -34,6 +34,43 @@ impl OperatorSnapshot {
     }
 }
 
+/// A state capture that may defer serialization off the processing
+/// thread.
+///
+/// `Ready` is the eager form: the bytes were produced inline by
+/// [`Operator::snapshot`]. `Deferred` carries a closure holding cheap
+/// shared handles to the state (typically `Arc` clones) and performs
+/// the serialization only when [`DeferredSnapshot::resolve`] is
+/// called — on the persister thread, not the hot path. This is the
+/// live stand-in for the paper's forked copy-on-write child (§III-B):
+/// the capture is O(handles), the byte-copy happens off-thread.
+pub enum DeferredSnapshot {
+    /// Already-serialized state.
+    Ready(OperatorSnapshot),
+    /// A capture whose serialization is still pending.
+    Deferred(Box<dyn FnOnce() -> OperatorSnapshot + Send>),
+}
+
+impl DeferredSnapshot {
+    /// Produces the serialized snapshot, running the deferred
+    /// serialization if there is one.
+    pub fn resolve(self) -> OperatorSnapshot {
+        match self {
+            DeferredSnapshot::Ready(s) => s,
+            DeferredSnapshot::Deferred(f) => f(),
+        }
+    }
+}
+
+impl std::fmt::Debug for DeferredSnapshot {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DeferredSnapshot::Ready(s) => f.debug_tuple("Ready").field(s).finish(),
+            DeferredSnapshot::Deferred(_) => f.write_str("Deferred(..)"),
+        }
+    }
+}
+
 /// Host-provided services available to an operator while it runs.
 ///
 /// The context hides where the operator executes: the discrete-event
@@ -119,6 +156,16 @@ pub trait Operator: Send {
 
     /// Serializes the operator's full state.
     fn snapshot(&self) -> OperatorSnapshot;
+
+    /// Captures the state for checkpointing, deferring serialization
+    /// off the processing thread when the operator can share its state
+    /// cheaply (e.g. `Arc`-held chunks). The default serializes
+    /// eagerly via [`Operator::snapshot`]; large-state operators
+    /// override this so the host thread resumes processing immediately
+    /// while the persister serializes — the §III-B hot-checkpoint path.
+    fn snapshot_deferred(&self) -> DeferredSnapshot {
+        DeferredSnapshot::Ready(self.snapshot())
+    }
 
     /// Restores state from a snapshot taken by the same operator kind.
     fn restore(&mut self, snapshot: &OperatorSnapshot) -> crate::error::Result<()>;

@@ -11,16 +11,41 @@
 //! source preservation before send, token alignment on fan-in,
 //! individual checkpoints handed to a [`Persister`] — runs unmodified.
 //!
+//! # The alignment window (MS-src+ap)
+//!
+//! Interior hosts cut their checkpoint with a *non-blocking* alignment
+//! window. Once an input has delivered its token for epoch `e`,
+//! further tuples from that input are **buffered, never applied**,
+//! until tokens for `e` have arrived on every live input. At that
+//! point the host:
+//!
+//! 1. captures its state with [`Operator::snapshot_deferred`] — an
+//!    O(handles) capture; serialization happens on the persister
+//!    thread (the live stand-in for the forked COW child of §III-B),
+//! 2. persists the buffered tuples as the **in-flight portion** of the
+//!    checkpoint, together with per-input replay thresholds,
+//! 3. forwards the token and only then applies the buffered tuples.
+//!
+//! Alignment state is kept per epoch (a deque of windows), so a fast
+//! input may deliver the token for `e+1` while `e` is still aligning
+//! without corrupting either cut. Recovery applies the persisted
+//! in-flight tuples before reading any channel, and drops replayed
+//! tuples below the recorded thresholds — each tuple is applied
+//! exactly once even though upstream replay regenerates the captured
+//! channel state.
+//!
 //! Invariant: a host with a `cmd` channel is a *source* and must have
 //! no inputs; a host without one is interior (or a sink) and must have
 //! at least one input.
 
+use std::collections::VecDeque;
 use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{unbounded, Receiver, Select, Sender};
+use ms_core::error::{Error, Result};
 use ms_core::ids::{EpochId, OperatorId, PortId};
-use ms_core::operator::{Operator, OperatorContext};
+use ms_core::operator::{DeferredSnapshot, Operator, OperatorContext};
 use ms_core::time::SimTime;
 use ms_core::tuple::{Fields, Tuple};
 
@@ -47,19 +72,31 @@ pub enum SourceCmd {
 }
 
 /// One persistence work item: an individual checkpoint on its way to
-/// stable storage.
+/// stable storage. The snapshot may still be deferred — the persister
+/// thread resolves (serializes) it off the hot path.
 pub struct PersistItem {
     /// Checkpoint epoch.
     pub epoch: EpochId,
     /// The operator the checkpoint belongs to.
     pub op: OperatorId,
-    /// The serialized state plus stream boundary.
-    pub ckpt: LiveHauCheckpoint,
+    /// The state capture (possibly unserialized).
+    pub snapshot: DeferredSnapshot,
+    /// Next emission sequence at the boundary.
+    pub next_seq: u64,
+    /// The in-flight portion of the cut (input port, tuple).
+    pub in_flight: Vec<(u32, Tuple)>,
+    /// Per-input replay thresholds at the cut.
+    pub resume_seq: Vec<u64>,
 }
+
+/// Called by the persister after each checkpoint write attempt with
+/// the store's verdict: `Ok(complete)` or the storage error.
+pub type DurableHook = Box<dyn Fn(EpochId, OperatorId, &Result<bool>) + Send>;
 
 /// The background persister thread — the live stand-in for the forked
 /// COW child of §III-B. Hosts hand it [`PersistItem`]s over a channel
-/// and keep processing; it writes them to the [`StableStore`]. Dropping
+/// and keep processing; it resolves deferred snapshots (the expensive
+/// serialization) and writes them to the [`StableStore`]. Dropping
 /// the `Persister` closes the channel and joins the thread, so every
 /// queued checkpoint is durable before the owner proceeds.
 pub struct Persister {
@@ -70,10 +107,32 @@ pub struct Persister {
 impl Persister {
     /// Spawns the persister thread over a stable store.
     pub fn spawn(store: Arc<dyn StableStore>) -> Persister {
+        Persister::spawn_with(store, None)
+    }
+
+    /// Spawns the persister with a hook invoked after every write —
+    /// the TCP worker uses it to ack durable checkpoints to the
+    /// controller (`CkptDone`), closing the epoch barrier.
+    pub fn spawn_with(store: Arc<dyn StableStore>, on_durable: Option<DurableHook>) -> Persister {
         let (tx, rx) = unbounded::<PersistItem>();
         let handle = std::thread::spawn(move || {
             while let Ok(item) = rx.recv() {
-                store.put_checkpoint(item.epoch, item.op, item.ckpt);
+                let ckpt = LiveHauCheckpoint {
+                    snapshot: item.snapshot.resolve(),
+                    next_seq: item.next_seq,
+                    in_flight: item.in_flight,
+                    resume_seq: item.resume_seq,
+                };
+                let outcome = store.put_checkpoint(item.epoch, item.op, ckpt);
+                if let Err(e) = &outcome {
+                    eprintln!(
+                        "persister: checkpoint {}/{} not persisted: {e}",
+                        item.epoch, item.op
+                    );
+                }
+                if let Some(hook) = &on_durable {
+                    hook(item.epoch, item.op, &outcome);
+                }
             }
         });
         Persister {
@@ -113,12 +172,32 @@ pub struct HostWiring {
     pub restored_seq: u64,
     /// Preserved tuples to resend before generating (recovery).
     pub replay: Vec<Tuple>,
+    /// Restored per-input replay thresholds: a tuple arriving on input
+    /// `i` with `seq < resume_seq[i]` was already accounted for by the
+    /// restored cut (applied or captured in-flight) and is dropped.
+    /// Empty means no filtering (fresh start).
+    pub resume_seq: Vec<u64>,
+    /// The restored cut's in-flight tuples, applied before any channel
+    /// input is read.
+    pub in_flight: Vec<(u32, Tuple)>,
     /// If true, an exhausted source closes its stream on its own
     /// (first silent tick ⇒ Eos) instead of waiting for an explicit
     /// [`SourceCmd::Stop`]. The in-process runtime keeps this `false`
     /// (its `finish()` drives the stop); the TCP runtime sets it so a
     /// finite stream drains without a controller round-trip.
     pub auto_stop: bool,
+}
+
+/// How a host thread ended: the operator with its final state, plus
+/// the first stable-storage error if one stopped the stream early.
+pub struct HostExit {
+    /// The operator's id.
+    pub op_id: OperatorId,
+    /// The operator with its final state.
+    pub op: Box<dyn Operator>,
+    /// `Some` if the host stopped on a storage failure rather than a
+    /// drained stream.
+    pub error: Option<Error>,
 }
 
 /// Collects emissions inside a host thread.
@@ -153,46 +232,55 @@ impl OperatorContext for LiveCtx {
     }
 }
 
-fn snapshot_of(op: &dyn Operator, next_seq: u64) -> LiveHauCheckpoint {
-    LiveHauCheckpoint {
-        snapshot: op.snapshot(),
-        next_seq,
-    }
+/// One outstanding epoch in the alignment window of an interior host.
+struct Window {
+    epoch: EpochId,
+    /// Which inputs have delivered this epoch's token.
+    tokens: Vec<bool>,
+    /// Tuples that arrived on a tokened input while this epoch was the
+    /// youngest window covering that input — the in-flight portion of
+    /// the cut.
+    buffered: Vec<(u32, Tuple)>,
 }
 
-/// Runs one HAU to completion on the current thread; returns the
-/// operator (with its final state) for inspection by the owner.
+/// Runs one HAU to completion on the current thread; returns a
+/// [`HostExit`] with the operator (and its final state) for inspection
+/// by the owner.
 ///
 /// Sources: drain commands, tick the operator, preserve every emitted
 /// tuple in the stable store *before* sending it (§III-A source
-/// preservation), snapshot + mark + emit a token on
-/// [`SourceCmd::Checkpoint`]. Interior/sink hosts: token-aligned
-/// consumption — once a token has arrived on every live input, take
-/// the individual checkpoint and forward the token downstream.
+/// preservation), mark + snapshot + emit a token on
+/// [`SourceCmd::Checkpoint`]. Interior/sink hosts: non-blocking
+/// token alignment — see the module docs.
 pub fn run_host(
     mut w: HostWiring,
     store: Arc<dyn StableStore>,
     persist: Sender<PersistItem>,
-) -> (OperatorId, Box<dyn Operator>) {
+) -> HostExit {
     let fanout = w.outputs.len();
     let mut next_seq = w.restored_seq;
-    let route =
-        |ctx_emissions: Vec<(PortId, Fields)>, next_seq: &mut u64, preserve: bool| -> bool {
-            for (port, fields) in ctx_emissions {
-                let t = Tuple::new(w.op_id, *next_seq, SimTime::ZERO, fields);
-                *next_seq += 1;
-                if preserve {
-                    // Source preservation: stable storage *before* sending.
-                    store.append_log(w.op_id, t.clone());
-                }
-                if let Some(tx) = w.outputs.get(port.index()) {
-                    if tx.send(HostMsg::Data(t)).is_err() {
-                        return false;
-                    }
+    // Ok(true): keep going; Ok(false): every consumer gone; Err: the
+    // preservation append failed (source must stop streaming).
+    let route = |ctx_emissions: Vec<(PortId, Fields)>,
+                 next_seq: &mut u64,
+                 preserve: bool|
+     -> Result<bool> {
+        for (port, fields) in ctx_emissions {
+            let t = Tuple::new(w.op_id, *next_seq, SimTime::ZERO, fields);
+            *next_seq += 1;
+            if preserve {
+                // Source preservation: stable storage *before* sending.
+                store.append_log(w.op_id, t.clone())?;
+            }
+            if let Some(tx) = w.outputs.get(port.index()) {
+                if tx.send(HostMsg::Data(t)).is_err() {
+                    return Ok(false);
                 }
             }
-            true
-        };
+        }
+        Ok(true)
+    };
+    let mut error: Option<Error> = None;
 
     if let Some(cmd) = w.cmd.take() {
         debug_assert!(w.inputs.is_empty(), "a source host has no inputs");
@@ -218,24 +306,35 @@ pub fn run_host(
         }
         next_seq += replayed;
         let mut stopping = false;
-        let take_checkpoint = |op: &dyn Operator, epoch: EpochId, next_seq: u64| {
-            let ck = snapshot_of(op, next_seq);
+        let take_checkpoint = |op: &dyn Operator, epoch: EpochId, next_seq: u64| -> Result<()> {
+            // The mark is durable before the checkpoint is even
+            // enqueued: an epoch that looks complete on disk always
+            // has its replay boundary.
+            store.mark_epoch(w.op_id, epoch, next_seq)?;
             let _ = persist.send(PersistItem {
                 epoch,
                 op: w.op_id,
-                ckpt: ck,
+                snapshot: op.snapshot_deferred(),
+                next_seq,
+                in_flight: Vec::new(),
+                resume_seq: Vec::new(),
             });
-            store.mark_epoch(w.op_id, epoch, next_seq);
             for tx in &w.outputs {
                 let _ = tx.send(HostMsg::Token(epoch));
             }
+            Ok(())
         };
-        loop {
+        'source: loop {
             // Drain pending controller commands. Stop is graceful: the
             // source finishes its data before the stream closes.
             while let Ok(c) = cmd.try_recv() {
                 match c {
-                    SourceCmd::Checkpoint(epoch) => take_checkpoint(w.op.as_ref(), epoch, next_seq),
+                    SourceCmd::Checkpoint(epoch) => {
+                        if let Err(e) = take_checkpoint(w.op.as_ref(), epoch, next_seq) {
+                            error = Some(e);
+                            break 'source;
+                        }
+                    }
                     SourceCmd::Stop => stopping = true,
                 }
             }
@@ -255,50 +354,128 @@ pub fn run_host(
                 }
                 match cmd.recv() {
                     Ok(SourceCmd::Checkpoint(epoch)) => {
-                        take_checkpoint(w.op.as_ref(), epoch, next_seq)
+                        if let Err(e) = take_checkpoint(w.op.as_ref(), epoch, next_seq) {
+                            error = Some(e);
+                            break;
+                        }
                     }
                     _ => break,
                 }
-            } else if !route(ctx.emissions, &mut next_seq, true) {
-                break;
+            } else {
+                match route(ctx.emissions, &mut next_seq, true) {
+                    Ok(true) => {}
+                    Ok(false) => break,
+                    Err(e) => {
+                        error = Some(e);
+                        break;
+                    }
+                }
             }
         }
         for tx in &w.outputs {
             let _ = tx.send(HostMsg::Eos);
         }
-        return (w.op_id, w.op);
+        return HostExit {
+            op_id: w.op_id,
+            op: w.op,
+            error,
+        };
     }
 
-    // Interior/sink thread: token-aligned consumption.
+    // Interior/sink thread: non-blocking token alignment.
     let n_in = w.inputs.len();
     debug_assert!(n_in > 0, "an interior host has at least one input");
-    let mut token_seen: Vec<Option<EpochId>> = vec![None; n_in];
     let mut eos = vec![false; n_in];
-    loop {
-        // Readable inputs: no unmatched token, not EOS.
-        let pending_epoch = token_seen.iter().flatten().next().copied();
-        let readable: Vec<usize> = (0..n_in)
-            .filter(|&i| !eos[i] && token_seen[i].is_none())
-            .collect();
-        if readable.is_empty() {
-            if let Some(epoch) = pending_epoch {
-                if token_seen.iter().zip(&eos).all(|(t, &e)| t.is_some() || e) {
-                    // All tokens (or EOS) collected: individual
-                    // checkpoint, then forward the token.
-                    let ck = snapshot_of(w.op.as_ref(), next_seq);
-                    let _ = persist.send(PersistItem {
-                        epoch,
-                        op: w.op_id,
-                        ckpt: ck,
-                    });
-                    for tx in &w.outputs {
-                        let _ = tx.send(HostMsg::Token(epoch));
+    // Next expected sequence per input. Seeds the replay filter from
+    // the restored cut; advances as tuples are applied or folded into
+    // a cut's in-flight portion.
+    let mut cut_seq: Vec<u64> = if w.resume_seq.len() == n_in {
+        w.resume_seq.clone()
+    } else {
+        vec![0; n_in]
+    };
+    // Outstanding alignment windows, oldest epoch first.
+    let mut windows: VecDeque<Window> = VecDeque::new();
+
+    macro_rules! apply_tuple {
+        ($port:expr, $t:expr) => {{
+            let t: Tuple = $t;
+            let mut ctx = LiveCtx {
+                op: w.op_id,
+                fanout,
+                emissions: Vec::new(),
+                seed: t.seq ^ 0xA5A5_A5A5,
+            };
+            w.op.on_tuple(PortId($port), t, &mut ctx);
+            route(ctx.emissions, &mut next_seq, false)
+        }};
+    }
+
+    // Recovery: the restored cut's in-flight tuples are applied before
+    // any channel input — they were already inside this HAU at the cut.
+    for (port, t) in std::mem::take(&mut w.in_flight) {
+        let failed = match apply_tuple!(port, t) {
+            Ok(true) => false,
+            Ok(false) => true,
+            Err(e) => {
+                error = Some(e);
+                true
+            }
+        };
+        if failed {
+            for tx in &w.outputs {
+                let _ = tx.send(HostMsg::Eos);
+            }
+            return HostExit {
+                op_id: w.op_id,
+                op: w.op,
+                error,
+            };
+        }
+    }
+
+    'interior: loop {
+        // Cut every leading window whose tokens (or EOS) are complete.
+        while let Some(front) = windows.front() {
+            if !(0..n_in).all(|i| front.tokens[i] || eos[i]) {
+                break;
+            }
+            let win = windows.pop_front().expect("front window");
+            // Fold the in-flight portion into the replay thresholds
+            // *before* recording them: the captured tuples count as
+            // accounted-for by this cut.
+            for (i, t) in &win.buffered {
+                let s = &mut cut_seq[*i as usize];
+                *s = (*s).max(t.seq + 1);
+            }
+            let _ = persist.send(PersistItem {
+                epoch: win.epoch,
+                op: w.op_id,
+                snapshot: w.op.snapshot_deferred(),
+                next_seq,
+                in_flight: win.buffered.clone(),
+                resume_seq: cut_seq.clone(),
+            });
+            for tx in &w.outputs {
+                let _ = tx.send(HostMsg::Token(win.epoch));
+            }
+            // The buffered tuples were only deferred for the cut:
+            // apply them now, ahead of anything still in the channels.
+            for (i, t) in win.buffered {
+                match apply_tuple!(i, t) {
+                    Ok(true) => {}
+                    Ok(false) => break 'interior,
+                    Err(e) => {
+                        error = Some(e);
+                        break 'interior;
                     }
-                    token_seen.fill(None);
-                    continue;
                 }
             }
-            break; // every input at EOS
+        }
+        let readable: Vec<usize> = (0..n_in).filter(|&i| !eos[i]).collect();
+        if readable.is_empty() {
+            // Every input at EOS; any remaining windows were cut above.
+            break;
         }
         let mut sel = Select::new();
         for &i in &readable {
@@ -308,43 +485,59 @@ pub fn run_host(
         let idx = readable[oper.index()];
         match oper.recv(&w.inputs[idx]) {
             Ok(HostMsg::Data(t)) => {
-                let mut ctx = LiveCtx {
-                    op: w.op_id,
-                    fanout,
-                    emissions: Vec::new(),
-                    seed: t.seq ^ 0xA5A5_A5A5,
-                };
-                w.op.on_tuple(PortId(idx as u32), t, &mut ctx);
-                if !route(ctx.emissions, &mut next_seq, false) {
-                    break;
+                // Replay filter: below the threshold means the restored
+                // cut already accounted for this tuple.
+                if t.seq < cut_seq[idx] {
+                    continue;
+                }
+                // Inside an alignment window for this input? Buffer
+                // into the *youngest* window whose token this input has
+                // delivered — the tuple arrived after that token.
+                if let Some(win) = windows.iter_mut().rev().find(|win| win.tokens[idx]) {
+                    win.buffered.push((idx as u32, t));
+                    continue;
+                }
+                cut_seq[idx] = t.seq + 1;
+                match apply_tuple!(idx as u32, t) {
+                    Ok(true) => {}
+                    Ok(false) => break,
+                    Err(e) => {
+                        error = Some(e);
+                        break;
+                    }
                 }
             }
             Ok(HostMsg::Token(epoch)) => {
-                token_seen[idx] = Some(epoch);
-                // Snapshot immediately once all live inputs delivered.
-                if token_seen.iter().zip(&eos).all(|(t, &e)| t.is_some() || e) {
-                    let ck = snapshot_of(w.op.as_ref(), next_seq);
-                    let _ = persist.send(PersistItem {
-                        epoch,
-                        op: w.op_id,
-                        ckpt: ck,
-                    });
-                    for tx in &w.outputs {
-                        let _ = tx.send(HostMsg::Token(epoch));
-                    }
-                    token_seen.fill(None);
+                if let Some(win) = windows.iter_mut().find(|win| win.epoch == epoch) {
+                    win.tokens[idx] = true;
+                } else {
+                    // Tokens ride each edge in epoch order, so a fresh
+                    // epoch opens a new window at the back; the sorted
+                    // insert is defensive.
+                    let at = windows.partition_point(|win| win.epoch < epoch);
+                    let mut tokens = vec![false; n_in];
+                    tokens[idx] = true;
+                    windows.insert(
+                        at,
+                        Window {
+                            epoch,
+                            tokens,
+                            buffered: Vec::new(),
+                        },
+                    );
                 }
             }
             Ok(HostMsg::Eos) | Err(_) => {
                 eos[idx] = true;
             }
         }
-        if eos.iter().all(|&e| e) {
-            break;
-        }
     }
     for tx in &w.outputs {
         let _ = tx.send(HostMsg::Eos);
     }
-    (w.op_id, w.op)
+    HostExit {
+        op_id: w.op_id,
+        op: w.op,
+        error,
+    }
 }

@@ -28,9 +28,9 @@
 //!     } else {
 //!         Box::new(Summer::default())
 //!     }
-//! });
-//! rt.checkpoint();                  // tokens trickle down the graph
-//! let final_ops = rt.finish();      // drain and join
+//! }).unwrap();
+//! rt.checkpoint();                        // tokens trickle down the graph
+//! let final_ops = rt.finish().unwrap();   // drain and join
 //! assert!(final_ops.len() == 2);
 //! ```
 
@@ -40,6 +40,6 @@ pub mod host;
 pub mod protocol;
 pub mod storage;
 
-pub use host::{HostMsg, HostWiring, PersistItem, Persister, SourceCmd};
+pub use host::{DurableHook, HostExit, HostMsg, HostWiring, PersistItem, Persister, SourceCmd};
 pub use protocol::{CountSource, Doubler, LiveRuntime, Summer};
 pub use storage::{LiveHauCheckpoint, LiveStorage, StableStore};

@@ -2,11 +2,13 @@
 //!
 //! Each HAU is one OS thread; streams are bounded crossbeam channels;
 //! checkpoint tokens ride the dataflow. The protocol implemented is
-//! MS-src (§III-A): the controller commands the source HAUs, each
-//! source snapshots and emits a token, every interior HAU blocks
-//! token-bearing inputs until tokens arrived on all inputs, snapshots,
-//! and forwards the token. Snapshot persistence happens on a separate
-//! writer thread — the live stand-in for the forked COW child.
+//! MS-src+ap (§III): the controller commands the source HAUs, each
+//! source snapshots and emits a token, every interior HAU aligns
+//! tokens with a non-blocking per-epoch buffer window (see
+//! [`crate::host`]), snapshots with the buffered tuples as the cut's
+//! in-flight portion, and forwards the token. Snapshot serialization
+//! and persistence happen on a separate writer thread — the live
+//! stand-in for the forked COW child.
 //!
 //! The per-HAU execution loop itself lives in [`crate::host`]; this
 //! module is the single-process deployment of it. `ms-wire` deploys
@@ -17,13 +19,14 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use ms_core::error::{Error, Result};
 use ms_core::graph::QueryNetwork;
 use ms_core::ids::{EpochId, OperatorId, PortId};
 use ms_core::operator::{Operator, OperatorContext, OperatorSnapshot};
 use ms_core::tuple::Tuple;
 use ms_core::value::Value;
 
-use crate::host::{run_host, HostMsg, HostWiring, Persister, SourceCmd};
+use crate::host::{run_host, HostExit, HostMsg, HostWiring, Persister, SourceCmd};
 use crate::storage::{LiveStorage, StableStore};
 
 /// Depth of each inter-host channel (the live stand-in for the
@@ -32,7 +35,7 @@ pub const CHANNEL_DEPTH: usize = 256;
 
 /// A running live deployment.
 pub struct LiveRuntime {
-    handles: Vec<JoinHandle<(OperatorId, Box<dyn Operator>)>>,
+    handles: Vec<JoinHandle<HostExit>>,
     src_cmds: Vec<Sender<SourceCmd>>,
     next_epoch: EpochId,
     persister: Option<Persister>,
@@ -44,18 +47,20 @@ impl LiveRuntime {
         qn: &QueryNetwork,
         storage: Arc<LiveStorage>,
         factory: impl Fn(OperatorId) -> Box<dyn Operator>,
-    ) -> LiveRuntime {
+    ) -> Result<LiveRuntime> {
         Self::launch(qn, storage, factory, None)
     }
 
     /// Restores every operator from `epoch` and replays preserved
     /// source tuples before resuming generation — the recovery path.
+    /// A missing or corrupt individual checkpoint fails the deploy
+    /// here (`Err`), before any thread is spawned.
     pub fn restore(
         qn: &QueryNetwork,
         storage: Arc<LiveStorage>,
         epoch: EpochId,
         factory: impl Fn(OperatorId) -> Box<dyn Operator>,
-    ) -> LiveRuntime {
+    ) -> Result<LiveRuntime> {
         Self::launch(qn, storage, factory, Some(epoch))
     }
 
@@ -64,8 +69,8 @@ impl LiveRuntime {
         storage: Arc<LiveStorage>,
         factory: impl Fn(OperatorId) -> Box<dyn Operator>,
         restore_epoch: Option<EpochId>,
-    ) -> LiveRuntime {
-        qn.validate().expect("valid query network");
+    ) -> Result<LiveRuntime> {
+        qn.validate()?;
         let store: Arc<dyn StableStore> = storage.clone();
         // One channel per edge.
         let mut senders: HashMap<(OperatorId, OperatorId), Sender<HostMsg>> = HashMap::new();
@@ -83,11 +88,16 @@ impl LiveRuntime {
             let mut op = factory(op_id);
             let mut restored_seq = 0;
             let mut replay = Vec::new();
+            let mut resume_seq = Vec::new();
+            let mut in_flight = Vec::new();
             if let Some(epoch) = restore_epoch {
-                if let Some(ck) = store.get_checkpoint(epoch, op_id) {
-                    op.restore(&ck.snapshot).expect("snapshot restores");
-                    restored_seq = ck.next_seq;
-                }
+                let ck = store.get_checkpoint(epoch, op_id).ok_or_else(|| {
+                    Error::Recovery(format!("no checkpoint for {op_id} at {epoch}"))
+                })?;
+                op.restore(&ck.snapshot)?;
+                restored_seq = ck.next_seq;
+                resume_seq = ck.resume_seq;
+                in_flight = ck.in_flight;
                 if qn.upstream(op_id).is_empty() {
                     replay = store.replay_from(op_id, epoch);
                 }
@@ -117,6 +127,8 @@ impl LiveRuntime {
                 cmd,
                 restored_seq,
                 replay,
+                resume_seq,
+                in_flight,
                 auto_stop: false,
             };
             let store = store.clone();
@@ -128,12 +140,12 @@ impl LiveRuntime {
         // Only threads hold the remaining sender clones.
         drop(senders);
 
-        LiveRuntime {
+        Ok(LiveRuntime {
             handles,
             src_cmds,
             next_epoch: restore_epoch.unwrap_or(EpochId::INITIAL),
             persister: Some(persister),
-        }
+        })
     }
 
     /// Initiates an application checkpoint; returns its epoch.
@@ -146,20 +158,29 @@ impl LiveRuntime {
     }
 
     /// Stops the sources, drains the graph, joins every thread and the
-    /// persister; returns the final operators by id.
-    pub fn finish(mut self) -> HashMap<OperatorId, Box<dyn Operator>> {
+    /// persister; returns the final operators by id. `Err` if any host
+    /// stopped on a stable-storage failure (the operators are lost in
+    /// that case — their streams were already cut short).
+    pub fn finish(mut self) -> Result<HashMap<OperatorId, Box<dyn Operator>>> {
         for tx in &self.src_cmds {
             let _ = tx.send(SourceCmd::Stop);
         }
         let mut out = HashMap::new();
+        let mut failure = None;
         for h in self.handles.drain(..) {
-            let (id, op) = h.join().expect("operator thread");
-            out.insert(id, op);
+            let exit = h.join().expect("operator thread");
+            if let Some(e) = exit.error {
+                failure.get_or_insert(e);
+            }
+            out.insert(exit.op_id, exit.op);
         }
         // Dropping the persister closes its queue and joins the
         // thread, so every submitted checkpoint is durable on return.
         drop(self.persister.take());
-        out
+        match failure {
+            Some(e) => Err(e),
+            None => Ok(out),
+        }
     }
 }
 
@@ -329,8 +350,8 @@ mod tests {
     fn pipeline_runs_to_completion() {
         let (qn, s, d, k) = chain();
         let storage = Arc::new(LiveStorage::new(qn.len()));
-        let rt = LiveRuntime::start(&qn, storage, build(s, d, 200));
-        let ops = rt.finish();
+        let rt = LiveRuntime::start(&qn, storage, build(s, d, 200)).unwrap();
+        let ops = rt.finish().unwrap();
         let (sum, count) = sink_sum(&ops, k);
         assert_eq!(count, 200);
         assert_eq!(sum, 2 * (0..200).sum::<i64>());
@@ -341,11 +362,11 @@ mod tests {
         const N: u64 = 100_000;
         let (qn, s, d, k) = chain();
         let storage = Arc::new(LiveStorage::new(qn.len()));
-        let mut rt = LiveRuntime::start(&qn, storage.clone(), build(s, d, N));
+        let mut rt = LiveRuntime::start(&qn, storage.clone(), build(s, d, N)).unwrap();
         // Let some tuples flow, checkpoint mid-stream, keep flowing.
         std::thread::sleep(std::time::Duration::from_millis(5));
         rt.checkpoint();
-        let ops = rt.finish();
+        let ops = rt.finish().unwrap();
         let (ref_sum, ref_count) = sink_sum(&ops, k);
         assert_eq!(ref_count, N, "reference run consumed everything");
 
@@ -358,8 +379,8 @@ mod tests {
         );
         // "Crash" and recover: every operator restored to the MRC, the
         // source replays its preserved tuples and resumes.
-        let rt = LiveRuntime::restore(&qn, storage.clone(), epoch, build(s, d, N));
-        let ops = rt.finish();
+        let rt = LiveRuntime::restore(&qn, storage.clone(), epoch, build(s, d, N)).unwrap();
+        let ops = rt.finish().unwrap();
         let (sum, count) = sink_sum(&ops, k);
         assert_eq!(count, N, "no tuple missed or duplicated");
         assert_eq!(sum, ref_sum);
@@ -369,13 +390,13 @@ mod tests {
     fn multiple_checkpoints_produce_multiple_epochs() {
         let (qn, s, d, _k) = chain();
         let storage = Arc::new(LiveStorage::new(qn.len()));
-        let mut rt = LiveRuntime::start(&qn, storage.clone(), build(s, d, 300));
+        let mut rt = LiveRuntime::start(&qn, storage.clone(), build(s, d, 300)).unwrap();
         std::thread::sleep(std::time::Duration::from_millis(1));
         let e1 = rt.checkpoint();
         std::thread::sleep(std::time::Duration::from_millis(1));
         let e2 = rt.checkpoint();
         assert!(e2 > e1);
-        rt.finish();
+        rt.finish().unwrap();
         assert_eq!(storage.latest_complete(), Some(e2));
     }
 
@@ -397,10 +418,10 @@ mod tests {
                 Box::new(CountSource::new(100))
             }
         };
-        let mut rt = LiveRuntime::start(&qn, storage.clone(), factory);
+        let mut rt = LiveRuntime::start(&qn, storage.clone(), factory).unwrap();
         std::thread::sleep(std::time::Duration::from_millis(1));
         rt.checkpoint();
-        let ops = rt.finish();
+        let ops = rt.finish().unwrap();
         let snap = ops[&k].snapshot();
         let mut r = ms_core::codec::SnapshotReader::new(&snap.data);
         let _sum = r.get_i64().unwrap();
@@ -418,8 +439,8 @@ mod tests {
                 Box::new(CountSource::new(100))
             }
         };
-        let rt = LiveRuntime::restore(&qn, storage, epoch, factory);
-        let ops = rt.finish();
+        let rt = LiveRuntime::restore(&qn, storage, epoch, factory).unwrap();
+        let ops = rt.finish().unwrap();
         let snap = ops[&k].snapshot();
         let mut r = ms_core::codec::SnapshotReader::new(&snap.data);
         let sum = r.get_i64().unwrap();

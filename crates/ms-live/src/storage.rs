@@ -12,6 +12,7 @@
 
 use std::collections::HashMap;
 
+use ms_core::error::Result;
 use ms_core::ids::{EpochId, OperatorId};
 use ms_core::operator::OperatorSnapshot;
 use ms_core::tuple::Tuple;
@@ -27,8 +28,15 @@ use parking_lot::Mutex;
 /// its epoch boundary when it emits the checkpoint token.
 pub trait StableStore: Send + Sync {
     /// Persists one individual checkpoint; returns `true` if `epoch`
-    /// is now complete (every HAU has checkpointed it).
-    fn put_checkpoint(&self, epoch: EpochId, op: OperatorId, ckpt: LiveHauCheckpoint) -> bool;
+    /// is now complete (every HAU has checkpointed it). An `Err` means
+    /// stable storage is unusable — the caller must stop streaming and
+    /// surface the failure, never continue unpreserved.
+    fn put_checkpoint(
+        &self,
+        epoch: EpochId,
+        op: OperatorId,
+        ckpt: LiveHauCheckpoint,
+    ) -> Result<bool>;
 
     /// Reads one individual checkpoint.
     fn get_checkpoint(&self, epoch: EpochId, op: OperatorId) -> Option<LiveHauCheckpoint>;
@@ -37,12 +45,13 @@ pub trait StableStore: Send + Sync {
     fn latest_complete(&self) -> Option<EpochId>;
 
     /// Source preservation: appends an emitted tuple (called *before*
-    /// the tuple is sent downstream).
-    fn append_log(&self, source: OperatorId, t: Tuple);
+    /// the tuple is sent downstream). An `Err` means the tuple is not
+    /// durable and must not be sent.
+    fn append_log(&self, source: OperatorId, t: Tuple) -> Result<()>;
 
     /// Records a source's stream boundary for an epoch: the first
     /// sequence number *after* the checkpoint.
-    fn mark_epoch(&self, source: OperatorId, epoch: EpochId, next_seq: u64);
+    fn mark_epoch(&self, source: OperatorId, epoch: EpochId, next_seq: u64) -> Result<()>;
 
     /// The tuples a source must replay to recover from `epoch`.
     fn replay_from(&self, source: OperatorId, epoch: EpochId) -> Vec<Tuple>;
@@ -51,13 +60,38 @@ pub trait StableStore: Send + Sync {
     fn preserved_tuples(&self) -> usize;
 }
 
-/// One HAU's checkpoint in the live store.
+/// One HAU's checkpoint in the live store: the operator state at the
+/// token cut, plus the in-flight portion of the cut (§III-B).
 #[derive(Clone, Debug)]
 pub struct LiveHauCheckpoint {
     /// The operator snapshot.
     pub snapshot: OperatorSnapshot,
     /// Next emission sequence at the boundary.
     pub next_seq: u64,
+    /// Tuples that were inside the alignment window at cut time: they
+    /// arrived on an input *after* that input's token but before the
+    /// cut, tagged with the input port they arrived on. They are part
+    /// of the cut — restored hosts apply them before reading any
+    /// channel input.
+    pub in_flight: Vec<(u32, Tuple)>,
+    /// Per input port, the first sequence number *not yet* accounted
+    /// for by this checkpoint (applied or captured in `in_flight`).
+    /// On recovery the host drops replayed tuples below this
+    /// threshold, so upstream replay cannot double-apply the captured
+    /// channel state.
+    pub resume_seq: Vec<u64>,
+}
+
+impl LiveHauCheckpoint {
+    /// A checkpoint with no in-flight portion (sources, or tests).
+    pub fn bare(snapshot: OperatorSnapshot, next_seq: u64) -> LiveHauCheckpoint {
+        LiveHauCheckpoint {
+            snapshot,
+            next_seq,
+            in_flight: Vec::new(),
+            resume_seq: Vec::new(),
+        }
+    }
 }
 
 #[derive(Default)]
@@ -88,7 +122,12 @@ impl LiveStorage {
 }
 
 impl StableStore for LiveStorage {
-    fn put_checkpoint(&self, epoch: EpochId, op: OperatorId, ckpt: LiveHauCheckpoint) -> bool {
+    fn put_checkpoint(
+        &self,
+        epoch: EpochId,
+        op: OperatorId,
+        ckpt: LiveHauCheckpoint,
+    ) -> Result<bool> {
         let mut g = self.inner.lock();
         g.ckpts.insert((epoch, op), ckpt);
         let n = g.ckpts.keys().filter(|(e, _)| *e == epoch).count();
@@ -96,7 +135,7 @@ impl StableStore for LiveStorage {
         if complete && !g.complete.contains(&epoch) {
             g.complete.push(epoch);
         }
-        complete
+        Ok(complete)
     }
 
     fn get_checkpoint(&self, epoch: EpochId, op: OperatorId) -> Option<LiveHauCheckpoint> {
@@ -107,17 +146,19 @@ impl StableStore for LiveStorage {
         self.inner.lock().complete.iter().max().copied()
     }
 
-    fn append_log(&self, source: OperatorId, t: Tuple) {
+    fn append_log(&self, source: OperatorId, t: Tuple) -> Result<()> {
         self.inner.lock().logs.entry(source).or_default().push(t);
+        Ok(())
     }
 
-    fn mark_epoch(&self, source: OperatorId, epoch: EpochId, next_seq: u64) {
+    fn mark_epoch(&self, source: OperatorId, epoch: EpochId, next_seq: u64) -> Result<()> {
         self.inner
             .lock()
             .marks
             .entry(source)
             .or_default()
             .push((epoch, next_seq));
+        Ok(())
     }
 
     fn replay_from(&self, source: OperatorId, epoch: EpochId) -> Vec<Tuple> {
@@ -151,13 +192,12 @@ mod tests {
     #[test]
     fn completeness() {
         let s = LiveStorage::new(2);
-        let ck = LiveHauCheckpoint {
-            snapshot: OperatorSnapshot::empty(),
-            next_seq: 0,
-        };
-        assert!(!s.put_checkpoint(EpochId(1), OperatorId(0), ck.clone()));
+        let ck = LiveHauCheckpoint::bare(OperatorSnapshot::empty(), 0);
+        assert!(!s
+            .put_checkpoint(EpochId(1), OperatorId(0), ck.clone())
+            .unwrap());
         assert_eq!(s.latest_complete(), None);
-        assert!(s.put_checkpoint(EpochId(1), OperatorId(1), ck));
+        assert!(s.put_checkpoint(EpochId(1), OperatorId(1), ck).unwrap());
         assert_eq!(s.latest_complete(), Some(EpochId(1)));
     }
 
@@ -165,9 +205,9 @@ mod tests {
     fn log_replay_respects_marks() {
         let s = LiveStorage::new(1);
         for seq in 0..10 {
-            s.append_log(OperatorId(0), tup(seq));
+            s.append_log(OperatorId(0), tup(seq)).unwrap();
         }
-        s.mark_epoch(OperatorId(0), EpochId(1), 6);
+        s.mark_epoch(OperatorId(0), EpochId(1), 6).unwrap();
         let replay = s.replay_from(OperatorId(0), EpochId(1));
         assert_eq!(replay.len(), 4);
         assert_eq!(replay[0].seq, 6);

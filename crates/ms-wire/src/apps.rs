@@ -89,11 +89,24 @@ impl Operator for ThrottledCountSource {
 }
 
 /// Builds the demo query network for a shape name: `chainN` (N ≥ 2
-/// operators in a line) or `diamond` (the paper's five-operator
-/// walkthrough graph, Figs. 6–7).
+/// operators in a line), `diamond` (the paper's five-operator
+/// walkthrough graph, Figs. 6–7), or `fanin` (two independent
+/// source→doubler branches converging on one sink — the shape that
+/// exercises token alignment, because the sink must hold a consistent
+/// cut across inputs that run at different speeds).
 pub fn demo_network(shape: &str) -> Result<QueryNetwork> {
     let mut qn = QueryNetwork::new();
-    if shape == "diamond" {
+    if shape == "fanin" {
+        let s0 = qn.add_operator("src_fast");
+        let s1 = qn.add_operator("src_slow");
+        let d2 = qn.add_operator("dbl_fast");
+        let d3 = qn.add_operator("dbl_slow");
+        let k4 = qn.add_operator("sink");
+        qn.connect(s0, d2)?;
+        qn.connect(s1, d3)?;
+        qn.connect(d2, k4)?;
+        qn.connect(d3, k4)?;
+    } else if shape == "diamond" {
         let s = qn.add_operator("source");
         let a = qn.add_operator("split");
         let b = qn.add_operator("left");
@@ -124,7 +137,27 @@ pub fn demo_network(shape: &str) -> Result<QueryNetwork> {
     Ok(qn)
 }
 
+/// How much slower each successive source runs than the first: the
+/// second source's per-tuple delay is `1 + SOURCE_SKEW` times the
+/// base delay. A multi-source graph therefore always has a fast and
+/// a slow branch, which is what makes fan-in alignment non-trivial.
+pub const SOURCE_SKEW: u64 = 3;
+
+/// Per-tuple delay for a source operator: the base delay scaled by
+/// the source's ordinal among the graph's sources, so the branches of
+/// a fan-in arrive at the merge point out of step. Single-source
+/// shapes get the base delay unchanged.
+pub fn skewed_delay_us(qn: &QueryNetwork, op: OperatorId, base_us: u64) -> u64 {
+    let ordinal = qn.sources().iter().position(|&s| s == op).unwrap_or(0) as u64;
+    base_us * (1 + SOURCE_SKEW * ordinal)
+}
+
 /// Structural operator factory: source / interior / sink by topology.
+///
+/// In graphs with several sources, each source after the first gets a
+/// progressively larger per-tuple delay (see [`skewed_delay_us`]), so
+/// fan-in merges see misaligned inputs. Single-source shapes are
+/// unaffected.
 pub fn build_operator(
     qn: &QueryNetwork,
     op: OperatorId,
@@ -134,7 +167,7 @@ pub fn build_operator(
     if qn.upstream(op).is_empty() {
         Box::new(ThrottledCountSource::new(
             source_limit,
-            Duration::from_micros(source_delay_us),
+            Duration::from_micros(skewed_delay_us(qn, op, source_delay_us)),
         ))
     } else if qn.downstream(op).is_empty() {
         Box::new(Summer::default())
@@ -148,6 +181,13 @@ pub fn build_operator(
 pub fn expected_chain_sum(n_ops: usize, limit: u64) -> i64 {
     let base: i64 = (0..limit as i64).sum();
     base << (n_ops.saturating_sub(2) as u32)
+}
+
+/// The sink answer a failure-free `fanin` run must produce: both
+/// sources emit `0..limit`, each branch doubles once, the sink sums
+/// the two branches — so `4 × Σ 0..limit`, over `2 × limit` tuples.
+pub fn expected_fanin_sum(limit: u64) -> i64 {
+    4 * (0..limit as i64).sum::<i64>()
 }
 
 #[cfg(test)]
@@ -190,8 +230,45 @@ mod tests {
         let diamond = demo_network("diamond").unwrap();
         assert_eq!(diamond.len(), 5);
         assert_eq!(diamond.upstream(OperatorId(4)).len(), 2);
+        let fanin = demo_network("fanin").unwrap();
+        assert_eq!(fanin.len(), 5);
+        assert_eq!(fanin.sources().len(), 2);
+        assert_eq!(fanin.sinks().len(), 1);
+        assert_eq!(fanin.upstream(OperatorId(4)).len(), 2);
         assert!(demo_network("chain1").is_err());
         assert!(demo_network("ring").is_err());
+    }
+
+    #[test]
+    fn fanin_sources_are_skewed() {
+        let qn = demo_network("fanin").unwrap();
+        // First source runs at the base delay, second one slower.
+        assert_eq!(skewed_delay_us(&qn, OperatorId(0), 100), 100);
+        assert_eq!(
+            skewed_delay_us(&qn, OperatorId(1), 100),
+            100 * (1 + SOURCE_SKEW)
+        );
+        // Single-source shapes are unaffected.
+        let chain = demo_network("chain3").unwrap();
+        assert_eq!(skewed_delay_us(&chain, OperatorId(0), 100), 100);
+        // Interior and sink roles are unchanged by multiple sources.
+        assert_eq!(
+            build_operator(&qn, OperatorId(0), 10, 100).kind(),
+            "ThrottledCountSource"
+        );
+        assert_eq!(
+            build_operator(&qn, OperatorId(2), 10, 100).kind(),
+            "Doubler"
+        );
+        assert_eq!(build_operator(&qn, OperatorId(4), 10, 100).kind(), "Summer");
+    }
+
+    #[test]
+    fn fanin_sum_closed_form() {
+        // limit 4: both sources emit 0..4 (sum 6 each), doubled once
+        // per branch, summed at the sink: 4 × 6 = 24 over 8 tuples.
+        assert_eq!(expected_fanin_sum(4), 24);
+        assert_eq!(expected_fanin_sum(0), 0);
     }
 
     #[test]

@@ -4,9 +4,15 @@
 //! The controller is the MS-src control plane in one event loop. It
 //! loads the query network, waits for enough workers to register,
 //! broadcasts an [`Assignment`] (generation 1), then paces checkpoint
-//! tokens on a fixed cadence. Workers heartbeat continuously; a
-//! heartbeat silence longer than the timeout on any worker that hosts
-//! operators is a failure. Recovery is the paper's §IV sequence:
+//! tokens on a fixed cadence — gated by the epoch barrier: epoch
+//! `e+1` tokens are only broadcast once every HAU's epoch-`e`
+//! checkpoint has been acked durable (`CkptDone`), so two epochs'
+//! tokens can never race through the graph no matter how short the
+//! cadence. Workers heartbeat continuously on a dedicated heartbeat
+//! connection; a heartbeat silence longer than the timeout on any
+//! worker that hosts operators is a failure, and a `WorkerError`
+//! report (storage failure, failed deploy) rolls the generation back
+//! without waiting for a timeout. Recovery is the paper's §IV sequence:
 //! broadcast `Rollback` to the survivors, wait briefly for a spare to
 //! register, read the latest *complete* application checkpoint off the
 //! shared stable store, and broadcast a new generation restoring from
@@ -16,7 +22,7 @@
 //! byte-identical to a failure-free run, which the integration test
 //! asserts by diffing the two result files.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 use std::io::Write;
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -111,6 +117,19 @@ enum Event {
         op: OperatorId,
         snapshot: Vec<u8>,
     },
+    /// One HAU's individual checkpoint is durable (the epoch barrier).
+    CkptAck {
+        generation: u64,
+        epoch: EpochId,
+        op: OperatorId,
+    },
+    /// A worker hit a local non-recoverable fault (storage failure,
+    /// failed deploy) but its process is still up.
+    WorkerFault {
+        generation: u64,
+        name: String,
+        detail: String,
+    },
     ConnLost {
         name: String,
     },
@@ -126,9 +145,10 @@ struct Worker {
     has_ops: bool,
 }
 
-/// Per-connection reader: demands `Register` first, then pumps
-/// heartbeats and sink reports into the event queue until the
-/// connection dies.
+/// Per-connection reader: demands `Register` (control connection) or
+/// `HeartbeatHello` (dedicated heartbeat connection) first, then pumps
+/// heartbeats, checkpoint acks, faults, and sink reports into the
+/// event queue until the connection dies.
 fn reader(mut stream: TcpStream, events: Sender<Event>) {
     let name = match recv_msg(&mut stream) {
         Ok(Some(WireMsg::Register { name, data_addr })) => {
@@ -147,6 +167,9 @@ fn reader(mut stream: TcpStream, events: Sender<Event>) {
             }
             name
         }
+        // A heartbeat-only stream: beats are attributed to the worker
+        // registered (on its control connection) under this name.
+        Ok(Some(WireMsg::HeartbeatHello { name })) => name,
         _ => return,
     };
     loop {
@@ -160,6 +183,20 @@ fn reader(mut stream: TcpStream, events: Sender<Event>) {
                 generation,
                 op,
                 snapshot,
+            },
+            Ok(Some(WireMsg::CkptDone {
+                generation,
+                epoch,
+                op,
+            })) => Event::CkptAck {
+                generation,
+                epoch,
+                op,
+            },
+            Ok(Some(WireMsg::WorkerError { generation, detail })) => Event::WorkerFault {
+                generation,
+                name: name.clone(),
+                detail,
             },
             _ => {
                 let _ = events.send(Event::ConnLost { name });
@@ -231,6 +268,14 @@ pub fn run_controller(cfg: ControllerConfig) -> Result<ClusterReport> {
     let mut last_ckpt = Instant::now();
     let mut deployed = false;
     let mut recovering_since: Option<Instant> = None;
+    // The epoch barrier: the epoch whose durable acks are still
+    // outstanding, and the HAUs that acked it so far. While `Some`,
+    // no further checkpoint token is broadcast — epoch `e+1` tokens
+    // only enter the graph once every HAU's epoch-`e` checkpoint is
+    // durable.
+    let mut outstanding: Option<EpochId> = None;
+    let mut acked: HashSet<OperatorId> = HashSet::new();
+    let n_ops_total = qn.len();
     let mut report = ClusterReport {
         recoveries: 0,
         checkpoints: 0,
@@ -277,6 +322,41 @@ pub fn run_controller(cfg: ControllerConfig) -> Result<ClusterReport> {
                 // as the paper's controller does.
                 println!("ms-controller: lost connection to {name}");
             }
+            Event::CkptAck {
+                generation: g,
+                epoch,
+                op,
+            } => {
+                if g == generation && deployed && outstanding == Some(epoch) {
+                    acked.insert(op);
+                    if acked.len() >= n_ops_total {
+                        // Epoch durable everywhere: open the barrier.
+                        outstanding = None;
+                    }
+                }
+            }
+            Event::WorkerFault {
+                generation: g,
+                name,
+                detail,
+            } => {
+                if g == generation && deployed {
+                    // The worker process is healthy — its generation is
+                    // not. Roll back and redeploy, same as a crash but
+                    // without waiting out a heartbeat timeout.
+                    println!("ms-controller: worker {name} reported fault: {detail}");
+                    report.recoveries += 1;
+                    deployed = false;
+                    recovering_since = Some(Instant::now());
+                    report.sink_states.clear();
+                    outstanding = None;
+                    acked.clear();
+                    for w in workers.iter_mut().filter(|w| w.alive) {
+                        let _ = send_msg(&mut w.writer, &WireMsg::Rollback);
+                    }
+                    println!("ms-controller: rolling back generation {generation}");
+                }
+            }
             Event::SinkDone {
                 generation: g,
                 op,
@@ -318,14 +398,22 @@ pub fn run_controller(cfg: ControllerConfig) -> Result<ClusterReport> {
                         deployed = false;
                         recovering_since = Some(now);
                         report.sink_states.clear();
+                        outstanding = None;
+                        acked.clear();
                         for w in workers.iter_mut().filter(|w| w.alive) {
                             let _ = send_msg(&mut w.writer, &WireMsg::Rollback);
                         }
                         println!("ms-controller: rolling back generation {generation}");
-                    } else if now.duration_since(last_ckpt) >= cfg.ckpt_interval {
+                    } else if outstanding.is_none()
+                        && now.duration_since(last_ckpt) >= cfg.ckpt_interval
+                    {
+                        // The barrier is open (previous epoch durable
+                        // on every HAU): the next token may enter.
                         next_epoch = next_epoch.next();
                         report.checkpoints += 1;
                         last_ckpt = now;
+                        outstanding = Some(next_epoch);
+                        acked.clear();
                         for w in workers.iter_mut().filter(|w| w.alive) {
                             let _ = send_msg(&mut w.writer, &WireMsg::Checkpoint(next_epoch));
                         }
@@ -358,6 +446,8 @@ pub fn run_controller(cfg: ControllerConfig) -> Result<ClusterReport> {
                         deploy(&qn, &cfg, generation, restore, &mut workers);
                         deployed = true;
                         last_ckpt = now;
+                        outstanding = None;
+                        acked.clear();
                     }
                 }
             }

@@ -14,7 +14,10 @@
 //!   end-of-stream — the distinction is what lets a consumer hold its
 //!   input open across a peer crash until the controller rolls back.
 //! * **control plane, worker → controller**: [`WireMsg::Register`],
-//!   [`WireMsg::Heartbeat`], [`WireMsg::SinkDone`].
+//!   [`WireMsg::Heartbeat`] (on a dedicated heartbeat connection,
+//!   opened with [`WireMsg::HeartbeatHello`]), [`WireMsg::CkptDone`]
+//!   durable-checkpoint acks (the controller's epoch barrier),
+//!   [`WireMsg::WorkerError`], [`WireMsg::SinkDone`].
 //! * **control plane, controller → worker**: [`WireMsg::Assign`],
 //!   [`WireMsg::Checkpoint`], [`WireMsg::Rollback`],
 //!   [`WireMsg::Shutdown`].
@@ -153,6 +156,38 @@ pub enum WireMsg {
     /// Data plane: graceful end of stream. Only this message ends a
     /// stream; a bare socket close is treated as a failure.
     Eos,
+    /// Worker → controller: one local HAU's individual checkpoint for
+    /// `epoch` is durable in stable storage. The controller only
+    /// broadcasts the next [`WireMsg::Checkpoint`] once every HAU of
+    /// the generation has acked the previous epoch — the barrier that
+    /// keeps the timer-driven ticker from ever having two epochs'
+    /// tokens racing through the graph.
+    CkptDone {
+        /// Generation the checkpoint belongs to (stale acks ignored).
+        generation: u64,
+        /// The acked epoch.
+        epoch: EpochId,
+        /// The HAU whose checkpoint is durable.
+        op: OperatorId,
+    },
+    /// Worker → controller: first message on a *heartbeat* connection.
+    /// Heartbeats ride their own socket so a stalled report write (the
+    /// shared control connection) can never delay liveness signals
+    /// into a spurious failure detection.
+    HeartbeatHello {
+        /// The registered worker this heartbeat stream belongs to.
+        name: String,
+    },
+    /// Worker → controller: a local HAU hit a non-recoverable local
+    /// fault (stable storage unusable, restore failed). The controller
+    /// fails the worker and rolls the generation back; the process
+    /// itself stays up for the next generation.
+    WorkerError {
+        /// Generation the failure occurred in (stale ones ignored).
+        generation: u64,
+        /// Human-readable failure description (logged controller-side).
+        detail: String,
+    },
 }
 
 const TAG_REGISTER: u64 = 1;
@@ -166,6 +201,9 @@ const TAG_STREAM_HELLO: u64 = 8;
 const TAG_DATA: u64 = 9;
 const TAG_TOKEN: u64 = 10;
 const TAG_EOS: u64 = 11;
+const TAG_CKPT_DONE: u64 = 12;
+const TAG_HEARTBEAT_HELLO: u64 = 13;
+const TAG_WORKER_ERROR: u64 = 14;
 
 impl WireMsg {
     /// Encodes the message into a frame payload.
@@ -233,6 +271,24 @@ impl WireMsg {
             WireMsg::Eos => {
                 w.put_u64(TAG_EOS);
             }
+            WireMsg::CkptDone {
+                generation,
+                epoch,
+                op,
+            } => {
+                w.put_u64(TAG_CKPT_DONE)
+                    .put_u64(*generation)
+                    .put_u64(epoch.0)
+                    .put_u64(op.0 as u64);
+            }
+            WireMsg::HeartbeatHello { name } => {
+                w.put_u64(TAG_HEARTBEAT_HELLO).put_str(name);
+            }
+            WireMsg::WorkerError { generation, detail } => {
+                w.put_u64(TAG_WORKER_ERROR)
+                    .put_u64(*generation)
+                    .put_str(detail);
+            }
         }
         w.finish()
     }
@@ -287,6 +343,16 @@ impl WireMsg {
             TAG_DATA => WireMsg::Data(r.get_tuple()?),
             TAG_TOKEN => WireMsg::Token(EpochId(r.get_u64()?)),
             TAG_EOS => WireMsg::Eos,
+            TAG_CKPT_DONE => WireMsg::CkptDone {
+                generation: r.get_u64()?,
+                epoch: EpochId(r.get_u64()?),
+                op: get_op(&mut r)?,
+            },
+            TAG_HEARTBEAT_HELLO => WireMsg::HeartbeatHello { name: r.get_str()? },
+            TAG_WORKER_ERROR => WireMsg::WorkerError {
+                generation: r.get_u64()?,
+                detail: r.get_str()?,
+            },
             other => {
                 return Err(Error::Wire(format!("unknown wire message tag {other}")));
             }
@@ -390,6 +456,16 @@ mod tests {
             )),
             WireMsg::Token(EpochId(3)),
             WireMsg::Eos,
+            WireMsg::CkptDone {
+                generation: 2,
+                epoch: EpochId(5),
+                op: OperatorId(3),
+            },
+            WireMsg::HeartbeatHello { name: "wb".into() },
+            WireMsg::WorkerError {
+                generation: 4,
+                detail: "storage error: disk full".into(),
+            },
         ]
     }
 

@@ -24,13 +24,16 @@
 //! appends at or below it, so the log never holds duplicates and
 //! recovery replay stays exactly-once.
 //!
-//! Failure model: fail-stop. An I/O error on the preservation path
-//! panics the worker — a source that cannot reach stable storage must
-//! not keep streaming, and the controller recovers the crash like any
-//! other. Read paths degrade to "nothing stored". The store assumes
-//! the controller serializes incarnations (a killed worker is dead
-//! before its operators are reassigned); two live writers on one log
-//! are out of scope, as in the paper's single-controller design.
+//! Failure model: fail-stop, surfaced instead of aborted. An I/O
+//! error on the preservation path returns [`Error::Storage`]; the
+//! host stops streaming (a source that cannot reach stable storage
+//! must not keep sending) and the worker reports the failure to the
+//! controller, which recovers it like a crash — without taking the
+//! whole worker process (and its healthy co-located operators) down.
+//! Read paths degrade to "nothing stored". The store assumes the
+//! controller serializes incarnations (a killed worker is dead before
+//! its operators are reassigned); two live writers on one log are out
+//! of scope, as in the paper's single-controller design.
 
 use std::collections::HashMap;
 use std::fs::{self, File, OpenOptions};
@@ -40,7 +43,7 @@ use std::path::{Path, PathBuf};
 use ms_core::codec::{
     frame, FrameDecoder, SnapshotReader, SnapshotWriter, FRAME_HEADER_BYTES, MAX_FRAME_BYTES,
 };
-use ms_core::error::Result;
+use ms_core::error::{Error, Result};
 use ms_core::ids::{EpochId, OperatorId};
 use ms_core::operator::OperatorSnapshot;
 use ms_core::tuple::Tuple;
@@ -150,22 +153,30 @@ fn read_frames(path: &Path) -> Vec<Vec<u8>> {
 }
 
 impl StableStore for FsStore {
-    fn put_checkpoint(&self, epoch: EpochId, op: OperatorId, ckpt: LiveHauCheckpoint) -> bool {
+    fn put_checkpoint(
+        &self,
+        epoch: EpochId,
+        op: OperatorId,
+        ckpt: LiveHauCheckpoint,
+    ) -> Result<bool> {
         let mut w = SnapshotWriter::new();
         w.put_u64(ckpt.next_seq)
             .put_u64(ckpt.snapshot.logical_bytes)
             .put_bytes(&ckpt.snapshot.data);
+        w.put_seq(ckpt.in_flight.iter(), |w, (port, t)| {
+            w.put_u64(*port as u64).put_tuple(t);
+        });
+        w.put_seq(ckpt.resume_seq.iter(), |w, s| {
+            w.put_u64(*s);
+        });
         let tmp = self
             .root
             .join("ckpt")
             .join(format!(".tmp_{}", ckpt_name(epoch, op)));
-        let wrote = fs::write(&tmp, frame(&w.finish()))
-            .and_then(|()| fs::rename(&tmp, self.ckpt_path(epoch, op)));
-        if let Err(e) = wrote {
-            eprintln!("fs-store: checkpoint {epoch}/{op} not persisted: {e}");
-            return false;
-        }
-        self.epoch_counts().get(&epoch.0).copied().unwrap_or(0) >= self.expected
+        fs::write(&tmp, frame(&w.finish()))
+            .and_then(|()| fs::rename(&tmp, self.ckpt_path(epoch, op)))
+            .map_err(|e| Error::Storage(format!("checkpoint {epoch}/{op} not persisted: {e}")))?;
+        Ok(self.epoch_counts().get(&epoch.0).copied().unwrap_or(0) >= self.expected)
     }
 
     fn get_checkpoint(&self, epoch: EpochId, op: OperatorId) -> Option<LiveHauCheckpoint> {
@@ -174,12 +185,18 @@ impl StableStore for FsStore {
         let next_seq = r.get_u64().ok()?;
         let logical_bytes = r.get_u64().ok()?;
         let data = r.get_bytes().ok()?;
+        let in_flight = r
+            .get_seq(|r| Ok((r.get_u64()? as u32, r.get_tuple()?)))
+            .ok()?;
+        let resume_seq = r.get_seq(|r| r.get_u64()).ok()?;
         Some(LiveHauCheckpoint {
             snapshot: OperatorSnapshot {
                 data,
                 logical_bytes,
             },
             next_seq,
+            in_flight,
+            resume_seq,
         })
     }
 
@@ -191,9 +208,9 @@ impl StableStore for FsStore {
             .max()
     }
 
-    fn append_log(&self, source: OperatorId, t: Tuple) {
+    fn append_log(&self, source: OperatorId, t: Tuple) -> Result<()> {
         let mut logs = self.logs.lock();
-        let lw = logs.entry(source).or_insert_with(|| {
+        if let std::collections::hash_map::Entry::Vacant(slot) = logs.entry(source) {
             let path = self.log_path(source);
             // Scan what an earlier incarnation already made durable.
             let bytes = fs::read(&path).unwrap_or_default();
@@ -206,17 +223,20 @@ impl StableStore for FsStore {
                 .create(true)
                 .append(true)
                 .open(&path)
-                .unwrap_or_else(|e| panic!("fs-store: cannot open source log {path:?}: {e}"));
+                .map_err(|e| Error::Storage(format!("cannot open source log {path:?}: {e}")))?;
             if clean < bytes.len() {
                 // Drop the record the crash cut short, so re-appended
-                // frames land on a clean boundary.
+                // frames land on a clean boundary. Failure here leaves
+                // a log whose tail would corrupt every later append —
+                // the source must stop, not stream over it.
                 file.set_len(clean as u64)
-                    .unwrap_or_else(|e| panic!("fs-store: cannot trim torn log {path:?}: {e}"));
+                    .map_err(|e| Error::Storage(format!("cannot trim torn log {path:?}: {e}")))?;
             }
-            LogWriter { file, last_seq }
-        });
+            slot.insert(LogWriter { file, last_seq });
+        }
+        let lw = logs.get_mut(&source).expect("writer just ensured");
         if lw.last_seq.is_some_and(|s| t.seq <= s) {
-            return; // already durable (pre-crash incarnation)
+            return Ok(()); // already durable (pre-crash incarnation)
         }
         let mut w = SnapshotWriter::with_capacity(SnapshotWriter::encoded_tuple_bytes(&t));
         w.put_tuple(&t);
@@ -224,22 +244,21 @@ impl StableStore for FsStore {
         // on a crash, at most a torn tail) — never an interleaving.
         lw.file
             .write_all(&frame(&w.finish()))
-            .unwrap_or_else(|e| panic!("fs-store: source preservation failed for {source}: {e}"));
+            .map_err(|e| Error::Storage(format!("source preservation failed for {source}: {e}")))?;
         lw.last_seq = Some(t.seq);
+        Ok(())
     }
 
-    fn mark_epoch(&self, source: OperatorId, epoch: EpochId, next_seq: u64) {
+    fn mark_epoch(&self, source: OperatorId, epoch: EpochId, next_seq: u64) -> Result<()> {
         let mut w = SnapshotWriter::new();
         w.put_u64(epoch.0).put_u64(next_seq);
         let path = self.marks_path(source);
-        let write = OpenOptions::new()
+        OpenOptions::new()
             .create(true)
             .append(true)
             .open(&path)
-            .and_then(|mut f| f.write_all(&frame(&w.finish())));
-        if let Err(e) = write {
-            panic!("fs-store: epoch mark failed for {source}: {e}");
-        }
+            .and_then(|mut f| f.write_all(&frame(&w.finish())))
+            .map_err(|e| Error::Storage(format!("epoch mark failed for {source}: {e}")))
     }
 
     fn replay_from(&self, source: OperatorId, epoch: EpochId) -> Vec<Tuple> {
@@ -292,13 +311,13 @@ mod tests {
     }
 
     fn ck(next_seq: u64) -> LiveHauCheckpoint {
-        LiveHauCheckpoint {
-            snapshot: OperatorSnapshot {
+        LiveHauCheckpoint::bare(
+            OperatorSnapshot {
                 data: vec![9, 9, 9],
                 logical_bytes: 3,
             },
             next_seq,
-        }
+        )
     }
 
     #[test]
@@ -308,13 +327,40 @@ mod tests {
         // A second handle on the same directory — as a second process
         // would hold.
         let b = FsStore::open(&dir, 2).unwrap();
-        assert!(!a.put_checkpoint(EpochId(1), OperatorId(0), ck(5)));
+        assert!(!a.put_checkpoint(EpochId(1), OperatorId(0), ck(5)).unwrap());
         assert_eq!(b.latest_complete(), None);
-        assert!(b.put_checkpoint(EpochId(1), OperatorId(1), ck(0)));
+        assert!(b.put_checkpoint(EpochId(1), OperatorId(1), ck(0)).unwrap());
         assert_eq!(a.latest_complete(), Some(EpochId(1)));
         let got = b.get_checkpoint(EpochId(1), OperatorId(0)).unwrap();
         assert_eq!(got.next_seq, 5);
         assert_eq!(got.snapshot.data, vec![9, 9, 9]);
+        assert!(got.in_flight.is_empty());
+        assert!(got.resume_seq.is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn in_flight_portion_roundtrips() {
+        let dir = tmpdir("inflight");
+        let s = FsStore::open(&dir, 1).unwrap();
+        let full = LiveHauCheckpoint {
+            snapshot: OperatorSnapshot {
+                data: vec![1, 2],
+                logical_bytes: 2,
+            },
+            next_seq: 44,
+            in_flight: vec![(0, tup(7)), (1, tup(9))],
+            resume_seq: vec![8, 10],
+        };
+        assert!(s.put_checkpoint(EpochId(3), OperatorId(2), full).unwrap());
+        let got = s.get_checkpoint(EpochId(3), OperatorId(2)).unwrap();
+        assert_eq!(got.next_seq, 44);
+        assert_eq!(got.resume_seq, vec![8, 10]);
+        assert_eq!(got.in_flight.len(), 2);
+        assert_eq!(got.in_flight[0].0, 0);
+        assert_eq!(got.in_flight[0].1.seq, 7);
+        assert_eq!(got.in_flight[1].0, 1);
+        assert_eq!(got.in_flight[1].1.seq, 9);
         let _ = fs::remove_dir_all(&dir);
     }
 
@@ -324,15 +370,15 @@ mod tests {
         {
             let s = FsStore::open(&dir, 1).unwrap();
             for seq in 0..10 {
-                s.append_log(OperatorId(0), tup(seq));
+                s.append_log(OperatorId(0), tup(seq)).unwrap();
             }
-            s.mark_epoch(OperatorId(0), EpochId(1), 6);
+            s.mark_epoch(OperatorId(0), EpochId(1), 6).unwrap();
         }
         // "Restarted" incarnation regenerates from scratch: the first
         // ten appends are duplicates and must be skipped.
         let s = FsStore::open(&dir, 1).unwrap();
         for seq in 0..12 {
-            s.append_log(OperatorId(0), tup(seq));
+            s.append_log(OperatorId(0), tup(seq)).unwrap();
         }
         assert_eq!(s.preserved_tuples(), 12);
         let replay = s.replay_from(OperatorId(0), EpochId(1));
@@ -349,7 +395,7 @@ mod tests {
         {
             let s = FsStore::open(&dir, 1).unwrap();
             for seq in 0..5 {
-                s.append_log(OperatorId(0), tup(seq));
+                s.append_log(OperatorId(0), tup(seq)).unwrap();
             }
         }
         // Simulate a SIGKILL mid-append: cut the last record short.
@@ -362,7 +408,7 @@ mod tests {
         // The next incarnation re-appends the torn tuple: seq 4 is
         // above the highest *complete* record, so it must not be
         // dropped by the dedup guard.
-        s.append_log(OperatorId(0), tup(4));
+        s.append_log(OperatorId(0), tup(4)).unwrap();
         assert_eq!(s.replay_from(OperatorId(0), EpochId(0)).len(), 5);
         let _ = fs::remove_dir_all(&dir);
     }
@@ -373,7 +419,7 @@ mod tests {
         let s = FsStore::open(&dir, 1).unwrap();
         fs::write(dir.join("ckpt").join(".tmp_e9_op0.ckpt"), b"junk").unwrap();
         assert_eq!(s.latest_complete(), None);
-        assert!(s.put_checkpoint(EpochId(9), OperatorId(0), ck(1)));
+        assert!(s.put_checkpoint(EpochId(9), OperatorId(0), ck(1)).unwrap());
         assert_eq!(s.latest_complete(), Some(EpochId(9)));
         let _ = fs::remove_dir_all(&dir);
     }

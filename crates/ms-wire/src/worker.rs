@@ -25,6 +25,14 @@
 //!   first marks the generation stale and shuts every data socket,
 //!   which unwinds pumps, then hosts, then the persister — in an order
 //!   chosen so nothing blocks forever.
+//! * The persister acks every durable individual checkpoint to the
+//!   controller (`CkptDone`) — the controller's epoch barrier — and
+//!   surfaces storage failures as `WorkerError` instead of aborting
+//!   the process.
+//! * Heartbeats ride a dedicated TCP connection (`HeartbeatHello`
+//!   handshake), so a stalled report write on the shared control
+//!   socket can never delay liveness signals into a spurious failure
+//!   detection.
 
 use std::collections::HashMap;
 use std::net::{Shutdown, TcpListener, TcpStream};
@@ -166,11 +174,11 @@ impl Run {
 
         // Fallible phase first: build + restore every local operator,
         // resolve every peer address. Nothing is spawned yet.
-        let mut restored = Vec::new(); // (op, operator, restored_seq, replay)
+        let mut restored = Vec::new(); // (op, operator, restored_seq, replay, resume_seq, in_flight)
         for &op in &my_ops {
             let mut operator = build_operator(&qn, op, a.source_limit, a.source_delay_us);
             let is_source = qn.upstream(op).is_empty();
-            let (restored_seq, replay) = match a.restore_epoch {
+            let (restored_seq, replay, resume_seq, in_flight) = match a.restore_epoch {
                 Some(epoch) => {
                     let ck = store.get_checkpoint(epoch, op).ok_or_else(|| {
                         Error::Wire(format!(
@@ -183,13 +191,13 @@ impl Run {
                     } else {
                         Vec::new()
                     };
-                    (ck.next_seq, replay)
+                    (ck.next_seq, replay, ck.resume_seq, ck.in_flight)
                 }
                 // Fresh start: sources regenerate deterministically;
                 // the store's dedup guard keeps the log duplicate-free.
-                None => (0, Vec::new()),
+                None => (0, Vec::new(), Vec::new(), Vec::new()),
             };
-            restored.push((op, operator, restored_seq, replay));
+            restored.push((op, operator, restored_seq, replay, resume_seq, in_flight));
         }
         let mut peer_addr = HashMap::new();
         for &op in &my_ops {
@@ -216,10 +224,33 @@ impl Run {
             }
         }
 
-        let persister = Persister::spawn(store.clone());
+        // Durable-checkpoint acks close the controller's epoch
+        // barrier: the persister reports every write outcome on the
+        // control connection (CkptDone, or WorkerError on a storage
+        // failure). Acks from a torn-down generation are suppressed.
+        let ack_w = ctrl_w.clone();
+        let ack_torn = torn.clone();
+        let hook: ms_live::DurableHook = Box::new(move |epoch, op, outcome| {
+            if ack_torn.load(Ordering::SeqCst) {
+                return;
+            }
+            let msg = match outcome {
+                Ok(_) => WireMsg::CkptDone {
+                    generation,
+                    epoch,
+                    op,
+                },
+                Err(e) => WireMsg::WorkerError {
+                    generation,
+                    detail: e.to_string(),
+                },
+            };
+            let _ = send_msg(&mut *ack_w.lock(), &msg);
+        });
+        let persister = Persister::spawn_with(store.clone(), Some(hook));
         let mut src_cmds = Vec::new();
         let mut hosts = Vec::new();
-        for (op, operator, restored_seq, replay) in restored {
+        for (op, operator, restored_seq, replay, resume_seq, in_flight) in restored {
             let mut inputs = Vec::new();
             for &up in qn.upstream(op) {
                 if is_mine(up) {
@@ -268,6 +299,8 @@ impl Run {
                 cmd,
                 restored_seq,
                 replay,
+                resume_seq,
+                in_flight,
                 auto_stop: true,
             };
             let store = store.clone();
@@ -288,18 +321,27 @@ impl Run {
         let joiner = thread::spawn(move || {
             let mut finals = Vec::new();
             for h in hosts {
-                if let Ok(done) = h.join() {
-                    finals.push(done);
+                if let Ok(exit) = h.join() {
+                    finals.push(exit);
                 }
             }
             drop(persister);
             if !torn_j.load(Ordering::SeqCst) {
-                for (op, operator) in &finals {
-                    if sinks.contains(op) {
+                for exit in &finals {
+                    // A host that stopped on a storage failure is a
+                    // failed HAU, not a finished one: surface it so the
+                    // controller rolls the generation back.
+                    if let Some(e) = &exit.error {
+                        let msg = WireMsg::WorkerError {
+                            generation,
+                            detail: format!("{}: {e}", exit.op_id),
+                        };
+                        let _ = send_msg(&mut *ctrl_w.lock(), &msg);
+                    } else if sinks.contains(&exit.op_id) {
                         let msg = WireMsg::SinkDone {
                             generation,
-                            op: *op,
-                            snapshot: operator.snapshot().data,
+                            op: exit.op_id,
+                            snapshot: exit.op.snapshot().data,
                         };
                         let _ = send_msg(&mut *ctrl_w.lock(), &msg);
                     }
@@ -497,13 +539,25 @@ pub fn run_worker(cfg: WorkerConfig) -> Result<()> {
         },
     )?;
     let ctrl_w = Arc::new(Mutex::new(ctrl.try_clone()?));
-    let hb_w = ctrl_w.clone();
+    // Heartbeats ride a dedicated connection: the shared control
+    // writer can stall behind a large SinkDone/CkptDone while the
+    // controller is busy, and a liveness signal queued behind it would
+    // read as a dead worker. A socket of their own means heartbeat
+    // cadence only ever reflects this process being alive.
+    let mut hb = connect_retry(&ctrl_addr, CONNECT_WAIT)?;
+    hb.set_nodelay(true)?;
+    send_msg(
+        &mut hb,
+        &WireMsg::HeartbeatHello {
+            name: cfg.name.clone(),
+        },
+    )?;
     let hb_shared = shared.clone();
     let hb_interval = cfg.heartbeat_interval;
     let heartbeat = thread::spawn(move || {
         while !hb_shared.stop.load(Ordering::SeqCst) {
             thread::sleep(hb_interval);
-            if send_msg(&mut *hb_w.lock(), &WireMsg::Heartbeat).is_err() {
+            if send_msg(&mut hb, &WireMsg::Heartbeat).is_err() {
                 return;
             }
         }
@@ -517,11 +571,19 @@ pub fn run_worker(cfg: WorkerConfig) -> Result<()> {
                 if let Some(r) = run.take() {
                     r.teardown(&shared);
                 }
+                let generation = a.generation;
                 match Run::start(a, &cfg, &shared, &ctrl_w) {
                     Ok(r) => run = Some(r),
                     Err(e) => {
-                        outcome = Err(e);
-                        break;
+                        // A failed deploy (corrupt checkpoint,
+                        // unreachable store) fails this generation,
+                        // not the daemon: report it and await the
+                        // controller's next assignment.
+                        let msg = WireMsg::WorkerError {
+                            generation,
+                            detail: e.to_string(),
+                        };
+                        let _ = send_msg(&mut *ctrl_w.lock(), &msg);
                     }
                 }
             }

@@ -1,0 +1,199 @@
+//! Fan-in misalignment recovery on a real 3-process cluster.
+//!
+//! The `fanin` shape runs two source→doubler branches into a single
+//! sink, with the second source throttled ~4× slower than the first —
+//! so at every checkpoint the sink's fast input is several tuples and
+//! often a full token ahead of its slow input, and the alignment
+//! window is genuinely holding buffered tuples when the cut is taken.
+//!
+//! Reference run: no failure. Failure run: the worker hosting the
+//! slow branch is SIGKILLed mid-stream once complete application
+//! checkpoints exist. The controller must roll back all five
+//! operators (including the surviving sink, whose buffered alignment
+//! state is discarded with the generation), restore the latest
+//! complete cut — buffered in-flight tuples included — and replay the
+//! preserved source logs. The sink's final state must be
+//! byte-identical to the reference run.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::time::{Duration, Instant};
+
+use ms_core::codec::SnapshotReader;
+use ms_wire::apps::expected_fanin_sum;
+
+const LIMIT: u64 = 4000;
+const DELAY_US: u64 = 300;
+
+/// Kills every still-running child on drop so a failing assert never
+/// leaks processes.
+struct Cluster(Vec<Child>);
+
+impl Cluster {
+    fn push(&mut self, c: Child) -> usize {
+        self.0.push(c);
+        self.0.len() - 1
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        for c in &mut self.0 {
+            let _ = c.kill();
+            let _ = c.wait();
+        }
+    }
+}
+
+fn controller(dir: &Path) -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_ms-controller"));
+    cmd.args(["--store".as_ref(), dir.join("store").as_os_str()])
+        .args(["--addr-file".as_ref(), dir.join("addr").as_os_str()])
+        .args(["--result-file".as_ref(), dir.join("result").as_os_str()])
+        .args(["--workers", "2", "--shape", "fanin"])
+        .args(["--limit", &LIMIT.to_string()])
+        .args(["--delay-us", &DELAY_US.to_string()])
+        .args(["--ckpt-ms", "120", "--hb-timeout-ms", "500"])
+        .args(["--respawn-wait-ms", "3000", "--deadline-secs", "90"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit());
+    cmd
+}
+
+fn worker(dir: &Path, name: &str) -> Command {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_ms-worker"));
+    cmd.args(["--name", name])
+        .args(["--store".as_ref(), dir.join("store").as_os_str()])
+        .args(["--controller-file".as_ref(), dir.join("addr").as_os_str()])
+        .stdout(Stdio::null())
+        .stderr(Stdio::inherit());
+    cmd
+}
+
+fn fresh_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ms_wire_{tag}_{}", std::process::id()));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn wait_exit(child: &mut Child, budget: Duration) -> std::process::ExitStatus {
+    let deadline = Instant::now() + budget;
+    loop {
+        if let Some(status) = child.try_wait().unwrap() {
+            return status;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "process did not exit within {budget:?}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+}
+
+/// Number of *complete* application checkpoints in the store: an
+/// epoch is complete when all five operators have renamed their
+/// checkpoint file into place.
+fn complete_epochs(store: &Path) -> usize {
+    let mut per_epoch = std::collections::HashMap::new();
+    let Ok(entries) = fs::read_dir(store.join("ckpt")) else {
+        return 0;
+    };
+    for e in entries.flatten() {
+        let name = e.file_name().to_string_lossy().into_owned();
+        if let Some(epoch) = name
+            .strip_prefix('e')
+            .and_then(|r| r.split_once("_op"))
+            .and_then(|(e, _)| e.parse::<u64>().ok())
+        {
+            *per_epoch.entry(epoch).or_insert(0usize) += 1;
+        }
+    }
+    per_epoch.values().filter(|&&n| n >= 5).count()
+}
+
+/// `(recoveries line, sink lines)` from a result file.
+fn parse_result(path: &Path) -> (String, Vec<String>) {
+    let text = fs::read_to_string(path).unwrap();
+    let mut lines = text.lines();
+    let recoveries = lines.next().unwrap().to_string();
+    (recoveries, lines.map(str::to_string).collect())
+}
+
+/// Decodes a `sink op{N} {hex}` line into the Summer's `(sum, count)`.
+fn decode_sink(line: &str) -> (i64, u64) {
+    let hex = line.rsplit(' ').next().unwrap();
+    let bytes: Vec<u8> = (0..hex.len())
+        .step_by(2)
+        .map(|i| u8::from_str_radix(&hex[i..i + 2], 16).unwrap())
+        .collect();
+    let mut r = SnapshotReader::new(&bytes);
+    (r.get_i64().unwrap(), r.get_u64().unwrap())
+}
+
+#[test]
+fn fanin_sigkill_slow_branch_recovers_to_identical_answer() {
+    // --- Reference run: no failure. ---
+    let ref_dir = fresh_dir("fanin_ref");
+    let mut cluster = Cluster(Vec::new());
+    let ctl = cluster.push(controller(&ref_dir).spawn().unwrap());
+    cluster.push(worker(&ref_dir, "wa").spawn().unwrap());
+    cluster.push(worker(&ref_dir, "wb").spawn().unwrap());
+    let status = wait_exit(&mut cluster.0[ctl], Duration::from_secs(80));
+    assert!(status.success(), "reference controller failed: {status:?}");
+    let (recoveries, ref_sinks) = parse_result(&ref_dir.join("result"));
+    assert_eq!(recoveries, "recoveries=0");
+    assert_eq!(ref_sinks.len(), 1);
+    drop(cluster);
+
+    // --- Failure run: SIGKILL the slow-branch worker mid-stream. ---
+    let dir = fresh_dir("fanin_kill");
+    let mut cluster = Cluster(Vec::new());
+    let ctl = cluster.push(controller(&dir).spawn().unwrap());
+    // Placement is round-robin over sorted names: op0 (fast source),
+    // op2 (fast doubler) and op4 (sink) → wa; op1 (slow source) and
+    // op3 (slow doubler) → wb. Killing wb severs the slow branch while
+    // the surviving sink holds fast-branch tuples in its alignment
+    // window.
+    cluster.push(worker(&dir, "wa").spawn().unwrap());
+    let victim = cluster.push(worker(&dir, "wb").spawn().unwrap());
+
+    // Let the stream run until at least two application checkpoints
+    // are complete — the recovery then genuinely rolls back a cut
+    // that includes buffered in-flight tuples at the sink.
+    let deadline = Instant::now() + Duration::from_secs(30);
+    while complete_epochs(&dir.join("store")) < 2 {
+        assert!(
+            Instant::now() < deadline,
+            "no complete checkpoint appeared in time"
+        );
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    assert!(
+        !dir.join("result").exists(),
+        "stream finished before the kill; raise --limit"
+    );
+    cluster.0[victim].kill().unwrap(); // SIGKILL on unix
+    let _ = cluster.0[victim].wait();
+    // Spare worker takes the bench.
+    cluster.push(worker(&dir, "wc").spawn().unwrap());
+
+    let status = wait_exit(&mut cluster.0[ctl], Duration::from_secs(80));
+    assert!(status.success(), "recovery controller failed: {status:?}");
+    let (recoveries, sinks) = parse_result(&dir.join("result"));
+    assert_eq!(recoveries, "recoveries=1");
+
+    // The recovered answer is byte-identical to the unfailed run.
+    assert_eq!(sinks, ref_sinks);
+    let (sum, count) = decode_sink(&sinks[0]);
+    assert_eq!(
+        count,
+        2 * LIMIT,
+        "exactly-once violated: lost or duplicated tuples"
+    );
+    assert_eq!(sum, expected_fanin_sum(LIMIT));
+
+    let _ = fs::remove_dir_all(&ref_dir);
+    let _ = fs::remove_dir_all(&dir);
+}

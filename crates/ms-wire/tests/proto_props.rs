@@ -151,4 +151,33 @@ proptest! {
         };
         prop_assert_eq!(WireMsg::decode(&hello.encode()).unwrap(), hello);
     }
+
+    /// Checkpoint-durability acks roundtrip for any generation, epoch
+    /// and operator — the controller's epoch barrier depends on these
+    /// arriving intact.
+    #[test]
+    fn wire_ckpt_done_roundtrip(generation in any::<u64>(), e in any::<u64>(), op in 0u32..1024) {
+        let msg = WireMsg::CkptDone {
+            generation,
+            epoch: EpochId(e),
+            op: OperatorId(op),
+        };
+        prop_assert_eq!(WireMsg::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    /// Heartbeat hellos and worker-error reports roundtrip for any
+    /// printable name and detail strings, including empty ones.
+    #[test]
+    fn wire_fault_channel_roundtrip(
+        name in "[ -~]{0,24}",
+        generation in any::<u64>(),
+        detail in "[ -~]{0,64}",
+    ) {
+        let hb = WireMsg::HeartbeatHello { name };
+        let hb_bytes = hb.encode();
+        prop_assert_eq!(WireMsg::decode(&hb_bytes).unwrap(), hb);
+        let err = WireMsg::WorkerError { generation, detail };
+        let err_bytes = err.encode();
+        prop_assert_eq!(WireMsg::decode(&err_bytes).unwrap(), err);
+    }
 }

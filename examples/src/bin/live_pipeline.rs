@@ -51,11 +51,11 @@ fn main() {
     let storage = Arc::new(LiveStorage::new(qn.len()));
 
     println!("live pipeline: source({N}) -> doubler -> sum, one thread per HAU");
-    let mut rt = LiveRuntime::start(&qn, storage.clone(), factory(s, d));
+    let mut rt = LiveRuntime::start(&qn, storage.clone(), factory(s, d)).expect("deploy");
     std::thread::sleep(std::time::Duration::from_millis(3));
     let epoch = rt.checkpoint();
     println!("checkpoint {epoch} issued while tuples were in flight");
-    let ops = rt.finish();
+    let ops = rt.finish().expect("clean drain");
     let (ref_sum, ref_count) = sink_state(&ops, k);
     println!("reference run: sink consumed {ref_count} tuples, sum = {ref_sum}");
     println!(
@@ -65,8 +65,8 @@ fn main() {
 
     let mrc = storage.latest_complete().expect("complete checkpoint");
     println!("\n-- crash --\nrecovering every HAU from {mrc} and replaying the source log");
-    let rt = LiveRuntime::restore(&qn, storage, mrc, factory(s, d));
-    let ops = rt.finish();
+    let rt = LiveRuntime::restore(&qn, storage, mrc, factory(s, d)).expect("recovery deploy");
+    let ops = rt.finish().expect("clean drain");
     let (sum, count) = sink_state(&ops, k);
     println!("recovered run: sink consumed {count} tuples, sum = {sum}");
     assert_eq!((sum, count), (ref_sum, ref_count));
