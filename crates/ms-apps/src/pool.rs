@@ -5,7 +5,13 @@
 //! batches, camera frames) in an internal pool, then discards them at
 //! a batch boundary (window close, bus arrival, vehicle departure).
 //! [`Pool`] is that structure, with logical-size accounting via the
-//! paper's sampling estimator and codec-based snapshot support.
+//! paper's sampling estimator, codec-based snapshot support, and
+//! dirty tracking for incremental (delta) checkpoints: items mutate
+//! only by appending at the tail and draining at the head, so the
+//! pool tracks the unchanged prefix and reports everything past it as
+//! the per-epoch change set (see `ms_core::delta`).
+
+use std::collections::BTreeMap;
 
 use ms_core::codec::{SnapshotReader, SnapshotWriter};
 use ms_core::error::Result;
@@ -28,9 +34,21 @@ impl StateSize for PoolItem {
 }
 
 /// An accumulating pool of items.
-#[derive(Clone, Debug, Default, PartialEq)]
+#[derive(Clone, Debug, Default)]
 pub struct Pool {
     items: Vec<PoolItem>,
+    /// Leading items unchanged since the last delta capture.
+    stable: usize,
+    /// Item count at the last delta capture.
+    last_len: usize,
+}
+
+impl PartialEq for Pool {
+    /// Pools compare by content only: the dirty-tracking cursors are
+    /// capture-cycle bookkeeping, not state (a restored pool is clean).
+    fn eq(&self, other: &Pool) -> bool {
+        self.items == other.items
+    }
 }
 
 impl Pool {
@@ -67,6 +85,7 @@ impl Pool {
     /// Discards everything.
     pub fn clear(&mut self) {
         self.items.clear();
+        self.stable = 0;
     }
 
     /// Discards all but the `keep` most recent items (BCP keeps a few
@@ -75,6 +94,9 @@ impl Pool {
     pub fn retain_recent(&mut self, keep: usize) {
         if self.items.len() > keep {
             self.items.drain(..self.items.len() - keep);
+            // Survivors shifted down: every index now holds different
+            // content than at the last capture.
+            self.stable = 0;
         }
     }
 
@@ -123,7 +145,72 @@ impl Pool {
             }
             items.push(PoolItem { features, logical });
         }
-        Ok(Pool { items })
+        // A decoded pool is clean: the snapshot it came from is by
+        // definition the last durable capture.
+        let stable = items.len();
+        Ok(Pool {
+            items,
+            stable,
+            last_len: stable,
+        })
+    }
+
+    /// Canonical per-item value bytes for the delta-checkpoint table
+    /// view: the item's logical size, then its tagged feature vector.
+    fn encode_item(item: &PoolItem) -> Vec<u8> {
+        let mut w = SnapshotWriter::with_capacity(18 + 9 * item.features.len());
+        w.put_u64(item.logical);
+        w.put_u64(item.features.len() as u64);
+        for f in &item.features {
+            w.put_f64(*f);
+        }
+        w.finish()
+    }
+
+    /// Decodes one [`Pool::encode_item`] value back into an item.
+    pub(crate) fn decode_item(buf: &[u8]) -> Result<PoolItem> {
+        let mut r = SnapshotReader::new(buf);
+        let logical = r.get_u64()?;
+        let k = r.get_u64()? as usize;
+        let mut features = Vec::with_capacity(k.min(1 << 16));
+        for _ in 0..k {
+            features.push(r.get_f64()?);
+        }
+        Ok(PoolItem { features, logical })
+    }
+
+    /// The canonical key→bytes view of the whole pool (keys are item
+    /// indices), for delta-capable operator snapshots built on
+    /// `ms_core::delta::encode_table`.
+    pub fn table(&self) -> BTreeMap<u64, Vec<u8>> {
+        self.items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| (i as u64, Pool::encode_item(item)))
+            .collect()
+    }
+
+    /// Drains the dirty-tracking cursors into `(changed, removed)` key
+    /// sets relative to the last capture, both in ascending key order;
+    /// the pool is clean afterwards. Items only append at the tail and
+    /// drain at the head, so "changed" is every index past the stable
+    /// prefix and "removed" is every index the pool shrank away.
+    pub fn take_delta(&mut self) -> (Vec<(u64, Vec<u8>)>, Vec<u64>) {
+        let changed = (self.stable..self.items.len())
+            .map(|i| (i as u64, Pool::encode_item(&self.items[i])))
+            .collect();
+        let removed = (self.items.len()..self.last_len)
+            .map(|i| i as u64)
+            .collect();
+        self.mark_clean();
+        (changed, removed)
+    }
+
+    /// Marks the current contents as captured without producing a
+    /// delta (a full snapshot already covers everything).
+    pub fn mark_clean(&mut self) {
+        self.stable = self.items.len();
+        self.last_len = self.items.len();
     }
 }
 
@@ -160,6 +247,49 @@ mod tests {
         assert_eq!(p.items()[0].features, vec![3.0]);
         p.retain_recent(10);
         assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn delta_tracking_reports_tail_and_shrinkage() {
+        let mut p = Pool::new();
+        p.push(vec![1.0], 10);
+        p.push(vec![2.0], 10);
+        let (changed, removed) = p.take_delta();
+        assert_eq!(changed.iter().map(|(k, _)| *k).collect::<Vec<_>>(), [0, 1]);
+        assert!(removed.is_empty());
+        let (changed, removed) = p.take_delta();
+        assert!(
+            changed.is_empty() && removed.is_empty(),
+            "clean after capture"
+        );
+        p.push(vec![3.0], 10);
+        let (changed, removed) = p.take_delta();
+        assert_eq!(changed.iter().map(|(k, _)| *k).collect::<Vec<_>>(), [2]);
+        assert!(removed.is_empty());
+        p.clear();
+        let (changed, removed) = p.take_delta();
+        assert!(changed.is_empty());
+        assert_eq!(removed, [0, 1, 2]);
+    }
+
+    #[test]
+    fn delta_folds_onto_table_snapshot() {
+        use ms_core::delta::{encode_table, fold, StateDelta};
+        let mut p = Pool::new();
+        for i in 0..6 {
+            p.push(vec![i as f64], 100);
+        }
+        let base = encode_table(&p.table());
+        p.mark_clean();
+        p.retain_recent(2);
+        p.push(vec![9.0], 50);
+        let (changed, removed) = p.take_delta();
+        let d = StateDelta {
+            changed,
+            removed,
+            logical_bytes: 0,
+        };
+        assert_eq!(fold(&base, &[d]).unwrap(), encode_table(&p.table()));
     }
 
     #[test]

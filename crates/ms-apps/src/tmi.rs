@@ -16,9 +16,11 @@
 //! * `K` — sink.
 
 use ms_core::codec::{SnapshotReader, SnapshotWriter};
+use ms_core::delta::{decode_table, encode_table, StateDelta};
+use ms_core::error::Error;
 use ms_core::graph::QueryNetwork;
 use ms_core::ids::{OperatorId, PortId};
-use ms_core::operator::{Operator, OperatorContext, OperatorSnapshot};
+use ms_core::operator::{DeferredSnapshot, Operator, OperatorContext, OperatorSnapshot};
 use ms_core::time::SimDuration;
 use ms_core::tuple::Tuple;
 use ms_core::value::Value;
@@ -438,12 +440,24 @@ impl Operator for GroupOp {
 /// K-means: pools grouped batches for the N-minute window, clusters at
 /// the boundary, emits the mode summary, clears the pool. This is
 /// TMI's dynamic HAU (Fig. 5a).
+///
+/// Delta-capable: the snapshot is a canonical `ms_core::delta` table —
+/// one entry per pooled item (key = item index) plus a scalar-state
+/// entry under [`KMEANS_META_KEY`] — so steady pooling epochs persist
+/// only the newly pooled items, not the whole window.
 #[derive(Default)]
 struct KMeansOp {
     window: SimDuration,
     pool: Pool,
     windows_closed: u64,
+    /// `windows_closed` at the last capture (dirty tracking for the
+    /// scalar-state table entry).
+    captured_windows: u64,
 }
+
+/// Table key of the k-means scalar state (`windows_closed`); item keys
+/// count up from zero, so `u64::MAX` can never collide.
+const KMEANS_META_KEY: u64 = u64::MAX;
 
 impl Operator for KMeansOp {
     fn kind(&self) -> &'static str {
@@ -504,19 +518,46 @@ impl Operator for KMeansOp {
     }
 
     fn snapshot(&self) -> OperatorSnapshot {
-        let mut w = SnapshotWriter::new();
-        w.put_u64(self.windows_closed);
-        self.pool.encode(&mut w);
+        let mut table = self.pool.table();
+        table.insert(KMEANS_META_KEY, self.windows_closed.to_le_bytes().to_vec());
         OperatorSnapshot {
-            data: w.finish(),
+            data: encode_table(&table),
             logical_bytes: self.state_size(),
         }
     }
 
+    fn snapshot_delta(&mut self) -> Option<DeferredSnapshot> {
+        let (mut changed, removed) = self.pool.take_delta();
+        if self.windows_closed != self.captured_windows {
+            changed.push((KMEANS_META_KEY, self.windows_closed.to_le_bytes().to_vec()));
+            self.captured_windows = self.windows_closed;
+        }
+        let delta = StateDelta {
+            changed,
+            removed,
+            logical_bytes: self.state_size(),
+        };
+        Some(DeferredSnapshot::Delta(Box::new(move || delta)))
+    }
+
     fn restore(&mut self, s: &OperatorSnapshot) -> ms_core::Result<()> {
-        let mut r = SnapshotReader::new(&s.data);
-        self.windows_closed = r.get_u64()?;
-        self.pool = Pool::decode(&mut r)?;
+        let mut table = decode_table(&s.data)?;
+        let meta = table
+            .remove(&KMEANS_META_KEY)
+            .ok_or_else(|| Error::Codec("k-means snapshot missing scalar state".into()))?;
+        self.windows_closed = u64::from_le_bytes(
+            meta.as_slice()
+                .try_into()
+                .map_err(|_| Error::Codec("k-means scalar state malformed".into()))?,
+        );
+        let mut pool = Pool::new();
+        for value in table.values() {
+            let item = Pool::decode_item(value)?;
+            pool.push(item.features, item.logical);
+        }
+        pool.mark_clean();
+        self.pool = pool;
+        self.captured_windows = self.windows_closed;
         Ok(())
     }
 }
@@ -603,6 +644,73 @@ mod tests {
         let mut fresh = KMeansOp::default();
         fresh.restore(&snap).unwrap();
         assert_eq!(fresh.pool, op.pool);
+    }
+
+    #[test]
+    fn kmeans_deltas_fold_to_full_snapshot() {
+        use ms_core::delta::fold;
+        use ms_core::operator::SnapshotPayload;
+
+        let mut op = KMeansOp {
+            window: SimDuration::from_secs(60),
+            ..KMeansOp::default()
+        };
+        let mut ctx = TestCtx::new(1);
+        let feed = |op: &mut KMeansOp, ctx: &mut TestCtx, range: std::ops::Range<u64>| {
+            for seq in range {
+                let t = Tuple::new(
+                    OperatorId(0),
+                    seq,
+                    ms_core::time::SimTime::ZERO,
+                    vec![Value::Blob {
+                        logical_bytes: 100,
+                        digest: vec![seq as f32],
+                    }],
+                );
+                op.on_tuple(PortId(0), t, ctx);
+            }
+        };
+        feed(&mut op, &mut ctx, 0..20);
+        let base = op.snapshot();
+        // Full capture as chain base: marks the tracker clean the same
+        // way the host does when it persists a full snapshot.
+        let _ = op.snapshot_delta();
+
+        // Epoch 2: steady pooling — the delta is only the new items.
+        feed(&mut op, &mut ctx, 20..25);
+        let Some(d) = op.snapshot_delta() else {
+            panic!("k-means must be delta-capable");
+        };
+        let SnapshotPayload::Delta(d1) = d.resolve() else {
+            panic!("expected a delta payload");
+        };
+        assert_eq!(d1.changed.len(), 5, "only newly pooled items change");
+        assert!(d1.encoded_bytes() * 3 < base.data.len());
+
+        // Epoch 3: the window closes (pool cleared) and refills a bit.
+        op.on_timer(&mut ctx);
+        feed(&mut op, &mut ctx, 25..28);
+        let Some(d) = op.snapshot_delta() else {
+            panic!("k-means must be delta-capable");
+        };
+        let SnapshotPayload::Delta(d2) = d.resolve() else {
+            panic!("expected a delta payload");
+        };
+        assert!(!d2.removed.is_empty(), "window close shrinks the table");
+
+        // Folding the chain rebuilds the epoch-3 full snapshot exactly,
+        // and restoring the fold rebuilds the operator exactly.
+        let folded = fold(&base.data, &[d1, d2]).unwrap();
+        assert_eq!(folded, op.snapshot().data);
+        let mut fresh = KMeansOp::default();
+        fresh
+            .restore(&OperatorSnapshot {
+                data: folded,
+                logical_bytes: 0,
+            })
+            .unwrap();
+        assert_eq!(fresh.pool, op.pool);
+        assert_eq!(fresh.windows_closed, op.windows_closed);
     }
 
     #[test]

@@ -250,8 +250,12 @@ fn bench_engine_ablation(c: &mut Criterion) {
 /// socket: tuples/sec through framed `WireMsg::Data` over loopback TCP
 /// versus the in-process crossbeam channel `ms-live` uses, at 1KB and
 /// 100KB logical payloads. The receiver acks once per batch so every
-/// measurement covers full delivery, not just enqueue.
+/// measurement covers full delivery, not just enqueue. The
+/// `tcp_buffered_*` variants wrap the stream in the same `BufWriter`
+/// (batch-boundary flush) the worker egress pump uses — the before /
+/// after of coalescing small frame writes into one syscall per batch.
 fn bench_wire_throughput(c: &mut Criterion) {
+    use std::io::{BufWriter, Write};
     use std::net::{TcpListener, TcpStream};
 
     use ms_wire::{recv_msg, send_msg, WireMsg};
@@ -309,8 +313,8 @@ fn bench_wire_throughput(c: &mut Criterion) {
                 }
             }
         });
-        // Raw stream, one write per frame — exactly what a worker's
-        // egress pump does.
+        // Raw stream, one write per frame — what the worker's egress
+        // pump did before buffering.
         let mut stream = TcpStream::connect(addr).unwrap();
         stream.set_nodelay(true).unwrap();
         g.bench_function(&format!("tcp_loopback_{label}"), |b| {
@@ -321,7 +325,20 @@ fn bench_wire_throughput(c: &mut Criterion) {
                 ack_rx.recv().unwrap();
             })
         });
-        drop(stream);
+
+        // Buffered stream, flushed once per batch — what the egress
+        // pump does now.
+        let mut buffered = BufWriter::with_capacity(64 * 1024, stream);
+        g.bench_function(&format!("tcp_buffered_{label}"), |b| {
+            b.iter(|| {
+                for _ in 0..BATCH {
+                    send_msg(&mut buffered, &WireMsg::Data(t.clone())).unwrap();
+                }
+                buffered.flush().unwrap();
+                ack_rx.recv().unwrap();
+            })
+        });
+        drop(buffered);
         reader.join().unwrap();
     }
     g.finish();
@@ -344,7 +361,7 @@ fn bench_ckpt_stall(c: &mut Criterion) {
     use ms_core::ids::{EpochId, PortId};
     use ms_core::operator::{DeferredSnapshot, Operator, OperatorContext, OperatorSnapshot};
     use ms_core::tuple::Fields;
-    use ms_live::{LiveHauCheckpoint, PersistItem, Persister, StableStore};
+    use ms_live::{CkptWrite, LiveHauCheckpoint, PersistItem, Persister, StableStore};
 
     const CHUNKS: usize = 64;
     const CHUNK_BYTES: usize = 1 << 20; // 64 MiB of logical state
@@ -440,9 +457,9 @@ fn bench_ckpt_stall(c: &mut Criterion) {
             &self,
             _epoch: EpochId,
             _op: OperatorId,
-            ckpt: LiveHauCheckpoint,
+            ckpt: CkptWrite,
         ) -> Result<bool> {
-            std::hint::black_box(ckpt.snapshot.data.len());
+            std::hint::black_box(ckpt.state.logical_bytes());
             Ok(true)
         }
         fn get_checkpoint(&self, _epoch: EpochId, _op: OperatorId) -> Option<LiveHauCheckpoint> {
@@ -513,6 +530,7 @@ fn bench_ckpt_stall(c: &mut Criterion) {
             epoch: EpochId(epoch),
             op: OperatorId(0),
             snapshot: op.snapshot_deferred(),
+            base: None,
             next_seq: seq,
             in_flight: Vec::new(),
             resume_seq: Vec::new(),

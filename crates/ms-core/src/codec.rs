@@ -237,6 +237,14 @@ impl SnapshotWriter {
 /// to allocate.
 pub const MAX_FRAME_BYTES: usize = 64 << 20;
 
+/// Largest frame payload in a checkpoint *file* (1 GiB). Checkpoint
+/// files are trusted local artifacts written atomically by this very
+/// process family — unlike a TCP peer's bytes — and a full snapshot's
+/// size scales with operator state, so they get a far looser bound
+/// than the wire. Readers of checkpoint files must use
+/// [`FrameDecoder::with_limit`] with this cap.
+pub const MAX_FILE_FRAME_BYTES: usize = 1 << 30;
+
 /// Bytes of framing overhead per frame (the length prefix).
 pub const FRAME_HEADER_BYTES: usize = 4;
 
@@ -304,18 +312,40 @@ pub fn read_frame(r: &mut impl std::io::Read) -> Result<Option<Vec<u8>>> {
 /// [`FrameDecoder::next_frame`]; partial frames stay buffered until
 /// their remaining bytes arrive, so torn reads — down to one byte at a
 /// time — reassemble losslessly.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct FrameDecoder {
     buf: Vec<u8>,
     /// Read cursor into `buf`; consumed bytes are compacted away once
     /// they outnumber the live remainder.
     pos: usize,
+    /// Largest payload this decoder accepts before declaring the
+    /// stream corrupt.
+    limit: usize,
+}
+
+impl Default for FrameDecoder {
+    fn default() -> FrameDecoder {
+        FrameDecoder {
+            buf: Vec::new(),
+            pos: 0,
+            limit: MAX_FRAME_BYTES,
+        }
+    }
 }
 
 impl FrameDecoder {
-    /// Creates an empty decoder.
+    /// Creates an empty decoder with the wire cap ([`MAX_FRAME_BYTES`]).
     pub fn new() -> FrameDecoder {
         FrameDecoder::default()
+    }
+
+    /// Creates an empty decoder accepting payloads up to `limit` bytes
+    /// (e.g. [`MAX_FILE_FRAME_BYTES`] for checkpoint files).
+    pub fn with_limit(limit: usize) -> FrameDecoder {
+        FrameDecoder {
+            limit,
+            ..FrameDecoder::default()
+        }
     }
 
     /// Appends raw bytes from the stream.
@@ -340,7 +370,12 @@ impl FrameDecoder {
             .try_into()
             .expect("header slice");
         let len = u32::from_le_bytes(header) as usize;
-        check_frame_len(len)?;
+        if len > self.limit {
+            return Err(Error::Wire(format!(
+                "frame length {len} exceeds decoder limit {}",
+                self.limit
+            )));
+        }
         if avail < FRAME_HEADER_BYTES + len {
             return Ok(None);
         }
@@ -675,6 +710,21 @@ mod tests {
         let mut dec = FrameDecoder::new();
         dec.feed(&hostile);
         assert!(matches!(dec.next_frame(), Err(Error::Wire(_))));
+    }
+
+    #[test]
+    fn decoder_limit_is_configurable() {
+        // A checkpoint-file reader raises the cap; payloads between
+        // the wire and file caps decode with the loose limit and fail
+        // with the default one.
+        let payload = vec![3u8; 16];
+        let framed = frame(&payload);
+        let mut loose = FrameDecoder::with_limit(16);
+        loose.feed(&framed);
+        assert_eq!(loose.next_frame().unwrap(), Some(payload));
+        let mut tight = FrameDecoder::with_limit(15);
+        tight.feed(&framed);
+        assert!(matches!(tight.next_frame(), Err(Error::Wire(_))));
     }
 
     #[test]

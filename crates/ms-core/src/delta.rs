@@ -1,0 +1,361 @@
+//! Incremental (delta) checkpoint state: canonical key→bytes tables,
+//! per-epoch change sets, and the fold that rebuilds a full snapshot
+//! from a base plus a delta chain.
+//!
+//! The paper's checkpoint cost is dominated by state volume (§IV shows
+//! checkpoint duration scaling linearly with state size), yet most
+//! epochs mutate only a small fraction of a large operator's keys. A
+//! delta-capable operator keeps its state in a canonical *table* —
+//! sorted `u64` keys mapping to opaque value bytes — and per epoch
+//! persists only the keys written or removed since the previous
+//! capture ([`StateDelta`]), with a periodic full snapshot as the
+//! chain's base (the rebase policy lives in the stores).
+//!
+//! Byte-identity is the contract that makes recovery from a chain
+//! indistinguishable from recovery from a full snapshot: a full
+//! snapshot is *defined* as [`encode_table`] of the table, which
+//! serializes entries in ascending key order, so
+//! `fold(base, deltas) == snapshot_at_last_epoch` holds exactly — not
+//! just semantically — and the property test in this module pins it.
+//!
+//! Encoding reuses the tagged snapshot codec with exact pre-sizing:
+//! a table entry is one tagged `u64` key plus one tagged byte string
+//! ([`encoded_entry_bytes`]), and the table is a counted sequence of
+//! entries ([`encoded_table_bytes`]), so writers allocate once.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use crate::codec::{SnapshotReader, SnapshotWriter};
+use crate::error::Result;
+
+/// The changes one epoch made to a canonical state table, relative to
+/// the previous capture (the delta's *base*).
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct StateDelta {
+    /// Keys written since the base, with their new value bytes, in
+    /// ascending key order.
+    pub changed: Vec<(u64, Vec<u8>)>,
+    /// Keys removed since the base, in ascending order. Removing a key
+    /// absent from the folded base is a no-op.
+    pub removed: Vec<u64>,
+    /// The operator's logical state size at capture time (what a full
+    /// snapshot's `logical_bytes` would have been).
+    pub logical_bytes: u64,
+}
+
+impl StateDelta {
+    /// Encoded size of this delta's payload (changed table + removed
+    /// list + logical size), for exact pre-sizing.
+    pub fn encoded_bytes(&self) -> usize {
+        // logical_bytes + counted changed entries + counted removed keys.
+        9 + encoded_table_bytes(self.changed.iter().map(|(_, v)| v.len()))
+            + 9
+            + 9 * self.removed.len()
+    }
+
+    /// Writes the delta payload (logical size, changed entries,
+    /// removed keys) into `w`.
+    pub fn encode_into(&self, w: &mut SnapshotWriter) {
+        w.put_u64(self.logical_bytes);
+        w.put_seq(self.changed.iter(), |w, (k, v)| {
+            w.put_u64(*k).put_bytes(v);
+        });
+        w.put_seq(self.removed.iter(), |w, k| {
+            w.put_u64(*k);
+        });
+    }
+
+    /// Reads a delta payload written by [`StateDelta::encode_into`].
+    pub fn decode_from(r: &mut SnapshotReader<'_>) -> Result<StateDelta> {
+        let logical_bytes = r.get_u64()?;
+        let changed = r.get_seq(|r| Ok((r.get_u64()?, r.get_bytes()?)))?;
+        let removed = r.get_seq(|r| r.get_u64())?;
+        Ok(StateDelta {
+            changed,
+            removed,
+            logical_bytes,
+        })
+    }
+}
+
+/// Encoded size of one table entry: a tagged `u64` key (9 bytes) plus
+/// a tagged byte string (9 + len).
+pub fn encoded_entry_bytes(value_len: usize) -> usize {
+    18 + value_len
+}
+
+/// Encoded size of a whole table: the counted sequence header plus
+/// every entry. Exact — [`encode_table`] produces precisely this many
+/// bytes.
+pub fn encoded_table_bytes(value_lens: impl Iterator<Item = usize>) -> usize {
+    9 + value_lens.map(encoded_entry_bytes).sum::<usize>()
+}
+
+/// Serializes a table canonically: a counted sequence of
+/// `(key, value bytes)` entries in ascending key order (`BTreeMap`
+/// iteration order). This *is* the full-snapshot byte format of every
+/// delta-capable operator.
+pub fn encode_table(table: &BTreeMap<u64, Vec<u8>>) -> Vec<u8> {
+    let mut w = SnapshotWriter::with_capacity(encoded_table_bytes(table.values().map(Vec::len)));
+    w.put_seq(table.iter(), |w, (k, v)| {
+        w.put_u64(*k).put_bytes(v);
+    });
+    w.finish()
+}
+
+/// Decodes a canonical table written by [`encode_table`].
+pub fn decode_table(buf: &[u8]) -> Result<BTreeMap<u64, Vec<u8>>> {
+    let mut r = SnapshotReader::new(buf);
+    let entries = r.get_seq(|r| Ok((r.get_u64()?, r.get_bytes()?)))?;
+    Ok(entries.into_iter().collect())
+}
+
+/// Applies one delta to a decoded table in place.
+pub fn apply_delta(table: &mut BTreeMap<u64, Vec<u8>>, delta: &StateDelta) {
+    for (k, v) in &delta.changed {
+        table.insert(*k, v.clone());
+    }
+    for k in &delta.removed {
+        table.remove(k);
+    }
+}
+
+/// Folds a delta chain onto a full-snapshot base: decodes `base`,
+/// applies every delta oldest-first, and re-encodes canonically. The
+/// result is byte-identical to the full snapshot the operator would
+/// have produced at the last delta's epoch.
+pub fn fold(base: &[u8], deltas: &[StateDelta]) -> Result<Vec<u8>> {
+    let mut table = decode_table(base)?;
+    for d in deltas {
+        apply_delta(&mut table, d);
+    }
+    Ok(encode_table(&table))
+}
+
+/// A dirty-tracking canonical state table — the building block for
+/// delta-capable operators. Mutations mark keys; [`DeltaTable::take_delta`]
+/// drains the marks into a [`StateDelta`]; [`DeltaTable::snapshot`]
+/// serializes the full table in the canonical format the fold rebuilds.
+#[derive(Clone, Debug, Default)]
+pub struct DeltaTable {
+    entries: BTreeMap<u64, Vec<u8>>,
+    dirty: BTreeSet<u64>,
+    removed: BTreeSet<u64>,
+}
+
+impl PartialEq for DeltaTable {
+    /// Tables compare by content only: dirty marks are capture-cycle
+    /// bookkeeping, not state (a restored table is clean).
+    fn eq(&self, other: &DeltaTable) -> bool {
+        self.entries == other.entries
+    }
+}
+
+impl DeltaTable {
+    /// Creates an empty, clean table.
+    pub fn new() -> DeltaTable {
+        DeltaTable::default()
+    }
+
+    /// Rebuilds a table from canonical snapshot bytes. The result is
+    /// clean: the snapshot is by definition the last durable capture.
+    pub fn restore(buf: &[u8]) -> Result<DeltaTable> {
+        Ok(DeltaTable {
+            entries: decode_table(buf)?,
+            dirty: BTreeSet::new(),
+            removed: BTreeSet::new(),
+        })
+    }
+
+    /// Value bytes for a key.
+    pub fn get(&self, key: u64) -> Option<&[u8]> {
+        self.entries.get(&key).map(Vec::as_slice)
+    }
+
+    /// Inserts or overwrites a key, marking it dirty.
+    pub fn insert(&mut self, key: u64, value: Vec<u8>) {
+        self.removed.remove(&key);
+        self.dirty.insert(key);
+        self.entries.insert(key, value);
+    }
+
+    /// Removes a key, recording the removal for the next delta.
+    pub fn remove(&mut self, key: u64) -> Option<Vec<u8>> {
+        let prev = self.entries.remove(&key);
+        self.dirty.remove(&key);
+        // Recorded even if the key was never present here: removing an
+        // absent key is a no-op when the chain is folded.
+        self.removed.insert(key);
+        prev
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the table holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of keys the next [`DeltaTable::take_delta`] would carry.
+    pub fn pending_changes(&self) -> usize {
+        self.dirty.len() + self.removed.len()
+    }
+
+    /// Iterates live entries in ascending key order.
+    pub fn iter(&self) -> impl Iterator<Item = (u64, &[u8])> {
+        self.entries.iter().map(|(k, v)| (*k, v.as_slice()))
+    }
+
+    /// Sum of value lengths (a cheap logical-size building block).
+    pub fn value_bytes(&self) -> u64 {
+        self.entries.values().map(|v| v.len() as u64).sum()
+    }
+
+    /// Exact size of [`DeltaTable::snapshot`]'s output.
+    pub fn encoded_bytes(&self) -> usize {
+        encoded_table_bytes(self.entries.values().map(Vec::len))
+    }
+
+    /// Serializes the full table canonically (see [`encode_table`]).
+    pub fn snapshot(&self) -> Vec<u8> {
+        encode_table(&self.entries)
+    }
+
+    /// Drains the dirty/removed marks into a [`StateDelta`] relative
+    /// to the previous capture; the table is clean afterwards.
+    pub fn take_delta(&mut self, logical_bytes: u64) -> StateDelta {
+        let changed = std::mem::take(&mut self.dirty)
+            .into_iter()
+            .filter_map(|k| self.entries.get(&k).map(|v| (k, v.clone())))
+            .collect();
+        let removed = std::mem::take(&mut self.removed).into_iter().collect();
+        StateDelta {
+            changed,
+            removed,
+            logical_bytes,
+        }
+    }
+
+    /// Clears the dirty/removed marks without producing a delta (used
+    /// when a capture falls back to a full snapshot: the snapshot
+    /// already covers everything).
+    pub fn mark_clean(&mut self) {
+        self.dirty.clear();
+        self.removed.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn val(tag: u64, len: usize) -> Vec<u8> {
+        (0..len).map(|i| ((tag as usize + i) % 251) as u8).collect()
+    }
+
+    #[test]
+    fn table_roundtrip_is_canonical() {
+        let mut t = DeltaTable::new();
+        t.insert(5, val(5, 10));
+        t.insert(1, val(1, 3));
+        t.insert(9, val(9, 0));
+        let bytes = t.snapshot();
+        assert_eq!(bytes.len(), t.encoded_bytes());
+        let back = DeltaTable::restore(&bytes).unwrap();
+        assert_eq!(back, t);
+        // Insertion order cannot matter: same content, same bytes.
+        let mut u = DeltaTable::new();
+        u.insert(9, val(9, 0));
+        u.insert(5, val(5, 10));
+        u.insert(1, val(1, 3));
+        assert_eq!(u.snapshot(), bytes);
+    }
+
+    #[test]
+    fn delta_payload_roundtrips_with_exact_size() {
+        let d = StateDelta {
+            changed: vec![(2, val(2, 7)), (4, val(4, 1))],
+            removed: vec![3, 8],
+            logical_bytes: 123,
+        };
+        let mut w = SnapshotWriter::with_capacity(d.encoded_bytes());
+        d.encode_into(&mut w);
+        let bytes = w.finish();
+        assert_eq!(bytes.len(), d.encoded_bytes());
+        let back = StateDelta::decode_from(&mut SnapshotReader::new(&bytes)).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn fold_matches_full_snapshot() {
+        let mut t = DeltaTable::new();
+        for k in 0..20u64 {
+            t.insert(k, val(k, (k % 5) as usize));
+        }
+        let base = t.snapshot();
+        t.mark_clean();
+        let mut deltas = Vec::new();
+        // Epoch 1: overwrite a few, remove one.
+        t.insert(3, val(33, 9));
+        t.insert(19, val(40, 2));
+        t.remove(7);
+        deltas.push(t.take_delta(0));
+        // Epoch 2: re-insert the removed key, remove an absent key.
+        t.insert(7, val(77, 4));
+        t.remove(100);
+        deltas.push(t.take_delta(0));
+        let folded = fold(&base, &deltas).unwrap();
+        assert_eq!(folded, t.snapshot());
+    }
+
+    #[test]
+    fn take_delta_drains_marks() {
+        let mut t = DeltaTable::new();
+        t.insert(1, vec![1]);
+        t.remove(2);
+        assert_eq!(t.pending_changes(), 2);
+        let d = t.take_delta(5);
+        assert_eq!(d.changed, vec![(1, vec![1])]);
+        assert_eq!(d.removed, vec![2]);
+        assert_eq!(d.logical_bytes, 5);
+        assert_eq!(t.pending_changes(), 0);
+        assert_eq!(
+            t.take_delta(5),
+            StateDelta {
+                logical_bytes: 5,
+                ..StateDelta::default()
+            }
+        );
+    }
+
+    #[test]
+    fn insert_after_remove_is_a_change_not_a_removal() {
+        let mut t = DeltaTable::new();
+        t.insert(4, vec![9]);
+        t.mark_clean();
+        t.remove(4);
+        t.insert(4, vec![8]);
+        let d = t.take_delta(0);
+        assert_eq!(d.changed, vec![(4, vec![8])]);
+        assert!(d.removed.is_empty());
+    }
+
+    #[test]
+    fn dirty_key_later_removed_is_a_removal_only() {
+        let mut t = DeltaTable::new();
+        t.insert(6, vec![1]);
+        t.remove(6);
+        let d = t.take_delta(0);
+        assert!(d.changed.is_empty());
+        assert_eq!(d.removed, vec![6]);
+    }
+
+    #[test]
+    fn hostile_table_bytes_error_not_panic() {
+        assert!(decode_table(&[0xFF; 16]).is_err());
+        assert!(DeltaTable::restore(b"junk").is_err());
+    }
+}

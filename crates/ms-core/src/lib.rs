@@ -17,6 +17,8 @@
 //!   engines.
 //! * [`graph`] — query networks (directed acyclic operator graphs) and
 //!   HAU-level views of them.
+//! * [`delta`] — incremental checkpoint state: canonical key→bytes
+//!   tables, per-epoch change sets, and the base+delta-chain fold.
 //! * [`config`] — cluster, scheme and experiment configuration.
 //! * [`metrics`] — counters, histograms and time series used by the
 //!   evaluation harness.
@@ -29,6 +31,7 @@
 
 pub mod codec;
 pub mod config;
+pub mod delta;
 pub mod error;
 pub mod graph;
 pub mod ids;

@@ -6,9 +6,79 @@
 //! (Figs. 14, 16), and state-size traces (Fig. 5). These types collect
 //! exactly those quantities.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 use serde::{Deserialize, Serialize};
 
 use crate::time::{SimDuration, SimTime};
+
+/// A point-in-time reading of one worker's backpressure state: how
+/// much input is queued ahead of its hosts and how much the alignment
+/// windows are holding back. Rising queue depths or window occupancy
+/// are the early signal of a stalled stage — visible in the heartbeat
+/// long before the stall degrades into a timeout-detected failure.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BackpressureGauges {
+    /// Tuples sitting unread in host input channels.
+    pub queued_tuples: u64,
+    /// Alignment windows currently open (epochs mid-alignment).
+    pub open_windows: u64,
+    /// Tuples buffered inside open alignment windows (arrived after a
+    /// token, held back until the epoch cuts).
+    pub window_tuples: u64,
+}
+
+impl BackpressureGauges {
+    /// Field-wise sum — aggregates per-host readings into a worker
+    /// total.
+    pub fn merge(&self, other: &BackpressureGauges) -> BackpressureGauges {
+        BackpressureGauges {
+            queued_tuples: self.queued_tuples + other.queued_tuples,
+            open_windows: self.open_windows + other.open_windows,
+            window_tuples: self.window_tuples + other.window_tuples,
+        }
+    }
+}
+
+/// Lock-free gauge set a host thread updates as it runs and a
+/// heartbeat thread samples concurrently. One meter per host; the
+/// worker merges the snapshots (see [`BackpressureGauges::merge`]).
+#[derive(Debug, Default)]
+pub struct BackpressureMeter {
+    queued_tuples: AtomicU64,
+    open_windows: AtomicU64,
+    window_tuples: AtomicU64,
+}
+
+impl BackpressureMeter {
+    /// Creates a zeroed meter.
+    pub fn new() -> BackpressureMeter {
+        BackpressureMeter::default()
+    }
+
+    /// Records the current input-queue depth (tuples unread across the
+    /// host's input channels).
+    pub fn set_queue_depth(&self, tuples: u64) {
+        self.queued_tuples.store(tuples, Ordering::Relaxed);
+    }
+
+    /// Records the alignment-window occupancy: open windows and the
+    /// tuples buffered inside them.
+    pub fn set_window_occupancy(&self, open: u64, buffered: u64) {
+        self.open_windows.store(open, Ordering::Relaxed);
+        self.window_tuples.store(buffered, Ordering::Relaxed);
+    }
+
+    /// A consistent-enough point-in-time reading (each gauge is read
+    /// atomically; the set is advisory, not transactional).
+    pub fn sample(&self) -> BackpressureGauges {
+        BackpressureGauges {
+            queued_tuples: self.queued_tuples.load(Ordering::Relaxed),
+            open_windows: self.open_windows.load(Ordering::Relaxed),
+            window_tuples: self.window_tuples.load(Ordering::Relaxed),
+        }
+    }
+}
 
 /// Streaming summary of a sequence of duration samples.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
@@ -279,6 +349,27 @@ impl RunMetrics {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn backpressure_meter_samples_and_merges() {
+        let m = BackpressureMeter::new();
+        assert_eq!(m.sample(), BackpressureGauges::default());
+        m.set_queue_depth(12);
+        m.set_window_occupancy(2, 7);
+        let a = m.sample();
+        assert_eq!(a.queued_tuples, 12);
+        assert_eq!(a.open_windows, 2);
+        assert_eq!(a.window_tuples, 7);
+        let b = BackpressureGauges {
+            queued_tuples: 3,
+            open_windows: 1,
+            window_tuples: 0,
+        };
+        let merged = a.merge(&b);
+        assert_eq!(merged.queued_tuples, 15);
+        assert_eq!(merged.open_windows, 3);
+        assert_eq!(merged.window_tuples, 7);
+    }
 
     #[test]
     fn duration_stats() {

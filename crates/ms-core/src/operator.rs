@@ -7,6 +7,7 @@
 //! parallelism in the system comes from running many operators on many
 //! nodes, so the trait is deliberately `&mut self` and dyn-safe.
 
+use crate::delta::StateDelta;
 use crate::ids::{OperatorId, PortId};
 use crate::state::StateSize;
 use crate::time::{SimDuration, SimTime};
@@ -49,15 +50,32 @@ pub enum DeferredSnapshot {
     Ready(OperatorSnapshot),
     /// A capture whose serialization is still pending.
     Deferred(Box<dyn FnOnce() -> OperatorSnapshot + Send>),
+    /// An *incremental* capture: only the keys changed or removed
+    /// since the operator's previous capture, serialized lazily like
+    /// `Deferred`. Only operators whose full snapshot is a canonical
+    /// [`crate::delta::encode_table`] table may produce this — the
+    /// store folds the chain back into exactly those bytes.
+    Delta(Box<dyn FnOnce() -> StateDelta + Send>),
+}
+
+/// What a resolved capture turned out to be: a full snapshot, or a
+/// delta relative to the operator's previous capture.
+#[derive(Debug)]
+pub enum SnapshotPayload {
+    /// Complete serialized state.
+    Full(OperatorSnapshot),
+    /// Changes since the previous capture.
+    Delta(StateDelta),
 }
 
 impl DeferredSnapshot {
-    /// Produces the serialized snapshot, running the deferred
+    /// Produces the capture's payload, running the deferred
     /// serialization if there is one.
-    pub fn resolve(self) -> OperatorSnapshot {
+    pub fn resolve(self) -> SnapshotPayload {
         match self {
-            DeferredSnapshot::Ready(s) => s,
-            DeferredSnapshot::Deferred(f) => f(),
+            DeferredSnapshot::Ready(s) => SnapshotPayload::Full(s),
+            DeferredSnapshot::Deferred(f) => SnapshotPayload::Full(f()),
+            DeferredSnapshot::Delta(f) => SnapshotPayload::Delta(f()),
         }
     }
 }
@@ -67,6 +85,7 @@ impl std::fmt::Debug for DeferredSnapshot {
         match self {
             DeferredSnapshot::Ready(s) => f.debug_tuple("Ready").field(s).finish(),
             DeferredSnapshot::Deferred(_) => f.write_str("Deferred(..)"),
+            DeferredSnapshot::Delta(_) => f.write_str("Delta(..)"),
         }
     }
 }
@@ -165,6 +184,25 @@ pub trait Operator: Send {
     /// while the persister serializes — the §III-B hot-checkpoint path.
     fn snapshot_deferred(&self) -> DeferredSnapshot {
         DeferredSnapshot::Ready(self.snapshot())
+    }
+
+    /// Captures only the state changed since this operator's *previous*
+    /// capture, for incremental checkpointing. `None` (the default)
+    /// means the operator does not track dirty state and the host falls
+    /// back to [`Operator::snapshot_deferred`].
+    ///
+    /// Contract for implementors:
+    /// * [`Operator::snapshot`] must serialize the full state as a
+    ///   canonical [`crate::delta::encode_table`] table, so folding a
+    ///   base + delta chain is byte-identical to a full snapshot.
+    /// * A successful call transfers the dirty set into the returned
+    ///   capture and leaves the tracker clean (hence `&mut self`); the
+    ///   host guarantees the previous capture is durably ordered before
+    ///   this one (the persister is a FIFO).
+    /// * [`Operator::restore`] must reset the tracker to clean — a
+    ///   restored snapshot *is* the last durable capture.
+    fn snapshot_delta(&mut self) -> Option<DeferredSnapshot> {
+        None
     }
 
     /// Restores state from a snapshot taken by the same operator kind.

@@ -45,11 +45,12 @@ use std::thread::JoinHandle;
 use crossbeam::channel::{unbounded, Receiver, Select, Sender};
 use ms_core::error::{Error, Result};
 use ms_core::ids::{EpochId, OperatorId, PortId};
-use ms_core::operator::{DeferredSnapshot, Operator, OperatorContext};
+use ms_core::metrics::BackpressureMeter;
+use ms_core::operator::{DeferredSnapshot, Operator, OperatorContext, SnapshotPayload};
 use ms_core::time::SimTime;
 use ms_core::tuple::{Fields, Tuple};
 
-use crate::storage::{LiveHauCheckpoint, StableStore};
+use crate::storage::{CkptState, CkptWrite, StableStore};
 
 /// What travels on a live stream between two hosts.
 #[derive(Debug)]
@@ -81,6 +82,11 @@ pub struct PersistItem {
     pub op: OperatorId,
     /// The state capture (possibly unserialized).
     pub snapshot: DeferredSnapshot,
+    /// For a [`DeferredSnapshot::Delta`] capture, the epoch of the
+    /// previous capture the delta builds on. Must be `Some` for delta
+    /// captures — the persister refuses a delta without a base rather
+    /// than persist an unfoldable chain link.
+    pub base: Option<EpochId>,
     /// Next emission sequence at the boundary.
     pub next_seq: u64,
     /// The in-flight portion of the cut (input port, tuple).
@@ -117,13 +123,28 @@ impl Persister {
         let (tx, rx) = unbounded::<PersistItem>();
         let handle = std::thread::spawn(move || {
             while let Ok(item) = rx.recv() {
-                let ckpt = LiveHauCheckpoint {
-                    snapshot: item.snapshot.resolve(),
-                    next_seq: item.next_seq,
-                    in_flight: item.in_flight,
-                    resume_seq: item.resume_seq,
+                let state = match (item.snapshot.resolve(), item.base) {
+                    (SnapshotPayload::Full(s), _) => Ok(CkptState::Full(s)),
+                    (SnapshotPayload::Delta(delta), Some(base)) => {
+                        Ok(CkptState::Delta { base, delta })
+                    }
+                    (SnapshotPayload::Delta(_), None) => Err(Error::Storage(format!(
+                        "delta capture {}/{} submitted without a base epoch",
+                        item.epoch, item.op
+                    ))),
                 };
-                let outcome = store.put_checkpoint(item.epoch, item.op, ckpt);
+                let outcome = state.and_then(|state| {
+                    store.put_checkpoint(
+                        item.epoch,
+                        item.op,
+                        CkptWrite {
+                            state,
+                            next_seq: item.next_seq,
+                            in_flight: item.in_flight,
+                            resume_seq: item.resume_seq,
+                        },
+                    )
+                });
                 if let Err(e) = &outcome {
                     eprintln!(
                         "persister: checkpoint {}/{} not persisted: {e}",
@@ -186,6 +207,16 @@ pub struct HostWiring {
     /// (its `finish()` drives the stop); the TCP runtime sets it so a
     /// finite stream drains without a controller round-trip.
     pub auto_stop: bool,
+    /// Epoch of the checkpoint this host was restored from, if any.
+    /// Seeds incremental capture: a delta-capable operator's first
+    /// delta after recovery chains on the restored epoch (whose
+    /// snapshot is exactly the state `restore` loaded). `None` on a
+    /// fresh start — the first capture is always full.
+    pub last_durable: Option<EpochId>,
+    /// Backpressure gauges this host keeps current while it runs —
+    /// input-queue depth and alignment-window occupancy. `None`
+    /// disables metering (tests, benches).
+    pub meter: Option<Arc<BackpressureMeter>>,
 }
 
 /// How a host thread ended: the operator with its final state, plus
@@ -230,6 +261,22 @@ impl OperatorContext for LiveCtx {
         self.seed = self.seed.wrapping_mul(6364136223846793005).wrapping_add(1);
         self.seed
     }
+}
+
+/// Chooses the capture mode for one checkpoint: an incremental delta
+/// chained on the previous capture when the operator supports it *and*
+/// a previous capture exists, else a full snapshot. Returns the
+/// capture plus the base epoch it builds on (`None` for fulls).
+fn capture(
+    op: &mut dyn Operator,
+    last_captured: Option<EpochId>,
+) -> (DeferredSnapshot, Option<EpochId>) {
+    if let Some(base) = last_captured {
+        if let Some(d) = op.snapshot_delta() {
+            return (d, Some(base));
+        }
+    }
+    (op.snapshot_deferred(), None)
 }
 
 /// One outstanding epoch in the alignment window of an interior host.
@@ -306,31 +353,38 @@ pub fn run_host(
         }
         next_seq += replayed;
         let mut stopping = false;
-        let take_checkpoint = |op: &dyn Operator, epoch: EpochId, next_seq: u64| -> Result<()> {
-            // The mark is durable before the checkpoint is even
-            // enqueued: an epoch that looks complete on disk always
-            // has its replay boundary.
-            store.mark_epoch(w.op_id, epoch, next_seq)?;
-            let _ = persist.send(PersistItem {
-                epoch,
-                op: w.op_id,
-                snapshot: op.snapshot_deferred(),
-                next_seq,
-                in_flight: Vec::new(),
-                resume_seq: Vec::new(),
-            });
-            for tx in &w.outputs {
-                let _ = tx.send(HostMsg::Token(epoch));
-            }
-            Ok(())
-        };
+        // Epoch of this host's previous capture — the base for an
+        // incremental capture. Seeded from the restored checkpoint.
+        let mut last_captured = w.last_durable;
+        let mut take_checkpoint =
+            |op: &mut dyn Operator, epoch: EpochId, next_seq: u64| -> Result<()> {
+                // The mark is durable before the checkpoint is even
+                // enqueued: an epoch that looks complete on disk always
+                // has its replay boundary.
+                store.mark_epoch(w.op_id, epoch, next_seq)?;
+                let (snapshot, base) = capture(op, last_captured);
+                last_captured = Some(epoch);
+                let _ = persist.send(PersistItem {
+                    epoch,
+                    op: w.op_id,
+                    snapshot,
+                    base,
+                    next_seq,
+                    in_flight: Vec::new(),
+                    resume_seq: Vec::new(),
+                });
+                for tx in &w.outputs {
+                    let _ = tx.send(HostMsg::Token(epoch));
+                }
+                Ok(())
+            };
         'source: loop {
             // Drain pending controller commands. Stop is graceful: the
             // source finishes its data before the stream closes.
             while let Ok(c) = cmd.try_recv() {
                 match c {
                     SourceCmd::Checkpoint(epoch) => {
-                        if let Err(e) = take_checkpoint(w.op.as_ref(), epoch, next_seq) {
+                        if let Err(e) = take_checkpoint(w.op.as_mut(), epoch, next_seq) {
                             error = Some(e);
                             break 'source;
                         }
@@ -354,7 +408,7 @@ pub fn run_host(
                 }
                 match cmd.recv() {
                     Ok(SourceCmd::Checkpoint(epoch)) => {
-                        if let Err(e) = take_checkpoint(w.op.as_ref(), epoch, next_seq) {
+                        if let Err(e) = take_checkpoint(w.op.as_mut(), epoch, next_seq) {
                             error = Some(e);
                             break;
                         }
@@ -396,6 +450,9 @@ pub fn run_host(
     };
     // Outstanding alignment windows, oldest epoch first.
     let mut windows: VecDeque<Window> = VecDeque::new();
+    // Epoch of this host's previous capture — the base for an
+    // incremental capture. Seeded from the restored checkpoint.
+    let mut last_captured = w.last_durable;
 
     macro_rules! apply_tuple {
         ($port:expr, $t:expr) => {{
@@ -448,10 +505,13 @@ pub fn run_host(
                 let s = &mut cut_seq[*i as usize];
                 *s = (*s).max(t.seq + 1);
             }
+            let (snapshot, base) = capture(w.op.as_mut(), last_captured);
+            last_captured = Some(win.epoch);
             let _ = persist.send(PersistItem {
                 epoch: win.epoch,
                 op: w.op_id,
-                snapshot: w.op.snapshot_deferred(),
+                snapshot,
+                base,
                 next_seq,
                 in_flight: win.buffered.clone(),
                 resume_seq: cut_seq.clone(),
@@ -471,6 +531,16 @@ pub fn run_host(
                     }
                 }
             }
+        }
+        // Publish backpressure gauges: how much input is queued and how
+        // much the alignment window is holding back. Plain atomic
+        // stores — negligible next to a channel select.
+        if let Some(m) = &w.meter {
+            m.set_queue_depth(w.inputs.iter().map(Receiver::len).sum::<usize>() as u64);
+            m.set_window_occupancy(
+                windows.len() as u64,
+                windows.iter().map(|win| win.buffered.len()).sum::<usize>() as u64,
+            );
         }
         let readable: Vec<usize> = (0..n_in).filter(|&i| !eos[i]).collect();
         if readable.is_empty() {

@@ -42,4 +42,6 @@ pub mod storage;
 
 pub use host::{DurableHook, HostExit, HostMsg, HostWiring, PersistItem, Persister, SourceCmd};
 pub use protocol::{CountSource, Doubler, LiveRuntime, Summer};
-pub use storage::{LiveHauCheckpoint, LiveStorage, StableStore};
+pub use storage::{
+    CkptState, CkptWrite, LiveHauCheckpoint, LiveStorage, RebasePolicy, StableStore,
+};

@@ -130,6 +130,8 @@ impl LiveRuntime {
                 resume_seq,
                 in_flight,
                 auto_stop: false,
+                last_durable: restore_epoch,
+                meter: None,
             };
             let store = store.clone();
             let persist_tx = persister.sender();

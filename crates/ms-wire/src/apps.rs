@@ -17,10 +17,11 @@
 
 use std::time::Duration;
 
+use ms_core::delta::DeltaTable;
 use ms_core::error::{Error, Result};
 use ms_core::graph::QueryNetwork;
 use ms_core::ids::{OperatorId, PortId};
-use ms_core::operator::{Operator, OperatorContext, OperatorSnapshot};
+use ms_core::operator::{DeferredSnapshot, Operator, OperatorContext, OperatorSnapshot};
 use ms_core::tuple::Tuple;
 use ms_core::value::Value;
 use ms_live::{Doubler, Summer};
@@ -84,6 +85,92 @@ impl Operator for ThrottledCountSource {
         let mut r = ms_core::codec::SnapshotReader::new(&s.data);
         self.limit = r.get_u64()?;
         self.emitted = r.get_u64()?;
+        Ok(())
+    }
+}
+
+/// Tuple values per key: consecutive source values map to the same
+/// key, so an epoch's worth of tuples touches a small, contiguous
+/// slice of the key space — the "large state, few keys mutated per
+/// epoch" regime delta checkpoints are built for.
+pub const KEY_STRIDE: u64 = 8;
+
+/// Fixed per-key feature payload (bytes), on top of an 8-byte counter.
+pub const FEATURE_BYTES: usize = 256;
+
+/// An interior operator with real keyed state: a [`DeltaTable`] of
+/// `keys` entries, each an update counter plus a [`FEATURE_BYTES`]
+/// feature vector. Every tuple updates exactly one key (value `v`
+/// touches key `(v / KEY_STRIDE) % keys`) and forwards `v * 2`, so
+/// swapping it in for [`Doubler`] leaves the demo's closed-form sink
+/// answer unchanged while giving checkpoints megabytes of state of
+/// which each epoch dirties only a sliver.
+///
+/// The state is deterministic in the tuple history (count-derived
+/// bytes), so a recovered instance must be *byte-identical* to an
+/// uninterrupted one — which is how the kill-recover tests catch any
+/// delta-chain corruption.
+#[derive(Debug)]
+pub struct KeyedStat {
+    keys: u64,
+    table: DeltaTable,
+}
+
+impl KeyedStat {
+    /// Creates the operator with an empty `keys`-entry key space.
+    pub fn new(keys: u64) -> KeyedStat {
+        KeyedStat {
+            keys: keys.max(1),
+            table: DeltaTable::new(),
+        }
+    }
+
+    fn record(key: u64, count: u64) -> Vec<u8> {
+        let mut v = Vec::with_capacity(8 + FEATURE_BYTES);
+        v.extend_from_slice(&count.to_le_bytes());
+        v.extend((0..FEATURE_BYTES).map(|i| (key as u8) ^ (count as u8).wrapping_add(i as u8)));
+        v
+    }
+}
+
+impl Operator for KeyedStat {
+    fn kind(&self) -> &'static str {
+        "KeyedStat"
+    }
+
+    fn on_tuple(&mut self, _p: PortId, t: Tuple, ctx: &mut dyn OperatorContext) {
+        if let Some(v) = t.fields.first().and_then(Value::as_int) {
+            let key = (v as u64 / KEY_STRIDE) % self.keys;
+            let count = self
+                .table
+                .get(key)
+                .and_then(|r| r.get(..8))
+                .map(|b| u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+                .unwrap_or(0)
+                + 1;
+            self.table.insert(key, KeyedStat::record(key, count));
+            ctx.emit_all(vec![Value::Int(v * 2)]);
+        }
+    }
+
+    fn state_size(&self) -> u64 {
+        self.table.value_bytes()
+    }
+
+    fn snapshot(&self) -> OperatorSnapshot {
+        OperatorSnapshot {
+            data: self.table.snapshot(),
+            logical_bytes: self.table.value_bytes(),
+        }
+    }
+
+    fn snapshot_delta(&mut self) -> Option<DeferredSnapshot> {
+        let delta = self.table.take_delta(self.table.value_bytes());
+        Some(DeferredSnapshot::Delta(Box::new(move || delta)))
+    }
+
+    fn restore(&mut self, s: &OperatorSnapshot) -> Result<()> {
+        self.table = DeltaTable::restore(&s.data)?;
         Ok(())
     }
 }
@@ -157,12 +244,15 @@ pub fn skewed_delay_us(qn: &QueryNetwork, op: OperatorId, base_us: u64) -> u64 {
 /// In graphs with several sources, each source after the first gets a
 /// progressively larger per-tuple delay (see [`skewed_delay_us`]), so
 /// fan-in merges see misaligned inputs. Single-source shapes are
-/// unaffected.
+/// unaffected. A nonzero `keyed_state` swaps the stateless interior
+/// [`Doubler`] for a [`KeyedStat`] over that many keys — same stream
+/// semantics, delta-checkpointed keyed state.
 pub fn build_operator(
     qn: &QueryNetwork,
     op: OperatorId,
     source_limit: u64,
     source_delay_us: u64,
+    keyed_state: u64,
 ) -> Box<dyn Operator> {
     if qn.upstream(op).is_empty() {
         Box::new(ThrottledCountSource::new(
@@ -171,6 +261,8 @@ pub fn build_operator(
         ))
     } else if qn.downstream(op).is_empty() {
         Box::new(Summer::default())
+    } else if keyed_state > 0 {
+        Box::new(KeyedStat::new(keyed_state))
     } else {
         Box::new(Doubler::default())
     }
@@ -253,14 +345,17 @@ mod tests {
         assert_eq!(skewed_delay_us(&chain, OperatorId(0), 100), 100);
         // Interior and sink roles are unchanged by multiple sources.
         assert_eq!(
-            build_operator(&qn, OperatorId(0), 10, 100).kind(),
+            build_operator(&qn, OperatorId(0), 10, 100, 0).kind(),
             "ThrottledCountSource"
         );
         assert_eq!(
-            build_operator(&qn, OperatorId(2), 10, 100).kind(),
+            build_operator(&qn, OperatorId(2), 10, 100, 0).kind(),
             "Doubler"
         );
-        assert_eq!(build_operator(&qn, OperatorId(4), 10, 100).kind(), "Summer");
+        assert_eq!(
+            build_operator(&qn, OperatorId(4), 10, 100, 0).kind(),
+            "Summer"
+        );
     }
 
     #[test]
@@ -275,11 +370,86 @@ mod tests {
     fn factory_is_structural() {
         let qn = demo_network("chain3").unwrap();
         assert_eq!(
-            build_operator(&qn, OperatorId(0), 10, 0).kind(),
+            build_operator(&qn, OperatorId(0), 10, 0, 0).kind(),
             "ThrottledCountSource"
         );
-        assert_eq!(build_operator(&qn, OperatorId(1), 10, 0).kind(), "Doubler");
-        assert_eq!(build_operator(&qn, OperatorId(2), 10, 0).kind(), "Summer");
+        assert_eq!(
+            build_operator(&qn, OperatorId(1), 10, 0, 0).kind(),
+            "Doubler"
+        );
+        assert_eq!(
+            build_operator(&qn, OperatorId(2), 10, 0, 0).kind(),
+            "Summer"
+        );
+        // A keyed-state request swaps only the interior stage.
+        assert_eq!(
+            build_operator(&qn, OperatorId(1), 10, 0, 64).kind(),
+            "KeyedStat"
+        );
+        assert_eq!(
+            build_operator(&qn, OperatorId(2), 10, 0, 64).kind(),
+            "Summer"
+        );
+    }
+
+    fn int_tuple(v: i64) -> Tuple {
+        Tuple::new(OperatorId(0), v as u64, SimTime::ZERO, vec![Value::Int(v)])
+    }
+
+    #[test]
+    fn keyed_stat_doubles_and_restores_byte_identically() {
+        let mut a = KeyedStat::new(64);
+        let mut ctx = Ctx {
+            emitted: Vec::new(),
+        };
+        for v in 0..100 {
+            a.on_tuple(PortId(0), int_tuple(v), &mut ctx);
+        }
+        assert_eq!(ctx.emitted.len(), 100);
+        assert_eq!(ctx.emitted[3], vec![Value::Int(6)], "still a doubler");
+        let snap = a.snapshot();
+        let mut b = KeyedStat::new(64);
+        b.restore(&snap).unwrap();
+        assert_eq!(b.snapshot().data, snap.data, "restore is byte-identical");
+        // Same history on the restored instance ⇒ same bytes.
+        let mut ctx2 = Ctx {
+            emitted: Vec::new(),
+        };
+        for v in 100..120 {
+            a.on_tuple(PortId(0), int_tuple(v), &mut ctx2);
+            b.on_tuple(PortId(0), int_tuple(v), &mut ctx2);
+        }
+        assert_eq!(a.snapshot().data, b.snapshot().data);
+    }
+
+    #[test]
+    fn keyed_stat_deltas_fold_to_full_snapshot() {
+        use ms_core::delta;
+        use ms_core::operator::SnapshotPayload;
+
+        let mut op = KeyedStat::new(256);
+        let mut ctx = Ctx {
+            emitted: Vec::new(),
+        };
+        for v in 0..200 {
+            op.on_tuple(PortId(0), int_tuple(v), &mut ctx);
+        }
+        let base = op.snapshot().data;
+        op.snapshot_delta().unwrap().resolve(); // drain dirty set at the base
+        let mut deltas = Vec::new();
+        for round in 0..3 {
+            for v in (round * 40)..(round * 40 + 40) {
+                op.on_tuple(PortId(0), int_tuple(v), &mut ctx);
+            }
+            match op.snapshot_delta().unwrap().resolve() {
+                SnapshotPayload::Delta(d) => deltas.push(d),
+                SnapshotPayload::Full(_) => panic!("KeyedStat captures deltas"),
+            }
+        }
+        let folded = delta::fold(&base, &deltas).unwrap();
+        assert_eq!(folded, op.snapshot().data, "chain folds byte-identically");
+        // An epoch touching 40 of 256 keys writes a fraction of the state.
+        assert!(deltas[0].encoded_bytes() * 3 < base.len());
     }
 
     #[test]

@@ -1,0 +1,177 @@
+//! Full-vs-delta checkpoint measurement for EXPERIMENTS.md.
+//!
+//! For each state size, builds a canonical key→bytes table (4 KiB
+//! values), persists an epoch-1 base, then runs steady-state epochs
+//! mutating 5% of the keys each — once through the full-snapshot path
+//! and once through the delta-chain path of the same SIGKILL-durable
+//! [`FsStore`] the cluster uses. Reports real bytes on disk and
+//! capture+write wall time per epoch, then proves recovery parity:
+//! the folded chain must be byte-identical to the last full snapshot.
+//!
+//! Usage: `ckpt_bytes [STATE_MIB ...]` (default: 16 64 256).
+
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use ms_core::delta::DeltaTable;
+use ms_core::ids::{EpochId, OperatorId};
+use ms_core::operator::OperatorSnapshot;
+use ms_live::{CkptState, CkptWrite, StableStore};
+use ms_wire::FsStore;
+
+const VALUE_BYTES: usize = 4096;
+/// Mutate every 20th key per epoch — 5% of the state.
+const MUTATE_EVERY: usize = 20;
+const DELTA_EPOCHS: u64 = 4;
+const OP: OperatorId = OperatorId(0);
+
+fn pattern(k: u64, epoch: u64) -> Vec<u8> {
+    (0..VALUE_BYTES)
+        .map(|i| (k as u8) ^ (epoch as u8).wrapping_add(i as u8))
+        .collect()
+}
+
+/// Bytes the store put on disk for one epoch's checkpoint (full or
+/// delta file — the store GCs *older* epochs, never the one just
+/// written).
+fn epoch_file_bytes(root: &Path, e: u64) -> u64 {
+    [format!("e{e}_op0.ckpt"), format!("e{e}_op0.delta")]
+        .iter()
+        .filter_map(|name| std::fs::metadata(root.join("ckpt").join(name)).ok())
+        .map(|m| m.len())
+        .sum()
+}
+
+fn put(store: &FsStore, epoch: u64, state: CkptState) {
+    store
+        .put_checkpoint(
+            EpochId(epoch),
+            OP,
+            CkptWrite {
+                state,
+                next_seq: 0,
+                in_flight: Vec::new(),
+                resume_seq: Vec::new(),
+            },
+        )
+        .expect("checkpoint write failed");
+}
+
+fn fresh_store(dir: &Path) -> FsStore {
+    let _ = std::fs::remove_dir_all(dir);
+    FsStore::open(dir, 1).expect("store open failed")
+}
+
+fn measure(mib: u64, scratch: &Path) {
+    let keys = (mib as usize) << 20 >> 12; // state / 4 KiB
+    let mut table = DeltaTable::new();
+    for k in 0..keys as u64 {
+        table.insert(k, pattern(k, 0));
+    }
+    table.mark_clean();
+
+    let full_dir = scratch.join(format!("full_{mib}"));
+    let delta_dir = scratch.join(format!("delta_{mib}"));
+    let full_store = fresh_store(&full_dir);
+    let delta_store = fresh_store(&delta_dir);
+
+    // Epoch 1: both paths persist the same full base.
+    let base = OperatorSnapshot {
+        data: table.snapshot(),
+        logical_bytes: table.value_bytes(),
+    };
+    put(&full_store, 1, CkptState::Full(base.clone()));
+    put(&delta_store, 1, CkptState::Full(base));
+    let base_bytes = epoch_file_bytes(&delta_dir, 1);
+
+    // Steady state: 5% of keys mutate per epoch.
+    let (mut full_bytes, mut delta_bytes) = (0u64, 0u64);
+    let (mut full_ms, mut delta_ms) = (0f64, 0f64);
+    for epoch in 2..=1 + DELTA_EPOCHS {
+        for k in ((epoch as usize % MUTATE_EVERY)..keys).step_by(MUTATE_EVERY) {
+            table.insert(k as u64, pattern(k as u64, epoch));
+        }
+
+        let t0 = Instant::now();
+        let delta = table.take_delta(table.value_bytes());
+        put(
+            &delta_store,
+            epoch,
+            CkptState::Delta {
+                base: EpochId(epoch - 1),
+                delta,
+            },
+        );
+        delta_ms += t0.elapsed().as_secs_f64() * 1e3;
+        delta_bytes += epoch_file_bytes(&delta_dir, epoch);
+
+        let t0 = Instant::now();
+        put(
+            &full_store,
+            epoch,
+            CkptState::Full(OperatorSnapshot {
+                data: table.snapshot(),
+                logical_bytes: table.value_bytes(),
+            }),
+        );
+        full_ms += t0.elapsed().as_secs_f64() * 1e3;
+        full_bytes += epoch_file_bytes(&full_dir, epoch);
+    }
+
+    // Recovery parity: folding base + chain must rebuild the exact
+    // bytes the full path restores.
+    let last = EpochId(1 + DELTA_EPOCHS);
+    let t0 = Instant::now();
+    let folded = delta_store
+        .get_checkpoint(last, OP)
+        .expect("delta chain unreadable");
+    let fold_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let full = full_store
+        .get_checkpoint(last, OP)
+        .expect("full checkpoint unreadable");
+    assert_eq!(
+        folded.snapshot.data, full.snapshot.data,
+        "folded chain diverged from the full snapshot"
+    );
+
+    let n = DELTA_EPOCHS as f64;
+    println!(
+        "| {mib} MiB | {} | {:.1} | {} | {:.1} | {:.1}x | {fold_ms:.1} |",
+        full_bytes / DELTA_EPOCHS,
+        full_ms / n,
+        delta_bytes / DELTA_EPOCHS,
+        delta_ms / n,
+        full_bytes as f64 / delta_bytes as f64,
+    );
+    eprintln!(
+        "ckpt_bytes: {mib} MiB base={base_bytes}B recovery fold byte-identical ({fold_ms:.1} ms)"
+    );
+
+    let _ = std::fs::remove_dir_all(&full_dir);
+    let _ = std::fs::remove_dir_all(&delta_dir);
+}
+
+fn main() {
+    let sizes: Vec<u64> = {
+        let args: Vec<u64> = std::env::args()
+            .skip(1)
+            .map(|a| a.parse().expect("sizes are MiB integers"))
+            .collect();
+        if args.is_empty() {
+            vec![16, 64, 256]
+        } else {
+            args
+        }
+    };
+    let scratch: PathBuf =
+        std::env::temp_dir().join(format!("ms_ckpt_bytes_{}", std::process::id()));
+    std::fs::create_dir_all(&scratch).expect("scratch dir");
+    println!(
+        "| state | full B/epoch | full ms/epoch | delta B/epoch | delta ms/epoch | bytes ratio | fold ms |"
+    );
+    println!("|---|---|---|---|---|---|---|");
+    for mib in sizes {
+        measure(mib, &scratch);
+    }
+    let _ = std::fs::remove_dir_all(&scratch);
+}

@@ -10,8 +10,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: ms-controller --store DIR [--listen ADDR] [--addr-file FILE] \
          [--workers N] [--shape chainN|diamond] [--limit N] [--delay-us N] \
-         [--ckpt-ms N] [--hb-timeout-ms N] [--respawn-wait-ms N] \
-         [--deadline-secs N] [--result-file FILE]"
+         [--keyed-state N] [--ckpt-ms N] [--hb-timeout-ms N] \
+         [--respawn-wait-ms N] [--deadline-secs N] [--result-file FILE]"
     );
     std::process::exit(2);
 }
@@ -37,6 +37,7 @@ fn main() {
         shape: get("--shape").unwrap_or_else(|| "chain3".into()),
         source_limit: num("--limit", 4000),
         source_delay_us: num("--delay-us", 300),
+        keyed_state: num("--keyed-state", 0),
         ckpt_interval: Duration::from_millis(num("--ckpt-ms", 120)),
         hb_timeout: Duration::from_millis(num("--hb-timeout-ms", 500)),
         respawn_wait: Duration::from_millis(num("--respawn-wait-ms", 2000)),

@@ -9,7 +9,8 @@ use ms_wire::{run_worker, ControllerAddr, WorkerConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: ms-worker --name NAME --store DIR \
-         (--controller ADDR | --controller-file FILE) [--hb-ms N]"
+         (--controller ADDR | --controller-file FILE) [--hb-ms N] \
+         [--log-cap-bytes N]"
     );
     std::process::exit(2);
 }
@@ -30,11 +31,13 @@ fn main() {
         _ => usage(),
     };
     let hb = get("--hb-ms").map_or(50, |v| v.parse().unwrap_or_else(|_| usage()));
+    let log_cap = get("--log-cap-bytes").map(|v| v.parse().unwrap_or_else(|_| usage()));
     let cfg = WorkerConfig {
         name: name.clone(),
         controller,
         store_dir: PathBuf::from(store_dir),
         heartbeat_interval: Duration::from_millis(hb),
+        log_cap_bytes: log_cap,
     };
     if let Err(e) = run_worker(cfg) {
         eprintln!("ms-worker[{name}]: error: {e}");

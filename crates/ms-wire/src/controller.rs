@@ -35,6 +35,7 @@ use crossbeam::channel::{unbounded, Sender};
 use ms_core::error::{Error, Result};
 use ms_core::graph::QueryNetwork;
 use ms_core::ids::{EpochId, OperatorId};
+use ms_core::metrics::BackpressureGauges;
 use ms_live::StableStore;
 
 use crate::apps::demo_network;
@@ -43,6 +44,10 @@ use crate::store::FsStore;
 
 const ACCEPT_POLL: Duration = Duration::from_millis(10);
 const TICK: Duration = Duration::from_millis(25);
+/// Queued-tuple counts at/above this print a backpressure stall line…
+const STALL_HI: u64 = 512;
+/// …which clears (hysteresis) only once the queue drains below this.
+const STALL_LO: u64 = 64;
 
 /// Controller configuration.
 #[derive(Clone, Debug)]
@@ -63,6 +68,9 @@ pub struct ControllerConfig {
     pub source_limit: u64,
     /// Per-tuple source delay (µs).
     pub source_delay_us: u64,
+    /// Key count for the keyed-state interior operator (0 = stateless
+    /// doubler interiors, the original demo shape).
+    pub keyed_state: u64,
     /// Checkpoint-token cadence.
     pub ckpt_interval: Duration,
     /// Heartbeat silence treated as a failure.
@@ -111,6 +119,7 @@ enum Event {
     },
     Beat {
         name: String,
+        gauges: BackpressureGauges,
     },
     SinkDone {
         generation: u64,
@@ -143,6 +152,10 @@ struct Worker {
     last_beat: Instant,
     alive: bool,
     has_ops: bool,
+    /// Latest backpressure gauges off the heartbeat stream.
+    gauges: BackpressureGauges,
+    /// Currently over the stall threshold (prints with hysteresis).
+    stalled: bool,
 }
 
 /// Per-connection reader: demands `Register` (control connection) or
@@ -174,7 +187,10 @@ fn reader(mut stream: TcpStream, events: Sender<Event>) {
     };
     loop {
         let event = match recv_msg(&mut stream) {
-            Ok(Some(WireMsg::Heartbeat)) => Event::Beat { name: name.clone() },
+            Ok(Some(WireMsg::Heartbeat { gauges })) => Event::Beat {
+                name: name.clone(),
+                gauges,
+            },
             Ok(Some(WireMsg::SinkDone {
                 generation,
                 op,
@@ -309,11 +325,29 @@ pub fn run_controller(cfg: ControllerConfig) -> Result<ClusterReport> {
                     last_beat: Instant::now(),
                     alive: true,
                     has_ops: false,
+                    gauges: BackpressureGauges::default(),
+                    stalled: false,
                 });
             }
-            Event::Beat { name } => {
+            Event::Beat { name, gauges } => {
                 if let Some(w) = workers.iter_mut().find(|w| w.name == name) {
                     w.last_beat = Instant::now();
+                    w.gauges = gauges;
+                    // Surface sustained backpressure (deep input queues
+                    // relative to the bounded channels) without spamming
+                    // a line per heartbeat: print on crossing the high
+                    // mark, clear only below the low mark.
+                    if !w.stalled && gauges.queued_tuples >= STALL_HI {
+                        w.stalled = true;
+                        println!(
+                            "ms-controller: worker {} backpressured \
+                             (queued={} windows={} buffered={})",
+                            w.name, gauges.queued_tuples, gauges.open_windows, gauges.window_tuples
+                        );
+                    } else if w.stalled && gauges.queued_tuples <= STALL_LO {
+                        w.stalled = false;
+                        println!("ms-controller: worker {} drained", w.name);
+                    }
                 }
             }
             Event::ConnLost { name } => {
@@ -512,6 +546,7 @@ fn deploy(
         placement,
         source_limit: cfg.source_limit,
         source_delay_us: cfg.source_delay_us,
+        keyed_state: cfg.keyed_state,
     };
     println!(
         "ms-controller: deploying generation {generation} to {} workers (restore: {})",

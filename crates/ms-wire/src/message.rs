@@ -28,6 +28,7 @@ use ms_core::codec::{read_frame, write_frame, SnapshotReader, SnapshotWriter};
 use ms_core::error::{Error, Result};
 use ms_core::graph::QueryNetwork;
 use ms_core::ids::{EpochId, OperatorId};
+use ms_core::metrics::BackpressureGauges;
 use ms_core::tuple::Tuple;
 
 /// Where one operator of an assignment runs.
@@ -66,6 +67,10 @@ pub struct Assignment {
     /// Demo-app parameter: per-tuple source delay (µs), to stretch the
     /// stream over wall-clock time.
     pub source_delay_us: u64,
+    /// Demo-app parameter: when nonzero, interior operators carry a
+    /// keyed state table of this many keys (delta-checkpointed) instead
+    /// of being stateless doublers.
+    pub keyed_state: u64,
 }
 
 impl Assignment {
@@ -119,7 +124,13 @@ pub enum WireMsg {
         data_addr: String,
     },
     /// Worker → controller: liveness signal, sent on a fixed cadence.
-    Heartbeat,
+    /// Carries the worker's aggregate backpressure gauges — input-queue
+    /// depth and alignment-window occupancy summed over its hosts — so
+    /// the controller can observe a congesting worker before it stalls.
+    Heartbeat {
+        /// Summed [`BackpressureGauges`] across the worker's hosts.
+        gauges: BackpressureGauges,
+    },
     /// Worker → controller: a sink operator of `generation` drained its
     /// stream; `snapshot` is its final serialized state.
     SinkDone {
@@ -213,8 +224,11 @@ impl WireMsg {
             WireMsg::Register { name, data_addr } => {
                 w.put_u64(TAG_REGISTER).put_str(name).put_str(data_addr);
             }
-            WireMsg::Heartbeat => {
-                w.put_u64(TAG_HEARTBEAT);
+            WireMsg::Heartbeat { gauges } => {
+                w.put_u64(TAG_HEARTBEAT)
+                    .put_u64(gauges.queued_tuples)
+                    .put_u64(gauges.open_windows)
+                    .put_u64(gauges.window_tuples);
             }
             WireMsg::SinkDone {
                 generation,
@@ -241,7 +255,9 @@ impl WireMsg {
                         .put_str(&p.worker)
                         .put_str(&p.data_addr);
                 });
-                w.put_u64(a.source_limit).put_u64(a.source_delay_us);
+                w.put_u64(a.source_limit)
+                    .put_u64(a.source_delay_us)
+                    .put_u64(a.keyed_state);
             }
             WireMsg::Checkpoint(e) => {
                 w.put_u64(TAG_CHECKPOINT).put_u64(e.0);
@@ -302,7 +318,13 @@ impl WireMsg {
                 name: r.get_str()?,
                 data_addr: r.get_str()?,
             },
-            TAG_HEARTBEAT => WireMsg::Heartbeat,
+            TAG_HEARTBEAT => WireMsg::Heartbeat {
+                gauges: BackpressureGauges {
+                    queued_tuples: r.get_u64()?,
+                    open_windows: r.get_u64()?,
+                    window_tuples: r.get_u64()?,
+                },
+            },
             TAG_SINK_DONE => WireMsg::SinkDone {
                 generation: r.get_u64()?,
                 op: get_op(&mut r)?,
@@ -330,6 +352,7 @@ impl WireMsg {
                     placement,
                     source_limit: r.get_u64()?,
                     source_delay_us: r.get_u64()?,
+                    keyed_state: r.get_u64()?,
                 })
             }
             TAG_CHECKPOINT => WireMsg::Checkpoint(EpochId(r.get_u64()?)),
@@ -420,6 +443,7 @@ mod tests {
             ],
             source_limit: 1000,
             source_delay_us: 250,
+            keyed_state: 4096,
         }
     }
 
@@ -429,7 +453,13 @@ mod tests {
                 name: "wa".into(),
                 data_addr: "127.0.0.1:4000".into(),
             },
-            WireMsg::Heartbeat,
+            WireMsg::Heartbeat {
+                gauges: BackpressureGauges {
+                    queued_tuples: 17,
+                    open_windows: 2,
+                    window_tuples: 140,
+                },
+            },
             WireMsg::SinkDone {
                 generation: 2,
                 op: OperatorId(4),
@@ -496,7 +526,7 @@ mod tests {
         let mut w = SnapshotWriter::new();
         w.put_u64(999);
         assert!(WireMsg::decode(&w.finish()).is_err());
-        let mut extra = WireMsg::Heartbeat.encode();
+        let mut extra = WireMsg::Rollback.encode();
         extra.extend_from_slice(&WireMsg::Eos.encode());
         assert!(WireMsg::decode(&extra).is_err());
     }

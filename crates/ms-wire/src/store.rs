@@ -5,11 +5,14 @@
 //! needs preservation and checkpoints to survive a SIGKILL. `FsStore`
 //! keeps the exact same contract on a shared directory:
 //!
-//! * `ckpt/e{epoch}_op{N}.ckpt` — individual checkpoints, written to a
-//!   dot-prefixed temp file and atomically renamed into place, so a
-//!   checkpoint file either exists complete or not at all, and epoch
-//!   completeness (`latest_complete`) can be computed by any process
-//!   from a directory scan.
+//! * `ckpt/e{epoch}_op{N}.ckpt` — full individual checkpoints, and
+//!   `ckpt/e{epoch}_op{N}.delta` — incremental ones carrying only the
+//!   keys changed/removed since the operator's previous capture plus a
+//!   pointer to that capture's epoch (the delta's *base*). Both are
+//!   written to a dot-prefixed temp file and atomically renamed into
+//!   place, so a checkpoint file either exists complete or not at all.
+//!   Reads fold the chain: [`StableStore::get_checkpoint`] always
+//!   returns the complete state, byte-identical to a full snapshot.
 //! * `log/op{N}.log` — source-preservation logs: one frame per tuple,
 //!   appended with a single `write_all` *before* the tuple is sent
 //!   (§III-A). Bytes handed to the kernel survive the process, so a
@@ -17,6 +20,32 @@
 //!   first incomplete frame.
 //! * `marks/op{N}.marks` — per-source `(epoch, next_seq)` stream
 //!   boundaries, appended the same way.
+//!
+//! # Delta chains, rebase, GC
+//!
+//! An epoch is *complete* only when every operator has a checkpoint
+//! for it **and** each one resolves — following base pointers — to a
+//! full snapshot still on disk, so `latest_complete` never names an
+//! epoch recovery could not restore. A [`RebasePolicy`] bounds chain
+//! length and cumulative delta bytes: past either bound the store
+//! folds the chain and writes a fresh `.ckpt` instead of a `.delta`.
+//! When an epoch completes, files older than the oldest base its
+//! chains rest on are deleted — they are unreachable from the newest
+//! restorable epoch. Crash-safety of GC: deletion happens only after
+//! the completing epoch's files (and their bases) are durable, and a
+//! process dying mid-GC leaves extra files, never missing ones.
+//!
+//! # Source-log byte cap
+//!
+//! An optional cap bounds each preservation log. An append that would
+//! exceed it first tries to *trim*: records below the newest complete
+//! checkpoint's replay boundary can never be replayed again and are
+//! dropped (the log is rewritten and atomically swapped). If trimming
+//! cannot free room, the append blocks — pausing the source, which is
+//! exactly hop-by-hop backpressure — until a checkpoint frees space or
+//! a patience deadline passes, at which point it fails the storage
+//! contract (`Err`) and the host stops streaming rather than write
+//! past the cap.
 //!
 //! Restart idempotence: a source restarted from scratch (no complete
 //! checkpoint) deterministically regenerates tuples it already logged.
@@ -39,21 +68,26 @@ use std::collections::HashMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::time::{Duration, Instant};
 
 use ms_core::codec::{
-    frame, FrameDecoder, SnapshotReader, SnapshotWriter, FRAME_HEADER_BYTES, MAX_FRAME_BYTES,
+    frame, FrameDecoder, SnapshotReader, SnapshotWriter, FRAME_HEADER_BYTES, MAX_FILE_FRAME_BYTES,
+    MAX_FRAME_BYTES,
 };
+use ms_core::delta::{self, StateDelta};
 use ms_core::error::{Error, Result};
 use ms_core::ids::{EpochId, OperatorId};
 use ms_core::operator::OperatorSnapshot;
 use ms_core::tuple::Tuple;
-use ms_live::{LiveHauCheckpoint, StableStore};
+use ms_live::{CkptState, CkptWrite, LiveHauCheckpoint, RebasePolicy, StableStore};
 use parking_lot::Mutex;
 
 struct LogWriter {
     file: File,
     /// Highest sequence already durable in this log (dedup guard).
     last_seq: Option<u64>,
+    /// Bytes currently in the log file (byte-cap accounting).
+    bytes: u64,
 }
 
 /// Filesystem-backed stable store. Cheap to open; every process of the
@@ -62,13 +96,34 @@ struct LogWriter {
 pub struct FsStore {
     root: PathBuf,
     expected: usize,
+    policy: RebasePolicy,
+    /// `(cap bytes, patience)` — see the module docs.
+    log_cap: Option<(u64, Duration)>,
     logs: Mutex<HashMap<OperatorId, LogWriter>>,
+}
+
+/// One checkpoint file, decoded.
+enum FsCkpt {
+    Full {
+        snapshot: OperatorSnapshot,
+        next_seq: u64,
+        in_flight: Vec<(u32, Tuple)>,
+        resume_seq: Vec<u64>,
+    },
+    Delta {
+        base: EpochId,
+        delta: StateDelta,
+        next_seq: u64,
+        in_flight: Vec<(u32, Tuple)>,
+        resume_seq: Vec<u64>,
+    },
 }
 
 impl FsStore {
     /// Opens (creating if needed) a store rooted at `root`, expecting
     /// `expected` individual checkpoints per complete application
-    /// checkpoint.
+    /// checkpoint. Operators are ids `0..expected` (how both runtimes
+    /// number a query network).
     pub fn open(root: impl Into<PathBuf>, expected: usize) -> Result<FsStore> {
         let root = root.into();
         for sub in ["ckpt", "log", "marks"] {
@@ -77,12 +132,37 @@ impl FsStore {
         Ok(FsStore {
             root,
             expected,
+            policy: RebasePolicy::default(),
+            log_cap: None,
             logs: Mutex::new(HashMap::new()),
         })
     }
 
-    fn ckpt_path(&self, epoch: EpochId, op: OperatorId) -> PathBuf {
-        self.root.join("ckpt").join(ckpt_name(epoch, op))
+    /// Replaces the rebase policy (builder style).
+    pub fn with_policy(mut self, policy: RebasePolicy) -> FsStore {
+        self.policy = policy;
+        self
+    }
+
+    /// Caps each source-preservation log at `cap` bytes. An append
+    /// over the cap trims what the newest complete checkpoint made
+    /// unreplayable, then blocks (pausing the source) up to `patience`
+    /// for a checkpoint to free space before failing the append.
+    pub fn with_log_cap(mut self, cap: u64, patience: Duration) -> FsStore {
+        self.log_cap = Some((cap, patience));
+        self
+    }
+
+    fn full_path(&self, epoch: EpochId, op: OperatorId) -> PathBuf {
+        self.root
+            .join("ckpt")
+            .join(format!("e{}_op{}.ckpt", epoch.0, op.0))
+    }
+
+    fn delta_path(&self, epoch: EpochId, op: OperatorId) -> PathBuf {
+        self.root
+            .join("ckpt")
+            .join(format!("e{}_op{}.delta", epoch.0, op.0))
     }
 
     fn log_path(&self, op: OperatorId) -> PathBuf {
@@ -93,31 +173,180 @@ impl FsStore {
         self.root.join("marks").join(format!("op{}.marks", op.0))
     }
 
-    /// Epoch → number of individual checkpoints present.
-    fn epoch_counts(&self) -> HashMap<u64, usize> {
-        let mut counts = HashMap::new();
+    /// Atomically writes one checkpoint frame (temp file + rename).
+    /// Checkpoint files carry full operator state, so they use the
+    /// file cap, not the wire cap — and an over-cap payload must fail
+    /// *here*, loudly, never land on disk unreadable.
+    fn write_ckpt_file(&self, path: &Path, payload: Vec<u8>) -> Result<()> {
+        let name = path.file_name().expect("ckpt file name").to_string_lossy();
+        if payload.len() > MAX_FILE_FRAME_BYTES {
+            return Err(Error::Storage(format!(
+                "checkpoint {name} is {} bytes, over the {MAX_FILE_FRAME_BYTES}-byte file cap",
+                payload.len()
+            )));
+        }
+        let tmp = self.root.join("ckpt").join(format!(".tmp_{name}"));
+        fs::write(&tmp, frame(&payload))
+            .and_then(|()| fs::rename(&tmp, path))
+            .map_err(|e| Error::Storage(format!("checkpoint {name} not persisted: {e}")))
+    }
+
+    /// Decodes the checkpoint stored for `(epoch, op)` — the full file
+    /// if present, else the delta file.
+    fn read_ckpt(&self, epoch: EpochId, op: OperatorId) -> Option<FsCkpt> {
+        if let Some(payload) = read_ckpt_frame(&self.full_path(epoch, op)) {
+            let mut r = SnapshotReader::new(&payload);
+            let next_seq = r.get_u64().ok()?;
+            let logical_bytes = r.get_u64().ok()?;
+            let data = r.get_bytes().ok()?;
+            let in_flight = r
+                .get_seq(|r| Ok((r.get_u64()? as u32, r.get_tuple()?)))
+                .ok()?;
+            let resume_seq = r.get_seq(|r| r.get_u64()).ok()?;
+            return Some(FsCkpt::Full {
+                snapshot: OperatorSnapshot {
+                    data,
+                    logical_bytes,
+                },
+                next_seq,
+                in_flight,
+                resume_seq,
+            });
+        }
+        let payload = read_ckpt_frame(&self.delta_path(epoch, op))?;
+        let mut r = SnapshotReader::new(&payload);
+        let next_seq = r.get_u64().ok()?;
+        let base = EpochId(r.get_u64().ok()?);
+        let delta = StateDelta::decode_from(&mut r).ok()?;
+        let in_flight = r
+            .get_seq(|r| Ok((r.get_u64()? as u32, r.get_tuple()?)))
+            .ok()?;
+        let resume_seq = r.get_seq(|r| r.get_u64()).ok()?;
+        Some(FsCkpt::Delta {
+            base,
+            delta,
+            next_seq,
+            in_flight,
+            resume_seq,
+        })
+    }
+
+    /// Reads only a delta file's base pointer (chain validation reads
+    /// small delta files, never multi-megabyte fulls).
+    fn delta_base(&self, epoch: EpochId, op: OperatorId) -> Option<EpochId> {
+        let payload = read_ckpt_frame(&self.delta_path(epoch, op))?;
+        let mut r = SnapshotReader::new(&payload);
+        let _next_seq = r.get_u64().ok()?;
+        Some(EpochId(r.get_u64().ok()?))
+    }
+
+    /// The epoch of the full snapshot `(epoch, op)`'s chain bottoms out
+    /// at, or `None` for a missing/broken chain.
+    fn full_base_of(&self, epoch: EpochId, op: OperatorId) -> Option<EpochId> {
+        let mut at = epoch;
+        loop {
+            if self.full_path(at, op).exists() {
+                return Some(at);
+            }
+            let base = self.delta_base(at, op)?;
+            if base >= at {
+                return None; // corrupt pointer; treat as broken
+            }
+            at = base;
+        }
+    }
+
+    /// Is `epoch` restorable: one resolvable checkpoint per operator?
+    fn epoch_is_complete(&self, epoch: EpochId) -> bool {
+        (0..self.expected).all(|i| self.full_base_of(epoch, OperatorId(i as u32)).is_some())
+    }
+
+    /// Deletes checkpoint files no epoch ≥ the newest complete one can
+    /// need: everything older than the oldest full base `epoch`'s
+    /// chains rest on.
+    fn gc_below(&self, epoch: EpochId) {
+        let oldest = (0..self.expected)
+            .filter_map(|i| self.full_base_of(epoch, OperatorId(i as u32)))
+            .min();
+        let Some(keep_from) = oldest else { return };
         let Ok(entries) = fs::read_dir(self.root.join("ckpt")) else {
-            return counts;
+            return;
         };
         for entry in entries.flatten() {
-            if let Some(epoch) = parse_ckpt_epoch(&entry.file_name().to_string_lossy()) {
-                *counts.entry(epoch).or_insert(0) += 1;
+            let name = entry.file_name();
+            if let Some(e) = parse_ckpt_epoch(&name.to_string_lossy()) {
+                if e < keep_from.0 {
+                    let _ = fs::remove_file(entry.path());
+                }
             }
         }
-        counts
+    }
+
+    /// The replay boundary a source marked for `epoch`, if any.
+    fn mark_for(&self, source: OperatorId, epoch: EpochId) -> Option<u64> {
+        read_frames(&self.marks_path(source))
+            .iter()
+            .filter_map(|p| {
+                let mut r = SnapshotReader::new(p);
+                Some((r.get_u64().ok()?, r.get_u64().ok()?))
+            })
+            .find(|&(e, _)| e == epoch.0)
+            .map(|(_, s)| s)
+    }
+
+    /// Rewrites a capped log keeping only records the newest complete
+    /// checkpoint can still replay; returns whether anything shrank.
+    /// Called with the log mutex held — the swapped file and the
+    /// writer handle change together.
+    fn trim_log(&self, source: OperatorId, lw: &mut LogWriter) -> Result<bool> {
+        let Some(from_seq) = self
+            .latest_complete()
+            .and_then(|e| self.mark_for(source, e))
+        else {
+            return Ok(false);
+        };
+        let path = self.log_path(source);
+        let frames = read_frames(&path);
+        let kept: Vec<&Vec<u8>> = frames
+            .iter()
+            .filter(|p| {
+                SnapshotReader::new(p)
+                    .get_tuple()
+                    .is_ok_and(|t| t.seq >= from_seq)
+            })
+            .collect();
+        if kept.len() == frames.len() {
+            return Ok(false);
+        }
+        let mut buf = Vec::new();
+        for p in &kept {
+            buf.extend_from_slice(&frame(p));
+        }
+        let tmp = self.root.join("log").join(format!(
+            ".tmp_{}",
+            path.file_name().expect("log name").to_string_lossy()
+        ));
+        fs::write(&tmp, &buf)
+            .and_then(|()| fs::rename(&tmp, &path))
+            .map_err(|e| Error::Storage(format!("cannot trim capped log {path:?}: {e}")))?;
+        lw.file = OpenOptions::new()
+            .append(true)
+            .open(&path)
+            .map_err(|e| Error::Storage(format!("cannot reopen trimmed log {path:?}: {e}")))?;
+        lw.bytes = buf.len() as u64;
+        Ok(true)
     }
 }
 
-fn ckpt_name(epoch: EpochId, op: OperatorId) -> String {
-    format!("e{}_op{}.ckpt", epoch.0, op.0)
-}
-
-/// Parses `e{epoch}_op{N}.ckpt`; temp files (dot-prefixed) and foreign
-/// names yield `None`.
+/// Parses `e{epoch}_op{N}.ckpt` / `.delta`; temp files (dot-prefixed)
+/// and foreign names yield `None`.
 fn parse_ckpt_epoch(name: &str) -> Option<u64> {
     let rest = name.strip_prefix('e')?;
     let (epoch, rest) = rest.split_once("_op")?;
-    rest.strip_suffix(".ckpt")?.parse::<u64>().ok()?;
+    let op = rest
+        .strip_suffix(".ckpt")
+        .or_else(|| rest.strip_suffix(".delta"))?;
+    op.parse::<u64>().ok()?;
     epoch.parse().ok()
 }
 
@@ -152,101 +381,241 @@ fn read_frames(path: &Path) -> Vec<Vec<u8>> {
     out
 }
 
+/// Reads the single frame of a checkpoint file. Checkpoint files use
+/// the loose file cap — a full snapshot legitimately outgrows the
+/// 64 MiB wire cap that guards TCP reads.
+fn read_ckpt_frame(path: &Path) -> Option<Vec<u8>> {
+    let bytes = fs::read(path).ok()?;
+    let mut dec = FrameDecoder::with_limit(MAX_FILE_FRAME_BYTES);
+    dec.feed(&bytes);
+    dec.next_frame().ok().flatten()
+}
+
+/// Appends the shared `(in_flight, resume_seq)` cut suffix.
+fn put_cut(w: &mut SnapshotWriter, in_flight: &[(u32, Tuple)], resume_seq: &[u64]) {
+    w.put_seq(in_flight.iter(), |w, (port, t)| {
+        w.put_u64(*port as u64).put_tuple(t);
+    });
+    w.put_seq(resume_seq.iter(), |w, s| {
+        w.put_u64(*s);
+    });
+}
+
 impl StableStore for FsStore {
-    fn put_checkpoint(
-        &self,
-        epoch: EpochId,
-        op: OperatorId,
-        ckpt: LiveHauCheckpoint,
-    ) -> Result<bool> {
-        let mut w = SnapshotWriter::new();
-        w.put_u64(ckpt.next_seq)
-            .put_u64(ckpt.snapshot.logical_bytes)
-            .put_bytes(&ckpt.snapshot.data);
-        w.put_seq(ckpt.in_flight.iter(), |w, (port, t)| {
-            w.put_u64(*port as u64).put_tuple(t);
-        });
-        w.put_seq(ckpt.resume_seq.iter(), |w, s| {
-            w.put_u64(*s);
-        });
-        let tmp = self
-            .root
-            .join("ckpt")
-            .join(format!(".tmp_{}", ckpt_name(epoch, op)));
-        fs::write(&tmp, frame(&w.finish()))
-            .and_then(|()| fs::rename(&tmp, self.ckpt_path(epoch, op)))
-            .map_err(|e| Error::Storage(format!("checkpoint {epoch}/{op} not persisted: {e}")))?;
-        Ok(self.epoch_counts().get(&epoch.0).copied().unwrap_or(0) >= self.expected)
+    fn put_checkpoint(&self, epoch: EpochId, op: OperatorId, ckpt: CkptWrite) -> Result<bool> {
+        match ckpt.state {
+            CkptState::Full(snapshot) => {
+                let mut w = SnapshotWriter::new();
+                w.put_u64(ckpt.next_seq)
+                    .put_u64(snapshot.logical_bytes)
+                    .put_bytes(&snapshot.data);
+                put_cut(&mut w, &ckpt.in_flight, &ckpt.resume_seq);
+                self.write_ckpt_file(&self.full_path(epoch, op), w.finish())?;
+            }
+            CkptState::Delta { base, delta } => {
+                // Walk the chain the incoming delta would extend.
+                let mut older: Vec<StateDelta> = Vec::new();
+                let mut cum = delta.encoded_bytes() as u64;
+                let mut at = base;
+                let base_snapshot = loop {
+                    match self.read_ckpt(at, op) {
+                        None => {
+                            return Err(Error::Storage(format!(
+                                "delta checkpoint {epoch}/{op}: chain broken at {at}"
+                            )))
+                        }
+                        Some(FsCkpt::Full { snapshot, .. }) => break snapshot,
+                        Some(FsCkpt::Delta {
+                            base: b, delta: d, ..
+                        }) => {
+                            if b >= at {
+                                return Err(Error::Storage(format!(
+                                    "delta checkpoint {epoch}/{op}: corrupt base pointer at {at}"
+                                )));
+                            }
+                            cum += d.encoded_bytes() as u64;
+                            older.push(d);
+                            at = b;
+                        }
+                    }
+                };
+                if self.policy.should_rebase(
+                    older.len() as u32 + 1,
+                    cum,
+                    base_snapshot.data.len() as u64,
+                ) {
+                    // Fold the whole chain into a fresh full snapshot.
+                    let logical = delta.logical_bytes;
+                    older.reverse();
+                    older.push(delta);
+                    let data = delta::fold(&base_snapshot.data, &older)?;
+                    let mut w = SnapshotWriter::new();
+                    w.put_u64(ckpt.next_seq).put_u64(logical).put_bytes(&data);
+                    put_cut(&mut w, &ckpt.in_flight, &ckpt.resume_seq);
+                    self.write_ckpt_file(&self.full_path(epoch, op), w.finish())?;
+                } else {
+                    let mut w = SnapshotWriter::with_capacity(9 + 9 + delta.encoded_bytes());
+                    w.put_u64(ckpt.next_seq).put_u64(base.0);
+                    delta.encode_into(&mut w);
+                    put_cut(&mut w, &ckpt.in_flight, &ckpt.resume_seq);
+                    self.write_ckpt_file(&self.delta_path(epoch, op), w.finish())?;
+                }
+            }
+        }
+        let complete = self.epoch_is_complete(epoch);
+        if complete {
+            self.gc_below(epoch);
+        }
+        Ok(complete)
     }
 
     fn get_checkpoint(&self, epoch: EpochId, op: OperatorId) -> Option<LiveHauCheckpoint> {
-        let payload = read_frames(&self.ckpt_path(epoch, op)).into_iter().next()?;
-        let mut r = SnapshotReader::new(&payload);
-        let next_seq = r.get_u64().ok()?;
-        let logical_bytes = r.get_u64().ok()?;
-        let data = r.get_bytes().ok()?;
-        let in_flight = r
-            .get_seq(|r| Ok((r.get_u64()? as u32, r.get_tuple()?)))
-            .ok()?;
-        let resume_seq = r.get_seq(|r| r.get_u64()).ok()?;
-        Some(LiveHauCheckpoint {
-            snapshot: OperatorSnapshot {
-                data,
-                logical_bytes,
-            },
-            next_seq,
-            in_flight,
-            resume_seq,
-        })
+        match self.read_ckpt(epoch, op)? {
+            FsCkpt::Full {
+                snapshot,
+                next_seq,
+                in_flight,
+                resume_seq,
+            } => Some(LiveHauCheckpoint {
+                snapshot,
+                next_seq,
+                in_flight,
+                resume_seq,
+            }),
+            FsCkpt::Delta {
+                base,
+                delta,
+                next_seq,
+                in_flight,
+                resume_seq,
+            } => {
+                let logical = delta.logical_bytes;
+                let mut deltas = vec![delta];
+                let mut at = base;
+                let base_data = loop {
+                    match self.read_ckpt(at, op)? {
+                        FsCkpt::Full { snapshot, .. } => break snapshot.data,
+                        FsCkpt::Delta {
+                            base: b, delta: d, ..
+                        } => {
+                            if b >= at {
+                                return None;
+                            }
+                            deltas.push(d);
+                            at = b;
+                        }
+                    }
+                };
+                deltas.reverse();
+                let data = delta::fold(&base_data, &deltas).ok()?;
+                Some(LiveHauCheckpoint {
+                    snapshot: OperatorSnapshot {
+                        data,
+                        logical_bytes: logical,
+                    },
+                    next_seq,
+                    in_flight,
+                    resume_seq,
+                })
+            }
+        }
     }
 
     fn latest_complete(&self) -> Option<EpochId> {
-        self.epoch_counts()
+        let Ok(entries) = fs::read_dir(self.root.join("ckpt")) else {
+            return None;
+        };
+        let mut epochs: Vec<u64> = entries
+            .flatten()
+            .filter_map(|e| parse_ckpt_epoch(&e.file_name().to_string_lossy()))
+            .collect();
+        epochs.sort_unstable();
+        epochs.dedup();
+        epochs
             .into_iter()
-            .filter(|&(_, n)| n >= self.expected)
-            .map(|(e, _)| EpochId(e))
-            .max()
+            .rev()
+            .map(EpochId)
+            .find(|&e| self.epoch_is_complete(e))
     }
 
     fn append_log(&self, source: OperatorId, t: Tuple) -> Result<()> {
-        let mut logs = self.logs.lock();
-        if let std::collections::hash_map::Entry::Vacant(slot) = logs.entry(source) {
-            let path = self.log_path(source);
-            // Scan what an earlier incarnation already made durable.
-            let bytes = fs::read(&path).unwrap_or_default();
-            let clean = clean_prefix_len(&bytes);
-            let last_seq = read_frames(&path)
-                .last()
-                .and_then(|p| SnapshotReader::new(p).get_tuple().ok())
-                .map(|t| t.seq);
-            let file = OpenOptions::new()
-                .create(true)
-                .append(true)
-                .open(&path)
-                .map_err(|e| Error::Storage(format!("cannot open source log {path:?}: {e}")))?;
-            if clean < bytes.len() {
-                // Drop the record the crash cut short, so re-appended
-                // frames land on a clean boundary. Failure here leaves
-                // a log whose tail would corrupt every later append —
-                // the source must stop, not stream over it.
-                file.set_len(clean as u64)
-                    .map_err(|e| Error::Storage(format!("cannot trim torn log {path:?}: {e}")))?;
+        let mut deadline: Option<Instant> = None;
+        loop {
+            {
+                let mut logs = self.logs.lock();
+                if let std::collections::hash_map::Entry::Vacant(slot) = logs.entry(source) {
+                    let path = self.log_path(source);
+                    // Scan what an earlier incarnation already made
+                    // durable.
+                    let bytes = fs::read(&path).unwrap_or_default();
+                    let clean = clean_prefix_len(&bytes);
+                    let last_seq = read_frames(&path)
+                        .last()
+                        .and_then(|p| SnapshotReader::new(p).get_tuple().ok())
+                        .map(|t| t.seq);
+                    let file = OpenOptions::new()
+                        .create(true)
+                        .append(true)
+                        .open(&path)
+                        .map_err(|e| {
+                            Error::Storage(format!("cannot open source log {path:?}: {e}"))
+                        })?;
+                    if clean < bytes.len() {
+                        // Drop the record the crash cut short, so
+                        // re-appended frames land on a clean boundary.
+                        // Failure here leaves a log whose tail would
+                        // corrupt every later append — the source must
+                        // stop, not stream over it.
+                        file.set_len(clean as u64).map_err(|e| {
+                            Error::Storage(format!("cannot trim torn log {path:?}: {e}"))
+                        })?;
+                    }
+                    slot.insert(LogWriter {
+                        file,
+                        last_seq,
+                        bytes: clean as u64,
+                    });
+                }
+                let lw = logs.get_mut(&source).expect("writer just ensured");
+                if lw.last_seq.is_some_and(|s| t.seq <= s) {
+                    return Ok(()); // already durable (pre-crash incarnation)
+                }
+                let mut w = SnapshotWriter::with_capacity(SnapshotWriter::encoded_tuple_bytes(&t));
+                w.put_tuple(&t);
+                let rec = frame(&w.finish());
+                let mut fits = match self.log_cap {
+                    Some((cap, _)) => lw.bytes + rec.len() as u64 <= cap,
+                    None => true,
+                };
+                if !fits {
+                    // Over the cap: drop what the newest complete
+                    // checkpoint made unreplayable and re-check.
+                    self.trim_log(source, lw)?;
+                    let (cap, _) = self.log_cap.expect("cap present when over it");
+                    fits = lw.bytes + rec.len() as u64 <= cap;
+                }
+                if fits {
+                    // One write_all per record: the kernel has the
+                    // whole frame (or, on a crash, at most a torn
+                    // tail) — never an interleaving.
+                    lw.file.write_all(&rec).map_err(|e| {
+                        Error::Storage(format!("source preservation failed for {source}: {e}"))
+                    })?;
+                    lw.bytes += rec.len() as u64;
+                    lw.last_seq = Some(t.seq);
+                    return Ok(());
+                }
+            } // release the log mutex while pausing
+            let patience = self.log_cap.expect("cap hit").1;
+            let d = *deadline.get_or_insert_with(|| Instant::now() + patience);
+            if Instant::now() >= d {
+                return Err(Error::Storage(format!(
+                    "source log for {source} at byte cap and no checkpoint freed space \
+                     within {patience:?} (backpressure timeout)"
+                )));
             }
-            slot.insert(LogWriter { file, last_seq });
+            std::thread::sleep(Duration::from_millis(5));
         }
-        let lw = logs.get_mut(&source).expect("writer just ensured");
-        if lw.last_seq.is_some_and(|s| t.seq <= s) {
-            return Ok(()); // already durable (pre-crash incarnation)
-        }
-        let mut w = SnapshotWriter::with_capacity(SnapshotWriter::encoded_tuple_bytes(&t));
-        w.put_tuple(&t);
-        // One write_all per record: the kernel has the whole frame (or,
-        // on a crash, at most a torn tail) — never an interleaving.
-        lw.file
-            .write_all(&frame(&w.finish()))
-            .map_err(|e| Error::Storage(format!("source preservation failed for {source}: {e}")))?;
-        lw.last_seq = Some(t.seq);
-        Ok(())
     }
 
     fn mark_epoch(&self, source: OperatorId, epoch: EpochId, next_seq: u64) -> Result<()> {
@@ -262,15 +631,7 @@ impl StableStore for FsStore {
     }
 
     fn replay_from(&self, source: OperatorId, epoch: EpochId) -> Vec<Tuple> {
-        let from_seq = read_frames(&self.marks_path(source))
-            .iter()
-            .filter_map(|p| {
-                let mut r = SnapshotReader::new(p);
-                Some((r.get_u64().ok()?, r.get_u64().ok()?))
-            })
-            .find(|&(e, _)| e == epoch.0)
-            .map(|(_, s)| s)
-            .unwrap_or(0);
+        let from_seq = self.mark_for(source, epoch).unwrap_or(0);
         read_frames(&self.log_path(source))
             .iter()
             .filter_map(|p| SnapshotReader::new(p).get_tuple().ok())
@@ -292,6 +653,7 @@ impl StableStore for FsStore {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use ms_core::delta::DeltaTable;
     use ms_core::time::SimTime;
     use ms_core::value::Value;
 
@@ -310,14 +672,24 @@ mod tests {
         )
     }
 
-    fn ck(next_seq: u64) -> LiveHauCheckpoint {
-        LiveHauCheckpoint::bare(
-            OperatorSnapshot {
-                data: vec![9, 9, 9],
-                logical_bytes: 3,
-            },
+    fn snap(data: Vec<u8>) -> OperatorSnapshot {
+        OperatorSnapshot {
+            logical_bytes: data.len() as u64,
+            data,
+        }
+    }
+
+    fn ck(next_seq: u64) -> CkptWrite {
+        CkptWrite::full(snap(vec![9, 9, 9]), next_seq)
+    }
+
+    fn delta_write(base: EpochId, delta: StateDelta, next_seq: u64) -> CkptWrite {
+        CkptWrite {
+            state: CkptState::Delta { base, delta },
             next_seq,
-        )
+            in_flight: Vec::new(),
+            resume_seq: Vec::new(),
+        }
     }
 
     #[test]
@@ -343,17 +715,14 @@ mod tests {
     fn in_flight_portion_roundtrips() {
         let dir = tmpdir("inflight");
         let s = FsStore::open(&dir, 1).unwrap();
-        let full = LiveHauCheckpoint {
-            snapshot: OperatorSnapshot {
-                data: vec![1, 2],
-                logical_bytes: 2,
-            },
+        let full = CkptWrite {
+            state: CkptState::Full(snap(vec![1, 2])),
             next_seq: 44,
             in_flight: vec![(0, tup(7)), (1, tup(9))],
             resume_seq: vec![8, 10],
         };
-        assert!(s.put_checkpoint(EpochId(3), OperatorId(2), full).unwrap());
-        let got = s.get_checkpoint(EpochId(3), OperatorId(2)).unwrap();
+        assert!(s.put_checkpoint(EpochId(3), OperatorId(0), full).unwrap());
+        let got = s.get_checkpoint(EpochId(3), OperatorId(0)).unwrap();
         assert_eq!(got.next_seq, 44);
         assert_eq!(got.resume_seq, vec![8, 10]);
         assert_eq!(got.in_flight.len(), 2);
@@ -421,6 +790,227 @@ mod tests {
         assert_eq!(s.latest_complete(), None);
         assert!(s.put_checkpoint(EpochId(9), OperatorId(0), ck(1)).unwrap());
         assert_eq!(s.latest_complete(), Some(EpochId(9)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn delta_chain_folds_byte_identically_across_handles() {
+        let dir = tmpdir("deltachain");
+        let s = FsStore::open(&dir, 1).unwrap();
+        let mut t = DeltaTable::new();
+        for k in 0..32u64 {
+            t.insert(k, vec![k as u8; 24]);
+        }
+        s.put_checkpoint(
+            EpochId(1),
+            OperatorId(0),
+            CkptWrite::full(snap(t.snapshot()), 5),
+        )
+        .unwrap();
+        t.mark_clean();
+        t.insert(7, vec![0xAA; 24]);
+        t.remove(9);
+        s.put_checkpoint(
+            EpochId(2),
+            OperatorId(0),
+            delta_write(EpochId(1), t.take_delta(77), 6),
+        )
+        .unwrap();
+        t.insert(40, vec![0xBB; 24]);
+        s.put_checkpoint(
+            EpochId(3),
+            OperatorId(0),
+            delta_write(EpochId(2), t.take_delta(78), 7),
+        )
+        .unwrap();
+        assert!(dir.join("ckpt").join("e3_op0.delta").exists());
+        // A fresh handle (another process) folds the chain on read.
+        let other = FsStore::open(&dir, 1).unwrap();
+        let got = other.get_checkpoint(EpochId(3), OperatorId(0)).unwrap();
+        assert_eq!(got.snapshot.data, t.snapshot(), "fold is byte-identical");
+        assert_eq!(got.snapshot.logical_bytes, 78);
+        assert_eq!(got.next_seq, 7);
+        assert_eq!(other.latest_complete(), Some(EpochId(3)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn broken_chain_is_neither_complete_nor_writable() {
+        let dir = tmpdir("broken");
+        let s = FsStore::open(&dir, 1).unwrap();
+        // A delta whose base was never written is rejected.
+        let mut t = DeltaTable::new();
+        t.insert(1, vec![1]);
+        assert!(s
+            .put_checkpoint(
+                EpochId(2),
+                OperatorId(0),
+                delta_write(EpochId(1), t.take_delta(0), 0),
+            )
+            .is_err());
+        // Hand-plant a delta file with a dangling base: the epoch must
+        // not count as complete.
+        t.insert(2, vec![2]);
+        let d = t.take_delta(0);
+        let mut w = SnapshotWriter::new();
+        w.put_u64(0).put_u64(1); // next_seq, base = missing epoch 1
+        d.encode_into(&mut w);
+        put_cut(&mut w, &[], &[]);
+        fs::write(dir.join("ckpt").join("e2_op0.delta"), frame(&w.finish())).unwrap();
+        assert_eq!(s.latest_complete(), None);
+        assert!(s.get_checkpoint(EpochId(2), OperatorId(0)).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn rebase_writes_full_and_completion_gcs_old_epochs() {
+        let dir = tmpdir("rebase");
+        let s = FsStore::open(&dir, 1).unwrap().with_policy(RebasePolicy {
+            max_chain: 3,
+            max_delta_pct: 1_000_000,
+        });
+        let mut t = DeltaTable::new();
+        for k in 0..64u64 {
+            t.insert(k, vec![k as u8; 16]);
+        }
+        s.put_checkpoint(
+            EpochId(1),
+            OperatorId(0),
+            CkptWrite::full(snap(t.snapshot()), 0),
+        )
+        .unwrap();
+        t.mark_clean();
+        let mut prev = EpochId(1);
+        for e in 2..=4u64 {
+            t.insert(100 + e, vec![0xCC; 16]);
+            s.put_checkpoint(
+                EpochId(e),
+                OperatorId(0),
+                delta_write(prev, t.take_delta(0), e),
+            )
+            .unwrap();
+            prev = EpochId(e);
+        }
+        // Epoch 4 would be the third delta in the chain — rebased to a
+        // full file, and its completion GCs epochs 1–3.
+        assert!(dir.join("ckpt").join("e4_op0.ckpt").exists());
+        assert!(!dir.join("ckpt").join("e4_op0.delta").exists());
+        assert!(!dir.join("ckpt").join("e1_op0.ckpt").exists(), "GC'd");
+        assert!(!dir.join("ckpt").join("e2_op0.delta").exists(), "GC'd");
+        assert_eq!(s.latest_complete(), Some(EpochId(4)));
+        let got = s.get_checkpoint(EpochId(4), OperatorId(0)).unwrap();
+        assert_eq!(got.snapshot.data, t.snapshot());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn delta_writes_far_fewer_bytes_on_mostly_unchanged_state() {
+        // The CI smoke check: on a mostly-unchanged keyed state, the
+        // delta file must be a small fraction of the full snapshot.
+        let dir = tmpdir("smoke");
+        let s = FsStore::open(&dir, 1).unwrap();
+        let mut t = DeltaTable::new();
+        for k in 0..1000u64 {
+            t.insert(k, vec![(k % 251) as u8; 100]);
+        }
+        s.put_checkpoint(
+            EpochId(1),
+            OperatorId(0),
+            CkptWrite::full(snap(t.snapshot()), 0),
+        )
+        .unwrap();
+        t.mark_clean();
+        for k in 0..10u64 {
+            t.insert(k * 97, vec![0xEE; 100]); // 1% of keys
+        }
+        s.put_checkpoint(
+            EpochId(2),
+            OperatorId(0),
+            delta_write(EpochId(1), t.take_delta(0), 0),
+        )
+        .unwrap();
+        let full_bytes = fs::metadata(dir.join("ckpt").join("e1_op0.ckpt"))
+            .unwrap()
+            .len();
+        let delta_bytes = fs::metadata(dir.join("ckpt").join("e2_op0.delta"))
+            .unwrap()
+            .len();
+        assert!(
+            delta_bytes * 5 < full_bytes,
+            "delta path must write far fewer bytes ({delta_bytes} vs {full_bytes})"
+        );
+        // And the chain still restores byte-identically.
+        let got = s.get_checkpoint(EpochId(2), OperatorId(0)).unwrap();
+        assert_eq!(got.snapshot.data, t.snapshot());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_over_the_wire_frame_cap_roundtrips() {
+        // A full snapshot of a large operator legitimately exceeds the
+        // 64 MiB wire frame cap; checkpoint files must still write and
+        // read (they use the loose file cap), and a delta based on one
+        // must still validate its chain.
+        let dir = tmpdir("bigckpt");
+        let s = FsStore::open(&dir, 1).unwrap();
+        let big = snap(vec![0xAB; MAX_FRAME_BYTES + 1024]);
+        assert!(s
+            .put_checkpoint(EpochId(1), OperatorId(0), CkptWrite::full(big.clone(), 3))
+            .unwrap());
+        let got = s.get_checkpoint(EpochId(1), OperatorId(0)).unwrap();
+        assert_eq!(got.snapshot.data.len(), big.data.len());
+        assert_eq!(got.snapshot.data, big.data);
+        assert_eq!(s.latest_complete(), Some(EpochId(1)));
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn log_cap_pauses_then_fails_without_checkpoints() {
+        let dir = tmpdir("capfail");
+        let s = FsStore::open(&dir, 1)
+            .unwrap()
+            .with_log_cap(256, Duration::from_millis(50));
+        let mut err = None;
+        for seq in 0..64 {
+            if let Err(e) = s.append_log(OperatorId(0), tup(seq)) {
+                err = Some(e);
+                break;
+            }
+        }
+        let err = err.expect("cap must eventually fail the append");
+        assert!(matches!(err, Error::Storage(_)));
+        // The cap was honoured: the log never grew past it.
+        assert!(fs::metadata(dir.join("log").join("op0.log")).unwrap().len() <= 256);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn log_cap_frees_space_after_complete_checkpoint() {
+        let dir = tmpdir("captrim");
+        let s = FsStore::open(&dir, 1)
+            .unwrap()
+            .with_log_cap(512, Duration::from_millis(50));
+        let mut seq = 0;
+        while s.append_log(OperatorId(0), tup(seq)).is_ok() && seq < 64 {
+            seq += 1;
+            if fs::metadata(dir.join("log").join("op0.log")).unwrap().len() > 384 {
+                break;
+            }
+        }
+        // A complete checkpoint whose replay boundary covers the log so
+        // far makes every record trimmable.
+        s.mark_epoch(OperatorId(0), EpochId(1), seq).unwrap();
+        assert!(s
+            .put_checkpoint(EpochId(1), OperatorId(0), ck(seq))
+            .unwrap());
+        // Appends resume: the over-cap append trims and succeeds
+        // without waiting out the patience window.
+        for extra in 0..8 {
+            s.append_log(OperatorId(0), tup(seq + extra)).unwrap();
+        }
+        let replay = s.replay_from(OperatorId(0), EpochId(1));
+        assert_eq!(replay.len(), 8, "trim kept exactly the replayable tail");
+        assert_eq!(replay[0].seq, seq);
         let _ = fs::remove_dir_all(&dir);
     }
 }

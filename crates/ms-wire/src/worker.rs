@@ -35,6 +35,7 @@
 //!   detection.
 
 use std::collections::HashMap;
+use std::io::{BufWriter, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -45,6 +46,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use ms_core::error::{Error, Result};
 use ms_core::ids::OperatorId;
+use ms_core::metrics::{BackpressureGauges, BackpressureMeter};
 use ms_live::host::run_host;
 use ms_live::protocol::CHANNEL_DEPTH;
 use ms_live::{HostMsg, HostWiring, Persister, SourceCmd, StableStore};
@@ -58,6 +60,12 @@ const ACCEPT_POLL: Duration = Duration::from_millis(10);
 const PARK_POLL: Duration = Duration::from_millis(20);
 const ROUTE_WAIT: Duration = Duration::from_secs(15);
 const CONNECT_WAIT: Duration = Duration::from_secs(10);
+/// How long a capped source log pauses its source waiting for a
+/// checkpoint to free space before failing the generation.
+const LOG_CAP_PATIENCE: Duration = Duration::from_secs(10);
+/// Egress socket write-buffer size. Batches of tuples become one
+/// kernel write; the pump flushes at queue-empty and token boundaries.
+const EGRESS_BUF_BYTES: usize = 64 * 1024;
 
 /// How a worker finds its controller.
 #[derive(Clone, Debug)]
@@ -81,6 +89,11 @@ pub struct WorkerConfig {
     pub store_dir: PathBuf,
     /// Heartbeat cadence.
     pub heartbeat_interval: Duration,
+    /// Byte cap per source-preservation log. `None` means unbounded;
+    /// `Some(cap)` pauses a source whose log is full (backpressure)
+    /// until a complete checkpoint frees space, failing the generation
+    /// after [`LOG_CAP_PATIENCE`].
+    pub log_cap_bytes: Option<u64>,
 }
 
 /// Cross-thread worker state.
@@ -92,6 +105,9 @@ struct Shared {
     /// Open data sockets tagged with their generation, so teardown can
     /// `shutdown()` them and unblock the pump threads.
     socks: Mutex<Vec<(u64, TcpStream)>>,
+    /// Per-host backpressure meters of the current generation; the
+    /// heartbeat thread sums them into each liveness message.
+    meters: Mutex<Vec<Arc<BackpressureMeter>>>,
     /// Whole-process stop flag.
     stop: AtomicBool,
 }
@@ -102,8 +118,19 @@ impl Shared {
             min_gen: AtomicU64::new(0),
             routes: Mutex::new(HashMap::new()),
             socks: Mutex::new(Vec::new()),
+            meters: Mutex::new(Vec::new()),
             stop: AtomicBool::new(false),
         }
+    }
+
+    /// Aggregate gauges across the current generation's hosts.
+    fn sample_gauges(&self) -> BackpressureGauges {
+        self.meters
+            .lock()
+            .iter()
+            .fold(BackpressureGauges::default(), |acc, m| {
+                acc.merge(&m.sample())
+            })
     }
 
     fn stale(&self, generation: u64) -> bool {
@@ -166,7 +193,11 @@ impl Run {
         ctrl_w: &Arc<Mutex<TcpStream>>,
     ) -> Result<Run> {
         let qn = a.network()?;
-        let store: Arc<dyn StableStore> = Arc::new(FsStore::open(&cfg.store_dir, qn.len())?);
+        let mut fs_store = FsStore::open(&cfg.store_dir, qn.len())?;
+        if let Some(cap) = cfg.log_cap_bytes {
+            fs_store = fs_store.with_log_cap(cap, LOG_CAP_PATIENCE);
+        }
+        let store: Arc<dyn StableStore> = Arc::new(fs_store);
         shared.min_gen.fetch_max(a.generation, Ordering::SeqCst);
         let generation = a.generation;
         let my_ops = a.ops_on(&cfg.name);
@@ -176,7 +207,8 @@ impl Run {
         // resolve every peer address. Nothing is spawned yet.
         let mut restored = Vec::new(); // (op, operator, restored_seq, replay, resume_seq, in_flight)
         for &op in &my_ops {
-            let mut operator = build_operator(&qn, op, a.source_limit, a.source_delay_us);
+            let mut operator =
+                build_operator(&qn, op, a.source_limit, a.source_delay_us, a.keyed_state);
             let is_source = qn.upstream(op).is_empty();
             let (restored_seq, replay, resume_seq, in_flight) = match a.restore_epoch {
                 Some(epoch) => {
@@ -250,6 +282,9 @@ impl Run {
         let persister = Persister::spawn_with(store.clone(), Some(hook));
         let mut src_cmds = Vec::new();
         let mut hosts = Vec::new();
+        // Fresh generation, fresh gauges — the torn-down run's meters
+        // would otherwise keep reporting their last values forever.
+        shared.meters.lock().clear();
         for (op, operator, restored_seq, replay, resume_seq, in_flight) in restored {
             let mut inputs = Vec::new();
             for &up in qn.upstream(op) {
@@ -291,6 +326,8 @@ impl Run {
             } else {
                 None
             };
+            let meter = Arc::new(BackpressureMeter::new());
+            shared.meters.lock().push(meter.clone());
             let wiring = HostWiring {
                 op_id: op,
                 op: operator,
@@ -302,6 +339,8 @@ impl Run {
                 resume_seq,
                 in_flight,
                 auto_stop: true,
+                last_durable: a.restore_epoch,
+                meter: Some(meter),
             };
             let store = store.clone();
             let ptx = persister.sender();
@@ -381,6 +420,8 @@ fn egress(
             to,
         };
         if send_msg(s, &hello).is_ok() {
+            // Register the raw handle *before* wrapping: teardown only
+            // needs shutdown(), which works through the clone.
             if let Ok(clone) = s.try_clone() {
                 shared.socks.lock().push((generation, clone));
             }
@@ -388,18 +429,37 @@ fn egress(
             stream = None;
         }
     }
-    while let Ok(msg) = rx.recv() {
-        if torn.load(Ordering::SeqCst) {
-            return;
+    // Data tuples coalesce in a userspace buffer and hit the kernel
+    // once per batch; tokens and Eos are barriers, so they flush
+    // immediately — a checkpoint must never sit in a buffer behind an
+    // idle channel.
+    let mut stream = stream.map(|s| BufWriter::with_capacity(EGRESS_BUF_BYTES, s));
+    while let Ok(first) = rx.recv() {
+        let mut msg = first;
+        loop {
+            if torn.load(Ordering::SeqCst) {
+                return;
+            }
+            if let Some(s) = &mut stream {
+                let barrier = !matches!(msg, HostMsg::Data(_));
+                let wire = match msg {
+                    HostMsg::Data(t) => WireMsg::Data(t),
+                    HostMsg::Token(e) => WireMsg::Token(e),
+                    HostMsg::Eos => WireMsg::Eos,
+                };
+                let ok = send_msg(s, &wire).is_ok() && (!barrier || s.flush().is_ok());
+                if !ok {
+                    stream = None; // drain mode from here on
+                }
+            }
+            match rx.try_recv() {
+                Ok(next) => msg = next,
+                Err(_) => break,
+            }
         }
         if let Some(s) = &mut stream {
-            let wire = match msg {
-                HostMsg::Data(t) => WireMsg::Data(t),
-                HostMsg::Token(e) => WireMsg::Token(e),
-                HostMsg::Eos => WireMsg::Eos,
-            };
-            if send_msg(s, &wire).is_err() {
-                stream = None; // drain mode from here on
+            if s.flush().is_err() {
+                stream = None;
             }
         }
     }
@@ -557,7 +617,10 @@ pub fn run_worker(cfg: WorkerConfig) -> Result<()> {
     let heartbeat = thread::spawn(move || {
         while !hb_shared.stop.load(Ordering::SeqCst) {
             thread::sleep(hb_interval);
-            if send_msg(&mut hb, &WireMsg::Heartbeat).is_err() {
+            let beat = WireMsg::Heartbeat {
+                gauges: hb_shared.sample_gauges(),
+            };
+            if send_msg(&mut hb, &beat).is_err() {
                 return;
             }
         }

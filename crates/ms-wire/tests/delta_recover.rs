@@ -1,19 +1,15 @@
-//! Fan-in misalignment recovery on a real 3-process cluster.
+//! End-to-end recovery of a real 3-process cluster whose interior
+//! operator checkpoints *incrementally* (base + delta chain).
 //!
-//! The `fanin` shape runs two source→doubler branches into a single
-//! sink, with the second source throttled ~4× slower than the first —
-//! so at every checkpoint the sink's fast input is several tuples and
-//! often a full token ahead of its slow input, and the alignment
-//! window is genuinely holding buffered tuples when the cut is taken.
-//!
-//! Reference run: no failure. Failure run: the worker hosting the
-//! slow branch is SIGKILLed mid-stream once complete application
-//! checkpoints exist. The controller must roll back all five
-//! operators (including the surviving sink, whose buffered alignment
-//! state is discarded with the generation), restore the latest
-//! complete cut — buffered in-flight tuples included — and replay the
-//! preserved source logs. The sink's final state must be
-//! byte-identical to the reference run.
+//! The chain3 graph runs with `--keyed-state 64`, so the middle
+//! operator is the keyed-statistics table: its first checkpoint is a
+//! full base and every later epoch persists only the keys touched
+//! since the previous capture (`e{e}_op{N}.delta` files). Reference
+//! run: no failure. Failure run: the worker hosting the keyed operator
+//! is SIGKILLed once at least two application checkpoints are complete
+//! *and* at least one delta frame is on disk — so recovery genuinely
+//! folds a base + delta chain, not just a full snapshot. The sink's
+//! final state must be byte-identical to the reference run.
 
 use std::fs;
 use std::path::{Path, PathBuf};
@@ -21,10 +17,15 @@ use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
 use ms_core::codec::SnapshotReader;
-use ms_wire::apps::expected_fanin_sum;
 
 const LIMIT: u64 = 4000;
 const DELAY_US: u64 = 300;
+/// Keyed-table size. Must be large next to the ~400 tuples a 120 ms
+/// epoch carries: the key stride touches ~50 distinct keys per epoch,
+/// and with 512 keys that is ~10% of the base — small enough that the
+/// store persists a genuine `.delta` instead of rebasing every epoch
+/// to a full file under its 50%-of-base policy.
+const KEYED_STATE: u64 = 512;
 
 /// Kills every still-running child on drop so a failing assert never
 /// leaks processes.
@@ -51,9 +52,10 @@ fn controller(dir: &Path) -> Command {
     cmd.args(["--store".as_ref(), dir.join("store").as_os_str()])
         .args(["--addr-file".as_ref(), dir.join("addr").as_os_str()])
         .args(["--result-file".as_ref(), dir.join("result").as_os_str()])
-        .args(["--workers", "2", "--shape", "fanin"])
+        .args(["--workers", "2", "--shape", "chain3"])
         .args(["--limit", &LIMIT.to_string()])
         .args(["--delay-us", &DELAY_US.to_string()])
+        .args(["--keyed-state", &KEYED_STATE.to_string()])
         .args(["--ckpt-ms", "120", "--hb-timeout-ms", "500"])
         .args(["--respawn-wait-ms", "3000", "--deadline-secs", "90"])
         .stdout(Stdio::null())
@@ -92,19 +94,20 @@ fn wait_exit(child: &mut Child, budget: Duration) -> std::process::ExitStatus {
     }
 }
 
-/// Highest *complete* application checkpoint epoch in the store: an
-/// epoch is complete when all five operators have renamed their
-/// checkpoint file into place. Epochs count up from 1, so a return of
-/// `n` means `n` checkpoints have completed — the store GCs epochs
-/// made obsolete by newer complete ones, so counting retained epochs
-/// would understate progress.
-fn max_complete_epoch(store: &Path) -> u64 {
+/// Highest *complete* application checkpoint epoch in the store (all
+/// three operators' files renamed into place), plus the number of
+/// delta frames currently on disk.
+fn ckpt_progress(store: &Path) -> (u64, usize) {
     let mut per_epoch = std::collections::HashMap::new();
+    let mut deltas = 0usize;
     let Ok(entries) = fs::read_dir(store.join("ckpt")) else {
-        return 0;
+        return (0, 0);
     };
     for e in entries.flatten() {
         let name = e.file_name().to_string_lossy().into_owned();
+        if name.ends_with(".delta") {
+            deltas += 1;
+        }
         if let Some(epoch) = name
             .strip_prefix('e')
             .and_then(|r| r.split_once("_op"))
@@ -113,12 +116,13 @@ fn max_complete_epoch(store: &Path) -> u64 {
             *per_epoch.entry(epoch).or_insert(0usize) += 1;
         }
     }
-    per_epoch
+    let max = per_epoch
         .iter()
-        .filter(|(_, &n)| n >= 5)
+        .filter(|(_, &n)| n >= 3)
         .map(|(&e, _)| e)
         .max()
-        .unwrap_or(0)
+        .unwrap_or(0);
+    (max, deltas)
 }
 
 /// `(recoveries line, sink lines)` from a result file.
@@ -141,9 +145,9 @@ fn decode_sink(line: &str) -> (i64, u64) {
 }
 
 #[test]
-fn fanin_sigkill_slow_branch_recovers_to_identical_answer() {
+fn sigkill_mid_delta_chain_recovers_to_identical_answer() {
     // --- Reference run: no failure. ---
-    let ref_dir = fresh_dir("fanin_ref");
+    let ref_dir = fresh_dir("delta_ref");
     let mut cluster = Cluster(Vec::new());
     let ctl = cluster.push(controller(&ref_dir).spawn().unwrap());
     cluster.push(worker(&ref_dir, "wa").spawn().unwrap());
@@ -155,26 +159,28 @@ fn fanin_sigkill_slow_branch_recovers_to_identical_answer() {
     assert_eq!(ref_sinks.len(), 1);
     drop(cluster);
 
-    // --- Failure run: SIGKILL the slow-branch worker mid-stream. ---
-    let dir = fresh_dir("fanin_kill");
+    // --- Failure run: SIGKILL the keyed-operator worker mid-chain. ---
+    let dir = fresh_dir("delta_kill");
     let mut cluster = Cluster(Vec::new());
     let ctl = cluster.push(controller(&dir).spawn().unwrap());
-    // Placement is round-robin over sorted names: op0 (fast source),
-    // op2 (fast doubler) and op4 (sink) → wa; op1 (slow source) and
-    // op3 (slow doubler) → wb. Killing wb severs the slow branch while
-    // the surviving sink holds fast-branch tuples in its alignment
-    // window.
     cluster.push(worker(&dir, "wa").spawn().unwrap());
+    // Placement is round-robin over sorted names: op0,op2 → wa and
+    // op1 (the keyed table writing the delta chain) → wb.
     let victim = cluster.push(worker(&dir, "wb").spawn().unwrap());
 
-    // Let the stream run until at least two application checkpoints
-    // are complete — the recovery then genuinely rolls back a cut
-    // that includes buffered in-flight tuples at the sink.
-    let deadline = Instant::now() + Duration::from_secs(30);
-    while max_complete_epoch(&dir.join("store")) < 2 {
+    // Kill only once the store holds at least two complete application
+    // checkpoints and at least one delta frame: the recovery then has
+    // to fold a genuine base + delta chain.
+    let deadline = Instant::now() + Duration::from_secs(60);
+    loop {
+        let (max_epoch, deltas) = ckpt_progress(&dir.join("store"));
+        if max_epoch >= 2 && deltas >= 1 {
+            break;
+        }
         assert!(
             Instant::now() < deadline,
-            "no complete checkpoint appeared in time"
+            "no complete checkpoint + delta chain appeared in time \
+             (epoch {max_epoch}, {deltas} delta frames)"
         );
         std::thread::sleep(Duration::from_millis(20));
     }
@@ -196,11 +202,13 @@ fn fanin_sigkill_slow_branch_recovers_to_identical_answer() {
     assert_eq!(sinks, ref_sinks);
     let (sum, count) = decode_sink(&sinks[0]);
     assert_eq!(
-        count,
-        2 * LIMIT,
+        count, LIMIT,
         "exactly-once violated: lost or duplicated tuples"
     );
-    assert_eq!(sum, expected_fanin_sum(LIMIT));
+    // The keyed operator forwards every value doubled, so the sink's
+    // closed-form answer matches the stateless chain.
+    let expected: i64 = 2 * (0..LIMIT as i64).sum::<i64>();
+    assert_eq!(sum, expected);
 
     let _ = fs::remove_dir_all(&ref_dir);
     let _ = fs::remove_dir_all(&dir);

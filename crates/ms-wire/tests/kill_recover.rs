@@ -84,10 +84,13 @@ fn wait_exit(child: &mut Child, budget: Duration) -> std::process::ExitStatus {
     }
 }
 
-/// Number of *complete* application checkpoints in the store: an
+/// Highest *complete* application checkpoint epoch in the store: an
 /// epoch is complete when all three operators have renamed their
-/// checkpoint file into place.
-fn complete_epochs(store: &Path) -> usize {
+/// checkpoint file into place. Epochs count up from 1, so a return of
+/// `n` means `n` checkpoints have completed — the store GCs epochs
+/// made obsolete by newer complete ones, so counting retained epochs
+/// would understate progress.
+fn max_complete_epoch(store: &Path) -> u64 {
     let mut per_epoch = std::collections::HashMap::new();
     let Ok(entries) = fs::read_dir(store.join("ckpt")) else {
         return 0;
@@ -102,7 +105,12 @@ fn complete_epochs(store: &Path) -> usize {
             *per_epoch.entry(epoch).or_insert(0usize) += 1;
         }
     }
-    per_epoch.values().filter(|&&n| n >= 3).count()
+    per_epoch
+        .iter()
+        .filter(|(_, &n)| n >= 3)
+        .map(|(&e, _)| e)
+        .max()
+        .unwrap_or(0)
 }
 
 /// `(recoveries line, sink lines)` from a result file.
@@ -151,7 +159,7 @@ fn sigkill_mid_stream_recovers_to_identical_answer() {
     // Let the stream run until at least two application checkpoints
     // are complete — the recovery then genuinely rolls back.
     let deadline = Instant::now() + Duration::from_secs(30);
-    while complete_epochs(&dir.join("store")) < 2 {
+    while max_complete_epoch(&dir.join("store")) < 2 {
         assert!(
             Instant::now() < deadline,
             "no complete checkpoint appeared in time"

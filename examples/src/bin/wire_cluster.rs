@@ -34,6 +34,7 @@ fn main() {
         shape: "chain3".into(),
         source_limit: LIMIT,
         source_delay_us: 100,
+        keyed_state: 0,
         ckpt_interval: Duration::from_millis(100),
         hb_timeout: Duration::from_millis(500),
         respawn_wait: Duration::from_millis(2000),
@@ -50,6 +51,7 @@ fn main() {
                 controller: ControllerAddr::File(addr_file.clone()),
                 store_dir: store.clone(),
                 heartbeat_interval: Duration::from_millis(50),
+                log_cap_bytes: None,
             };
             thread::spawn(move || run_worker(cfg))
         })

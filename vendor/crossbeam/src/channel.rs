@@ -196,6 +196,16 @@ impl<T> Receiver<T> {
         }
     }
 
+    /// Number of messages currently queued.
+    pub fn len(&self) -> usize {
+        self.shared.inner.lock().unwrap().queue.len()
+    }
+
+    /// True if no messages are currently queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
     fn ready(&self) -> bool {
         let inner = self.shared.inner.lock().unwrap();
         !inner.queue.is_empty() || inner.senders == 0
