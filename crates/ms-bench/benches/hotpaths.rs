@@ -10,6 +10,7 @@ use ms_apps::pool::Pool;
 use ms_core::codec::{SnapshotReader, SnapshotWriter};
 use ms_core::config::{CheckpointConfig, SchemeKind};
 use ms_core::ids::{NodeId, OperatorId};
+use ms_core::metrics::{LatencyHistogram, OperatorMeter};
 use ms_core::state::estimate;
 use ms_core::time::{SimDuration, SimTime};
 use ms_core::tuple::Tuple;
@@ -344,6 +345,73 @@ fn bench_wire_throughput(c: &mut Criterion) {
     g.finish();
 }
 
+/// Telemetry overhead on the tuple hot path. Models `ms-live`'s host
+/// loop — tuple allocation, a bounded-channel hop, then apply and
+/// route — with the exact meter calls the host makes when telemetry
+/// is wired (`add_tuples_in` per applied tuple, `add_tuples_out` per
+/// emit): three relaxed atomic adds per tuple. Prints a one-shot
+/// throughput ratio alongside the criterion timings; the acceptance
+/// bound is meters-on within 2% of meters-off.
+fn bench_meter_overhead(c: &mut Criterion) {
+    use std::time::Instant;
+
+    const N: u64 = 100_000;
+
+    fn run(meter: Option<&OperatorMeter>, n: u64) -> u64 {
+        // An upstream thread allocates tuples and pushes them through
+        // the same bounded channel the live wiring uses; the consumer
+        // side is the host thread's apply+route with the meter calls.
+        let (tx, rx) = crossbeam::channel::bounded::<Tuple>(1024);
+        let producer = std::thread::spawn(move || {
+            for seq in 0..n {
+                let t = Tuple::new(
+                    OperatorId(0),
+                    seq,
+                    SimTime::from_micros(seq),
+                    vec![Value::Int(seq as i64)],
+                );
+                if tx.send(t).is_err() {
+                    return;
+                }
+            }
+        });
+        let mut acc = 0u64;
+        while let Ok(t) = rx.recv() {
+            if let Some(m) = meter {
+                m.add_tuples_in(1);
+            }
+            acc = acc.wrapping_add(t.seq);
+            let bytes = t.payload_bytes();
+            if let Some(m) = meter {
+                m.add_tuples_out(1, bytes);
+            }
+        }
+        producer.join().unwrap();
+        acc
+    }
+
+    let meter = OperatorMeter::new();
+    // One-shot ratio over a long run, reported once per bench run.
+    std::hint::black_box(run(None, N)); // warmup
+    let t0 = Instant::now();
+    std::hint::black_box(run(None, 10 * N));
+    let off = t0.elapsed();
+    let t0 = Instant::now();
+    std::hint::black_box(run(Some(&meter), 10 * N));
+    let on = t0.elapsed();
+    eprintln!(
+        "telemetry_overhead: {} tuples meters-off={off:?} meters-on={on:?} ratio={:.4}",
+        10 * N,
+        on.as_nanos() as f64 / off.as_nanos().max(1) as f64,
+    );
+
+    let mut g = c.benchmark_group("telemetry_overhead");
+    g.throughput(Throughput::Elements(N));
+    g.bench_function("meters_off_100k", |b| b.iter(|| run(None, N)));
+    g.bench_function("meters_on_100k", |b| b.iter(|| run(Some(&meter), N)));
+    g.finish();
+}
+
 /// Checkpoint stall: p99 tuple latency while a 64 MiB snapshot is
 /// being persisted, versus steady state. The big-state operator holds
 /// its state as `Arc`'d chunks and overrides `snapshot_deferred`, so
@@ -482,11 +550,6 @@ fn bench_ckpt_stall(c: &mut Criterion) {
         }
     }
 
-    fn p99(lat: &mut [Duration]) -> Duration {
-        lat.sort_unstable();
-        lat[((lat.len() * 99) / 100).min(lat.len() - 1)]
-    }
-
     fn apply_one(op: &mut BigState, ctx: &mut NullCtx, seq: u64) -> Duration {
         let t = Tuple::new(
             OperatorId(0),
@@ -513,17 +576,20 @@ fn bench_ckpt_stall(c: &mut Criterion) {
     let mut ctx = NullCtx;
     let mut seq = 0u64;
 
-    let mut steady = Vec::with_capacity(50_000);
+    // Latencies go straight into fixed-bucket histograms (≤6.25%
+    // relative error) instead of a sort-the-Vec percentile — the same
+    // estimator `DurationStats` uses, in nanosecond ticks here.
+    let mut steady = LatencyHistogram::new();
     for _ in 0..10_000 {
         apply_one(&mut op, &mut ctx, seq); // warmup
         seq += 1;
     }
     for _ in 0..50_000 {
-        steady.push(apply_one(&mut op, &mut ctx, seq));
+        steady.record(apply_one(&mut op, &mut ctx, seq).as_nanos() as u64);
         seq += 1;
     }
 
-    let mut during = Vec::with_capacity(200_000);
+    let mut during = LatencyHistogram::new();
     for epoch in 0..16u64 {
         in_flight.store(true, Ordering::SeqCst);
         let sent = tx.send(PersistItem {
@@ -534,24 +600,31 @@ fn bench_ckpt_stall(c: &mut Criterion) {
             next_seq: seq,
             in_flight: Vec::new(),
             resume_seq: Vec::new(),
+            align_us: 0,
+            meter: None,
         });
         assert!(sent.is_ok(), "persister thread died");
         // Keep streaming while the persister serializes 64 MiB.
-        while in_flight.load(Ordering::SeqCst) && during.len() < 1_000_000 {
-            during.push(apply_one(&mut op, &mut ctx, seq));
+        while in_flight.load(Ordering::SeqCst) && during.count() < 1_000_000 {
+            during.record(apply_one(&mut op, &mut ctx, seq).as_nanos() as u64);
             seq += 1;
         }
     }
     drop(tx);
     drop(persister);
 
-    let p99_steady = p99(&mut steady);
-    let p99_during = p99(&mut during);
     eprintln!(
-        "ckpt_stall: p99 tuple latency steady={p99_steady:?} during-64MiB-ckpt={p99_during:?} \
-         ratio={:.2} ({} in-ckpt samples)",
-        p99_during.as_nanos() as f64 / p99_steady.as_nanos().max(1) as f64,
-        during.len(),
+        "ckpt_stall: tuple latency steady p50={}ns p95={}ns p99={}ns \
+         during-64MiB-ckpt p50={}ns p95={}ns p99={}ns \
+         p99-ratio={:.2} ({} in-ckpt samples)",
+        steady.p50(),
+        steady.p95(),
+        steady.p99(),
+        during.p50(),
+        during.p95(),
+        during.p99(),
+        during.p99() as f64 / steady.p99().max(1) as f64,
+        during.count(),
     );
 
     // --- Criterion timings for the two capture strategies. ---
@@ -576,6 +649,7 @@ criterion_group!(
     bench_snapshot_presize,
     bench_engine_ablation,
     bench_wire_throughput,
+    bench_meter_overhead,
     bench_ckpt_stall
 );
 criterion_main!(benches);

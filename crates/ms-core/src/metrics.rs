@@ -80,13 +80,271 @@ impl BackpressureMeter {
     }
 }
 
-/// Streaming summary of a sequence of duration samples.
+/// Lock-free per-operator (per-HAU) meter: the host thread and the
+/// persister thread bump it on their hot paths with relaxed atomics,
+/// and a sampler (heartbeat thread, `LiveRuntime::telemetry`) reads it
+/// concurrently. Collects the quantities the paper's evaluation plots
+/// per HAU: tuple flow, the state-size trace (Fig. 5), and the
+/// checkpoint phase breakdown (Fig. 14) with delta-vs-full byte
+/// accounting.
+///
+/// Every field is an independent `AtomicU64`; a [`sample`] is advisory
+/// (fields may be from slightly different instants) but each counter
+/// is individually exact and monotone — a sampler can never observe a
+/// torn or decreasing total.
+///
+/// Each field has exactly one writer: the host thread owns the flow
+/// counters and the state gauge (written at the snapshot cut), the
+/// persister thread owns the checkpoint fields. That contract lets
+/// the tuple-path increments be a relaxed
+/// load+store pair instead of an atomic read-modify-write — plain
+/// `mov`s on x86, keeping the metered hot path within the ≤2%
+/// throughput budget — while any number of samplers read concurrently.
+///
+/// [`sample`]: OperatorMeter::sample
+#[derive(Debug, Default)]
+pub struct OperatorMeter {
+    tuples_in: AtomicU64,
+    tuples_out: AtomicU64,
+    bytes_out: AtomicU64,
+    state_bytes: AtomicU64,
+    ckpt_epoch: AtomicU64,
+    ckpt_bytes: AtomicU64,
+    ckpt_delta: AtomicU64,
+    full_bytes_total: AtomicU64,
+    delta_bytes_total: AtomicU64,
+    align_wait_us: AtomicU64,
+    serialize_us: AtomicU64,
+    persist_us: AtomicU64,
+}
+
+impl OperatorMeter {
+    /// Creates a zeroed meter.
+    pub fn new() -> OperatorMeter {
+        OperatorMeter::default()
+    }
+
+    /// Counts `n` tuples applied to the operator. Host-thread only
+    /// (the single-writer contract): the load+store pair is exact
+    /// without an atomic read-modify-write.
+    pub fn add_tuples_in(&self, n: u64) {
+        let v = self.tuples_in.load(Ordering::Relaxed);
+        self.tuples_in.store(v + n, Ordering::Relaxed);
+    }
+
+    /// Counts `n` emitted tuples carrying `bytes` of payload.
+    /// Host-thread only, like [`add_tuples_in`].
+    ///
+    /// [`add_tuples_in`]: OperatorMeter::add_tuples_in
+    pub fn add_tuples_out(&self, n: u64, bytes: u64) {
+        let t = self.tuples_out.load(Ordering::Relaxed);
+        self.tuples_out.store(t + n, Ordering::Relaxed);
+        let b = self.bytes_out.load(Ordering::Relaxed);
+        self.bytes_out.store(b + bytes, Ordering::Relaxed);
+    }
+
+    /// Records the operator's logical state size, sampled at snapshot
+    /// time — the live feed for the paper's Fig. 5 state-size trace.
+    pub fn set_state_bytes(&self, bytes: u64) {
+        self.state_bytes.store(bytes, Ordering::Relaxed);
+    }
+
+    /// Records one durable checkpoint: its epoch, encoded size,
+    /// delta-vs-full kind, and per-phase timings (align-wait measured
+    /// host-side, serialize/persist measured on the persister thread).
+    /// Called once per epoch from the persister after the write lands.
+    pub fn record_checkpoint(
+        &self,
+        epoch: u64,
+        bytes: u64,
+        delta: bool,
+        align_us: u64,
+        serialize_us: u64,
+        persist_us: u64,
+    ) {
+        self.ckpt_bytes.store(bytes, Ordering::Relaxed);
+        self.ckpt_delta.store(delta as u64, Ordering::Relaxed);
+        if delta {
+            self.delta_bytes_total.fetch_add(bytes, Ordering::Relaxed);
+        } else {
+            self.full_bytes_total.fetch_add(bytes, Ordering::Relaxed);
+        }
+        self.align_wait_us.store(align_us, Ordering::Relaxed);
+        self.serialize_us.store(serialize_us, Ordering::Relaxed);
+        self.persist_us.store(persist_us, Ordering::Relaxed);
+        // Epoch last: a sampler that sees the new epoch has, at worst,
+        // gauge values at most one store behind it.
+        self.ckpt_epoch.store(epoch, Ordering::Relaxed);
+    }
+
+    /// A point-in-time reading of every gauge and counter.
+    pub fn sample(&self) -> OperatorSample {
+        OperatorSample {
+            tuples_in: self.tuples_in.load(Ordering::Relaxed),
+            tuples_out: self.tuples_out.load(Ordering::Relaxed),
+            bytes_out: self.bytes_out.load(Ordering::Relaxed),
+            state_bytes: self.state_bytes.load(Ordering::Relaxed),
+            ckpt_epoch: self.ckpt_epoch.load(Ordering::Relaxed),
+            ckpt_bytes: self.ckpt_bytes.load(Ordering::Relaxed),
+            ckpt_is_delta: self.ckpt_delta.load(Ordering::Relaxed) != 0,
+            full_bytes_total: self.full_bytes_total.load(Ordering::Relaxed),
+            delta_bytes_total: self.delta_bytes_total.load(Ordering::Relaxed),
+            align_wait_us: self.align_wait_us.load(Ordering::Relaxed),
+            serialize_us: self.serialize_us.load(Ordering::Relaxed),
+            persist_us: self.persist_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One reading of an [`OperatorMeter`] — a plain value that crosses
+/// threads and the wire (workers fold these into telemetry messages;
+/// the controller keys them into the run ledger).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OperatorSample {
+    /// Tuples applied to the operator since launch.
+    pub tuples_in: u64,
+    /// Tuples emitted since launch.
+    pub tuples_out: u64,
+    /// Payload bytes emitted since launch.
+    pub bytes_out: u64,
+    /// Logical state size at the last snapshot.
+    pub state_bytes: u64,
+    /// Epoch of the most recent durable checkpoint (0 = none yet).
+    pub ckpt_epoch: u64,
+    /// Encoded bytes of that checkpoint (delta bytes if incremental).
+    pub ckpt_bytes: u64,
+    /// Whether that checkpoint was a delta rather than a full snapshot.
+    pub ckpt_is_delta: bool,
+    /// Cumulative encoded bytes of full checkpoints.
+    pub full_bytes_total: u64,
+    /// Cumulative encoded bytes of delta checkpoints.
+    pub delta_bytes_total: u64,
+    /// Token-alignment wait for the last checkpoint (window opened →
+    /// window cut), µs. Zero for sources.
+    pub align_wait_us: u64,
+    /// State-serialization time for the last checkpoint, µs.
+    pub serialize_us: u64,
+    /// Stable-store write time for the last checkpoint, µs.
+    pub persist_us: u64,
+}
+
+impl OperatorSample {
+    /// The last checkpoint's phase breakdown in the paper's Fig. 14
+    /// shape: align-wait (token collection) / serialize / persist.
+    pub fn ckpt_breakdown(&self) -> Breakdown {
+        let mut b = Breakdown::new();
+        b.add("align_wait", SimDuration::from_micros(self.align_wait_us));
+        b.add("serialize", SimDuration::from_micros(self.serialize_us));
+        b.add("persist", SimDuration::from_micros(self.persist_us));
+        b
+    }
+}
+
+/// Sub-bucket resolution of [`LatencyHistogram`]: each power-of-two
+/// range is split into `2^SUB_BITS` linear sub-buckets, bounding the
+/// relative quantile error at `2^-SUB_BITS` (6.25%).
+const SUB_BITS: u32 = 4;
+const SUB: usize = 1 << SUB_BITS;
+
+/// A fixed-bucket log-linear histogram over unit-agnostic `u64` ticks
+/// (microseconds for [`DurationStats`], nanoseconds in benches that
+/// need sub-µs resolution). Values below `2^SUB_BITS` get exact
+/// single-value buckets; above that, buckets widen geometrically with
+/// 16 linear sub-buckets per octave, so any quantile is reported
+/// within ~6% of the true sample. Memory is bounded (≤ 976 counters)
+/// and grows lazily from the low buckets, so an empty histogram is a
+/// few words.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct LatencyHistogram {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl LatencyHistogram {
+    /// Creates an empty histogram.
+    pub fn new() -> LatencyHistogram {
+        LatencyHistogram::default()
+    }
+
+    fn bucket_of(v: u64) -> usize {
+        if v < SUB as u64 {
+            v as usize
+        } else {
+            let exp = 63 - v.leading_zeros();
+            let sub = ((v >> (exp - SUB_BITS)) as usize) - SUB;
+            (exp - SUB_BITS) as usize * SUB + SUB + sub
+        }
+    }
+
+    /// Inclusive upper bound of bucket `i` — what quantiles report, so
+    /// percentile estimates never undershoot the true sample.
+    fn bucket_high(i: usize) -> u64 {
+        if i < SUB {
+            i as u64
+        } else {
+            let oct = ((i - SUB) / SUB) as u32;
+            let sub = ((i - SUB) % SUB) as u64;
+            ((SUB as u64 + sub) << oct).saturating_add((1u64 << oct) - 1)
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, v: u64) {
+        let i = LatencyHistogram::bucket_of(v);
+        if i >= self.counts.len() {
+            self.counts.resize(i + 1, 0);
+        }
+        self.counts[i] += 1;
+        self.total += 1;
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.total
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) in the histogram's tick unit, or
+    /// zero when empty. Reports the containing bucket's upper bound.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.total == 0 {
+            return 0;
+        }
+        let rank = ((q * self.total as f64).ceil() as u64).clamp(1, self.total);
+        let mut cum = 0;
+        for (i, &c) in self.counts.iter().enumerate() {
+            cum += c;
+            if cum >= rank {
+                return LatencyHistogram::bucket_high(i);
+            }
+        }
+        LatencyHistogram::bucket_high(self.counts.len().saturating_sub(1))
+    }
+
+    /// Median.
+    pub fn p50(&self) -> u64 {
+        self.quantile(0.50)
+    }
+
+    /// 95th percentile.
+    pub fn p95(&self) -> u64 {
+        self.quantile(0.95)
+    }
+
+    /// 99th percentile.
+    pub fn p99(&self) -> u64 {
+        self.quantile(0.99)
+    }
+}
+
+/// Streaming summary of a sequence of duration samples, including
+/// fixed-bucket percentiles (see [`LatencyHistogram`]).
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct DurationStats {
     count: u64,
     sum_us: u128,
     min_us: u64,
     max_us: u64,
+    hist: LatencyHistogram,
 }
 
 impl DurationStats {
@@ -97,6 +355,7 @@ impl DurationStats {
             sum_us: 0,
             min_us: u64::MAX,
             max_us: 0,
+            hist: LatencyHistogram::new(),
         }
     }
 
@@ -107,6 +366,28 @@ impl DurationStats {
         self.sum_us += us as u128;
         self.min_us = self.min_us.min(us);
         self.max_us = self.max_us.max(us);
+        self.hist.record(us);
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`), within ~6% relative error,
+    /// clamped to the observed maximum. Zero when empty.
+    pub fn quantile(&self, q: f64) -> SimDuration {
+        SimDuration::from_micros(self.hist.quantile(q).min(self.max_us))
+    }
+
+    /// Median sample.
+    pub fn p50(&self) -> SimDuration {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile sample.
+    pub fn p95(&self) -> SimDuration {
+        self.quantile(0.95)
+    }
+
+    /// 99th-percentile sample.
+    pub fn p99(&self) -> SimDuration {
+        self.quantile(0.99)
     }
 
     /// Number of samples.
@@ -151,13 +432,19 @@ impl TimeSeries {
         TimeSeries::default()
     }
 
-    /// Appends a point; times must be non-decreasing (enforced in debug
-    /// builds).
+    /// Appends a point. Times must be non-decreasing; a timestamp that
+    /// precedes the last recorded point is clamped to the last point's
+    /// time, so wall-clock jitter across workers (or a stepped clock)
+    /// cannot break the sorted-order invariant [`interpolate`] and the
+    /// ledger series rely on. Used to be a debug-only assertion, which
+    /// let release builds silently record out-of-order times.
+    ///
+    /// [`interpolate`]: TimeSeries::interpolate
     pub fn push(&mut self, t: SimTime, v: f64) {
-        debug_assert!(
-            self.points.last().is_none_or(|&(pt, _)| pt <= t),
-            "time series must be appended in order"
-        );
+        let t = match self.points.last() {
+            Some(&(last, _)) if t < last => last,
+            _ => t,
+        };
         self.points.push((t, v));
     }
 
@@ -384,6 +671,154 @@ mod tests {
     }
 
     #[test]
+    fn histogram_small_values_are_exact() {
+        let mut h = LatencyHistogram::new();
+        for v in 0..16u64 {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 16);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(1.0), 15);
+        // Exact single-value buckets below 2^SUB_BITS.
+        for v in 0..16u64 {
+            let mut one = LatencyHistogram::new();
+            one.record(v);
+            assert_eq!(one.p50(), v);
+        }
+    }
+
+    #[test]
+    fn histogram_quantiles_within_relative_error() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        for (q, exact) in [(0.50, 5_000u64), (0.95, 9_500), (0.99, 9_900)] {
+            let est = h.quantile(q);
+            assert!(
+                est >= exact && est as f64 <= exact as f64 * 1.07,
+                "q={q}: est {est} vs exact {exact}"
+            );
+        }
+        // Empty histogram reports zero.
+        assert_eq!(LatencyHistogram::new().quantile(0.99), 0);
+        // Huge values don't overflow the bucket math.
+        let mut big = LatencyHistogram::new();
+        big.record(u64::MAX);
+        assert!(big.p99() >= u64::MAX / 16 * 15);
+    }
+
+    #[test]
+    fn duration_stats_percentiles() {
+        let mut s = DurationStats::new();
+        for ms in 1..=1000u64 {
+            s.record(SimDuration::from_millis(ms));
+        }
+        let p50 = s.p50().as_micros();
+        let p99 = s.p99().as_micros();
+        assert!((500_000..=535_000).contains(&p50), "p50 {p50}");
+        assert!((990_000..=1_000_000).contains(&p99), "p99 {p99}");
+        // Percentiles never exceed the observed maximum.
+        assert!(s.p99() <= s.max());
+        assert_eq!(DurationStats::new().p99(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn operator_meter_counts_and_breakdown() {
+        let m = OperatorMeter::new();
+        assert_eq!(m.sample(), OperatorSample::default());
+        m.add_tuples_in(3);
+        m.add_tuples_out(2, 64);
+        m.set_state_bytes(1024);
+        m.record_checkpoint(7, 256, true, 10, 20, 30);
+        let s = m.sample();
+        assert_eq!(s.tuples_in, 3);
+        assert_eq!(s.tuples_out, 2);
+        assert_eq!(s.bytes_out, 64);
+        assert_eq!(s.state_bytes, 1024);
+        assert_eq!(s.ckpt_epoch, 7);
+        assert_eq!(s.ckpt_bytes, 256);
+        assert!(s.ckpt_is_delta);
+        assert_eq!(s.delta_bytes_total, 256);
+        assert_eq!(s.full_bytes_total, 0);
+        m.record_checkpoint(8, 4096, false, 1, 2, 3);
+        assert_eq!(m.sample().full_bytes_total, 4096);
+        assert_eq!(m.sample().delta_bytes_total, 256);
+        let b = s.ckpt_breakdown();
+        assert_eq!(b.get("align_wait"), SimDuration::from_micros(10));
+        assert_eq!(b.get("serialize"), SimDuration::from_micros(20));
+        assert_eq!(b.get("persist"), SimDuration::from_micros(30));
+        assert_eq!(b.total(), SimDuration::from_micros(60));
+    }
+
+    #[test]
+    fn operator_meter_concurrent_updates_never_tear() {
+        use std::sync::atomic::AtomicBool;
+        use std::sync::Arc;
+
+        const TUPLES: u64 = 200_000;
+        const EPOCHS: u64 = 200;
+        let meter = Arc::new(OperatorMeter::new());
+        let done = Arc::new(AtomicBool::new(false));
+
+        let sampler = {
+            let meter = Arc::clone(&meter);
+            let done = Arc::clone(&done);
+            std::thread::spawn(move || {
+                let mut last = OperatorSample::default();
+                let mut reads = 0u64;
+                while !done.load(Ordering::Acquire) {
+                    let s = meter.sample();
+                    // Counters are monotone: a torn or word-sliced read
+                    // would show up as a decrease.
+                    assert!(s.tuples_in >= last.tuples_in);
+                    assert!(s.tuples_out >= last.tuples_out);
+                    assert!(s.bytes_out >= last.bytes_out);
+                    assert!(s.full_bytes_total >= last.full_bytes_total);
+                    assert!(s.ckpt_epoch >= last.ckpt_epoch);
+                    last = s;
+                    reads += 1;
+                }
+                reads
+            })
+        };
+
+        // The real writer topology (the single-writer contract): the
+        // host thread owns the flow counters, the persister thread
+        // owns the state gauge and checkpoint fields, and the sampler
+        // races both.
+        let host = {
+            let meter = Arc::clone(&meter);
+            std::thread::spawn(move || {
+                for _ in 0..TUPLES {
+                    meter.add_tuples_in(1);
+                    meter.add_tuples_out(1, 8);
+                }
+            })
+        };
+        let persister = {
+            let meter = Arc::clone(&meter);
+            std::thread::spawn(move || {
+                for e in 1..=EPOCHS {
+                    meter.set_state_bytes(64 * e);
+                    meter.record_checkpoint(e, 100, false, 1, 2, 3);
+                }
+            })
+        };
+        host.join().unwrap();
+        persister.join().unwrap();
+        done.store(true, Ordering::Release);
+        assert!(sampler.join().unwrap() > 0, "sampler observed the run");
+
+        let s = meter.sample();
+        assert_eq!(s.tuples_in, TUPLES);
+        assert_eq!(s.tuples_out, TUPLES);
+        assert_eq!(s.bytes_out, TUPLES * 8);
+        assert_eq!(s.ckpt_epoch, EPOCHS);
+        assert_eq!(s.full_bytes_total, 100 * EPOCHS);
+    }
+
+    #[test]
     fn time_series_stats_and_minima() {
         let mut ts = TimeSeries::new();
         let vals = [5.0, 3.0, 4.0, 1.0, 2.0];
@@ -394,6 +829,24 @@ mod tests {
         assert_eq!(ts.max(), 5.0);
         assert_eq!(ts.min(), 1.0);
         assert_eq!(ts.local_minima(), vec![1, 3]);
+    }
+
+    #[test]
+    fn out_of_order_push_is_clamped() {
+        let mut ts = TimeSeries::new();
+        ts.push(SimTime::from_secs(5), 1.0);
+        ts.push(SimTime::from_secs(3), 2.0); // behind: clamped to t=5
+        ts.push(SimTime::from_secs(7), 3.0);
+        assert_eq!(
+            ts.points(),
+            &[
+                (SimTime::from_secs(5), 1.0),
+                (SimTime::from_secs(5), 2.0),
+                (SimTime::from_secs(7), 3.0),
+            ]
+        );
+        // The series stays sorted, so interpolation still works.
+        assert_eq!(ts.interpolate(SimTime::from_secs(6)), 2.5);
     }
 
     #[test]

@@ -41,11 +41,12 @@
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 use crossbeam::channel::{unbounded, Receiver, Select, Sender};
 use ms_core::error::{Error, Result};
 use ms_core::ids::{EpochId, OperatorId, PortId};
-use ms_core::metrics::BackpressureMeter;
+use ms_core::metrics::{BackpressureMeter, OperatorMeter};
 use ms_core::operator::{DeferredSnapshot, Operator, OperatorContext, SnapshotPayload};
 use ms_core::time::SimTime;
 use ms_core::tuple::{Fields, Tuple};
@@ -93,6 +94,13 @@ pub struct PersistItem {
     pub in_flight: Vec<(u32, Tuple)>,
     /// Per-input replay thresholds at the cut.
     pub resume_seq: Vec<u64>,
+    /// Token-alignment wait for this cut (window opened → cut), µs.
+    /// Zero for sources, which never align.
+    pub align_us: u64,
+    /// Per-operator meter the persister reports checkpoint bytes and
+    /// phase timings into once the write lands. `None` disables
+    /// telemetry for this item.
+    pub meter: Option<Arc<OperatorMeter>>,
 }
 
 /// Called by the persister after each checkpoint write attempt with
@@ -123,6 +131,9 @@ impl Persister {
         let (tx, rx) = unbounded::<PersistItem>();
         let handle = std::thread::spawn(move || {
             while let Ok(item) = rx.recv() {
+                // Serialize phase: resolving the deferred capture is
+                // where the expensive encoding happens.
+                let serialize_start = Instant::now();
                 let state = match (item.snapshot.resolve(), item.base) {
                     (SnapshotPayload::Full(s), _) => Ok(CkptState::Full(s)),
                     (SnapshotPayload::Delta(delta), Some(base)) => {
@@ -133,6 +144,15 @@ impl Persister {
                         item.epoch, item.op
                     ))),
                 };
+                let serialize_us = serialize_start.elapsed().as_micros() as u64;
+                let encoded = match &state {
+                    Ok(CkptState::Full(s)) => Some((s.data.len() as u64, false)),
+                    Ok(CkptState::Delta { delta, .. }) => {
+                        Some((delta.encoded_bytes() as u64, true))
+                    }
+                    Err(_) => None,
+                };
+                let persist_start = Instant::now();
                 let outcome = state.and_then(|state| {
                     store.put_checkpoint(
                         item.epoch,
@@ -149,6 +169,15 @@ impl Persister {
                     eprintln!(
                         "persister: checkpoint {}/{} not persisted: {e}",
                         item.epoch, item.op
+                    );
+                } else if let (Some(m), Some((bytes, delta))) = (&item.meter, encoded) {
+                    m.record_checkpoint(
+                        item.epoch.0,
+                        bytes,
+                        delta,
+                        item.align_us,
+                        serialize_us,
+                        persist_start.elapsed().as_micros() as u64,
                     );
                 }
                 if let Some(hook) = &on_durable {
@@ -217,6 +246,10 @@ pub struct HostWiring {
     /// input-queue depth and alignment-window occupancy. `None`
     /// disables metering (tests, benches).
     pub meter: Option<Arc<BackpressureMeter>>,
+    /// Per-operator flow/checkpoint meter (tuples in/out, bytes,
+    /// state-size gauge, checkpoint phases). Updated on the hot path
+    /// with relaxed atomics; `None` disables telemetry.
+    pub telemetry: Option<Arc<OperatorMeter>>,
 }
 
 /// How a host thread ended: the operator with its final state, plus
@@ -288,6 +321,10 @@ struct Window {
     /// youngest window covering that input — the in-flight portion of
     /// the cut.
     buffered: Vec<(u32, Tuple)>,
+    /// When the first token opened this window — the cut's align-wait
+    /// (the paper's "token collection" checkpoint phase) is measured
+    /// from here.
+    opened: Instant,
 }
 
 /// Runs one HAU to completion on the current thread; returns a
@@ -312,9 +349,17 @@ pub fn run_host(
                  next_seq: &mut u64,
                  preserve: bool|
      -> Result<bool> {
+        // Emission metering is batched: one pair of relaxed adds per
+        // route call, not per tuple.
+        let mut emitted = 0u64;
+        let mut emitted_bytes = 0u64;
         for (port, fields) in ctx_emissions {
             let t = Tuple::new(w.op_id, *next_seq, SimTime::ZERO, fields);
             *next_seq += 1;
+            if w.telemetry.is_some() {
+                emitted += 1;
+                emitted_bytes += t.payload_bytes();
+            }
             if preserve {
                 // Source preservation: stable storage *before* sending.
                 store.append_log(w.op_id, t.clone())?;
@@ -323,6 +368,11 @@ pub fn run_host(
                 if tx.send(HostMsg::Data(t)).is_err() {
                     return Ok(false);
                 }
+            }
+        }
+        if let Some(m) = &w.telemetry {
+            if emitted > 0 {
+                m.add_tuples_out(emitted, emitted_bytes);
             }
         }
         Ok(true)
@@ -362,6 +412,9 @@ pub fn run_host(
                 // enqueued: an epoch that looks complete on disk always
                 // has its replay boundary.
                 store.mark_epoch(w.op_id, epoch, next_seq)?;
+                if let Some(m) = &w.telemetry {
+                    m.set_state_bytes(op.state_size());
+                }
                 let (snapshot, base) = capture(op, last_captured);
                 last_captured = Some(epoch);
                 let _ = persist.send(PersistItem {
@@ -372,6 +425,8 @@ pub fn run_host(
                     next_seq,
                     in_flight: Vec::new(),
                     resume_seq: Vec::new(),
+                    align_us: 0,
+                    meter: w.telemetry.clone(),
                 });
                 for tx in &w.outputs {
                     let _ = tx.send(HostMsg::Token(epoch));
@@ -457,6 +512,9 @@ pub fn run_host(
     macro_rules! apply_tuple {
         ($port:expr, $t:expr) => {{
             let t: Tuple = $t;
+            if let Some(m) = &w.telemetry {
+                m.add_tuples_in(1);
+            }
             let mut ctx = LiveCtx {
                 op: w.op_id,
                 fanout,
@@ -498,12 +556,16 @@ pub fn run_host(
                 break;
             }
             let win = windows.pop_front().expect("front window");
+            let align_us = win.opened.elapsed().as_micros() as u64;
             // Fold the in-flight portion into the replay thresholds
             // *before* recording them: the captured tuples count as
             // accounted-for by this cut.
             for (i, t) in &win.buffered {
                 let s = &mut cut_seq[*i as usize];
                 *s = (*s).max(t.seq + 1);
+            }
+            if let Some(m) = &w.telemetry {
+                m.set_state_bytes(w.op.state_size());
             }
             let (snapshot, base) = capture(w.op.as_mut(), last_captured);
             last_captured = Some(win.epoch);
@@ -515,6 +577,8 @@ pub fn run_host(
                 next_seq,
                 in_flight: win.buffered.clone(),
                 resume_seq: cut_seq.clone(),
+                align_us,
+                meter: w.telemetry.clone(),
             });
             for tx in &w.outputs {
                 let _ = tx.send(HostMsg::Token(win.epoch));
@@ -593,6 +657,7 @@ pub fn run_host(
                             epoch,
                             tokens,
                             buffered: Vec::new(),
+                            opened: Instant::now(),
                         },
                     );
                 }

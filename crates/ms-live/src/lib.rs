@@ -41,7 +41,7 @@ pub mod protocol;
 pub mod storage;
 
 pub use host::{DurableHook, HostExit, HostMsg, HostWiring, PersistItem, Persister, SourceCmd};
-pub use protocol::{CountSource, Doubler, LiveRuntime, Summer};
+pub use protocol::{CountSource, Doubler, LiveRuntime, LiveTelemetry, Summer};
 pub use storage::{
     CkptState, CkptWrite, LiveHauCheckpoint, LiveStorage, RebasePolicy, StableStore,
 };

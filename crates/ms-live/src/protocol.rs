@@ -22,6 +22,7 @@ use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use ms_core::error::{Error, Result};
 use ms_core::graph::QueryNetwork;
 use ms_core::ids::{EpochId, OperatorId, PortId};
+use ms_core::metrics::{BackpressureGauges, BackpressureMeter, OperatorMeter, OperatorSample};
 use ms_core::operator::{Operator, OperatorContext, OperatorSnapshot};
 use ms_core::tuple::Tuple;
 use ms_core::value::Value;
@@ -33,12 +34,26 @@ use crate::storage::{LiveStorage, StableStore};
 /// simulator's bounded per-channel buffers — hop-by-hop backpressure).
 pub const CHANNEL_DEPTH: usize = 256;
 
+/// A point-in-time view of a running [`LiveRuntime`]: the merged
+/// backpressure gauges its hosts keep current, plus one
+/// [`OperatorSample`] per HAU (tuple flow, state-size gauge, last
+/// checkpoint's bytes and phase breakdown). Sampling is lock-free and
+/// advisory — see [`ms_core::metrics::OperatorMeter`].
+#[derive(Clone, Debug, Default)]
+pub struct LiveTelemetry {
+    /// Field-wise sum of every host's backpressure gauges.
+    pub backpressure: BackpressureGauges,
+    /// One sample per operator, in graph order.
+    pub operators: Vec<(OperatorId, OperatorSample)>,
+}
+
 /// A running live deployment.
 pub struct LiveRuntime {
     handles: Vec<JoinHandle<HostExit>>,
     src_cmds: Vec<Sender<SourceCmd>>,
     next_epoch: EpochId,
     persister: Option<Persister>,
+    meters: Vec<(OperatorId, Arc<BackpressureMeter>, Arc<OperatorMeter>)>,
 }
 
 impl LiveRuntime {
@@ -84,6 +99,7 @@ impl LiveRuntime {
 
         let mut handles = Vec::new();
         let mut src_cmds = Vec::new();
+        let mut meters = Vec::new();
         for op_id in qn.operators() {
             let mut op = factory(op_id);
             let mut restored_seq = 0;
@@ -119,6 +135,9 @@ impl LiveRuntime {
             } else {
                 None
             };
+            let bp = Arc::new(BackpressureMeter::new());
+            let tel = Arc::new(OperatorMeter::new());
+            meters.push((op_id, bp.clone(), tel.clone()));
             let wiring = HostWiring {
                 op_id,
                 op,
@@ -131,7 +150,8 @@ impl LiveRuntime {
                 in_flight,
                 auto_stop: false,
                 last_durable: restore_epoch,
-                meter: None,
+                meter: Some(bp),
+                telemetry: Some(tel),
             };
             let store = store.clone();
             let persist_tx = persister.sender();
@@ -147,7 +167,25 @@ impl LiveRuntime {
             src_cmds,
             next_epoch: restore_epoch.unwrap_or(EpochId::INITIAL),
             persister: Some(persister),
+            meters,
         })
+    }
+
+    /// Samples the deployment's meters: merged backpressure gauges
+    /// (queue depth, alignment-window occupancy) plus one
+    /// [`OperatorSample`] per HAU. Lock-free; callable from any thread
+    /// while the hosts run.
+    pub fn telemetry(&self) -> LiveTelemetry {
+        let mut backpressure = BackpressureGauges::default();
+        let mut operators = Vec::with_capacity(self.meters.len());
+        for (op_id, bp, tel) in &self.meters {
+            backpressure = backpressure.merge(&bp.sample());
+            operators.push((*op_id, tel.sample()));
+        }
+        LiveTelemetry {
+            backpressure,
+            operators,
+        }
     }
 
     /// Initiates an application checkpoint; returns its epoch.
@@ -386,6 +424,62 @@ mod tests {
         let (sum, count) = sink_sum(&ops, k);
         assert_eq!(count, N, "no tuple missed or duplicated");
         assert_eq!(sum, ref_sum);
+    }
+
+    #[test]
+    fn telemetry_reports_flow_and_checkpoint_phases() {
+        const N: u64 = 50_000;
+        let (qn, s, d, k) = chain();
+        let storage = Arc::new(LiveStorage::new(qn.len()));
+        let mut rt = LiveRuntime::start(&qn, storage, build(s, d, N)).unwrap();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let epoch = rt.checkpoint();
+        // Wait (bounded) for the checkpoint to reach the persister and
+        // be reported back into every operator's meter.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            let tel = rt.telemetry();
+            let all_ckpted = tel
+                .operators
+                .iter()
+                .all(|(_, sample)| sample.ckpt_epoch >= epoch.0);
+            if all_ckpted || std::time::Instant::now() > deadline {
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let tel = rt.telemetry();
+        rt.finish().unwrap();
+
+        assert_eq!(tel.operators.len(), 3);
+        let sample = |op: OperatorId| {
+            tel.operators
+                .iter()
+                .find(|(id, _)| *id == op)
+                .map(|(_, sample)| *sample)
+                .expect("sampled operator")
+        };
+        let (src, dbl, sink) = (sample(s), sample(d), sample(k));
+        // Flow: the source only emits, the sink only consumes, and the
+        // doubler forwards what it sees.
+        assert_eq!(src.tuples_in, 0);
+        assert!(src.tuples_out > 0);
+        assert!(src.bytes_out > 0);
+        assert!(dbl.tuples_in > 0);
+        assert!(dbl.tuples_out > 0);
+        assert!(sink.tuples_in > 0);
+        assert_eq!(sink.tuples_out, 0);
+        // Checkpoint accounting: every operator recorded the epoch, a
+        // state-size gauge, and full-snapshot bytes.
+        for smp in [src, dbl, sink] {
+            assert_eq!(smp.ckpt_epoch, epoch.0);
+            assert!(smp.state_bytes > 0);
+            assert!(smp.ckpt_bytes > 0);
+            assert!(!smp.ckpt_is_delta);
+            assert_eq!(smp.full_bytes_total, smp.ckpt_bytes);
+        }
+        // Sources never align.
+        assert_eq!(src.align_wait_us, 0);
     }
 
     #[test]

@@ -1,0 +1,49 @@
+//! Run-ledger summarizer: reads the controller's `ledger.jsonl` and
+//! prints the per-epoch table, top state growers, and barrier-latency
+//! stats. See `ms-wire`'s `ledger` module docs for the record schema.
+
+use std::path::PathBuf;
+
+use ms_wire::{read_ledger, summarize};
+
+fn usage() -> ! {
+    eprintln!("usage: ms_ledger LEDGER.jsonl [--top N] [--tail N]");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let get = |key: &str| -> Option<String> {
+        args.iter()
+            .position(|a| a == key)
+            .and_then(|i| args.get(i + 1).cloned())
+    };
+    let num = |key: &str, default: u64| -> u64 {
+        get(key).map_or(default, |v| v.parse().unwrap_or_else(|_| usage()))
+    };
+    let Some(path) = args.first().filter(|a| !a.starts_with("--")) else {
+        usage()
+    };
+    let top = num("--top", 5) as usize;
+    let tail = num("--tail", 0);
+
+    let mut records = match read_ledger(&PathBuf::from(path)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("ms_ledger: {e}");
+            std::process::exit(1);
+        }
+    };
+    // --tail N keeps only the last N epochs (by epoch id, which is
+    // unique across generations).
+    if tail > 0 {
+        let mut epochs: Vec<u64> = records.iter().map(|r| r.epoch).collect();
+        epochs.sort_unstable();
+        epochs.dedup();
+        if epochs.len() as u64 > tail {
+            let cutoff = epochs[epochs.len() - tail as usize];
+            records.retain(|r| r.epoch >= cutoff);
+        }
+    }
+    print!("{}", summarize(&records, top));
+}

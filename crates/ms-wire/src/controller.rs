@@ -22,7 +22,7 @@
 //! byte-identical to a failure-free run, which the integration test
 //! asserts by diffing the two result files.
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, HashMap, HashSet};
 use std::io::Write;
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -35,10 +35,11 @@ use crossbeam::channel::{unbounded, Sender};
 use ms_core::error::{Error, Result};
 use ms_core::graph::QueryNetwork;
 use ms_core::ids::{EpochId, OperatorId};
-use ms_core::metrics::BackpressureGauges;
+use ms_core::metrics::{BackpressureGauges, OperatorSample};
 use ms_live::StableStore;
 
 use crate::apps::demo_network;
+use crate::ledger::{LedgerRecord, LedgerWriter, LEDGER_FILE};
 use crate::message::{recv_msg, send_msg, Assignment, OpPlacement, WireMsg};
 use crate::store::FsStore;
 
@@ -126,6 +127,13 @@ enum Event {
         op: OperatorId,
         snapshot: Vec<u8>,
     },
+    /// A batch of operator telemetry samples from one worker — the
+    /// heartbeat-cadence sweep of every local operator, or the single
+    /// fresh sample a worker sends just ahead of each `CkptDone`.
+    Telemetry {
+        generation: u64,
+        samples: Vec<(OperatorId, OperatorSample)>,
+    },
     /// One HAU's individual checkpoint is durable (the epoch barrier).
     CkptAck {
         generation: u64,
@@ -191,6 +199,13 @@ fn reader(mut stream: TcpStream, events: Sender<Event>) {
                 name: name.clone(),
                 gauges,
             },
+            Ok(Some(WireMsg::Telemetry {
+                generation,
+                samples,
+            })) => Event::Telemetry {
+                generation,
+                samples,
+            },
             Ok(Some(WireMsg::SinkDone {
                 generation,
                 op,
@@ -237,6 +252,17 @@ pub fn run_controller(cfg: ControllerConfig) -> Result<ClusterReport> {
     let qn = demo_network(&cfg.shape)?;
     let store = FsStore::open(&cfg.store_dir, qn.len())?;
     let n_sinks = qn.sinks().len();
+    // The run ledger lives next to the checkpoints, opened in append
+    // mode so one trail spans every generation of the run. Telemetry
+    // is advisory: a ledger that cannot be opened disables the trail
+    // but never fails the cluster.
+    let mut ledger = match LedgerWriter::open(&cfg.store_dir.join(LEDGER_FILE)) {
+        Ok(l) => Some(l),
+        Err(e) => {
+            eprintln!("ms-controller: run ledger disabled: {e}");
+            None
+        }
+    };
 
     let listener = TcpListener::bind(cfg.listen.as_str())?;
     let addr = listener.local_addr()?.to_string();
@@ -290,7 +316,13 @@ pub fn run_controller(cfg: ControllerConfig) -> Result<ClusterReport> {
     // only enter the graph once every HAU's epoch-`e` checkpoint is
     // durable.
     let mut outstanding: Option<EpochId> = None;
+    let mut outstanding_since = Instant::now();
     let mut acked: HashSet<OperatorId> = HashSet::new();
+    // Freshest telemetry sample per operator (current generation only)
+    // and where each operator runs, for folding the hosting worker's
+    // backpressure gauges into that operator's ledger records.
+    let mut latest: HashMap<OperatorId, OperatorSample> = HashMap::new();
+    let mut op_worker: HashMap<OperatorId, String> = HashMap::new();
     let n_ops_total = qn.len();
     let mut report = ClusterReport {
         recoveries: 0,
@@ -356,6 +388,25 @@ pub fn run_controller(cfg: ControllerConfig) -> Result<ClusterReport> {
                 // as the paper's controller does.
                 println!("ms-controller: lost connection to {name}");
             }
+            Event::Telemetry {
+                generation: g,
+                samples,
+            } => {
+                if g == generation && deployed {
+                    for (op, s) in samples {
+                        // Heartbeat-cadence samples race the per-ack
+                        // samples across two connections; never let a
+                        // stale heartbeat sweep roll an operator's
+                        // checkpoint record back an epoch.
+                        match latest.get(&op) {
+                            Some(old) if s.ckpt_epoch < old.ckpt_epoch => {}
+                            _ => {
+                                latest.insert(op, s);
+                            }
+                        }
+                    }
+                }
+            }
             Event::CkptAck {
                 generation: g,
                 epoch,
@@ -364,7 +415,18 @@ pub fn run_controller(cfg: ControllerConfig) -> Result<ClusterReport> {
                 if g == generation && deployed && outstanding == Some(epoch) {
                     acked.insert(op);
                     if acked.len() >= n_ops_total {
-                        // Epoch durable everywhere: open the barrier.
+                        // Epoch durable everywhere: open the barrier
+                        // and cut one ledger record per operator. The
+                        // workers send a fresh sample ahead of each
+                        // `CkptDone` on the same connection, so by now
+                        // `latest` holds every operator's epoch-`epoch`
+                        // checkpoint phases.
+                        let barrier_us = outstanding_since.elapsed().as_micros() as u64;
+                        if let Some(l) = ledger.as_mut() {
+                            write_ledger_epoch(
+                                l, generation, epoch, barrier_us, &latest, &op_worker, &workers,
+                            );
+                        }
                         outstanding = None;
                     }
                 }
@@ -447,6 +509,7 @@ pub fn run_controller(cfg: ControllerConfig) -> Result<ClusterReport> {
                         report.checkpoints += 1;
                         last_ckpt = now;
                         outstanding = Some(next_epoch);
+                        outstanding_since = now;
                         acked.clear();
                         for w in workers.iter_mut().filter(|w| w.alive) {
                             let _ = send_msg(&mut w.writer, &WireMsg::Checkpoint(next_epoch));
@@ -477,7 +540,9 @@ pub fn run_controller(cfg: ControllerConfig) -> Result<ClusterReport> {
                             None => None,
                         };
                         generation += 1;
-                        deploy(&qn, &cfg, generation, restore, &mut workers);
+                        let placement = deploy(&qn, &cfg, generation, restore, &mut workers);
+                        op_worker = placement.into_iter().map(|p| (p.op, p.worker)).collect();
+                        latest.clear();
                         deployed = true;
                         last_ckpt = now;
                         outstanding = None;
@@ -512,15 +577,65 @@ pub fn run_controller(cfg: ControllerConfig) -> Result<ClusterReport> {
     })
 }
 
+/// One ledger record per operator for a just-closed epoch barrier.
+/// Flow counters and checkpoint phases come from the operator's
+/// freshest telemetry sample; backpressure gauges come from the
+/// hosting worker's latest heartbeat; the barrier latency (token
+/// broadcast → last `CkptDone`) is shared by every record of the
+/// epoch. Append failures are reported but never fail the run.
+fn write_ledger_epoch(
+    ledger: &mut LedgerWriter,
+    generation: u64,
+    epoch: EpochId,
+    barrier_us: u64,
+    latest: &HashMap<OperatorId, OperatorSample>,
+    op_worker: &HashMap<OperatorId, String>,
+    workers: &[Worker],
+) {
+    let mut ops: Vec<&OperatorId> = latest.keys().collect();
+    ops.sort();
+    for &op in ops {
+        let s = &latest[&op];
+        let gauges = op_worker
+            .get(&op)
+            .and_then(|name| workers.iter().find(|w| &w.name == name))
+            .map(|w| w.gauges)
+            .unwrap_or_default();
+        let record = LedgerRecord {
+            generation,
+            epoch: epoch.0,
+            op: op.0,
+            state_bytes: s.state_bytes,
+            ckpt_bytes: s.ckpt_bytes,
+            delta: s.ckpt_is_delta,
+            align_wait_us: s.align_wait_us,
+            serialize_us: s.serialize_us,
+            persist_us: s.persist_us,
+            tuples_in: s.tuples_in,
+            tuples_out: s.tuples_out,
+            bytes_out: s.bytes_out,
+            queued_tuples: gauges.queued_tuples,
+            open_windows: gauges.open_windows,
+            window_tuples: gauges.window_tuples,
+            barrier_us,
+        };
+        if let Err(e) = ledger.append(&record) {
+            eprintln!("ms-controller: ledger append failed: {e}");
+            return;
+        }
+    }
+}
+
 /// Broadcasts a generation: sorted live workers, operators placed
-/// round-robin (`op i` → `workers[i mod n]`).
+/// round-robin (`op i` → `workers[i mod n]`), returning the placement
+/// for the caller's operator→worker bookkeeping.
 fn deploy(
     qn: &QueryNetwork,
     cfg: &ControllerConfig,
     generation: u64,
     restore_epoch: Option<EpochId>,
     workers: &mut [Worker],
-) {
+) -> Vec<OpPlacement> {
     let mut live: Vec<&mut Worker> = workers.iter_mut().filter(|w| w.alive).collect();
     live.sort_by(|a, b| a.name.cmp(&b.name));
     let placement: Vec<OpPlacement> = qn
@@ -559,4 +674,5 @@ fn deploy(
     for w in live {
         let _ = send_msg(&mut w.writer, &WireMsg::Assign(assignment.clone()));
     }
+    assignment.placement
 }

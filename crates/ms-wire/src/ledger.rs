@@ -1,0 +1,410 @@
+//! The controller's run ledger: one JSONL record per (epoch,
+//! operator), written next to the generation's checkpoint directory.
+//!
+//! The ledger is the cluster's durable telemetry trail — the offline
+//! counterpart of [`WireMsg::Telemetry`]. Every time an epoch's
+//! barrier closes (the last `CkptDone` arrives), the controller cuts
+//! one [`LedgerRecord`] per operator from the freshest meter samples:
+//! state size (the paper's Fig. 5 trace, and the series the ROADMAP's
+//! `+aa` profiler will consume), checkpoint bytes with delta-vs-full
+//! kind, the three-phase checkpoint breakdown (align-wait / serialize
+//! / persist, Fig. 14), the hosting worker's backpressure gauges, and
+//! the token-broadcast→last-ack barrier latency.
+//!
+//! Records are hand-encoded JSON objects, one per line — flat,
+//! numeric, append-only — so the file survives controller restarts
+//! (recovery generations append to the same ledger) and any JSON tool
+//! can consume it. [`read_ledger`] and [`summarize`] are the
+//! programmatic consumers; the `ms_ledger` bin wraps them for the
+//! command line.
+//!
+//! [`WireMsg::Telemetry`]: crate::WireMsg::Telemetry
+
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Read, Write};
+use std::path::Path;
+
+use ms_core::error::{Error, Result};
+use ms_core::metrics::{Breakdown, DurationStats};
+use ms_core::time::SimDuration;
+
+/// File name of the run ledger inside the controller's store
+/// directory, next to `ckpt/` and `log/`.
+pub const LEDGER_FILE: &str = "ledger.jsonl";
+
+/// One (epoch, operator) row of the run ledger.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct LedgerRecord {
+    /// Deployment generation the epoch completed in.
+    pub generation: u64,
+    /// The completed (barrier-closed) epoch.
+    pub epoch: u64,
+    /// The operator this row describes.
+    pub op: u32,
+    /// Logical state size at the operator's last snapshot.
+    pub state_bytes: u64,
+    /// Encoded bytes of the operator's epoch checkpoint.
+    pub ckpt_bytes: u64,
+    /// Whether that checkpoint was a delta rather than a full.
+    pub delta: bool,
+    /// Token-alignment wait of the cut (µs). Zero for sources.
+    pub align_wait_us: u64,
+    /// State-serialization time (µs).
+    pub serialize_us: u64,
+    /// Stable-store write time (µs).
+    pub persist_us: u64,
+    /// Tuples the operator has consumed since its generation started.
+    pub tuples_in: u64,
+    /// Tuples the operator has emitted.
+    pub tuples_out: u64,
+    /// Payload bytes the operator has emitted.
+    pub bytes_out: u64,
+    /// Hosting worker's queued-input gauge at the barrier.
+    pub queued_tuples: u64,
+    /// Hosting worker's open-alignment-window gauge at the barrier.
+    pub open_windows: u64,
+    /// Hosting worker's window-buffered-tuple gauge at the barrier.
+    pub window_tuples: u64,
+    /// Token broadcast → last `CkptDone` for the epoch (µs). The same
+    /// value repeats on every row of the epoch.
+    pub barrier_us: u64,
+}
+
+impl LedgerRecord {
+    /// Encodes the record as one flat JSON object (no trailing
+    /// newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"generation\":{},\"epoch\":{},\"op\":{},",
+                "\"state_bytes\":{},\"ckpt_bytes\":{},\"delta\":{},",
+                "\"align_wait_us\":{},\"serialize_us\":{},\"persist_us\":{},",
+                "\"tuples_in\":{},\"tuples_out\":{},\"bytes_out\":{},",
+                "\"queued_tuples\":{},\"open_windows\":{},\"window_tuples\":{},",
+                "\"barrier_us\":{}}}"
+            ),
+            self.generation,
+            self.epoch,
+            self.op,
+            self.state_bytes,
+            self.ckpt_bytes,
+            self.delta,
+            self.align_wait_us,
+            self.serialize_us,
+            self.persist_us,
+            self.tuples_in,
+            self.tuples_out,
+            self.bytes_out,
+            self.queued_tuples,
+            self.open_windows,
+            self.window_tuples,
+            self.barrier_us,
+        )
+    }
+
+    /// Parses one JSON line. Every schema field must be present;
+    /// unknown fields are ignored (forward compatibility).
+    pub fn from_json(line: &str) -> Result<LedgerRecord> {
+        let s = line.trim();
+        if !(s.starts_with('{') && s.ends_with('}')) {
+            return Err(Error::Storage(format!(
+                "ledger line is not a JSON object: {s:?}"
+            )));
+        }
+        Ok(LedgerRecord {
+            generation: json_u64(s, "generation")?,
+            epoch: json_u64(s, "epoch")?,
+            op: u32::try_from(json_u64(s, "op")?)
+                .map_err(|_| Error::Storage("ledger operator id out of range".into()))?,
+            state_bytes: json_u64(s, "state_bytes")?,
+            ckpt_bytes: json_u64(s, "ckpt_bytes")?,
+            delta: json_bool(s, "delta")?,
+            align_wait_us: json_u64(s, "align_wait_us")?,
+            serialize_us: json_u64(s, "serialize_us")?,
+            persist_us: json_u64(s, "persist_us")?,
+            tuples_in: json_u64(s, "tuples_in")?,
+            tuples_out: json_u64(s, "tuples_out")?,
+            bytes_out: json_u64(s, "bytes_out")?,
+            queued_tuples: json_u64(s, "queued_tuples")?,
+            open_windows: json_u64(s, "open_windows")?,
+            window_tuples: json_u64(s, "window_tuples")?,
+            barrier_us: json_u64(s, "barrier_us")?,
+        })
+    }
+
+    /// The row's checkpoint phases as a labelled [`Breakdown`]
+    /// (Fig. 14's shape).
+    pub fn breakdown(&self) -> Breakdown {
+        let mut b = Breakdown::new();
+        b.add("align_wait", SimDuration::from_micros(self.align_wait_us));
+        b.add("serialize", SimDuration::from_micros(self.serialize_us));
+        b.add("persist", SimDuration::from_micros(self.persist_us));
+        b
+    }
+}
+
+fn json_value<'a>(s: &'a str, key: &str) -> Result<&'a str> {
+    let pat = format!("\"{key}\":");
+    let start = s
+        .find(&pat)
+        .ok_or_else(|| Error::Storage(format!("ledger record missing field {key:?}")))?
+        + pat.len();
+    let rest = &s[start..];
+    let end = rest.find([',', '}']).unwrap_or(rest.len());
+    Ok(rest[..end].trim())
+}
+
+fn json_u64(s: &str, key: &str) -> Result<u64> {
+    json_value(s, key)?
+        .parse()
+        .map_err(|_| Error::Storage(format!("ledger field {key:?} is not an integer")))
+}
+
+fn json_bool(s: &str, key: &str) -> Result<bool> {
+    match json_value(s, key)? {
+        "true" => Ok(true),
+        "false" => Ok(false),
+        other => Err(Error::Storage(format!(
+            "ledger field {key:?} is not a bool: {other:?}"
+        ))),
+    }
+}
+
+/// Append-mode writer for a run ledger. The controller opens one per
+/// run; recovery generations keep appending to the same file, so a
+/// ledger spans worker failures.
+pub struct LedgerWriter {
+    out: BufWriter<File>,
+}
+
+impl LedgerWriter {
+    /// Opens (or creates) the ledger at `path` for appending.
+    pub fn open(path: &Path) -> Result<LedgerWriter> {
+        let file = OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(path)
+            .map_err(|e| Error::Storage(format!("open ledger {}: {e}", path.display())))?;
+        Ok(LedgerWriter {
+            out: BufWriter::new(file),
+        })
+    }
+
+    /// Appends one record as one line and flushes it — a ledger row is
+    /// on disk before the next epoch's tokens go out.
+    pub fn append(&mut self, rec: &LedgerRecord) -> Result<()> {
+        writeln!(self.out, "{}", rec.to_json())
+            .and_then(|()| self.out.flush())
+            .map_err(|e| Error::Storage(format!("append ledger record: {e}")))
+    }
+}
+
+/// Reads and parses every record of a ledger file, in file order.
+pub fn read_ledger(path: &Path) -> Result<Vec<LedgerRecord>> {
+    let mut text = String::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_string(&mut text))
+        .map_err(|e| Error::Storage(format!("read ledger {}: {e}", path.display())))?;
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(LedgerRecord::from_json)
+        .collect()
+}
+
+fn ms(us: u64) -> f64 {
+    us as f64 / 1000.0
+}
+
+/// Renders a human-readable summary of ledger records: a per-epoch
+/// table (state/checkpoint bytes, phase critical paths, barrier
+/// latency), the top-`top_n` operators by state growth, and
+/// barrier-latency stats. Shared by the `ms_ledger` bin and the
+/// `wire_cluster` example.
+pub fn summarize(records: &[LedgerRecord], top_n: usize) -> String {
+    use std::collections::BTreeMap;
+
+    let mut out = String::new();
+    if records.is_empty() {
+        out.push_str("run ledger: empty\n");
+        return out;
+    }
+    // Group rows per epoch (epochs are unique across generations).
+    let mut epochs: BTreeMap<u64, Vec<&LedgerRecord>> = BTreeMap::new();
+    for r in records {
+        epochs.entry(r.epoch).or_default().push(r);
+    }
+    let generations: std::collections::BTreeSet<u64> =
+        records.iter().map(|r| r.generation).collect();
+    out.push_str(&format!(
+        "run ledger: {} records, {} epochs, {} generation(s)\n",
+        records.len(),
+        epochs.len(),
+        generations.len()
+    ));
+    out.push_str(
+        "epoch  gen  ops  state_B    ckpt_B   delta  align_ms  serial_ms  persist_ms  barrier_ms\n",
+    );
+    for (epoch, rows) in &epochs {
+        let gen = rows.iter().map(|r| r.generation).max().unwrap_or(0);
+        let state: u64 = rows.iter().map(|r| r.state_bytes).sum();
+        let ckpt: u64 = rows.iter().map(|r| r.ckpt_bytes).sum();
+        let deltas = rows.iter().filter(|r| r.delta).count();
+        // Phase columns report the slowest operator — the phase's
+        // critical path, which is what bounds the epoch.
+        let align = rows.iter().map(|r| r.align_wait_us).max().unwrap_or(0);
+        let serial = rows.iter().map(|r| r.serialize_us).max().unwrap_or(0);
+        let persist = rows.iter().map(|r| r.persist_us).max().unwrap_or(0);
+        let barrier = rows.iter().map(|r| r.barrier_us).max().unwrap_or(0);
+        out.push_str(&format!(
+            "{epoch:>5}  {gen:>3}  {:>3}  {state:>8}  {ckpt:>8}  {deltas:>5}  {:>8.1}  {:>9.1}  {:>10.1}  {:>10.1}\n",
+            rows.len(),
+            ms(align),
+            ms(serial),
+            ms(persist),
+            ms(barrier),
+        ));
+    }
+
+    // Top-N state growers: per operator, first→last state-size gauge.
+    let mut span: BTreeMap<u32, (u64, u64)> = BTreeMap::new();
+    for r in records {
+        span.entry(r.op)
+            .and_modify(|(_, last)| *last = r.state_bytes)
+            .or_insert((r.state_bytes, r.state_bytes));
+    }
+    let mut growth: Vec<(u32, u64, u64, i64)> = span
+        .into_iter()
+        .map(|(op, (first, last))| (op, first, last, last as i64 - first as i64))
+        .collect();
+    growth.sort_by_key(|&(_, _, _, g)| std::cmp::Reverse(g));
+    out.push_str(&format!("top {} state growers:\n", top_n.min(growth.len())));
+    for (op, first, last, g) in growth.into_iter().take(top_n) {
+        out.push_str(&format!("  op{op}: {first} -> {last} B ({g:+} B)\n"));
+    }
+
+    // Barrier latency across epochs (each epoch counted once).
+    let mut barrier = DurationStats::new();
+    for rows in epochs.values() {
+        let us = rows.iter().map(|r| r.barrier_us).max().unwrap_or(0);
+        barrier.record(SimDuration::from_micros(us));
+    }
+    out.push_str(&format!(
+        "barrier latency: n={} mean={:.1}ms min={:.1}ms p50={:.1}ms p95={:.1}ms p99={:.1}ms max={:.1}ms\n",
+        barrier.count(),
+        ms(barrier.mean().as_micros()),
+        ms(barrier.min().as_micros()),
+        ms(barrier.p50().as_micros()),
+        ms(barrier.p95().as_micros()),
+        ms(barrier.p99().as_micros()),
+        ms(barrier.max().as_micros()),
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(epoch: u64, op: u32) -> LedgerRecord {
+        LedgerRecord {
+            generation: 1 + epoch / 4,
+            epoch,
+            op,
+            state_bytes: 1024 * (epoch + 1),
+            ckpt_bytes: 128 * (op as u64 + 1),
+            delta: epoch > 1,
+            align_wait_us: 40 * op as u64,
+            serialize_us: 350,
+            persist_us: 900,
+            tuples_in: 10_000 * epoch,
+            tuples_out: 9_000 * epoch,
+            bytes_out: 72_000 * epoch,
+            queued_tuples: 3,
+            open_windows: 1,
+            window_tuples: 17,
+            barrier_us: 4_200 + epoch,
+        }
+    }
+
+    #[test]
+    fn record_roundtrips_through_json() {
+        for epoch in 0..6 {
+            for op in 0..3 {
+                let rec = sample(epoch, op);
+                let parsed = LedgerRecord::from_json(&rec.to_json()).unwrap();
+                assert_eq!(parsed, rec);
+            }
+        }
+        // Extremes survive.
+        let rec = LedgerRecord {
+            state_bytes: u64::MAX,
+            ..LedgerRecord::default()
+        };
+        assert_eq!(LedgerRecord::from_json(&rec.to_json()).unwrap(), rec);
+    }
+
+    #[test]
+    fn parser_rejects_malformed_lines() {
+        assert!(LedgerRecord::from_json("").is_err());
+        assert!(LedgerRecord::from_json("not json").is_err());
+        assert!(LedgerRecord::from_json("{\"generation\":1}").is_err());
+        let bad_type = sample(1, 0)
+            .to_json()
+            .replace("\"delta\":false", "\"delta\":7");
+        assert!(LedgerRecord::from_json(&bad_type).is_err());
+        // Unknown extra fields are tolerated.
+        let extended = sample(1, 0)
+            .to_json()
+            .replace("\"barrier_us\"", "\"future_field\":9,\"barrier_us\"");
+        assert_eq!(LedgerRecord::from_json(&extended).unwrap(), sample(1, 0));
+    }
+
+    #[test]
+    fn writer_appends_and_reader_reads_back() {
+        let dir = std::env::temp_dir().join(format!("ms_ledger_rw_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(LEDGER_FILE);
+        let _ = std::fs::remove_file(&path);
+        let records: Vec<LedgerRecord> = (1..=3)
+            .flat_map(|e| (0..3).map(move |op| sample(e, op)))
+            .collect();
+        {
+            let mut w = LedgerWriter::open(&path).unwrap();
+            for r in &records[..6] {
+                w.append(r).unwrap();
+            }
+        }
+        // Reopening appends — a recovery generation extends the file.
+        {
+            let mut w = LedgerWriter::open(&path).unwrap();
+            for r in &records[6..] {
+                w.append(r).unwrap();
+            }
+        }
+        assert_eq!(read_ledger(&path).unwrap(), records);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn summary_covers_epochs_growers_and_barrier() {
+        let records: Vec<LedgerRecord> = (1..=4)
+            .flat_map(|e| (0..3).map(move |op| sample(e, op)))
+            .collect();
+        let text = summarize(&records, 2);
+        assert!(
+            text.contains("12 records, 4 epochs, 2 generation(s)"),
+            "{text}"
+        );
+        assert!(text.contains("top 2 state growers"), "{text}");
+        assert!(text.contains("barrier latency: n=4"), "{text}");
+        // Every epoch appears as a table row.
+        for epoch in 1..=4 {
+            assert!(
+                text.lines()
+                    .any(|l| l.trim_start().starts_with(&format!("{epoch}  "))),
+                "epoch {epoch} missing:\n{text}"
+            );
+        }
+        assert_eq!(summarize(&[], 3), "run ledger: empty\n");
+    }
+}

@@ -16,6 +16,7 @@
 //! | [`apps`] | demo operators (throttled source, doubler, summer) and graph shapes |
 //! | [`worker`] | the `ms-worker` daemon: operator hosts + socket pumps |
 //! | [`controller`] | the `ms-controller` daemon: deploy / pace / detect / recover |
+//! | [`ledger`] | the epoch-keyed run ledger (JSONL telemetry trail) + `ms_ledger` summarizer |
 //!
 //! # Run a 3-process cluster on localhost
 //!
@@ -41,12 +42,14 @@
 
 pub mod apps;
 pub mod controller;
+pub mod ledger;
 pub mod message;
 pub mod store;
 pub mod worker;
 
 pub use apps::{build_operator, demo_network, ThrottledCountSource};
 pub use controller::{run_controller, ClusterReport, ControllerConfig};
+pub use ledger::{read_ledger, summarize, LedgerRecord, LedgerWriter, LEDGER_FILE};
 pub use message::{recv_msg, send_msg, Assignment, OpPlacement, WireMsg};
 pub use store::FsStore;
 pub use worker::{run_worker, ControllerAddr, WorkerConfig};

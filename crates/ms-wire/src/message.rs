@@ -28,7 +28,7 @@ use ms_core::codec::{read_frame, write_frame, SnapshotReader, SnapshotWriter};
 use ms_core::error::{Error, Result};
 use ms_core::graph::QueryNetwork;
 use ms_core::ids::{EpochId, OperatorId};
-use ms_core::metrics::BackpressureGauges;
+use ms_core::metrics::{BackpressureGauges, OperatorSample};
 use ms_core::tuple::Tuple;
 
 /// Where one operator of an assignment runs.
@@ -199,6 +199,20 @@ pub enum WireMsg {
         /// Human-readable failure description (logged controller-side).
         detail: String,
     },
+    /// Worker → controller: per-operator meter samples for the local
+    /// HAUs. Sent on two cadences: the heartbeat thread folds every
+    /// local operator's sample in on each beat, and the durable hook
+    /// sends a single-operator sample immediately *before* each
+    /// [`WireMsg::CkptDone`] on the same control connection — so when
+    /// an epoch's barrier closes, the controller is guaranteed to hold
+    /// a fresh checkpoint sample for every acked operator and can cut
+    /// the run-ledger records for that epoch.
+    Telemetry {
+        /// Generation the samples belong to (stale ones ignored).
+        generation: u64,
+        /// One meter reading per sampled local operator.
+        samples: Vec<(OperatorId, OperatorSample)>,
+    },
 }
 
 const TAG_REGISTER: u64 = 1;
@@ -215,6 +229,7 @@ const TAG_EOS: u64 = 11;
 const TAG_CKPT_DONE: u64 = 12;
 const TAG_HEARTBEAT_HELLO: u64 = 13;
 const TAG_WORKER_ERROR: u64 = 14;
+const TAG_TELEMETRY: u64 = 15;
 
 impl WireMsg {
     /// Encodes the message into a frame payload.
@@ -305,6 +320,27 @@ impl WireMsg {
                     .put_u64(*generation)
                     .put_str(detail);
             }
+            WireMsg::Telemetry {
+                generation,
+                samples,
+            } => {
+                w.put_u64(TAG_TELEMETRY).put_u64(*generation);
+                w.put_seq(samples.iter(), |w, (op, s)| {
+                    w.put_u64(op.0 as u64)
+                        .put_u64(s.tuples_in)
+                        .put_u64(s.tuples_out)
+                        .put_u64(s.bytes_out)
+                        .put_u64(s.state_bytes)
+                        .put_u64(s.ckpt_epoch)
+                        .put_u64(s.ckpt_bytes)
+                        .put_u64(s.ckpt_is_delta as u64)
+                        .put_u64(s.full_bytes_total)
+                        .put_u64(s.delta_bytes_total)
+                        .put_u64(s.align_wait_us)
+                        .put_u64(s.serialize_us)
+                        .put_u64(s.persist_us);
+                });
+            }
         }
         w.finish()
     }
@@ -376,6 +412,32 @@ impl WireMsg {
                 generation: r.get_u64()?,
                 detail: r.get_str()?,
             },
+            TAG_TELEMETRY => {
+                let generation = r.get_u64()?;
+                let samples = r.get_seq(|r| {
+                    Ok((
+                        get_op(r)?,
+                        OperatorSample {
+                            tuples_in: r.get_u64()?,
+                            tuples_out: r.get_u64()?,
+                            bytes_out: r.get_u64()?,
+                            state_bytes: r.get_u64()?,
+                            ckpt_epoch: r.get_u64()?,
+                            ckpt_bytes: r.get_u64()?,
+                            ckpt_is_delta: r.get_u64()? != 0,
+                            full_bytes_total: r.get_u64()?,
+                            delta_bytes_total: r.get_u64()?,
+                            align_wait_us: r.get_u64()?,
+                            serialize_us: r.get_u64()?,
+                            persist_us: r.get_u64()?,
+                        },
+                    ))
+                })?;
+                WireMsg::Telemetry {
+                    generation,
+                    samples,
+                }
+            }
             other => {
                 return Err(Error::Wire(format!("unknown wire message tag {other}")));
             }
@@ -495,6 +557,33 @@ mod tests {
             WireMsg::WorkerError {
                 generation: 4,
                 detail: "storage error: disk full".into(),
+            },
+            WireMsg::Telemetry {
+                generation: 5,
+                samples: vec![
+                    (
+                        OperatorId(0),
+                        OperatorSample {
+                            tuples_in: 0,
+                            tuples_out: 900,
+                            bytes_out: 7200,
+                            state_bytes: 16,
+                            ckpt_epoch: 4,
+                            ckpt_bytes: 16,
+                            ckpt_is_delta: false,
+                            full_bytes_total: 64,
+                            delta_bytes_total: 0,
+                            align_wait_us: 0,
+                            serialize_us: 3,
+                            persist_us: 120,
+                        },
+                    ),
+                    (OperatorId(2), OperatorSample::default()),
+                ],
+            },
+            WireMsg::Telemetry {
+                generation: 6,
+                samples: Vec::new(),
             },
         ]
     }

@@ -46,7 +46,7 @@ use std::time::{Duration, Instant};
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use ms_core::error::{Error, Result};
 use ms_core::ids::OperatorId;
-use ms_core::metrics::{BackpressureGauges, BackpressureMeter};
+use ms_core::metrics::{BackpressureGauges, BackpressureMeter, OperatorMeter, OperatorSample};
 use ms_live::host::run_host;
 use ms_live::protocol::CHANNEL_DEPTH;
 use ms_live::{HostMsg, HostWiring, Persister, SourceCmd, StableStore};
@@ -96,6 +96,10 @@ pub struct WorkerConfig {
     pub log_cap_bytes: Option<u64>,
 }
 
+/// A generation's operator meters: the generation tag plus each local
+/// operator's shared [`OperatorMeter`].
+type GenerationMeters = (u64, Vec<(OperatorId, Arc<OperatorMeter>)>);
+
 /// Cross-thread worker state.
 struct Shared {
     /// Smallest generation still acceptable; anything below is stale.
@@ -108,6 +112,12 @@ struct Shared {
     /// Per-host backpressure meters of the current generation; the
     /// heartbeat thread sums them into each liveness message.
     meters: Mutex<Vec<Arc<BackpressureMeter>>>,
+    /// Per-operator telemetry meters of the current generation, tagged
+    /// with that generation so samplers never attribute a torn-down
+    /// run's counters to the new one. The heartbeat thread folds them
+    /// into [`WireMsg::Telemetry`] on each beat; the durable hook
+    /// samples a single operator before each `CkptDone`.
+    op_meters: Mutex<GenerationMeters>,
     /// Whole-process stop flag.
     stop: AtomicBool,
 }
@@ -119,6 +129,7 @@ impl Shared {
             routes: Mutex::new(HashMap::new()),
             socks: Mutex::new(Vec::new()),
             meters: Mutex::new(Vec::new()),
+            op_meters: Mutex::new((0, Vec::new())),
             stop: AtomicBool::new(false),
         }
     }
@@ -131,6 +142,26 @@ impl Shared {
             .fold(BackpressureGauges::default(), |acc, m| {
                 acc.merge(&m.sample())
             })
+    }
+
+    /// Samples every local operator meter of the current generation.
+    fn sample_telemetry(&self) -> (u64, Vec<(OperatorId, OperatorSample)>) {
+        let guard = self.op_meters.lock();
+        let samples = guard.1.iter().map(|(op, m)| (*op, m.sample())).collect();
+        (guard.0, samples)
+    }
+
+    /// One operator's sample, if it belongs to `generation`.
+    fn sample_op(&self, generation: u64, op: OperatorId) -> Option<OperatorSample> {
+        let guard = self.op_meters.lock();
+        if guard.0 != generation {
+            return None;
+        }
+        guard
+            .1
+            .iter()
+            .find(|(id, _)| *id == op)
+            .map(|(_, m)| m.sample())
     }
 
     fn stale(&self, generation: u64) -> bool {
@@ -262,16 +293,32 @@ impl Run {
         // failure). Acks from a torn-down generation are suppressed.
         let ack_w = ctrl_w.clone();
         let ack_torn = torn.clone();
+        let ack_shared = shared.clone();
         let hook: ms_live::DurableHook = Box::new(move |epoch, op, outcome| {
             if ack_torn.load(Ordering::SeqCst) {
                 return;
             }
             let msg = match outcome {
-                Ok(_) => WireMsg::CkptDone {
-                    generation,
-                    epoch,
-                    op,
-                },
+                Ok(_) => {
+                    // A fresh sample rides the control connection ahead
+                    // of the ack. Per-connection FIFO means the
+                    // controller always holds this operator's epoch-e
+                    // checkpoint telemetry when the ack that closes the
+                    // epoch-e barrier is processed — which is what lets
+                    // it cut complete ledger records at barrier close.
+                    if let Some(sample) = ack_shared.sample_op(generation, op) {
+                        let tel = WireMsg::Telemetry {
+                            generation,
+                            samples: vec![(op, sample)],
+                        };
+                        let _ = send_msg(&mut *ack_w.lock(), &tel);
+                    }
+                    WireMsg::CkptDone {
+                        generation,
+                        epoch,
+                        op,
+                    }
+                }
                 Err(e) => WireMsg::WorkerError {
                     generation,
                     detail: e.to_string(),
@@ -285,6 +332,7 @@ impl Run {
         // Fresh generation, fresh gauges — the torn-down run's meters
         // would otherwise keep reporting their last values forever.
         shared.meters.lock().clear();
+        *shared.op_meters.lock() = (generation, Vec::new());
         for (op, operator, restored_seq, replay, resume_seq, in_flight) in restored {
             let mut inputs = Vec::new();
             for &up in qn.upstream(op) {
@@ -328,6 +376,8 @@ impl Run {
             };
             let meter = Arc::new(BackpressureMeter::new());
             shared.meters.lock().push(meter.clone());
+            let op_meter = Arc::new(OperatorMeter::new());
+            shared.op_meters.lock().1.push((op, op_meter.clone()));
             let wiring = HostWiring {
                 op_id: op,
                 op: operator,
@@ -341,6 +391,7 @@ impl Run {
                 auto_stop: true,
                 last_durable: a.restore_epoch,
                 meter: Some(meter),
+                telemetry: Some(op_meter),
             };
             let store = store.clone();
             let ptx = persister.sender();
@@ -622,6 +673,19 @@ pub fn run_worker(cfg: WorkerConfig) -> Result<()> {
             };
             if send_msg(&mut hb, &beat).is_err() {
                 return;
+            }
+            // Telemetry piggybacks on the heartbeat cadence: one
+            // message per beat with every local operator's sample, on
+            // the same dedicated socket.
+            let (generation, samples) = hb_shared.sample_telemetry();
+            if !samples.is_empty() {
+                let tel = WireMsg::Telemetry {
+                    generation,
+                    samples,
+                };
+                if send_msg(&mut hb, &tel).is_err() {
+                    return;
+                }
             }
         }
     });

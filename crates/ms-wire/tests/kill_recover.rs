@@ -14,6 +14,7 @@ use std::process::{Child, Command, Stdio};
 use std::time::{Duration, Instant};
 
 use ms_core::codec::SnapshotReader;
+use ms_wire::{read_ledger, LedgerRecord, LEDGER_FILE};
 
 const LIMIT: u64 = 4000;
 const DELAY_US: u64 = 300;
@@ -113,6 +114,67 @@ fn max_complete_epoch(store: &Path) -> u64 {
         .unwrap_or(0)
 }
 
+/// Full audit of the run ledger next to the checkpoints: every row
+/// parses and satisfies the schema invariants, every ledger epoch
+/// covers all three chain operators, each generation's epochs are
+/// contiguous (the epoch in flight at a failure may vanish *between*
+/// generations, but none may go missing inside one), and the trail
+/// reaches the newest complete checkpoint in the store — minus one
+/// epoch of slack for a barrier still closing at the cut.
+fn check_ledger(store: &Path, min_generations: usize) -> Vec<LedgerRecord> {
+    use std::collections::{BTreeMap, BTreeSet};
+
+    let records = read_ledger(&store.join(LEDGER_FILE)).expect("run ledger must parse");
+    assert!(!records.is_empty(), "run ledger is empty");
+    let mut by_epoch: BTreeMap<u64, BTreeSet<u32>> = BTreeMap::new();
+    let mut by_gen: BTreeMap<u64, BTreeSet<u64>> = BTreeMap::new();
+    for r in &records {
+        assert!(
+            r.state_bytes > 0,
+            "op{} epoch {}: state-size gauge never sampled",
+            r.op,
+            r.epoch
+        );
+        assert!(
+            r.ckpt_bytes > 0,
+            "op{} epoch {}: checkpoint bytes missing",
+            r.op,
+            r.epoch
+        );
+        assert!(r.barrier_us > 0, "epoch {}: zero barrier latency", r.epoch);
+        by_epoch.entry(r.epoch).or_default().insert(r.op);
+        by_gen.entry(r.generation).or_default().insert(r.epoch);
+    }
+    for (epoch, ops) in &by_epoch {
+        assert_eq!(
+            ops.len(),
+            3,
+            "epoch {epoch} covers ops {ops:?}, want all 3 chain operators"
+        );
+    }
+    for (gen, epochs) in &by_gen {
+        let lo = *epochs.iter().next().unwrap();
+        let hi = *epochs.iter().last().unwrap();
+        assert_eq!(
+            epochs.len() as u64,
+            hi - lo + 1,
+            "generation {gen} ledger has an epoch hole: {epochs:?}"
+        );
+    }
+    assert!(
+        by_gen.len() >= min_generations,
+        "ledger spans {} generation(s), want >= {min_generations}",
+        by_gen.len()
+    );
+    let max_ledger = *by_epoch.keys().last().unwrap();
+    let max_store = max_complete_epoch(store);
+    assert!(
+        max_ledger + 1 >= max_store,
+        "ledger stops at epoch {max_ledger} but the store holds complete epoch {max_store}"
+    );
+    records
+}
+
 /// `(recoveries line, sink lines)` from a result file.
 fn parse_result(path: &Path) -> (String, Vec<String>) {
     let text = fs::read_to_string(path).unwrap();
@@ -145,6 +207,8 @@ fn sigkill_mid_stream_recovers_to_identical_answer() {
     let (recoveries, ref_sinks) = parse_result(&ref_dir.join("result"));
     assert_eq!(recoveries, "recoveries=0");
     assert_eq!(ref_sinks.len(), 1);
+    // A failure-free run leaves a single-generation telemetry trail.
+    check_ledger(&ref_dir.join("store"), 1);
     drop(cluster);
 
     // --- Failure run: SIGKILL the middle-operator worker mid-stream. ---
@@ -189,6 +253,11 @@ fn sigkill_mid_stream_recovers_to_identical_answer() {
     );
     let expected: i64 = 2 * (0..LIMIT as i64).sum::<i64>();
     assert_eq!(sum, expected);
+
+    // The ledger survived the SIGKILL boundary: rows from both the
+    // failed and the recovery generation, no epoch holes inside
+    // either, and coverage up to the store's newest complete epoch.
+    check_ledger(&dir.join("store"), 2);
 
     let _ = fs::remove_dir_all(&ref_dir);
     let _ = fs::remove_dir_all(&dir);

@@ -7,6 +7,7 @@ use std::io::Read;
 
 use ms_core::codec::{frame, read_frame, write_frame, FrameDecoder};
 use ms_core::ids::{EpochId, OperatorId};
+use ms_core::metrics::OperatorSample;
 use ms_core::time::SimTime;
 use ms_core::tuple::Tuple;
 use ms_core::value::Value;
@@ -162,6 +163,40 @@ proptest! {
             epoch: EpochId(e),
             op: OperatorId(op),
         };
+        prop_assert_eq!(WireMsg::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    /// Telemetry batches roundtrip for any sample values — all twelve
+    /// counters, the delta flag, and any batch size including empty.
+    #[test]
+    fn wire_telemetry_roundtrip(
+        generation in any::<u64>(),
+        raw in proptest::collection::vec((0u32..1024, any::<u64>(), any::<bool>()), 0..6),
+    ) {
+        let samples = raw
+            .into_iter()
+            .map(|(op, seed, delta)| {
+                // Spread one generated u64 across all counters so every
+                // field exercises distinct values (incl. near-MAX ones).
+                let v = |i: u64| seed.wrapping_mul(i.wrapping_mul(0x9e37_79b9_7f4a_7c15) | 1);
+                let s = OperatorSample {
+                    tuples_in: v(1),
+                    tuples_out: v(2),
+                    bytes_out: v(3),
+                    state_bytes: v(4),
+                    ckpt_epoch: v(5),
+                    ckpt_bytes: v(6),
+                    ckpt_is_delta: delta,
+                    full_bytes_total: v(7),
+                    delta_bytes_total: v(8),
+                    align_wait_us: v(9),
+                    serialize_us: v(10),
+                    persist_us: v(11),
+                };
+                (OperatorId(op), s)
+            })
+            .collect();
+        let msg = WireMsg::Telemetry { generation, samples };
         prop_assert_eq!(WireMsg::decode(&msg.encode()).unwrap(), msg);
     }
 

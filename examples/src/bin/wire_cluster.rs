@@ -16,7 +16,10 @@ use std::thread;
 use std::time::Duration;
 
 use ms_core::codec::SnapshotReader;
-use ms_wire::{run_controller, run_worker, ControllerAddr, ControllerConfig, WorkerConfig};
+use ms_wire::{
+    read_ledger, run_controller, run_worker, summarize, ControllerAddr, ControllerConfig,
+    WorkerConfig, LEDGER_FILE,
+};
 
 fn main() {
     let dir = std::env::temp_dir().join(format!("ms_wire_example_{}", std::process::id()));
@@ -75,5 +78,25 @@ fn main() {
         assert_eq!(sum, 2 * (0..LIMIT as i64).sum::<i64>());
         assert_eq!(count, LIMIT);
     }
+
+    // The controller left a run ledger next to the checkpoints: one
+    // row per (epoch, operator) with state size, checkpoint bytes, the
+    // three-phase breakdown, and barrier latency. `ms_ledger` renders
+    // the same summary from the file on disk.
+    let records = read_ledger(&store.join(LEDGER_FILE)).expect("run ledger must parse");
+    for epoch in records
+        .iter()
+        .map(|r| r.epoch)
+        .collect::<std::collections::BTreeSet<_>>()
+    {
+        let ops: std::collections::BTreeSet<u32> = records
+            .iter()
+            .filter(|r| r.epoch == epoch)
+            .map(|r| r.op)
+            .collect();
+        assert_eq!(ops.len(), 3, "epoch {epoch} missing operators: {ops:?}");
+    }
+    print!("{}", summarize(&records, 3));
+
     let _ = std::fs::remove_dir_all(&dir);
 }
