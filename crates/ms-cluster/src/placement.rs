@@ -7,9 +7,37 @@
 //! hosting the fewest HAUs.
 
 use ms_core::error::{Error, Result};
-use ms_core::ids::{HauId, NodeId};
+use ms_core::ids::{HauId, NodeId, OperatorId};
 
 use crate::Cluster;
+
+/// Spreads the physical instances of a [`ShardPlan`]'s groups over
+/// `workers` hosts: instance `i` (global physical index) goes to
+/// worker `i % workers`. Because the shard expansion numbers a group's
+/// instances consecutively, consecutive shards of one logical operator
+/// land on *distinct* workers whenever the group is no wider than the
+/// cluster — the state of a keyed operator is spread, not stacked. For
+/// singleton groups (sources, sinks, unsharded deployments) this is
+/// exactly the classic `op i → worker i mod n` round-robin, so
+/// existing unsharded placements are preserved byte-for-byte.
+///
+/// Returns `(physical op, worker index)` pairs in physical-id order.
+///
+/// [`ShardPlan`]: ms_core::shard::ShardPlan
+pub fn spread_shards(
+    groups: &[Vec<OperatorId>],
+    workers: usize,
+) -> Result<Vec<(OperatorId, usize)>> {
+    if workers == 0 {
+        return Err(Error::Config("no placeable workers".into()));
+    }
+    Ok(groups
+        .iter()
+        .flatten()
+        .enumerate()
+        .map(|(i, &op)| (op, i % workers))
+        .collect())
+}
 
 /// A mutable HAU → node mapping.
 #[derive(Clone, Debug)]
@@ -146,6 +174,45 @@ mod tests {
         assert_eq!(moved[0].0, HauId(0));
         assert_ne!(p.node_of(HauId(0)), NodeId(1));
         assert!(c.up(p.node_of(HauId(0))));
+    }
+
+    #[test]
+    fn spread_shards_matches_round_robin_for_singletons() {
+        // Unsharded: every group is a singleton, so the schedule must
+        // be the classic `op i → worker i % n` the TCP cluster always
+        // used (kill_recover depends on this staying put).
+        let groups: Vec<Vec<OperatorId>> = (0..5).map(|i| vec![OperatorId(i)]).collect();
+        let placed = spread_shards(&groups, 2).unwrap();
+        for (i, &(op, w)) in placed.iter().enumerate() {
+            assert_eq!(op, OperatorId(i as u32));
+            assert_eq!(w, i % 2);
+        }
+    }
+
+    #[test]
+    fn spread_shards_separates_a_group_across_workers() {
+        // One source, a 4-shard interior, one sink, 4 workers: all four
+        // shards land on distinct workers.
+        let groups = vec![
+            vec![OperatorId(0)],
+            vec![OperatorId(1), OperatorId(2), OperatorId(3), OperatorId(4)],
+            vec![OperatorId(5)],
+        ];
+        let placed = spread_shards(&groups, 4).unwrap();
+        let shard_workers: Vec<usize> = placed[1..5].iter().map(|&(_, w)| w).collect();
+        let distinct: std::collections::HashSet<usize> = shard_workers.iter().copied().collect();
+        assert_eq!(distinct.len(), 4, "{shard_workers:?}");
+        // Load is balanced: max and min per-worker counts differ by ≤1.
+        let mut load = [0usize; 4];
+        for &(_, w) in &placed {
+            load[w] += 1;
+        }
+        assert!(load.iter().max().unwrap() - load.iter().min().unwrap() <= 1);
+    }
+
+    #[test]
+    fn spread_shards_rejects_zero_workers() {
+        assert!(spread_shards(&[vec![OperatorId(0)]], 0).is_err());
     }
 
     #[test]

@@ -19,6 +19,8 @@
 //!   HAU-level views of them.
 //! * [`delta`] — incremental checkpoint state: canonical key→bytes
 //!   tables, per-epoch change sets, and the base+delta-chain fold.
+//! * [`shard`] — key-partitioned operator expansion: logical→physical
+//!   network rewrite and the deterministic key→shard hash.
 //! * [`config`] — cluster, scheme and experiment configuration.
 //! * [`metrics`] — counters, histograms and time series used by the
 //!   evaluation harness.
@@ -37,6 +39,7 @@ pub mod graph;
 pub mod ids;
 pub mod metrics;
 pub mod operator;
+pub mod shard;
 pub mod state;
 pub mod time;
 pub mod token;

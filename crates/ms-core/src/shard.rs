@@ -1,0 +1,213 @@
+//! Key-partitioned operator expansion: turning a *logical* query
+//! network into a *physical* one in which each interior operator runs
+//! as `N` hash-sharded HAU instances.
+//!
+//! The paper's evaluation topology runs 55 HAUs; getting there from a
+//! handful of logical operators means scaling the keyed interiors
+//! horizontally. [`expand`] performs the deploy-time rewrite: sources
+//! and sinks stay singletons, every interior operator becomes `shards`
+//! instances, and every logical edge becomes the full bipartite set of
+//! physical edges between the two groups. Producers then route each
+//! tuple to exactly one instance of each logical consumer with
+//! [`shard_of`] over the tuple's key — a deterministic hash, so the
+//! same key always lands on the same shard in every generation and
+//! every recovery.
+//!
+//! The expansion is identity for `shards <= 1`: the physical network
+//! is the logical network, byte-for-byte the same deployment the
+//! unsharded cluster ran.
+
+use crate::error::Result;
+use crate::graph::QueryNetwork;
+use crate::ids::OperatorId;
+
+/// Deterministic key→shard assignment: splitmix64 finalizer over the
+/// key, reduced modulo the shard count. Stable across processes, runs
+/// and recoveries — no seed, no per-process state.
+pub fn shard_of(key: u64, shards: usize) -> usize {
+    if shards <= 1 {
+        return 0;
+    }
+    let mut x = key.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^= x >> 31;
+    (x % shards as u64) as usize
+}
+
+/// The logical→physical map produced by [`expand`]: one group of
+/// physical instances per logical operator, in logical-operator order;
+/// instances within a group in shard order. Sources, sinks and
+/// unsharded deployments have singleton groups.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ShardPlan {
+    /// `groups[logical.0]` = the physical instances of that logical
+    /// operator, shard order.
+    pub groups: Vec<Vec<OperatorId>>,
+}
+
+impl ShardPlan {
+    /// The identity plan for an unsharded network of `n` operators.
+    pub fn identity(n: usize) -> ShardPlan {
+        ShardPlan {
+            groups: (0..n).map(|i| vec![OperatorId(i as u32)]).collect(),
+        }
+    }
+
+    /// The logical operator a physical instance belongs to.
+    pub fn logical_of(&self, physical: OperatorId) -> Option<OperatorId> {
+        self.groups
+            .iter()
+            .position(|g| g.contains(&physical))
+            .map(|i| OperatorId(i as u32))
+    }
+
+    /// The shard ordinal of a physical instance within its group
+    /// (always 0 for singletons).
+    pub fn shard_index(&self, physical: OperatorId) -> Option<usize> {
+        self.groups
+            .iter()
+            .find_map(|g| g.iter().position(|&p| p == physical))
+    }
+}
+
+/// Expands a logical network into a physical one: interior operators
+/// (neither source nor sink) become `shards` instances named
+/// `{name}.s{j}`, and each logical edge becomes every pairwise edge
+/// between the producer's and consumer's instance groups. `shards <= 1`
+/// is the identity expansion. Edges are added in the logical network's
+/// canonical edge order (from-major, output-port order), producer
+/// instances outermost — so for a physical producer, its downstream
+/// list is contiguous runs of consumer groups in logical-edge order,
+/// which is what lets the worker rebuild one hash route per logical
+/// consumer from the [`ShardPlan`] alone.
+pub fn expand(logical: &QueryNetwork, shards: usize) -> Result<(QueryNetwork, ShardPlan)> {
+    if shards <= 1 {
+        // Rebuild rather than clone so the identity claim is literal:
+        // same names, same ids, same ports.
+        let mut qn = QueryNetwork::new();
+        for op in logical.operators() {
+            qn.add_operator(logical.meta(op).name.clone());
+        }
+        for (f, t) in logical.edges() {
+            qn.connect(f, t)?;
+        }
+        qn.validate()?;
+        return Ok((qn, ShardPlan::identity(logical.len())));
+    }
+    let mut qn = QueryNetwork::new();
+    let mut groups: Vec<Vec<OperatorId>> = Vec::with_capacity(logical.len());
+    for op in logical.operators() {
+        let name = &logical.meta(op).name;
+        let interior = !logical.upstream(op).is_empty() && !logical.downstream(op).is_empty();
+        if interior {
+            groups.push(
+                (0..shards)
+                    .map(|j| qn.add_operator(format!("{name}.s{j}")))
+                    .collect(),
+            );
+        } else {
+            groups.push(vec![qn.add_operator(name.clone())]);
+        }
+    }
+    for (f, t) in logical.edges() {
+        for &fi in &groups[f.0 as usize] {
+            for &ti in &groups[t.0 as usize] {
+                qn.connect(fi, ti)?;
+            }
+        }
+    }
+    qn.validate()?;
+    Ok((qn, ShardPlan { groups }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::diamond_example;
+
+    fn chain3() -> QueryNetwork {
+        let mut qn = QueryNetwork::new();
+        let a = qn.add_operator("src");
+        let b = qn.add_operator("mid");
+        let c = qn.add_operator("sink");
+        qn.connect(a, b).unwrap();
+        qn.connect(b, c).unwrap();
+        qn
+    }
+
+    #[test]
+    fn shard_of_is_stable_and_in_range() {
+        for key in 0..1000u64 {
+            let s = shard_of(key, 8);
+            assert!(s < 8);
+            assert_eq!(s, shard_of(key, 8), "same key, same shard");
+        }
+        assert_eq!(shard_of(42, 1), 0);
+        assert_eq!(shard_of(42, 0), 0);
+    }
+
+    #[test]
+    fn identity_expansion_matches_logical() {
+        let logical = chain3();
+        let (qn, plan) = expand(&logical, 1).unwrap();
+        assert_eq!(qn.len(), 3);
+        assert_eq!(qn.edge_count(), 2);
+        assert_eq!(plan, ShardPlan::identity(3));
+        assert_eq!(qn.meta(OperatorId(1)).name, "mid");
+        let (qn0, plan0) = expand(&logical, 0).unwrap();
+        assert_eq!(qn0.len(), 3);
+        assert_eq!(plan0, ShardPlan::identity(3));
+    }
+
+    #[test]
+    fn chain_interior_shards_into_full_mesh() {
+        let logical = chain3();
+        let (qn, plan) = expand(&logical, 4).unwrap();
+        // src + 4 mids + sink.
+        assert_eq!(qn.len(), 6);
+        assert_eq!(plan.groups[0].len(), 1);
+        assert_eq!(plan.groups[1].len(), 4);
+        assert_eq!(plan.groups[2].len(), 1);
+        // src → each mid, each mid → sink.
+        assert_eq!(qn.edge_count(), 8);
+        let src = plan.groups[0][0];
+        assert_eq!(qn.downstream(src).len(), 4);
+        for (j, &mid) in plan.groups[1].iter().enumerate() {
+            assert_eq!(qn.meta(mid).name, format!("mid.s{j}"));
+            assert_eq!(plan.logical_of(mid), Some(OperatorId(1)));
+            assert_eq!(plan.shard_index(mid), Some(j));
+            assert_eq!(qn.downstream(mid), &[plan.groups[2][0]]);
+        }
+        qn.validate().unwrap();
+    }
+
+    #[test]
+    fn diamond_expands_and_stays_valid() {
+        let (logical, _, _) = diamond_example();
+        let (qn, plan) = expand(&logical, 3).unwrap();
+        // source + sink singletons; split/left/right interior × 3.
+        assert_eq!(plan.groups.iter().map(Vec::len).sum::<usize>(), qn.len());
+        assert_eq!(qn.len(), 2 + 3 * 3);
+        qn.validate().unwrap();
+        // Every physical op maps back to exactly one logical op.
+        for op in qn.operators() {
+            assert!(plan.logical_of(op).is_some());
+        }
+    }
+
+    #[test]
+    fn producer_downstream_is_contiguous_per_logical_consumer() {
+        // split (logical 1) fans out to left (2) and right (3): each
+        // physical split instance's downstream list must be left's
+        // group then right's group, contiguous.
+        let (logical, _, _) = diamond_example();
+        let (qn, plan) = expand(&logical, 2).unwrap();
+        for &s in &plan.groups[1] {
+            let down = qn.downstream(s);
+            assert_eq!(down.len(), 4);
+            assert_eq!(&down[..2], plan.groups[2].as_slice());
+            assert_eq!(&down[2..], plan.groups[3].as_slice());
+        }
+    }
+}

@@ -1,15 +1,18 @@
-//! The operator-host layer: one OS thread running one HAU of the
-//! MS-src token protocol, independent of *what carries its streams*.
+//! The operator-host layer: one HAU of the MS-src token protocol,
+//! independent of *what carries its streams* and *what thread runs it*.
 //!
 //! A host owns a [`ms_core::operator::Operator`], a set of input
-//! [`Receiver`]s and output [`Sender`]s of [`HostMsg`], and (for
-//! sources) a [`SourceCmd`] channel from the controller. The
-//! in-process runtime ([`crate::LiveRuntime`]) wires hosts directly to
-//! each other with crossbeam channels; the TCP runtime (`ms-wire`)
-//! wires cross-process edges through socket pump threads that bridge
-//! frames to the very same channels. Either way the protocol logic —
-//! source preservation before send, token alignment on fan-in,
-//! individual checkpoints handed to a [`Persister`] — runs unmodified.
+//! streams of [`HostMsg`], a set of [`OutputRoute`]s (one per logical
+//! consumer, each either a single edge or a hash-sharded group of
+//! edges), and (for sources) a [`SourceCmd`] channel from the
+//! controller. The in-process runtime ([`crate::LiveRuntime`]) wires
+//! hosts directly to each other with crossbeam channels and runs
+//! [`run_host`] on one thread per HAU; the TCP runtime (`ms-wire`)
+//! drives the same protocol through [`InteriorCore`] — the thread-free
+//! interior state machine — from a small fixed apply pool fed by an
+//! event loop. Either way the protocol logic — source preservation
+//! before send, token alignment on fan-in, individual checkpoints
+//! handed to a [`Persister`] — is this module's, unduplicated.
 //!
 //! # The alignment window (MS-src+ap)
 //!
@@ -34,6 +37,24 @@
 //! exactly once even though upstream replay regenerates the captured
 //! channel state.
 //!
+//! # Sharded producers and `persist_in_flight`
+//!
+//! The in-flight replay filter compares *sequence numbers*, which are
+//! per-producer emission counters. That is sound exactly when a
+//! producer regenerates the same tuples with the same sequence numbers
+//! after a rollback — true for sources and for single-input interiors
+//! (their input order is the edge order, which TCP and the channels
+//! preserve), but **not** for fan-in producers, whose interleaving
+//! across inputs is timing-dependent. A host whose upstream includes a
+//! fan-in producer therefore runs with
+//! [`HostWiring::persist_in_flight`] off: the cut records its replay
+//! thresholds *before* folding the buffered tuples in and persists an
+//! empty in-flight set, so the buffered tuples are simply regenerated
+//! and re-delivered after a rollback — sequence-agnostic, at the cost
+//! of a slightly larger replay. Deployments wired entirely from
+//! deterministic producers (every pre-existing shape) keep the flag on
+//! and their checkpoint bytes are unchanged.
+//!
 //! Invariant: a host with a `cmd` channel is a *source* and must have
 //! no inputs; a host without one is interior (or a sink) and must have
 //! at least one input.
@@ -48,6 +69,7 @@ use ms_core::error::{Error, Result};
 use ms_core::ids::{EpochId, OperatorId, PortId};
 use ms_core::metrics::{BackpressureMeter, OperatorMeter};
 use ms_core::operator::{DeferredSnapshot, Operator, OperatorContext, SnapshotPayload};
+use ms_core::shard::shard_of;
 use ms_core::time::SimTime;
 use ms_core::tuple::{Fields, Tuple};
 
@@ -206,7 +228,95 @@ impl Drop for Persister {
     }
 }
 
-/// Everything a host thread needs to run one HAU.
+// ---------------- output routing ----------------
+
+/// Extracts the routing key from a tuple — the same function on every
+/// producer of a sharded consumer, so one key always lands on one
+/// shard.
+pub type RouteKeyFn = Arc<dyn Fn(&Tuple) -> u64 + Send + Sync>;
+
+/// One transmit edge a host can push a [`HostMsg`] down: a crossbeam
+/// channel to a co-located host, or (in `ms-wire`) an apply-pool inbox
+/// or a buffered egress socket. Returns `false` when the consumer is
+/// gone for good — the host stops emitting, exactly as it does today
+/// when a channel send fails.
+pub trait EdgeTx: Send {
+    /// Pushes one message; `false` = consumer gone.
+    fn send(&self, msg: HostMsg) -> bool;
+}
+
+impl EdgeTx for Sender<HostMsg> {
+    fn send(&self, msg: HostMsg) -> bool {
+        Sender::send(self, msg).is_ok()
+    }
+}
+
+impl EdgeTx for Box<dyn EdgeTx> {
+    fn send(&self, msg: HostMsg) -> bool {
+        (**self).send(msg)
+    }
+}
+
+/// Where one *logical* out-edge delivers: either a single physical
+/// edge, or the full shard group of a key-partitioned consumer. Data
+/// tuples go to exactly one target (the key's shard); tokens and EOS
+/// are broadcast to every target, because each shard instance aligns
+/// and checkpoints as a first-class HAU.
+pub struct OutputRoute {
+    targets: Vec<Box<dyn EdgeTx>>,
+    key: Option<RouteKeyFn>,
+}
+
+impl OutputRoute {
+    /// A plain one-edge route (the unsharded wiring).
+    pub fn single(tx: impl EdgeTx + 'static) -> OutputRoute {
+        OutputRoute {
+            targets: vec![Box::new(tx)],
+            key: None,
+        }
+    }
+
+    /// A hash-sharded route over a consumer's instance group, shard
+    /// order. `key` must be deterministic in the tuple alone.
+    pub fn sharded(targets: Vec<Box<dyn EdgeTx>>, key: RouteKeyFn) -> OutputRoute {
+        debug_assert!(!targets.is_empty(), "a route needs at least one target");
+        OutputRoute {
+            targets,
+            key: Some(key),
+        }
+    }
+
+    /// Number of physical edges behind this route.
+    pub fn width(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Delivers a data tuple to the key's shard (or the only target).
+    /// `false` = that consumer is gone.
+    pub fn data(&self, t: Tuple) -> bool {
+        let idx = match &self.key {
+            Some(key) if self.targets.len() > 1 => shard_of(key(&t), self.targets.len()),
+            _ => 0,
+        };
+        self.targets[idx].send(HostMsg::Data(t))
+    }
+
+    /// Broadcasts a checkpoint token to every shard instance.
+    pub fn token(&self, epoch: EpochId) {
+        for tx in &self.targets {
+            let _ = tx.send(HostMsg::Token(epoch));
+        }
+    }
+
+    /// Broadcasts end-of-stream to every shard instance.
+    pub fn eos(&self) {
+        for tx in &self.targets {
+            let _ = tx.send(HostMsg::Eos);
+        }
+    }
+}
+
+/// Everything a host needs to run one HAU.
 pub struct HostWiring {
     /// The operator's id (stamped on emitted tuples).
     pub op_id: OperatorId,
@@ -214,8 +324,10 @@ pub struct HostWiring {
     pub op: Box<dyn Operator>,
     /// One receiver per input port, in port order. Empty for sources.
     pub inputs: Vec<Receiver<HostMsg>>,
-    /// One sender per output port, in port order.
-    pub outputs: Vec<Sender<HostMsg>>,
+    /// One route per *logical* output port, in port order. A sharded
+    /// consumer is one route over its whole instance group, so the
+    /// operator's fanout (what `emit_all` sees) stays the logical one.
+    pub outputs: Vec<OutputRoute>,
     /// Controller command channel — present iff this is a source.
     pub cmd: Option<Receiver<SourceCmd>>,
     /// First emission sequence (restored from a checkpoint, else 0).
@@ -242,6 +354,12 @@ pub struct HostWiring {
     /// snapshot is exactly the state `restore` loaded). `None` on a
     /// fresh start — the first capture is always full.
     pub last_durable: Option<EpochId>,
+    /// Whether a cut persists its buffered tuples as the checkpoint's
+    /// in-flight portion (see the module docs). On — the historical
+    /// behavior — requires every upstream producer to regenerate
+    /// identical sequence numbers after a rollback; a host downstream
+    /// of a fan-in producer must run with it off.
+    pub persist_in_flight: bool,
     /// Backpressure gauges this host keeps current while it runs —
     /// input-queue depth and alignment-window occupancy. `None`
     /// disables metering (tests, benches).
@@ -252,8 +370,8 @@ pub struct HostWiring {
     pub telemetry: Option<Arc<OperatorMeter>>,
 }
 
-/// How a host thread ended: the operator with its final state, plus
-/// the first stable-storage error if one stopped the stream early.
+/// How a host ended: the operator with its final state, plus the first
+/// stable-storage error if one stopped the stream early.
 pub struct HostExit {
     /// The operator's id.
     pub op_id: OperatorId,
@@ -264,7 +382,7 @@ pub struct HostExit {
     pub error: Option<Error>,
 }
 
-/// Collects emissions inside a host thread.
+/// Collects emissions inside a host.
 struct LiveCtx {
     op: OperatorId,
     fanout: usize,
@@ -327,6 +445,297 @@ struct Window {
     opened: Instant,
 }
 
+/// Stamps, meters, optionally preserves and routes a batch of
+/// emissions. `Ok(true)`: keep going; `Ok(false)`: a consumer is gone;
+/// `Err`: the preservation append failed.
+fn route_emissions(
+    op_id: OperatorId,
+    outputs: &[OutputRoute],
+    telemetry: &Option<Arc<OperatorMeter>>,
+    next_seq: &mut u64,
+    emissions: Vec<(PortId, Fields)>,
+    preserve: Option<&Arc<dyn StableStore>>,
+) -> Result<bool> {
+    // Emission metering is batched: one pair of relaxed adds per call,
+    // not per tuple.
+    let mut emitted = 0u64;
+    let mut emitted_bytes = 0u64;
+    for (port, fields) in emissions {
+        let t = Tuple::new(op_id, *next_seq, SimTime::ZERO, fields);
+        *next_seq += 1;
+        if telemetry.is_some() {
+            emitted += 1;
+            emitted_bytes += t.payload_bytes();
+        }
+        if let Some(store) = preserve {
+            // Source preservation: stable storage *before* sending.
+            store.append_log(op_id, t.clone())?;
+        }
+        if let Some(route) = outputs.get(port.index()) {
+            if !route.data(t) {
+                return Ok(false);
+            }
+        }
+    }
+    if let Some(m) = telemetry {
+        if emitted > 0 {
+            m.add_tuples_out(emitted, emitted_bytes);
+        }
+    }
+    Ok(true)
+}
+
+/// The interior/sink half of the host protocol as a plain state
+/// machine: feed it messages with [`InteriorCore::on_msg`] from
+/// whatever execution engine owns the streams — a blocking
+/// channel-select thread ([`run_host`]) or `ms-wire`'s apply pool —
+/// and it runs token alignment, cuts checkpoints, and routes
+/// downstream exactly as the threaded host always has.
+pub struct InteriorCore {
+    op_id: OperatorId,
+    op: Box<dyn Operator>,
+    outputs: Vec<OutputRoute>,
+    n_in: usize,
+    next_seq: u64,
+    cut_seq: Vec<u64>,
+    eos: Vec<bool>,
+    windows: VecDeque<Window>,
+    last_captured: Option<EpochId>,
+    persist: Sender<PersistItem>,
+    persist_in_flight: bool,
+    meter: Option<Arc<BackpressureMeter>>,
+    telemetry: Option<Arc<OperatorMeter>>,
+    error: Option<Error>,
+    done: bool,
+}
+
+impl InteriorCore {
+    /// Builds the state machine from interior wiring (`cmd` must be
+    /// `None`) and applies the restored cut's in-flight tuples — they
+    /// were already inside this HAU at the cut, so they run before any
+    /// stream input. May finish the host immediately (restored replay
+    /// into a gone consumer); check [`InteriorCore::is_done`].
+    pub fn new(mut w: HostWiring, persist: Sender<PersistItem>) -> InteriorCore {
+        debug_assert!(w.cmd.is_none(), "a source host cannot run as InteriorCore");
+        let n_in = w.inputs.len();
+        debug_assert!(n_in > 0, "an interior host has at least one input");
+        let cut_seq = if w.resume_seq.len() == n_in {
+            w.resume_seq.clone()
+        } else {
+            vec![0; n_in]
+        };
+        let mut core = InteriorCore {
+            op_id: w.op_id,
+            op: w.op,
+            outputs: w.outputs,
+            n_in,
+            next_seq: w.restored_seq,
+            cut_seq,
+            eos: vec![false; n_in],
+            windows: VecDeque::new(),
+            last_captured: w.last_durable,
+            persist,
+            persist_in_flight: w.persist_in_flight,
+            meter: w.meter,
+            telemetry: w.telemetry,
+            error: None,
+            done: false,
+        };
+        for (port, t) in std::mem::take(&mut w.in_flight) {
+            if !core.apply(port, t) {
+                core.done = true;
+                break;
+            }
+        }
+        core
+    }
+
+    /// Whether the host has finished (all inputs at EOS, a consumer
+    /// gone, or a storage error). Once done, further messages are
+    /// ignored.
+    pub fn is_done(&self) -> bool {
+        self.done
+    }
+
+    /// Whether input `i` has delivered EOS.
+    pub fn input_eos(&self, i: usize) -> bool {
+        self.eos[i]
+    }
+
+    /// Publishes backpressure gauges: the driver supplies the queued
+    /// input depth (it owns the queues); window occupancy comes from
+    /// the alignment state here. No-op without a meter.
+    pub fn publish_backpressure(&self, queued_inputs: u64) {
+        if let Some(m) = &self.meter {
+            m.set_queue_depth(queued_inputs);
+            m.set_window_occupancy(
+                self.windows.len() as u64,
+                self.windows
+                    .iter()
+                    .map(|win| win.buffered.len())
+                    .sum::<usize>() as u64,
+            );
+        }
+    }
+
+    /// Feeds one message from input `input`; returns `false` once the
+    /// host is done and the driver should stop delivering.
+    pub fn on_msg(&mut self, input: usize, msg: HostMsg) -> bool {
+        if self.done {
+            return false;
+        }
+        match msg {
+            HostMsg::Data(t) => {
+                // Replay filter: below the threshold means the restored
+                // cut already accounted for this tuple.
+                if t.seq < self.cut_seq[input] {
+                    return true;
+                }
+                // Inside an alignment window for this input? Buffer
+                // into the *youngest* window whose token this input has
+                // delivered — the tuple arrived after that token.
+                if let Some(win) = self.windows.iter_mut().rev().find(|win| win.tokens[input]) {
+                    win.buffered.push((input as u32, t));
+                    return true;
+                }
+                self.cut_seq[input] = t.seq + 1;
+                if !self.apply(input as u32, t) {
+                    self.done = true;
+                }
+            }
+            HostMsg::Token(epoch) => {
+                if let Some(win) = self.windows.iter_mut().find(|win| win.epoch == epoch) {
+                    win.tokens[input] = true;
+                } else {
+                    // Tokens ride each edge in epoch order, so a fresh
+                    // epoch opens a new window at the back; the sorted
+                    // insert is defensive.
+                    let at = self.windows.partition_point(|win| win.epoch < epoch);
+                    let mut tokens = vec![false; self.n_in];
+                    tokens[input] = true;
+                    self.windows.insert(
+                        at,
+                        Window {
+                            epoch,
+                            tokens,
+                            buffered: Vec::new(),
+                            opened: Instant::now(),
+                        },
+                    );
+                }
+                self.cut_ready_windows();
+            }
+            HostMsg::Eos => {
+                self.eos[input] = true;
+                self.cut_ready_windows();
+                if self.eos.iter().all(|&e| e) {
+                    self.done = true;
+                }
+            }
+        }
+        !self.done
+    }
+
+    /// Consumes the host: broadcasts EOS downstream and returns the
+    /// exit record with the operator's final state.
+    pub fn finish(mut self) -> HostExit {
+        self.done = true;
+        for route in &self.outputs {
+            route.eos();
+        }
+        HostExit {
+            op_id: self.op_id,
+            op: self.op,
+            error: self.error,
+        }
+    }
+
+    fn apply(&mut self, port: u32, t: Tuple) -> bool {
+        if let Some(m) = &self.telemetry {
+            m.add_tuples_in(1);
+        }
+        let mut ctx = LiveCtx {
+            op: self.op_id,
+            fanout: self.outputs.len(),
+            emissions: Vec::new(),
+            seed: t.seq ^ 0xA5A5_A5A5,
+        };
+        self.op.on_tuple(PortId(port), t, &mut ctx);
+        match route_emissions(
+            self.op_id,
+            &self.outputs,
+            &self.telemetry,
+            &mut self.next_seq,
+            ctx.emissions,
+            None,
+        ) {
+            Ok(keep) => keep,
+            Err(e) => {
+                self.error = Some(e);
+                false
+            }
+        }
+    }
+
+    /// Cuts every leading window whose tokens (or EOS) are complete.
+    fn cut_ready_windows(&mut self) {
+        while let Some(front) = self.windows.front() {
+            if !(0..self.n_in).all(|i| front.tokens[i] || self.eos[i]) {
+                break;
+            }
+            let win = self.windows.pop_front().expect("front window");
+            let align_us = win.opened.elapsed().as_micros() as u64;
+            let (in_flight, resume_seq) = if self.persist_in_flight {
+                // Fold the in-flight portion into the replay thresholds
+                // *before* recording them: the captured tuples count as
+                // accounted-for by this cut.
+                for (i, t) in &win.buffered {
+                    let s = &mut self.cut_seq[*i as usize];
+                    *s = (*s).max(t.seq + 1);
+                }
+                (win.buffered.clone(), self.cut_seq.clone())
+            } else {
+                // Sequence-agnostic cut (fan-in producers upstream):
+                // thresholds recorded pre-fold, no in-flight persisted
+                // — a rollback regenerates the buffered tuples and they
+                // pass the threshold afresh.
+                (Vec::new(), self.cut_seq.clone())
+            };
+            if let Some(m) = &self.telemetry {
+                m.set_state_bytes(self.op.state_size());
+            }
+            let (snapshot, base) = capture(self.op.as_mut(), self.last_captured);
+            self.last_captured = Some(win.epoch);
+            let _ = self.persist.send(PersistItem {
+                epoch: win.epoch,
+                op: self.op_id,
+                snapshot,
+                base,
+                next_seq: self.next_seq,
+                in_flight,
+                resume_seq,
+                align_us,
+                meter: self.telemetry.clone(),
+            });
+            for route in &self.outputs {
+                route.token(win.epoch);
+            }
+            // The buffered tuples were only deferred for the cut:
+            // apply them now, ahead of anything still in the streams.
+            for (i, t) in win.buffered {
+                if !self.persist_in_flight {
+                    let s = &mut self.cut_seq[i as usize];
+                    *s = (*s).max(t.seq + 1);
+                }
+                if !self.apply(i, t) {
+                    self.done = true;
+                    return;
+                }
+            }
+        }
+    }
+}
+
 /// Runs one HAU to completion on the current thread; returns a
 /// [`HostExit`] with the operator (and its final state) for inspection
 /// by the owner.
@@ -343,40 +752,6 @@ pub fn run_host(
 ) -> HostExit {
     let fanout = w.outputs.len();
     let mut next_seq = w.restored_seq;
-    // Ok(true): keep going; Ok(false): every consumer gone; Err: the
-    // preservation append failed (source must stop streaming).
-    let route = |ctx_emissions: Vec<(PortId, Fields)>,
-                 next_seq: &mut u64,
-                 preserve: bool|
-     -> Result<bool> {
-        // Emission metering is batched: one pair of relaxed adds per
-        // route call, not per tuple.
-        let mut emitted = 0u64;
-        let mut emitted_bytes = 0u64;
-        for (port, fields) in ctx_emissions {
-            let t = Tuple::new(w.op_id, *next_seq, SimTime::ZERO, fields);
-            *next_seq += 1;
-            if w.telemetry.is_some() {
-                emitted += 1;
-                emitted_bytes += t.payload_bytes();
-            }
-            if preserve {
-                // Source preservation: stable storage *before* sending.
-                store.append_log(w.op_id, t.clone())?;
-            }
-            if let Some(tx) = w.outputs.get(port.index()) {
-                if tx.send(HostMsg::Data(t)).is_err() {
-                    return Ok(false);
-                }
-            }
-        }
-        if let Some(m) = &w.telemetry {
-            if emitted > 0 {
-                m.add_tuples_out(emitted, emitted_bytes);
-            }
-        }
-        Ok(true)
-    };
     let mut error: Option<Error> = None;
 
     if let Some(cmd) = w.cmd.take() {
@@ -386,10 +761,15 @@ pub fn run_host(
         // it does not regenerate the same data (the preserved log IS
         // that data — post-failure, a real sensor source could not
         // regenerate it). Live sources emit one tuple per tick.
+        //
+        // Replay goes through the routes, not a broadcast: a sharded
+        // consumer must see each replayed tuple on the same shard the
+        // original delivery used, which the deterministic hash
+        // guarantees.
         let replayed = w.replay.len() as u64;
         for t in w.replay.drain(..) {
-            for tx in &w.outputs {
-                let _ = tx.send(HostMsg::Data(t.clone()));
+            for route in &w.outputs {
+                let _ = route.data(t.clone());
             }
         }
         for _ in 0..replayed {
@@ -428,8 +808,8 @@ pub fn run_host(
                     align_us: 0,
                     meter: w.telemetry.clone(),
                 });
-                for tx in &w.outputs {
-                    let _ = tx.send(HostMsg::Token(epoch));
+                for route in &w.outputs {
+                    route.token(epoch);
                 }
                 Ok(())
             };
@@ -471,7 +851,14 @@ pub fn run_host(
                     _ => break,
                 }
             } else {
-                match route(ctx.emissions, &mut next_seq, true) {
+                match route_emissions(
+                    w.op_id,
+                    &w.outputs,
+                    &w.telemetry,
+                    &mut next_seq,
+                    ctx.emissions,
+                    Some(&store),
+                ) {
                     Ok(true) => {}
                     Ok(false) => break,
                     Err(e) => {
@@ -481,8 +868,8 @@ pub fn run_host(
                 }
             }
         }
-        for tx in &w.outputs {
-            let _ = tx.send(HostMsg::Eos);
+        for route in &w.outputs {
+            route.eos();
         }
         return HostExit {
             op_id: w.op_id,
@@ -491,188 +878,29 @@ pub fn run_host(
         };
     }
 
-    // Interior/sink thread: non-blocking token alignment.
-    let n_in = w.inputs.len();
-    debug_assert!(n_in > 0, "an interior host has at least one input");
-    let mut eos = vec![false; n_in];
-    // Next expected sequence per input. Seeds the replay filter from
-    // the restored cut; advances as tuples are applied or folded into
-    // a cut's in-flight portion.
-    let mut cut_seq: Vec<u64> = if w.resume_seq.len() == n_in {
-        w.resume_seq.clone()
-    } else {
-        vec![0; n_in]
-    };
-    // Outstanding alignment windows, oldest epoch first.
-    let mut windows: VecDeque<Window> = VecDeque::new();
-    // Epoch of this host's previous capture — the base for an
-    // incremental capture. Seeded from the restored checkpoint.
-    let mut last_captured = w.last_durable;
-
-    macro_rules! apply_tuple {
-        ($port:expr, $t:expr) => {{
-            let t: Tuple = $t;
-            if let Some(m) = &w.telemetry {
-                m.add_tuples_in(1);
-            }
-            let mut ctx = LiveCtx {
-                op: w.op_id,
-                fanout,
-                emissions: Vec::new(),
-                seed: t.seq ^ 0xA5A5_A5A5,
-            };
-            w.op.on_tuple(PortId($port), t, &mut ctx);
-            route(ctx.emissions, &mut next_seq, false)
-        }};
-    }
-
-    // Recovery: the restored cut's in-flight tuples are applied before
-    // any channel input — they were already inside this HAU at the cut.
-    for (port, t) in std::mem::take(&mut w.in_flight) {
-        let failed = match apply_tuple!(port, t) {
-            Ok(true) => false,
-            Ok(false) => true,
-            Err(e) => {
-                error = Some(e);
-                true
-            }
-        };
-        if failed {
-            for tx in &w.outputs {
-                let _ = tx.send(HostMsg::Eos);
-            }
-            return HostExit {
-                op_id: w.op_id,
-                op: w.op,
-                error,
-            };
-        }
-    }
-
-    'interior: loop {
-        // Cut every leading window whose tokens (or EOS) are complete.
-        while let Some(front) = windows.front() {
-            if !(0..n_in).all(|i| front.tokens[i] || eos[i]) {
-                break;
-            }
-            let win = windows.pop_front().expect("front window");
-            let align_us = win.opened.elapsed().as_micros() as u64;
-            // Fold the in-flight portion into the replay thresholds
-            // *before* recording them: the captured tuples count as
-            // accounted-for by this cut.
-            for (i, t) in &win.buffered {
-                let s = &mut cut_seq[*i as usize];
-                *s = (*s).max(t.seq + 1);
-            }
-            if let Some(m) = &w.telemetry {
-                m.set_state_bytes(w.op.state_size());
-            }
-            let (snapshot, base) = capture(w.op.as_mut(), last_captured);
-            last_captured = Some(win.epoch);
-            let _ = persist.send(PersistItem {
-                epoch: win.epoch,
-                op: w.op_id,
-                snapshot,
-                base,
-                next_seq,
-                in_flight: win.buffered.clone(),
-                resume_seq: cut_seq.clone(),
-                align_us,
-                meter: w.telemetry.clone(),
-            });
-            for tx in &w.outputs {
-                let _ = tx.send(HostMsg::Token(win.epoch));
-            }
-            // The buffered tuples were only deferred for the cut:
-            // apply them now, ahead of anything still in the channels.
-            for (i, t) in win.buffered {
-                match apply_tuple!(i, t) {
-                    Ok(true) => {}
-                    Ok(false) => break 'interior,
-                    Err(e) => {
-                        error = Some(e);
-                        break 'interior;
-                    }
-                }
-            }
-        }
-        // Publish backpressure gauges: how much input is queued and how
-        // much the alignment window is holding back. Plain atomic
-        // stores — negligible next to a channel select.
-        if let Some(m) = &w.meter {
-            m.set_queue_depth(w.inputs.iter().map(Receiver::len).sum::<usize>() as u64);
-            m.set_window_occupancy(
-                windows.len() as u64,
-                windows.iter().map(|win| win.buffered.len()).sum::<usize>() as u64,
-            );
-        }
-        let readable: Vec<usize> = (0..n_in).filter(|&i| !eos[i]).collect();
+    // Interior/sink thread: the InteriorCore state machine driven by a
+    // blocking channel select. Receiver clones don't hold the channel
+    // open (senders do), so the core consuming the wiring is harmless.
+    let inputs = w.inputs.clone();
+    let mut core = InteriorCore::new(w, persist);
+    while !core.is_done() {
+        core.publish_backpressure(inputs.iter().map(Receiver::len).sum::<usize>() as u64);
+        let readable: Vec<usize> = (0..inputs.len()).filter(|&i| !core.input_eos(i)).collect();
         if readable.is_empty() {
-            // Every input at EOS; any remaining windows were cut above.
             break;
         }
         let mut sel = Select::new();
         for &i in &readable {
-            sel.recv(&w.inputs[i]);
+            sel.recv(&inputs[i]);
         }
         let oper = sel.select();
         let idx = readable[oper.index()];
-        match oper.recv(&w.inputs[idx]) {
-            Ok(HostMsg::Data(t)) => {
-                // Replay filter: below the threshold means the restored
-                // cut already accounted for this tuple.
-                if t.seq < cut_seq[idx] {
-                    continue;
-                }
-                // Inside an alignment window for this input? Buffer
-                // into the *youngest* window whose token this input has
-                // delivered — the tuple arrived after that token.
-                if let Some(win) = windows.iter_mut().rev().find(|win| win.tokens[idx]) {
-                    win.buffered.push((idx as u32, t));
-                    continue;
-                }
-                cut_seq[idx] = t.seq + 1;
-                match apply_tuple!(idx as u32, t) {
-                    Ok(true) => {}
-                    Ok(false) => break,
-                    Err(e) => {
-                        error = Some(e);
-                        break;
-                    }
-                }
-            }
-            Ok(HostMsg::Token(epoch)) => {
-                if let Some(win) = windows.iter_mut().find(|win| win.epoch == epoch) {
-                    win.tokens[idx] = true;
-                } else {
-                    // Tokens ride each edge in epoch order, so a fresh
-                    // epoch opens a new window at the back; the sorted
-                    // insert is defensive.
-                    let at = windows.partition_point(|win| win.epoch < epoch);
-                    let mut tokens = vec![false; n_in];
-                    tokens[idx] = true;
-                    windows.insert(
-                        at,
-                        Window {
-                            epoch,
-                            tokens,
-                            buffered: Vec::new(),
-                            opened: Instant::now(),
-                        },
-                    );
-                }
-            }
-            Ok(HostMsg::Eos) | Err(_) => {
-                eos[idx] = true;
-            }
-        }
+        let msg = match oper.recv(&inputs[idx]) {
+            Ok(msg) => msg,
+            // A dropped sender is an implicit EOS (teardown).
+            Err(_) => HostMsg::Eos,
+        };
+        core.on_msg(idx, msg);
     }
-    for tx in &w.outputs {
-        let _ = tx.send(HostMsg::Eos);
-    }
-    HostExit {
-        op_id: w.op_id,
-        op: w.op,
-        error,
-    }
+    core.finish()
 }

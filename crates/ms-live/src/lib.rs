@@ -40,7 +40,10 @@ pub mod host;
 pub mod protocol;
 pub mod storage;
 
-pub use host::{DurableHook, HostExit, HostMsg, HostWiring, PersistItem, Persister, SourceCmd};
+pub use host::{
+    DurableHook, EdgeTx, HostExit, HostMsg, HostWiring, InteriorCore, OutputRoute, PersistItem,
+    Persister, RouteKeyFn, SourceCmd,
+};
 pub use protocol::{CountSource, Doubler, LiveRuntime, LiveTelemetry, Summer};
 pub use storage::{
     CkptState, CkptWrite, LiveHauCheckpoint, LiveStorage, RebasePolicy, StableStore,

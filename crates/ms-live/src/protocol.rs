@@ -27,7 +27,7 @@ use ms_core::operator::{Operator, OperatorContext, OperatorSnapshot};
 use ms_core::tuple::Tuple;
 use ms_core::value::Value;
 
-use crate::host::{run_host, HostExit, HostMsg, HostWiring, Persister, SourceCmd};
+use crate::host::{run_host, HostExit, HostMsg, HostWiring, OutputRoute, Persister, SourceCmd};
 use crate::storage::{LiveStorage, StableStore};
 
 /// Depth of each inter-host channel (the live stand-in for the
@@ -123,10 +123,12 @@ impl LiveRuntime {
                 .iter()
                 .map(|&u| receivers.remove(&(u, op_id)).expect("edge receiver"))
                 .collect();
-            let outputs: Vec<Sender<HostMsg>> = qn
+            let outputs: Vec<OutputRoute> = qn
                 .downstream(op_id)
                 .iter()
-                .map(|&d| senders.get(&(op_id, d)).expect("edge sender").clone())
+                .map(|&d| {
+                    OutputRoute::single(senders.get(&(op_id, d)).expect("edge sender").clone())
+                })
                 .collect();
             let cmd = if inputs.is_empty() {
                 let (tx, rx) = unbounded();
@@ -150,6 +152,11 @@ impl LiveRuntime {
                 in_flight,
                 auto_stop: false,
                 last_durable: restore_epoch,
+                // Every producer in the in-process runtime regenerates
+                // identical sequences after a rollback (single-threaded
+                // channel order per edge), so cuts keep the historical
+                // in-flight persistence.
+                persist_in_flight: true,
                 meter: Some(bp),
                 telemetry: Some(tel),
             };

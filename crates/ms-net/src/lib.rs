@@ -21,6 +21,8 @@
 
 #![warn(missing_docs)]
 
+pub mod ready;
+
 use std::collections::HashMap;
 
 use ms_core::ids::NodeId;

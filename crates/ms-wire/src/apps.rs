@@ -177,13 +177,38 @@ impl Operator for KeyedStat {
 
 /// Builds the demo query network for a shape name: `chainN` (N ≥ 2
 /// operators in a line), `diamond` (the paper's five-operator
-/// walkthrough graph, Figs. 6–7), or `fanin` (two independent
+/// walkthrough graph, Figs. 6–7), `fanin` (two independent
 /// source→doubler branches converging on one sink — the shape that
 /// exercises token alignment, because the sink must hold a consistent
-/// cut across inputs that run at different speeds).
+/// cut across inputs that run at different speeds), or `fleetSxK`
+/// (S skewed sources all feeding a K-stage pipeline into one sink —
+/// the *logical* graph behind the paper-scale sharded deployments:
+/// `fleet6x6` expanded at 8 shards per stage is 6 + 48 + 1 = 55
+/// physical HAUs).
 pub fn demo_network(shape: &str) -> Result<QueryNetwork> {
     let mut qn = QueryNetwork::new();
-    if shape == "fanin" {
+    if let Some((s, k)) = shape.strip_prefix("fleet").and_then(|rest| {
+        let (s, k) = rest.split_once('x')?;
+        Some((s.parse::<usize>().ok()?, k.parse::<usize>().ok()?))
+    }) {
+        if s < 1 || k < 1 {
+            return Err(Error::Graph(format!(
+                "fleet needs ≥ 1 source and ≥ 1 stage, got {s}x{k}"
+            )));
+        }
+        let sources: Vec<OperatorId> = (0..s).map(|i| qn.add_operator(format!("src{i}"))).collect();
+        let stages: Vec<OperatorId> = (0..k)
+            .map(|j| qn.add_operator(format!("stage{j}")))
+            .collect();
+        let sink = qn.add_operator("sink");
+        for &src in &sources {
+            qn.connect(src, stages[0])?;
+        }
+        for pair in stages.windows(2) {
+            qn.connect(pair[0], pair[1])?;
+        }
+        qn.connect(stages[k - 1], sink)?;
+    } else if shape == "fanin" {
         let s0 = qn.add_operator("src_fast");
         let s1 = qn.add_operator("src_slow");
         let d2 = qn.add_operator("dbl_fast");
@@ -217,7 +242,7 @@ pub fn demo_network(shape: &str) -> Result<QueryNetwork> {
         }
     } else {
         return Err(Error::Graph(format!(
-            "unknown demo shape {shape:?} (want chainN or diamond)"
+            "unknown demo shape {shape:?} (want chainN, diamond, fanin or fleetSxK)"
         )));
     }
     qn.validate()?;
@@ -280,6 +305,34 @@ pub fn expected_chain_sum(n_ops: usize, limit: u64) -> i64 {
 /// the two branches — so `4 × Σ 0..limit`, over `2 × limit` tuples.
 pub fn expected_fanin_sum(limit: u64) -> i64 {
     4 * (0..limit as i64).sum::<i64>()
+}
+
+/// The sink answer a failure-free `fleetSxK` run must produce:
+/// `sources` sources each emit `0..limit`, every tuple is doubled
+/// once per stage (sharding a stage changes *where* a tuple is
+/// doubled, never how often), and the sink sums everything —
+/// `(sum, count) = (2^stages × S × Σ 0..limit, S × limit)`.
+pub fn expected_fleet_sum(sources: u64, stages: u32, limit: u64) -> (i64, u64) {
+    let per_source: i64 = (0..limit as i64).sum();
+    ((per_source * sources as i64) << stages, sources * limit)
+}
+
+/// The routing-key extractor every producer of a sharded consumer
+/// uses: with keyed state it is exactly [`KeyedStat`]'s key function
+/// (`(v / KEY_STRIDE) % keyed_state`), so one logical key always
+/// lands on one shard instance and the shard-local tables partition
+/// the unsharded table; stateless deployments hash the raw value.
+/// Deterministic in the tuple alone — replayed tuples rejoin the same
+/// shard, which is what keeps recovery byte-identical.
+pub fn route_key(keyed_state: u64) -> ms_live::RouteKeyFn {
+    std::sync::Arc::new(move |t: &Tuple| {
+        let v = t.fields.first().and_then(Value::as_int).unwrap_or(0) as u64;
+        if keyed_state > 0 {
+            (v / KEY_STRIDE) % keyed_state
+        } else {
+            v
+        }
+    })
 }
 
 #[cfg(test)]
@@ -476,5 +529,41 @@ mod tests {
         // chain4 doubles twice.
         assert_eq!(expected_chain_sum(4, 4), 24);
         assert_eq!(expected_chain_sum(2, 4), 6);
+    }
+
+    #[test]
+    fn fleet_shape_builds() {
+        let qn = demo_network("fleet6x6").unwrap();
+        assert_eq!(qn.len(), 13); // 6 sources + 6 stages + sink
+        assert_eq!(qn.sources().len(), 6);
+        assert_eq!(qn.sinks().len(), 1);
+        // All sources feed stage0 (op index 6).
+        assert_eq!(qn.upstream(OperatorId(6)).len(), 6);
+        // fleet2x1: two sources, one stage, sink.
+        let small = demo_network("fleet2x1").unwrap();
+        assert_eq!(small.len(), 4);
+        assert!(demo_network("fleet0x3").is_err());
+        assert!(demo_network("fleetx").is_err());
+    }
+
+    #[test]
+    fn fleet_sum_closed_form() {
+        // 2 sources × Σ0..4 = 12, doubled by 3 stages → 96, 8 tuples.
+        assert_eq!(expected_fleet_sum(2, 3, 4), (96, 8));
+        assert_eq!(expected_fleet_sum(6, 6, 0), (0, 0));
+        // fleet6x6 at limit 400: 6 × 79800 × 64.
+        assert_eq!(expected_fleet_sum(6, 6, 400), (6 * 79800 * 64, 2400));
+    }
+
+    #[test]
+    fn route_key_matches_keyed_stat_partition() {
+        let key = route_key(64);
+        for v in 0..1000i64 {
+            let t = int_tuple(v);
+            assert_eq!(key(&t), (v as u64 / KEY_STRIDE) % 64);
+        }
+        // Stateless fallback: raw value.
+        let raw = route_key(0);
+        assert_eq!(raw(&int_tuple(17)), 17);
     }
 }

@@ -9,9 +9,10 @@ use ms_wire::{run_controller, ControllerConfig};
 fn usage() -> ! {
     eprintln!(
         "usage: ms-controller --store DIR [--listen ADDR] [--addr-file FILE] \
-         [--workers N] [--shape chainN|diamond] [--limit N] [--delay-us N] \
-         [--keyed-state N] [--ckpt-ms N] [--hb-timeout-ms N] \
-         [--respawn-wait-ms N] [--deadline-secs N] [--result-file FILE]"
+         [--workers N] [--shape chainN|diamond|fanin|fleetSxK] [--limit N] \
+         [--delay-us N] [--keyed-state N] [--shards N] [--ckpt-ms N] \
+         [--hb-timeout-ms N] [--respawn-wait-ms N] [--deadline-secs N] \
+         [--result-file FILE]"
     );
     std::process::exit(2);
 }
@@ -38,6 +39,7 @@ fn main() {
         source_limit: num("--limit", 4000),
         source_delay_us: num("--delay-us", 300),
         keyed_state: num("--keyed-state", 0),
+        shards: num("--shards", 0),
         ckpt_interval: Duration::from_millis(num("--ckpt-ms", 120)),
         hb_timeout: Duration::from_millis(num("--hb-timeout-ms", 500)),
         respawn_wait: Duration::from_millis(num("--respawn-wait-ms", 2000)),

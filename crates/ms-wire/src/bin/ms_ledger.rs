@@ -4,10 +4,10 @@
 
 use std::path::PathBuf;
 
-use ms_wire::{read_ledger, summarize};
+use ms_wire::{by_shard_summary, read_ledger, summarize};
 
 fn usage() -> ! {
-    eprintln!("usage: ms_ledger LEDGER.jsonl [--top N] [--tail N]");
+    eprintln!("usage: ms_ledger LEDGER.jsonl [--top N] [--tail N] [--by-shard]");
     std::process::exit(2);
 }
 
@@ -45,5 +45,11 @@ fn main() {
             records.retain(|r| r.epoch >= cutoff);
         }
     }
-    print!("{}", summarize(&records, top));
+    // --by-shard swaps the per-epoch table for the sharding view:
+    // records grouped by logical operator with per-shard state balance.
+    if args.iter().any(|a| a == "--by-shard") {
+        print!("{}", by_shard_summary(&records));
+    } else {
+        print!("{}", summarize(&records, top));
+    }
 }

@@ -32,10 +32,12 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Sender};
+use ms_cluster::spread_shards;
 use ms_core::error::{Error, Result};
 use ms_core::graph::QueryNetwork;
 use ms_core::ids::{EpochId, OperatorId};
 use ms_core::metrics::{BackpressureGauges, OperatorSample};
+use ms_core::shard::{expand, ShardPlan};
 use ms_live::StableStore;
 
 use crate::apps::demo_network;
@@ -72,6 +74,12 @@ pub struct ControllerConfig {
     /// Key count for the keyed-state interior operator (0 = stateless
     /// doubler interiors, the original demo shape).
     pub keyed_state: u64,
+    /// Key-partitioned instances per interior operator (0 or 1 = no
+    /// sharding). The shape above is the *logical* graph; the cluster
+    /// deploys its [`expand`]-ed physical graph, so e.g. `fleet6x6`
+    /// with 8 shards runs 6 sources + 48 stage shards + 1 sink = 55
+    /// HAUs — the paper's evaluation scale.
+    pub shards: u64,
     /// Checkpoint-token cadence.
     pub ckpt_interval: Duration,
     /// Heartbeat silence treated as a failure.
@@ -249,7 +257,19 @@ fn publish_addr(path: &PathBuf, addr: &str) -> Result<()> {
 
 /// Runs the controller to completion and returns the cluster report.
 pub fn run_controller(cfg: ControllerConfig) -> Result<ClusterReport> {
-    let qn = demo_network(&cfg.shape)?;
+    // The configured shape is the logical graph; everything below —
+    // checkpoint barrier, placement, store layout, ledger — runs on
+    // its sharded physical expansion (identity when `shards <= 1`).
+    let logical = demo_network(&cfg.shape)?;
+    let (qn, plan) = expand(&logical, cfg.shards as usize)?;
+    if cfg.shards > 1 {
+        println!(
+            "ms-controller: sharded {} logical operators into {} HAUs ({} shards/interior)",
+            logical.len(),
+            qn.len(),
+            cfg.shards
+        );
+    }
     let store = FsStore::open(&cfg.store_dir, qn.len())?;
     let n_sinks = qn.sinks().len();
     // The run ledger lives next to the checkpoints, opened in append
@@ -423,9 +443,13 @@ pub fn run_controller(cfg: ControllerConfig) -> Result<ClusterReport> {
                         // checkpoint phases.
                         let barrier_us = outstanding_since.elapsed().as_micros() as u64;
                         if let Some(l) = ledger.as_mut() {
-                            write_ledger_epoch(
-                                l, generation, epoch, barrier_us, &latest, &op_worker, &workers,
-                            );
+                            let close = BarrierClose {
+                                generation,
+                                epoch,
+                                barrier_us,
+                                plan: &plan,
+                            };
+                            write_ledger_epoch(l, &close, &latest, &op_worker, &workers);
                         }
                         outstanding = None;
                     }
@@ -540,7 +564,7 @@ pub fn run_controller(cfg: ControllerConfig) -> Result<ClusterReport> {
                             None => None,
                         };
                         generation += 1;
-                        let placement = deploy(&qn, &cfg, generation, restore, &mut workers);
+                        let placement = deploy(&qn, &plan, &cfg, generation, restore, &mut workers);
                         op_worker = placement.into_iter().map(|p| (p.op, p.worker)).collect();
                         latest.clear();
                         deployed = true;
@@ -583,11 +607,16 @@ pub fn run_controller(cfg: ControllerConfig) -> Result<ClusterReport> {
 /// hosting worker's latest heartbeat; the barrier latency (token
 /// broadcast → last `CkptDone`) is shared by every record of the
 /// epoch. Append failures are reported but never fail the run.
-fn write_ledger_epoch(
-    ledger: &mut LedgerWriter,
+struct BarrierClose<'a> {
     generation: u64,
     epoch: EpochId,
     barrier_us: u64,
+    plan: &'a ShardPlan,
+}
+
+fn write_ledger_epoch(
+    ledger: &mut LedgerWriter,
+    close: &BarrierClose<'_>,
     latest: &HashMap<OperatorId, OperatorSample>,
     op_worker: &HashMap<OperatorId, String>,
     workers: &[Worker],
@@ -602,9 +631,10 @@ fn write_ledger_epoch(
             .map(|w| w.gauges)
             .unwrap_or_default();
         let record = LedgerRecord {
-            generation,
-            epoch: epoch.0,
+            generation: close.generation,
+            epoch: close.epoch.0,
             op: op.0,
+            logical: close.plan.logical_of(op).map_or(op.0, |l| l.0),
             state_bytes: s.state_bytes,
             ckpt_bytes: s.ckpt_bytes,
             delta: s.ckpt_is_delta,
@@ -617,7 +647,7 @@ fn write_ledger_epoch(
             queued_tuples: gauges.queued_tuples,
             open_windows: gauges.open_windows,
             window_tuples: gauges.window_tuples,
-            barrier_us,
+            barrier_us: close.barrier_us,
         };
         if let Err(e) = ledger.append(&record) {
             eprintln!("ms-controller: ledger append failed: {e}");
@@ -626,11 +656,15 @@ fn write_ledger_epoch(
     }
 }
 
-/// Broadcasts a generation: sorted live workers, operators placed
-/// round-robin (`op i` → `workers[i mod n]`), returning the placement
-/// for the caller's operator→worker bookkeeping.
+/// Broadcasts a generation: sorted live workers, physical operators
+/// placed by [`spread_shards`] (round-robin over the plan's flattened
+/// groups — the classic `op i → workers[i mod n]` for unsharded
+/// deployments, and consecutive shards on distinct workers when a
+/// group fits the cluster), returning the placement for the caller's
+/// operator→worker bookkeeping.
 fn deploy(
     qn: &QueryNetwork,
+    plan: &ShardPlan,
     cfg: &ControllerConfig,
     generation: u64,
     restore_epoch: Option<EpochId>,
@@ -638,11 +672,11 @@ fn deploy(
 ) -> Vec<OpPlacement> {
     let mut live: Vec<&mut Worker> = workers.iter_mut().filter(|w| w.alive).collect();
     live.sort_by(|a, b| a.name.cmp(&b.name));
-    let placement: Vec<OpPlacement> = qn
-        .operators()
-        .enumerate()
-        .map(|(i, op)| {
-            let w = &live[i % live.len()];
+    let spread = spread_shards(&plan.groups, live.len()).expect("deploy gated on live >= 1");
+    let placement: Vec<OpPlacement> = spread
+        .into_iter()
+        .map(|(op, i)| {
+            let w = &live[i];
             OpPlacement {
                 op,
                 worker: w.name.clone(),
@@ -650,6 +684,7 @@ fn deploy(
             }
         })
         .collect();
+    debug_assert_eq!(placement.len(), qn.len());
     for w in live.iter_mut() {
         w.has_ops = placement.iter().any(|p| p.worker == w.name);
     }
@@ -662,6 +697,7 @@ fn deploy(
         source_limit: cfg.source_limit,
         source_delay_us: cfg.source_delay_us,
         keyed_state: cfg.keyed_state,
+        groups: plan.groups.clone(),
     };
     println!(
         "ms-controller: deploying generation {generation} to {} workers (restore: {})",

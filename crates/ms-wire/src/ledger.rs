@@ -39,8 +39,12 @@ pub struct LedgerRecord {
     pub generation: u64,
     /// The completed (barrier-closed) epoch.
     pub epoch: u64,
-    /// The operator this row describes.
+    /// The (physical) operator this row describes.
     pub op: u32,
+    /// The logical operator the physical instance belongs to. Equal to
+    /// `op` for unsharded deployments; shards of one keyed operator
+    /// share a `logical` and differ in `op`.
+    pub logical: u32,
     /// Logical state size at the operator's last snapshot.
     pub state_bytes: u64,
     /// Encoded bytes of the operator's epoch checkpoint.
@@ -76,7 +80,7 @@ impl LedgerRecord {
     pub fn to_json(&self) -> String {
         format!(
             concat!(
-                "{{\"generation\":{},\"epoch\":{},\"op\":{},",
+                "{{\"generation\":{},\"epoch\":{},\"op\":{},\"logical\":{},",
                 "\"state_bytes\":{},\"ckpt_bytes\":{},\"delta\":{},",
                 "\"align_wait_us\":{},\"serialize_us\":{},\"persist_us\":{},",
                 "\"tuples_in\":{},\"tuples_out\":{},\"bytes_out\":{},",
@@ -86,6 +90,7 @@ impl LedgerRecord {
             self.generation,
             self.epoch,
             self.op,
+            self.logical,
             self.state_bytes,
             self.ckpt_bytes,
             self.delta,
@@ -111,11 +116,20 @@ impl LedgerRecord {
                 "ledger line is not a JSON object: {s:?}"
             )));
         }
+        let op = u32::try_from(json_u64(s, "op")?)
+            .map_err(|_| Error::Storage("ledger operator id out of range".into()))?;
         Ok(LedgerRecord {
             generation: json_u64(s, "generation")?,
             epoch: json_u64(s, "epoch")?,
-            op: u32::try_from(json_u64(s, "op")?)
-                .map_err(|_| Error::Storage("ledger operator id out of range".into()))?,
+            op,
+            // Pre-sharding ledgers have no `logical` column; every
+            // operator was its own logical operator then.
+            logical: if s.contains("\"logical\":") {
+                u32::try_from(json_u64(s, "logical")?)
+                    .map_err(|_| Error::Storage("ledger logical id out of range".into()))?
+            } else {
+                op
+            },
             state_bytes: json_u64(s, "state_bytes")?,
             ckpt_bytes: json_u64(s, "ckpt_bytes")?,
             delta: json_bool(s, "delta")?,
@@ -301,6 +315,101 @@ pub fn summarize(records: &[LedgerRecord], top_n: usize) -> String {
     out
 }
 
+/// Renders the sharding view of a ledger: records grouped by *logical*
+/// operator, with the per-shard state-byte balance of each group at
+/// its freshest epoch. The skew column is `max/min` over the group's
+/// final per-instance state sizes — 1.00 is a perfect spread, `inf`
+/// means at least one shard never accumulated state. Sharded groups
+/// also list their instances so a hot shard can be named. This is the
+/// `ms_ledger --by-shard` view and the balance check the scale test
+/// asserts on.
+pub fn by_shard_summary(records: &[LedgerRecord]) -> String {
+    use std::collections::BTreeMap;
+
+    let mut out = String::new();
+    if records.is_empty() {
+        out.push_str("run ledger: empty\n");
+        return out;
+    }
+    // Freshest row per physical instance (file order is epoch order,
+    // and recovery generations only append).
+    let mut last: BTreeMap<u32, &LedgerRecord> = BTreeMap::new();
+    for r in records {
+        last.insert(r.op, r);
+    }
+    // Physical instances grouped by logical operator.
+    let mut groups: BTreeMap<u32, Vec<&LedgerRecord>> = BTreeMap::new();
+    for r in last.values() {
+        groups.entry(r.logical).or_default().push(r);
+    }
+    let sharded = groups.values().filter(|g| g.len() > 1).count();
+    out.push_str(&format!(
+        "shard view: {} logical operator(s), {} physical instance(s), {} sharded group(s)\n",
+        groups.len(),
+        last.len(),
+        sharded,
+    ));
+    out.push_str("logical  shards  state_B_total  min_B  max_B  skew  tuples_in\n");
+    for (logical, rows) in &groups {
+        let total: u64 = rows.iter().map(|r| r.state_bytes).sum();
+        let min = rows.iter().map(|r| r.state_bytes).min().unwrap_or(0);
+        let max = rows.iter().map(|r| r.state_bytes).max().unwrap_or(0);
+        let tuples: u64 = rows.iter().map(|r| r.tuples_in).sum();
+        let skew = if min == 0 {
+            if max == 0 {
+                "1.00".to_string()
+            } else {
+                "inf".to_string()
+            }
+        } else {
+            format!("{:.2}", max as f64 / min as f64)
+        };
+        out.push_str(&format!(
+            "{logical:>7}  {:>6}  {total:>13}  {min:>5}  {max:>5}  {skew:>4}  {tuples:>9}\n",
+            rows.len(),
+        ));
+        if rows.len() > 1 {
+            for r in rows {
+                out.push_str(&format!(
+                    "         op{:<4} state={} B  ckpt={} B  in={}\n",
+                    r.op, r.state_bytes, r.ckpt_bytes, r.tuples_in
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// The worst `max/min` per-shard state skew across a ledger's sharded
+/// groups at their freshest epoch: 1.0 is a perfect spread,
+/// [`f64::INFINITY`] means a shard never accumulated state, `None`
+/// means nothing is sharded. The scale test's balance assertion.
+pub fn worst_shard_skew(records: &[LedgerRecord]) -> Option<f64> {
+    use std::collections::BTreeMap;
+    let mut last: BTreeMap<u32, &LedgerRecord> = BTreeMap::new();
+    for r in records {
+        last.insert(r.op, r);
+    }
+    let mut groups: BTreeMap<u32, Vec<u64>> = BTreeMap::new();
+    for r in last.values() {
+        groups.entry(r.logical).or_default().push(r.state_bytes);
+    }
+    let mut worst: Option<f64> = None;
+    for sizes in groups.values().filter(|g| g.len() > 1) {
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        let skew = match (min, max) {
+            (0, 0) => 1.0,
+            (0, _) => f64::INFINITY,
+            _ => max as f64 / min as f64,
+        };
+        if worst.is_none_or(|w| skew > w) {
+            worst = Some(skew);
+        }
+    }
+    worst
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -310,6 +419,7 @@ mod tests {
             generation: 1 + epoch / 4,
             epoch,
             op,
+            logical: op,
             state_bytes: 1024 * (epoch + 1),
             ckpt_bytes: 128 * (op as u64 + 1),
             delta: epoch > 1,
@@ -383,6 +493,63 @@ mod tests {
         }
         assert_eq!(read_ledger(&path).unwrap(), records);
         let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn legacy_line_without_logical_parses_as_its_own_logical() {
+        let mut rec = sample(2, 7);
+        rec.logical = 7;
+        let legacy = rec.to_json().replace("\"logical\":7,", "");
+        let parsed = LedgerRecord::from_json(&legacy).unwrap();
+        assert_eq!(parsed, rec);
+        // A present-but-malformed logical field is still an error.
+        let bad = rec.to_json().replace("\"logical\":7", "\"logical\":x");
+        assert!(LedgerRecord::from_json(&bad).is_err());
+    }
+
+    /// Two shards of logical op 1 plus singleton source/sink; the
+    /// freshest epoch decides the balance.
+    fn sharded_records() -> Vec<LedgerRecord> {
+        let mut records = Vec::new();
+        for epoch in 1..=2u64 {
+            for (op, logical, state) in [(0, 0, 16), (1, 1, 300), (2, 1, 100), (3, 3, 64)] {
+                let mut r = sample(epoch, op);
+                r.logical = logical;
+                r.state_bytes = state * epoch;
+                records.push(r);
+            }
+        }
+        records
+    }
+
+    #[test]
+    fn by_shard_view_groups_by_logical_and_reports_skew() {
+        let text = by_shard_summary(&sharded_records());
+        assert!(
+            text.contains("3 logical operator(s), 4 physical instance(s), 1 sharded group(s)"),
+            "{text}"
+        );
+        // Logical 1 at epoch 2: shards hold 600 and 200 bytes → 3.00.
+        assert!(text.contains("3.00"), "{text}");
+        // Sharded groups list their instances.
+        assert!(text.contains("op1"), "{text}");
+        assert!(text.contains("op2"), "{text}");
+        assert_eq!(by_shard_summary(&[]), "run ledger: empty\n");
+    }
+
+    #[test]
+    fn worst_skew_tracks_freshest_epoch() {
+        let records = sharded_records();
+        assert_eq!(worst_shard_skew(&records), Some(3.0));
+        // Unsharded ledgers have no skew to report.
+        let flat: Vec<LedgerRecord> = (0..3).map(|op| sample(1, op)).collect();
+        assert_eq!(worst_shard_skew(&flat), None);
+        // A shard with zero state is infinite skew.
+        let mut zeroed = records.clone();
+        for r in zeroed.iter_mut().filter(|r| r.op == 2) {
+            r.state_bytes = 0;
+        }
+        assert_eq!(worst_shard_skew(&zeroed), Some(f64::INFINITY));
     }
 
     #[test]

@@ -13,8 +13,9 @@
 //! |---|---|
 //! | [`message`] | the wire alphabet ([`WireMsg`]) + frame codec |
 //! | [`store`] | [`FsStore`], a SIGKILL-durable [`ms_live::StableStore`] on a shared directory |
-//! | [`apps`] | demo operators (throttled source, doubler, summer) and graph shapes |
-//! | [`worker`] | the `ms-worker` daemon: operator hosts + socket pumps |
+//! | [`apps`] | demo operators (throttled source, doubler, keyed stats, summer) and graph shapes |
+//! | [`worker`] | the `ms-worker` daemon: operator hosts on the event-loop core |
+//! | `evloop` | the worker's engine: one poll-driven I/O thread + a fixed apply pool |
 //! | [`controller`] | the `ms-controller` daemon: deploy / pace / detect / recover |
 //! | [`ledger`] | the epoch-keyed run ledger (JSONL telemetry trail) + `ms_ledger` summarizer |
 //!
@@ -42,14 +43,18 @@
 
 pub mod apps;
 pub mod controller;
+mod evloop;
 pub mod ledger;
 pub mod message;
 pub mod store;
 pub mod worker;
 
-pub use apps::{build_operator, demo_network, ThrottledCountSource};
+pub use apps::{build_operator, demo_network, route_key, ThrottledCountSource};
 pub use controller::{run_controller, ClusterReport, ControllerConfig};
-pub use ledger::{read_ledger, summarize, LedgerRecord, LedgerWriter, LEDGER_FILE};
+pub use ledger::{
+    by_shard_summary, read_ledger, summarize, worst_shard_skew, LedgerRecord, LedgerWriter,
+    LEDGER_FILE,
+};
 pub use message::{recv_msg, send_msg, Assignment, OpPlacement, WireMsg};
 pub use store::FsStore;
 pub use worker::{run_worker, ControllerAddr, WorkerConfig};

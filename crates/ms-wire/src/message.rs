@@ -71,6 +71,13 @@ pub struct Assignment {
     /// keyed state table of this many keys (delta-checkpointed) instead
     /// of being stateless doublers.
     pub keyed_state: u64,
+    /// The shard plan of the deployment: `groups[logical]` lists the
+    /// physical instances of that logical operator, shard order (see
+    /// `ms_core::shard::ShardPlan`). Every worker derives its hash
+    /// routes (one route per logical consumer, over the consumer's
+    /// whole instance group) from this map. Singleton groups everywhere
+    /// ⇒ the unsharded wiring, byte-identical to the historical one.
+    pub groups: Vec<Vec<OperatorId>>,
 }
 
 impl Assignment {
@@ -273,6 +280,11 @@ impl WireMsg {
                 w.put_u64(a.source_limit)
                     .put_u64(a.source_delay_us)
                     .put_u64(a.keyed_state);
+                w.put_seq(a.groups.iter(), |w, group| {
+                    w.put_seq(group.iter(), |w, op| {
+                        w.put_u64(op.0 as u64);
+                    });
+                });
             }
             WireMsg::Checkpoint(e) => {
                 w.put_u64(TAG_CHECKPOINT).put_u64(e.0);
@@ -380,15 +392,20 @@ impl WireMsg {
                         data_addr: r.get_str()?,
                     })
                 })?;
+                let source_limit = r.get_u64()?;
+                let source_delay_us = r.get_u64()?;
+                let keyed_state = r.get_u64()?;
+                let groups = r.get_seq(|r| r.get_seq(get_op))?;
                 WireMsg::Assign(Assignment {
                     generation,
                     restore_epoch,
                     n_ops,
                     edges,
                     placement,
-                    source_limit: r.get_u64()?,
-                    source_delay_us: r.get_u64()?,
-                    keyed_state: r.get_u64()?,
+                    source_limit,
+                    source_delay_us,
+                    keyed_state,
+                    groups,
                 })
             }
             TAG_CHECKPOINT => WireMsg::Checkpoint(EpochId(r.get_u64()?)),
@@ -506,6 +523,57 @@ mod tests {
             source_limit: 1000,
             source_delay_us: 250,
             keyed_state: 4096,
+            groups: vec![
+                vec![OperatorId(0)],
+                vec![OperatorId(1)],
+                vec![OperatorId(2)],
+            ],
+        }
+    }
+
+    fn sharded_assignment() -> Assignment {
+        // A sharded chain: one logical interior expanded to two
+        // physical instances (ops 1 and 2), sink pushed to op 3.
+        Assignment {
+            generation: 9,
+            restore_epoch: None,
+            n_ops: 4,
+            edges: vec![
+                (OperatorId(0), OperatorId(1)),
+                (OperatorId(0), OperatorId(2)),
+                (OperatorId(1), OperatorId(3)),
+                (OperatorId(2), OperatorId(3)),
+            ],
+            placement: vec![
+                OpPlacement {
+                    op: OperatorId(0),
+                    worker: "wa".into(),
+                    data_addr: "127.0.0.1:4000".into(),
+                },
+                OpPlacement {
+                    op: OperatorId(1),
+                    worker: "wb".into(),
+                    data_addr: "127.0.0.1:4001".into(),
+                },
+                OpPlacement {
+                    op: OperatorId(2),
+                    worker: "wa".into(),
+                    data_addr: "127.0.0.1:4000".into(),
+                },
+                OpPlacement {
+                    op: OperatorId(3),
+                    worker: "wb".into(),
+                    data_addr: "127.0.0.1:4001".into(),
+                },
+            ],
+            source_limit: 100,
+            source_delay_us: 0,
+            keyed_state: 64,
+            groups: vec![
+                vec![OperatorId(0)],
+                vec![OperatorId(1), OperatorId(2)],
+                vec![OperatorId(3)],
+            ],
         }
     }
 
@@ -629,5 +697,26 @@ mod tests {
         assert_eq!(a.worker_of(OperatorId(1)), Some("wb"));
         assert_eq!(a.addr_of(OperatorId(2)), Some("127.0.0.1:4000"));
         assert_eq!(a.ops_on("wa"), vec![OperatorId(0), OperatorId(2)]);
+    }
+
+    #[test]
+    fn sharded_assignment_roundtrips_with_groups() {
+        let a = sharded_assignment();
+        let msg = WireMsg::Assign(a.clone());
+        let decoded = WireMsg::decode(&msg.encode()).unwrap();
+        let WireMsg::Assign(b) = decoded else {
+            panic!("decoded to a different variant");
+        };
+        assert_eq!(b, a);
+        assert_eq!(b.groups[1], vec![OperatorId(1), OperatorId(2)]);
+        // The physical network rebuilds with the sharded fan-in: both
+        // shard instances feed the sink on distinct input ports.
+        let qn = b.network().unwrap();
+        assert_eq!(qn.len(), 4);
+        assert_eq!(qn.upstream(OperatorId(3)), &[OperatorId(1), OperatorId(2)]);
+        assert_eq!(
+            qn.downstream(OperatorId(0)),
+            &[OperatorId(1), OperatorId(2)]
+        );
     }
 }

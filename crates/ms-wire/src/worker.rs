@@ -1,30 +1,44 @@
 //! The `ms-worker` daemon: hosts operators over real TCP streams.
 //!
-//! One worker process runs any subset of a generation's operators.
-//! Each operator runs on the unmodified `ms-live` host thread
-//! ([`ms_live::host::run_host`]); what this module adds is the
-//! transport: every cross-process graph edge is one TCP connection,
-//! bridged onto the host's crossbeam channels by a pair of pump
-//! threads (egress on the producer side, ingress on the consumer
-//! side). Local edges stay plain channels — colocated operators pay no
-//! socket tax, exactly the HAU-grouping benefit of §II-A.
+//! One worker process runs any subset of a generation's operators —
+//! including shard instances of key-partitioned HAUs — on a thread
+//! budget that is O(cores), not O(edges + operators):
+//!
+//! * **One I/O thread** (the `evloop` module) owns the data-plane
+//!   listener and every peer socket, nonblocking, multiplexed with
+//!   `poll(2)`. Inbound frames land in per-operator inboxes; outbound
+//!   frames coalesce in per-connection buffers written on socket
+//!   writability.
+//! * **A fixed apply pool** (2–4 threads) runs the protocol state
+//!   machine ([`ms_live::InteriorCore`]) of every interior/sink HAU.
+//! * **Source HAUs** keep a dedicated thread each
+//!   ([`ms_live::host::run_host`]): they block on pacing sleeps and
+//!   stable-store appends, which must not stall the shared pool.
+//!
+//! Local edges are direct inbox pushes — colocated operators pay no
+//! socket tax, exactly the HAU-grouping benefit of §II-A. A producer
+//! whose logical consumer is sharded gets one [`OutputRoute`] over
+//! the whole instance group (hash of the routing key picks the
+//! shard); tokens and EOS broadcast to every instance, because each
+//! shard checkpoints as a first-class HAU.
 //!
 //! Failure semantics, the part that makes recovery correct:
 //!
 //! * A data socket that dies **without** [`WireMsg::Eos`] is a peer
-//!   failure, not an end-of-stream. The ingress pump *parks* — holding
-//!   the consumer's input open but silent — so a sink can never
+//!   failure, not an end-of-stream. The connection is dropped but the
+//!   consumer's input stays open and *silent*, so a sink can never
 //!   mistake a crash for completion. Only the controller's `Rollback`
-//!   (or a newer generation) releases it.
-//! * An egress pump whose socket breaks switches to *drain* mode: it
-//!   keeps consuming so local hosts never wedge mid-teardown. The
-//!   discarded tuples are safe — they are either preserved in the
+//!   (or a superseding `Assign`) unwinds it.
+//! * An egress buffer whose socket breaks switches to *drain* mode:
+//!   pushes are discarded so local hosts never wedge mid-teardown.
+//!   The discarded tuples are safe — they are either preserved in the
 //!   source log or derivable from it, and the rollback rewinds
 //!   downstream state behind them.
 //! * Teardown (`Rollback`, a superseding `Assign`, or `Shutdown`)
-//!   first marks the generation stale and shuts every data socket,
-//!   which unwinds pumps, then hosts, then the persister — in an order
-//!   chosen so nothing blocks forever.
+//!   marks the generation torn (producers' next emission fails,
+//!   unwinding hosts), tells the I/O thread to drop the generation's
+//!   sockets and routes, and schedules every pooled cell once more so
+//!   its final state is flushed.
 //! * The persister acks every durable individual checkpoint to the
 //!   controller (`CkptDone`) — the controller's epoch barrier — and
 //!   surfaces storage failures as `WorkerError` instead of aborting
@@ -35,37 +49,34 @@
 //!   detection.
 
 use std::collections::HashMap;
-use std::io::{BufWriter, Write};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
 
-use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
+use crossbeam::channel::{unbounded, Sender};
 use ms_core::error::{Error, Result};
 use ms_core::ids::OperatorId;
 use ms_core::metrics::{BackpressureGauges, BackpressureMeter, OperatorMeter, OperatorSample};
 use ms_live::host::run_host;
-use ms_live::protocol::CHANNEL_DEPTH;
-use ms_live::{HostMsg, HostWiring, Persister, SourceCmd, StableStore};
+use ms_live::{
+    EdgeTx, HostExit, HostWiring, InteriorCore, OutputRoute, Persister, SourceCmd, StableStore,
+};
+use ms_net::ready::Waker;
 use parking_lot::Mutex;
 
-use crate::apps::build_operator;
+use crate::apps::{build_operator, route_key};
+use crate::evloop::{self, CellTx, EgressBuf, EgressHandle, HostCell, IoCmd};
 use crate::message::{recv_msg, send_msg, Assignment, WireMsg};
 use crate::store::FsStore;
 
-const ACCEPT_POLL: Duration = Duration::from_millis(10);
-const PARK_POLL: Duration = Duration::from_millis(20);
-const ROUTE_WAIT: Duration = Duration::from_secs(15);
+const FILE_POLL: Duration = Duration::from_millis(20);
 const CONNECT_WAIT: Duration = Duration::from_secs(10);
 /// How long a capped source log pauses its source waiting for a
 /// checkpoint to free space before failing the generation.
 const LOG_CAP_PATIENCE: Duration = Duration::from_secs(10);
-/// Egress socket write-buffer size. Batches of tuples become one
-/// kernel write; the pump flushes at queue-empty and token boundaries.
-const EGRESS_BUF_BYTES: usize = 64 * 1024;
 
 /// How a worker finds its controller.
 #[derive(Clone, Debug)]
@@ -102,13 +113,6 @@ type GenerationMeters = (u64, Vec<(OperatorId, Arc<OperatorMeter>)>);
 
 /// Cross-thread worker state.
 struct Shared {
-    /// Smallest generation still acceptable; anything below is stale.
-    min_gen: AtomicU64,
-    /// `(generation, from, to)` → the consumer host's input channel.
-    routes: Mutex<HashMap<(u64, u32, u32), Sender<HostMsg>>>,
-    /// Open data sockets tagged with their generation, so teardown can
-    /// `shutdown()` them and unblock the pump threads.
-    socks: Mutex<Vec<(u64, TcpStream)>>,
     /// Per-host backpressure meters of the current generation; the
     /// heartbeat thread sums them into each liveness message.
     meters: Mutex<Vec<Arc<BackpressureMeter>>>,
@@ -125,9 +129,6 @@ struct Shared {
 impl Shared {
     fn new() -> Shared {
         Shared {
-            min_gen: AtomicU64::new(0),
-            routes: Mutex::new(HashMap::new()),
-            socks: Mutex::new(Vec::new()),
             meters: Mutex::new(Vec::new()),
             op_meters: Mutex::new((0, Vec::new())),
             stop: AtomicBool::new(false),
@@ -163,9 +164,21 @@ impl Shared {
             .find(|(id, _)| *id == op)
             .map(|(_, m)| m.sample())
     }
+}
 
-    fn stale(&self, generation: u64) -> bool {
-        self.stop.load(Ordering::SeqCst) || self.min_gen.load(Ordering::SeqCst) > generation
+/// The process-wide execution engine every generation runs on: the
+/// apply-pool work queue, the I/O thread's command channel, and its
+/// waker.
+struct Engine {
+    work: Sender<Arc<HostCell>>,
+    io: Sender<IoCmd>,
+    waker: Waker,
+}
+
+impl Engine {
+    fn send_io(&self, cmd: IoCmd) {
+        let _ = self.io.send(cmd);
+        self.waker.wake();
     }
 }
 
@@ -173,8 +186,9 @@ impl Shared {
 struct Run {
     generation: u64,
     src_cmds: Vec<Sender<SourceCmd>>,
+    src_threads: Vec<JoinHandle<()>>,
+    cells: Vec<Arc<HostCell>>,
     joiner: Option<JoinHandle<()>>,
-    pumps: Vec<JoinHandle<()>>,
     torn: Arc<AtomicBool>,
 }
 
@@ -185,36 +199,29 @@ impl Run {
         }
     }
 
-    /// Tears the generation down. Order matters: mark stale → cut the
-    /// sockets (pumps unwind) → stop sources → drop route senders
-    /// (consumer inputs see disconnect ⇒ Eos) → join.
-    fn teardown(mut self, shared: &Shared) {
+    /// Tears the generation down. Order matters: mark torn (producers
+    /// start failing sends, which unwinds hosts) → drop the
+    /// generation's sockets and routes → stop sources → schedule every
+    /// cell so its exit record flushes even with no traffic → join.
+    fn teardown(mut self, eng: &Engine) {
         self.torn.store(true, Ordering::SeqCst);
-        shared
-            .min_gen
-            .fetch_max(self.generation + 1, Ordering::SeqCst);
-        shared.socks.lock().retain(|(g, s)| {
-            if *g <= self.generation {
-                let _ = s.shutdown(Shutdown::Both);
-                false
-            } else {
-                true
-            }
+        eng.send_io(IoCmd::Tear {
+            generation: self.generation,
         });
         for tx in &self.src_cmds {
             let _ = tx.send(SourceCmd::Stop);
         }
         self.src_cmds.clear();
-        shared
-            .routes
-            .lock()
-            .retain(|(g, _, _), _| *g > self.generation);
+        for cell in &self.cells {
+            cell.schedule(&eng.work);
+        }
+        for t in self.src_threads.drain(..) {
+            let _ = t.join();
+        }
         if let Some(j) = self.joiner.take() {
             let _ = j.join();
         }
-        for p in self.pumps.drain(..) {
-            let _ = p.join();
-        }
+        self.cells.clear();
     }
 
     fn start(
@@ -222,6 +229,7 @@ impl Run {
         cfg: &WorkerConfig,
         shared: &Arc<Shared>,
         ctrl_w: &Arc<Mutex<TcpStream>>,
+        eng: &Engine,
     ) -> Result<Run> {
         let qn = a.network()?;
         let mut fs_store = FsStore::open(&cfg.store_dir, qn.len())?;
@@ -229,14 +237,20 @@ impl Run {
             fs_store = fs_store.with_log_cap(cap, LOG_CAP_PATIENCE);
         }
         let store: Arc<dyn StableStore> = Arc::new(fs_store);
-        shared.min_gen.fetch_max(a.generation, Ordering::SeqCst);
         let generation = a.generation;
         let my_ops = a.ops_on(&cfg.name);
         let is_mine = |op: OperatorId| a.worker_of(op) == Some(cfg.name.as_str());
 
         // Fallible phase first: build + restore every local operator,
-        // resolve every peer address. Nothing is spawned yet.
-        let mut restored = Vec::new(); // (op, operator, restored_seq, replay, resume_seq, in_flight)
+        // connect every outbound edge. Nothing is spawned yet.
+        struct Restored {
+            operator: Box<dyn ms_core::operator::Operator>,
+            restored_seq: u64,
+            replay: Vec<ms_core::tuple::Tuple>,
+            resume_seq: Vec<u64>,
+            in_flight: Vec<(u32, ms_core::tuple::Tuple)>,
+        }
+        let mut restored: HashMap<u32, Restored> = HashMap::new();
         for &op in &my_ops {
             let mut operator =
                 build_operator(&qn, op, a.source_limit, a.source_delay_us, a.keyed_state);
@@ -260,32 +274,49 @@ impl Run {
                 // the store's dedup guard keeps the log duplicate-free.
                 None => (0, Vec::new(), Vec::new(), Vec::new()),
             };
-            restored.push((op, operator, restored_seq, replay, resume_seq, in_flight));
+            restored.insert(
+                op.0,
+                Restored {
+                    operator,
+                    restored_seq,
+                    replay,
+                    resume_seq,
+                    in_flight,
+                },
+            );
         }
-        let mut peer_addr = HashMap::new();
+        // Outbound connections, blocking while the hello goes out,
+        // then switched nonblocking for the I/O thread. Every peer's
+        // listener is up before the controller assigns (it binds
+        // before registering), so these connects resolve immediately.
+        let mut remote: HashMap<(u32, u32), TcpStream> = HashMap::new();
         for &op in &my_ops {
             for &down in qn.downstream(op) {
-                if !is_mine(down) {
-                    let addr = a
-                        .addr_of(down)
-                        .ok_or_else(|| Error::Wire(format!("{down} missing from placement")))?;
-                    peer_addr.insert(down, addr.to_string());
+                if is_mine(down) {
+                    continue;
                 }
+                let addr = a
+                    .addr_of(down)
+                    .ok_or_else(|| Error::Wire(format!("{down} missing from placement")))?;
+                let mut s = connect_retry(addr, CONNECT_WAIT)?;
+                s.set_nodelay(true)?;
+                send_msg(
+                    &mut s,
+                    &WireMsg::StreamHello {
+                        generation,
+                        from: op,
+                        to: down,
+                    },
+                )?;
+                s.set_nonblocking(true)?;
+                remote.insert((op.0, down.0), s);
             }
         }
 
-        // Infallible phase: wire channels, spawn pumps and hosts.
+        // Infallible phase: build cells (consumers before producers),
+        // wire routes, spawn source threads.
         let torn = Arc::new(AtomicBool::new(false));
-        let mut pumps = Vec::new();
-        let mut local_tx = HashMap::new();
-        let mut local_rx = HashMap::new();
-        for (f, t) in qn.edges() {
-            if is_mine(f) && is_mine(t) {
-                let (tx, rx) = bounded(CHANNEL_DEPTH);
-                local_tx.insert((f.0, t.0), tx);
-                local_rx.insert((f.0, t.0), rx);
-            }
-        }
+        let (exits_tx, exits_rx) = unbounded::<HostExit>();
 
         // Durable-checkpoint acks close the controller's epoch
         // barrier: the persister reports every write outcome on the
@@ -327,80 +358,173 @@ impl Run {
             let _ = send_msg(&mut *ack_w.lock(), &msg);
         });
         let persister = Persister::spawn_with(store.clone(), Some(hook));
-        let mut src_cmds = Vec::new();
-        let mut hosts = Vec::new();
+
         // Fresh generation, fresh gauges — the torn-down run's meters
         // would otherwise keep reporting their last values forever.
         shared.meters.lock().clear();
         *shared.op_meters.lock() = (generation, Vec::new());
-        for (op, operator, restored_seq, replay, resume_seq, in_flight) in restored {
-            let mut inputs = Vec::new();
-            for &up in qn.upstream(op) {
-                if is_mine(up) {
-                    inputs.push(
-                        local_rx
-                            .remove(&(up.0, op.0))
-                            .expect("local edge wired once"),
-                    );
-                } else {
-                    let (tx, rx) = bounded(CHANNEL_DEPTH);
-                    shared.routes.lock().insert((generation, up.0, op.0), tx);
-                    inputs.push(rx);
-                }
+
+        // Shard plan lookup: physical op → logical group index. The
+        // plan's ordering guarantee (a producer's downstream is
+        // contiguous runs, one per logical consumer, in logical port
+        // order) is what lets the grouping below be a linear scan.
+        let mut logical_of: HashMap<u32, usize> = HashMap::new();
+        for (li, group) in a.groups.iter().enumerate() {
+            for &p in group {
+                logical_of.insert(p.0, li);
             }
-            let mut outputs = Vec::new();
-            for &down in qn.downstream(op) {
-                if is_mine(down) {
-                    outputs.push(
-                        local_tx
+        }
+
+        let order = qn.topo_order()?;
+        let mut cell_of: HashMap<u32, Arc<HostCell>> = HashMap::new();
+        let mut cells: Vec<Arc<HostCell>> = Vec::new();
+        let mut src_cmds = Vec::new();
+        let mut src_threads = Vec::new();
+        let mut ingress_routes: HashMap<(u32, u32), CellTx> = HashMap::new();
+        for &op in order.iter().rev() {
+            if !is_mine(op) {
+                continue;
+            }
+            let r = restored.remove(&op.0).expect("restored once per local op");
+            let is_source = qn.upstream(op).is_empty();
+
+            // One OutputRoute per *logical* consumer: group the
+            // physical downstream list into its contiguous runs.
+            let downs = qn.downstream(op);
+            let mut outputs: Vec<OutputRoute> = Vec::new();
+            let mut i = 0;
+            while i < downs.len() {
+                let li = logical_of.get(&downs[i].0).copied();
+                let mut j = i + 1;
+                while li.is_some() && j < downs.len() && logical_of.get(&downs[j].0).copied() == li
+                {
+                    j += 1;
+                }
+                let mut txs: Vec<Box<dyn EdgeTx>> = Vec::new();
+                for &down in &downs[i..j] {
+                    if is_mine(down) {
+                        let cell = cell_of
+                            .get(&down.0)
+                            .expect("consumers are built before producers")
+                            .clone();
+                        let port = qn.input_port(op, down).expect("edge exists").0;
+                        txs.push(Box::new(CellTx {
+                            cell,
+                            port,
+                            work: eng.work.clone(),
+                        }));
+                    } else {
+                        let stream = remote
                             .remove(&(op.0, down.0))
-                            .expect("local edge wired once"),
-                    );
-                } else {
-                    let (tx, rx) = bounded(CHANNEL_DEPTH);
-                    let addr = peer_addr[&down].clone();
-                    let shared = shared.clone();
-                    let torn = torn.clone();
-                    pumps.push(thread::spawn(move || {
-                        egress(rx, addr, generation, op, down, &shared, &torn)
-                    }));
-                    outputs.push(tx);
+                            .expect("remote edge connected once");
+                        let buf = EgressBuf::new();
+                        eng.send_io(IoCmd::Egress {
+                            generation,
+                            stream,
+                            buf: buf.clone(),
+                        });
+                        txs.push(Box::new(EgressHandle {
+                            buf,
+                            torn: torn.clone(),
+                            waker: eng.waker.clone(),
+                        }));
+                    }
                 }
+                outputs.push(if txs.len() > 1 {
+                    OutputRoute::sharded(txs, route_key(a.keyed_state))
+                } else {
+                    OutputRoute::single(txs.pop().expect("run non-empty"))
+                });
+                i = j;
             }
-            let cmd = if qn.upstream(op).is_empty() {
-                let (ctx, crx) = unbounded();
-                src_cmds.push(ctx);
-                Some(crx)
-            } else {
-                None
-            };
+
             let meter = Arc::new(BackpressureMeter::new());
             shared.meters.lock().push(meter.clone());
             let op_meter = Arc::new(OperatorMeter::new());
             shared.op_meters.lock().1.push((op, op_meter.clone()));
+            // The in-flight replay filter compares per-producer
+            // sequence numbers, which only survive a rollback when
+            // every upstream producer regenerates them exactly — true
+            // for sources and single-input interiors, false for
+            // fan-in (or sharded fan-in) producers. See the ms-live
+            // host module docs.
+            let persist_in_flight = qn.upstream(op).iter().all(|&u| qn.upstream(u).len() <= 1);
+            let (cmd_tx, cmd_rx) = if is_source {
+                let (tx, rx) = unbounded();
+                (Some(tx), Some(rx))
+            } else {
+                (None, None)
+            };
+            let n_in = qn.upstream(op).len();
             let wiring = HostWiring {
                 op_id: op,
-                op: operator,
-                inputs,
+                op: r.operator,
+                // Interior cells never read channels — the inbox is
+                // the stream — but the core sizes its alignment state
+                // from the input count, so hand it placeholders.
+                inputs: (0..n_in).map(|_| unbounded().1).collect(),
                 outputs,
-                cmd,
-                restored_seq,
-                replay,
-                resume_seq,
-                in_flight,
+                cmd: cmd_rx,
+                restored_seq: r.restored_seq,
+                replay: r.replay,
+                resume_seq: r.resume_seq,
+                in_flight: r.in_flight,
                 auto_stop: true,
                 last_durable: a.restore_epoch,
+                persist_in_flight,
                 meter: Some(meter),
                 telemetry: Some(op_meter),
             };
-            let store = store.clone();
-            let ptx = persister.sender();
-            hosts.push(thread::spawn(move || run_host(wiring, store, ptx)));
+            if let Some(tx) = cmd_tx {
+                src_cmds.push(tx);
+                let store = store.clone();
+                let ptx = persister.sender();
+                let etx = exits_tx.clone();
+                src_threads.push(
+                    thread::Builder::new()
+                        .name(format!("ms-src-{}", op.0))
+                        .spawn(move || {
+                            let exit = run_host(wiring, store, ptx);
+                            let _ = etx.send(exit);
+                        })
+                        .expect("spawn source thread"),
+                );
+            } else {
+                let core = InteriorCore::new(wiring, persister.sender());
+                let cell = HostCell::new(core, torn.clone(), exits_tx.clone());
+                for &up in qn.upstream(op) {
+                    if !is_mine(up) {
+                        let port = qn.input_port(up, op).expect("edge exists").0;
+                        ingress_routes.insert(
+                            (up.0, op.0),
+                            CellTx {
+                                cell: cell.clone(),
+                                port,
+                                work: eng.work.clone(),
+                            },
+                        );
+                    }
+                }
+                cell_of.insert(op.0, cell.clone());
+                cells.push(cell);
+            }
+        }
+        drop(exits_tx);
+        eng.send_io(IoCmd::Routes {
+            generation,
+            map: ingress_routes,
+        });
+        // A restored core can be done at birth (its in-flight replay
+        // hit a gone consumer); one initial visit flushes that. For
+        // live cells the visit is a cheap no-op.
+        for cell in &cells {
+            cell.schedule(&eng.work);
         }
 
         // The joiner waits the hosts out, makes queued checkpoints
         // durable, then reports finished sinks — unless the generation
         // was torn down, in which case partial sink state is garbage.
+        let n_local = my_ops.len();
         let sinks: Vec<OperatorId> = my_ops
             .iter()
             .copied()
@@ -408,167 +532,49 @@ impl Run {
             .collect();
         let torn_j = torn.clone();
         let ctrl_w = ctrl_w.clone();
-        let joiner = thread::spawn(move || {
-            let mut finals = Vec::new();
-            for h in hosts {
-                if let Ok(exit) = h.join() {
-                    finals.push(exit);
-                }
-            }
-            drop(persister);
-            if !torn_j.load(Ordering::SeqCst) {
-                for exit in &finals {
-                    // A host that stopped on a storage failure is a
-                    // failed HAU, not a finished one: surface it so the
-                    // controller rolls the generation back.
-                    if let Some(e) = &exit.error {
-                        let msg = WireMsg::WorkerError {
-                            generation,
-                            detail: format!("{}: {e}", exit.op_id),
-                        };
-                        let _ = send_msg(&mut *ctrl_w.lock(), &msg);
-                    } else if sinks.contains(&exit.op_id) {
-                        let msg = WireMsg::SinkDone {
-                            generation,
-                            op: exit.op_id,
-                            snapshot: exit.op.snapshot().data,
-                        };
-                        let _ = send_msg(&mut *ctrl_w.lock(), &msg);
+        let joiner = thread::Builder::new()
+            .name("ms-joiner".into())
+            .spawn(move || {
+                let mut finals = Vec::new();
+                for _ in 0..n_local {
+                    match exits_rx.recv() {
+                        Ok(exit) => finals.push(exit),
+                        Err(_) => break,
                     }
                 }
-            }
-        });
+                drop(persister);
+                if !torn_j.load(Ordering::SeqCst) {
+                    for exit in &finals {
+                        // A host that stopped on a storage failure is a
+                        // failed HAU, not a finished one: surface it so
+                        // the controller rolls the generation back.
+                        if let Some(e) = &exit.error {
+                            let msg = WireMsg::WorkerError {
+                                generation,
+                                detail: format!("{}: {e}", exit.op_id),
+                            };
+                            let _ = send_msg(&mut *ctrl_w.lock(), &msg);
+                        } else if sinks.contains(&exit.op_id) {
+                            let msg = WireMsg::SinkDone {
+                                generation,
+                                op: exit.op_id,
+                                snapshot: exit.op.snapshot().data,
+                            };
+                            let _ = send_msg(&mut *ctrl_w.lock(), &msg);
+                        }
+                    }
+                }
+            })
+            .expect("spawn joiner thread");
 
         Ok(Run {
             generation,
             src_cmds,
+            src_threads,
+            cells,
             joiner: Some(joiner),
-            pumps,
             torn,
         })
-    }
-}
-
-/// Producer-side pump: drains one host output channel into one TCP
-/// stream. On socket failure it *drains* (consumes and discards) so
-/// the host never blocks; on teardown it exits at the next message,
-/// which disconnects the channel and unwinds the host.
-fn egress(
-    rx: Receiver<HostMsg>,
-    addr: String,
-    generation: u64,
-    from: OperatorId,
-    to: OperatorId,
-    shared: &Shared,
-    torn: &AtomicBool,
-) {
-    let mut stream = connect_retry(&addr, CONNECT_WAIT).ok();
-    if let Some(s) = &mut stream {
-        let _ = s.set_nodelay(true);
-        let hello = WireMsg::StreamHello {
-            generation,
-            from,
-            to,
-        };
-        if send_msg(s, &hello).is_ok() {
-            // Register the raw handle *before* wrapping: teardown only
-            // needs shutdown(), which works through the clone.
-            if let Ok(clone) = s.try_clone() {
-                shared.socks.lock().push((generation, clone));
-            }
-        } else {
-            stream = None;
-        }
-    }
-    // Data tuples coalesce in a userspace buffer and hit the kernel
-    // once per batch; tokens and Eos are barriers, so they flush
-    // immediately — a checkpoint must never sit in a buffer behind an
-    // idle channel.
-    let mut stream = stream.map(|s| BufWriter::with_capacity(EGRESS_BUF_BYTES, s));
-    while let Ok(first) = rx.recv() {
-        let mut msg = first;
-        loop {
-            if torn.load(Ordering::SeqCst) {
-                return;
-            }
-            if let Some(s) = &mut stream {
-                let barrier = !matches!(msg, HostMsg::Data(_));
-                let wire = match msg {
-                    HostMsg::Data(t) => WireMsg::Data(t),
-                    HostMsg::Token(e) => WireMsg::Token(e),
-                    HostMsg::Eos => WireMsg::Eos,
-                };
-                let ok = send_msg(s, &wire).is_ok() && (!barrier || s.flush().is_ok());
-                if !ok {
-                    stream = None; // drain mode from here on
-                }
-            }
-            match rx.try_recv() {
-                Ok(next) => msg = next,
-                Err(_) => break,
-            }
-        }
-        if let Some(s) = &mut stream {
-            if s.flush().is_err() {
-                stream = None;
-            }
-        }
-    }
-}
-
-/// Consumer-side pump: reads one TCP stream into the consumer host's
-/// input channel. Runs detached; exits on explicit `Eos`, a closed
-/// channel, or (after parking) a stale generation.
-fn ingress(mut stream: TcpStream, shared: Arc<Shared>) {
-    let (generation, from, to) = match recv_msg(&mut stream) {
-        Ok(Some(WireMsg::StreamHello {
-            generation,
-            from,
-            to,
-        })) => (generation, from, to),
-        _ => return,
-    };
-    if let Ok(clone) = stream.try_clone() {
-        shared.socks.lock().push((generation, clone));
-    }
-    // The Assign carrying our route may still be in flight.
-    let deadline = Instant::now() + ROUTE_WAIT;
-    let tx = loop {
-        if let Some(tx) = shared.routes.lock().get(&(generation, from.0, to.0)) {
-            break tx.clone();
-        }
-        if shared.stale(generation) || Instant::now() > deadline {
-            return;
-        }
-        thread::sleep(PARK_POLL);
-    };
-    loop {
-        match recv_msg(&mut stream) {
-            Ok(Some(WireMsg::Data(t))) => {
-                if tx.send(HostMsg::Data(t)).is_err() {
-                    return;
-                }
-            }
-            Ok(Some(WireMsg::Token(e))) => {
-                if tx.send(HostMsg::Token(e)).is_err() {
-                    return;
-                }
-            }
-            Ok(Some(WireMsg::Eos)) => {
-                let _ = tx.send(HostMsg::Eos);
-                return;
-            }
-            // A bare close, torn frame, or protocol violation: the
-            // peer failed. Park — hold the input open but silent so
-            // the consumer cannot mistake this for end-of-stream —
-            // until the controller rolls the generation back.
-            Ok(Some(_)) | Ok(None) | Err(_) => {
-                while !shared.stale(generation) {
-                    thread::sleep(PARK_POLL);
-                }
-                return;
-            }
-        }
     }
 }
 
@@ -602,7 +608,7 @@ fn resolve_controller(addr: &ControllerAddr, wait: Duration) -> Result<String> {
                         "controller address file {path:?} never appeared"
                     )));
                 }
-                thread::sleep(PARK_POLL);
+                thread::sleep(FILE_POLL);
             }
         }
     }
@@ -614,30 +620,21 @@ pub fn run_worker(cfg: WorkerConfig) -> Result<()> {
     let ctrl_addr = resolve_controller(&cfg.controller, CONNECT_WAIT)?;
     let shared = Arc::new(Shared::new());
 
-    // Data plane listener. Nonblocking so the accept loop can observe
-    // the stop flag; accepted sockets are switched back to blocking.
+    // The engine: data-plane listener + I/O thread + apply pool,
+    // created once per process and reused across generations.
     let listener = TcpListener::bind("127.0.0.1:0")?;
     let data_addr = listener.local_addr()?.to_string();
     listener.set_nonblocking(true)?;
-    let accept_shared = shared.clone();
-    let accept = thread::spawn(move || loop {
-        match listener.accept() {
-            Ok((stream, _)) => {
-                let _ = stream.set_nonblocking(false);
-                let _ = stream.set_nodelay(true);
-                let shared = accept_shared.clone();
-                // Detached: exits via Eos, socket shutdown, or the
-                // stale/stop checks in its park loops.
-                thread::spawn(move || ingress(stream, shared));
-            }
-            Err(_) => {
-                if accept_shared.stop.load(Ordering::SeqCst) {
-                    return;
-                }
-                thread::sleep(ACCEPT_POLL);
-            }
-        }
-    });
+    let waker = Waker::new()?;
+    let (io_tx, io_rx) = unbounded();
+    let io = evloop::spawn_io(listener, waker.clone(), io_rx);
+    let (work_tx, work_rx) = unbounded();
+    let pool = evloop::spawn_pool(evloop::pool_width(), work_rx);
+    let eng = Engine {
+        work: work_tx,
+        io: io_tx,
+        waker,
+    };
 
     // Control plane.
     let mut ctrl = connect_retry(&ctrl_addr, CONNECT_WAIT)?;
@@ -696,10 +693,10 @@ pub fn run_worker(cfg: WorkerConfig) -> Result<()> {
         match recv_msg(&mut ctrl) {
             Ok(Some(WireMsg::Assign(a))) => {
                 if let Some(r) = run.take() {
-                    r.teardown(&shared);
+                    r.teardown(&eng);
                 }
                 let generation = a.generation;
-                match Run::start(a, &cfg, &shared, &ctrl_w) {
+                match Run::start(a, &cfg, &shared, &ctrl_w, &eng) {
                     Ok(r) => run = Some(r),
                     Err(e) => {
                         // A failed deploy (corrupt checkpoint,
@@ -721,7 +718,7 @@ pub fn run_worker(cfg: WorkerConfig) -> Result<()> {
             }
             Ok(Some(WireMsg::Rollback)) => {
                 if let Some(r) = run.take() {
-                    r.teardown(&shared);
+                    r.teardown(&eng);
                 }
             }
             Ok(Some(WireMsg::Shutdown)) | Ok(None) => break,
@@ -736,11 +733,19 @@ pub fn run_worker(cfg: WorkerConfig) -> Result<()> {
         }
     }
     if let Some(r) = run.take() {
-        r.teardown(&shared);
+        r.teardown(&eng);
     }
     shared.stop.store(true, Ordering::SeqCst);
     let _ = ctrl.shutdown(Shutdown::Both);
     let _ = heartbeat.join();
-    let _ = accept.join();
+    // Stop the I/O thread (drops every route, and with it every cell
+    // handle), then drop the engine's work sender: once no sender is
+    // left, the pool threads drain out and exit.
+    eng.send_io(IoCmd::Stop);
+    let _ = io.join();
+    drop(eng);
+    for p in pool {
+        let _ = p.join();
+    }
     outcome
 }

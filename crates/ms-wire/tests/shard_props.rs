@@ -1,0 +1,172 @@
+//! Property tests for the hash router behind key-partitioned
+//! operators.
+//!
+//! Sharding a keyed operator is only sound if three things hold no
+//! matter what the stream looks like:
+//!
+//! 1. **Stability** — `shard_of` is a pure function of `(key, shards)`
+//!    with no per-process state, so a replayed or recovered tuple
+//!    rejoins exactly the shard whose checkpoint holds its key. Pinned
+//!    golden values guard against anyone "improving" the hash: a
+//!    constant change would strand every existing checkpoint's keys on
+//!    the wrong shards.
+//! 2. **Coverage** — every shard of a group receives some of the key
+//!    space (no instance is dead weight).
+//! 3. **Partition-exactness** — running the stream through `N`
+//!    shard-local [`KeyedStat`]s and merging their tables yields the
+//!    *byte-identical* canonical encoding (`ms-core::delta`'s sorted
+//!    table format) an unsharded instance produces from the same
+//!    stream. That equality is what lets kill-recover tests compare
+//!    sharded runs against closed-form answers, and what makes
+//!    rescale-by-re-expansion possible at all.
+
+use std::collections::BTreeMap;
+
+use ms_core::delta::decode_table;
+use ms_core::ids::{OperatorId, PortId};
+use ms_core::operator::{Operator, OperatorContext};
+use ms_core::shard::shard_of;
+use ms_core::time::SimTime;
+use ms_core::tuple::{Fields, Tuple};
+use ms_core::value::Value;
+use ms_wire::apps::{route_key, KeyedStat, KEY_STRIDE};
+use proptest::prelude::*;
+
+/// A context that swallows emissions; these tests only care about the
+/// operators' keyed state.
+struct Discard;
+
+impl OperatorContext for Discard {
+    fn emit_fields(&mut self, _port: PortId, _fields: Fields) {}
+    fn emit_all_fields(&mut self, _fields: Fields) {}
+    fn now(&self) -> SimTime {
+        SimTime::ZERO
+    }
+    fn self_id(&self) -> OperatorId {
+        OperatorId(0)
+    }
+    fn rand_f64(&mut self) -> f64 {
+        0.5
+    }
+    fn rand_u64(&mut self) -> u64 {
+        0
+    }
+}
+
+fn int_tuple(seq: u64, v: i64) -> Tuple {
+    Tuple::new(OperatorId(0), seq, SimTime::ZERO, vec![Value::Int(v)])
+}
+
+/// The hash must never change: these values are pinned from the
+/// splitmix64 finalizer and any drift would orphan checkpointed keys
+/// on recovery (`shard_of(key)` would no longer find the shard that
+/// owns `key`'s state).
+#[test]
+fn shard_of_golden_values_are_pinned() {
+    let keys: [u64; 8] = [0, 1, 2, 3, 42, 511, 1_000_000, 1 << 63];
+    let at8: [usize; 8] = [7, 1, 6, 5, 5, 6, 7, 3];
+    let at5: [usize; 8] = [0, 0, 0, 3, 3, 2, 2, 0];
+    for (i, &k) in keys.iter().enumerate() {
+        assert_eq!(shard_of(k, 8), at8[i], "key {k} at 8 shards");
+        assert_eq!(shard_of(k, 5), at5[i], "key {k} at 5 shards");
+    }
+}
+
+/// Every shard count in the deployable range gets full coverage from
+/// a modest contiguous key range — the shape `KeyedStat` keys take
+/// (small dense key spaces), so no HAU instance in a group idles.
+#[test]
+fn contiguous_keys_cover_every_shard() {
+    for shards in 2..=16usize {
+        let mut seen = vec![false; shards];
+        for key in 0..(64 * shards) as u64 {
+            seen[shard_of(key, shards)] = true;
+        }
+        assert!(
+            seen.iter().all(|&s| s),
+            "{shards} shards not covered by {} contiguous keys",
+            64 * shards
+        );
+    }
+}
+
+proptest! {
+    /// Pure-function property: same key, same shard, always in range.
+    #[test]
+    fn shard_assignment_is_stable_and_in_range(
+        key in any::<u64>(),
+        shards in 1usize..64,
+    ) {
+        let first = shard_of(key, shards);
+        prop_assert!(first < shards);
+        for _ in 0..3 {
+            prop_assert_eq!(shard_of(key, shards), first);
+        }
+    }
+
+    /// The router and the operator agree on the key function: a tuple
+    /// routed to shard `j` touches a key that `shard_of` maps to `j`.
+    #[test]
+    fn route_key_is_consistent_with_shard_of(
+        values in proptest::collection::vec(any::<i64>(), 1..200),
+        shards in 2usize..9,
+        keys in 16u64..512,
+    ) {
+        let key_fn = route_key(keys);
+        for (seq, &v) in values.iter().enumerate() {
+            let t = int_tuple(seq as u64, v);
+            let key = key_fn(&t);
+            prop_assert_eq!(key, (v as u64 / KEY_STRIDE) % keys);
+            prop_assert!(shard_of(key, shards) < shards);
+        }
+    }
+
+    /// The partition test: feed one stream through an unsharded
+    /// [`KeyedStat`] and through `shards` shard-local instances (each
+    /// seeing only the tuples the router sends it), then merge the
+    /// shard tables. The merged canonical encoding must equal the
+    /// unsharded snapshot byte-for-byte, and the shard key sets must
+    /// be disjoint (each key has exactly one home).
+    #[test]
+    fn shard_local_fold_equals_unsharded_fold(
+        values in proptest::collection::vec(0i64..100_000, 1..300),
+        shards in 2usize..9,
+        keys in 8u64..256,
+    ) {
+        let mut ctx = Discard;
+        let key_fn = route_key(keys);
+
+        let mut whole = KeyedStat::new(keys);
+        let mut parts: Vec<KeyedStat> =
+            (0..shards).map(|_| KeyedStat::new(keys)).collect();
+        for (seq, &v) in values.iter().enumerate() {
+            let t = int_tuple(seq as u64, v);
+            let shard = shard_of(key_fn(&t), shards);
+            parts[shard].on_tuple(PortId(0), t.clone(), &mut ctx);
+            whole.on_tuple(PortId(0), t, &mut ctx);
+        }
+
+        // Merge the shard-local tables; keys must never collide.
+        let mut merged: BTreeMap<u64, Vec<u8>> = BTreeMap::new();
+        for (j, part) in parts.iter().enumerate() {
+            let table = decode_table(&part.snapshot().data).unwrap();
+            for (key, value) in table {
+                prop_assert!(
+                    shard_of(key, shards) == j,
+                    "key {} materialized on shard {} but routes elsewhere",
+                    key,
+                    j
+                );
+                prop_assert!(
+                    merged.insert(key, value).is_none(),
+                    "key {} appears on two shards", key
+                );
+            }
+        }
+        let merged_bytes = ms_core::delta::encode_table(&merged);
+        prop_assert!(
+            merged_bytes == whole.snapshot().data,
+            "sharded union differs from the unsharded table"
+        );
+    }
+}

@@ -1,89 +1,128 @@
-//! A miniature Meteor Shower cluster over *real TCP* on localhost:
-//! one controller and two workers, each running the same daemon code
-//! as the `ms-controller` / `ms-worker` binaries, hosted here on
-//! threads so the example is a single runnable program. Operators talk
-//! across genuine sockets with length-prefixed frames; the controller
-//! paces checkpoints and collects the sink's final answer.
+//! The paper's evaluation topology over *real TCP* on localhost: one
+//! controller (hosted on a thread here) and **eight worker
+//! processes**, each a genuine OS process running the same daemon code
+//! as the `ms-worker` binary — this example re-executes itself with
+//! `--worker` to spawn them. The logical graph is `fleet6x6` (6
+//! sources → 6 chained keyed stages → 1 sink); with `--shards 8`
+//! every stage expands to 8 hash-partitioned HAU instances, so the
+//! cluster deploys 6 + 48 + 1 = **55 HAUs**, the paper's scale.
+//!
+//! Each worker hosts its ~7 HAUs on the event-loop core: one I/O
+//! thread multiplexing every peer socket plus a fixed 2–4 thread
+//! apply pool, so the whole 55-HAU topology fits in 8 small
+//! processes instead of hundreds of threads.
 //!
 //! Run with `cargo run --release -p ms-examples --bin wire_cluster`.
 //!
 //! For the full failure story — SIGKILL a worker process mid-stream
-//! and watch the controller roll back, redeploy, and replay — use the
-//! real binaries as shown in the `ms-wire` crate docs (the
-//! `kill_recover` integration test automates it).
+//! and watch the controller roll back, redeploy, and replay — see the
+//! `kill_recover` and `scale_cluster` integration tests, which
+//! automate it at chain and fleet scale respectively.
 
+use std::process::{Child, Command, Stdio};
 use std::thread;
 use std::time::Duration;
 
 use ms_core::codec::SnapshotReader;
+use ms_wire::apps::expected_fleet_sum;
 use ms_wire::{
-    read_ledger, run_controller, run_worker, summarize, ControllerAddr, ControllerConfig,
-    WorkerConfig, LEDGER_FILE,
+    by_shard_summary, read_ledger, run_controller, run_worker, summarize, ControllerAddr,
+    ControllerConfig, WorkerConfig, LEDGER_FILE,
 };
 
+const WORKERS: usize = 8;
+const SOURCES: u64 = 6;
+const STAGES: u32 = 6;
+const SHARDS: u64 = 8;
+/// 6 + 6×8 + 1.
+const HAUS: usize = 55;
+/// Long enough (slowest skewed source ≈ 1 s of emission) that several
+/// 150 ms checkpoint epochs close their barrier and reach the ledger.
+const LIMIT: u64 = 1200;
+
 fn main() {
+    // Re-executed in worker mode by the parent below.
+    let args: Vec<String> = std::env::args().collect();
+    if args.len() == 4 && args[1] == "--worker" {
+        worker_main(&args[2], &args[3]);
+        return;
+    }
+
     let dir = std::env::temp_dir().join(format!("ms_wire_example_{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     std::fs::create_dir_all(&dir).unwrap();
     let store = dir.join("store");
     let addr_file = dir.join("addr");
 
-    const LIMIT: u64 = 2000;
     let cfg = ControllerConfig {
         listen: "127.0.0.1:0".into(),
         addr_file: Some(addr_file.clone()),
         store_dir: store.clone(),
-        workers: 2,
-        shape: "chain3".into(),
+        workers: WORKERS,
+        shape: format!("fleet{SOURCES}x{STAGES}"),
         source_limit: LIMIT,
-        source_delay_us: 100,
-        keyed_state: 0,
-        ckpt_interval: Duration::from_millis(100),
-        hb_timeout: Duration::from_millis(500),
+        source_delay_us: 50,
+        keyed_state: 256,
+        shards: SHARDS,
+        ckpt_interval: Duration::from_millis(150),
+        hb_timeout: Duration::from_millis(1000),
         respawn_wait: Duration::from_millis(2000),
-        deadline: Duration::from_secs(60),
+        deadline: Duration::from_secs(120),
         result_file: None,
     };
     let controller = thread::spawn(move || run_controller(cfg));
 
-    let workers: Vec<_> = ["wa", "wb"]
-        .into_iter()
-        .map(|name| {
-            let cfg = WorkerConfig {
-                name: name.into(),
-                controller: ControllerAddr::File(addr_file.clone()),
-                store_dir: store.clone(),
-                heartbeat_interval: Duration::from_millis(50),
-                log_cap_bytes: None,
-            };
-            thread::spawn(move || run_worker(cfg))
+    // Eight real worker *processes*: this binary, re-executed.
+    let exe = std::env::current_exe().unwrap();
+    let mut children: Vec<Child> = (0..WORKERS)
+        .map(|i| {
+            Command::new(&exe)
+                .arg("--worker")
+                .arg(format!("w{i}"))
+                .arg(&dir)
+                .stdout(Stdio::null())
+                .spawn()
+                .expect("spawn worker process")
         })
         .collect();
 
-    let report = controller.join().unwrap().expect("controller failed");
-    for w in workers {
-        w.join().unwrap().expect("worker failed");
+    let report = match controller.join().unwrap() {
+        Ok(r) => r,
+        Err(e) => {
+            for c in &mut children {
+                let _ = c.kill();
+            }
+            panic!("controller failed: {e}");
+        }
+    };
+    for c in &mut children {
+        let status = c.wait().expect("wait worker");
+        assert!(status.success(), "worker exited with {status}");
     }
 
     println!(
-        "cluster done: {} checkpoints paced, {} recoveries",
+        "cluster done: {HAUS} HAUs on {WORKERS} processes, {} checkpoints paced, {} recoveries",
         report.checkpoints, report.recoveries
     );
+    let (want_sum, want_count) = expected_fleet_sum(SOURCES, STAGES, LIMIT);
     for (op, state) in &report.sink_states {
         let mut r = SnapshotReader::new(state);
         let sum = r.get_i64().unwrap();
         let count = r.get_u64().unwrap();
         println!("sink op{}: sum={sum} over {count} tuples", op.0);
-        // chain3 is source → doubler → summer.
-        assert_eq!(sum, 2 * (0..LIMIT as i64).sum::<i64>());
-        assert_eq!(count, LIMIT);
+        assert_eq!(sum, want_sum);
+        assert_eq!(count, want_count);
     }
 
-    // The controller left a run ledger next to the checkpoints: one
-    // row per (epoch, operator) with state size, checkpoint bytes, the
-    // three-phase breakdown, and barrier latency. `ms_ledger` renders
-    // the same summary from the file on disk.
+    // The run ledger has one row per (epoch, HAU): every complete
+    // epoch must carry all 55 physical operators, and the --by-shard
+    // view shows how evenly the keyed state spread over each stage's
+    // 8 instances.
     let records = read_ledger(&store.join(LEDGER_FILE)).expect("run ledger must parse");
+    assert!(
+        !records.is_empty(),
+        "no epoch barrier closed during the run — ledger is empty"
+    );
     for epoch in records
         .iter()
         .map(|r| r.epoch)
@@ -94,9 +133,27 @@ fn main() {
             .filter(|r| r.epoch == epoch)
             .map(|r| r.op)
             .collect();
-        assert_eq!(ops.len(), 3, "epoch {epoch} missing operators: {ops:?}");
+        assert_eq!(ops.len(), HAUS, "epoch {epoch} missing operators: {ops:?}");
     }
     print!("{}", summarize(&records, 3));
+    print!("{}", by_shard_summary(&records));
 
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// One worker process: the same `run_worker` the `ms-worker` binary
+/// runs, pointed at the parent's store and address file.
+fn worker_main(name: &str, dir: &str) {
+    let dir = std::path::PathBuf::from(dir);
+    let cfg = WorkerConfig {
+        name: name.into(),
+        controller: ControllerAddr::File(dir.join("addr")),
+        store_dir: dir.join("store"),
+        heartbeat_interval: Duration::from_millis(50),
+        log_cap_bytes: None,
+    };
+    if let Err(e) = run_worker(cfg) {
+        eprintln!("worker {name}: {e}");
+        std::process::exit(1);
+    }
 }
