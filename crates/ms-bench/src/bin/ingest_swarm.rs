@@ -1,0 +1,254 @@
+//! `ingest_swarm`: gateway ingestion throughput and ack latency under
+//! producer swarms.
+//!
+//! Drives one `ms-gate` gateway — a single event-loop thread — with
+//! 8 / 64 / 256 concurrent stop-and-wait TCP producers, per-key
+//! pre-aggregation on and off. Every batch's events cycle over the
+//! same 8 hot keys (the skewed-ingest regime the gateway is built
+//! for), so pre-aggregation folds each 32-event batch to 8 engine-edge
+//! tuples. Reported per cell: accepted-event throughput, engine-edge
+//! tuple count and the resulting reduction factor, and the
+//! producer-observed ack latency (send → `Accepted`, which includes
+//! the WAL append the ack waits on). Ends with the JSON snapshot
+//! recorded under the `ingest_swarm` key of `BENCH_sweep.json`.
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+use crossbeam::channel::unbounded;
+use ms_core::codec::{frame, FrameDecoder};
+use ms_core::gate::{GateConfig, GateMsg};
+use ms_core::ids::OperatorId;
+use ms_gate::{run_gate, GateMeter, GateWiring};
+use ms_live::{HostMsg, LiveStorage, OutputRoute, Persister};
+
+/// Total batches per cell, split evenly over the producers so every
+/// cell admits the same event volume regardless of swarm width.
+const TOTAL_BATCHES: u64 = 4096;
+const EVENTS_PER_BATCH: u64 = 32;
+/// The skew: every batch cycles over the same 8 hot keys, so per-key
+/// pre-aggregation folds 32 events to 8 tuples (4x) per batch.
+const HOT_KEYS: u64 = 8;
+
+fn send(sock: &mut TcpStream, msg: &GateMsg) {
+    sock.write_all(&frame(&msg.encode())).unwrap();
+}
+
+fn recv(sock: &mut TcpStream, dec: &mut FrameDecoder) -> GateMsg {
+    loop {
+        if let Some(p) = dec.next_frame().unwrap() {
+            return GateMsg::decode(&p).unwrap();
+        }
+        let mut buf = [0u8; 4096];
+        let n = sock.read(&mut buf).unwrap();
+        assert!(n > 0, "gateway closed mid-conversation");
+        dec.feed(&buf[..n]);
+    }
+}
+
+/// One producer: `batches` stop-and-wait batches, then `Fin`. Returns
+/// the per-batch ack latencies in microseconds.
+fn run_producer(addr: &str, producer: u64, batches: u64) -> Vec<u64> {
+    let mut sock = TcpStream::connect(addr).unwrap();
+    sock.set_nodelay(true).unwrap();
+    let mut dec = FrameDecoder::new();
+    send(&mut sock, &GateMsg::Hello { producer });
+    let mut lat = Vec::with_capacity(batches as usize);
+    for b in 1..=batches {
+        let msg = GateMsg::Batch {
+            batch: b,
+            events: (0..EVENTS_PER_BATCH)
+                .map(|j| (j % HOT_KEYS, (producer + b + j) as i64))
+                .collect(),
+        };
+        let t0 = Instant::now();
+        send(&mut sock, &msg);
+        loop {
+            match recv(&mut sock, &mut dec) {
+                GateMsg::Accepted { batch } if batch == b => break,
+                GateMsg::Busy { retry_after_ms, .. } => {
+                    // Unbounded budget: not expected, but honor it.
+                    thread::sleep(Duration::from_millis(retry_after_ms.max(1)));
+                    send(&mut sock, &msg);
+                }
+                other => panic!("producer {producer}: unexpected reply {other:?}"),
+            }
+        }
+        lat.push(t0.elapsed().as_micros() as u64);
+    }
+    send(&mut sock, &GateMsg::Fin { producer });
+    assert_eq!(recv(&mut sock, &mut dec), GateMsg::FinOk);
+    lat
+}
+
+fn pct(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * p).round() as usize;
+    sorted[idx]
+}
+
+struct Cell {
+    producers: u64,
+    preagg: bool,
+    events: u64,
+    edge_tuples: u64,
+    wall_secs: f64,
+    events_per_sec: f64,
+    reduction: f64,
+    ack_p50_us: u64,
+    ack_p99_us: u64,
+}
+
+fn run_cell(producers: u64, preagg: bool) -> Cell {
+    let dir = std::env::temp_dir().join(format!(
+        "ms_ingest_swarm_{producers}_{preagg}_{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    let store = Arc::new(LiveStorage::new(1));
+    let persister = Persister::spawn(store.clone());
+    let persist = persister.sender();
+    let (cmd_tx, cmd_rx) = unbounded();
+    let (tx, rx) = unbounded::<HostMsg>();
+    let meter = Arc::new(GateMeter::new());
+    let addr_file = dir.join("gate.addr");
+    let wiring = GateWiring {
+        op_id: OperatorId(0),
+        cfg: GateConfig {
+            preagg,
+            expected_producers: producers as u32,
+            retry_after_ms: 1,
+            ..GateConfig::default()
+        },
+        outputs: vec![OutputRoute::single(tx)],
+        cmd: cmd_rx,
+        listen: "127.0.0.1:0".into(),
+        addr_file: Some(addr_file.clone()),
+        restored: None,
+        restored_seq: 0,
+        replay: Vec::new(),
+        meter: meter.clone(),
+        telemetry: None,
+    };
+    let store2 = store.clone();
+    let gate = thread::spawn(move || run_gate(wiring, store2, persist));
+    // Engine-edge drain: counts every tuple the gateway emits.
+    let drain = thread::spawn(move || {
+        let mut n = 0u64;
+        loop {
+            match rx.recv() {
+                Ok(HostMsg::Data(_)) => n += 1,
+                Ok(HostMsg::Token(_)) => {}
+                Ok(HostMsg::Eos) | Err(_) => return n,
+            }
+        }
+    });
+    let addr = {
+        let deadline = Instant::now() + Duration::from_secs(10);
+        loop {
+            match std::fs::read_to_string(&addr_file) {
+                Ok(s) if !s.is_empty() => break s,
+                _ => {
+                    assert!(Instant::now() < deadline, "gateway never published addr");
+                    thread::sleep(Duration::from_millis(5));
+                }
+            }
+        }
+    };
+
+    let batches_per_producer = TOTAL_BATCHES / producers;
+    let start = Instant::now();
+    let handles: Vec<_> = (0..producers)
+        .map(|p| {
+            let addr = addr.clone();
+            thread::spawn(move || run_producer(&addr, p, batches_per_producer))
+        })
+        .collect();
+    let mut lat: Vec<u64> = Vec::new();
+    for h in handles {
+        lat.extend(h.join().expect("producer panicked"));
+    }
+    let wall_secs = start.elapsed().as_secs_f64();
+    let edge_tuples = drain.join().unwrap();
+    let exit = gate.join().unwrap();
+    assert!(exit.error.is_none(), "gateway error: {:?}", exit.error);
+    drop(cmd_tx);
+    let _ = std::fs::remove_dir_all(&dir);
+
+    lat.sort_unstable();
+    let s = meter.sample();
+    Cell {
+        producers,
+        preagg,
+        events: s.accepted_events,
+        edge_tuples,
+        wall_secs,
+        events_per_sec: s.accepted_events as f64 / wall_secs,
+        reduction: s.accepted_events as f64 / edge_tuples.max(1) as f64,
+        ack_p50_us: pct(&lat, 0.50),
+        ack_p99_us: pct(&lat, 0.99),
+    }
+}
+
+fn main() {
+    println!(
+        "ingest_swarm: one gateway event-loop thread, {TOTAL_BATCHES} batches x \
+         {EVENTS_PER_BATCH} events over {HOT_KEYS} hot keys per cell"
+    );
+    let mut cells = Vec::new();
+    for &producers in &[8u64, 64, 256] {
+        for &preagg in &[true, false] {
+            let c = run_cell(producers, preagg);
+            println!(
+                "  {:>4} producers preagg={:<5} {:>7} events in {:>6.3}s  {:>9.0} ev/s  \
+                 edge tuples {:>7} (x{:.2} reduction)  ack p50 {:>4}us p99 {:>5}us",
+                c.producers,
+                c.preagg,
+                c.events,
+                c.wall_secs,
+                c.events_per_sec,
+                c.edge_tuples,
+                c.reduction,
+                c.ack_p50_us,
+                c.ack_p99_us
+            );
+            cells.push(c);
+        }
+    }
+    // The snapshot recorded under BENCH_sweep.json's "ingest_swarm"
+    // key (same convention as "edge_scaling": paste the block below).
+    println!("\n\"ingest_swarm\": {{");
+    println!(
+        " \"note\": \"one gateway event-loop thread; {TOTAL_BATCHES} stop-and-wait batches x \
+         {EVENTS_PER_BATCH} events over {HOT_KEYS} hot keys per cell; ack latency is \
+         producer-observed send->Accepted incl. the WAL append; recorded snapshot\","
+    );
+    println!(" \"total_batches\": {TOTAL_BATCHES},");
+    println!(" \"events_per_batch\": {EVENTS_PER_BATCH},");
+    println!(" \"hot_keys\": {HOT_KEYS},");
+    println!(" \"cells\": [");
+    for (i, c) in cells.iter().enumerate() {
+        println!(
+            "  {{ \"producers\": {}, \"preagg\": {}, \"events\": {}, \"edge_tuples\": {}, \
+             \"wall_secs\": {:.6}, \"events_per_sec\": {:.1}, \"reduction\": {:.2}, \
+             \"ack_p50_us\": {}, \"ack_p99_us\": {} }}{}",
+            c.producers,
+            c.preagg,
+            c.events,
+            c.edge_tuples,
+            c.wall_secs,
+            c.events_per_sec,
+            c.reduction,
+            c.ack_p50_us,
+            c.ack_p99_us,
+            if i + 1 == cells.len() { "" } else { "," }
+        );
+    }
+    println!(" ]\n}}");
+}

@@ -15,7 +15,7 @@ pub mod failure;
 pub mod placement;
 
 pub use failure::{FailureEvent, FailureModel, FailureScope, FailureSource};
-pub use placement::{spread_shards, Placement};
+pub use placement::{place_gates, spread_shards, Placement};
 
 use ms_core::ids::{NodeId, RackId};
 

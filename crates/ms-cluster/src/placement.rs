@@ -39,6 +39,26 @@ pub fn spread_shards(
         .collect())
 }
 
+/// Places ingestion gateways over `workers` hosts: gate `i` goes to
+/// worker `workers - 1 - (i % workers)` — [`spread_shards`] run
+/// backwards. The forward round-robin puts physical op 0 (the first
+/// source, hence the first gate) on worker 0 together with the sink of
+/// a short chain; reversing the walk pushes gateways toward the
+/// *other* end of the bench, so on a two-worker cluster the gate and
+/// the sink live in different processes and killing the gate's host
+/// exercises gateway recovery without also destroying the sink.
+/// Returns `(gate op, worker index)` pairs in input order.
+pub fn place_gates(gates: &[OperatorId], workers: usize) -> Result<Vec<(OperatorId, usize)>> {
+    if workers == 0 {
+        return Err(Error::Config("no placeable workers".into()));
+    }
+    Ok(gates
+        .iter()
+        .enumerate()
+        .map(|(i, &op)| (op, workers - 1 - (i % workers)))
+        .collect())
+}
+
 /// A mutable HAU → node mapping.
 #[derive(Clone, Debug)]
 pub struct Placement {
@@ -213,6 +233,24 @@ mod tests {
     #[test]
     fn spread_shards_rejects_zero_workers() {
         assert!(spread_shards(&[vec![OperatorId(0)]], 0).is_err());
+    }
+
+    #[test]
+    fn place_gates_reverses_the_round_robin() {
+        // Two workers: the first gate lands on the *last* worker — the
+        // opposite end from where spread_shards puts physical op 0.
+        let placed = place_gates(&[OperatorId(0)], 2).unwrap();
+        assert_eq!(placed, vec![(OperatorId(0), 1)]);
+        // Several gates still spread over every worker.
+        let ops: Vec<OperatorId> = (0..4).map(OperatorId).collect();
+        let placed = place_gates(&ops, 3).unwrap();
+        let workers: Vec<usize> = placed.iter().map(|&(_, w)| w).collect();
+        assert_eq!(workers, vec![2, 1, 0, 2]);
+    }
+
+    #[test]
+    fn place_gates_rejects_zero_workers() {
+        assert!(place_gates(&[OperatorId(0)], 0).is_err());
     }
 
     #[test]

@@ -21,6 +21,8 @@
 //!   tables, per-epoch change sets, and the base+delta-chain fold.
 //! * [`shard`] — key-partitioned operator expansion: logical→physical
 //!   network rewrite and the deterministic key→shard hash.
+//! * [`gate`] — the producer-facing ingestion protocol (wire alphabet
+//!   plus gateway configuration) spoken by external event producers.
 //! * [`config`] — cluster, scheme and experiment configuration.
 //! * [`metrics`] — counters, histograms and time series used by the
 //!   evaluation harness.
@@ -35,6 +37,7 @@ pub mod codec;
 pub mod config;
 pub mod delta;
 pub mod error;
+pub mod gate;
 pub mod graph;
 pub mod ids;
 pub mod metrics;

@@ -36,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+pub mod ckpt_codec;
 pub mod host;
 pub mod protocol;
 pub mod storage;

@@ -280,6 +280,11 @@ impl LiveStorage {
 
 impl StableStore for LiveStorage {
     fn put_checkpoint(&self, epoch: EpochId, op: OperatorId, ckpt: CkptWrite) -> Result<bool> {
+        // One checkpoint format across runtimes: every accepted write
+        // round-trips through the shared payload codec, so this
+        // in-memory store can never hold state the filesystem store
+        // could not persist and re-read.
+        let ckpt = crate::ckpt_codec::roundtrip(ckpt)?;
         let mut g = self.inner.lock();
         let ckpt = match ckpt.state {
             CkptState::Delta { base, delta } => {

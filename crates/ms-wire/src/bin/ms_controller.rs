@@ -4,6 +4,7 @@
 use std::path::PathBuf;
 use std::time::Duration;
 
+use ms_core::gate::GateConfig;
 use ms_wire::{run_controller, ControllerConfig};
 
 fn usage() -> ! {
@@ -12,7 +13,8 @@ fn usage() -> ! {
          [--workers N] [--shape chainN|diamond|fanin|fleetSxK] [--limit N] \
          [--delay-us N] [--keyed-state N] [--shards N] [--ckpt-ms N] \
          [--hb-timeout-ms N] [--respawn-wait-ms N] [--deadline-secs N] \
-         [--result-file FILE]"
+         [--result-file FILE] [--gate-producers N] [--gate-budget-bytes N] \
+         [--gate-budget-batches N] [--gate-preagg 0|1] [--gate-retry-ms N]"
     );
     std::process::exit(2);
 }
@@ -45,6 +47,18 @@ fn main() {
         respawn_wait: Duration::from_millis(num("--respawn-wait-ms", 2000)),
         deadline: Duration::from_secs(num("--deadline-secs", 120)),
         result_file: get("--result-file").map(PathBuf::from),
+        // Gateway mode is keyed on --gate-producers: 0 (the default)
+        // keeps every source a demo source.
+        gate: match num("--gate-producers", 0) {
+            0 => None,
+            n => Some(GateConfig {
+                budget_bytes: num("--gate-budget-bytes", 0),
+                budget_batches: num("--gate-budget-batches", 0),
+                preagg: num("--gate-preagg", 1) != 0,
+                expected_producers: n as u32,
+                retry_after_ms: num("--gate-retry-ms", 50),
+            }),
+        },
     };
     match run_controller(cfg) {
         Ok(report) => {

@@ -32,17 +32,19 @@ use std::thread;
 use std::time::{Duration, Instant};
 
 use crossbeam::channel::{unbounded, Sender};
-use ms_cluster::spread_shards;
+use ms_cluster::{place_gates, spread_shards};
 use ms_core::error::{Error, Result};
+use ms_core::gate::GateConfig;
 use ms_core::graph::QueryNetwork;
 use ms_core::ids::{EpochId, OperatorId};
 use ms_core::metrics::{BackpressureGauges, OperatorSample};
 use ms_core::shard::{expand, ShardPlan};
+use ms_gate::GateSample;
 use ms_live::StableStore;
 
 use crate::apps::demo_network;
 use crate::ledger::{LedgerRecord, LedgerWriter, LEDGER_FILE};
-use crate::message::{recv_msg, send_msg, Assignment, OpPlacement, WireMsg};
+use crate::message::{recv_msg, send_msg, Assignment, GateSpec, OpPlacement, WireMsg};
 use crate::store::FsStore;
 
 const ACCEPT_POLL: Duration = Duration::from_millis(10);
@@ -93,6 +95,12 @@ pub struct ControllerConfig {
     /// Where to write the final result (first line `recoveries=N`,
     /// then one `sink op{N} {hex}` line per sink).
     pub result_file: Option<PathBuf>,
+    /// When set, every source of the graph is hosted as an ingestion
+    /// gateway (`ms-gate`) under this admission configuration instead
+    /// of a demo source; external producers push batches at the
+    /// addresses the gate hosts publish (`gate_op{N}.addr` under the
+    /// store directory).
+    pub gate: Option<GateConfig>,
 }
 
 /// What a finished run looked like.
@@ -141,6 +149,11 @@ enum Event {
     Telemetry {
         generation: u64,
         samples: Vec<(OperatorId, OperatorSample)>,
+    },
+    /// Gateway meter samples from one worker's heartbeat sweep.
+    GateTelemetry {
+        generation: u64,
+        samples: Vec<(OperatorId, GateSample)>,
     },
     /// One HAU's individual checkpoint is durable (the epoch barrier).
     CkptAck {
@@ -211,6 +224,13 @@ fn reader(mut stream: TcpStream, events: Sender<Event>) {
                 generation,
                 samples,
             })) => Event::Telemetry {
+                generation,
+                samples,
+            },
+            Ok(Some(WireMsg::GateTelemetry {
+                generation,
+                samples,
+            })) => Event::GateTelemetry {
                 generation,
                 samples,
             },
@@ -342,6 +362,9 @@ pub fn run_controller(cfg: ControllerConfig) -> Result<ClusterReport> {
     // and where each operator runs, for folding the hosting worker's
     // backpressure gauges into that operator's ledger records.
     let mut latest: HashMap<OperatorId, OperatorSample> = HashMap::new();
+    // Freshest gateway sample per gate op (cumulative counters, so the
+    // newest heartbeat sweep always supersedes).
+    let mut latest_gate: HashMap<OperatorId, GateSample> = HashMap::new();
     let mut op_worker: HashMap<OperatorId, String> = HashMap::new();
     let n_ops_total = qn.len();
     let mut report = ClusterReport {
@@ -427,6 +450,16 @@ pub fn run_controller(cfg: ControllerConfig) -> Result<ClusterReport> {
                     }
                 }
             }
+            Event::GateTelemetry {
+                generation: g,
+                samples,
+            } => {
+                if g == generation && deployed {
+                    for (op, s) in samples {
+                        latest_gate.insert(op, s);
+                    }
+                }
+            }
             Event::CkptAck {
                 generation: g,
                 epoch,
@@ -449,7 +482,14 @@ pub fn run_controller(cfg: ControllerConfig) -> Result<ClusterReport> {
                                 barrier_us,
                                 plan: &plan,
                             };
-                            write_ledger_epoch(l, &close, &latest, &op_worker, &workers);
+                            write_ledger_epoch(
+                                l,
+                                &close,
+                                &latest,
+                                &latest_gate,
+                                &op_worker,
+                                &workers,
+                            );
                         }
                         outstanding = None;
                     }
@@ -567,6 +607,7 @@ pub fn run_controller(cfg: ControllerConfig) -> Result<ClusterReport> {
                         let placement = deploy(&qn, &plan, &cfg, generation, restore, &mut workers);
                         op_worker = placement.into_iter().map(|p| (p.op, p.worker)).collect();
                         latest.clear();
+                        latest_gate.clear();
                         deployed = true;
                         last_ckpt = now;
                         outstanding = None;
@@ -618,6 +659,7 @@ fn write_ledger_epoch(
     ledger: &mut LedgerWriter,
     close: &BarrierClose<'_>,
     latest: &HashMap<OperatorId, OperatorSample>,
+    latest_gate: &HashMap<OperatorId, GateSample>,
     op_worker: &HashMap<OperatorId, String>,
     workers: &[Worker],
 ) {
@@ -630,6 +672,7 @@ fn write_ledger_epoch(
             .and_then(|name| workers.iter().find(|w| &w.name == name))
             .map(|w| w.gauges)
             .unwrap_or_default();
+        let gate = latest_gate.get(&op).copied().unwrap_or_default();
         let record = LedgerRecord {
             generation: close.generation,
             epoch: close.epoch.0,
@@ -647,6 +690,11 @@ fn write_ledger_epoch(
             queued_tuples: gauges.queued_tuples,
             open_windows: gauges.open_windows,
             window_tuples: gauges.window_tuples,
+            gate_accepted: gate.accepted_batches,
+            gate_shed: gate.shed_batches,
+            gate_wal_bytes: gate.wal_bytes,
+            gate_ack_p50_us: gate.ack_p50_us,
+            gate_ack_p99_us: gate.ack_p99_us,
             barrier_us: close.barrier_us,
         };
         if let Err(e) = ledger.append(&record) {
@@ -673,7 +721,7 @@ fn deploy(
     let mut live: Vec<&mut Worker> = workers.iter_mut().filter(|w| w.alive).collect();
     live.sort_by(|a, b| a.name.cmp(&b.name));
     let spread = spread_shards(&plan.groups, live.len()).expect("deploy gated on live >= 1");
-    let placement: Vec<OpPlacement> = spread
+    let mut placement: Vec<OpPlacement> = spread
         .into_iter()
         .map(|(op, i)| {
             let w = &live[i];
@@ -685,6 +733,27 @@ fn deploy(
         })
         .collect();
     debug_assert_eq!(placement.len(), qn.len());
+    // Gateway mode: every source becomes an ingestion gate, placed by
+    // the reversed round-robin so gates and sinks land on different
+    // workers whenever the cluster has more than one.
+    let gates: Vec<GateSpec> = match &cfg.gate {
+        Some(gc) => qn
+            .sources()
+            .into_iter()
+            .map(|op| GateSpec { op, cfg: *gc })
+            .collect(),
+        None => Vec::new(),
+    };
+    if !gates.is_empty() {
+        let gate_ops: Vec<OperatorId> = gates.iter().map(|g| g.op).collect();
+        let placed = place_gates(&gate_ops, live.len()).expect("deploy gated on live >= 1");
+        for (op, i) in placed {
+            if let Some(p) = placement.iter_mut().find(|p| p.op == op) {
+                p.worker = live[i].name.clone();
+                p.data_addr = live[i].data_addr.clone();
+            }
+        }
+    }
     for w in live.iter_mut() {
         w.has_ops = placement.iter().any(|p| p.worker == w.name);
     }
@@ -698,6 +767,7 @@ fn deploy(
         source_delay_us: cfg.source_delay_us,
         keyed_state: cfg.keyed_state,
         groups: plan.groups.clone(),
+        gates,
     };
     println!(
         "ms-controller: deploying generation {generation} to {} workers (restore: {})",

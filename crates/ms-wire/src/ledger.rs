@@ -69,6 +69,17 @@ pub struct LedgerRecord {
     pub open_windows: u64,
     /// Hosting worker's window-buffered-tuple gauge at the barrier.
     pub window_tuples: u64,
+    /// Ingestion-gateway rows only (zero elsewhere): batches admitted
+    /// and acked `Accepted` since the generation started.
+    pub gate_accepted: u64,
+    /// Gateway rows only: batches shed at admission (acked `Busy`).
+    pub gate_shed: u64,
+    /// Gateway rows only: bytes appended to the preservation log.
+    pub gate_wal_bytes: u64,
+    /// Gateway rows only: median admission-to-ack latency (µs).
+    pub gate_ack_p50_us: u64,
+    /// Gateway rows only: p99 admission-to-ack latency (µs).
+    pub gate_ack_p99_us: u64,
     /// Token broadcast → last `CkptDone` for the epoch (µs). The same
     /// value repeats on every row of the epoch.
     pub barrier_us: u64,
@@ -85,6 +96,8 @@ impl LedgerRecord {
                 "\"align_wait_us\":{},\"serialize_us\":{},\"persist_us\":{},",
                 "\"tuples_in\":{},\"tuples_out\":{},\"bytes_out\":{},",
                 "\"queued_tuples\":{},\"open_windows\":{},\"window_tuples\":{},",
+                "\"gate_accepted\":{},\"gate_shed\":{},\"gate_wal_bytes\":{},",
+                "\"gate_ack_p50_us\":{},\"gate_ack_p99_us\":{},",
                 "\"barrier_us\":{}}}"
             ),
             self.generation,
@@ -103,6 +116,11 @@ impl LedgerRecord {
             self.queued_tuples,
             self.open_windows,
             self.window_tuples,
+            self.gate_accepted,
+            self.gate_shed,
+            self.gate_wal_bytes,
+            self.gate_ack_p50_us,
+            self.gate_ack_p99_us,
             self.barrier_us,
         )
     }
@@ -142,6 +160,13 @@ impl LedgerRecord {
             queued_tuples: json_u64(s, "queued_tuples")?,
             open_windows: json_u64(s, "open_windows")?,
             window_tuples: json_u64(s, "window_tuples")?,
+            // Pre-gateway ledgers have no gate columns; every operator
+            // was an engine HAU then.
+            gate_accepted: json_u64_or_zero(s, "gate_accepted")?,
+            gate_shed: json_u64_or_zero(s, "gate_shed")?,
+            gate_wal_bytes: json_u64_or_zero(s, "gate_wal_bytes")?,
+            gate_ack_p50_us: json_u64_or_zero(s, "gate_ack_p50_us")?,
+            gate_ack_p99_us: json_u64_or_zero(s, "gate_ack_p99_us")?,
             barrier_us: json_u64(s, "barrier_us")?,
         })
     }
@@ -172,6 +197,14 @@ fn json_u64(s: &str, key: &str) -> Result<u64> {
     json_value(s, key)?
         .parse()
         .map_err(|_| Error::Storage(format!("ledger field {key:?} is not an integer")))
+}
+
+fn json_u64_or_zero(s: &str, key: &str) -> Result<u64> {
+    if s.contains(&format!("\"{key}\":")) {
+        json_u64(s, key)
+    } else {
+        Ok(0)
+    }
 }
 
 fn json_bool(s: &str, key: &str) -> Result<bool> {
@@ -312,6 +345,30 @@ pub fn summarize(records: &[LedgerRecord], top_n: usize) -> String {
         ms(barrier.p99().as_micros()),
         ms(barrier.max().as_micros()),
     ));
+
+    // Ingestion gateways, when the run had any: the counters are
+    // cumulative, so each gate's freshest row is its total.
+    let mut gate_last: BTreeMap<u32, &LedgerRecord> = BTreeMap::new();
+    for r in records {
+        if r.gate_accepted > 0 || r.gate_shed > 0 {
+            gate_last.insert(r.op, r);
+        }
+    }
+    if !gate_last.is_empty() {
+        let accepted: u64 = gate_last.values().map(|r| r.gate_accepted).sum();
+        let shed: u64 = gate_last.values().map(|r| r.gate_shed).sum();
+        let wal: u64 = gate_last.values().map(|r| r.gate_wal_bytes).sum();
+        let p99 = gate_last
+            .values()
+            .map(|r| r.gate_ack_p99_us)
+            .max()
+            .unwrap_or(0);
+        out.push_str(&format!(
+            "gateways: {} gate(s), batches accepted={accepted} shed={shed}, wal_B={wal}, ack_p99={:.1}ms\n",
+            gate_last.len(),
+            ms(p99),
+        ));
+    }
     out
 }
 
@@ -432,6 +489,11 @@ mod tests {
             queued_tuples: 3,
             open_windows: 1,
             window_tuples: 17,
+            gate_accepted: if op == 0 { 5 * epoch } else { 0 },
+            gate_shed: if op == 0 { epoch } else { 0 },
+            gate_wal_bytes: if op == 0 { 640 * epoch } else { 0 },
+            gate_ack_p50_us: if op == 0 { 80 } else { 0 },
+            gate_ack_p99_us: if op == 0 { 410 } else { 0 },
             barrier_us: 4_200 + epoch,
         }
     }
@@ -507,6 +569,35 @@ mod tests {
         assert!(LedgerRecord::from_json(&bad).is_err());
     }
 
+    #[test]
+    fn legacy_line_without_gate_columns_parses_as_zeros() {
+        let mut rec = sample(2, 0);
+        let legacy = rec.to_json().replace(
+            &format!(
+                "\"gate_accepted\":{},\"gate_shed\":{},\"gate_wal_bytes\":{},\
+                     \"gate_ack_p50_us\":{},\"gate_ack_p99_us\":{},",
+                rec.gate_accepted,
+                rec.gate_shed,
+                rec.gate_wal_bytes,
+                rec.gate_ack_p50_us,
+                rec.gate_ack_p99_us
+            ),
+            "",
+        );
+        assert!(!legacy.contains("gate_"), "{legacy}");
+        rec.gate_accepted = 0;
+        rec.gate_shed = 0;
+        rec.gate_wal_bytes = 0;
+        rec.gate_ack_p50_us = 0;
+        rec.gate_ack_p99_us = 0;
+        assert_eq!(LedgerRecord::from_json(&legacy).unwrap(), rec);
+        // A present-but-malformed gate field is still an error.
+        let bad = sample(2, 0)
+            .to_json()
+            .replace("\"gate_shed\":2", "\"gate_shed\":x");
+        assert!(LedgerRecord::from_json(&bad).is_err());
+    }
+
     /// Two shards of logical op 1 plus singleton source/sink; the
     /// freshest epoch decides the balance.
     fn sharded_records() -> Vec<LedgerRecord> {
@@ -564,6 +655,11 @@ mod tests {
         );
         assert!(text.contains("top 2 state growers"), "{text}");
         assert!(text.contains("barrier latency: n=4"), "{text}");
+        // Op 0 carries gateway counters; the freshest epoch (4) wins.
+        assert!(
+            text.contains("gateways: 1 gate(s), batches accepted=20 shed=4"),
+            "{text}"
+        );
         // Every epoch appears as a table row.
         for epoch in 1..=4 {
             assert!(

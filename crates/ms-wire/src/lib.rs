@@ -55,6 +55,6 @@ pub use ledger::{
     by_shard_summary, read_ledger, summarize, worst_shard_skew, LedgerRecord, LedgerWriter,
     LEDGER_FILE,
 };
-pub use message::{recv_msg, send_msg, Assignment, OpPlacement, WireMsg};
+pub use message::{recv_msg, send_msg, Assignment, GateSpec, OpPlacement, WireMsg};
 pub use store::FsStore;
 pub use worker::{run_worker, ControllerAddr, WorkerConfig};

@@ -26,10 +26,12 @@ use std::io::{Read, Write};
 
 use ms_core::codec::{read_frame, write_frame, SnapshotReader, SnapshotWriter};
 use ms_core::error::{Error, Result};
+use ms_core::gate::GateConfig;
 use ms_core::graph::QueryNetwork;
 use ms_core::ids::{EpochId, OperatorId};
 use ms_core::metrics::{BackpressureGauges, OperatorSample};
 use ms_core::tuple::Tuple;
+use ms_gate::GateSample;
 
 /// Where one operator of an assignment runs.
 #[derive(Clone, Debug, PartialEq)]
@@ -40,6 +42,18 @@ pub struct OpPlacement {
     pub worker: String,
     /// That worker's data-plane listen address (`host:port`).
     pub data_addr: String,
+}
+
+/// One source operator to host as an ingestion gateway (`ms-gate`)
+/// instead of a demo source: the worker owning it runs the gate event
+/// loop, publishes its TCP address to `gate_op{N}.addr` under the
+/// store directory, and external producers push batches at it.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GateSpec {
+    /// The source operator the gateway replaces.
+    pub op: OperatorId,
+    /// Admission/pre-aggregation configuration.
+    pub cfg: GateConfig,
 }
 
 /// A full generation of work, broadcast by the controller to every
@@ -78,6 +92,9 @@ pub struct Assignment {
     /// whole instance group) from this map. Singleton groups everywhere
     /// ⇒ the unsharded wiring, byte-identical to the historical one.
     pub groups: Vec<Vec<OperatorId>>,
+    /// Sources hosted as ingestion gateways this generation (empty ⇒
+    /// every source is a demo source, the historical wiring).
+    pub gates: Vec<GateSpec>,
 }
 
 impl Assignment {
@@ -220,6 +237,17 @@ pub enum WireMsg {
         /// One meter reading per sampled local operator.
         samples: Vec<(OperatorId, OperatorSample)>,
     },
+    /// Worker → controller: gateway meter samples for locally hosted
+    /// ingestion gates, folded into each heartbeat alongside
+    /// [`WireMsg::Telemetry`]. The controller keeps the freshest
+    /// sample per gate and cuts it into the run ledger at each epoch
+    /// barrier.
+    GateTelemetry {
+        /// Generation the samples belong to (stale ones ignored).
+        generation: u64,
+        /// One gateway meter reading per locally hosted gate.
+        samples: Vec<(OperatorId, GateSample)>,
+    },
 }
 
 const TAG_REGISTER: u64 = 1;
@@ -237,6 +265,7 @@ const TAG_CKPT_DONE: u64 = 12;
 const TAG_HEARTBEAT_HELLO: u64 = 13;
 const TAG_WORKER_ERROR: u64 = 14;
 const TAG_TELEMETRY: u64 = 15;
+const TAG_GATE_TELEMETRY: u64 = 16;
 
 impl WireMsg {
     /// Encodes the message into a frame payload.
@@ -284,6 +313,14 @@ impl WireMsg {
                     w.put_seq(group.iter(), |w, op| {
                         w.put_u64(op.0 as u64);
                     });
+                });
+                w.put_seq(a.gates.iter(), |w, g| {
+                    w.put_u64(g.op.0 as u64)
+                        .put_u64(g.cfg.budget_bytes)
+                        .put_u64(g.cfg.budget_batches)
+                        .put_u64(g.cfg.preagg as u64)
+                        .put_u64(g.cfg.expected_producers as u64)
+                        .put_u64(g.cfg.retry_after_ms);
                 });
             }
             WireMsg::Checkpoint(e) => {
@@ -353,6 +390,22 @@ impl WireMsg {
                         .put_u64(s.persist_us);
                 });
             }
+            WireMsg::GateTelemetry {
+                generation,
+                samples,
+            } => {
+                w.put_u64(TAG_GATE_TELEMETRY).put_u64(*generation);
+                w.put_seq(samples.iter(), |w, (op, s)| {
+                    w.put_u64(op.0 as u64)
+                        .put_u64(s.accepted_batches)
+                        .put_u64(s.shed_batches)
+                        .put_u64(s.accepted_events)
+                        .put_u64(s.emitted_tuples)
+                        .put_u64(s.wal_bytes)
+                        .put_u64(s.ack_p50_us)
+                        .put_u64(s.ack_p99_us);
+                });
+            }
         }
         w.finish()
     }
@@ -396,6 +449,20 @@ impl WireMsg {
                 let source_delay_us = r.get_u64()?;
                 let keyed_state = r.get_u64()?;
                 let groups = r.get_seq(|r| r.get_seq(get_op))?;
+                let gates = r.get_seq(|r| {
+                    Ok(GateSpec {
+                        op: get_op(r)?,
+                        cfg: GateConfig {
+                            budget_bytes: r.get_u64()?,
+                            budget_batches: r.get_u64()?,
+                            preagg: r.get_u64()? != 0,
+                            expected_producers: u32::try_from(r.get_u64()?).map_err(|_| {
+                                Error::Wire("expected_producers out of range".into())
+                            })?,
+                            retry_after_ms: r.get_u64()?,
+                        },
+                    })
+                })?;
                 WireMsg::Assign(Assignment {
                     generation,
                     restore_epoch,
@@ -406,6 +473,7 @@ impl WireMsg {
                     source_delay_us,
                     keyed_state,
                     groups,
+                    gates,
                 })
             }
             TAG_CHECKPOINT => WireMsg::Checkpoint(EpochId(r.get_u64()?)),
@@ -451,6 +519,27 @@ impl WireMsg {
                     ))
                 })?;
                 WireMsg::Telemetry {
+                    generation,
+                    samples,
+                }
+            }
+            TAG_GATE_TELEMETRY => {
+                let generation = r.get_u64()?;
+                let samples = r.get_seq(|r| {
+                    Ok((
+                        get_op(r)?,
+                        GateSample {
+                            accepted_batches: r.get_u64()?,
+                            shed_batches: r.get_u64()?,
+                            accepted_events: r.get_u64()?,
+                            emitted_tuples: r.get_u64()?,
+                            wal_bytes: r.get_u64()?,
+                            ack_p50_us: r.get_u64()?,
+                            ack_p99_us: r.get_u64()?,
+                        },
+                    ))
+                })?;
+                WireMsg::GateTelemetry {
                     generation,
                     samples,
                 }
@@ -528,6 +617,16 @@ mod tests {
                 vec![OperatorId(1)],
                 vec![OperatorId(2)],
             ],
+            gates: vec![GateSpec {
+                op: OperatorId(0),
+                cfg: GateConfig {
+                    budget_bytes: 65536,
+                    budget_batches: 128,
+                    preagg: true,
+                    expected_producers: 4,
+                    retry_after_ms: 25,
+                },
+            }],
         }
     }
 
@@ -574,6 +673,7 @@ mod tests {
                 vec![OperatorId(1), OperatorId(2)],
                 vec![OperatorId(3)],
             ],
+            gates: Vec::new(),
         }
     }
 
@@ -651,6 +751,28 @@ mod tests {
             },
             WireMsg::Telemetry {
                 generation: 6,
+                samples: Vec::new(),
+            },
+            WireMsg::GateTelemetry {
+                generation: 6,
+                samples: vec![
+                    (
+                        OperatorId(0),
+                        GateSample {
+                            accepted_batches: 40,
+                            shed_batches: 3,
+                            accepted_events: 640,
+                            emitted_tuples: 200,
+                            wal_bytes: 12800,
+                            ack_p50_us: 90,
+                            ack_p99_us: 410,
+                        },
+                    ),
+                    (OperatorId(4), GateSample::default()),
+                ],
+            },
+            WireMsg::GateTelemetry {
+                generation: 7,
                 samples: Vec::new(),
             },
         ]

@@ -8,7 +8,9 @@
 //! * `ckpt/e{epoch}_op{N}.ckpt` — full individual checkpoints, and
 //!   `ckpt/e{epoch}_op{N}.delta` — incremental ones carrying only the
 //!   keys changed/removed since the operator's previous capture plus a
-//!   pointer to that capture's epoch (the delta's *base*). Both are
+//!   pointer to that capture's epoch (the delta's *base*). Payloads use
+//!   the shared [`ms_live::ckpt_codec`] layout (the same bytes
+//!   `LiveStorage` round-trips), framed one per file. Both are
 //!   written to a dot-prefixed temp file and atomically renamed into
 //!   place, so a checkpoint file either exists complete or not at all.
 //!   Reads fold the chain: [`StableStore::get_checkpoint`] always
@@ -79,7 +81,7 @@ use ms_core::error::{Error, Result};
 use ms_core::ids::{EpochId, OperatorId};
 use ms_core::operator::OperatorSnapshot;
 use ms_core::tuple::Tuple;
-use ms_live::{CkptState, CkptWrite, LiveHauCheckpoint, RebasePolicy, StableStore};
+use ms_live::{ckpt_codec, CkptState, CkptWrite, LiveHauCheckpoint, RebasePolicy, StableStore};
 use parking_lot::Mutex;
 
 struct LogWriter {
@@ -100,23 +102,6 @@ pub struct FsStore {
     /// `(cap bytes, patience)` — see the module docs.
     log_cap: Option<(u64, Duration)>,
     logs: Mutex<HashMap<OperatorId, LogWriter>>,
-}
-
-/// One checkpoint file, decoded.
-enum FsCkpt {
-    Full {
-        snapshot: OperatorSnapshot,
-        next_seq: u64,
-        in_flight: Vec<(u32, Tuple)>,
-        resume_seq: Vec<u64>,
-    },
-    Delta {
-        base: EpochId,
-        delta: StateDelta,
-        next_seq: u64,
-        in_flight: Vec<(u32, Tuple)>,
-        resume_seq: Vec<u64>,
-    },
 }
 
 impl FsStore {
@@ -192,52 +177,23 @@ impl FsStore {
     }
 
     /// Decodes the checkpoint stored for `(epoch, op)` — the full file
-    /// if present, else the delta file.
-    fn read_ckpt(&self, epoch: EpochId, op: OperatorId) -> Option<FsCkpt> {
+    /// if present, else the delta file. The file extension disambiguates
+    /// the two payload layouts of the shared codec.
+    fn read_ckpt(&self, epoch: EpochId, op: OperatorId) -> Option<CkptWrite> {
         if let Some(payload) = read_ckpt_frame(&self.full_path(epoch, op)) {
-            let mut r = SnapshotReader::new(&payload);
-            let next_seq = r.get_u64().ok()?;
-            let logical_bytes = r.get_u64().ok()?;
-            let data = r.get_bytes().ok()?;
-            let in_flight = r
-                .get_seq(|r| Ok((r.get_u64()? as u32, r.get_tuple()?)))
-                .ok()?;
-            let resume_seq = r.get_seq(|r| r.get_u64()).ok()?;
-            return Some(FsCkpt::Full {
-                snapshot: OperatorSnapshot {
-                    data,
-                    logical_bytes,
-                },
-                next_seq,
-                in_flight,
-                resume_seq,
-            });
+            return ckpt_codec::decode_full(&payload).ok();
         }
         let payload = read_ckpt_frame(&self.delta_path(epoch, op))?;
-        let mut r = SnapshotReader::new(&payload);
-        let next_seq = r.get_u64().ok()?;
-        let base = EpochId(r.get_u64().ok()?);
-        let delta = StateDelta::decode_from(&mut r).ok()?;
-        let in_flight = r
-            .get_seq(|r| Ok((r.get_u64()? as u32, r.get_tuple()?)))
-            .ok()?;
-        let resume_seq = r.get_seq(|r| r.get_u64()).ok()?;
-        Some(FsCkpt::Delta {
-            base,
-            delta,
-            next_seq,
-            in_flight,
-            resume_seq,
-        })
+        ckpt_codec::decode_delta(&payload).ok()
     }
 
     /// Reads only a delta file's base pointer (chain validation reads
     /// small delta files, never multi-megabyte fulls).
     fn delta_base(&self, epoch: EpochId, op: OperatorId) -> Option<EpochId> {
         let payload = read_ckpt_frame(&self.delta_path(epoch, op))?;
-        let mut r = SnapshotReader::new(&payload);
-        let _next_seq = r.get_u64().ok()?;
-        Some(EpochId(r.get_u64().ok()?))
+        ckpt_codec::decode_delta_base(&payload)
+            .ok()
+            .map(|(_next_seq, base)| base)
     }
 
     /// The epoch of the full snapshot `(epoch, op)`'s chain bottoms out
@@ -391,26 +347,23 @@ fn read_ckpt_frame(path: &Path) -> Option<Vec<u8>> {
     dec.next_frame().ok().flatten()
 }
 
-/// Appends the shared `(in_flight, resume_seq)` cut suffix.
-fn put_cut(w: &mut SnapshotWriter, in_flight: &[(u32, Tuple)], resume_seq: &[u64]) {
-    w.put_seq(in_flight.iter(), |w, (port, t)| {
-        w.put_u64(*port as u64).put_tuple(t);
-    });
-    w.put_seq(resume_seq.iter(), |w, s| {
-        w.put_u64(*s);
-    });
-}
-
 impl StableStore for FsStore {
     fn put_checkpoint(&self, epoch: EpochId, op: OperatorId, ckpt: CkptWrite) -> Result<bool> {
-        match ckpt.state {
-            CkptState::Full(snapshot) => {
-                let mut w = SnapshotWriter::new();
-                w.put_u64(ckpt.next_seq)
-                    .put_u64(snapshot.logical_bytes)
-                    .put_bytes(&snapshot.data);
-                put_cut(&mut w, &ckpt.in_flight, &ckpt.resume_seq);
-                self.write_ckpt_file(&self.full_path(epoch, op), w.finish())?;
+        let CkptWrite {
+            state,
+            next_seq,
+            in_flight,
+            resume_seq,
+        } = ckpt;
+        match state {
+            state @ CkptState::Full(_) => {
+                let write = CkptWrite {
+                    state,
+                    next_seq,
+                    in_flight,
+                    resume_seq,
+                };
+                self.write_ckpt_file(&self.full_path(epoch, op), ckpt_codec::encode_ckpt(&write))?;
             }
             CkptState::Delta { base, delta } => {
                 // Walk the chain the incoming delta would extend.
@@ -418,16 +371,14 @@ impl StableStore for FsStore {
                 let mut cum = delta.encoded_bytes() as u64;
                 let mut at = base;
                 let base_snapshot = loop {
-                    match self.read_ckpt(at, op) {
+                    match self.read_ckpt(at, op).map(|c| c.state) {
                         None => {
                             return Err(Error::Storage(format!(
                                 "delta checkpoint {epoch}/{op}: chain broken at {at}"
                             )))
                         }
-                        Some(FsCkpt::Full { snapshot, .. }) => break snapshot,
-                        Some(FsCkpt::Delta {
-                            base: b, delta: d, ..
-                        }) => {
+                        Some(CkptState::Full(snapshot)) => break snapshot,
+                        Some(CkptState::Delta { base: b, delta: d }) => {
                             if b >= at {
                                 return Err(Error::Storage(format!(
                                     "delta checkpoint {epoch}/{op}: corrupt base pointer at {at}"
@@ -449,16 +400,30 @@ impl StableStore for FsStore {
                     older.reverse();
                     older.push(delta);
                     let data = delta::fold(&base_snapshot.data, &older)?;
-                    let mut w = SnapshotWriter::new();
-                    w.put_u64(ckpt.next_seq).put_u64(logical).put_bytes(&data);
-                    put_cut(&mut w, &ckpt.in_flight, &ckpt.resume_seq);
-                    self.write_ckpt_file(&self.full_path(epoch, op), w.finish())?;
+                    let write = CkptWrite {
+                        state: CkptState::Full(OperatorSnapshot {
+                            data,
+                            logical_bytes: logical,
+                        }),
+                        next_seq,
+                        in_flight,
+                        resume_seq,
+                    };
+                    self.write_ckpt_file(
+                        &self.full_path(epoch, op),
+                        ckpt_codec::encode_ckpt(&write),
+                    )?;
                 } else {
-                    let mut w = SnapshotWriter::with_capacity(9 + 9 + delta.encoded_bytes());
-                    w.put_u64(ckpt.next_seq).put_u64(base.0);
-                    delta.encode_into(&mut w);
-                    put_cut(&mut w, &ckpt.in_flight, &ckpt.resume_seq);
-                    self.write_ckpt_file(&self.delta_path(epoch, op), w.finish())?;
+                    let write = CkptWrite {
+                        state: CkptState::Delta { base, delta },
+                        next_seq,
+                        in_flight,
+                        resume_seq,
+                    };
+                    self.write_ckpt_file(
+                        &self.delta_path(epoch, op),
+                        ckpt_codec::encode_ckpt(&write),
+                    )?;
                 }
             }
         }
@@ -470,34 +435,27 @@ impl StableStore for FsStore {
     }
 
     fn get_checkpoint(&self, epoch: EpochId, op: OperatorId) -> Option<LiveHauCheckpoint> {
-        match self.read_ckpt(epoch, op)? {
-            FsCkpt::Full {
-                snapshot,
-                next_seq,
-                in_flight,
-                resume_seq,
-            } => Some(LiveHauCheckpoint {
+        let CkptWrite {
+            state,
+            next_seq,
+            in_flight,
+            resume_seq,
+        } = self.read_ckpt(epoch, op)?;
+        match state {
+            CkptState::Full(snapshot) => Some(LiveHauCheckpoint {
                 snapshot,
                 next_seq,
                 in_flight,
                 resume_seq,
             }),
-            FsCkpt::Delta {
-                base,
-                delta,
-                next_seq,
-                in_flight,
-                resume_seq,
-            } => {
+            CkptState::Delta { base, delta } => {
                 let logical = delta.logical_bytes;
                 let mut deltas = vec![delta];
                 let mut at = base;
                 let base_data = loop {
-                    match self.read_ckpt(at, op)? {
-                        FsCkpt::Full { snapshot, .. } => break snapshot.data,
-                        FsCkpt::Delta {
-                            base: b, delta: d, ..
-                        } => {
+                    match self.read_ckpt(at, op)?.state {
+                        CkptState::Full(snapshot) => break snapshot.data,
+                        CkptState::Delta { base: b, delta: d } => {
                             if b >= at {
                                 return None;
                             }
@@ -851,14 +809,63 @@ mod tests {
         // Hand-plant a delta file with a dangling base: the epoch must
         // not count as complete.
         t.insert(2, vec![2]);
-        let d = t.take_delta(0);
-        let mut w = SnapshotWriter::new();
-        w.put_u64(0).put_u64(1); // next_seq, base = missing epoch 1
-        d.encode_into(&mut w);
-        put_cut(&mut w, &[], &[]);
-        fs::write(dir.join("ckpt").join("e2_op0.delta"), frame(&w.finish())).unwrap();
+        let dangling = delta_write(EpochId(1), t.take_delta(0), 0); // base = missing epoch 1
+        fs::write(
+            dir.join("ckpt").join("e2_op0.delta"),
+            frame(&ckpt_codec::encode_ckpt(&dangling)),
+        )
+        .unwrap();
         assert_eq!(s.latest_complete(), None);
         assert!(s.get_checkpoint(EpochId(2), OperatorId(0)).is_none());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn shared_codec_parity_with_live_storage() {
+        // Both runtimes share one checkpoint format: the same write
+        // sequence through FsStore and LiveStorage folds to
+        // byte-identical state, and the bytes FsStore framed to disk
+        // are exactly the shared codec's encoding.
+        use ms_live::LiveStorage;
+        let dir = tmpdir("parity");
+        let fs_store = FsStore::open(&dir, 1).unwrap();
+        let live = LiveStorage::new(1);
+        let mut t = DeltaTable::new();
+        for k in 0..16u64 {
+            t.insert(k, vec![k as u8; 12]);
+        }
+        let w1 = CkptWrite::full(snap(t.snapshot()), 3);
+        fs_store
+            .put_checkpoint(EpochId(1), OperatorId(0), w1.clone())
+            .unwrap();
+        live.put_checkpoint(EpochId(1), OperatorId(0), w1).unwrap();
+        t.mark_clean();
+        t.insert(5, vec![0xAA; 12]);
+        t.remove(2);
+        let w2 = CkptWrite {
+            state: CkptState::Delta {
+                base: EpochId(1),
+                delta: t.take_delta(50),
+            },
+            next_seq: 9,
+            in_flight: vec![(1, tup(8))],
+            resume_seq: vec![4, 9],
+        };
+        fs_store
+            .put_checkpoint(EpochId(2), OperatorId(0), w2.clone())
+            .unwrap();
+        live.put_checkpoint(EpochId(2), OperatorId(0), w2.clone())
+            .unwrap();
+        let on_disk = read_ckpt_frame(&dir.join("ckpt").join("e2_op0.delta")).unwrap();
+        assert_eq!(on_disk, ckpt_codec::encode_ckpt(&w2), "one format on disk");
+        let a = fs_store.get_checkpoint(EpochId(2), OperatorId(0)).unwrap();
+        let b = live.get_checkpoint(EpochId(2), OperatorId(0)).unwrap();
+        assert_eq!(a.snapshot.data, b.snapshot.data, "folds byte-identical");
+        assert_eq!(a.snapshot.data, t.snapshot());
+        assert_eq!(a.snapshot.logical_bytes, b.snapshot.logical_bytes);
+        assert_eq!(a.next_seq, b.next_seq);
+        assert_eq!(a.in_flight, b.in_flight);
+        assert_eq!(a.resume_seq, b.resume_seq);
         let _ = fs::remove_dir_all(&dir);
     }
 

@@ -60,6 +60,7 @@ use crossbeam::channel::{unbounded, Sender};
 use ms_core::error::{Error, Result};
 use ms_core::ids::OperatorId;
 use ms_core::metrics::{BackpressureGauges, BackpressureMeter, OperatorMeter, OperatorSample};
+use ms_gate::{run_gate, GateMeter, GateOp, GateSample, GateWiring};
 use ms_live::host::run_host;
 use ms_live::{
     EdgeTx, HostExit, HostWiring, InteriorCore, OutputRoute, Persister, SourceCmd, StableStore,
@@ -111,6 +112,9 @@ pub struct WorkerConfig {
 /// operator's shared [`OperatorMeter`].
 type GenerationMeters = (u64, Vec<(OperatorId, Arc<OperatorMeter>)>);
 
+/// A generation's gateway meters, tagged the same way.
+type GenerationGateMeters = (u64, Vec<(OperatorId, Arc<GateMeter>)>);
+
 /// Cross-thread worker state.
 struct Shared {
     /// Per-host backpressure meters of the current generation; the
@@ -122,6 +126,9 @@ struct Shared {
     /// into [`WireMsg::Telemetry`] on each beat; the durable hook
     /// samples a single operator before each `CkptDone`.
     op_meters: Mutex<GenerationMeters>,
+    /// Gateway meters of locally hosted ingestion gates, folded into
+    /// [`WireMsg::GateTelemetry`] on each heartbeat.
+    gate_meters: Mutex<GenerationGateMeters>,
     /// Whole-process stop flag.
     stop: AtomicBool,
 }
@@ -131,6 +138,7 @@ impl Shared {
         Shared {
             meters: Mutex::new(Vec::new()),
             op_meters: Mutex::new((0, Vec::new())),
+            gate_meters: Mutex::new((0, Vec::new())),
             stop: AtomicBool::new(false),
         }
     }
@@ -148,6 +156,13 @@ impl Shared {
     /// Samples every local operator meter of the current generation.
     fn sample_telemetry(&self) -> (u64, Vec<(OperatorId, OperatorSample)>) {
         let guard = self.op_meters.lock();
+        let samples = guard.1.iter().map(|(op, m)| (*op, m.sample())).collect();
+        (guard.0, samples)
+    }
+
+    /// Samples every local gateway meter of the current generation.
+    fn sample_gate_telemetry(&self) -> (u64, Vec<(OperatorId, GateSample)>) {
+        let guard = self.gate_meters.lock();
         let samples = guard.1.iter().map(|(op, m)| (*op, m.sample())).collect();
         (guard.0, samples)
     }
@@ -250,10 +265,18 @@ impl Run {
             resume_seq: Vec<u64>,
             in_flight: Vec<(u32, ms_core::tuple::Tuple)>,
         }
+        let is_gate = |op: OperatorId| a.gates.iter().any(|g| g.op == op);
         let mut restored: HashMap<u32, Restored> = HashMap::new();
         for &op in &my_ops {
-            let mut operator =
-                build_operator(&qn, op, a.source_limit, a.source_delay_us, a.keyed_state);
+            // A gateway op hosts no demo operator; the placeholder
+            // GateOp carries the restored dedup snapshot (its generic
+            // `restore` below just stores the bytes) into the gate's
+            // wiring.
+            let mut operator: Box<dyn ms_core::operator::Operator> = if is_gate(op) {
+                Box::new(GateOp::new(ms_core::operator::OperatorSnapshot::empty()))
+            } else {
+                build_operator(&qn, op, a.source_limit, a.source_delay_us, a.keyed_state)
+            };
             let is_source = qn.upstream(op).is_empty();
             let (restored_seq, replay, resume_seq, in_flight) = match a.restore_epoch {
                 Some(epoch) => {
@@ -363,6 +386,7 @@ impl Run {
         // would otherwise keep reporting their last values forever.
         shared.meters.lock().clear();
         *shared.op_meters.lock() = (generation, Vec::new());
+        *shared.gate_meters.lock() = (generation, Vec::new());
 
         // Shard plan lookup: physical op → logical group index. The
         // plan's ordering guarantee (a producer's downstream is
@@ -436,6 +460,44 @@ impl Run {
                     OutputRoute::single(txs.pop().expect("run non-empty"))
                 });
                 i = j;
+            }
+
+            // A gateway host: same output wiring and checkpoint
+            // command channel as any source, but the thread runs the
+            // ingestion event loop instead of a demo source.
+            if let Some(gate) = a.gates.iter().find(|g| g.op == op) {
+                let op_meter = Arc::new(OperatorMeter::new());
+                shared.op_meters.lock().1.push((op, op_meter.clone()));
+                let gate_meter = Arc::new(GateMeter::new());
+                shared.gate_meters.lock().1.push((op, gate_meter.clone()));
+                let (cmd_tx, cmd_rx) = unbounded();
+                src_cmds.push(cmd_tx);
+                let wiring = GateWiring {
+                    op_id: op,
+                    cfg: gate.cfg,
+                    outputs,
+                    cmd: cmd_rx,
+                    listen: "127.0.0.1:0".into(),
+                    addr_file: Some(cfg.store_dir.join(format!("gate_op{}.addr", op.0))),
+                    restored: a.restore_epoch.is_some().then(|| r.operator.snapshot()),
+                    restored_seq: r.restored_seq,
+                    replay: r.replay,
+                    meter: gate_meter,
+                    telemetry: Some(op_meter),
+                };
+                let store = store.clone();
+                let ptx = persister.sender();
+                let etx = exits_tx.clone();
+                src_threads.push(
+                    thread::Builder::new()
+                        .name(format!("ms-gate-{}", op.0))
+                        .spawn(move || {
+                            let exit = run_gate(wiring, store, ptx);
+                            let _ = etx.send(exit);
+                        })
+                        .expect("spawn gate thread"),
+                );
+                continue;
             }
 
             let meter = Arc::new(BackpressureMeter::new());
@@ -677,6 +739,16 @@ pub fn run_worker(cfg: WorkerConfig) -> Result<()> {
             let (generation, samples) = hb_shared.sample_telemetry();
             if !samples.is_empty() {
                 let tel = WireMsg::Telemetry {
+                    generation,
+                    samples,
+                };
+                if send_msg(&mut hb, &tel).is_err() {
+                    return;
+                }
+            }
+            let (generation, samples) = hb_shared.sample_gate_telemetry();
+            if !samples.is_empty() {
+                let tel = WireMsg::GateTelemetry {
                     generation,
                     samples,
                 };

@@ -69,6 +69,7 @@ fn main() {
         respawn_wait: Duration::from_millis(2000),
         deadline: Duration::from_secs(120),
         result_file: None,
+        gate: None,
     };
     let controller = thread::spawn(move || run_controller(cfg));
 
