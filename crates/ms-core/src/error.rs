@@ -30,6 +30,36 @@ pub enum Error {
     /// checkpoint write/trim). Surfaced to the controller so the run
     /// fails visibly instead of aborting the worker process.
     Storage(String),
+    /// Stable storage failed in a way that is plausibly transient — an
+    /// interrupted syscall, a momentarily saturated device, an injected
+    /// chaos fault. Durability-critical callers retry these with
+    /// backoff; an exhausted retry budget escalates to the hard
+    /// [`Error::Storage`] path. Keeping the distinction in the type
+    /// (not in message text) is what lets the retry layer stay a thin
+    /// decorator.
+    Transient(String),
+}
+
+impl Error {
+    /// True if retrying the failed operation may succeed.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, Error::Transient(_))
+    }
+
+    /// Classifies a storage-path I/O failure: interrupted / would-block
+    /// / timed-out syscalls are transient (the kernel is telling us to
+    /// try again), everything else — missing files, permission, ENOSPC,
+    /// corrupt data — is a hard storage error.
+    pub fn storage_io(context: &str, e: &std::io::Error) -> Error {
+        use std::io::ErrorKind;
+        let msg = format!("{context}: {:?}: {e}", e.kind());
+        match e.kind() {
+            ErrorKind::Interrupted | ErrorKind::WouldBlock | ErrorKind::TimedOut => {
+                Error::Transient(msg)
+            }
+            _ => Error::Storage(msg),
+        }
+    }
 }
 
 impl fmt::Display for Error {
@@ -42,6 +72,7 @@ impl fmt::Display for Error {
             Error::NotFound(m) => write!(f, "not found: {m}"),
             Error::Wire(m) => write!(f, "wire error: {m}"),
             Error::Storage(m) => write!(f, "storage error: {m}"),
+            Error::Transient(m) => write!(f, "transient storage error: {m}"),
         }
     }
 }
@@ -69,6 +100,29 @@ mod tests {
             .to_string()
             .contains("query network"));
         assert!(Error::Wire("x".into()).to_string().contains("wire"));
+    }
+
+    #[test]
+    fn storage_io_classifies_retryable_kinds() {
+        use std::io::{Error as IoError, ErrorKind};
+        for kind in [
+            ErrorKind::Interrupted,
+            ErrorKind::WouldBlock,
+            ErrorKind::TimedOut,
+        ] {
+            let e = Error::storage_io("append", &IoError::new(kind, "busy"));
+            assert!(e.is_transient(), "{kind:?} should be transient");
+            assert!(e.to_string().contains("transient"));
+        }
+        for kind in [
+            ErrorKind::NotFound,
+            ErrorKind::PermissionDenied,
+            ErrorKind::UnexpectedEof,
+        ] {
+            let e = Error::storage_io("append", &IoError::new(kind, "gone"));
+            assert!(!e.is_transient(), "{kind:?} must be hard");
+            assert!(matches!(e, Error::Storage(_)));
+        }
     }
 
     #[test]

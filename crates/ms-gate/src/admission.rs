@@ -35,7 +35,21 @@ pub mod field {
     /// 1 on the final tuple of a batch, else 0. A WAL whose torn tail
     /// cut a batch short is missing exactly this record, so replay
     /// rebuilds the dedup table only from batches it holds completely.
+    ///
+    /// The value [`FIN_MARKER`] (2) marks a producer's `Fin` instead:
+    /// the record is WAL-only (never routed downstream) and makes an
+    /// acked `FinOk` survive a rollback past the last checkpoint.
     pub const LAST: usize = 4;
+
+    /// [`LAST`] value of a Fin WAL marker.
+    pub const FIN_MARKER: i64 = 2;
+}
+
+/// True if `t` is a Fin WAL marker (see [`field::LAST`]): a
+/// preservation-log record that carries a producer's `Fin` across a
+/// crash and must never be routed downstream.
+pub fn is_fin_marker(t: &Tuple) -> bool {
+    t.field(field::LAST).and_then(Value::as_int) == Some(field::FIN_MARKER)
 }
 
 /// What the gateway decided about one incoming batch.
@@ -147,8 +161,43 @@ impl GateCore {
     /// producer has finished (never under `expected_producers == 0`).
     pub fn fin(&mut self, producer: u64) -> bool {
         self.finished.insert(producer);
+        self.all_finished()
+    }
+
+    /// True once every expected producer has finished (never under
+    /// `expected_producers == 0`).
+    pub fn all_finished(&self) -> bool {
         self.cfg.expected_producers > 0
             && self.finished.len() >= self.cfg.expected_producers as usize
+    }
+
+    /// True if `producer` already Fin'd (its marker is already
+    /// durable — a retried `Fin` re-acks without re-appending).
+    pub fn is_finished(&self, producer: u64) -> bool {
+        self.finished.contains(&producer)
+    }
+
+    /// Builds the WAL marker for a producer's `Fin`, consuming one
+    /// emission sequence number. The caller appends it to the
+    /// preservation log *before* queueing `FinOk` — the same
+    /// ack-after-WAL contract as batches — so a rollback to a
+    /// checkpoint that predates the ack replays the marker and the
+    /// recovered gate still knows the producer is done.
+    pub fn fin_marker(&self, next_seq: &mut u64, producer: u64) -> Tuple {
+        let t = Tuple::new(
+            self.op,
+            *next_seq,
+            SimTime::ZERO,
+            vec![
+                Value::Int(0),
+                Value::Int(0),
+                Value::Int(producer as i64),
+                Value::Int(0),
+                Value::Int(field::FIN_MARKER),
+            ],
+        );
+        *next_seq += 1;
+        t
     }
 
     /// Opens a fresh admission window (called at each checkpoint cut).
@@ -201,6 +250,15 @@ impl GateCore {
     pub fn rebuild_from_replay(&mut self, replay: &[Tuple]) {
         for t in replay {
             let last = t.field(field::LAST).and_then(Value::as_int);
+            if last == Some(field::FIN_MARKER) {
+                // A durable Fin marker: the producer's FinOk was (or
+                // was about to be) acked — it is finished, even though
+                // the restored snapshot predates the Fin.
+                if let Some(p) = t.field(field::PRODUCER).and_then(Value::as_int) {
+                    self.finished.insert(p as u64);
+                }
+                continue;
+            }
             if last != Some(1) {
                 continue;
             }
@@ -387,6 +445,54 @@ mod tests {
             Admission::Accept(_)
         ));
         assert!(r.fin(1), "restored Fin from 9 plus fresh Fin from 1");
+    }
+
+    #[test]
+    fn replay_rebuild_restores_fins_from_markers() {
+        let mut pre = core(GateConfig {
+            expected_producers: 2,
+            ..GateConfig::default()
+        });
+        let mut seq = 0;
+        let Admission::Accept(mut replay) = pre.admit(&mut seq, 1, 1, &[(0, 5)]) else {
+            panic!("accept expected");
+        };
+        replay.push(pre.fin_marker(&mut seq, 1));
+        replay.push(pre.fin_marker(&mut seq, 2));
+        assert!(replay[1..].iter().all(is_fin_marker));
+        assert!(!is_fin_marker(&replay[0]));
+
+        let mut r = core(GateConfig {
+            expected_producers: 2,
+            ..GateConfig::default()
+        });
+        r.rebuild_from_replay(&replay);
+        assert!(r.is_finished(1) && r.is_finished(2));
+        assert!(
+            r.all_finished(),
+            "both Fins were WAL-durable — the recovered gate must not wait for them"
+        );
+        // The marker did not poison the dedup table: batch 2 from
+        // producer 1 is new.
+        let mut seq2 = 50;
+        assert!(matches!(
+            r.admit(&mut seq2, 1, 2, &[(0, 1)]),
+            Admission::Accept(_)
+        ));
+    }
+
+    #[test]
+    fn fin_markers_consume_sequence_numbers() {
+        let c = core(GateConfig::default());
+        let mut seq = 7;
+        let m = c.fin_marker(&mut seq, 42);
+        assert_eq!(m.seq, 7);
+        assert_eq!(seq, 8, "marker consumes one emission sequence");
+        assert_eq!(
+            m.field(field::PRODUCER).and_then(Value::as_int),
+            Some(42),
+            "marker carries the producer id"
+        );
     }
 
     #[test]

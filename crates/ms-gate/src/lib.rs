@@ -30,6 +30,6 @@ pub mod admission;
 pub mod meter;
 pub mod run;
 
-pub use admission::{field, Admission, GateCore};
+pub use admission::{field, is_fin_marker, Admission, GateCore};
 pub use meter::{GateMeter, GateSample};
 pub use run::{run_gate, GateOp, GateWiring};

@@ -269,6 +269,17 @@ fn process_frames(
             }
             GateMsg::Fin { producer } => {
                 conn.producer.get_or_insert(producer);
+                // Ack-after-WAL for Fin too: the marker is durable
+                // before FinOk is even queued, so a rollback past the
+                // last checkpoint replays it and the recovered gate
+                // still counts the producer as done. A storage error
+                // is fatal and the Fin stays un-acked — the producer
+                // retries against the recovered gate. Retried Fins
+                // re-ack without re-appending.
+                if !core.is_finished(producer) {
+                    let marker = core.fin_marker(next_seq, producer);
+                    store.append_log(op_id, marker)?;
+                }
                 if core.fin(producer) {
                     *all_fin = true;
                 }
@@ -315,17 +326,27 @@ pub fn run_gate(
     }
     // Recovery: resend preserved tuples (they were durable — and their
     // batches possibly acked — before the crash), fold their batch ids
-    // back into the dedup table, and continue sequence numbering past
-    // them.
+    // and Fin markers back into the admission state, and continue
+    // sequence numbering past them. Fin markers are WAL-only: they
+    // must not reach downstream operators, whose tuple counts would
+    // diverge from the unfailed run.
     core.rebuild_from_replay(&w.replay);
     if let Some(last) = w.replay.last() {
         next_seq = next_seq.max(last.seq + 1);
     }
     for t in w.replay.drain(..) {
+        if crate::admission::is_fin_marker(&t) {
+            continue;
+        }
         for route in &w.outputs {
             let _ = route.data(t.clone());
         }
     }
+    // Every expected producer already Fin'd before the crash: their
+    // FinOk acks were durable promises, so the recovered gate closes
+    // the stream instead of waiting forever for Fins that will never
+    // be re-sent (the producers exited on their acks).
+    let mut all_fin = core.all_finished();
 
     let listener = match TcpListener::bind(&w.listen) {
         Ok(l) => l,
@@ -347,7 +368,6 @@ pub fn run_gate(
 
     let mut conns: Vec<Conn> = Vec::new();
     let mut stopping = false;
-    let mut all_fin = false;
     'outer: loop {
         // Controller commands first: checkpoint marks must cut on the
         // batch boundary the loop currently sits at.
@@ -707,6 +727,99 @@ mod tests {
         assert_eq!(recv(&mut a, &mut da), GateMsg::FinOk);
         let exit = g.handle.join().unwrap();
         assert!(exit.error.is_none());
+    }
+
+    #[test]
+    fn fin_is_wal_durable_before_finok_and_retry_does_not_reappend() {
+        let g = start_gate(
+            "fin_wal",
+            GateConfig {
+                expected_producers: 2,
+                ..GateConfig::default()
+            },
+        );
+        let mut a = TcpStream::connect(&g.addr).unwrap();
+        let mut da = FrameDecoder::new();
+        send(&mut a, &GateMsg::Fin { producer: 1 });
+        assert_eq!(recv(&mut a, &mut da), GateMsg::FinOk);
+        assert_eq!(
+            g.store.preserved_tuples(),
+            1,
+            "the FinOk ack implies the Fin marker is already durable"
+        );
+        // A retried Fin (the ack was lost, the producer resends)
+        // re-acks without appending a second marker.
+        send(&mut a, &GateMsg::Fin { producer: 1 });
+        assert_eq!(recv(&mut a, &mut da), GateMsg::FinOk);
+        assert_eq!(g.store.preserved_tuples(), 1);
+        send(&mut a, &GateMsg::Fin { producer: 2 });
+        assert_eq!(recv(&mut a, &mut da), GateMsg::FinOk);
+        let exit = g.handle.join().unwrap();
+        assert!(exit.error.is_none());
+    }
+
+    #[test]
+    fn fins_replayed_from_wal_close_the_recovered_gate() {
+        // The regression the Fin marker exists for: every producer
+        // Fin'd (and was acked) after the last complete checkpoint,
+        // then the gate's worker died. The recovered gate rebuilds the
+        // finished set from replayed markers and closes the stream
+        // instead of waiting forever for Fins that will never be
+        // re-sent — and the markers themselves never reach downstream.
+        let dir = std::env::temp_dir().join(format!("ms_gate_finrep_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        fs::create_dir_all(&dir).unwrap();
+        let store = Arc::new(LiveStorage::new(1));
+        let persister = Persister::spawn(store.clone());
+        let persist = persister.sender();
+        let (cmd_tx, cmd_rx) = unbounded();
+        let (tx, rx) = unbounded::<HostMsg>();
+        let mut pre = GateCore::new(
+            OperatorId(0),
+            GateConfig {
+                expected_producers: 1,
+                ..GateConfig::default()
+            },
+        );
+        let mut seq = 0;
+        let Admission::Accept(mut replay) = pre.admit(&mut seq, 7, 1, &[(1, 4)]) else {
+            panic!("accept expected");
+        };
+        let data_tuples = replay.clone();
+        replay.push(pre.fin_marker(&mut seq, 7));
+        let wiring = GateWiring {
+            op_id: OperatorId(0),
+            cfg: GateConfig {
+                expected_producers: 1,
+                ..GateConfig::default()
+            },
+            outputs: vec![OutputRoute::single(tx)],
+            cmd: cmd_rx,
+            listen: "127.0.0.1:0".into(),
+            addr_file: None,
+            restored: None,
+            restored_seq: 0,
+            replay,
+            meter: Arc::new(GateMeter::new()),
+            telemetry: None,
+        };
+        let handle = std::thread::spawn(move || run_gate(wiring, store, persist));
+        // No producer ever connects. The gate must still terminate:
+        // replayed data, then Eos — and no marker in between.
+        for expect in &data_tuples {
+            match recv_host(&rx) {
+                HostMsg::Data(t) => assert_eq!(&t, expect),
+                other => panic!("expected replayed data, got {other:?}"),
+            }
+        }
+        match recv_host(&rx) {
+            HostMsg::Eos => {}
+            other => panic!("expected Eos after replay, got {other:?}"),
+        }
+        let exit = handle.join().unwrap();
+        assert!(exit.error.is_none());
+        drop(cmd_tx);
+        let _ = fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod ready;
 
 use std::collections::HashMap;

@@ -12,7 +12,8 @@ fn usage() -> ! {
         "usage: ms-controller --store DIR [--listen ADDR] [--addr-file FILE] \
          [--workers N] [--shape chainN|diamond|fanin|fleetSxK] [--limit N] \
          [--delay-us N] [--keyed-state N] [--shards N] [--ckpt-ms N] \
-         [--hb-timeout-ms N] [--respawn-wait-ms N] [--deadline-secs N] \
+         [--hb-timeout-ms N] [--barrier-stall-ms N] [--respawn-wait-ms N] \
+         [--deadline-secs N] \
          [--result-file FILE] [--gate-producers N] [--gate-budget-bytes N] \
          [--gate-budget-batches N] [--gate-preagg 0|1] [--gate-retry-ms N]"
     );
@@ -44,6 +45,10 @@ fn main() {
         shards: num("--shards", 0),
         ckpt_interval: Duration::from_millis(num("--ckpt-ms", 120)),
         hb_timeout: Duration::from_millis(num("--hb-timeout-ms", 500)),
+        barrier_stall: match num("--barrier-stall-ms", 0) {
+            0 => None,
+            ms => Some(Duration::from_millis(ms)),
+        },
         respawn_wait: Duration::from_millis(num("--respawn-wait-ms", 2000)),
         deadline: Duration::from_secs(num("--deadline-secs", 120)),
         result_file: get("--result-file").map(PathBuf::from),

@@ -43,7 +43,7 @@ use ms_gate::GateSample;
 use ms_live::StableStore;
 
 use crate::apps::demo_network;
-use crate::ledger::{LedgerRecord, LedgerWriter, LEDGER_FILE};
+use crate::ledger::{read_ledger, LedgerRecord, LedgerWriter, LEDGER_FILE};
 use crate::message::{recv_msg, send_msg, Assignment, GateSpec, OpPlacement, WireMsg};
 use crate::store::FsStore;
 
@@ -86,6 +86,12 @@ pub struct ControllerConfig {
     pub ckpt_interval: Duration,
     /// Heartbeat silence treated as a failure.
     pub hb_timeout: Duration,
+    /// An epoch barrier held open longer than this is treated as a
+    /// generation failure and rolled back (`None` = wait forever). A
+    /// severed edge eats checkpoint tokens without killing any
+    /// process, so heartbeat detection never fires; this is the only
+    /// detector that catches a live-but-partitioned cluster.
+    pub barrier_stall: Option<Duration>,
     /// After a failure, how long to hold redeployment open for a spare
     /// worker to register before continuing with the survivors.
     pub respawn_wait: Duration,
@@ -345,8 +351,24 @@ pub fn run_controller(cfg: ControllerConfig) -> Result<ClusterReport> {
 
     let deadline = Instant::now() + cfg.deadline;
     let mut workers: Vec<Worker> = Vec::new();
-    let mut generation = 0u64;
-    let mut next_epoch = EpochId::INITIAL;
+    // A controller started onto a store with history is a restarted
+    // controller (the double-fault scenario): resume epoch numbering
+    // strictly past every epoch any incarnation ever started, resume
+    // generation numbering past the ledger's last record, and restore
+    // the first deployment from the latest complete checkpoint rather
+    // than replaying the run from scratch.
+    let mut next_epoch = store.max_epoch_started().unwrap_or(EpochId::INITIAL);
+    let mut generation = read_ledger(&cfg.store_dir.join(LEDGER_FILE))
+        .ok()
+        .and_then(|recs| recs.iter().map(|r| r.generation).max())
+        .unwrap_or(0);
+    let resumed = next_epoch != EpochId::INITIAL || generation > 0;
+    if resumed {
+        println!(
+            "ms-controller: resuming on existing store \
+             (generation > {generation}, epoch > {next_epoch})"
+        );
+    }
     let mut last_ckpt = Instant::now();
     let mut deployed = false;
     let mut recovering_since: Option<Instant> = None;
@@ -553,7 +575,19 @@ pub fn run_controller(cfg: ControllerConfig) -> Result<ClusterReport> {
                             let _ = w.writer.shutdown(Shutdown::Both);
                         }
                     }
-                    if lost_ops {
+                    let stalled_barrier = !lost_ops
+                        && outstanding.is_some()
+                        && cfg
+                            .barrier_stall
+                            .is_some_and(|limit| now.duration_since(outstanding_since) > limit);
+                    if lost_ops || stalled_barrier {
+                        if stalled_barrier {
+                            println!(
+                                "ms-controller: epoch {} barrier stalled {:?} (partition?)",
+                                outstanding.expect("stalled_barrier implies outstanding"),
+                                now.duration_since(outstanding_since)
+                            );
+                        }
                         report.recoveries += 1;
                         deployed = false;
                         recovering_since = Some(now);
@@ -598,6 +632,14 @@ pub fn run_controller(cfg: ControllerConfig) -> Result<ClusterReport> {
                         let restore = match recovering_since.take() {
                             Some(_) => {
                                 let e = store.latest_complete();
+                                report.restore_epochs.push(e);
+                                e
+                            }
+                            // A resumed controller's "first" deployment
+                            // is a recovery of the interrupted run.
+                            None if resumed => {
+                                let e = store.latest_complete();
+                                report.recoveries += 1;
                                 report.restore_epochs.push(e);
                                 e
                             }

@@ -57,6 +57,7 @@ use std::thread::{self, JoinHandle};
 use crossbeam::channel::{Receiver, Sender};
 use ms_core::codec::{frame, FrameDecoder};
 use ms_live::{EdgeTx, HostExit, HostMsg, InteriorCore};
+use ms_net::fault::{FaultDecision, FaultPlan};
 use ms_net::ready::{poll, Interest, PollTarget, Waker};
 use parking_lot::Mutex;
 
@@ -338,8 +339,14 @@ enum IngressState {
     /// arrived: no read interest (TCP backpressure) until
     /// [`IoCmd::Routes`] resolves it.
     Pending { generation: u64, from: u32, to: u32 },
-    /// Streaming into a consumer inbox.
-    Routed { generation: u64, tx: CellTx },
+    /// Streaming into a consumer inbox. `from`/`to` identify the edge
+    /// for per-edge fault injection.
+    Routed {
+        generation: u64,
+        from: u32,
+        to: u32,
+        tx: CellTx,
+    },
 }
 
 struct IngressConn {
@@ -363,6 +370,9 @@ struct Io {
     routes: HashMap<(u64, u32, u32), CellTx>,
     /// Generations below this are stale; hellos for them are dropped.
     min_gen: u64,
+    /// Deterministic fault injection consulted once per routed ingress
+    /// frame (chaos runs only; `None` in production).
+    plan: Option<Arc<FaultPlan>>,
 }
 
 /// What one poll entry refers to this iteration.
@@ -381,6 +391,7 @@ pub(crate) fn spawn_io(
     listener: TcpListener,
     waker: Waker,
     cmds: Receiver<IoCmd>,
+    plan: Option<Arc<FaultPlan>>,
 ) -> JoinHandle<()> {
     thread::Builder::new()
         .name("ms-io".into())
@@ -393,6 +404,7 @@ pub(crate) fn spawn_io(
                 egress: Vec::new(),
                 routes: HashMap::new(),
                 min_gen: 0,
+                plan,
             };
             io.run();
         })
@@ -488,9 +500,15 @@ impl Io {
                         if let Some(tx) = self.routes.get(&(pg, from, to)) {
                             conn.state = IngressState::Routed {
                                 generation: pg,
+                                from,
+                                to,
                                 tx: tx.clone(),
                             };
-                            if !drain_frames(&mut conn.decoder, &mut conn.state) {
+                            if !drain_frames(
+                                &mut conn.decoder,
+                                &mut conn.state,
+                                self.plan.as_deref(),
+                            ) {
                                 resolved_dead.push(i);
                             }
                         }
@@ -589,7 +607,7 @@ impl Io {
                     // EOF: process what we have, then drop. A stream
                     // that ended without Eos is a peer failure — the
                     // consumer's input stays open and silent.
-                    drain_frames(&mut conn.decoder, &mut conn.state);
+                    drain_frames(&mut conn.decoder, &mut conn.state, self.plan.as_deref());
                     return false;
                 }
                 Ok(n) => {
@@ -635,6 +653,8 @@ impl Io {
                         Some(tx) => {
                             conn.state = IngressState::Routed {
                                 generation,
+                                from,
+                                to,
                                 tx: tx.clone(),
                             };
                         }
@@ -650,7 +670,7 @@ impl Io {
                 }
                 IngressState::Pending { .. } => return true,
                 IngressState::Routed { .. } => {
-                    return drain_frames(&mut conn.decoder, &mut conn.state);
+                    return drain_frames(&mut conn.decoder, &mut conn.state, self.plan.as_deref());
                 }
             }
         }
@@ -659,10 +679,27 @@ impl Io {
 
 /// Decodes and delivers every buffered frame of a routed stream.
 /// `false` = the connection should be dropped (Eos delivered, decode
-/// failure, or the consumer is gone).
-fn drain_frames(decoder: &mut FrameDecoder, state: &mut IngressState) -> bool {
-    let tx = match state {
-        IngressState::Routed { tx, .. } => tx,
+/// failure, the consumer is gone, or an injected fault severed the
+/// edge).
+///
+/// With a fault `plan`, every frame consults the per-edge decision
+/// first. A `Delay` sleeps on the I/O thread before delivery — crude,
+/// but exactly what a slow link does to everything multiplexed behind
+/// it. `Drop` and `Sever` both kill the connection *without* an Eos,
+/// indistinguishable from a switch failure: under the fail-stop model
+/// a frame may never be skipped on a connection that lives on.
+fn drain_frames(
+    decoder: &mut FrameDecoder,
+    state: &mut IngressState,
+    plan: Option<&FaultPlan>,
+) -> bool {
+    let (generation, from, to, tx) = match state {
+        IngressState::Routed {
+            generation,
+            from,
+            to,
+            tx,
+        } => (*generation, *from, *to, tx),
         _ => return true,
     };
     loop {
@@ -671,6 +708,13 @@ fn drain_frames(decoder: &mut FrameDecoder, state: &mut IngressState) -> bool {
             Ok(None) => return true,
             Err(_) => return false,
         };
+        if let Some(plan) = plan {
+            match plan.on_frame(generation, from, to) {
+                FaultDecision::Deliver => {}
+                FaultDecision::Delay(d) => thread::sleep(d),
+                FaultDecision::Drop | FaultDecision::Sever => return false,
+            }
+        }
         let msg = match WireMsg::decode(&frame) {
             Ok(WireMsg::Data(t)) => HostMsg::Data(t),
             Ok(WireMsg::Token(e)) => HostMsg::Token(e),
@@ -871,7 +915,7 @@ mod tests {
         listener.set_nonblocking(true).unwrap();
         let waker = Waker::new().unwrap();
         let (cmd_tx, cmd_rx) = unbounded();
-        let io = spawn_io(listener, waker.clone(), cmd_rx);
+        let io = spawn_io(listener, waker.clone(), cmd_rx, None);
 
         let mut peer = TcpStream::connect(addr).unwrap();
         send_msg(
@@ -942,7 +986,7 @@ mod tests {
         listener.set_nonblocking(true).unwrap();
         let waker = Waker::new().unwrap();
         let (cmd_tx, cmd_rx) = unbounded();
-        let io = spawn_io(listener, waker.clone(), cmd_rx);
+        let io = spawn_io(listener, waker.clone(), cmd_rx, None);
 
         let torn = Arc::new(AtomicBool::new(false));
         let SinkRig {

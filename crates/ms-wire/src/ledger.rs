@@ -21,7 +21,7 @@
 //! [`WireMsg::Telemetry`]: crate::WireMsg::Telemetry
 
 use std::fs::{File, OpenOptions};
-use std::io::{BufWriter, Read, Write};
+use std::io::{Read, Write};
 use std::path::Path;
 
 use ms_core::error::{Error, Result};
@@ -221,41 +221,83 @@ fn json_bool(s: &str, key: &str) -> Result<bool> {
 /// run; recovery generations keep appending to the same file, so a
 /// ledger spans worker failures.
 pub struct LedgerWriter {
-    out: BufWriter<File>,
+    out: File,
 }
 
 impl LedgerWriter {
     /// Opens (or creates) the ledger at `path` for appending.
+    ///
+    /// A torn trailing line left by a crashed predecessor (a row is one
+    /// `write_all`, so only the final line can tear, and a torn line
+    /// never got its newline) is truncated away first: appending after
+    /// it would bury the tear as unparseable *interior* corruption.
     pub fn open(path: &Path) -> Result<LedgerWriter> {
-        let file = OpenOptions::new()
+        let out = OpenOptions::new()
             .create(true)
             .append(true)
             .open(path)
             .map_err(|e| Error::Storage(format!("open ledger {}: {e}", path.display())))?;
-        Ok(LedgerWriter {
-            out: BufWriter::new(file),
-        })
+        if let Ok(bytes) = std::fs::read(path) {
+            if !bytes.is_empty() && bytes[bytes.len() - 1] != b'\n' {
+                let clean = bytes.iter().rposition(|&b| b == b'\n').map_or(0, |i| i + 1);
+                eprintln!(
+                    "[ledger] truncating torn trailing line of {} ({} bytes)",
+                    path.display(),
+                    bytes.len() - clean
+                );
+                out.set_len(clean as u64).map_err(|e| {
+                    Error::Storage(format!("repair ledger {}: {e}", path.display()))
+                })?;
+            }
+        }
+        Ok(LedgerWriter { out })
     }
 
     /// Appends one record as one line and flushes it — a ledger row is
-    /// on disk before the next epoch's tokens go out.
+    /// on disk before the next epoch's tokens go out. The whole line
+    /// (newline included) goes down in a single `write_all`, so a
+    /// crash mid-append can tear at most the final line of the file —
+    /// the exact case [`read_ledger`] tolerates — never interleave or
+    /// split an interior one.
     pub fn append(&mut self, rec: &LedgerRecord) -> Result<()> {
-        writeln!(self.out, "{}", rec.to_json())
+        let mut line = rec.to_json();
+        line.push('\n');
+        self.out
+            .write_all(line.as_bytes())
             .and_then(|()| self.out.flush())
             .map_err(|e| Error::Storage(format!("append ledger record: {e}")))
     }
 }
 
-/// Reads and parses every record of a ledger file, in file order.
+/// Reads and parses the records of a ledger file, in file order.
+///
+/// A malformed *final* line is skipped with a warning: the writer
+/// appends each row in one `write_all`, so a controller crash can tear
+/// the last line and nothing else — rejecting the whole ledger for it
+/// would make every post-crash summary (and the restarted controller's
+/// generation resume) fail exactly when they matter most. A malformed
+/// *interior* line still fails the parse: that is corruption, not a
+/// torn append.
 pub fn read_ledger(path: &Path) -> Result<Vec<LedgerRecord>> {
     let mut text = String::new();
     File::open(path)
         .and_then(|mut f| f.read_to_string(&mut text))
         .map_err(|e| Error::Storage(format!("read ledger {}: {e}", path.display())))?;
-    text.lines()
-        .filter(|l| !l.trim().is_empty())
-        .map(LedgerRecord::from_json)
-        .collect()
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    let mut records = Vec::with_capacity(lines.len());
+    for (i, line) in lines.iter().enumerate() {
+        match LedgerRecord::from_json(line) {
+            Ok(rec) => records.push(rec),
+            Err(e) if i + 1 == lines.len() => {
+                eprintln!(
+                    "[ledger] skipping torn trailing line of {}: {e}",
+                    path.display()
+                );
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(records)
 }
 
 fn ms(us: u64) -> f64 {
@@ -554,6 +596,75 @@ mod tests {
             }
         }
         assert_eq!(read_ledger(&path).unwrap(), records);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_trailing_line_is_skipped_and_still_summarizes() {
+        let dir = std::env::temp_dir().join(format!("ms_ledger_torn_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(LEDGER_FILE);
+        let _ = std::fs::remove_file(&path);
+        let records: Vec<LedgerRecord> = (1..=3).map(|e| sample(e, 0)).collect();
+        {
+            let mut w = LedgerWriter::open(&path).unwrap();
+            for r in &records {
+                w.append(r).unwrap();
+            }
+        }
+        // Hand-tear the last line mid-record, as a controller crash
+        // mid-append would.
+        let text = std::fs::read_to_string(&path).unwrap();
+        let torn = &text[..text.len() - 25];
+        assert!(!torn.ends_with('\n'), "tear must land mid-line");
+        std::fs::write(&path, torn).unwrap();
+
+        let read = read_ledger(&path).expect("torn trailing line must not fail the parse");
+        assert_eq!(read, records[..2], "intact prefix survives");
+        let report = summarize(&read, 3);
+        assert!(
+            report.contains("2 epochs"),
+            "summary still renders: {report}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn reopening_a_torn_ledger_repairs_the_tail_before_appending() {
+        // A restarted controller appends to the crashed one's file; if
+        // the tear survived the reopen, the next append would turn it
+        // into interior corruption and fail every later full parse.
+        let dir = std::env::temp_dir().join(format!("ms_ledger_reopen_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(LEDGER_FILE);
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut w = LedgerWriter::open(&path).unwrap();
+            w.append(&sample(1, 0)).unwrap();
+            w.append(&sample(2, 0)).unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 25]).unwrap();
+
+        let mut w = LedgerWriter::open(&path).unwrap();
+        w.append(&sample(3, 1)).unwrap();
+        let read = read_ledger(&path).expect("repaired ledger must parse end to end");
+        assert_eq!(read, vec![sample(1, 0), sample(3, 1)]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_interior_line_still_fails_the_parse() {
+        let dir = std::env::temp_dir().join(format!("ms_ledger_interior_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(LEDGER_FILE);
+        let _ = std::fs::remove_file(&path);
+        let a = sample(1, 0).to_json();
+        let b = sample(2, 0).to_json();
+        // An interior line torn *with* its newline intact is not a torn
+        // append — it is corruption, and must stay loud.
+        std::fs::write(&path, format!("{}\n{b}\n", &a[..a.len() - 10])).unwrap();
+        assert!(read_ledger(&path).is_err());
         let _ = std::fs::remove_dir_all(&dir);
     }
 

@@ -13,6 +13,7 @@
 //! |---|---|
 //! | [`message`] | the wire alphabet ([`WireMsg`]) + frame codec |
 //! | [`store`] | [`FsStore`], a SIGKILL-durable [`ms_live::StableStore`] on a shared directory |
+//! | [`chaos`] | store decorators: injected disk faults ([`FaultStore`]) + transient-failure retry ([`RetryStore`]) |
 //! | [`apps`] | demo operators (throttled source, doubler, keyed stats, summer) and graph shapes |
 //! | [`worker`] | the `ms-worker` daemon: operator hosts on the event-loop core |
 //! | `evloop` | the worker's engine: one poll-driven I/O thread + a fixed apply pool |
@@ -42,6 +43,7 @@
 #![warn(missing_docs)]
 
 pub mod apps;
+pub mod chaos;
 pub mod controller;
 mod evloop;
 pub mod ledger;
@@ -50,6 +52,7 @@ pub mod store;
 pub mod worker;
 
 pub use apps::{build_operator, demo_network, route_key, ThrottledCountSource};
+pub use chaos::{FaultStore, RetryStore, StoreFaultSpec};
 pub use controller::{run_controller, ClusterReport, ControllerConfig};
 pub use ledger::{
     by_shard_summary, read_ledger, summarize, worst_shard_skew, LedgerRecord, LedgerWriter,

@@ -138,6 +138,20 @@ impl FsStore {
         self
     }
 
+    /// The highest epoch any checkpoint file was ever written for,
+    /// complete or not. A restarted controller must number its tokens
+    /// strictly above this: reusing an epoch that a previous
+    /// incarnation partially persisted would mix two barriers' files
+    /// under one name.
+    pub fn max_epoch_started(&self) -> Option<EpochId> {
+        let entries = fs::read_dir(self.root.join("ckpt")).ok()?;
+        entries
+            .flatten()
+            .filter_map(|e| parse_ckpt_epoch(&e.file_name().to_string_lossy()))
+            .max()
+            .map(EpochId)
+    }
+
     fn full_path(&self, epoch: EpochId, op: OperatorId) -> PathBuf {
         self.root
             .join("ckpt")
@@ -171,9 +185,11 @@ impl FsStore {
             )));
         }
         let tmp = self.root.join("ckpt").join(format!(".tmp_{name}"));
+        // Temp-write + rename is idempotent, so a transient failure
+        // here is safely retryable from scratch.
         fs::write(&tmp, frame(&payload))
             .and_then(|()| fs::rename(&tmp, path))
-            .map_err(|e| Error::Storage(format!("checkpoint {name} not persisted: {e}")))
+            .map_err(|e| Error::storage_io(&format!("checkpoint {name} not persisted"), &e))
     }
 
     /// Decodes the checkpoint stored for `(epoch, op)` — the full file
@@ -556,9 +572,24 @@ impl StableStore for FsStore {
                     // One write_all per record: the kernel has the
                     // whole frame (or, on a crash, at most a torn
                     // tail) — never an interleaving.
-                    lw.file.write_all(&rec).map_err(|e| {
-                        Error::Storage(format!("source preservation failed for {source}: {e}"))
-                    })?;
+                    if let Err(e) = lw.file.write_all(&rec) {
+                        // A failed write may have landed a partial
+                        // record; restore the pre-write length so a
+                        // retry appends onto a clean boundary. Only a
+                        // restored tail may report transient — retrying
+                        // over torn bytes would corrupt the log
+                        // interior.
+                        return Err(if lw.file.set_len(lw.bytes).is_ok() {
+                            Error::storage_io(
+                                &format!("source preservation failed for {source}"),
+                                &e,
+                            )
+                        } else {
+                            Error::Storage(format!(
+                                "source preservation failed for {source}: {e} (tail not restored)"
+                            ))
+                        });
+                    }
                     lw.bytes += rec.len() as u64;
                     lw.last_seq = Some(t.seq);
                     return Ok(());
@@ -580,12 +611,27 @@ impl StableStore for FsStore {
         let mut w = SnapshotWriter::new();
         w.put_u64(epoch.0).put_u64(next_seq);
         let path = self.marks_path(source);
-        OpenOptions::new()
+        let mut f = OpenOptions::new()
             .create(true)
             .append(true)
             .open(&path)
-            .and_then(|mut f| f.write_all(&frame(&w.finish())))
-            .map_err(|e| Error::Storage(format!("epoch mark failed for {source}: {e}")))
+            .map_err(|e| Error::storage_io(&format!("epoch mark open for {source}"), &e))?;
+        let len = f
+            .metadata()
+            .map_err(|e| Error::Storage(format!("epoch mark stat for {source}: {e}")))?
+            .len();
+        if let Err(e) = f.write_all(&frame(&w.finish())) {
+            // Same retry-safety contract as the preservation log: a
+            // restored tail may retry, an unrestorable one may not.
+            return Err(if f.set_len(len).is_ok() {
+                Error::storage_io(&format!("epoch mark failed for {source}"), &e)
+            } else {
+                Error::Storage(format!(
+                    "epoch mark failed for {source}: {e} (tail not restored)"
+                ))
+            });
+        }
+        Ok(())
     }
 
     fn replay_from(&self, source: OperatorId, epoch: EpochId) -> Vec<Tuple> {

@@ -69,9 +69,11 @@ use ms_net::ready::Waker;
 use parking_lot::Mutex;
 
 use crate::apps::{build_operator, route_key};
+use crate::chaos::{FaultStore, RetryStore, StoreFaultSpec};
 use crate::evloop::{self, CellTx, EgressBuf, EgressHandle, HostCell, IoCmd};
 use crate::message::{recv_msg, send_msg, Assignment, WireMsg};
 use crate::store::FsStore;
+use ms_net::fault::FaultPlan;
 
 const FILE_POLL: Duration = Duration::from_millis(20);
 const CONNECT_WAIT: Duration = Duration::from_secs(10);
@@ -251,7 +253,16 @@ impl Run {
         if let Some(cap) = cfg.log_cap_bytes {
             fs_store = fs_store.with_log_cap(cap, LOG_CAP_PATIENCE);
         }
-        let store: Arc<dyn StableStore> = Arc::new(fs_store);
+        // Every store sits behind the transient-retry decorator; chaos
+        // runs (`MS_FAULT_STORE`) slide a fault injector between the
+        // two so the retry loop is exercised against a misbehaving
+        // disk rather than trusted on faith.
+        let store: Arc<dyn StableStore> = match StoreFaultSpec::from_env()
+            .map_err(|e| Error::Wire(format!("MS_FAULT_STORE: {e}")))?
+        {
+            Some(spec) => Arc::new(RetryStore::new(FaultStore::new(fs_store, spec))),
+            None => Arc::new(RetryStore::new(fs_store)),
+        };
         let generation = a.generation;
         let my_ops = a.ops_on(&cfg.name);
         let is_mine = |op: OperatorId| a.worker_of(op) == Some(cfg.name.as_str());
@@ -689,7 +700,12 @@ pub fn run_worker(cfg: WorkerConfig) -> Result<()> {
     listener.set_nonblocking(true)?;
     let waker = Waker::new()?;
     let (io_tx, io_rx) = unbounded();
-    let io = evloop::spawn_io(listener, waker.clone(), io_rx);
+    // Chaos runs plant a deterministic fault plan (`MS_FAULT_PLAN`) in
+    // the I/O thread; production workers carry `None` and pay nothing.
+    let plan = FaultPlan::from_env()
+        .map_err(|e| Error::Wire(format!("MS_FAULT_PLAN: {e}")))?
+        .map(Arc::new);
+    let io = evloop::spawn_io(listener, waker.clone(), io_rx, plan);
     let (work_tx, work_rx) = unbounded();
     let pool = evloop::spawn_pool(evloop::pool_width(), work_rx);
     let eng = Engine {

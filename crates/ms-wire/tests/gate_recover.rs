@@ -295,8 +295,9 @@ fn run_producer(addr_file: PathBuf, producer: u64, finished: Arc<AtomicUsize>) {
 /// The hostile producer: one batch that always exceeds the admission
 /// budget, offered over and over (across the kill too) — it must be
 /// shed with `Busy` every single time, before and after recovery. It
-/// `Fin`s only once every normal producer is done, so its `Fin` can't
-/// be forgotten by a rollback to a checkpoint that predates it.
+/// `Fin`s last so its shed loop keeps pressure on the gate for the
+/// whole run; a `Fin` acked at any point would survive rollbacks
+/// regardless (the fin WAL marker — see `chaos_matrix`).
 fn run_oversize(addr_file: PathBuf, finished: Arc<AtomicUsize>) {
     let producer = OVERSIZE_PRODUCER;
     let deadline = Instant::now() + PRODUCER_DEADLINE;

@@ -66,6 +66,7 @@ fn main() {
         shards: SHARDS,
         ckpt_interval: Duration::from_millis(150),
         hb_timeout: Duration::from_millis(1000),
+        barrier_stall: None,
         respawn_wait: Duration::from_millis(2000),
         deadline: Duration::from_secs(120),
         result_file: None,
