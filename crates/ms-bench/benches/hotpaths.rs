@@ -797,10 +797,13 @@ fn bench_edge_scaling(c: &mut Criterion) {
                             }
                             Ok(n) => {
                                 decs[i].feed(&buf[..n]);
-                                while let Ok(Some(_)) = decs[i].next_frame() {
-                                    got += 1;
-                                    if got == FRAMES {
-                                        got = 0;
+                                // Ack per delivered payload volume, not
+                                // frame count: the batched cell moves
+                                // the same bytes in 1/BATCH the frames.
+                                while let Ok(Some(p)) = decs[i].next_frame() {
+                                    got += p.len();
+                                    if got >= FRAMES * PAYLOAD {
+                                        got -= FRAMES * PAYLOAD;
                                         if ack_tx.send(()).is_err() {
                                             return;
                                         }
@@ -826,6 +829,23 @@ fn bench_edge_scaling(c: &mut Criterion) {
             b.iter(|| {
                 for i in 0..FRAMES {
                     (&writers[i % edge_count]).write_all(&payload).unwrap();
+                }
+                ack_rx.recv().unwrap();
+            })
+        });
+        // --- Same event loop, batched frames: identical payload
+        // volume, but each frame carries BATCH tuples' worth of bytes
+        // (the TupleBatch wire shape), so a skewed edge moves 1/BATCH
+        // the frames through decoder and syscalls.
+        const BATCH: usize = 32;
+        let batched_payload = frame(&vec![0xabu8; PAYLOAD * BATCH]);
+        let batched_frames = FRAMES / BATCH;
+        g.bench_function(&format!("event_loop_batched_{edge_count}"), |b| {
+            b.iter(|| {
+                for i in 0..batched_frames {
+                    (&writers[i % edge_count])
+                        .write_all(&batched_payload)
+                        .unwrap();
                 }
                 ack_rx.recv().unwrap();
             })

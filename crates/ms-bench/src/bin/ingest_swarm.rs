@@ -3,18 +3,24 @@
 //!
 //! Drives one `ms-gate` gateway — a single event-loop thread — with
 //! 8 / 64 / 256 concurrent stop-and-wait TCP producers, per-key
-//! pre-aggregation on and off. Every batch's events cycle over the
-//! same 8 hot keys (the skewed-ingest regime the gateway is built
-//! for), so pre-aggregation folds each 32-event batch to 8 engine-edge
-//! tuples. Reported per cell: accepted-event throughput, engine-edge
-//! tuple count and the resulting reduction factor, and the
-//! producer-observed ack latency (send → `Accepted`, which includes
-//! the WAL append the ack waits on). Ends with the JSON snapshot
-//! recorded under the `ingest_swarm` key of `BENCH_sweep.json`.
+//! pre-aggregation on and off, and WAL group commit on (production)
+//! vs off (one append per tuple, the pre-batching baseline). Every
+//! batch's events cycle over the same 8 hot keys (the skewed-ingest
+//! regime the gateway is built for), so pre-aggregation folds each
+//! 32-event batch to 8 engine-edge tuples. Reported per cell:
+//! accepted-event throughput, engine-edge tuple count and the
+//! resulting reduction factor, and the producer-observed ack latency
+//! (send → `Accepted`, which includes the WAL append the ack waits
+//! on). Ends with the JSON snapshot recorded under the `ingest_swarm`
+//! key of `BENCH_sweep.json`.
+//!
+//! `ingest_swarm --smoke` runs one short cell (32 producers, group
+//! commit on) and fails unless batched throughput is nonzero — the CI
+//! batched-hot-path smoke check.
 
 use std::io::{Read, Write};
 use std::net::TcpStream;
-use std::sync::Arc;
+use std::sync::{Arc, Barrier};
 use std::thread;
 use std::time::{Duration, Instant};
 
@@ -50,12 +56,16 @@ fn recv(sock: &mut TcpStream, dec: &mut FrameDecoder) -> GateMsg {
 }
 
 /// One producer: `batches` stop-and-wait batches, then `Fin`. Returns
-/// the per-batch ack latencies in microseconds.
-fn run_producer(addr: &str, producer: u64, batches: u64) -> Vec<u64> {
+/// the per-batch ack latencies in microseconds. Connection setup and
+/// `Hello` happen before the start barrier: a 256-wide simultaneous
+/// connect burst can overflow the listen backlog and eat a ~1s SYN
+/// retransmit, which is connection-setup noise, not ingest throughput.
+fn run_producer(addr: &str, producer: u64, batches: u64, go: &Barrier) -> Vec<u64> {
     let mut sock = TcpStream::connect(addr).unwrap();
     sock.set_nodelay(true).unwrap();
     let mut dec = FrameDecoder::new();
     send(&mut sock, &GateMsg::Hello { producer });
+    go.wait();
     let mut lat = Vec::with_capacity(batches as usize);
     for b in 1..=batches {
         let msg = GateMsg::Batch {
@@ -95,6 +105,7 @@ fn pct(sorted: &[u64], p: f64) -> u64 {
 struct Cell {
     producers: u64,
     preagg: bool,
+    group_commit: bool,
     events: u64,
     edge_tuples: u64,
     wall_secs: f64,
@@ -104,9 +115,9 @@ struct Cell {
     ack_p99_us: u64,
 }
 
-fn run_cell(producers: u64, preagg: bool) -> Cell {
+fn run_cell(producers: u64, preagg: bool, group_commit: bool, total_batches: u64) -> Cell {
     let dir = std::env::temp_dir().join(format!(
-        "ms_ingest_swarm_{producers}_{preagg}_{}",
+        "ms_ingest_swarm_{producers}_{preagg}_{group_commit}_{}",
         std::process::id()
     ));
     let _ = std::fs::remove_dir_all(&dir);
@@ -135,15 +146,18 @@ fn run_cell(producers: u64, preagg: bool) -> Cell {
         replay: Vec::new(),
         meter: meter.clone(),
         telemetry: None,
+        group_commit,
     };
     let store2 = store.clone();
     let gate = thread::spawn(move || run_gate(wiring, store2, persist));
-    // Engine-edge drain: counts every tuple the gateway emits.
+    // Engine-edge drain: counts every tuple the gateway emits
+    // (batches count as their tuples).
     let drain = thread::spawn(move || {
         let mut n = 0u64;
         loop {
             match rx.recv() {
                 Ok(HostMsg::Data(_)) => n += 1,
+                Ok(HostMsg::DataBatch(b)) => n += b.len() as u64,
                 Ok(HostMsg::Token(_)) => {}
                 Ok(HostMsg::Eos) | Err(_) => return n,
             }
@@ -162,14 +176,19 @@ fn run_cell(producers: u64, preagg: bool) -> Cell {
         }
     };
 
-    let batches_per_producer = TOTAL_BATCHES / producers;
-    let start = Instant::now();
+    let batches_per_producer = total_batches / producers;
+    // All producers connect and say Hello first; the wall clock starts
+    // when the whole swarm is ready to send.
+    let go = Arc::new(Barrier::new(producers as usize + 1));
     let handles: Vec<_> = (0..producers)
         .map(|p| {
             let addr = addr.clone();
-            thread::spawn(move || run_producer(&addr, p, batches_per_producer))
+            let go = go.clone();
+            thread::spawn(move || run_producer(&addr, p, batches_per_producer, &go))
         })
         .collect();
+    go.wait();
+    let start = Instant::now();
     let mut lat: Vec<u64> = Vec::new();
     for h in handles {
         lat.extend(h.join().expect("producer panicked"));
@@ -186,6 +205,7 @@ fn run_cell(producers: u64, preagg: bool) -> Cell {
     Cell {
         producers,
         preagg,
+        group_commit,
         events: s.accepted_events,
         edge_tuples,
         wall_secs,
@@ -197,19 +217,47 @@ fn run_cell(producers: u64, preagg: bool) -> Cell {
 }
 
 fn main() {
+    if std::env::args().any(|a| a == "--smoke") {
+        // CI smoke: one short batched cell must move data. Group
+        // commit on — this is the production ingest path.
+        let c = run_cell(32, true, true, 512);
+        println!(
+            "ingest_swarm --smoke: 32 producers group_commit=true  {} events  {:.0} ev/s",
+            c.events, c.events_per_sec
+        );
+        assert!(
+            c.events > 0 && c.events_per_sec > 0.0,
+            "batched ingest path moved no data"
+        );
+        return;
+    }
     println!(
         "ingest_swarm: one gateway event-loop thread, {TOTAL_BATCHES} batches x \
          {EVENTS_PER_BATCH} events over {HOT_KEYS} hot keys per cell"
     );
+    // Untimed warmup: the first cell in a fresh process otherwise pays
+    // thread-spawn, page-fault, and allocator warmup that the later
+    // cells don't, skewing the cross-cell comparison.
+    let _ = run_cell(64, true, true, 512);
     let mut cells = Vec::new();
     for &producers in &[8u64, 64, 256] {
-        for &preagg in &[true, false] {
-            let c = run_cell(producers, preagg);
+        // Production shape (group commit on) with pre-agg on and off,
+        // plus the per-tuple-append baseline at pre-agg on — the
+        // batched-vs-per-tuple comparison at each swarm width.
+        for &(preagg, group_commit) in &[(true, true), (false, true), (true, false)] {
+            // Best of 3: on a small shared box the noise is one-sided
+            // (the scheduler only ever slows a cell down), so the
+            // fastest repetition is the best estimate of the true cost.
+            let c = (0..3)
+                .map(|_| run_cell(producers, preagg, group_commit, TOTAL_BATCHES))
+                .max_by(|a, b| a.events_per_sec.total_cmp(&b.events_per_sec))
+                .unwrap();
             println!(
-                "  {:>4} producers preagg={:<5} {:>7} events in {:>6.3}s  {:>9.0} ev/s  \
-                 edge tuples {:>7} (x{:.2} reduction)  ack p50 {:>4}us p99 {:>5}us",
+                "  {:>4} producers preagg={:<5} group_commit={:<5} {:>7} events in {:>6.3}s  \
+                 {:>9.0} ev/s  edge tuples {:>7} (x{:.2} reduction)  ack p50 {:>4}us p99 {:>5}us",
                 c.producers,
                 c.preagg,
+                c.group_commit,
                 c.events,
                 c.wall_secs,
                 c.events_per_sec,
@@ -227,7 +275,8 @@ fn main() {
     println!(
         " \"note\": \"one gateway event-loop thread; {TOTAL_BATCHES} stop-and-wait batches x \
          {EVENTS_PER_BATCH} events over {HOT_KEYS} hot keys per cell; ack latency is \
-         producer-observed send->Accepted incl. the WAL append; recorded snapshot\","
+         producer-observed send->Accepted incl. the WAL append; group_commit=false is the \
+         per-tuple-append baseline; best of 3 repetitions per cell; recorded snapshot\","
     );
     println!(" \"total_batches\": {TOTAL_BATCHES},");
     println!(" \"events_per_batch\": {EVENTS_PER_BATCH},");
@@ -235,11 +284,12 @@ fn main() {
     println!(" \"cells\": [");
     for (i, c) in cells.iter().enumerate() {
         println!(
-            "  {{ \"producers\": {}, \"preagg\": {}, \"events\": {}, \"edge_tuples\": {}, \
-             \"wall_secs\": {:.6}, \"events_per_sec\": {:.1}, \"reduction\": {:.2}, \
-             \"ack_p50_us\": {}, \"ack_p99_us\": {} }}{}",
+            "  {{ \"producers\": {}, \"preagg\": {}, \"group_commit\": {}, \"events\": {}, \
+             \"edge_tuples\": {}, \"wall_secs\": {:.6}, \"events_per_sec\": {:.1}, \
+             \"reduction\": {:.2}, \"ack_p50_us\": {}, \"ack_p99_us\": {} }}{}",
             c.producers,
             c.preagg,
+            c.group_commit,
             c.events,
             c.edge_tuples,
             c.wall_secs,

@@ -1,0 +1,128 @@
+//! `wal_append`: preservation-log append throughput, batched vs
+//! per-tuple, on the real `FsStore`.
+//!
+//! The gate's ack path pays one `StableStore` append per admitted
+//! batch (group commit) where it used to pay one per tuple. This
+//! bench isolates that storage round: the same tuple run appended
+//! through `append_log_batch` at batch sizes 1 / 8 / 32 / 128 / 512,
+//! with the store's `write(2)` counter asserting the group-commit
+//! contract — exactly one log write syscall per admitted batch, so
+//! tuples-per-syscall equals the batch size. Ends with the JSON
+//! snapshot recorded under the `wal_append` key of `BENCH_sweep.json`.
+
+use std::time::Instant;
+
+use ms_core::ids::OperatorId;
+use ms_core::time::SimTime;
+use ms_core::tuple::Tuple;
+use ms_core::value::Value;
+use ms_live::StableStore;
+use ms_wire::FsStore;
+
+/// Tuples per cell — every batch size appends the same run.
+const TUPLES: u64 = 65_536;
+
+struct Cell {
+    batch: u64,
+    wall_secs: f64,
+    tuples_per_sec: f64,
+    write_syscalls: u64,
+    tuples_per_syscall: f64,
+}
+
+/// The gate's WAL record shape: folded value, key, producer, batch,
+/// last-of-batch marker — what `ingest_swarm` actually appends.
+fn tuples() -> Vec<Tuple> {
+    (0..TUPLES)
+        .map(|seq| {
+            Tuple::new(
+                OperatorId(0),
+                seq,
+                SimTime::from_micros(seq),
+                vec![
+                    Value::Int(seq as i64),
+                    Value::Int((seq % 8) as i64),
+                    Value::Int((seq % 64) as i64),
+                    Value::Int((seq / 32) as i64),
+                    Value::Int(u64::from(seq % 32 == 31) as i64),
+                ],
+            )
+        })
+        .collect()
+}
+
+fn run_cell(run: &[Tuple], batch: u64) -> Cell {
+    let dir = std::env::temp_dir().join(format!("ms_wal_append_{batch}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = FsStore::open(&dir, 1).expect("open store");
+    let op = OperatorId(0);
+    let start = Instant::now();
+    let mut batches = 0u64;
+    for chunk in run.chunks(batch as usize) {
+        store.append_log_batch(op, chunk).expect("append");
+        batches += 1;
+    }
+    let wall_secs = start.elapsed().as_secs_f64();
+    let write_syscalls = store.log_write_syscalls();
+    // The group-commit contract this PR ships: one write(2) per
+    // admitted batch, never more.
+    assert!(
+        write_syscalls <= batches,
+        "batch={batch}: {write_syscalls} log writes for {batches} batches \
+         (group commit must issue at most one write per batch)"
+    );
+    assert_eq!(
+        store.preserved_tuples(),
+        run.len(),
+        "every tuple must be durable"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+    Cell {
+        batch,
+        wall_secs,
+        tuples_per_sec: run.len() as f64 / wall_secs,
+        write_syscalls,
+        tuples_per_syscall: run.len() as f64 / write_syscalls.max(1) as f64,
+    }
+}
+
+fn main() {
+    println!("wal_append: {TUPLES} gate-shaped tuples through FsStore::append_log_batch");
+    let run = tuples();
+    let mut cells = Vec::new();
+    for &batch in &[1u64, 8, 32, 128, 512] {
+        let c = run_cell(&run, batch);
+        println!(
+            "  batch {:>4}: {:>9.0} tuples/s  {:>6} write syscalls  \
+             {:>6.1} tuples/syscall  ({:.3}s)",
+            c.batch, c.tuples_per_sec, c.write_syscalls, c.tuples_per_syscall, c.wall_secs
+        );
+        cells.push(c);
+    }
+    let speedup = cells.last().unwrap().tuples_per_sec / cells[0].tuples_per_sec;
+    println!("  batched(512) vs per-tuple: {speedup:.2}x");
+    // The snapshot recorded under BENCH_sweep.json's "wal_append" key
+    // (same convention as "ingest_swarm": paste the block below).
+    println!("\n\"wal_append\": {{");
+    println!(
+        " \"note\": \"{TUPLES} gate-shaped tuples appended through \
+         FsStore::append_log_batch per batch size; write_syscalls from the store's \
+         preservation-log write(2) counter (group commit = one write per batch); \
+         recorded snapshot\","
+    );
+    println!(" \"tuples\": {TUPLES},");
+    println!(" \"cells\": [");
+    for (i, c) in cells.iter().enumerate() {
+        println!(
+            "  {{ \"batch\": {}, \"wall_secs\": {:.6}, \"tuples_per_sec\": {:.1}, \
+             \"write_syscalls\": {}, \"tuples_per_syscall\": {:.1} }}{}",
+            c.batch,
+            c.wall_secs,
+            c.tuples_per_sec,
+            c.write_syscalls,
+            c.tuples_per_syscall,
+            if i + 1 == cells.len() { "" } else { "," }
+        );
+    }
+    println!(" ]\n}}");
+}

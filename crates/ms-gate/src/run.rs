@@ -10,12 +10,19 @@
 //! loop.
 //!
 //! The durability order per accepted batch is the whole contract:
-//! admit → stamp tuples → append every tuple to the preservation log
-//! (`Err` is fatal: the gate stops streaming rather than ack
-//! unpreserved data) → route onto engine edges → queue `Accepted`.
-//! A SIGKILL between WAL and ack re-delivers via the producer's retry,
-//! which the rebuilt dedup table answers with `Accepted` and no
-//! re-admission.
+//! admit → stamp tuples → append to the preservation log (`Err` is
+//! fatal: the gate stops streaming rather than ack unpreserved data)
+//! → route onto engine edges → queue `Accepted`. Under group commit
+//! (the default), the loop *stages* every batch admitted during one
+//! poll turn — across all ready producer connections — and commits
+//! the lot with a single [`StableStore::append_log_batch`]: one lock,
+//! one encode buffer, one `write(2)` for the whole group. Only after
+//! that append returns are the tuples routed and the `Accepted` /
+//! `FinOk` acks queued, so the contract is unchanged: an ack still
+//! implies durability, and a storage error still kills the gate with
+//! nothing from the group acked. A SIGKILL between WAL and ack
+//! re-delivers via the producer's retry, which the rebuilt dedup
+//! table answers with `Accepted` and no re-admission.
 //!
 //! Checkpoints ride the same [`SourceCmd`] channel as every source
 //! host: mark the stream boundary durably, hand the dedup snapshot to
@@ -87,6 +94,11 @@ pub struct GateWiring {
     /// Standard per-operator meter (checkpoint phases, tuples out);
     /// `None` disables.
     pub telemetry: Option<Arc<OperatorMeter>>,
+    /// Commit every batch admitted in one poll turn with a single
+    /// group append (one WAL write across producers) instead of one
+    /// append per tuple. Production gates keep this on; the off
+    /// position exists to measure the per-tuple baseline.
+    pub group_commit: bool,
 }
 
 /// The inert [`Operator`] a finished gateway hands back in its
@@ -188,22 +200,54 @@ impl Conn {
     }
 }
 
-/// Handles every decoded frame on one connection. `Err` means stable
-/// storage failed — fatal for the whole gate, nothing was acked.
-/// Protocol violations just drop the connection (producers are
-/// unreliable by design).
-#[allow(clippy::too_many_arguments)]
+/// One accepted batch staged for this poll turn's group commit.
+struct PendingAccept {
+    /// Index of the producer connection to ack.
+    conn: usize,
+    /// Batch id for the `Accepted` ack.
+    batch: u64,
+    /// Producer events the batch carried (pre-agg input count).
+    events: u64,
+    /// `(offset, len)` of the batch's tuples inside [`Turn::wal`].
+    range: (usize, usize),
+    /// Admission instant, for the ack-latency meter.
+    start: Instant,
+}
+
+/// Everything admitted during one poll turn, awaiting the turn's
+/// single group append. Nothing in here is routed or acked until that
+/// append returns — the staged form *is* the ack-after-WAL contract.
+#[derive(Default)]
+struct Turn {
+    /// WAL records — pre-aggregated tuples and Fin markers — in
+    /// admission (= sequence) order across every ready connection.
+    wal: Vec<Tuple>,
+    accepts: Vec<PendingAccept>,
+    /// Connections owed a `FinOk` once the turn commits.
+    fins: Vec<usize>,
+}
+
+impl Turn {
+    fn is_empty(&self) -> bool {
+        self.wal.is_empty() && self.accepts.is_empty() && self.fins.is_empty()
+    }
+}
+
+/// Handles every decoded frame on one connection, staging admitted
+/// work into `turn` for the end-of-turn group commit. Protocol
+/// violations just drop the connection (producers are unreliable by
+/// design); acks queued here (duplicates, sheds) are not flushed
+/// until the turn commits, so no ack can overtake the group's WAL
+/// append.
 fn process_frames(
+    conn_idx: usize,
     conn: &mut Conn,
     core: &mut GateCore,
     next_seq: &mut u64,
-    outputs: &[OutputRoute],
-    store: &Arc<dyn StableStore>,
-    op_id: OperatorId,
+    turn: &mut Turn,
     meter: &GateMeter,
-    telemetry: &Option<Arc<OperatorMeter>>,
     all_fin: &mut bool,
-) -> Result<()> {
+) {
     while !conn.gone {
         let payload = match conn.dec.next_frame() {
             Ok(Some(p)) => p,
@@ -227,34 +271,24 @@ fn process_frames(
                 let start = Instant::now();
                 match core.admit(next_seq, producer, batch, &events) {
                     Admission::Accept(tuples) => {
-                        // Ack-after-WAL: every tuple durable before the
-                        // ack is even queued. A storage error here is
-                        // fatal and the batch stays un-acked — the
-                        // producer retries against the recovered gate.
-                        let mut wal = 0u64;
-                        for t in &tuples {
-                            wal += (SnapshotWriter::encoded_tuple_bytes(t) + FRAME_HEADER_BYTES)
-                                as u64;
-                            store.append_log(op_id, t.clone())?;
-                        }
-                        let n = tuples.len() as u64;
-                        let mut payload_bytes = 0u64;
-                        for t in tuples {
-                            payload_bytes += t.payload_bytes();
-                            for route in outputs {
-                                let _ = route.data(t.clone());
-                            }
-                        }
-                        if let Some(m) = telemetry {
-                            if n > 0 {
-                                m.add_tuples_out(n, payload_bytes);
-                            }
-                        }
-                        meter.record_accept(events.len() as u64, n, wal);
-                        conn.queue(&GateMsg::Accepted { batch });
-                        meter.record_ack_us(start.elapsed().as_micros() as u64);
+                        // Stage for the group commit: the tuples are
+                        // owned, so they move straight into the WAL
+                        // batch — no per-tuple clone on this path.
+                        let range = (turn.wal.len(), tuples.len());
+                        turn.wal.extend(tuples);
+                        turn.accepts.push(PendingAccept {
+                            conn: conn_idx,
+                            batch,
+                            events: events.len() as u64,
+                            range,
+                            start,
+                        });
                     }
                     Admission::Duplicate => {
+                        // The original admission was WAL'd before its
+                        // ack, so a duplicate can re-ack without
+                        // touching storage. The queued bytes still
+                        // only flush after this turn's commit.
                         conn.queue(&GateMsg::Accepted { batch });
                         meter.record_ack_us(start.elapsed().as_micros() as u64);
                     }
@@ -269,21 +303,21 @@ fn process_frames(
             }
             GateMsg::Fin { producer } => {
                 conn.producer.get_or_insert(producer);
-                // Ack-after-WAL for Fin too: the marker is durable
-                // before FinOk is even queued, so a rollback past the
-                // last checkpoint replays it and the recovered gate
-                // still counts the producer as done. A storage error
-                // is fatal and the Fin stays un-acked — the producer
-                // retries against the recovered gate. Retried Fins
-                // re-ack without re-appending.
+                // Ack-after-WAL for Fin too: the marker rides this
+                // turn's group append, and FinOk is only queued after
+                // it returns — so a durable FinOk still implies a
+                // durable marker, a rollback past the last checkpoint
+                // replays it, and the recovered gate counts the
+                // producer as done. Retried Fins re-ack without
+                // re-appending.
                 if !core.is_finished(producer) {
                     let marker = core.fin_marker(next_seq, producer);
-                    store.append_log(op_id, marker)?;
+                    turn.wal.push(marker);
                 }
                 if core.fin(producer) {
                     *all_fin = true;
                 }
-                conn.queue(&GateMsg::FinOk);
+                turn.fins.push(conn_idx);
             }
             // Gateway-to-producer messages arriving at the gateway are
             // a protocol violation.
@@ -291,8 +325,63 @@ fn process_frames(
                 conn.gone = true;
             }
         }
-        conn.flush();
     }
+}
+
+/// Commits one poll turn: a single group append covering every batch
+/// and Fin marker admitted this turn, then — and only then — routing,
+/// metering, and ack queueing. `Err` means stable storage failed —
+/// fatal for the whole gate, with nothing from the group acked.
+#[allow(clippy::too_many_arguments)]
+fn commit_turn(
+    turn: &mut Turn,
+    conns: &mut [Conn],
+    outputs: &[OutputRoute],
+    store: &Arc<dyn StableStore>,
+    op_id: OperatorId,
+    meter: &GateMeter,
+    telemetry: &Option<Arc<OperatorMeter>>,
+    group_commit: bool,
+) -> Result<()> {
+    if !turn.wal.is_empty() {
+        if group_commit {
+            store.append_log_batch(op_id, &turn.wal)?;
+        } else {
+            // Baseline mode: one lock/encode/write per tuple.
+            for t in &turn.wal {
+                store.append_log(op_id, t.clone())?;
+            }
+        }
+    }
+    for acc in turn.accepts.drain(..) {
+        let tuples = &turn.wal[acc.range.0..acc.range.0 + acc.range.1];
+        let mut wal_bytes = 0u64;
+        let mut payload_bytes = 0u64;
+        for t in tuples {
+            wal_bytes += (SnapshotWriter::encoded_tuple_bytes(t) + FRAME_HEADER_BYTES) as u64;
+            payload_bytes += t.payload_bytes();
+        }
+        for route in outputs {
+            route.data_batch(tuples);
+        }
+        let n = tuples.len() as u64;
+        if let Some(m) = telemetry {
+            if n > 0 {
+                m.add_tuples_out(n, payload_bytes);
+            }
+        }
+        meter.record_accept(acc.events, n, wal_bytes);
+        if let Some(c) = conns.get_mut(acc.conn) {
+            c.queue(&GateMsg::Accepted { batch: acc.batch });
+        }
+        meter.record_ack_us(acc.start.elapsed().as_micros() as u64);
+    }
+    for ci in turn.fins.drain(..) {
+        if let Some(c) = conns.get_mut(ci) {
+            c.queue(&GateMsg::FinOk);
+        }
+    }
+    turn.wal.clear();
     Ok(())
 }
 
@@ -334,12 +423,16 @@ pub fn run_gate(
     if let Some(last) = w.replay.last() {
         next_seq = next_seq.max(last.seq + 1);
     }
-    for t in w.replay.drain(..) {
-        if crate::admission::is_fin_marker(&t) {
-            continue;
-        }
+    let resend: Vec<Tuple> = w
+        .replay
+        .drain(..)
+        .filter(|t| !crate::admission::is_fin_marker(t))
+        .collect();
+    if !resend.is_empty() {
+        // The whole preserved run goes downstream as one batch per
+        // route — replay is the worst case for per-tuple framing.
         for route in &w.outputs {
-            let _ = route.data(t.clone());
+            let _ = route.data_batch(&resend);
         }
     }
     // Every expected producer already Fin'd before the crash: their
@@ -368,6 +461,7 @@ pub fn run_gate(
 
     let mut conns: Vec<Conn> = Vec::new();
     let mut stopping = false;
+    let mut turn = Turn::default();
     'outer: loop {
         // Controller commands first: checkpoint marks must cut on the
         // batch boundary the loop currently sits at.
@@ -437,7 +531,8 @@ pub fn run_gate(
                 }
                 continue;
             }
-            let Some(conn) = conns.get_mut(ev.token - 1) else {
+            let conn_idx = ev.token - 1;
+            let Some(conn) = conns.get_mut(conn_idx) else {
                 continue;
             };
             if ev.writable {
@@ -446,19 +541,38 @@ pub fn run_gate(
             if ev.readable {
                 conn.read_available();
             }
-            if let Err(e) = process_frames(
+            process_frames(
+                conn_idx,
                 conn,
                 &mut core,
                 &mut next_seq,
+                &mut turn,
+                &w.meter,
+                &mut all_fin,
+            );
+        }
+        // Group commit: everything admitted this turn — across every
+        // ready producer — goes durable in one append, and only then
+        // are the acks queued and flushed. Connection indices are
+        // stable here because retain() runs after.
+        if !turn.is_empty() {
+            if let Err(e) = commit_turn(
+                &mut turn,
+                &mut conns,
                 &w.outputs,
                 &store,
                 w.op_id,
                 &w.meter,
                 &w.telemetry,
-                &mut all_fin,
+                w.group_commit,
             ) {
                 error = Some(e);
                 break 'outer;
+            }
+        }
+        for c in &mut conns {
+            if !c.out.is_empty() {
+                c.flush();
             }
         }
         conns.retain(|c| !c.gone);
@@ -592,6 +706,7 @@ mod tests {
             replay: Vec::new(),
             meter: Arc::new(GateMeter::new()),
             telemetry: None,
+            group_commit: true,
         };
         let store2 = store.clone();
         let handle = std::thread::spawn(move || {
@@ -649,6 +764,7 @@ mod tests {
         loop {
             match recv_host(&g.rx) {
                 HostMsg::Data(t) => got_tuples.push(t),
+                HostMsg::DataBatch(b) => got_tuples.extend(b.iter().cloned()),
                 HostMsg::Token(e) => {
                     assert_eq!(e, EpochId(1));
                     break;
@@ -802,16 +918,20 @@ mod tests {
             replay,
             meter: Arc::new(GateMeter::new()),
             telemetry: None,
+            group_commit: true,
         };
         let handle = std::thread::spawn(move || run_gate(wiring, store, persist));
         // No producer ever connects. The gate must still terminate:
         // replayed data, then Eos — and no marker in between.
-        for expect in &data_tuples {
+        let mut got = Vec::new();
+        while got.len() < data_tuples.len() {
             match recv_host(&rx) {
-                HostMsg::Data(t) => assert_eq!(&t, expect),
+                HostMsg::Data(t) => got.push(t),
+                HostMsg::DataBatch(b) => got.extend(b.iter().cloned()),
                 other => panic!("expected replayed data, got {other:?}"),
             }
         }
+        assert_eq!(got, data_tuples);
         match recv_host(&rx) {
             HostMsg::Eos => {}
             other => panic!("expected Eos after replay, got {other:?}"),
@@ -856,17 +976,21 @@ mod tests {
             replay: walled.clone(),
             meter: Arc::new(GateMeter::new()),
             telemetry: None,
+            group_commit: true,
         };
         let store2 = store.clone();
         let handle = std::thread::spawn(move || run_gate(wiring, store2, persist));
         let addr = wait_addr(&addr_file);
         // The replayed tuples arrive downstream before any new data.
-        for expect in &walled {
+        let mut got = Vec::new();
+        while got.len() < walled.len() {
             match recv_host(&rx) {
-                HostMsg::Data(t) => assert_eq!(&t, expect),
+                HostMsg::Data(t) => got.push(t),
+                HostMsg::DataBatch(b) => got.extend(b.iter().cloned()),
                 other => panic!("expected replayed data, got {other:?}"),
             }
         }
+        assert_eq!(got, walled);
         // The producer retries the batch that was WAL'd pre-crash:
         // acked as duplicate, nothing re-emitted.
         let mut a = TcpStream::connect(&addr).unwrap();

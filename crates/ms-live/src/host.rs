@@ -80,6 +80,13 @@ use crate::storage::{CkptState, CkptWrite, StableStore};
 pub enum HostMsg {
     /// A data tuple.
     Data(Tuple),
+    /// A run of data tuples delivered as one unit. Semantically
+    /// identical to sending each tuple as [`HostMsg::Data`] in order —
+    /// every tuple keeps its own `seq`, so replay and dedup are
+    /// unchanged — but the batch crosses channels, inboxes, and the
+    /// wire as a single message/frame. Shared so a fan-out edge can
+    /// hand the same batch to several consumers without copying.
+    DataBatch(Arc<[Tuple]>),
     /// A checkpoint token for the given epoch.
     Token(EpochId),
     /// End of stream: the upstream host drained and exited.
@@ -299,6 +306,39 @@ impl OutputRoute {
             _ => 0,
         };
         self.targets[idx].send(HostMsg::Data(t))
+    }
+
+    /// Delivers a run of data tuples as [`HostMsg::DataBatch`]es —
+    /// one message per *shard*, not per tuple. An unsharded route gets
+    /// the whole run in one message; a sharded route partitions the
+    /// run by key first (relative order within each shard preserved)
+    /// and sends each shard its own batch. Returns `false` if any
+    /// receiving shard is gone.
+    pub fn data_batch(&self, tuples: &[Tuple]) -> bool {
+        if tuples.is_empty() {
+            return true;
+        }
+        match &self.key {
+            Some(key) if self.targets.len() > 1 => {
+                let mut shards: Vec<Vec<Tuple>> = Vec::new();
+                shards.resize_with(self.targets.len(), Vec::new);
+                for t in tuples {
+                    shards[shard_of(key(t), self.targets.len())].push(t.clone());
+                }
+                let mut ok = true;
+                for (idx, shard) in shards.into_iter().enumerate() {
+                    if shard.is_empty() {
+                        continue;
+                    }
+                    ok &= self.targets[idx].send(HostMsg::DataBatch(shard.into()));
+                }
+                ok
+            }
+            _ => {
+                let batch: Arc<[Tuple]> = tuples.iter().cloned().collect();
+                self.targets[0].send(HostMsg::DataBatch(batch))
+            }
+        }
     }
 
     /// Broadcasts a checkpoint token to every shard instance.
@@ -601,6 +641,17 @@ impl InteriorCore {
                 self.cut_seq[input] = t.seq + 1;
                 if !self.apply(input as u32, t) {
                     self.done = true;
+                }
+            }
+            HostMsg::DataBatch(batch) => {
+                // A batch is exactly its tuples in order: each one runs
+                // the full Data path (replay filter, window buffering,
+                // apply) so alignment and recovery semantics cannot
+                // drift from the per-tuple wire.
+                for t in batch.iter() {
+                    if !self.on_msg(input, HostMsg::Data(t.clone())) {
+                        break;
+                    }
                 }
             }
             HostMsg::Token(epoch) => {

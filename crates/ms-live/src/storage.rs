@@ -151,6 +151,23 @@ pub trait StableStore: Send + Sync {
     /// durable and must not be sent.
     fn append_log(&self, source: OperatorId, t: Tuple) -> Result<()>;
 
+    /// Group commit: appends a whole batch of emitted tuples in one
+    /// storage round — implementations amortize lock acquisition,
+    /// encoding, and the write syscall across the batch. The durable
+    /// bytes must be identical to appending each tuple individually
+    /// (same log bytes, same replay), and `Err` means *none* of the
+    /// batch may be treated as durable: the caller must not send or
+    /// ack any tuple in it. The default just loops [`append_log`],
+    /// which trivially satisfies the byte-identity contract.
+    ///
+    /// [`append_log`]: StableStore::append_log
+    fn append_log_batch(&self, source: OperatorId, batch: &[Tuple]) -> Result<()> {
+        for t in batch {
+            self.append_log(source, t.clone())?;
+        }
+        Ok(())
+    }
+
     /// Records a source's stream boundary for an epoch: the first
     /// sequence number *after* the checkpoint.
     fn mark_epoch(&self, source: OperatorId, epoch: EpochId, next_seq: u64) -> Result<()>;
@@ -398,6 +415,16 @@ impl StableStore for LiveStorage {
 
     fn append_log(&self, source: OperatorId, t: Tuple) -> Result<()> {
         self.inner.lock().logs.entry(source).or_default().push(t);
+        Ok(())
+    }
+
+    fn append_log_batch(&self, source: OperatorId, batch: &[Tuple]) -> Result<()> {
+        self.inner
+            .lock()
+            .logs
+            .entry(source)
+            .or_default()
+            .extend(batch.iter().cloned());
         Ok(())
     }
 

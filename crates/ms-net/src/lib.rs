@@ -23,6 +23,7 @@
 
 pub mod fault;
 pub mod ready;
+pub mod vectored;
 
 use std::collections::HashMap;
 

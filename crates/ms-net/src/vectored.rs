@@ -1,0 +1,185 @@
+//! Vectored ("writev"-style) socket writes for frame queues.
+//!
+//! The event-loop egress path queues one encoded frame per message.
+//! Flushing that queue with one `write(2)` per frame costs a syscall
+//! per message — exactly the per-tuple tax the batched hot path is
+//! built to remove. [`write_frames`] hands the head of the queue to
+//! the kernel in a single vectored call ([`Write::write_vectored`],
+//! which is `writev(2)` on unix sockets), so a writable socket drains
+//! many frames per syscall.
+//!
+//! The helper is deliberately transport-agnostic (`W: Write`): tests
+//! drive it with in-memory writers, the event loop with nonblocking
+//! `TcpStream`s. Partial writes are the caller's problem by design —
+//! the return value says how many bytes the kernel took, and the
+//! caller advances its queue (see [`consume_frames`]) exactly as it
+//! would for a scalar `write`.
+
+use std::collections::VecDeque;
+use std::io::{self, IoSlice, Write};
+
+/// Upper bound on the number of frames offered to one vectored write.
+/// POSIX guarantees `IOV_MAX >= 16` and Linux uses 1024; staying well
+/// under the floor keeps the call portable and bounds the stack-side
+/// slice table. Frames beyond the cap simply wait for the next call —
+/// the flush loop calls again while the socket stays writable.
+pub const MAX_WRITE_FRAMES: usize = 16;
+
+/// Writes the front of a frame queue in one vectored call.
+///
+/// `frames` yields the queued frames front-to-back; `head` is how many
+/// bytes of the *first* frame were already written by a previous
+/// partial flush (`head` must be less than the first frame's length).
+/// At most [`MAX_WRITE_FRAMES`] frames are offered. Returns the byte
+/// count the kernel accepted — `Ok(0)` only when the queue itself is
+/// empty, so callers can keep their usual `Ok(0) == WriteZero`
+/// treatment for a non-empty queue. `WouldBlock`/`Interrupted` are
+/// returned to the caller untouched.
+pub fn write_frames<'a, W, I>(w: &mut W, frames: I, head: usize) -> io::Result<usize>
+where
+    W: Write + ?Sized,
+    I: IntoIterator<Item = &'a [u8]>,
+{
+    let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(MAX_WRITE_FRAMES);
+    let mut it = frames.into_iter();
+    if let Some(first) = it.next() {
+        debug_assert!(head < first.len(), "head must sit inside the first frame");
+        slices.push(IoSlice::new(&first[head..]));
+        for f in it {
+            if slices.len() == MAX_WRITE_FRAMES {
+                break;
+            }
+            slices.push(IoSlice::new(f));
+        }
+    }
+    if slices.is_empty() {
+        return Ok(0);
+    }
+    w.write_vectored(&slices)
+}
+
+/// Advances a frame queue past `n` written bytes: fully-written frames
+/// are popped off the front, and the returned value is the new `head`
+/// offset into the (new) first frame.
+pub fn consume_frames(mut n: usize, mut head: usize, frames: &mut VecDeque<Vec<u8>>) -> usize {
+    while n > 0 {
+        let len = frames
+            .front()
+            .expect("wrote more bytes than were queued")
+            .len();
+        let remaining = len - head;
+        if n >= remaining {
+            n -= remaining;
+            head = 0;
+            frames.pop_front();
+        } else {
+            head += n;
+            n = 0;
+        }
+    }
+    head
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A writer that accepts at most `cap` bytes per call — exercises
+    /// partial vectored writes the way a full socket buffer would.
+    struct Throttled {
+        out: Vec<u8>,
+        cap: usize,
+    }
+
+    impl Write for Throttled {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            let n = buf.len().min(self.cap);
+            self.out.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+        // std's default write_vectored only writes the first buffer;
+        // sockets gather for real, so the test writer must too.
+        fn write_vectored(&mut self, bufs: &[IoSlice<'_>]) -> io::Result<usize> {
+            let mut budget = self.cap;
+            let mut total = 0;
+            for b in bufs {
+                if budget == 0 {
+                    break;
+                }
+                let n = b.len().min(budget);
+                self.out.extend_from_slice(&b[..n]);
+                total += n;
+                budget -= n;
+                if n < b.len() {
+                    break;
+                }
+            }
+            Ok(total)
+        }
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    fn drain(q: &mut VecDeque<Vec<u8>>, head: &mut usize, w: &mut Throttled) {
+        while !q.is_empty() {
+            let n = write_frames(w, q.iter().map(|f| f.as_slice()), *head).unwrap();
+            assert!(n > 0, "throttled writer never blocks");
+            *head = consume_frames(n, *head, q);
+        }
+    }
+
+    #[test]
+    fn drains_whole_queue_across_partial_writes() {
+        let frames: Vec<Vec<u8>> = (0u8..40).map(|i| vec![i; (i as usize % 7) + 1]).collect();
+        let expect: Vec<u8> = frames.iter().flatten().copied().collect();
+        // Every throttle cap must reassemble the same byte stream.
+        for cap in [1usize, 3, 16, 64, 4096] {
+            let mut q: VecDeque<Vec<u8>> = frames.iter().cloned().collect();
+            let mut head = 0usize;
+            let mut w = Throttled {
+                out: Vec::new(),
+                cap,
+            };
+            drain(&mut q, &mut head, &mut w);
+            assert_eq!(w.out, expect, "cap {cap}");
+            assert_eq!(head, 0);
+        }
+    }
+
+    #[test]
+    fn empty_queue_writes_nothing() {
+        let mut w = Throttled {
+            out: Vec::new(),
+            cap: 64,
+        };
+        let n = write_frames(&mut w, std::iter::empty::<&[u8]>(), 0).unwrap();
+        assert_eq!(n, 0);
+        assert!(w.out.is_empty());
+    }
+
+    #[test]
+    fn caps_frames_per_call_without_losing_any() {
+        // More frames than MAX_WRITE_FRAMES: one call takes at most
+        // the cap, repeated calls drain everything.
+        let frames: Vec<Vec<u8>> = (0..3 * MAX_WRITE_FRAMES)
+            .map(|i| vec![i as u8; 4])
+            .collect();
+        let expect: Vec<u8> = frames.iter().flatten().copied().collect();
+        let mut q: VecDeque<Vec<u8>> = frames.into_iter().collect();
+        let mut head = 0usize;
+        let mut w = Throttled {
+            out: Vec::new(),
+            cap: usize::MAX,
+        };
+        let first = write_frames(&mut w, q.iter().map(|f| f.as_slice()), head).unwrap();
+        assert_eq!(
+            first,
+            MAX_WRITE_FRAMES * 4,
+            "one call caps at the slice table"
+        );
+        head = consume_frames(first, head, &mut q);
+        drain(&mut q, &mut head, &mut w);
+        assert_eq!(w.out, expect);
+    }
+}

@@ -145,6 +145,16 @@ impl<S: StableStore> StableStore for FaultStore<S> {
         self.inner.append_log(source, t)
     }
 
+    fn append_log_batch(&self, source: OperatorId, batch: &[Tuple]) -> Result<()> {
+        // One gate per batch: a group commit is one write to the disk,
+        // so it ticks the deterministic fault clock once — and a
+        // failed attempt leaves the whole batch unwritten
+        // (fault-before-delegate), matching the all-or-nothing
+        // durability contract the caller relies on.
+        self.gate("append_log_batch", 0)?;
+        self.inner.append_log_batch(source, batch)
+    }
+
     fn mark_epoch(&self, source: OperatorId, epoch: EpochId, next_seq: u64) -> Result<()> {
         self.gate("mark_epoch", self.spec.slow_ckpt_us)?;
         self.inner.mark_epoch(source, epoch, next_seq)
@@ -237,6 +247,13 @@ impl<S: StableStore> StableStore for RetryStore<S> {
         })
     }
 
+    fn append_log_batch(&self, source: OperatorId, batch: &[Tuple]) -> Result<()> {
+        // The borrowed slice retries for free — no per-attempt clone.
+        self.with_retry("preservation batch append", || {
+            self.inner.append_log_batch(source, batch)
+        })
+    }
+
     fn mark_epoch(&self, source: OperatorId, epoch: EpochId, next_seq: u64) -> Result<()> {
         self.with_retry("epoch mark", || {
             self.inner.mark_epoch(source, epoch, next_seq)
@@ -314,6 +331,26 @@ mod tests {
         }
         assert_eq!(store.preserved_tuples(), 20);
         assert!(store.retries() > 0, "the fault layer never fired");
+    }
+
+    #[test]
+    fn batch_append_ticks_the_fault_clock_once_and_retries_whole() {
+        let store = RetryStore::new(FaultStore::new(
+            LiveStorage::new(1),
+            StoreFaultSpec {
+                slow_us: 0,
+                slow_ckpt_us: 0,
+                fail_every: 2,
+            },
+        ));
+        let first: Vec<Tuple> = (0..8).map(tup).collect();
+        store.append_log_batch(OperatorId(0), &first).unwrap();
+        // A group commit is one write: the second batch is write #2,
+        // fails once, and lands whole on the retry — never split.
+        let second: Vec<Tuple> = (8..16).map(tup).collect();
+        store.append_log_batch(OperatorId(0), &second).unwrap();
+        assert_eq!(store.preserved_tuples(), 16);
+        assert_eq!(store.retries(), 1, "one fault-clock tick per batch");
     }
 
     #[test]

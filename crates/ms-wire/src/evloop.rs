@@ -11,10 +11,12 @@
 //! * **One I/O thread** ([`spawn_io`]) owns the data-plane listener
 //!   and every data socket, nonblocking, driven by
 //!   [`ms_net::ready::poll`]. Inbound frames are batch-decoded and
-//!   delivered to the consuming operator's inbox; outbound frames
-//!   accumulate in per-connection [`EgressBuf`]s and are written when
-//!   the socket reports writable. Idle means *blocked in poll*, not
-//!   sleeping in a loop — no socket traffic, no CPU.
+//!   delivered to the consuming operator's inbox (a
+//!   [`WireMsg::TupleBatch`] frame lands as one inbox push for the
+//!   whole run); outbound frames queue in per-connection
+//!   [`EgressBuf`]s and drain with vectored writes — many frames per
+//!   syscall — when the socket reports writable. Idle means *blocked
+//!   in poll*, not sleeping in a loop — no socket traffic, no CPU.
 //! * **A fixed apply pool** ([`spawn_pool`], 2–4 threads) runs the
 //!   protocol state machine ([`InteriorCore`]) of every interior/sink
 //!   HAU. A [`HostCell`] is scheduled onto the pool only while its
@@ -48,7 +50,7 @@
 //! table. This replaces the old 15-second route-wait sleep loop.
 
 use std::collections::{HashMap, VecDeque};
-use std::io::{self, Read, Write};
+use std::io::{self, Read};
 use std::net::{TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
@@ -59,6 +61,7 @@ use ms_core::codec::{frame, FrameDecoder};
 use ms_live::{EdgeTx, HostExit, HostMsg, InteriorCore};
 use ms_net::fault::{FaultDecision, FaultPlan};
 use ms_net::ready::{poll, Interest, PollTarget, Waker};
+use ms_net::vectored;
 use parking_lot::Mutex;
 
 use crate::message::WireMsg;
@@ -72,16 +75,21 @@ const READ_CHUNK: usize = 16 * 1024;
 // ---------------- egress ----------------
 
 struct EgressState {
-    buf: Vec<u8>,
+    /// Encoded frames awaiting the socket, front-to-back.
+    frames: VecDeque<Vec<u8>>,
+    /// Bytes of the front frame already written by a partial flush.
+    head: usize,
     /// Socket gone: discard pushes (drain mode — see module docs).
     broken: bool,
 }
 
-/// The userspace send buffer of one outbound data connection. Hosts
-/// append encoded frames; the I/O thread writes them out when the
-/// socket is writable. Unbounded by design: the only unbounded
-/// producers are throttled sources, and the alternative (blocking a
-/// pool thread on a slow socket) stalls unrelated operators.
+/// The userspace send queue of one outbound data connection. Hosts
+/// append encoded frames; the I/O thread drains the queue with
+/// vectored writes ([`ms_net::vectored::write_frames`], `writev(2)` on
+/// unix) when the socket is writable — many frames per syscall instead
+/// of one. Unbounded by design: the only unbounded producers are
+/// throttled sources, and the alternative (blocking a pool thread on a
+/// slow socket) stalls unrelated operators.
 pub(crate) struct EgressBuf {
     inner: Mutex<EgressState>,
 }
@@ -90,7 +98,8 @@ impl EgressBuf {
     pub(crate) fn new() -> Arc<EgressBuf> {
         Arc::new(EgressBuf {
             inner: Mutex::new(EgressState {
-                buf: Vec::new(),
+                frames: VecDeque::new(),
+                head: 0,
                 broken: false,
             }),
         })
@@ -99,43 +108,46 @@ impl EgressBuf {
     fn push(&self, msg: &WireMsg) {
         let mut g = self.inner.lock();
         if !g.broken {
-            g.buf.extend_from_slice(&frame(&msg.encode()));
+            g.frames.push_back(frame(&msg.encode()));
         }
     }
 
     fn is_empty(&self) -> bool {
         let g = self.inner.lock();
-        g.broken || g.buf.is_empty()
+        g.broken || g.frames.is_empty()
     }
 
     fn mark_broken(&self) {
         let mut g = self.inner.lock();
         g.broken = true;
-        g.buf = Vec::new();
+        g.frames = VecDeque::new();
+        g.head = 0;
     }
 
-    /// Writes as much as the socket accepts. `Ok(false)` means the
-    /// socket would block with bytes still buffered; errors flip the
-    /// buffer to drain mode.
+    /// Drains as many queued frames as the socket accepts, a vectored
+    /// write per pass. `Ok(false)` means the socket would block with
+    /// frames still queued; errors flip the buffer to drain mode.
     fn write_to(&self, s: &mut TcpStream) -> io::Result<bool> {
         let mut g = self.inner.lock();
-        let mut written = 0;
         let r = loop {
-            if written == g.buf.len() {
+            if g.frames.is_empty() {
                 break Ok(true);
             }
-            match s.write(&g.buf[written..]) {
+            match vectored::write_frames(s, g.frames.iter().map(|f| f.as_slice()), g.head) {
                 Ok(0) => break Err(io::Error::from(io::ErrorKind::WriteZero)),
-                Ok(n) => written += n,
+                Ok(n) => {
+                    let EgressState { frames, head, .. } = &mut *g;
+                    *head = vectored::consume_frames(n, *head, frames);
+                }
                 Err(e) if e.kind() == io::ErrorKind::WouldBlock => break Ok(false),
                 Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
                 Err(e) => break Err(e),
             }
         };
-        g.buf.drain(..written);
         if r.is_err() {
             g.broken = true;
-            g.buf = Vec::new();
+            g.frames = VecDeque::new();
+            g.head = 0;
         }
         r
     }
@@ -158,6 +170,10 @@ impl EdgeTx for EgressHandle {
         }
         let wire = match msg {
             HostMsg::Data(t) => WireMsg::Data(t),
+            // A batch crosses the wire as one TupleBatch frame: one
+            // frame header, one decode, one inbox push on the far
+            // side, however skewed the edge.
+            HostMsg::DataBatch(b) => WireMsg::TupleBatch(b.iter().cloned().collect()),
             HostMsg::Token(e) => WireMsg::Token(e),
             HostMsg::Eos => WireMsg::Eos,
         };
@@ -717,6 +733,12 @@ fn drain_frames(
         }
         let msg = match WireMsg::decode(&frame) {
             Ok(WireMsg::Data(t)) => HostMsg::Data(t),
+            // Batch-decode: the whole run becomes one shared slice and
+            // one inbox push — the apply pool schedules one HostCell
+            // visit for the batch instead of one per tuple. The fault
+            // plan above was consulted once for the frame, i.e. once
+            // per batch: injected faults stay frame-granular.
+            Ok(WireMsg::TupleBatch(ts)) => HostMsg::DataBatch(ts.into()),
             Ok(WireMsg::Token(e)) => HostMsg::Token(e),
             Ok(WireMsg::Eos) => {
                 tx.send(HostMsg::Eos);

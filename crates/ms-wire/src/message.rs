@@ -186,6 +186,12 @@ pub enum WireMsg {
     },
     /// Data plane: one tuple.
     Data(Tuple),
+    /// Data plane: a run of tuples in one frame. Exactly equivalent to
+    /// the same tuples as consecutive [`WireMsg::Data`] frames — every
+    /// tuple keeps its own `seq`, so replay cuts and dedup are
+    /// unchanged — but a skewed edge pays one frame header, one
+    /// decode dispatch, and one inbox push for the whole run.
+    TupleBatch(Vec<Tuple>),
     /// Data plane: a checkpoint token trickling down the dataflow.
     Token(EpochId),
     /// Data plane: graceful end of stream. Only this message ends a
@@ -266,6 +272,7 @@ const TAG_HEARTBEAT_HELLO: u64 = 13;
 const TAG_WORKER_ERROR: u64 = 14;
 const TAG_TELEMETRY: u64 = 15;
 const TAG_GATE_TELEMETRY: u64 = 16;
+const TAG_TUPLE_BATCH: u64 = 17;
 
 impl WireMsg {
     /// Encodes the message into a frame payload.
@@ -344,6 +351,12 @@ impl WireMsg {
             }
             WireMsg::Data(t) => {
                 w.put_u64(TAG_DATA).put_tuple(t);
+            }
+            WireMsg::TupleBatch(tuples) => {
+                w.put_u64(TAG_TUPLE_BATCH);
+                w.put_seq(tuples.iter(), |w, t| {
+                    w.put_tuple(t);
+                });
             }
             WireMsg::Token(e) => {
                 w.put_u64(TAG_TOKEN).put_u64(e.0);
@@ -485,6 +498,7 @@ impl WireMsg {
                 to: get_op(&mut r)?,
             },
             TAG_DATA => WireMsg::Data(r.get_tuple()?),
+            TAG_TUPLE_BATCH => WireMsg::TupleBatch(r.get_seq(|r| r.get_tuple())?),
             TAG_TOKEN => WireMsg::Token(EpochId(r.get_u64()?)),
             TAG_EOS => WireMsg::Eos,
             TAG_CKPT_DONE => WireMsg::CkptDone {
@@ -714,6 +728,19 @@ mod tests {
                 SimTime::from_micros(9),
                 vec![Value::Int(5), Value::Str("payload".into())],
             )),
+            WireMsg::TupleBatch(vec![]),
+            WireMsg::TupleBatch(
+                (0..3)
+                    .map(|i| {
+                        Tuple::new(
+                            OperatorId(1),
+                            100 + i,
+                            SimTime::from_micros(10 + i),
+                            vec![Value::Int(i as i64), Value::Str("batched".into())],
+                        )
+                    })
+                    .collect(),
+            ),
             WireMsg::Token(EpochId(3)),
             WireMsg::Eos,
             WireMsg::CkptDone {

@@ -16,10 +16,13 @@
 //!   Reads fold the chain: [`StableStore::get_checkpoint`] always
 //!   returns the complete state, byte-identical to a full snapshot.
 //! * `log/op{N}.log` — source-preservation logs: one frame per tuple,
-//!   appended with a single `write_all` *before* the tuple is sent
-//!   (§III-A). Bytes handed to the kernel survive the process, so a
-//!   SIGKILL can tear at most the final record; readers stop at the
-//!   first incomplete frame.
+//!   appended *before* the tuple is sent (§III-A). A group-committed
+//!   batch ([`StableStore::append_log_batch`]) concatenates its
+//!   tuples' frames into one pre-sized buffer and hands the kernel a
+//!   single `write_all` — byte-identical to appending each tuple
+//!   alone, just one lock/encode/syscall for the lot. Bytes handed to
+//!   the kernel survive the process, so a SIGKILL can tear at most
+//!   the final record; readers stop at the first incomplete frame.
 //! * `marks/op{N}.marks` — per-source `(epoch, next_seq)` stream
 //!   boundaries, appended the same way.
 //!
@@ -70,11 +73,12 @@ use std::collections::HashMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::{Duration, Instant};
 
 use ms_core::codec::{
-    frame, FrameDecoder, SnapshotReader, SnapshotWriter, FRAME_HEADER_BYTES, MAX_FILE_FRAME_BYTES,
-    MAX_FRAME_BYTES,
+    frame, frame_tuples, FrameDecoder, SnapshotReader, SnapshotWriter, FRAME_HEADER_BYTES,
+    MAX_FILE_FRAME_BYTES, MAX_FRAME_BYTES,
 };
 use ms_core::delta::{self, StateDelta};
 use ms_core::error::{Error, Result};
@@ -102,6 +106,9 @@ pub struct FsStore {
     /// `(cap bytes, patience)` — see the module docs.
     log_cap: Option<(u64, Duration)>,
     logs: Mutex<HashMap<OperatorId, LogWriter>>,
+    /// Preservation-log `write(2)` calls issued (group-commit
+    /// instrumentation: tuples-per-syscall = appended tuples / this).
+    log_writes: AtomicU64,
 }
 
 impl FsStore {
@@ -120,7 +127,15 @@ impl FsStore {
             policy: RebasePolicy::default(),
             log_cap: None,
             logs: Mutex::new(HashMap::new()),
+            log_writes: AtomicU64::new(0),
         })
+    }
+
+    /// Preservation-log `write(2)` calls this handle has issued. A
+    /// group-committed batch costs exactly one, which is what the
+    /// `wal_append` bench asserts.
+    pub fn log_write_syscalls(&self) -> u64 {
+        self.log_writes.load(Ordering::Relaxed)
     }
 
     /// Replaces the rebase policy (builder style).
@@ -307,6 +322,53 @@ impl FsStore {
             .map_err(|e| Error::Storage(format!("cannot reopen trimmed log {path:?}: {e}")))?;
         lw.bytes = buf.len() as u64;
         Ok(true)
+    }
+
+    /// Ensures the writer for `source`'s preservation log exists,
+    /// running the cold-open recovery scan — read the whole log once,
+    /// find the clean prefix, trim a torn tail, remember the highest
+    /// durable sequence — exactly when the writer is first created.
+    /// Every later append (including a retry after a transient write
+    /// error) finds the cached writer and never re-reads the file.
+    /// Called with the log mutex held.
+    fn ensure_writer<'a>(
+        &self,
+        logs: &'a mut HashMap<OperatorId, LogWriter>,
+        source: OperatorId,
+    ) -> Result<&'a mut LogWriter> {
+        if let std::collections::hash_map::Entry::Vacant(slot) = logs.entry(source) {
+            let path = self.log_path(source);
+            // Scan what an earlier incarnation already made durable.
+            let bytes = fs::read(&path).unwrap_or_default();
+            let clean = clean_prefix_len(&bytes);
+            let mut dec = FrameDecoder::new();
+            dec.feed(&bytes[..clean]);
+            let mut last_seq = None;
+            while let Ok(Some(p)) = dec.next_frame() {
+                if let Ok(t) = SnapshotReader::new(&p).get_tuple() {
+                    last_seq = Some(t.seq);
+                }
+            }
+            let file = OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&path)
+                .map_err(|e| Error::Storage(format!("cannot open source log {path:?}: {e}")))?;
+            if clean < bytes.len() {
+                // Drop the record the crash cut short, so re-appended
+                // frames land on a clean boundary. Failure here leaves
+                // a log whose tail would corrupt every later append —
+                // the source must stop, not stream over it.
+                file.set_len(clean as u64)
+                    .map_err(|e| Error::Storage(format!("cannot trim torn log {path:?}: {e}")))?;
+            }
+            slot.insert(LogWriter {
+                file,
+                last_seq,
+                bytes: clean as u64,
+            });
+        }
+        Ok(logs.get_mut(&source).expect("writer just ensured"))
     }
 }
 
@@ -513,50 +575,32 @@ impl StableStore for FsStore {
     }
 
     fn append_log(&self, source: OperatorId, t: Tuple) -> Result<()> {
+        self.append_log_batch(source, std::slice::from_ref(&t))
+    }
+
+    fn append_log_batch(&self, source: OperatorId, batch: &[Tuple]) -> Result<()> {
+        if batch.is_empty() {
+            return Ok(());
+        }
         let mut deadline: Option<Instant> = None;
         loop {
             {
                 let mut logs = self.logs.lock();
-                if let std::collections::hash_map::Entry::Vacant(slot) = logs.entry(source) {
-                    let path = self.log_path(source);
-                    // Scan what an earlier incarnation already made
-                    // durable.
-                    let bytes = fs::read(&path).unwrap_or_default();
-                    let clean = clean_prefix_len(&bytes);
-                    let last_seq = read_frames(&path)
-                        .last()
-                        .and_then(|p| SnapshotReader::new(p).get_tuple().ok())
-                        .map(|t| t.seq);
-                    let file = OpenOptions::new()
-                        .create(true)
-                        .append(true)
-                        .open(&path)
-                        .map_err(|e| {
-                            Error::Storage(format!("cannot open source log {path:?}: {e}"))
-                        })?;
-                    if clean < bytes.len() {
-                        // Drop the record the crash cut short, so
-                        // re-appended frames land on a clean boundary.
-                        // Failure here leaves a log whose tail would
-                        // corrupt every later append — the source must
-                        // stop, not stream over it.
-                        file.set_len(clean as u64).map_err(|e| {
-                            Error::Storage(format!("cannot trim torn log {path:?}: {e}"))
-                        })?;
-                    }
-                    slot.insert(LogWriter {
-                        file,
-                        last_seq,
-                        bytes: clean as u64,
-                    });
-                }
-                let lw = logs.get_mut(&source).expect("writer just ensured");
-                if lw.last_seq.is_some_and(|s| t.seq <= s) {
-                    return Ok(()); // already durable (pre-crash incarnation)
-                }
-                let mut w = SnapshotWriter::with_capacity(SnapshotWriter::encoded_tuple_bytes(&t));
-                w.put_tuple(&t);
-                let rec = frame(&w.finish());
+                let lw = self.ensure_writer(&mut logs, source)?;
+                // Dedup guard per tuple: a restarted source regenerates
+                // tuples an earlier incarnation already made durable.
+                let fresh: Vec<&Tuple> = batch
+                    .iter()
+                    .filter(|t| lw.last_seq.is_none_or(|s| t.seq > s))
+                    .collect();
+                let Some(last) = fresh.last() else {
+                    return Ok(()); // whole batch already durable
+                };
+                let last_seq = last.seq;
+                // One pre-sized buffer of concatenated per-tuple frames
+                // — byte-identical to appending each tuple alone, so
+                // torn-tail detection and replay never see a "batch".
+                let rec = frame_tuples(fresh);
                 let mut fits = match self.log_cap {
                     Some((cap, _)) => lw.bytes + rec.len() as u64 <= cap,
                     None => true,
@@ -569,9 +613,9 @@ impl StableStore for FsStore {
                     fits = lw.bytes + rec.len() as u64 <= cap;
                 }
                 if fits {
-                    // One write_all per record: the kernel has the
-                    // whole frame (or, on a crash, at most a torn
-                    // tail) — never an interleaving.
+                    // One write_all for the whole batch: the kernel has
+                    // every frame (or, on a crash, at most a torn final
+                    // record) — never an interleaving.
                     if let Err(e) = lw.file.write_all(&rec) {
                         // A failed write may have landed a partial
                         // record; restore the pre-write length so a
@@ -590,8 +634,9 @@ impl StableStore for FsStore {
                             ))
                         });
                     }
+                    self.log_writes.fetch_add(1, Ordering::Relaxed);
                     lw.bytes += rec.len() as u64;
-                    lw.last_seq = Some(t.seq);
+                    lw.last_seq = Some(last_seq);
                     return Ok(());
                 }
             } // release the log mutex while pausing

@@ -495,6 +495,7 @@ impl Run {
                     replay: r.replay,
                     meter: gate_meter,
                     telemetry: Some(op_meter),
+                    group_commit: true,
                 };
                 let store = store.clone();
                 let ptx = persister.sender();

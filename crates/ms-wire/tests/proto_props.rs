@@ -140,6 +140,48 @@ proptest! {
         prop_assert_eq!(WireMsg::decode(&msg.encode()).unwrap(), msg);
     }
 
+    /// Tuple batches survive the full message codec bit-exactly —
+    /// any batch size including empty, every tuple's own `seq` and
+    /// fields intact and in order.
+    #[test]
+    fn wire_tuple_batch_roundtrip(ts in proptest::collection::vec(arb_tuple(), 0..6)) {
+        let msg = WireMsg::TupleBatch(ts);
+        prop_assert_eq!(WireMsg::decode(&msg.encode()).unwrap(), msg);
+    }
+
+    /// Framed tuple batches reassemble from one-byte torn reads and
+    /// from arbitrary rechunking, exactly like single-tuple frames.
+    #[test]
+    fn tuple_batch_frames_survive_tearing(
+        batches in proptest::collection::vec(
+            proptest::collection::vec(arb_tuple(), 0..5), 0..4),
+        chunk in 1usize..7,
+    ) {
+        let msgs: Vec<WireMsg> = batches.into_iter().map(WireMsg::TupleBatch).collect();
+        let mut stream = Vec::new();
+        for m in &msgs {
+            stream.extend_from_slice(&frame(&m.encode()));
+        }
+        // Worst-case torn reads: one byte per read call.
+        let mut torn = OneByteReader { bytes: &stream, pos: 0 };
+        for m in &msgs {
+            let p = read_frame(&mut torn).unwrap().unwrap();
+            prop_assert_eq!(&WireMsg::decode(&p).unwrap(), m);
+        }
+        prop_assert_eq!(read_frame(&mut torn).unwrap(), None);
+        // Arbitrary rechunking through the incremental decoder.
+        let mut dec = FrameDecoder::new();
+        let mut out = Vec::new();
+        for piece in stream.chunks(chunk) {
+            dec.feed(piece);
+            while let Some(p) = dec.next_frame().unwrap() {
+                out.push(WireMsg::decode(&p).unwrap());
+            }
+        }
+        prop_assert_eq!(out, msgs);
+        prop_assert_eq!(dec.buffered(), 0);
+    }
+
     /// Tokens and stream hellos roundtrip for any id values.
     #[test]
     fn wire_control_roundtrip(e in any::<u64>(), generation in any::<u64>(), f in 0u32..1024, t in 0u32..1024) {
