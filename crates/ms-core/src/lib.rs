@@ -26,6 +26,9 @@
 //! * [`config`] — cluster, scheme and experiment configuration.
 //! * [`metrics`] — counters, histograms and time series used by the
 //!   evaluation harness.
+//! * [`aware`] — the §III-C application-aware checkpoint-timing
+//!   decision logic (profiling, `smax`, alert mode), shared by the
+//!   simulator and the live cluster controller.
 //!
 //! The paper: H. Wang, L.-S. Peh, E. Koukoumidis, S. Tao, M. C. Chan,
 //! *"Meteor Shower: A Reliable Stream Processing System for Commodity
@@ -33,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+pub mod aware;
 pub mod codec;
 pub mod config;
 pub mod delta;

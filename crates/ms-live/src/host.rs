@@ -545,9 +545,21 @@ pub struct InteriorCore {
     persist_in_flight: bool,
     meter: Option<Arc<BackpressureMeter>>,
     telemetry: Option<Arc<OperatorMeter>>,
+    /// Applied-tuple counter driving the periodic state-gauge sample
+    /// in [`InteriorCore::apply`].
+    applied: u64,
     error: Option<Error>,
     done: bool,
 }
+
+/// How many applied tuples between state-size gauge samples. The
+/// gauge used to be written only at checkpoint cuts, so heartbeats
+/// between epochs reported the *previous* epoch's size — useless to
+/// the live `+aa` profiler, which needs to see intra-epoch movement.
+/// `state_size()` is a maintained counter for every built-in operator
+/// (e.g. `DeltaTable::value_bytes`), so sampling every 32 tuples costs
+/// one relaxed atomic store amortized 1/32 per tuple.
+const STATE_GAUGE_SAMPLE_EVERY: u64 = 32;
 
 impl InteriorCore {
     /// Builds the state machine from interior wiring (`cmd` must be
@@ -578,6 +590,7 @@ impl InteriorCore {
             persist_in_flight: w.persist_in_flight,
             meter: w.meter,
             telemetry: w.telemetry,
+            applied: 0,
             error: None,
             done: false,
         };
@@ -704,6 +717,10 @@ impl InteriorCore {
     fn apply(&mut self, port: u32, t: Tuple) -> bool {
         if let Some(m) = &self.telemetry {
             m.add_tuples_in(1);
+            self.applied += 1;
+            if self.applied % STATE_GAUGE_SAMPLE_EVERY == 0 {
+                m.set_state_bytes(self.op.state_size());
+            }
         }
         let mut ctx = LiveCtx {
             op: self.op_id,

@@ -1,533 +1,14 @@
 //! Application-aware checkpoint timing (§III-C, Figs. 10–11).
 //!
-//! Pure decision logic, fully separated from the event engine so it
-//! can be unit-tested by replaying the paper's own figures:
-//!
-//! 1. **Profiling** — observe every HAU's `state_size()`; HAUs whose
-//!    minimum is less than half their average are *dynamic*. Rebuild
-//!    the aggregate dynamic state-size polyline, take its minimum in
-//!    each checkpoint period; `smax`/`smin` are the highest/lowest of
-//!    those per-period minima, with the relaxation factor
-//!    `α = (smax − smin)/smin` raised to at least 20%.
-//! 2. **Execution** — the controller checks the aggregate size when a
-//!    period starts and when a dynamic HAU's size falls by more than
-//!    half (a *half-drop* notification). If it is below `smax`, enter
-//!    *alert mode*: dynamic HAUs now push `(size, ICR)` at every
-//!    turning point; when the summed ICRs turn positive the controller
-//!    initiates the checkpoint and dismisses the alert. If a period
-//!    ends with no checkpoint, one is forced.
+//! The decision logic — profiling, `smax`/`smin` relaxation, half-drop
+//! notifications, alert mode with summed-ICR turning points — lives in
+//! [`ms_core::aware`] so the live cluster controller (`ms-wire`) and
+//! this simulator drive one and the same implementation. This module
+//! re-exports it under the historical path; the simulator's engine
+//! feeds [`AwareController::on_sample`] from virtual time, the live
+//! telemetry plane feeds the identical code from heartbeat wall-clock.
 
-use ms_core::ids::HauId;
-use ms_core::metrics::TimeSeries;
-use ms_core::time::{SimDuration, SimTime};
-
-/// Tuning knobs.
-#[derive(Clone, Copy, Debug)]
-pub struct AwareConfig {
-    /// Cadence at which HAUs sample their own state size.
-    pub sample_interval: SimDuration,
-    /// Lower bound on the relaxation factor (paper: 20%).
-    pub min_relaxation: f64,
-}
-
-impl Default for AwareConfig {
-    fn default() -> Self {
-        AwareConfig {
-            sample_interval: SimDuration::from_secs(2),
-            min_relaxation: 0.2,
-        }
-    }
-}
-
-/// What the engine should do after feeding the controller a sample.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum AwareAction {
-    /// Keep streaming.
-    None,
-    /// Initiate an application checkpoint now.
-    Checkpoint(CheckpointReason),
-}
-
-/// Why a checkpoint fired (reported in experiment output).
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub enum CheckpointReason {
-    /// Alert mode saw the aggregate ICR turn positive — the first
-    /// local minimum of the period.
-    LocalMinimum,
-    /// The period ended without the state ever dropping below `smax`.
-    PeriodEnd,
-}
-
-/// Per-HAU sampling state for turning-point detection.
-#[derive(Clone, Debug, Default)]
-struct HauTrack {
-    /// Last two samples `(t, size)`; slope between them is the ICR.
-    prev: Option<(SimTime, f64)>,
-    last: Option<(SimTime, f64)>,
-    /// ICR as of the most recent turning point report.
-    reported_icr: f64,
-    /// Size at the most recent local *maximum* (for half-drop checks).
-    last_peak: f64,
-}
-
-impl HauTrack {
-    fn push(&mut self, t: SimTime, size: f64) -> SampleOutcome {
-        let mut outcome = SampleOutcome::default();
-        if let (Some((t0, s0)), Some((t1, s1))) = (self.prev, self.last) {
-            let slope_before = slope(t0, s0, t1, s1);
-            let slope_after = slope(t1, s1, t, size);
-            // A sign change at `last` marks it a turning point; the ICR
-            // the HAU reports is the slope entering the new segment
-            // ("HAU1 can know the ICR only shortly after t2; we ignore
-            // the lag since it is small").
-            if slope_before > 0.0 && slope_after <= 0.0 {
-                self.last_peak = s1;
-                outcome.turning_point = Some((s1, slope_after));
-            } else if slope_before < 0.0 && slope_after >= 0.0 {
-                outcome.turning_point = Some((s1, slope_after));
-                if self.last_peak > 0.0 && s1 < self.last_peak / 2.0 {
-                    outcome.half_drop = true;
-                }
-            }
-        } else if self.last.is_none() {
-            self.last_peak = size;
-        }
-        self.prev = self.last;
-        self.last = Some((t, size));
-        outcome
-    }
-
-    fn current_icr(&self) -> f64 {
-        match (self.prev, self.last) {
-            (Some((t0, s0)), Some((t1, s1))) => slope(t0, s0, t1, s1),
-            _ => 0.0,
-        }
-    }
-}
-
-fn slope(t0: SimTime, s0: f64, t1: SimTime, s1: f64) -> f64 {
-    let dt = t1.saturating_since(t0).as_secs_f64();
-    if dt <= 0.0 {
-        0.0
-    } else {
-        (s1 - s0) / dt
-    }
-}
-
-#[derive(Clone, Copy, Debug, Default)]
-struct SampleOutcome {
-    turning_point: Option<(f64, f64)>,
-    half_drop: bool,
-}
-
-/// Result of the profiling phase.
-#[derive(Clone, Debug)]
-pub struct Profile {
-    /// HAUs classified as dynamic.
-    pub dynamic: Vec<HauId>,
-    /// Alert-mode threshold.
-    pub smax: f64,
-    /// Lowest per-period minimum seen while profiling.
-    pub smin: f64,
-    /// Relaxation factor actually in force (≥ `min_relaxation`).
-    pub relaxation: f64,
-}
-
-/// Offline profiling: classify dynamic HAUs and derive `smax`.
-///
-/// `series` holds one state-size trace per HAU; `period` is the
-/// checkpoint period used to bucket per-period minima.
-pub fn profile(series: &[(HauId, TimeSeries)], period: SimDuration, cfg: &AwareConfig) -> Profile {
-    // Dynamic HAU: min < avg / 2.
-    let dynamic: Vec<HauId> = series
-        .iter()
-        .filter(|(_, ts)| !ts.is_empty() && ts.min() < ts.mean() / 2.0)
-        .map(|(h, _)| *h)
-        .collect();
-
-    // Aggregate dynamic state size, sampled on the union of times.
-    let mut times: Vec<SimTime> = series
-        .iter()
-        .filter(|(h, _)| dynamic.contains(h))
-        .flat_map(|(_, ts)| ts.points().iter().map(|&(t, _)| t))
-        .collect();
-    times.sort_unstable();
-    times.dedup();
-
-    let total_at = |t: SimTime| -> f64 {
-        series
-            .iter()
-            .filter(|(h, _)| dynamic.contains(h))
-            .map(|(_, ts)| ts.interpolate(t))
-            .sum()
-    };
-
-    // Per-period minima of the aggregate polyline.
-    let mut minima: Vec<f64> = Vec::new();
-    if let (Some(&t0), Some(&t_end)) = (times.first(), times.last()) {
-        let mut period_start = t0;
-        while period_start < t_end {
-            let period_end = period_start + period;
-            let in_period: Vec<f64> = times
-                .iter()
-                .filter(|&&t| t >= period_start && t < period_end)
-                .map(|&t| total_at(t))
-                .collect();
-            if let Some(min) = in_period.iter().copied().reduce(f64::min) {
-                minima.push(min);
-            }
-            period_start = period_end;
-        }
-    }
-
-    let smin = minima.iter().copied().reduce(f64::min).unwrap_or(0.0);
-    let mut smax = minima.iter().copied().reduce(f64::max).unwrap_or(0.0);
-    // "It is better to conservatively increase smax a little … by
-    // bounding the relaxation factor to a minimum of 20%."
-    let floor = smin * (1.0 + cfg.min_relaxation);
-    if smax < floor {
-        smax = floor;
-    }
-    let relaxation = if smin > 0.0 {
-        (smax - smin) / smin
-    } else {
-        cfg.min_relaxation
-    };
-    Profile {
-        dynamic,
-        smax,
-        smin,
-        relaxation,
-    }
-}
-
-/// The execution-phase controller.
-#[derive(Clone, Debug)]
-pub struct AwareController {
-    profile: Profile,
-    period: SimDuration,
-    tracks: Vec<(HauId, HauTrack)>,
-    alert: bool,
-    checkpointed_this_period: bool,
-    period_end: SimTime,
-}
-
-impl AwareController {
-    /// Starts execution with a completed profile. `now` opens the
-    /// first checkpoint period.
-    pub fn new(profile: Profile, period: SimDuration, now: SimTime) -> AwareController {
-        let tracks = profile
-            .dynamic
-            .iter()
-            .map(|h| (*h, HauTrack::default()))
-            .collect();
-        AwareController {
-            profile,
-            period,
-            tracks,
-            alert: false,
-            checkpointed_this_period: false,
-            period_end: now + period,
-        }
-    }
-
-    /// The profile in force.
-    pub fn profile(&self) -> &Profile {
-        &self.profile
-    }
-
-    /// True while in alert mode.
-    pub fn in_alert(&self) -> bool {
-        self.alert
-    }
-
-    /// Feeds one sampling round: the current state size of every
-    /// dynamic HAU. Returns the action the engine must take.
-    ///
-    /// Turning points are detected one sample late (the HAU "can know
-    /// the ICR only shortly after" the extremum, §III-C3), so the
-    /// half-drop threshold check evaluates the aggregate *at the
-    /// turning-point time* — the previous sample.
-    pub fn on_sample(&mut self, now: SimTime, sizes: &[(HauId, u64)]) -> AwareAction {
-        let prev_total: f64 = self
-            .tracks
-            .iter()
-            .map(|(_, t)| t.last.map_or(0.0, |(_, s)| s))
-            .sum();
-
-        // 1. Update per-HAU tracks.
-        let mut any_half_drop = false;
-        let mut any_turning_point = false;
-        for &(hau, size) in sizes {
-            if let Some((_, track)) = self.tracks.iter_mut().find(|(h, _)| *h == hau) {
-                let outcome = track.push(now, size as f64);
-                if let Some((_, icr)) = outcome.turning_point {
-                    track.reported_icr = icr;
-                    any_turning_point = true;
-                }
-                any_half_drop |= outcome.half_drop;
-            }
-        }
-
-        // 2. Period rollover: force a checkpoint if none happened ("in
-        // the rare case where the total state size is never below smax
-        // during a period, a checkpoint will be performed anyway at the
-        // end of the period").
-        if now >= self.period_end {
-            let missed = !self.checkpointed_this_period;
-            self.checkpointed_this_period = false;
-            self.alert = false;
-            while self.period_end <= now {
-                self.period_end += self.period;
-            }
-            if missed {
-                // The forced checkpoint settles the *previous* period;
-                // the new period may still earn its own at a minimum.
-                return AwareAction::Checkpoint(CheckpointReason::PeriodEnd);
-            }
-            // A new checkpoint period begins: the controller queries
-            // the dynamic HAUs (occasion 1).
-            if self.total(sizes) <= self.profile.smax {
-                self.alert = true;
-            }
-        }
-
-        if self.checkpointed_this_period {
-            return AwareAction::None;
-        }
-
-        // 3. Occasion 2: a dynamic HAU's size halved — the controller
-        // queries totals (as of the turning point).
-        if !self.alert && any_half_drop && prev_total <= self.profile.smax {
-            self.alert = true;
-        }
-
-        // 4. Alert mode: on fresh turning-point reports, sum the
-        // latest ICRs; positive aggregate → the first local minimum.
-        if self.alert && any_turning_point {
-            let aggregate: f64 = self
-                .tracks
-                .iter()
-                .map(|(_, t)| {
-                    if t.reported_icr != 0.0 {
-                        t.reported_icr
-                    } else {
-                        t.current_icr()
-                    }
-                })
-                .sum();
-            if aggregate > 0.0 {
-                self.alert = false;
-                self.checkpointed_this_period = true;
-                return AwareAction::Checkpoint(CheckpointReason::LocalMinimum);
-            }
-        }
-        AwareAction::None
-    }
-
-    fn total(&self, sizes: &[(HauId, u64)]) -> f64 {
-        sizes.iter().map(|&(_, s)| s as f64).sum()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn ts(points: &[(u64, f64)]) -> TimeSeries {
-        let mut out = TimeSeries::new();
-        for &(t, v) in points {
-            out.push(SimTime::from_secs(t), v);
-        }
-        out
-    }
-
-    #[test]
-    fn profiling_classifies_dynamic_haus() {
-        // HAU0 fluctuates 0..200 (dynamic), HAU1 stays near 100.
-        let s0 = ts(&[(0, 200.0), (10, 0.0), (20, 200.0), (30, 0.0)]);
-        let s1 = ts(&[(0, 100.0), (10, 104.0), (20, 98.0), (30, 100.0)]);
-        let p = profile(
-            &[(HauId(0), s0), (HauId(1), s1)],
-            SimDuration::from_secs(20),
-            &AwareConfig::default(),
-        );
-        assert_eq!(p.dynamic, vec![HauId(0)]);
-    }
-
-    #[test]
-    fn profiling_relaxes_smax_to_twenty_percent() {
-        // Per-period minima identical -> smax == smin -> relaxed +20%.
-        let s0 = ts(&[(0, 100.0), (5, 10.0), (10, 100.0), (15, 10.0), (20, 100.0)]);
-        let p = profile(
-            &[(HauId(0), s0)],
-            SimDuration::from_secs(10),
-            &AwareConfig::default(),
-        );
-        assert!(
-            p.smax >= p.smin * 1.2 - 1e-9,
-            "smax {} smin {}",
-            p.smax,
-            p.smin
-        );
-    }
-
-    /// Replays Fig. 10/11: two dynamic HAUs whose zigzags sum to the
-    /// paper's total-state polyline; the controller must checkpoint at
-    /// the first local minimum of each period (t4, t6(+), t12 in the
-    /// figure's timeline).
-    #[test]
-    fn fig11_checkpoints_at_first_local_minimum() {
-        // Reconstruction of Fig. 10's two zigzags (times in "figure
-        // units" of 10 s each, sizes in MB).
-        let hau1 = [
-            (0u64, 100.0),
-            (1, 150.0),
-            (2, 200.0),
-            (3, 250.0), // peak
-            (4, 200.0),
-            (5, 150.0),
-            (6, 100.0),
-            (7, 40.0), // valley p5 at t7 in our grid
-            (8, 100.0),
-            (9, 160.0),
-            (10, 220.0),
-            (11, 160.0),
-            (12, 100.0),
-            (13, 50.0), // valley
-            (14, 95.0),
-            (15, 140.0),
-        ];
-        let hau2 = [
-            (0u64, 220.0),
-            (1, 250.0), // peak p1
-            (2, 190.0),
-            (3, 130.0),
-            (4, 100.0), // valley p2-ish
-            (5, 130.0),
-            (6, 160.0),
-            (7, 190.0),
-            (8, 220.0), // peak
-            (9, 160.0),
-            (10, 100.0),
-            (11, 50.0), // valley
-            (12, 87.5),
-            (13, 120.0),
-            (14, 87.5),
-            (15, 60.0),
-        ];
-        // Profile over one full pass (period = 100 s).
-        let p = profile(
-            &[
-                (HauId(1), ts(&hau1.map(|(t, v)| (t * 10, v)))),
-                (HauId(2), ts(&hau2.map(|(t, v)| (t * 10, v)))),
-            ],
-            SimDuration::from_secs(100),
-            &AwareConfig::default(),
-        );
-        assert_eq!(p.dynamic.len(), 2);
-
-        let mut ctrl = AwareController::new(p, SimDuration::from_secs(100), SimTime::ZERO);
-        let mut checkpoints = Vec::new();
-        for i in 0..16u64 {
-            let now = SimTime::from_secs(i * 10);
-            let sizes = [
-                (HauId(1), hau1[i as usize].1 as u64),
-                (HauId(2), hau2[i as usize].1 as u64),
-            ];
-            if let AwareAction::Checkpoint(reason) = ctrl.on_sample(now, &sizes) {
-                checkpoints.push((i, reason));
-            }
-        }
-        // One checkpoint per period, each at a local minimum, none at
-        // period end.
-        assert_eq!(checkpoints.len(), 2, "checkpoints: {checkpoints:?}");
-        for (_, reason) in &checkpoints {
-            assert_eq!(*reason, CheckpointReason::LocalMinimum);
-        }
-        // First fires one sample after the aggregate valley at t7
-        // (detection lag), second in the second period (t12-t15).
-        assert_eq!(checkpoints[0].0, 8, "{checkpoints:?}");
-        assert!((12..=15).contains(&checkpoints[1].0), "{checkpoints:?}");
-    }
-
-    #[test]
-    fn profiling_handles_empty_and_flat_series() {
-        let p = profile(&[], SimDuration::from_secs(10), &AwareConfig::default());
-        assert!(p.dynamic.is_empty());
-        assert_eq!(p.smax, 0.0);
-        // A flat series is not dynamic and yields a relaxed threshold.
-        let flat = ts(&[(0, 50.0), (10, 50.0), (20, 50.0)]);
-        let p = profile(
-            &[(HauId(0), flat)],
-            SimDuration::from_secs(10),
-            &AwareConfig::default(),
-        );
-        assert!(p.dynamic.is_empty());
-    }
-
-    #[test]
-    fn controller_ignores_unknown_haus() {
-        let p = Profile {
-            dynamic: vec![HauId(1)],
-            smax: 100.0,
-            smin: 50.0,
-            relaxation: 0.2,
-        };
-        let mut ctrl = AwareController::new(p, SimDuration::from_secs(100), SimTime::ZERO);
-        // Samples for a HAU outside the dynamic set must not panic or
-        // trigger anything.
-        for i in 0..5 {
-            let action = ctrl.on_sample(SimTime::from_secs(i * 10), &[(HauId(9), 10 + i)]);
-            assert_eq!(action, AwareAction::None);
-        }
-    }
-
-    #[test]
-    fn forced_checkpoint_at_period_end() {
-        // State never dips below smax during the period.
-        let p = Profile {
-            dynamic: vec![HauId(0)],
-            smax: 10.0,
-            smin: 8.0,
-            relaxation: 0.25,
-        };
-        let mut ctrl = AwareController::new(p, SimDuration::from_secs(30), SimTime::ZERO);
-        let mut forced = None;
-        for i in 0..8u64 {
-            let now = SimTime::from_secs(i * 10);
-            let action = ctrl.on_sample(now, &[(HauId(0), 1000 + (i % 2) * 100)]);
-            if let AwareAction::Checkpoint(r) = action {
-                forced = Some((i, r));
-                break;
-            }
-        }
-        let (i, reason) = forced.expect("must force a checkpoint");
-        assert_eq!(reason, CheckpointReason::PeriodEnd);
-        assert_eq!(i, 3, "fires at the first sample past the period");
-    }
-
-    #[test]
-    fn no_second_checkpoint_within_a_period() {
-        let p = Profile {
-            dynamic: vec![HauId(0)],
-            smax: 1000.0,
-            smin: 100.0,
-            relaxation: 0.2,
-        };
-        let mut ctrl = AwareController::new(p, SimDuration::from_secs(1000), SimTime::ZERO);
-        // Repeated V-shapes; only the first minimum may fire.
-        let sizes = [500, 300, 100, 300, 500, 300, 100, 300, 500];
-        let mut count = 0;
-        for (i, &s) in sizes.iter().enumerate() {
-            let now = SimTime::from_secs(10 + i as u64 * 10);
-            if matches!(
-                ctrl.on_sample(now, &[(HauId(0), s)]),
-                AwareAction::Checkpoint(_)
-            ) {
-                count += 1;
-            }
-        }
-        assert_eq!(count, 1);
-    }
-}
+pub use ms_core::aware::{
+    profile, AwareAction, AwareConfig, AwareController, CheckpointReason, LiveAwareConfig,
+    LivePhase, LiveProfiler, Profile,
+};

@@ -175,6 +175,111 @@ impl Operator for KeyedStat {
     }
 }
 
+/// The reserved [`DeltaTable`] key under which [`SawtoothStat`] keeps
+/// its applied-tuple counter, so the sawtooth phase rides snapshots
+/// and delta chains like any other state and recovery resumes the
+/// cycle exactly where the failed instance left it.
+pub const SAWTOOTH_SEEN_KEY: u64 = u64::MAX;
+
+/// [`KeyedStat`] with a deliberately *dynamic* state profile: every
+/// `window` applied tuples it drops all keyed entries, so its state
+/// size traces a sawtooth — ramp, collapse, ramp — instead of the
+/// monotone fill the live `+aa` profiler would classify as static.
+/// This is the workload the `aware_live` integration test runs: the
+/// collapses produce half-drop notifications and aggregate local
+/// minima for alert mode to checkpoint at.
+///
+/// Stream semantics are untouched (`v * 2` forwarded for every tuple),
+/// so the closed-form chain sink answer — and therefore the
+/// byte-identical recovery assertions — hold unchanged. The applied
+/// counter lives *inside* the table ([`SAWTOOTH_SEEN_KEY`]), making
+/// the whole sawtooth, phase included, a deterministic function of
+/// tuple history: a recovered instance collapses at the same instants
+/// the uninterrupted one did.
+#[derive(Debug)]
+pub struct SawtoothStat {
+    keys: u64,
+    window: u64,
+    table: DeltaTable,
+}
+
+impl SawtoothStat {
+    /// Creates the operator: `keys`-entry key space, state collapse
+    /// every `window` applied tuples.
+    pub fn new(keys: u64, window: u64) -> SawtoothStat {
+        SawtoothStat {
+            keys: keys.max(1),
+            window: window.max(1),
+            table: DeltaTable::new(),
+        }
+    }
+}
+
+impl Operator for SawtoothStat {
+    fn kind(&self) -> &'static str {
+        "SawtoothStat"
+    }
+
+    fn on_tuple(&mut self, _p: PortId, t: Tuple, ctx: &mut dyn OperatorContext) {
+        if let Some(v) = t.fields.first().and_then(Value::as_int) {
+            let seen = self
+                .table
+                .get(SAWTOOTH_SEEN_KEY)
+                .and_then(|r| r.get(..8))
+                .map(|b| u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+                .unwrap_or(0)
+                + 1;
+            self.table
+                .insert(SAWTOOTH_SEEN_KEY, seen.to_le_bytes().to_vec());
+            let key = (v as u64 / KEY_STRIDE) % self.keys;
+            let count = self
+                .table
+                .get(key)
+                .and_then(|r| r.get(..8))
+                .map(|b| u64::from_le_bytes(b.try_into().expect("8-byte slice")))
+                .unwrap_or(0)
+                + 1;
+            self.table.insert(key, KeyedStat::record(key, count));
+            if seen % self.window == 0 {
+                // Collapse: drop every keyed entry (a tracked removal,
+                // so delta chains carry it too) and start the next
+                // ramp from an empty table.
+                let keys: Vec<u64> = self
+                    .table
+                    .iter()
+                    .map(|(k, _)| k)
+                    .filter(|&k| k != SAWTOOTH_SEEN_KEY)
+                    .collect();
+                for k in keys {
+                    self.table.remove(k);
+                }
+            }
+            ctx.emit_all(vec![Value::Int(v * 2)]);
+        }
+    }
+
+    fn state_size(&self) -> u64 {
+        self.table.value_bytes()
+    }
+
+    fn snapshot(&self) -> OperatorSnapshot {
+        OperatorSnapshot {
+            data: self.table.snapshot(),
+            logical_bytes: self.table.value_bytes(),
+        }
+    }
+
+    fn snapshot_delta(&mut self) -> Option<DeferredSnapshot> {
+        let delta = self.table.take_delta(self.table.value_bytes());
+        Some(DeferredSnapshot::Delta(Box::new(move || delta)))
+    }
+
+    fn restore(&mut self, s: &OperatorSnapshot) -> Result<()> {
+        self.table = DeltaTable::restore(&s.data)?;
+        Ok(())
+    }
+}
+
 /// Builds the demo query network for a shape name: `chainN` (N ≥ 2
 /// operators in a line), `diamond` (the paper's five-operator
 /// walkthrough graph, Figs. 6–7), `fanin` (two independent
@@ -271,13 +376,17 @@ pub fn skewed_delay_us(qn: &QueryNetwork, op: OperatorId, base_us: u64) -> u64 {
 /// fan-in merges see misaligned inputs. Single-source shapes are
 /// unaffected. A nonzero `keyed_state` swaps the stateless interior
 /// [`Doubler`] for a [`KeyedStat`] over that many keys — same stream
-/// semantics, delta-checkpointed keyed state.
+/// semantics, delta-checkpointed keyed state. A nonzero
+/// `sawtooth_window` on top of that selects [`SawtoothStat`], whose
+/// keyed table collapses every `sawtooth_window` tuples — the dynamic
+/// state profile the live `+aa` plane checkpoints at the minima of.
 pub fn build_operator(
     qn: &QueryNetwork,
     op: OperatorId,
     source_limit: u64,
     source_delay_us: u64,
     keyed_state: u64,
+    sawtooth_window: u64,
 ) -> Box<dyn Operator> {
     if qn.upstream(op).is_empty() {
         Box::new(ThrottledCountSource::new(
@@ -286,6 +395,8 @@ pub fn build_operator(
         ))
     } else if qn.downstream(op).is_empty() {
         Box::new(Summer::default())
+    } else if keyed_state > 0 && sawtooth_window > 0 {
+        Box::new(SawtoothStat::new(keyed_state, sawtooth_window))
     } else if keyed_state > 0 {
         Box::new(KeyedStat::new(keyed_state))
     } else {
@@ -398,15 +509,15 @@ mod tests {
         assert_eq!(skewed_delay_us(&chain, OperatorId(0), 100), 100);
         // Interior and sink roles are unchanged by multiple sources.
         assert_eq!(
-            build_operator(&qn, OperatorId(0), 10, 100, 0).kind(),
+            build_operator(&qn, OperatorId(0), 10, 100, 0, 0).kind(),
             "ThrottledCountSource"
         );
         assert_eq!(
-            build_operator(&qn, OperatorId(2), 10, 100, 0).kind(),
+            build_operator(&qn, OperatorId(2), 10, 100, 0, 0).kind(),
             "Doubler"
         );
         assert_eq!(
-            build_operator(&qn, OperatorId(4), 10, 100, 0).kind(),
+            build_operator(&qn, OperatorId(4), 10, 100, 0, 0).kind(),
             "Summer"
         );
     }
@@ -423,24 +534,38 @@ mod tests {
     fn factory_is_structural() {
         let qn = demo_network("chain3").unwrap();
         assert_eq!(
-            build_operator(&qn, OperatorId(0), 10, 0, 0).kind(),
+            build_operator(&qn, OperatorId(0), 10, 0, 0, 0).kind(),
             "ThrottledCountSource"
         );
         assert_eq!(
-            build_operator(&qn, OperatorId(1), 10, 0, 0).kind(),
+            build_operator(&qn, OperatorId(1), 10, 0, 0, 0).kind(),
             "Doubler"
         );
         assert_eq!(
-            build_operator(&qn, OperatorId(2), 10, 0, 0).kind(),
+            build_operator(&qn, OperatorId(2), 10, 0, 0, 0).kind(),
             "Summer"
         );
         // A keyed-state request swaps only the interior stage.
         assert_eq!(
-            build_operator(&qn, OperatorId(1), 10, 0, 64).kind(),
+            build_operator(&qn, OperatorId(1), 10, 0, 64, 0).kind(),
             "KeyedStat"
         );
         assert_eq!(
-            build_operator(&qn, OperatorId(2), 10, 0, 64).kind(),
+            build_operator(&qn, OperatorId(2), 10, 0, 64, 0).kind(),
+            "Summer"
+        );
+        // A sawtooth window on top swaps in the collapsing variant —
+        // interior only, and only with keyed state.
+        assert_eq!(
+            build_operator(&qn, OperatorId(1), 10, 0, 64, 500).kind(),
+            "SawtoothStat"
+        );
+        assert_eq!(
+            build_operator(&qn, OperatorId(1), 10, 0, 0, 500).kind(),
+            "Doubler"
+        );
+        assert_eq!(
+            build_operator(&qn, OperatorId(2), 10, 0, 64, 500).kind(),
             "Summer"
         );
     }
@@ -473,6 +598,76 @@ mod tests {
             b.on_tuple(PortId(0), int_tuple(v), &mut ctx2);
         }
         assert_eq!(a.snapshot().data, b.snapshot().data);
+    }
+
+    #[test]
+    fn sawtooth_collapses_and_restores_byte_identically() {
+        let mut a = SawtoothStat::new(64, 50);
+        let mut ctx = Ctx {
+            emitted: Vec::new(),
+        };
+        let mut peak = 0;
+        for v in 0..49 {
+            a.on_tuple(PortId(0), int_tuple(v), &mut ctx);
+            peak = peak.max(a.state_size());
+        }
+        assert_eq!(ctx.emitted[3], vec![Value::Int(6)], "still a doubler");
+        let before = a.state_size();
+        // The 50th tuple collapses the keyed entries: state drops by
+        // more than half (only the seen counter remains).
+        a.on_tuple(PortId(0), int_tuple(49), &mut ctx);
+        assert!(
+            a.state_size() < before / 2,
+            "state {} did not collapse from {}",
+            a.state_size(),
+            before
+        );
+        assert_eq!(ctx.emitted.len(), 50, "every tuple still forwarded");
+        // Snapshot mid-cycle, replay the same history on the restored
+        // instance: phase rides the snapshot, bytes stay identical.
+        for v in 50..77 {
+            a.on_tuple(PortId(0), int_tuple(v), &mut ctx);
+        }
+        let snap = a.snapshot();
+        let mut b = SawtoothStat::new(64, 50);
+        b.restore(&snap).unwrap();
+        assert_eq!(b.snapshot().data, snap.data, "restore is byte-identical");
+        for v in 77..160 {
+            a.on_tuple(PortId(0), int_tuple(v), &mut ctx);
+            b.on_tuple(PortId(0), int_tuple(v), &mut ctx);
+        }
+        assert_eq!(
+            a.snapshot().data,
+            b.snapshot().data,
+            "collapse instants are a function of tuple history"
+        );
+    }
+
+    #[test]
+    fn sawtooth_deltas_carry_removals() {
+        use ms_core::delta;
+        use ms_core::operator::SnapshotPayload;
+
+        let mut op = SawtoothStat::new(64, 30);
+        let mut ctx = Ctx {
+            emitted: Vec::new(),
+        };
+        for v in 0..25 {
+            op.on_tuple(PortId(0), int_tuple(v), &mut ctx);
+        }
+        let base = op.snapshot().data;
+        op.snapshot_delta().unwrap().resolve();
+        // Cross the collapse inside one epoch; the delta must fold to
+        // the post-collapse table exactly.
+        for v in 25..40 {
+            op.on_tuple(PortId(0), int_tuple(v), &mut ctx);
+        }
+        let delta = match op.snapshot_delta().unwrap().resolve() {
+            SnapshotPayload::Delta(d) => d,
+            SnapshotPayload::Full(_) => panic!("SawtoothStat captures deltas"),
+        };
+        let folded = delta::fold(&base, &[delta]).unwrap();
+        assert_eq!(folded, op.snapshot().data, "removals fold byte-identically");
     }
 
     #[test]

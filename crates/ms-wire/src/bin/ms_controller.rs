@@ -11,9 +11,12 @@ fn usage() -> ! {
     eprintln!(
         "usage: ms-controller --store DIR [--listen ADDR] [--addr-file FILE] \
          [--workers N] [--shape chainN|diamond|fanin|fleetSxK] [--limit N] \
-         [--delay-us N] [--keyed-state N] [--shards N] [--ckpt-ms N] \
+         [--delay-us N] [--keyed-state N] [--sawtooth-window N] [--shards N] \
+         [--ckpt-ms N] \
          [--hb-timeout-ms N] [--barrier-stall-ms N] [--respawn-wait-ms N] \
          [--deadline-secs N] \
+         [--aware 0|1] [--aware-sample-ms N] [--aware-profile-periods N] \
+         [--recovery-budget-ms N] \
          [--result-file FILE] [--gate-producers N] [--gate-budget-bytes N] \
          [--gate-budget-batches N] [--gate-preagg 0|1] [--gate-retry-ms N]"
     );
@@ -42,6 +45,7 @@ fn main() {
         source_limit: num("--limit", 4000),
         source_delay_us: num("--delay-us", 300),
         keyed_state: num("--keyed-state", 0),
+        sawtooth_window: num("--sawtooth-window", 0),
         shards: num("--shards", 0),
         ckpt_interval: Duration::from_millis(num("--ckpt-ms", 120)),
         hb_timeout: Duration::from_millis(num("--hb-timeout-ms", 500)),
@@ -63,6 +67,13 @@ fn main() {
                 expected_producers: n as u32,
                 retry_after_ms: num("--gate-retry-ms", 50),
             }),
+        },
+        aware: num("--aware", 0) != 0,
+        aware_sample: Duration::from_millis(num("--aware-sample-ms", 100)),
+        aware_profile_periods: num("--aware-profile-periods", 2) as u32,
+        recovery_budget: match num("--recovery-budget-ms", 0) {
+            0 => None,
+            ms => Some(Duration::from_millis(ms)),
         },
     };
     match run_controller(cfg) {

@@ -2,13 +2,47 @@
 //! prints the per-epoch table, top state growers, and barrier-latency
 //! stats. See `ms-wire`'s `ledger` module docs for the record schema.
 
-use std::path::PathBuf;
+use std::path::{Path, PathBuf};
 
-use ms_wire::{by_shard_summary, read_ledger, summarize};
+use ms_wire::{by_shard_summary, read_ledger, summarize, LedgerFollower};
 
 fn usage() -> ! {
-    eprintln!("usage: ms_ledger LEDGER.jsonl [--top N] [--tail N] [--by-shard]");
+    eprintln!(
+        "usage: ms_ledger LEDGER.jsonl [--top N] [--tail N] [--by-shard]\n\
+         \x20      ms_ledger LEDGER.jsonl --follow [--poll-ms N] [--exit-after-ms N]"
+    );
     std::process::exit(2);
+}
+
+/// `--follow`: tail the ledger of a (possibly running) cluster,
+/// printing one line per completed epoch and every cadence decision
+/// as it lands. `--exit-after-ms` bounds the watch (0 = forever) so
+/// scripts and tests can use it without a kill.
+fn follow(path: &Path, poll_ms: u64, exit_after_ms: u64) -> ! {
+    let mut f = LedgerFollower::new();
+    let started = std::time::Instant::now();
+    loop {
+        match f.poll(path) {
+            Ok(lines) => {
+                for l in lines {
+                    println!("{l}");
+                }
+            }
+            Err(e) => {
+                eprintln!("ms_ledger: {e}");
+                std::process::exit(1);
+            }
+        }
+        if exit_after_ms > 0 && started.elapsed().as_millis() as u64 >= exit_after_ms {
+            // Final partial epoch: flush what accumulated so the last
+            // barrier isn't silently dropped.
+            for l in f.flush() {
+                println!("{l}");
+            }
+            std::process::exit(0);
+        }
+        std::thread::sleep(std::time::Duration::from_millis(poll_ms.max(1)));
+    }
 }
 
 fn main() {
@@ -26,6 +60,13 @@ fn main() {
     };
     let top = num("--top", 5) as usize;
     let tail = num("--tail", 0);
+    if args.iter().any(|a| a == "--follow") {
+        follow(
+            &PathBuf::from(path),
+            num("--poll-ms", 200),
+            num("--exit-after-ms", 0),
+        );
+    }
 
     let mut records = match read_ledger(&PathBuf::from(path)) {
         Ok(r) => r,

@@ -43,7 +43,8 @@ use ms_gate::GateSample;
 use ms_live::StableStore;
 
 use crate::apps::demo_network;
-use crate::ledger::{read_ledger, LedgerRecord, LedgerWriter, LEDGER_FILE};
+use crate::cadence::{CheckpointCause, EpochSignals, PlaneConfig, TelemetryPlane};
+use crate::ledger::{read_ledger, DecisionRecord, LedgerRecord, LedgerWriter, LEDGER_FILE};
 use crate::message::{recv_msg, send_msg, Assignment, GateSpec, OpPlacement, WireMsg};
 use crate::store::FsStore;
 
@@ -76,6 +77,10 @@ pub struct ControllerConfig {
     /// Key count for the keyed-state interior operator (0 = stateless
     /// doubler interiors, the original demo shape).
     pub keyed_state: u64,
+    /// With `keyed_state`, collapse the interior keyed table every
+    /// this many applied tuples (`SawtoothStat`) — gives the state a
+    /// sawtooth profile with real local minima (0 = plain `KeyedStat`).
+    pub sawtooth_window: u64,
     /// Key-partitioned instances per interior operator (0 or 1 = no
     /// sharding). The shape above is the *logical* graph; the cluster
     /// deploys its [`expand`]-ed physical graph, so e.g. `fleet6x6`
@@ -107,6 +112,25 @@ pub struct ControllerConfig {
     /// addresses the gate hosts publish (`gate_op{N}.addr` under the
     /// store directory).
     pub gate: Option<GateConfig>,
+    /// Live application-aware checkpoint timing (§III-C): profile the
+    /// heartbeat state-size stream for `aware_profile_periods`
+    /// checkpoint periods, then initiate epoch barriers at detected
+    /// aggregate local minima instead of on the fixed timer. The
+    /// fixed timer still runs while profiling and as the period-end
+    /// backstop.
+    pub aware: bool,
+    /// Spacing between execution-phase sampling rounds of the live
+    /// profiler (how often alert mode re-evaluates turning points).
+    pub aware_sample: Duration,
+    /// Checkpoint periods observed before the profile — dynamic set,
+    /// `smax` — freezes and execution mode starts.
+    pub aware_profile_periods: u32,
+    /// Recovery-time budget for the adaptive cadence layer: after
+    /// every epoch barrier the controller estimates worst-case
+    /// recovery (restore + replay window) from measured ledger
+    /// signals and widens/narrows the checkpoint period to hold this
+    /// budget. `None` = the period stays fixed.
+    pub recovery_budget: Option<Duration>,
 }
 
 /// What a finished run looked like.
@@ -395,6 +419,23 @@ pub fn run_controller(cfg: ControllerConfig) -> Result<ClusterReport> {
         restore_epochs: Vec::new(),
         sink_states: BTreeMap::new(),
     };
+    // The live telemetry plane: §III-C aware barrier initiation
+    // (`--aware`) and/or the adaptive cadence layer
+    // (`--recovery-budget-ms`). `None` keeps the legacy fixed timer
+    // bit-for-bit (and writes no decision records).
+    let mut plane: Option<TelemetryPlane> =
+        (cfg.aware || cfg.recovery_budget.is_some()).then(|| {
+            TelemetryPlane::new(&PlaneConfig {
+                aware: cfg.aware,
+                sample_interval: cfg.aware_sample,
+                profile_periods: cfg.aware_profile_periods,
+                period: cfg.ckpt_interval,
+                recovery_budget: cfg.recovery_budget,
+            })
+        });
+    // Measured recovery clock: armed when a failure is detected, read
+    // at the first barrier close of the restored generation.
+    let mut recovery_t0: Option<Instant> = None;
 
     let outcome = loop {
         let event = match erx.recv() {
@@ -466,6 +507,12 @@ pub fn run_controller(cfg: ControllerConfig) -> Result<ClusterReport> {
                         match latest.get(&op) {
                             Some(old) if s.ckpt_epoch < old.ckpt_epoch => {}
                             _ => {
+                                // Sub-epoch state-size samples feed the
+                                // live §III-C profiler; the plane stamps
+                                // them onto its own clock at receipt.
+                                if let Some(pl) = plane.as_mut() {
+                                    pl.ingest(op, s.state_bytes);
+                                }
                                 latest.insert(op, s);
                             }
                         }
@@ -513,6 +560,52 @@ pub fn run_controller(cfg: ControllerConfig) -> Result<ClusterReport> {
                                 &workers,
                             );
                         }
+                        // First barrier close after a restore marks the
+                        // cluster caught up: read the recovery clock
+                        // into the decision ledger. Written with or
+                        // without the telemetry plane, so fixed-period
+                        // baselines report measured recovery too.
+                        if let Some(t0) = recovery_t0.take() {
+                            let period_us = plane
+                                .as_ref()
+                                .map_or(cfg.ckpt_interval, TelemetryPlane::period)
+                                .as_micros() as u64;
+                            let rec = DecisionRecord {
+                                generation,
+                                epoch: epoch.0,
+                                reason: "recovery".to_string(),
+                                state_bytes: latest.values().map(|s| s.state_bytes).sum(),
+                                ckpt_bytes: 0,
+                                barrier_us,
+                                est_recovery_us: 0,
+                                budget_us: cfg.recovery_budget.map_or(0, |b| b.as_micros() as u64),
+                                period_us_before: period_us,
+                                period_us_after: period_us,
+                                recovery_us: t0.elapsed().as_micros() as u64,
+                            };
+                            if let Some(l) = ledger.as_mut() {
+                                let _ = l.append_decision(&rec);
+                            }
+                        }
+                        if let Some(pl) = plane.as_mut() {
+                            let sig = EpochSignals {
+                                generation,
+                                epoch: epoch.0,
+                                state_bytes: latest.values().map(|s| s.state_bytes).sum(),
+                                ckpt_bytes: latest.values().map(|s| s.ckpt_bytes).sum(),
+                                barrier_us,
+                                persist_us: latest
+                                    .values()
+                                    .map(|s| s.persist_us)
+                                    .max()
+                                    .unwrap_or(0),
+                            };
+                            if let Some(d) = pl.on_barrier_close(&sig) {
+                                if let Some(l) = ledger.as_mut() {
+                                    let _ = l.append_decision(&d);
+                                }
+                            }
+                        }
                         outstanding = None;
                     }
                 }
@@ -530,6 +623,7 @@ pub fn run_controller(cfg: ControllerConfig) -> Result<ClusterReport> {
                     report.recoveries += 1;
                     deployed = false;
                     recovering_since = Some(Instant::now());
+                    recovery_t0 = Some(Instant::now());
                     report.sink_states.clear();
                     outstanding = None;
                     acked.clear();
@@ -591,6 +685,7 @@ pub fn run_controller(cfg: ControllerConfig) -> Result<ClusterReport> {
                         report.recoveries += 1;
                         deployed = false;
                         recovering_since = Some(now);
+                        recovery_t0 = Some(now);
                         report.sink_states.clear();
                         outstanding = None;
                         acked.clear();
@@ -598,19 +693,30 @@ pub fn run_controller(cfg: ControllerConfig) -> Result<ClusterReport> {
                             let _ = send_msg(&mut w.writer, &WireMsg::Rollback);
                         }
                         println!("ms-controller: rolling back generation {generation}");
-                    } else if outstanding.is_none()
-                        && now.duration_since(last_ckpt) >= cfg.ckpt_interval
-                    {
+                    } else if outstanding.is_none() {
                         // The barrier is open (previous epoch durable
-                        // on every HAU): the next token may enter.
-                        next_epoch = next_epoch.next();
-                        report.checkpoints += 1;
-                        last_ckpt = now;
-                        outstanding = Some(next_epoch);
-                        outstanding_since = now;
-                        acked.clear();
-                        for w in workers.iter_mut().filter(|w| w.alive) {
-                            let _ = send_msg(&mut w.writer, &WireMsg::Checkpoint(next_epoch));
+                        // on every HAU): ask the telemetry plane — or,
+                        // without one, the fixed timer — whether the
+                        // next token should enter now.
+                        let cause = match plane.as_mut() {
+                            Some(pl) => pl.poll(now.duration_since(last_ckpt)),
+                            None => (now.duration_since(last_ckpt) >= cfg.ckpt_interval)
+                                .then_some(CheckpointCause::Timer),
+                        };
+                        if let Some(cause) = cause {
+                            next_epoch = next_epoch.next();
+                            report.checkpoints += 1;
+                            last_ckpt = now;
+                            outstanding = Some(next_epoch);
+                            outstanding_since = now;
+                            acked.clear();
+                            if let (Some(pl), Some(l)) = (plane.as_ref(), ledger.as_mut()) {
+                                let rec = pl.initiation_record(generation, next_epoch.0, cause);
+                                let _ = l.append_decision(&rec);
+                            }
+                            for w in workers.iter_mut().filter(|w| w.alive) {
+                                let _ = send_msg(&mut w.writer, &WireMsg::Checkpoint(next_epoch));
+                            }
                         }
                     }
                 }
@@ -808,6 +914,7 @@ fn deploy(
         source_limit: cfg.source_limit,
         source_delay_us: cfg.source_delay_us,
         keyed_state: cfg.keyed_state,
+        sawtooth_window: cfg.sawtooth_window,
         groups: plan.groups.clone(),
         gates,
     };

@@ -182,6 +182,173 @@ impl LedgerRecord {
     }
 }
 
+/// One cadence/recovery decision of the controller's telemetry plane,
+/// written to the same `ledger.jsonl` as the per-(epoch, operator)
+/// rows but tagged `"kind":"decision"` so the two record types share
+/// one append-ordered durable stream. Epoch-row consumers
+/// ([`read_ledger`]) skip decision lines; [`read_decisions`] reads
+/// only them.
+///
+/// A decision line is written when the live application-aware plane
+/// initiates a checkpoint (`reason` = `local_minimum` / `period_end`),
+/// when the adaptive cadence layer moves the checkpoint period
+/// (`widen` / `narrow` / `hold`), and when a recovery completes
+/// (`recovery`, with the measured failure-to-barrier time in
+/// `recovery_us`). Fields that don't apply to a given reason are zero.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct DecisionRecord {
+    /// Deployment generation the decision was taken in.
+    pub generation: u64,
+    /// The epoch the decision concerns (the barrier it initiated, or
+    /// the barrier whose signals it was computed from).
+    pub epoch: u64,
+    /// Reason code: `timer`, `local_minimum`, `period_end`, `widen`,
+    /// `narrow`, `hold`, `recovery`.
+    pub reason: String,
+    /// Aggregate live state size input to the decision (bytes).
+    pub state_bytes: u64,
+    /// Checkpoint bytes of the epoch the decision was computed from.
+    pub ckpt_bytes: u64,
+    /// Barrier latency of that epoch (µs).
+    pub barrier_us: u64,
+    /// The cadence layer's estimated worst-case recovery time (µs):
+    /// checkpoint restore plus the replay window.
+    pub est_recovery_us: u64,
+    /// The configured recovery-time budget (µs); zero when no budget.
+    pub budget_us: u64,
+    /// Checkpoint period in force before the decision (µs).
+    pub period_us_before: u64,
+    /// Checkpoint period in force after the decision (µs).
+    pub period_us_after: u64,
+    /// Measured failure-detection → first-post-restore-barrier time
+    /// (µs); only on `recovery` rows.
+    pub recovery_us: u64,
+}
+
+impl DecisionRecord {
+    /// Encodes the record as one flat JSON object (no newline).
+    pub fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"kind\":\"decision\",\"generation\":{},\"epoch\":{},",
+                "\"reason\":\"{}\",\"state_bytes\":{},\"ckpt_bytes\":{},",
+                "\"barrier_us\":{},\"est_recovery_us\":{},\"budget_us\":{},",
+                "\"period_us_before\":{},\"period_us_after\":{},",
+                "\"recovery_us\":{}}}"
+            ),
+            self.generation,
+            self.epoch,
+            self.reason,
+            self.state_bytes,
+            self.ckpt_bytes,
+            self.barrier_us,
+            self.est_recovery_us,
+            self.budget_us,
+            self.period_us_before,
+            self.period_us_after,
+            self.recovery_us,
+        )
+    }
+
+    /// Parses one decision JSON line (must carry the
+    /// `"kind":"decision"` tag).
+    pub fn from_json(line: &str) -> Result<DecisionRecord> {
+        let s = line.trim();
+        if !(s.starts_with('{') && s.ends_with('}')) {
+            return Err(Error::Storage(format!(
+                "decision line is not a JSON object: {s:?}"
+            )));
+        }
+        if json_str(s, "kind")? != "decision" {
+            return Err(Error::Storage("not a decision record".into()));
+        }
+        Ok(DecisionRecord {
+            generation: json_u64(s, "generation")?,
+            epoch: json_u64(s, "epoch")?,
+            reason: json_str(s, "reason")?.to_string(),
+            state_bytes: json_u64(s, "state_bytes")?,
+            ckpt_bytes: json_u64(s, "ckpt_bytes")?,
+            barrier_us: json_u64(s, "barrier_us")?,
+            est_recovery_us: json_u64(s, "est_recovery_us")?,
+            budget_us: json_u64(s, "budget_us")?,
+            period_us_before: json_u64(s, "period_us_before")?,
+            period_us_after: json_u64(s, "period_us_after")?,
+            recovery_us: json_u64(s, "recovery_us")?,
+        })
+    }
+
+    /// One-line human rendering, shared by `ms_ledger --follow` and
+    /// the decision section of the summary.
+    pub fn render(&self) -> String {
+        let mut out = format!(
+            "decision gen={} epoch={} reason={}",
+            self.generation, self.epoch, self.reason
+        );
+        if self.state_bytes > 0 {
+            out.push_str(&format!(" state={}B", self.state_bytes));
+        }
+        if self.period_us_before != self.period_us_after {
+            out.push_str(&format!(
+                " period {:.0}ms->{:.0}ms",
+                ms(self.period_us_before),
+                ms(self.period_us_after)
+            ));
+        } else if self.period_us_after > 0 {
+            out.push_str(&format!(" period {:.0}ms", ms(self.period_us_after)));
+        }
+        if self.est_recovery_us > 0 {
+            out.push_str(&format!(" est_recovery={:.1}ms", ms(self.est_recovery_us)));
+        }
+        if self.budget_us > 0 {
+            out.push_str(&format!(" budget={:.0}ms", ms(self.budget_us)));
+        }
+        if self.recovery_us > 0 {
+            out.push_str(&format!(" recovered_in={:.1}ms", ms(self.recovery_us)));
+        }
+        out
+    }
+}
+
+/// Whether a raw ledger line is a decision record rather than an
+/// (epoch, operator) row.
+fn is_decision_line(line: &str) -> bool {
+    line.contains("\"kind\":\"decision\"")
+}
+
+/// Reads only the [`DecisionRecord`]s of a ledger file, in file order,
+/// with the same torn-final-line tolerance as [`read_ledger`].
+pub fn read_decisions(path: &Path) -> Result<Vec<DecisionRecord>> {
+    let mut text = String::new();
+    File::open(path)
+        .and_then(|mut f| f.read_to_string(&mut text))
+        .map_err(|e| Error::Storage(format!("read ledger {}: {e}", path.display())))?;
+    let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
+    let mut decisions = Vec::new();
+    for (i, line) in lines.iter().enumerate() {
+        if !is_decision_line(line) {
+            continue;
+        }
+        match DecisionRecord::from_json(line) {
+            Ok(d) => decisions.push(d),
+            Err(e) if i + 1 == lines.len() => {
+                eprintln!(
+                    "[ledger] skipping torn trailing line of {}: {e}",
+                    path.display()
+                );
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(decisions)
+}
+
+fn json_str<'a>(s: &'a str, key: &str) -> Result<&'a str> {
+    let v = json_value(s, key)?;
+    v.strip_prefix('"')
+        .and_then(|v| v.strip_suffix('"'))
+        .ok_or_else(|| Error::Storage(format!("ledger field {key:?} is not a string")))
+}
+
 fn json_value<'a>(s: &'a str, key: &str) -> Result<&'a str> {
     let pat = format!("\"{key}\":");
     let start = s
@@ -267,6 +434,17 @@ impl LedgerWriter {
             .and_then(|()| self.out.flush())
             .map_err(|e| Error::Storage(format!("append ledger record: {e}")))
     }
+
+    /// Appends one [`DecisionRecord`] line, with the same
+    /// single-`write_all` tear discipline as [`LedgerWriter::append`].
+    pub fn append_decision(&mut self, rec: &DecisionRecord) -> Result<()> {
+        let mut line = rec.to_json();
+        line.push('\n');
+        self.out
+            .write_all(line.as_bytes())
+            .and_then(|()| self.out.flush())
+            .map_err(|e| Error::Storage(format!("append ledger decision: {e}")))
+    }
 }
 
 /// Reads and parses the records of a ledger file, in file order.
@@ -286,6 +464,11 @@ pub fn read_ledger(path: &Path) -> Result<Vec<LedgerRecord>> {
     let lines: Vec<&str> = text.lines().filter(|l| !l.trim().is_empty()).collect();
     let mut records = Vec::with_capacity(lines.len());
     for (i, line) in lines.iter().enumerate() {
+        // Decision records share the file but not the schema; they
+        // have their own reader ([`read_decisions`]).
+        if is_decision_line(line) {
+            continue;
+        }
         match LedgerRecord::from_json(line) {
             Ok(rec) => records.push(rec),
             Err(e) if i + 1 == lines.len() => {
@@ -302,6 +485,134 @@ pub fn read_ledger(path: &Path) -> Result<Vec<LedgerRecord>> {
 
 fn ms(us: u64) -> f64 {
     us as f64 / 1000.0
+}
+
+/// Incremental reader behind `ms_ledger --follow`: tails a (possibly
+/// still growing) ledger file and turns newly appended lines into
+/// human-readable output lines — one summary line per *completed*
+/// epoch (all rows of an epoch are appended before the first row of
+/// the next, so a new epoch id closes the previous one), plus every
+/// decision record as it lands.
+///
+/// Torn trailing lines are handled the way [`read_ledger`] handles
+/// them, but live: only newline-terminated input is parsed, so a
+/// mid-append tail is simply held back until the writer finishes the
+/// line. A malformed *complete* line is still loud — that is interior
+/// corruption, exactly as in the batch reader.
+#[derive(Debug, Default)]
+pub struct LedgerFollower {
+    /// File offset up to which input has been consumed.
+    offset: u64,
+    /// Carry for a read that ended mid-line (not yet parseable).
+    partial: String,
+    /// Epoch currently being accumulated, with its rows so far.
+    current: Option<(u64, Vec<LedgerRecord>)>,
+    /// Running barrier-latency distribution across followed epochs.
+    barrier: DurationStats,
+}
+
+impl LedgerFollower {
+    /// A follower that starts at the beginning of the file.
+    pub fn new() -> LedgerFollower {
+        LedgerFollower::default()
+    }
+
+    /// Reads whatever the writer appended since the last poll and
+    /// returns the output lines it completes. An absent file is not
+    /// an error (the controller may not have opened the ledger yet);
+    /// it just yields nothing.
+    pub fn poll(&mut self, path: &Path) -> Result<Vec<String>> {
+        let mut f = match File::open(path) {
+            Ok(f) => f,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+            Err(e) => {
+                return Err(Error::Storage(format!(
+                    "follow ledger {}: {e}",
+                    path.display()
+                )))
+            }
+        };
+        let len = f
+            .metadata()
+            .map_err(|e| Error::Storage(format!("follow ledger {}: {e}", path.display())))?
+            .len();
+        if len < self.offset {
+            // The writer truncated a torn tail on reopen; our carry
+            // (if any) was part of what got cut. Re-read from the
+            // last newline we fully consumed.
+            self.offset = self.offset.saturating_sub(self.partial.len() as u64);
+            self.partial.clear();
+            if len < self.offset {
+                self.offset = 0;
+                self.current = None;
+            }
+        }
+        use std::io::Seek;
+        f.seek(std::io::SeekFrom::Start(self.offset))
+            .map_err(|e| Error::Storage(format!("follow ledger {}: {e}", path.display())))?;
+        let mut fresh = String::new();
+        f.read_to_string(&mut fresh)
+            .map_err(|e| Error::Storage(format!("follow ledger {}: {e}", path.display())))?;
+        self.offset += fresh.len() as u64;
+        self.partial.push_str(&fresh);
+
+        let mut out = Vec::new();
+        // Only newline-terminated lines are complete; the remainder
+        // stays in the carry until the writer finishes it.
+        while let Some(nl) = self.partial.find('\n') {
+            let line: String = self.partial.drain(..=nl).collect();
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if is_decision_line(line) {
+                out.push(DecisionRecord::from_json(line)?.render());
+                continue;
+            }
+            let rec = LedgerRecord::from_json(line)?;
+            if matches!(&self.current, Some((epoch, _)) if *epoch != rec.epoch) {
+                out.extend(self.flush());
+            }
+            match &mut self.current {
+                Some((_, rows)) => rows.push(rec),
+                None => self.current = Some((rec.epoch, vec![rec])),
+            }
+        }
+        Ok(out)
+    }
+
+    /// Renders and drops the epoch currently being accumulated, if
+    /// any. `poll` calls this when a new epoch opens; callers use it
+    /// at end of stream so the final epoch isn't lost.
+    pub fn flush(&mut self) -> Vec<String> {
+        let Some((epoch, rows)) = self.current.take() else {
+            return Vec::new();
+        };
+        let gen = rows.iter().map(|r| r.generation).max().unwrap_or(0);
+        let state: u64 = rows.iter().map(|r| r.state_bytes).sum();
+        let ckpt: u64 = rows.iter().map(|r| r.ckpt_bytes).sum();
+        let barrier = rows.iter().map(|r| r.barrier_us).max().unwrap_or(0);
+        self.barrier.record(SimDuration::from_micros(barrier));
+        let grower = rows
+            .iter()
+            .max_by_key(|r| r.state_bytes)
+            .map(|r| format!("  top op{}={}B", r.op, r.state_bytes))
+            .unwrap_or_default();
+        let accepted: u64 = rows.iter().map(|r| r.gate_accepted).sum();
+        let shed: u64 = rows.iter().map(|r| r.gate_shed).sum();
+        let gate = if accepted > 0 || shed > 0 {
+            format!("  gate acc={accepted} shed={shed}")
+        } else {
+            String::new()
+        };
+        vec![format!(
+            "epoch {epoch:>4}  gen {gen}  ops {:>2}  state {state:>9}B  ckpt {ckpt:>8}B  \
+             barrier {:>7.1}ms  p99 {:>7.1}ms{grower}{gate}",
+            rows.len(),
+            ms(barrier),
+            ms(self.barrier.p99().as_micros()),
+        )]
+    }
 }
 
 /// Renders a human-readable summary of ledger records: a per-epoch
@@ -707,6 +1018,149 @@ mod tests {
             .to_json()
             .replace("\"gate_shed\":2", "\"gate_shed\":x");
         assert!(LedgerRecord::from_json(&bad).is_err());
+    }
+
+    fn decision(epoch: u64, reason: &str) -> DecisionRecord {
+        DecisionRecord {
+            generation: 1,
+            epoch,
+            reason: reason.to_string(),
+            state_bytes: 4096 * epoch,
+            ckpt_bytes: 512 * epoch,
+            barrier_us: 900,
+            est_recovery_us: 150_000,
+            budget_us: 1_000_000,
+            period_us_before: 120_000,
+            period_us_after: if reason == "widen" { 150_000 } else { 120_000 },
+            recovery_us: if reason == "recovery" { 73_000 } else { 0 },
+        }
+    }
+
+    #[test]
+    fn decision_record_roundtrips_through_json() {
+        for reason in ["timer", "local_minimum", "period_end", "widen", "recovery"] {
+            let d = decision(3, reason);
+            assert_eq!(DecisionRecord::from_json(&d.to_json()).unwrap(), d);
+        }
+        // Epoch rows are not decisions and vice versa.
+        assert!(DecisionRecord::from_json(&sample(1, 0).to_json()).is_err());
+        assert!(LedgerRecord::from_json(&decision(1, "timer").to_json()).is_err());
+    }
+
+    #[test]
+    fn decisions_and_epoch_rows_share_one_file() {
+        let dir = std::env::temp_dir().join(format!("ms_ledger_mixed_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(LEDGER_FILE);
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut w = LedgerWriter::open(&path).unwrap();
+            w.append_decision(&decision(1, "local_minimum")).unwrap();
+            w.append(&sample(1, 0)).unwrap();
+            w.append(&sample(1, 1)).unwrap();
+            w.append_decision(&decision(1, "widen")).unwrap();
+            w.append(&sample(2, 0)).unwrap();
+        }
+        // Each reader sees only its record type, both in file order.
+        assert_eq!(
+            read_ledger(&path).unwrap(),
+            vec![sample(1, 0), sample(1, 1), sample(2, 0)]
+        );
+        assert_eq!(
+            read_decisions(&path).unwrap(),
+            vec![decision(1, "local_minimum"), decision(1, "widen")]
+        );
+        // The legacy summarizer is oblivious to the decision lines.
+        let text = summarize(&read_ledger(&path).unwrap(), 3);
+        assert!(text.contains("3 records, 2 epochs"), "{text}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_trailing_decision_is_skipped_by_both_readers() {
+        let dir = std::env::temp_dir().join(format!("ms_ledger_torn_dec_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(LEDGER_FILE);
+        let _ = std::fs::remove_file(&path);
+        {
+            let mut w = LedgerWriter::open(&path).unwrap();
+            w.append(&sample(1, 0)).unwrap();
+            w.append_decision(&decision(1, "narrow")).unwrap();
+        }
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::write(&path, &text[..text.len() - 15]).unwrap();
+        assert_eq!(read_ledger(&path).unwrap(), vec![sample(1, 0)]);
+        assert_eq!(read_decisions(&path).unwrap(), Vec::new());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn follower_streams_epoch_summaries_and_decisions() {
+        let dir = std::env::temp_dir().join(format!("ms_ledger_follow_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(LEDGER_FILE);
+        let _ = std::fs::remove_file(&path);
+        let mut f = LedgerFollower::new();
+        // Nothing to read before the controller creates the file.
+        assert!(f.poll(&path).unwrap().is_empty());
+
+        let mut w = LedgerWriter::open(&path).unwrap();
+        w.append(&sample(1, 0)).unwrap();
+        w.append(&sample(1, 1)).unwrap();
+        // Epoch 1 is still open: no summary yet.
+        assert!(f.poll(&path).unwrap().is_empty());
+        // A decision line streams immediately, ahead of the summary.
+        w.append_decision(&decision(1, "local_minimum")).unwrap();
+        let lines = f.poll(&path).unwrap();
+        assert_eq!(lines.len(), 1, "{lines:?}");
+        assert!(lines[0].contains("reason=local_minimum"), "{lines:?}");
+        // The first row of epoch 2 closes epoch 1.
+        w.append(&sample(2, 0)).unwrap();
+        let lines = f.poll(&path).unwrap();
+        assert_eq!(lines.len(), 1, "{lines:?}");
+        assert!(lines[0].starts_with("epoch    1"), "{lines:?}");
+        assert!(lines[0].contains("ops  2"), "{lines:?}");
+        // End of stream: flush renders the still-open epoch 2.
+        let tail = f.flush();
+        assert_eq!(tail.len(), 1, "{tail:?}");
+        assert!(tail[0].starts_with("epoch    2"), "{tail:?}");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn follower_holds_back_torn_tail_until_completed() {
+        use std::io::Write as _;
+        let dir =
+            std::env::temp_dir().join(format!("ms_ledger_follow_torn_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(LEDGER_FILE);
+        let _ = std::fs::remove_file(&path);
+        let mut f = LedgerFollower::new();
+        let line_a = sample(1, 0).to_json();
+        let line_b = sample(2, 0).to_json();
+        // First write ends mid-line, as a crashed or mid-append writer
+        // would leave it.
+        let mut file = std::fs::OpenOptions::new()
+            .create(true)
+            .append(true)
+            .open(&path)
+            .unwrap();
+        file.write_all(format!("{line_a}\n").as_bytes()).unwrap();
+        file.write_all(&line_b.as_bytes()[..line_b.len() - 20])
+            .unwrap();
+        file.flush().unwrap();
+        // The complete line is consumed (held as the open epoch); the
+        // torn tail is neither parsed nor fatal.
+        assert!(f.poll(&path).unwrap().is_empty());
+        // The writer finishes the line: now epoch 1 closes.
+        file.write_all(format!("{}\n", &line_b[line_b.len() - 20..]).as_bytes())
+            .unwrap();
+        file.flush().unwrap();
+        let lines = f.poll(&path).unwrap();
+        assert_eq!(lines.len(), 1, "{lines:?}");
+        assert!(lines[0].starts_with("epoch    1"), "{lines:?}");
+        assert_eq!(f.flush().len(), 1, "epoch 2 open at end of stream");
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     /// Two shards of logical op 1 plus singleton source/sink; the

@@ -18,6 +18,7 @@
 //! | [`worker`] | the `ms-worker` daemon: operator hosts on the event-loop core |
 //! | `evloop` | the worker's engine: one poll-driven I/O thread + a fixed apply pool |
 //! | [`controller`] | the `ms-controller` daemon: deploy / pace / detect / recover |
+//! | [`cadence`] | the live telemetry plane: §III-C aware barrier initiation + adaptive checkpoint cadence |
 //! | [`ledger`] | the epoch-keyed run ledger (JSONL telemetry trail) + `ms_ledger` summarizer |
 //!
 //! # Run a 3-process cluster on localhost
@@ -43,6 +44,7 @@
 #![warn(missing_docs)]
 
 pub mod apps;
+pub mod cadence;
 pub mod chaos;
 pub mod controller;
 mod evloop;
@@ -52,11 +54,12 @@ pub mod store;
 pub mod worker;
 
 pub use apps::{build_operator, demo_network, route_key, ThrottledCountSource};
+pub use cadence::{CheckpointCause, EpochSignals, PlaneConfig, TelemetryPlane};
 pub use chaos::{FaultStore, RetryStore, StoreFaultSpec};
 pub use controller::{run_controller, ClusterReport, ControllerConfig};
 pub use ledger::{
-    by_shard_summary, read_ledger, summarize, worst_shard_skew, LedgerRecord, LedgerWriter,
-    LEDGER_FILE,
+    by_shard_summary, read_decisions, read_ledger, summarize, worst_shard_skew, DecisionRecord,
+    LedgerFollower, LedgerRecord, LedgerWriter, LEDGER_FILE,
 };
 pub use message::{recv_msg, send_msg, Assignment, GateSpec, OpPlacement, WireMsg};
 pub use store::FsStore;

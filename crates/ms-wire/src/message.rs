@@ -85,6 +85,11 @@ pub struct Assignment {
     /// keyed state table of this many keys (delta-checkpointed) instead
     /// of being stateless doublers.
     pub keyed_state: u64,
+    /// Demo-app parameter: when nonzero (together with `keyed_state`),
+    /// interior operators are `SawtoothStat`s whose keyed table
+    /// collapses every this many applied tuples — the dynamic state
+    /// profile exercised by the live application-aware plane.
+    pub sawtooth_window: u64,
     /// The shard plan of the deployment: `groups[logical]` lists the
     /// physical instances of that logical operator, shard order (see
     /// `ms_core::shard::ShardPlan`). Every worker derives its hash
@@ -315,7 +320,8 @@ impl WireMsg {
                 });
                 w.put_u64(a.source_limit)
                     .put_u64(a.source_delay_us)
-                    .put_u64(a.keyed_state);
+                    .put_u64(a.keyed_state)
+                    .put_u64(a.sawtooth_window);
                 w.put_seq(a.groups.iter(), |w, group| {
                     w.put_seq(group.iter(), |w, op| {
                         w.put_u64(op.0 as u64);
@@ -461,6 +467,7 @@ impl WireMsg {
                 let source_limit = r.get_u64()?;
                 let source_delay_us = r.get_u64()?;
                 let keyed_state = r.get_u64()?;
+                let sawtooth_window = r.get_u64()?;
                 let groups = r.get_seq(|r| r.get_seq(get_op))?;
                 let gates = r.get_seq(|r| {
                     Ok(GateSpec {
@@ -485,6 +492,7 @@ impl WireMsg {
                     source_limit,
                     source_delay_us,
                     keyed_state,
+                    sawtooth_window,
                     groups,
                     gates,
                 })
@@ -626,6 +634,7 @@ mod tests {
             source_limit: 1000,
             source_delay_us: 250,
             keyed_state: 4096,
+            sawtooth_window: 512,
             groups: vec![
                 vec![OperatorId(0)],
                 vec![OperatorId(1)],
@@ -682,6 +691,7 @@ mod tests {
             source_limit: 100,
             source_delay_us: 0,
             keyed_state: 64,
+            sawtooth_window: 0,
             groups: vec![
                 vec![OperatorId(0)],
                 vec![OperatorId(1), OperatorId(2)],

@@ -286,7 +286,14 @@ impl Run {
             let mut operator: Box<dyn ms_core::operator::Operator> = if is_gate(op) {
                 Box::new(GateOp::new(ms_core::operator::OperatorSnapshot::empty()))
             } else {
-                build_operator(&qn, op, a.source_limit, a.source_delay_us, a.keyed_state)
+                build_operator(
+                    &qn,
+                    op,
+                    a.source_limit,
+                    a.source_delay_us,
+                    a.keyed_state,
+                    a.sawtooth_window,
+                )
             };
             let is_source = qn.upstream(op).is_empty();
             let (restored_seq, replay, resume_seq, in_flight) = match a.restore_epoch {

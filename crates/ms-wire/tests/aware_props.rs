@@ -1,0 +1,229 @@
+//! The live §III-C profiler against the simulator: trace-replay
+//! identity and heartbeat-robustness properties.
+//!
+//! The satellite contract for the telemetry plane: (1) replaying the
+//! Fig. 10/11 traces through the *live* profiler path picks exactly
+//! the checkpoint instants the offline simulator picks on the same
+//! stream; (2) the network can reorder and redeliver heartbeat
+//! samples arbitrarily without perturbing the profile — `smax` never
+//! moves once set, and duplicate/stale deliveries are inert.
+
+use ms_core::aware::{
+    profile, AwareAction, AwareConfig, AwareController, CheckpointReason, LiveAwareConfig,
+    LivePhase, LiveProfiler,
+};
+use ms_core::ids::HauId;
+use ms_core::metrics::TimeSeries;
+use ms_core::time::{SimDuration, SimTime};
+use proptest::prelude::*;
+
+/// The Fig. 10 zigzag reconstruction (the same polyline the `ms-core`
+/// simulator tests replay; times in figure units of 10 s, sizes in
+/// MB). Kept as a private copy because the canonical helper lives in
+/// `ms-core`'s test module.
+type Fig10Trace = [(u64, f64); 16];
+
+fn fig10_traces() -> (Fig10Trace, Fig10Trace) {
+    let hau1 = [
+        (0u64, 100.0),
+        (1, 150.0),
+        (2, 200.0),
+        (3, 250.0),
+        (4, 200.0),
+        (5, 150.0),
+        (6, 100.0),
+        (7, 40.0),
+        (8, 100.0),
+        (9, 160.0),
+        (10, 220.0),
+        (11, 160.0),
+        (12, 100.0),
+        (13, 50.0),
+        (14, 95.0),
+        (15, 140.0),
+    ];
+    let hau2 = [
+        (0u64, 220.0),
+        (1, 250.0),
+        (2, 190.0),
+        (3, 130.0),
+        (4, 100.0),
+        (5, 130.0),
+        (6, 160.0),
+        (7, 190.0),
+        (8, 220.0),
+        (9, 160.0),
+        (10, 100.0),
+        (11, 50.0),
+        (12, 87.5),
+        (13, 120.0),
+        (14, 87.5),
+        (15, 60.0),
+    ];
+    (hau1, hau2)
+}
+
+const PERIOD: SimDuration = SimDuration::from_secs(160);
+const STEP: SimDuration = SimDuration::from_secs(10);
+
+/// Replays Fig. 10/11 through the live profiler exactly as the
+/// controller would drive it — one profiling pass, transition, one
+/// execution pass — and through the offline simulator primitives on
+/// the same stream, asserting the checkpoint instants are identical.
+#[test]
+fn fig10_live_path_matches_simulator() {
+    let (hau1, hau2) = fig10_traces();
+
+    // ---- live path ----
+    let mut live = LiveProfiler::new(LiveAwareConfig {
+        period: PERIOD,
+        profile_periods: 1,
+        sample_interval: STEP,
+        min_relaxation: 0.2,
+    });
+    // Profiling pass: the full trace on a 10 s heartbeat grid.
+    for i in 0..16u64 {
+        let t = SimTime::ZERO + STEP * i;
+        assert!(live.ingest(t, HauId(1), hau1[i as usize].1 as u64));
+        assert!(live.ingest(t, HauId(2), hau2[i as usize].1 as u64));
+        assert_eq!(live.poll(t), AwareAction::None, "no decisions at i={i}");
+    }
+    // The poll after the window closes arms the classifier.
+    let t_arm = SimTime::ZERO + PERIOD;
+    assert_eq!(live.phase(), LivePhase::Profiling);
+    assert_eq!(live.poll(t_arm), AwareAction::None);
+    assert_eq!(live.phase(), LivePhase::Executing);
+    // Execution pass: the same zigzag repeats, shifted one period.
+    let mut live_ckpts = Vec::new();
+    for i in 0..16u64 {
+        let t = t_arm + STEP * i;
+        live.ingest(t, HauId(1), hau1[i as usize].1 as u64);
+        live.ingest(t, HauId(2), hau2[i as usize].1 as u64);
+        if let AwareAction::Checkpoint(reason) = live.poll(t) {
+            live_ckpts.push((i, reason));
+        }
+    }
+
+    // ---- simulator reference on the identical stream ----
+    let mut s1 = TimeSeries::new();
+    let mut s2 = TimeSeries::new();
+    for i in 0..16u64 {
+        let t = SimTime::ZERO + STEP * i;
+        s1.push(t, hau1[i as usize].1);
+        s2.push(t, hau2[i as usize].1);
+    }
+    let cfg = AwareConfig {
+        sample_interval: STEP,
+        min_relaxation: 0.2,
+    };
+    let p = profile(&[(HauId(1), s1), (HauId(2), s2)], PERIOD, &cfg);
+    assert_eq!(p.dynamic.len(), 2, "both zigzag HAUs classify dynamic");
+    let mut ctrl = AwareController::new(p, PERIOD, t_arm);
+    let mut sim_ckpts = Vec::new();
+    for i in 0..16u64 {
+        let t = t_arm + STEP * i;
+        let sizes = [
+            (HauId(1), hau1[i as usize].1 as u64),
+            (HauId(2), hau2[i as usize].1 as u64),
+        ];
+        if let AwareAction::Checkpoint(reason) = ctrl.on_sample(t, &sizes) {
+            sim_ckpts.push((i, reason));
+        }
+    }
+
+    assert_eq!(
+        live_ckpts, sim_ckpts,
+        "live profiler diverged from the simulator on the Fig. 10 trace"
+    );
+    // And the shared answer is the paper's: a checkpoint at a detected
+    // aggregate local minimum, not at the period boundary.
+    assert!(
+        live_ckpts
+            .iter()
+            .any(|&(_, r)| r == CheckpointReason::LocalMinimum),
+        "no local-minimum checkpoint on the Fig. 10 trace: {live_ckpts:?}"
+    );
+}
+
+/// A clean per-HAU monotone sample stream: strictly increasing times
+/// with bounded gaps, arbitrary sizes.
+fn trace_strategy() -> impl Strategy<Value = Vec<(u64, u64)>> {
+    proptest::collection::vec((1u64..5_000, 0u64..1_000_000_000), 8..40).prop_map(|deltas| {
+        let mut t = 0u64;
+        deltas
+            .into_iter()
+            .map(|(dt, s)| {
+                t += dt;
+                (t, s)
+            })
+            .collect()
+    })
+}
+
+proptest! {
+    /// Redelivering any prefix of already-accepted samples (the
+    /// classic duplicated/reordered heartbeat) between clean samples
+    /// never changes what the profiler learns: same profile, same
+    /// `smax`, to the bit.
+    #[test]
+    fn duplicate_and_stale_redelivery_is_inert(
+        tr in trace_strategy(),
+        dup_at in proptest::collection::vec((any::<u64>(), any::<u64>()), 0..20),
+    ) {
+        let cfg = LiveAwareConfig {
+            period: SimDuration::from_millis(50),
+            profile_periods: 1,
+            sample_interval: SimDuration::from_micros(1),
+            min_relaxation: 0.2,
+        };
+        let mut clean = LiveProfiler::new(cfg);
+        let mut noisy = LiveProfiler::new(cfg);
+        for (i, &(t, s)) in tr.iter().enumerate() {
+            let t = SimTime::from_micros(t);
+            prop_assert!(clean.ingest(t, HauId(0), s));
+            prop_assert!(noisy.ingest(t, HauId(0), s));
+            // Redeliver earlier samples of this stream out of order:
+            // every one must be rejected as stale.
+            for &(slot, pick) in &dup_at {
+                if slot as usize % tr.len() == i {
+                    let (rt, rs) = tr[pick as usize % (i + 1)];
+                    prop_assert!(!noisy.ingest(SimTime::from_micros(rt), HauId(0), rs));
+                }
+            }
+        }
+        let end = SimTime::from_micros(tr.last().expect("nonempty").0);
+        clean.begin_execution(end);
+        noisy.begin_execution(end);
+        prop_assert_eq!(clean.smax(), noisy.smax());
+        prop_assert_eq!(
+            clean.profile().expect("armed").dynamic.clone(),
+            noisy.profile().expect("armed").dynamic.clone()
+        );
+    }
+
+    /// Once execution begins the profile is frozen: no later sample —
+    /// fresh, duplicate, stale, or absurdly large — moves `smax`.
+    #[test]
+    fn smax_never_moves_after_freeze(
+        tr in trace_strategy(),
+        later in proptest::collection::vec((0u64..10_000_000, any::<u64>()), 1..30),
+    ) {
+        let mut p = LiveProfiler::new(LiveAwareConfig {
+            period: SimDuration::from_millis(50),
+            profile_periods: 1,
+            sample_interval: SimDuration::from_micros(1),
+            min_relaxation: 0.2,
+        });
+        for &(t, s) in &tr {
+            p.ingest(SimTime::from_micros(t), HauId(0), s);
+        }
+        let end = SimTime::from_micros(tr.last().expect("nonempty").0);
+        p.begin_execution(end);
+        let frozen = p.smax().expect("armed");
+        for &(t, s) in &later {
+            p.ingest(SimTime::from_micros(t), HauId(0), s);
+            p.poll(SimTime::from_micros(t));
+            prop_assert_eq!(p.smax(), Some(frozen));
+        }
+    }
+}

@@ -63,6 +63,7 @@ fn main() {
         source_limit: LIMIT,
         source_delay_us: 50,
         keyed_state: 256,
+        sawtooth_window: 0,
         shards: SHARDS,
         ckpt_interval: Duration::from_millis(150),
         hb_timeout: Duration::from_millis(1000),
@@ -71,6 +72,10 @@ fn main() {
         deadline: Duration::from_secs(120),
         result_file: None,
         gate: None,
+        aware: false,
+        aware_sample: Duration::from_millis(100),
+        aware_profile_periods: 2,
+        recovery_budget: None,
     };
     let controller = thread::spawn(move || run_controller(cfg));
 
